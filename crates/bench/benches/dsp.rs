@@ -1,0 +1,52 @@
+//! Criterion benches for the DSP substrate: FFT, STFT, Butterworth
+//! filtering, envelopes — the per-region costs behind every table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emoleak_dsp::envelope::rms_envelope;
+use emoleak_dsp::filter::{ButterworthDesign, FilterKind};
+use emoleak_dsp::{Fft, StftConfig, Window};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2 * (i as f64 * 1.31).cos()).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let fft = Fft::new(n);
+        let x = signal(n);
+        group.bench_with_input(BenchmarkId::new("power_spectrum", n), &n, |b, _| {
+            b.iter(|| black_box(fft.power_spectrum(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stft(c: &mut Criterion) {
+    let x = signal(8400); // 20 s at 420 Hz
+    let cfg = StftConfig::new(64, 16).with_window(Window::Hamming);
+    c.bench_function("stft/spectrogram_20s_accel", |b| {
+        b.iter(|| black_box(cfg.spectrogram(black_box(&x), 420.0).unwrap()));
+    });
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let x = signal(8400);
+    let hp = ButterworthDesign::new(FilterKind::HighPass, 4, 8.0, 420.0)
+        .unwrap()
+        .build();
+    c.bench_function("filter/8hz_hpf_filtfilt_20s", |b| {
+        b.iter(|| black_box(hp.filtfilt(black_box(&x))));
+    });
+    c.bench_function("envelope/rms_20s", |b| {
+        b.iter(|| black_box(rms_envelope(black_box(&x), 21)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft, bench_stft, bench_filters
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the attack pipeline stages: speech synthesis,
+//! channel simulation, region detection and feature extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emoleak_core::prelude::*;
+use emoleak_core::scenario::Setting;
+use emoleak_features::regions::RegionDetector;
+use emoleak_phone::session::RecordingSession;
+use emoleak_phone::{DeviceProfile, Placement, SpeakerKind, VibrationChannel};
+use emoleak_synth::CorpusSpec;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(1);
+    c.bench_function("synth/one_tess_clip", |b| {
+        b.iter(|| black_box(corpus.clip(0, Emotion::Anger, 0)));
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(1);
+    let clip = corpus.clip(0, Emotion::Happy, 0);
+    let channel = VibrationChannel::new(
+        &DeviceProfile::oneplus_7t(),
+        SpeakerKind::Loudspeaker,
+        Placement::TableTop,
+    );
+    c.bench_function("phone/channel_one_clip", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| black_box(channel.simulate(black_box(&clip.samples), clip.fs, &mut rng)));
+    });
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(1);
+    let clip = corpus.clip(0, Emotion::Happy, 0);
+    let session = RecordingSession::new(
+        &DeviceProfile::oneplus_7t(),
+        Setting::TableTopLoudspeaker.speaker_kind(),
+        Setting::TableTopLoudspeaker.placement(),
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let trace = session.record_clip(&clip.samples, clip.fs, &mut rng);
+    let detector = RegionDetector::table_top();
+    c.bench_function("features/detect_regions", |b| {
+        b.iter(|| black_box(detector.detect(black_box(&trace.samples), trace.fs)));
+    });
+    let regions = detector.detect(&trace.samples, trace.fs);
+    let (s, e) = regions[0];
+    let region = &trace.samples[s..e];
+    c.bench_function("features/extract_24", |b| {
+        b.iter(|| black_box(emoleak_features::extract_all(black_box(region), trace.fs)));
+    });
+}
+
+fn bench_harvest(c: &mut Criterion) {
+    let scenario = AttackScenario::table_top(
+        CorpusSpec::tess().with_clips_per_cell(2),
+        DeviceProfile::oneplus_7t(),
+    );
+    c.bench_function("pipeline/harvest_28_clips", |b| {
+        b.iter(|| black_box(scenario.harvest()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_synthesis, bench_channel, bench_extraction, bench_harvest
+}
+criterion_main!(benches);

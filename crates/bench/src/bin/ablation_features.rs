@@ -1,0 +1,41 @@
+//! Design-choice ablation: which half of Table II does the work?
+//!
+//! Compares emotion-recognition accuracy using (a) the 12 time-domain
+//! features only, (b) the 12 frequency-domain features only, (c) all 24 —
+//! on the TESS/loudspeaker/OnePlus 7T campaign. The paper uses all 24; this
+//! ablation quantifies why.
+
+use emoleak_bench::{banner, clips_per_cell};
+use emoleak_core::prelude::*;
+use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
+use emoleak_features::FeatureDataset;
+
+/// Projects a dataset onto a column range.
+fn project(d: &FeatureDataset, cols: std::ops::Range<usize>) -> FeatureDataset {
+    let mut out = FeatureDataset::new(
+        d.feature_names()[cols.clone()].to_vec(),
+        d.class_names().to_vec(),
+    );
+    for (row, &label) in d.features().iter().zip(d.labels()) {
+        out.push(row[cols.clone()].to_vec(), label);
+    }
+    out
+}
+
+fn main() {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
+    banner("Ablation: time-domain vs frequency-domain features (TESS / OnePlus 7T)",
+           corpus.random_guess());
+    let harvest = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t()).harvest();
+    let variants: [(&str, FeatureDataset); 3] = [
+        ("time-domain only (12)", project(&harvest.features, 0..12)),
+        ("frequency-domain only (12)", project(&harvest.features, 12..24)),
+        ("all Table II features (24)", harvest.features.clone()),
+    ];
+    println!("{:<30} {:>10}", "feature set", "accuracy");
+    for (name, data) in variants {
+        let acc = evaluate_features(&data, ClassifierKind::Logistic, Protocol::Holdout8020, 0xAB1)
+            .accuracy;
+        println!("{name:<30} {:>9.2}%", acc * 100.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 2 — spectrograms of the same utterance played with five different
+//! emotions through the loudspeaker (OnePlus 7T, table-top), rendered as
+//! ASCII heat maps (time down the page, frequency across).
+
+use emoleak_core::prelude::*;
+use emoleak_core::scenario::Setting;
+use emoleak_features::regions::RegionDetector;
+use emoleak_features::spectrogram::{ascii_render, SpectrogramGenerator, IMAGE_SIZE};
+use emoleak_phone::session::RecordingSession;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Figure 2: accelerometer spectrograms per emotion (OnePlus 7T, loudspeaker)");
+    let corpus = CorpusSpec::tess().with_clips_per_cell(1);
+    let device = DeviceProfile::oneplus_7t();
+    let session = RecordingSession::new(
+        &device,
+        Setting::TableTopLoudspeaker.speaker_kind(),
+        Setting::TableTopLoudspeaker.placement(),
+    );
+    let detector = RegionDetector::table_top();
+    let spec_gen = SpectrogramGenerator::for_accel();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for emotion in [
+        Emotion::Anger,
+        Emotion::Neutral,
+        Emotion::Fear,
+        Emotion::Happy,
+        Emotion::Sad,
+    ] {
+        // Same speaker, same repetition index: "the same sentence by the
+        // same actor with different emotions" (§III-B.5).
+        let clip = corpus.clip(0, emotion, 0);
+        let trace = session.record_clip(&clip.samples, clip.fs, &mut rng);
+        let regions = detector.detect(&trace.samples, trace.fs);
+        let Some(&(s, e)) = regions.first() else {
+            println!("\n[{emotion}] (no region detected)");
+            continue;
+        };
+        let img = spec_gen
+            .generate(&trace.samples[s..e.min(trace.samples.len())], trace.fs, 0)
+            .expect("region long enough for a spectrogram");
+        println!("\n[{emotion}] region {:.2}-{:.2} s, freq -> 0..{:.0} Hz",
+                 s as f64 / trace.fs, e as f64 / trace.fs, trace.fs / 2.0);
+        print!("{}", ascii_render(&img.pixels, IMAGE_SIZE));
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 6 — confusion matrices for TESS on the OnePlus 7T:
+//! (a) loudspeaker/table-top (80/20 holdout), (b) ear speaker/handheld
+//! (10-fold cross-validation), both on time–frequency features.
+//!
+//! Paper shape: (a) near-diagonal (95 %+); (b) diffuse with
+//! disgust/fear/neutral/sad confusions.
+
+use emoleak_bench::{banner, clips_per_cell};
+use emoleak_core::prelude::*;
+use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
+
+fn main() {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
+    banner("Figure 6: TESS confusion matrices (OnePlus 7T)", corpus.random_guess());
+
+    let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest();
+    let eval_a = evaluate_features(&loud.features, ClassifierKind::Logistic, Protocol::Holdout8020, 6);
+    println!(
+        "\n(a) loudspeaker / table-top, Logistic, 80/20 split — accuracy {:.2}%",
+        eval_a.accuracy * 100.0
+    );
+    print!("{}", eval_a.confusion.render());
+
+    let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest();
+    let eval_b =
+        evaluate_features(&ear.features, ClassifierKind::RandomForest, Protocol::KFold(10), 6);
+    println!(
+        "\n(b) ear speaker / handheld, Random Forest, 10-fold CV — accuracy {:.2}%",
+        eval_b.accuracy * 100.0
+    );
+    print!("{}", eval_b.confusion.render());
+}

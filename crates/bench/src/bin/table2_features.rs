@@ -1,0 +1,33 @@
+//! Table II — the 24 time/frequency-domain features, with an information
+//! gain per feature on a live campaign (the paper reports that all features
+//! have non-zero gain in both settings; §III-B.4).
+
+use emoleak_bench::{banner, clips_per_cell};
+use emoleak_core::prelude::*;
+use emoleak_features::info_gain::information_gain_per_feature;
+
+fn main() {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell().min(20));
+    banner("Table II: feature inventory + information gain (TESS)", corpus.random_guess());
+    for (setting, scenario) in [
+        ("table-top", AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t())),
+        ("handheld", AttackScenario::handheld(corpus.clone(), DeviceProfile::oneplus_7t())),
+    ] {
+        let harvest = scenario.harvest();
+        let gains = information_gain_per_feature(
+            harvest.features.features(),
+            harvest.features.labels(),
+            10,
+        );
+        println!("\n[{setting}] {} regions", harvest.features.len());
+        println!("{:<20} {:>8}", "feature", "gain");
+        let mut nonzero = 0;
+        for (name, g) in harvest.features.feature_names().iter().zip(&gains) {
+            println!("{name:<20} {g:>8.3}");
+            if *g > 0.0 {
+                nonzero += 1;
+            }
+        }
+        println!("non-zero gains: {nonzero}/24");
+    }
+}

@@ -1,0 +1,35 @@
+//! Table III — SAVEE dataset, loudspeaker/table-top, OnePlus 7T and
+//! Pixel 5.
+//!
+//! Paper: Logistic 53.77 % / 44.44 %, MultiClass 51.85 % / 52.97 %,
+//! trees.LMT 51.58 % / 53.00 %, CNN 46.98 % / 44.18 %, spectrogram CNN
+//! 39.16 % / 35.38 % (random guess 14.28 %).
+
+use emoleak_bench::{banner, clips_per_cell, loudspeaker_column};
+use emoleak_core::prelude::*;
+
+fn main() {
+    let corpus = CorpusSpec::savee().with_clips_per_cell(clips_per_cell());
+    banner("Table III: SAVEE / loudspeaker", corpus.random_guess());
+    let devices = [DeviceProfile::oneplus_7t(), DeviceProfile::pixel_5()];
+    let mut table = ResultTable::new(
+        "SAVEE (time-frequency features + spectrograms)",
+        devices.iter().map(|d| d.name().to_string()).collect(),
+    );
+    let columns: Vec<Vec<(String, f64)>> = devices
+        .iter()
+        .map(|d| {
+            loudspeaker_column(
+                &AttackScenario::table_top(corpus.clone(), d.clone()),
+                0x7AB3,
+            )
+        })
+        .collect();
+    for row in 0..columns[0].len() {
+        let label = columns[0][row].0.clone();
+        table.push_row(&label, columns.iter().map(|c| c[row].1).collect());
+    }
+    table.push_note("paper: Logistic 53.77%/44.44%, CNN 46.98%/44.18%, spec-CNN 39.16%/35.38%");
+    table.push_note("random guess 14.28%");
+    print!("{}", table.render());
+}

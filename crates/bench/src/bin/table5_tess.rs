@@ -1,0 +1,40 @@
+//! Table V — TESS dataset, loudspeaker/table-top, five devices.
+//!
+//! Paper (best per device): OnePlus 7T 95.3 % (CNN), Galaxy S10 85.37 %
+//! (spec-CNN), Pixel 5 82.62 % (CNN), Galaxy S21 88.49 % (CNN), S21 Ultra
+//! 85.74 % (spec-CNN); random guess 14.28 %.
+
+use emoleak_bench::{banner, clips_per_cell, loudspeaker_column};
+use emoleak_core::prelude::*;
+
+fn main() {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
+    banner("Table V: TESS / loudspeaker", corpus.random_guess());
+    let devices = [
+        DeviceProfile::oneplus_7t(),
+        DeviceProfile::galaxy_s10(),
+        DeviceProfile::pixel_5(),
+        DeviceProfile::galaxy_s21(),
+        DeviceProfile::galaxy_s21_ultra(),
+    ];
+    let mut table = ResultTable::new(
+        "TESS (time-frequency features + spectrograms)",
+        devices.iter().map(|d| d.name().to_string()).collect(),
+    );
+    let columns: Vec<Vec<(String, f64)>> = devices
+        .iter()
+        .map(|d| {
+            loudspeaker_column(
+                &AttackScenario::table_top(corpus.clone(), d.clone()),
+                0x7E55,
+            )
+        })
+        .collect();
+    for row in 0..columns[0].len() {
+        let label = columns[0][row].0.clone();
+        table.push_row(&label, columns.iter().map(|c| c[row].1).collect());
+    }
+    table.push_note("paper best-per-device: 95.3%, 85.37%, 82.62%, 88.49%, 85.74%");
+    table.push_note("random guess 14.28%");
+    print!("{}", table.render());
+}

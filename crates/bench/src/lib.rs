@@ -1,0 +1,112 @@
+//! # emoleak-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! EmoLeak paper. One binary per experiment (see `src/bin/`), plus Criterion
+//! benches for pipeline-stage throughput (see `benches/`).
+//!
+//! ## Scale knobs (environment variables)
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `EMOLEAK_CLIPS` | 40 | clips per (speaker, emotion) cell per campaign |
+//! | `EMOLEAK_EPOCHS` | 25 | CNN training epochs |
+//! | `EMOLEAK_CNN_DIV` | 4 | CNN channel-width divisor (1 = paper-exact) |
+//! | `EMOLEAK_SKIP_CNN` | unset | skip the CNN rows entirely (quick runs) |
+//!
+//! The defaults complete on a single core in minutes; `EMOLEAK_CLIPS=200
+//! EMOLEAK_CNN_DIV=1` reproduces the full-scale campaign.
+
+use emoleak_core::prelude::*;
+use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
+
+/// Clips per (speaker, emotion) cell for this run (`EMOLEAK_CLIPS`).
+pub fn clips_per_cell() -> usize {
+    std::env::var("EMOLEAK_CLIPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(40)
+}
+
+/// Whether CNN rows should be skipped (`EMOLEAK_SKIP_CNN`).
+pub fn skip_cnn() -> bool {
+    std::env::var("EMOLEAK_SKIP_CNN").is_ok()
+}
+
+/// Runs one classifier on a harvested campaign under the standard protocol
+/// (80/20 holdout, as in the loudspeaker tables).
+pub fn classifier_accuracy(
+    harvest: &emoleak_core::HarvestResult,
+    kind: ClassifierKind,
+    seed: u64,
+) -> f64 {
+    evaluate_features(&harvest.features, kind, Protocol::Holdout8020, seed).accuracy
+}
+
+/// Builds a full table column (one accuracy per classifier) for a scenario.
+///
+/// The classifier set mirrors the paper's table (time–frequency features ×
+/// {Logistic, MultiClassClassifier, trees.LMT, CNN} for loudspeaker tables).
+pub fn loudspeaker_column(scenario: &AttackScenario, seed: u64) -> Vec<(String, f64)> {
+    let harvest = scenario.harvest();
+    let mut rows = Vec::new();
+    for kind in [
+        ClassifierKind::Logistic,
+        ClassifierKind::MultiClass,
+        ClassifierKind::Lmt,
+    ] {
+        rows.push((
+            kind.display_name().to_string(),
+            classifier_accuracy(&harvest, kind, seed),
+        ));
+    }
+    if skip_cnn() {
+        rows.push(("CNN".to_string(), f64::NAN));
+        rows.push(("Spectrogram CNN".to_string(), f64::NAN));
+    } else {
+        rows.push((
+            "CNN".to_string(),
+            classifier_accuracy(&harvest, ClassifierKind::Cnn, seed),
+        ));
+        let class_names = harvest.features.class_names().to_vec();
+        let (eval, _history) =
+            emoleak_core::evaluate_spectrograms(&harvest.spectrograms, &class_names, seed);
+        rows.push(("Spectrogram CNN".to_string(), eval.accuracy));
+    }
+    rows
+}
+
+/// Renders a banner line for experiment binaries.
+pub fn banner(title: &str, random_guess: f64) {
+    println!("\n{title}");
+    println!(
+        "(clips/cell = {}, CNN width divisor = {}, random guess = {:.2}%)",
+        clips_per_cell(),
+        emoleak_core::pipeline::cnn_width_divisor(),
+        random_guess * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emoleak_phone::DeviceProfile;
+    use emoleak_synth::CorpusSpec;
+
+    #[test]
+    fn classifier_accuracy_runs_on_tiny_campaign() {
+        let scenario = AttackScenario::table_top(
+            CorpusSpec::tess().with_clips_per_cell(4),
+            DeviceProfile::oneplus_7t(),
+        );
+        let harvest = scenario.harvest();
+        let acc = classifier_accuracy(&harvest, ClassifierKind::Logistic, 1);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn env_knob_defaults() {
+        // Not set in the test environment.
+        assert!(clips_per_cell() >= 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! # emoleak-core
+//!
+//! The end-to-end EmoLeak attack pipeline, tying every substrate together:
+//!
+//! ```text
+//! emoleak-synth ──clips──► emoleak-phone ──traces──► emoleak-features
+//!      (corpus)              (channel sim)             (regions + Table II
+//!                                                       features + images)
+//!                                 │
+//!                                 ▼
+//!                     emoleak-ml (Weka-style classifiers + CNNs)
+//! ```
+//!
+//! - [`scenario`] — what the attacker records: corpus × device × setting
+//!   (table-top loudspeaker vs handheld ear speaker) × Android policy.
+//! - [`pipeline`] — harvesting labeled features/spectrograms from simulated
+//!   recordings and evaluating any of the paper's five classifiers.
+//! - [`report`] — result-table rendering for the Table III–VII binaries.
+//! - [`mitigation`] — the defenses of §VI: the Android 200 Hz cap, the 1 Hz
+//!   high-pass ablation (Table I), and sensor damping/relocation.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use emoleak_core::prelude::*;
+//!
+//! let scenario = AttackScenario::table_top(CorpusSpec::tess().with_clips_per_cell(10),
+//!                                          DeviceProfile::oneplus_7t());
+//! let harvest = scenario.harvest();
+//! let eval = evaluate_features(&harvest.features, ClassifierKind::Logistic, Protocol::Holdout8020, 1);
+//! println!("accuracy {:.1}%", eval.accuracy * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mitigation;
+pub mod pipeline;
+pub mod report;
+pub mod scenario;
+
+pub use pipeline::{
+    evaluate_features, evaluate_spectrograms, ClassifierKind, HarvestResult, Protocol,
+};
+pub use scenario::{AttackScenario, Setting};
+
+/// Convenient re-exports for examples and benches.
+pub mod prelude {
+    pub use crate::pipeline::{
+        evaluate_features, evaluate_spectrograms, ClassifierKind, HarvestResult, Protocol,
+    };
+    pub use crate::report::ResultTable;
+    pub use crate::scenario::{AttackScenario, Setting};
+    pub use emoleak_features::FeatureDataset;
+    pub use emoleak_ml::eval::Evaluation;
+    pub use emoleak_phone::{DeviceProfile, SamplingPolicy};
+    pub use emoleak_synth::{CorpusSpec, Emotion};
+}

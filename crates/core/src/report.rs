@@ -1,0 +1,175 @@
+//! Result-table rendering for the Table III–VII reproduction binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple aligned text table: one row per (method, classifier), one
+/// accuracy column per device — the layout of Tables III–VI.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResultTable {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    notes: Vec<String>,
+}
+
+impl ResultTable {
+    /// Creates a table with the given title and accuracy-column headers.
+    pub fn new(title: &str, columns: Vec<String>) -> Self {
+        ResultTable { title: title.to_string(), columns, rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Appends a row of accuracies (fractions in `[0, 1]`; NaN renders
+    /// as `-`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the column count.
+    pub fn push_row(&mut self, label: &str, accuracies: Vec<f64>) {
+        assert_eq!(accuracies.len(), self.columns.len(), "column count mismatch");
+        self.rows.push((label.to_string(), accuracies));
+    }
+
+    /// Appends a footnote line.
+    pub fn push_note(&mut self, note: &str) {
+        self.notes.push(note.to_string());
+    }
+
+    /// The accuracy at (row, column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn accuracy(&self, row: usize, col: usize) -> f64 {
+        self.rows[row].1[col]
+    }
+
+    /// The best accuracy in the table, ignoring NaN.
+    pub fn best(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .filter(|v| v.is_finite())
+            .fold(f64::NAN, f64::max)
+    }
+
+    /// Renders as an aligned text table with percentages.
+    pub fn render(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once("Classifier".len()))
+            .max()
+            .unwrap_or(10)
+            + 2;
+        let col_w = self.columns.iter().map(|c| c.len()).max().unwrap_or(8).max(8) + 2;
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:<label_w$}", "Classifier"));
+        for c in &self.columns {
+            out.push_str(&format!("{c:>col_w$}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(label_w + col_w * self.columns.len()));
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(&format!("{label:<label_w$}"));
+            for v in vals {
+                if v.is_finite() {
+                    out.push_str(&format!("{:>col_w$}", format!("{:.2}%", v * 100.0)));
+                } else {
+                    out.push_str(&format!("{:>col_w$}", "-"));
+                }
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Serializes to CSV (fractions, not percentages).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("classifier");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(label);
+            for v in vals {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a Figure 7-style training-curve table (epoch, train/val loss,
+/// train/val accuracy) as aligned text.
+pub fn render_history(history: &emoleak_ml::nn::TrainingHistory) -> String {
+    let mut out = String::from("epoch  train_loss  val_loss  train_acc  val_acc\n");
+    for e in 0..history.epochs() {
+        out.push_str(&format!(
+            "{:>5}  {:>10.4}  {:>8.4}  {:>9.4}  {:>7.4}\n",
+            e + 1,
+            history.train_loss[e],
+            history.val_loss[e],
+            history.train_accuracy[e],
+            history.val_accuracy[e],
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_and_formats_percentages() {
+        let mut t = ResultTable::new("Test", vec!["OnePlus 7T".into(), "Pixel 5".into()]);
+        t.push_row("Logistic", vec![0.9452, 0.7393]);
+        t.push_row("CNN", vec![0.953, f64::NAN]);
+        t.push_note("random guess 14.28%");
+        let s = t.render();
+        assert!(s.contains("94.52%"));
+        assert!(s.contains("95.30%"));
+        assert!(s.contains('-'));
+        assert!(s.contains("note: random guess"));
+        assert!((t.best() - 0.953).abs() < 1e-12);
+        assert!((t.accuracy(0, 1) - 0.7393).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_width_is_enforced() {
+        let mut t = ResultTable::new("T", vec!["a".into()]);
+        t.push_row("x", vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = ResultTable::new("T", vec!["d1".into()]);
+        t.push_row("clf", vec![0.5]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next(), Some("classifier,d1"));
+        assert!(csv.contains("clf,0.5"));
+    }
+
+    #[test]
+    fn history_rendering() {
+        let h = emoleak_ml::nn::TrainingHistory {
+            train_loss: vec![1.0, 0.5],
+            train_accuracy: vec![0.3, 0.6],
+            val_loss: vec![1.1, 0.7],
+            val_accuracy: vec![0.25, 0.55],
+        };
+        let s = render_history(&h);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("0.5000"));
+    }
+}

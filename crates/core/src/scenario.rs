@@ -1,0 +1,146 @@
+//! Attack scenarios: what the malicious app records.
+
+use emoleak_features::regions::RegionDetector;
+use emoleak_phone::{DeviceProfile, Placement, SamplingPolicy, SpeakerKind};
+use emoleak_synth::CorpusSpec;
+use serde::{Deserialize, Serialize};
+
+/// The two recording settings evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Setting {
+    /// Phone on a wooden table, audio through the bottom loudspeaker at
+    /// maximum volume (Tables III–V).
+    TableTopLoudspeaker,
+    /// Phone held at the ear, audio through the top earpiece speaker at call
+    /// volume (Table VI).
+    HandheldEarSpeaker,
+}
+
+impl Setting {
+    /// The speaker used in this setting.
+    pub fn speaker_kind(self) -> SpeakerKind {
+        match self {
+            Setting::TableTopLoudspeaker => SpeakerKind::Loudspeaker,
+            Setting::HandheldEarSpeaker => SpeakerKind::EarSpeaker,
+        }
+    }
+
+    /// The phone placement in this setting.
+    pub fn placement(self) -> Placement {
+        match self {
+            Setting::TableTopLoudspeaker => Placement::TableTop,
+            Setting::HandheldEarSpeaker => Placement::Handheld,
+        }
+    }
+
+    /// The paper's region-detector preset for this setting (§III-B.2: the
+    /// handheld detector applies an 8 Hz high-pass for detection only).
+    pub fn region_detector(self) -> RegionDetector {
+        match self {
+            Setting::TableTopLoudspeaker => RegionDetector::table_top(),
+            Setting::HandheldEarSpeaker => RegionDetector::handheld(),
+        }
+    }
+}
+
+impl core::fmt::Display for Setting {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Setting::TableTopLoudspeaker => f.write_str("loudspeaker/table-top"),
+            Setting::HandheldEarSpeaker => f.write_str("ear-speaker/handheld"),
+        }
+    }
+}
+
+/// A complete attack configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackScenario {
+    /// The emotional-speech corpus being played back.
+    pub corpus: CorpusSpec,
+    /// The victim's phone.
+    pub device: DeviceProfile,
+    /// Loudspeaker/table-top or ear-speaker/handheld.
+    pub setting: Setting,
+    /// The Android sensor policy the malicious app operates under.
+    pub policy: SamplingPolicy,
+    /// Channel-noise seed (sensor noise, motion noise).
+    pub seed: u64,
+}
+
+impl AttackScenario {
+    /// The paper's main loudspeaker scenario.
+    pub fn table_top(corpus: CorpusSpec, device: DeviceProfile) -> Self {
+        AttackScenario {
+            corpus,
+            device,
+            setting: Setting::TableTopLoudspeaker,
+            policy: SamplingPolicy::Default,
+            seed: 0xE40,
+        }
+    }
+
+    /// The paper's ear-speaker scenario.
+    pub fn handheld(corpus: CorpusSpec, device: DeviceProfile) -> Self {
+        AttackScenario {
+            corpus,
+            device,
+            setting: Setting::HandheldEarSpeaker,
+            policy: SamplingPolicy::Default,
+            seed: 0xEA4,
+        }
+    }
+
+    /// Applies an Android sampling policy (the §VI-A cap experiment).
+    #[must_use]
+    pub fn with_policy(mut self, policy: SamplingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the channel-noise seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emoleak_phone::DeviceProfile;
+
+    #[test]
+    fn setting_maps_to_hardware() {
+        assert_eq!(Setting::TableTopLoudspeaker.speaker_kind(), SpeakerKind::Loudspeaker);
+        assert_eq!(Setting::HandheldEarSpeaker.speaker_kind(), SpeakerKind::EarSpeaker);
+        assert_eq!(Setting::TableTopLoudspeaker.placement(), Placement::TableTop);
+        assert_eq!(Setting::HandheldEarSpeaker.placement(), Placement::Handheld);
+    }
+
+    #[test]
+    fn detector_presets_follow_the_paper() {
+        assert_eq!(Setting::TableTopLoudspeaker.region_detector().highpass_hz, None);
+        assert_eq!(Setting::HandheldEarSpeaker.region_detector().highpass_hz, Some(8.0));
+    }
+
+    #[test]
+    fn builders_set_expected_fields() {
+        let s = AttackScenario::table_top(
+            CorpusSpec::tess().with_clips_per_cell(1),
+            DeviceProfile::pixel_5(),
+        )
+        .with_policy(SamplingPolicy::Capped200Hz)
+        .with_seed(9);
+        assert_eq!(s.setting, Setting::TableTopLoudspeaker);
+        assert_eq!(s.policy, SamplingPolicy::Capped200Hz);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.device.name(), "Pixel 5");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Setting::TableTopLoudspeaker.to_string(), "loudspeaker/table-top");
+        assert_eq!(Setting::HandheldEarSpeaker.to_string(), "ear-speaker/handheld");
+    }
+}

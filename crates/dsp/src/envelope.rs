@@ -1,0 +1,126 @@
+//! Amplitude envelopes used by speech-region detection.
+//!
+//! Speech regions in an accelerometer trace show as energy bursts
+//! (Figure 4c); the detector thresholds a short-window RMS envelope.
+
+/// Sliding-window RMS envelope: `out[i]` is the RMS of the window of
+/// `win` samples centered at `i` (clamped at the edges).
+///
+/// # Panics
+///
+/// Panics if `win` is zero.
+pub fn rms_envelope(x: &[f64], win: usize) -> Vec<f64> {
+    assert!(win > 0, "window must be positive");
+    if x.is_empty() {
+        return Vec::new();
+    }
+    // Prefix sums of squares for O(n) evaluation.
+    let mut prefix = Vec::with_capacity(x.len() + 1);
+    prefix.push(0.0);
+    for &v in x {
+        prefix.push(prefix.last().unwrap() + v * v);
+    }
+    let half = win / 2;
+    (0..x.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(x.len());
+            ((prefix[hi] - prefix[lo]) / (hi - lo) as f64).sqrt()
+        })
+        .collect()
+}
+
+/// Simple moving average with edge clamping.
+///
+/// # Panics
+///
+/// Panics if `win` is zero.
+pub fn moving_average(x: &[f64], win: usize) -> Vec<f64> {
+    assert!(win > 0, "window must be positive");
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let mut prefix = Vec::with_capacity(x.len() + 1);
+    prefix.push(0.0);
+    for &v in x {
+        prefix.push(prefix.last().unwrap() + v);
+    }
+    let half = win / 2;
+    (0..x.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(x.len());
+            (prefix[hi] - prefix[lo]) / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Peak (max-abs) envelope over a sliding window.
+///
+/// # Panics
+///
+/// Panics if `win` is zero.
+pub fn peak_envelope(x: &[f64], win: usize) -> Vec<f64> {
+    assert!(win > 0, "window must be positive");
+    let half = win / 2;
+    (0..x.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(x.len());
+            x[lo..hi].iter().fold(0.0f64, |a, &b| a.max(b.abs()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rms_envelope_of_constant_is_constant() {
+        let e = rms_envelope(&[2.0; 100], 9);
+        assert!(e.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rms_envelope_tracks_burst() {
+        let mut x = vec![0.0; 300];
+        for i in 100..200 {
+            x[i] = if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let e = rms_envelope(&x, 21);
+        assert!(e[150] > 0.9);
+        assert!(e[20] < 1e-12);
+        assert!(e[280] < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let x = [0.0, 10.0, 0.0, 10.0, 0.0];
+        let m = moving_average(&x, 5);
+        assert!((m[2] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_envelope_holds_maximum() {
+        let x = [0.0, -5.0, 0.0, 0.0, 0.0];
+        let p = peak_envelope(&x, 3);
+        assert_eq!(p[0], 5.0);
+        assert_eq!(p[1], 5.0);
+        assert_eq!(p[2], 5.0);
+        assert_eq!(p[3], 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty() {
+        assert!(rms_envelope(&[], 5).is_empty());
+        assert!(moving_average(&[], 5).is_empty());
+        assert!(peak_envelope(&[], 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        rms_envelope(&[1.0], 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! The EmoLeak pipeline needs spectra of accelerometer frames (a few hundred
+//! samples at 200–500 Hz) and of synthesized speech (tens of thousands of
+//! samples at 16 kHz). A precomputed-twiddle iterative radix-2 transform is
+//! simple, allocation-free per call, and fast enough for both.
+
+use crate::{Complex, DspError};
+
+/// A reusable FFT plan for a fixed power-of-two size.
+///
+/// Construction precomputes the bit-reversal permutation and twiddle factors;
+/// [`Fft::forward`] and [`Fft::inverse`] then run in `O(n log n)` without
+/// allocating.
+///
+/// # Example
+///
+/// ```
+/// use emoleak_dsp::{fft::Fft, Complex};
+/// let fft = Fft::new(4);
+/// let mut buf = vec![
+///     Complex::from_real(1.0),
+///     Complex::from_real(2.0),
+///     Complex::from_real(3.0),
+///     Complex::from_real(4.0),
+/// ];
+/// fft.forward(&mut buf);
+/// assert!((buf[0].re - 10.0).abs() < 1e-12); // DC bin = sum
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fft {
+    n: usize,
+    rev: Vec<usize>,
+    twiddles: Vec<Complex>, // forward twiddles, n/2 entries
+}
+
+impl Fft {
+    /// Creates a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two. Use [`Fft::try_new`] for a
+    /// fallible variant.
+    pub fn new(n: usize) -> Self {
+        Self::try_new(n).expect("fft size must be a nonzero power of two")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NonPowerOfTwo`] if `n` is zero or not a power of
+    /// two.
+    pub fn try_new(n: usize) -> Result<Self, DspError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(DspError::NonPowerOfTwo(n));
+        }
+        let bits = n.trailing_zeros();
+        let rev = (0..n)
+            .map(|i| i.reverse_bits() >> (usize::BITS - bits))
+            .collect();
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::from_polar_angle(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        Ok(Fft { n, rev, twiddles })
+    }
+
+    /// The transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the degenerate length-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false // a plan always has n >= 1
+    }
+
+    /// In-place forward DFT: `X[k] = Σ x[j]·e^{-2πi jk/n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan length.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.n, "buffer length must match plan length");
+        self.permute(buf);
+        self.butterflies(buf, false);
+    }
+
+    /// In-place inverse DFT, normalized by `1/n` so that
+    /// `inverse(forward(x)) == x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan length.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.n, "buffer length must match plan length");
+        self.permute(buf);
+        self.butterflies(buf, true);
+        let inv_n = 1.0 / self.n as f64;
+        for z in buf.iter_mut() {
+            *z = z.scale(inv_n);
+        }
+    }
+
+    /// Transforms a real signal, returning the `n/2 + 1` non-redundant bins.
+    ///
+    /// Input shorter than the plan length is zero-padded; longer input is an
+    /// error in the caller's logic and panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len() > self.len()`.
+    pub fn forward_real(&self, signal: &[f64]) -> Vec<Complex> {
+        assert!(
+            signal.len() <= self.n,
+            "real input ({}) longer than plan ({})",
+            signal.len(),
+            self.n
+        );
+        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+        buf.resize(self.n, Complex::ZERO);
+        self.forward(&mut buf);
+        buf.truncate(self.n / 2 + 1);
+        buf
+    }
+
+    /// Power spectrum (`|X[k]|²`) of a real signal over the non-redundant bins.
+    pub fn power_spectrum(&self, signal: &[f64]) -> Vec<f64> {
+        self.forward_real(signal)
+            .into_iter()
+            .map(|z| z.norm_sqr())
+            .collect()
+    }
+
+    fn permute(&self, buf: &mut [Complex]) {
+        for i in 0..self.n {
+            let j = self.rev[i];
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, buf: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        let mut len = 2;
+        while len <= n {
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let mut w = self.twiddles[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + len / 2] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + len / 2] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// Returns the smallest power of two that is `>= n`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(emoleak_dsp::fft::next_pow2(100), 128);
+/// assert_eq!(emoleak_dsp::fft::next_pow2(128), 128);
+/// ```
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Frequency in Hz corresponding to FFT bin `k` for a transform of length
+/// `n_fft` at sampling rate `fs`.
+#[inline]
+pub fn bin_frequency(k: usize, n_fft: usize, fs: f64) -> f64 {
+    k as f64 * fs / n_fft as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &xj) in x.iter().enumerate() {
+                    let w = Complex::from_polar_angle(
+                        -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64,
+                    );
+                    acc += xj * w;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(Fft::try_new(0), Err(DspError::NonPowerOfTwo(0)));
+        assert_eq!(Fft::try_new(12), Err(DspError::NonPowerOfTwo(12)));
+        assert!(Fft::try_new(16).is_ok());
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[2usize, 4, 8, 16, 64] {
+            let fft = Fft::new(n);
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let expected = naive_dft(&x);
+            let mut got = x.clone();
+            fft.forward(&mut got);
+            for (g, e) in got.iter().zip(&expected) {
+                assert!((g.re - e.re).abs() < 1e-9, "n={n}");
+                assert!((g.im - e.im).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let fft = Fft::new(256);
+        let x: Vec<Complex> = (0..256)
+            .map(|i| Complex::new((i as f64 * 0.11).sin(), (i as f64 * 0.05).cos()))
+            .collect();
+        let mut buf = x.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sine_wave_concentrates_in_one_bin() {
+        let n = 512;
+        let fft = Fft::new(n);
+        let k0 = 37;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let p = fft.power_spectrum(&x);
+        let peak = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+        // Energy everywhere else is negligible.
+        let total: f64 = p.iter().sum();
+        assert!(p[k0] / total > 0.999);
+    }
+
+    #[test]
+    fn real_input_zero_pads() {
+        let fft = Fft::new(8);
+        let spec = fft.forward_real(&[1.0, 1.0]);
+        assert_eq!(spec.len(), 5);
+        assert!((spec[0].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let n = 128;
+        let fft = Fft::new(n);
+        let x: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.013).sin()).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::from_real(v)).collect();
+        fft.forward(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn bin_frequency_maps_linearly() {
+        assert_eq!(bin_frequency(0, 256, 500.0), 0.0);
+        assert!((bin_frequency(128, 256, 500.0) - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn forward_panics_on_length_mismatch() {
+        let fft = Fft::new(8);
+        let mut buf = vec![Complex::ZERO; 4];
+        fft.forward(&mut buf);
+    }
+}

@@ -1,0 +1,184 @@
+//! Seeded noise sources shared by the speech synthesizer and the phone
+//! channel simulator.
+//!
+//! Everything in the reproduction is deterministic given a seed, so
+//! experiment tables are exactly re-runnable. Gaussian samples come from the
+//! Box–Muller transform (we avoid a `rand_distr` dependency); pink noise uses
+//! the Voss–McCartney averaging scheme and models the `1/f` character of
+//! hand/body movement in the handheld setting.
+
+use rand::Rng;
+
+/// A Box–Muller Gaussian sampler wrapping any [`rand::Rng`] state.
+///
+/// # Example
+///
+/// ```
+/// use emoleak_dsp::noise::Gaussian;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut g = Gaussian::new();
+/// let x = g.sample(&mut rng, 0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gaussian {
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates a sampler with no cached spare value.
+    pub fn new() -> Self {
+        Gaussian { spare: None }
+    }
+
+    /// Draws one `N(mean, std²)` sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std: f64) -> f64 {
+        let z = match self.spare.take() {
+            Some(z) => z,
+            None => {
+                // Box–Muller: two uniforms -> two independent normals.
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                self.spare = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + std * z
+    }
+
+    /// Fills `out` with independent `N(mean, std²)` samples.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64], mean: f64, std: f64) {
+        for v in out {
+            *v = self.sample(rng, mean, std);
+        }
+    }
+}
+
+/// Generates `n` samples of zero-mean white Gaussian noise with standard
+/// deviation `std`.
+pub fn white_noise<R: Rng + ?Sized>(rng: &mut R, n: usize, std: f64) -> Vec<f64> {
+    let mut g = Gaussian::new();
+    let mut out = vec![0.0; n];
+    g.fill(rng, &mut out, 0.0, std);
+    out
+}
+
+/// A Voss–McCartney pink-noise (`1/f`) generator.
+///
+/// Pink noise approximates the low-frequency drift spectrum of human hand
+/// and body movement, the dominant noise source in the paper's handheld
+/// ear-speaker setting (§III-B.2).
+#[derive(Debug, Clone)]
+pub struct PinkNoise {
+    rows: Vec<f64>,
+    counter: u64,
+    gaussian: Gaussian,
+}
+
+impl PinkNoise {
+    /// Creates a generator with `octaves` rows (more rows extend the `1/f`
+    /// region to lower frequencies; 16 covers any trace we produce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `octaves` is 0 or greater than 48.
+    pub fn new(octaves: usize) -> Self {
+        assert!(octaves > 0 && octaves <= 48, "octaves must be in 1..=48");
+        PinkNoise {
+            rows: vec![0.0; octaves],
+            counter: 0,
+            gaussian: Gaussian::new(),
+        }
+    }
+
+    /// Produces the next pink-noise sample (unit-ish variance before
+    /// scaling).
+    pub fn next_sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.counter = self.counter.wrapping_add(1);
+        // Update the row selected by the number of trailing zeros; row k
+        // updates every 2^k samples.
+        let k = (self.counter.trailing_zeros() as usize).min(self.rows.len() - 1);
+        self.rows[k] = self.gaussian.sample(rng, 0.0, 1.0);
+        let sum: f64 = self.rows.iter().sum();
+        sum / (self.rows.len() as f64).sqrt()
+    }
+
+    /// Generates `n` samples scaled by `std`.
+    pub fn generate<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize, std: f64) -> Vec<f64> {
+        (0..n).map(|_| std * self.next_sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gaussian_moments_are_correct() {
+        let mut r = rng(42);
+        let x = white_noise(&mut r, 100_000, 2.0);
+        assert!(stats::mean(&x).abs() < 0.05);
+        assert!((stats::std_dev(&x) - 2.0).abs() < 0.05);
+        let k = stats::kurtosis(&x);
+        assert!((k - 3.0).abs() < 0.15, "kurtosis {k}");
+    }
+
+    #[test]
+    fn gaussian_is_deterministic_for_seed() {
+        let mut a = rng(7);
+        let mut b = rng(7);
+        let xa = white_noise(&mut a, 100, 1.0);
+        let xb = white_noise(&mut b, 100, 1.0);
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = rng(7);
+        let mut b = rng(8);
+        assert_ne!(white_noise(&mut a, 16, 1.0), white_noise(&mut b, 16, 1.0));
+    }
+
+    #[test]
+    fn pink_noise_has_low_frequency_dominance() {
+        let mut r = rng(3);
+        let mut pink = PinkNoise::new(16);
+        let x = pink.generate(&mut r, 1 << 14, 1.0);
+        let fft = crate::Fft::new(1 << 14);
+        let p = fft.power_spectrum(&x);
+        // Compare energy in low band vs an equal-width high band.
+        let low: f64 = p[1..256].iter().sum();
+        let high: f64 = p[4096..4351].iter().sum();
+        assert!(
+            low > 5.0 * high,
+            "pink noise should be low-frequency dominated (low={low:.1}, high={high:.1})"
+        );
+    }
+
+    #[test]
+    fn white_noise_is_spectrally_flat() {
+        let mut r = rng(9);
+        let x = white_noise(&mut r, 1 << 14, 1.0);
+        let fft = crate::Fft::new(1 << 14);
+        let p = fft.power_spectrum(&x);
+        let low: f64 = p[1..2048].iter().sum();
+        let high: f64 = p[2048..4095].iter().sum();
+        let ratio = low / high;
+        assert!((0.8..1.25).contains(&ratio), "white ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "octaves")]
+    fn pink_rejects_zero_octaves() {
+        PinkNoise::new(0);
+    }
+}

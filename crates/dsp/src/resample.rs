@@ -1,0 +1,154 @@
+//! Sample-rate conversion.
+//!
+//! Two uses in the reproduction:
+//!
+//! 1. The accelerometer samples the continuous chassis vibration at a
+//!    device-specific rate (~400–500 Hz); we model that by decimating a
+//!    high-rate simulation.
+//! 2. Android 12's 200 Hz cap (§VI-A) is modeled by resampling recorded
+//!    traces down to 200 Hz.
+//!
+//! Decimation deliberately supports an *unfiltered* mode because sensor
+//! subsampling aliases — and that aliasing is part of the physical channel
+//! EmoLeak exploits (speech energy above Nyquist folds into the accelerometer
+//! band).
+
+use crate::filter::{ButterworthDesign, FilterKind};
+use crate::DspError;
+
+/// Decimates `x` by integer factor `m`, keeping every m-th sample with **no**
+/// anti-alias filter (models raw sensor subsampling where out-of-band energy
+/// folds in).
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn decimate_aliasing(x: &[f64], m: usize) -> Vec<f64> {
+    assert!(m > 0, "decimation factor must be positive");
+    x.iter().step_by(m).copied().collect()
+}
+
+/// Decimates by integer factor `m` after an 8th-order Butterworth anti-alias
+/// low-pass at 80 % of the output Nyquist.
+///
+/// # Errors
+///
+/// Returns an error if `m` is zero (as `InvalidParameter`) or the implied
+/// cutoff is invalid.
+pub fn decimate_filtered(x: &[f64], m: usize, fs_in: f64) -> Result<Vec<f64>, DspError> {
+    if m == 0 {
+        return Err(DspError::InvalidParameter("decimation factor must be positive".into()));
+    }
+    if m == 1 {
+        return Ok(x.to_vec());
+    }
+    let cutoff = 0.8 * (fs_in / (2.0 * m as f64));
+    let lp = ButterworthDesign::new(FilterKind::LowPass, 8, cutoff, fs_in)?.build();
+    let filtered = lp.process(x);
+    Ok(decimate_aliasing(&filtered, m))
+}
+
+/// Linear-interpolation resampling from `fs_in` to `fs_out` Hz (arbitrary
+/// ratio). Used for the Android 200 Hz cap where the ratio is non-integer.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if either rate is non-positive, and
+/// [`DspError::EmptyInput`] if `x` is empty.
+pub fn resample_linear(x: &[f64], fs_in: f64, fs_out: f64) -> Result<Vec<f64>, DspError> {
+    if !(fs_in > 0.0) || !(fs_out > 0.0) {
+        return Err(DspError::InvalidParameter(format!(
+            "sampling rates must be positive (got {fs_in} -> {fs_out})"
+        )));
+    }
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let duration = (x.len() - 1) as f64 / fs_in;
+    let n_out = (duration * fs_out).floor() as usize + 1;
+    let out = (0..n_out)
+        .map(|i| {
+            let t = i as f64 / fs_out;
+            let pos = t * fs_in;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(x.len() - 1);
+            let w = pos - lo as f64;
+            x[lo] * (1.0 - w) + x[hi] * w
+        })
+        .collect();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn decimate_keeps_every_mth() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(decimate_aliasing(&x, 3), vec![0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn aliasing_folds_high_frequency() {
+        // 180 Hz tone sampled at 400 Hz then decimated by 2 (fs=200, Nyquist
+        // 100) aliases to 200-180=20 Hz.
+        let fs = 400.0;
+        let x = tone(180.0, fs, 10000);
+        let y = decimate_aliasing(&x, 2);
+        let fft = crate::Fft::new(4096);
+        let p = fft.power_spectrum(&y[..4096]);
+        let peak = p.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let freq = peak as f64 * 200.0 / 4096.0;
+        assert!((freq - 20.0).abs() < 1.0, "aliased peak at {freq} Hz");
+    }
+
+    #[test]
+    fn filtered_decimation_suppresses_fold_in() {
+        let fs = 400.0;
+        let x = tone(180.0, fs, 16000);
+        let y = decimate_filtered(&x, 2, fs).unwrap();
+        let tail = &y[y.len() - 4096..];
+        let energy: f64 = tail.iter().map(|v| v * v).sum::<f64>() / tail.len() as f64;
+        assert!(energy < 1e-4, "leakage energy {energy}");
+    }
+
+    #[test]
+    fn linear_resample_preserves_low_frequency_tone() {
+        let fs_in = 420.0;
+        let fs_out = 200.0;
+        let x = tone(15.0, fs_in, 4200);
+        let y = resample_linear(&x, fs_in, fs_out).unwrap();
+        // Expected length ~ duration * fs_out.
+        let expected = ((x.len() - 1) as f64 / fs_in * fs_out) as usize + 1;
+        assert_eq!(y.len(), expected);
+        let fft = crate::Fft::new(1024);
+        let p = fft.power_spectrum(&y[..1024]);
+        let peak = p.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let freq = peak as f64 * fs_out / 1024.0;
+        assert!((freq - 15.0).abs() < 0.5, "peak at {freq}");
+    }
+
+    #[test]
+    fn resample_identity_ratio() {
+        let x = tone(10.0, 100.0, 500);
+        let y = resample_linear(&x, 100.0, 100.0).unwrap();
+        assert_eq!(y.len(), x.len());
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        assert!(resample_linear(&[], 100.0, 50.0).is_err());
+        assert!(resample_linear(&[1.0], -1.0, 50.0).is_err());
+        assert!(decimate_filtered(&[1.0, 2.0], 0, 100.0).is_err());
+    }
+}

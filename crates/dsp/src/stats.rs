@@ -1,0 +1,284 @@
+//! Descriptive statistics used by the Table II time-domain features.
+//!
+//! All functions operate on `&[f64]` and are defined to return `f64::NAN` on
+//! empty input (the feature pipeline then removes NaN rows, exactly as the
+//! paper's preprocessing does in §IV-D.1).
+
+/// Arithmetic mean; NaN on empty input.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Minimum value; NaN on empty input.
+pub fn min(x: &[f64]) -> f64 {
+    x.iter().copied().fold(f64::NAN, |a, b| if a.is_nan() || b < a { b } else { a })
+}
+
+/// Maximum value; NaN on empty input.
+pub fn max(x: &[f64]) -> f64 {
+    x.iter().copied().fold(f64::NAN, |a, b| if a.is_nan() || b > a { b } else { a })
+}
+
+/// Population variance; NaN on empty input.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation; NaN on empty input.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Range (max − min); NaN on empty input.
+pub fn range(x: &[f64]) -> f64 {
+    max(x) - min(x)
+}
+
+/// Coefficient of variation, `σ/|μ|`. NaN on empty input; infinite when the
+/// mean is zero (removed later as invalid, like the paper's NaN cleaning).
+pub fn coefficient_of_variation(x: &[f64]) -> f64 {
+    std_dev(x) / mean(x).abs()
+}
+
+/// Sample skewness (third standardized moment, population form). Zero for
+/// perfectly symmetric data; NaN on empty or constant input.
+pub fn skewness(x: &[f64]) -> f64 {
+    let m = mean(x);
+    let s = std_dev(x);
+    if x.is_empty() || s == 0.0 {
+        return f64::NAN;
+    }
+    x.iter().map(|v| ((v - m) / s).powi(3)).sum::<f64>() / x.len() as f64
+}
+
+/// Excess-free kurtosis (fourth standardized moment; 3.0 for a Gaussian).
+/// NaN on empty or constant input.
+pub fn kurtosis(x: &[f64]) -> f64 {
+    let m = mean(x);
+    let s = std_dev(x);
+    if x.is_empty() || s == 0.0 {
+        return f64::NAN;
+    }
+    x.iter().map(|v| ((v - m) / s).powi(4)).sum::<f64>() / x.len() as f64
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]`; NaN on empty input.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(x: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = x.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let w = pos - lo as f64;
+    sorted[lo] * (1.0 - w) + sorted[hi] * w
+}
+
+/// Median (50th percentile).
+pub fn median(x: &[f64]) -> f64 {
+    quantile(x, 0.5)
+}
+
+/// Rate of crossings of the signal's own mean, in crossings per sample
+/// (`MeanCrossingRate` of Table II). NaN on input shorter than 2.
+pub fn mean_crossing_rate(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(x);
+    let crossings = x
+        .windows(2)
+        .filter(|w| (w[0] - m) * (w[1] - m) < 0.0)
+        .count();
+    crossings as f64 / (x.len() - 1) as f64
+}
+
+/// Zero-crossing rate in crossings per sample. NaN on input shorter than 2.
+pub fn zero_crossing_rate(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return f64::NAN;
+    }
+    let crossings = x.windows(2).filter(|w| w[0] * w[1] < 0.0).count();
+    crossings as f64 / (x.len() - 1) as f64
+}
+
+/// Root-mean-square amplitude; NaN on empty input.
+pub fn rms(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return f64::NAN;
+    }
+    (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// Total energy `Σ x²`; zero on empty input.
+pub fn energy(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Shannon entropy (nats) of a non-negative distribution after normalization.
+/// Returns NaN if the distribution sums to zero or is empty.
+pub fn shannon_entropy(p: &[f64]) -> f64 {
+    let total: f64 = p.iter().filter(|v| v.is_finite() && **v > 0.0).sum();
+    if p.is_empty() || total <= 0.0 {
+        return f64::NAN;
+    }
+    -p.iter()
+        .filter(|v| v.is_finite() && **v > 0.0)
+        .map(|&v| {
+            let q = v / total;
+            q * q.ln()
+        })
+        .sum::<f64>()
+}
+
+/// Pearson correlation between two equal-length slices; NaN if either is
+/// constant or empty.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson requires equal lengths");
+    let n = x.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for i in 0..n {
+        let a = x[i] - mx;
+        let b = y[i] - my;
+        num += a * b;
+        dx += a * a;
+        dy += b * b;
+    }
+    num / (dx.sqrt() * dy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn empty_inputs_are_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(min(&[]).is_nan());
+        assert!(max(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+        assert!(quantile(&[], 0.5).is_nan());
+        assert!(mean_crossing_rate(&[1.0]).is_nan());
+        assert!(rms(&[]).is_nan());
+        assert!(shannon_entropy(&[]).is_nan());
+    }
+
+    #[test]
+    fn basic_moments() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&x) - 2.5).abs() < EPS);
+        assert!((variance(&x) - 1.25).abs() < EPS);
+        assert!((std_dev(&x) - 1.25f64.sqrt()).abs() < EPS);
+        assert!((range(&x) - 3.0).abs() < EPS);
+        assert!((coefficient_of_variation(&x) - 1.25f64.sqrt() / 2.5).abs() < EPS);
+    }
+
+    #[test]
+    fn symmetric_data_has_zero_skew() {
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&x).abs() < EPS);
+    }
+
+    #[test]
+    fn right_tail_gives_positive_skew() {
+        let x = [0.0, 0.0, 0.0, 0.0, 10.0];
+        assert!(skewness(&x) > 1.0);
+    }
+
+    #[test]
+    fn gaussian_kurtosis_near_three() {
+        // Deterministic pseudo-Gaussian via CLT of a fixed LCG.
+        let mut state = 12345u64;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+        };
+        let x: Vec<f64> = (0..20000)
+            .map(|_| (0..12).map(|_| lcg()).sum::<f64>() / 2.0)
+            .collect();
+        let k = kurtosis(&x);
+        assert!((k - 3.0).abs() < 0.2, "kurtosis {k}");
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&x, 0.0) - 1.0).abs() < EPS);
+        assert!((quantile(&x, 1.0) - 4.0).abs() < EPS);
+        assert!((median(&x) - 2.5).abs() < EPS);
+        assert!((quantile(&x, 0.25) - 1.75).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_rejects_out_of_range() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn crossing_rates() {
+        // Alternating signal crosses its mean (0) at every step.
+        let x = [1.0, -1.0, 1.0, -1.0, 1.0];
+        assert!((mean_crossing_rate(&x) - 1.0).abs() < EPS);
+        assert!((zero_crossing_rate(&x) - 1.0).abs() < EPS);
+        // Constant signal never crosses.
+        let c = [2.0; 10];
+        assert_eq!(mean_crossing_rate(&c), 0.0);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        // Uniform distribution has maximal entropy ln(n).
+        let u = [0.25; 4];
+        assert!((shannon_entropy(&u) - 4.0f64.ln()).abs() < EPS);
+        // Point mass has zero entropy.
+        let p = [1.0, 0.0, 0.0];
+        assert!(shannon_entropy(&p).abs() < EPS);
+        // All-zero distribution is invalid.
+        assert!(shannon_entropy(&[0.0, 0.0]).is_nan());
+    }
+
+    #[test]
+    fn pearson_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < EPS);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < EPS);
+        assert!(pearson(&x, &[1.0, 1.0, 1.0, 1.0]).is_nan());
+    }
+
+    #[test]
+    fn energy_and_rms_relate() {
+        let x = [3.0, 4.0];
+        assert!((energy(&x) - 25.0).abs() < EPS);
+        assert!((rms(&x) - (12.5f64).sqrt()).abs() < EPS);
+    }
+}

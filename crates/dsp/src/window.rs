@@ -1,0 +1,171 @@
+//! Analysis windows for the STFT.
+//!
+//! The paper's MATLAB spectrogram tool uses Hamming windows by default; we
+//! provide the common families so spectrogram shape can be studied as an
+//! ablation.
+
+use serde::{Deserialize, Serialize};
+
+/// An analysis window family.
+///
+/// # Example
+///
+/// ```
+/// use emoleak_dsp::Window;
+/// let hann = Window::Hann.coefficients(16);
+/// assert!(hann[0] < 1e-12);              // Hann tapers to zero
+/// assert!((hann[8] - 1.0).abs() < 0.05); // ...and peaks near the middle
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Window {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Hann window, `0.5 − 0.5·cos(2πn/(N−1))`.
+    Hann,
+    /// Hamming window, `0.54 − 0.46·cos(2πn/(N−1))` — MATLAB's default.
+    #[default]
+    Hamming,
+    /// Blackman window (three-term).
+    Blackman,
+}
+
+impl Window {
+    /// Generates the window coefficients for length `n`.
+    ///
+    /// Length 0 yields an empty vector; length 1 yields `[1.0]` for every
+    /// family (the symmetric-window convention).
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let denom = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = 2.0 * std::f64::consts::PI * i as f64 / denom;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * x.cos(),
+                    Window::Hamming => 0.54 - 0.46 * x.cos(),
+                    Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+                }
+            })
+            .collect()
+    }
+
+    /// Applies the window to `frame` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != frame.len()` when using
+    /// [`Window::apply_with`]; this convenience method computes matching
+    /// coefficients itself and cannot panic.
+    pub fn apply(self, frame: &mut [f64]) {
+        let coeffs = self.coefficients(frame.len());
+        Self::apply_with(&coeffs, frame);
+    }
+
+    /// Applies precomputed `coeffs` to `frame` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn apply_with(coeffs: &[f64], frame: &mut [f64]) {
+        assert_eq!(coeffs.len(), frame.len(), "window/frame length mismatch");
+        for (x, w) in frame.iter_mut().zip(coeffs) {
+            *x *= w;
+        }
+    }
+
+    /// The coherent gain (mean of the coefficients), used to normalize
+    /// spectrogram magnitudes across window families.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let c = self.coefficients(n);
+        if c.is_empty() {
+            return 0.0;
+        }
+        c.iter().sum::<f64>() / c.len() as f64
+    }
+}
+
+impl core::fmt::Display for Window {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Window::Rectangular => "rectangular",
+            Window::Hann => "hann",
+            Window::Hamming => "hamming",
+            Window::Blackman => "blackman",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(9)
+            .iter()
+            .all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let c = w.coefficients(33);
+            for i in 0..c.len() {
+                assert!((c[i] - c[c.len() - 1 - i]).abs() < 1e-12, "{w} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_hamming_are_not() {
+        let hann = Window::Hann.coefficients(32);
+        let hamming = Window::Hamming.coefficients(32);
+        assert!(hann[0].abs() < 1e-12);
+        assert!((hamming[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Blackman.coefficients(1), vec![1.0]);
+    }
+
+    #[test]
+    fn apply_multiplies_elementwise() {
+        let mut frame = vec![2.0; 8];
+        Window::Hann.apply(&mut frame);
+        let c = Window::Hann.coefficients(8);
+        for (f, w) in frame.iter().zip(&c) {
+            assert!((f - 2.0 * w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coherent_gain_is_mean() {
+        let g = Window::Rectangular.coherent_gain(10);
+        assert!((g - 1.0).abs() < 1e-12);
+        let g = Window::Hann.coherent_gain(4096);
+        assert!((g - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn peak_is_at_center() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let c = w.coefficients(65);
+            let (argmax, _) = c
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap();
+            assert_eq!(argmax, 32, "{w}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! ARFF export — the Weka input format the paper's analysis uses
+//! (§IV-D.1: *"prepare the input file with a (.arff) extension for Weka"*).
+//!
+//! A [`crate::FeatureDataset`] serializes to an ARFF document with one
+//! numeric attribute per feature and a nominal class attribute, so the
+//! harvested vibration features can be fed to an actual Weka installation
+//! for cross-validation against our from-scratch classifiers.
+
+use crate::dataset::FeatureDataset;
+
+/// Serializes a dataset as an ARFF document.
+///
+/// NaN/infinite entries are written as `?` (ARFF missing values) — Weka's
+/// preprocessing then drops or imputes them, mirroring the paper's
+/// invalid-entry cleaning.
+pub fn to_arff(dataset: &FeatureDataset, relation: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("@RELATION {}\n\n", sanitize(relation)));
+    for name in dataset.feature_names() {
+        out.push_str(&format!("@ATTRIBUTE {} NUMERIC\n", sanitize(name)));
+    }
+    let classes: Vec<String> = dataset
+        .class_names()
+        .iter()
+        .map(|c| sanitize(c))
+        .collect();
+    out.push_str(&format!("@ATTRIBUTE class {{{}}}\n\n@DATA\n", classes.join(",")));
+    for (row, &label) in dataset.features().iter().zip(dataset.labels()) {
+        for v in row {
+            if v.is_finite() {
+                out.push_str(&format!("{v},"));
+            } else {
+                out.push_str("?,");
+            }
+        }
+        out.push_str(&classes[label]);
+        out.push('\n');
+    }
+    out
+}
+
+/// Replaces ARFF-hostile characters (spaces, quotes, commas) in identifiers.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> FeatureDataset {
+        let mut d = FeatureDataset::new(
+            vec!["Mean".into(), "Spec Centroid".into()],
+            vec!["anger".into(), "sad".into()],
+        );
+        d.push(vec![1.5, 200.0], 0);
+        d.push(vec![f64::NAN, 80.0], 1);
+        d
+    }
+
+    #[test]
+    fn header_declares_schema() {
+        let arff = to_arff(&toy(), "emoleak features");
+        assert!(arff.starts_with("@RELATION emoleak_features\n"));
+        assert!(arff.contains("@ATTRIBUTE Mean NUMERIC"));
+        assert!(arff.contains("@ATTRIBUTE Spec_Centroid NUMERIC"));
+        assert!(arff.contains("@ATTRIBUTE class {anger,sad}"));
+    }
+
+    #[test]
+    fn data_rows_follow_schema() {
+        let arff = to_arff(&toy(), "r");
+        let data: Vec<&str> = arff.lines().skip_while(|l| *l != "@DATA").skip(1).collect();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data[0], "1.5,200,anger");
+        assert_eq!(data[1], "?,80,sad");
+    }
+
+    #[test]
+    fn sanitize_keeps_safe_characters() {
+        assert_eq!(sanitize("Quantile25"), "Quantile25");
+        assert_eq!(sanitize("a b,c\"d"), "a_b_c_d");
+    }
+}

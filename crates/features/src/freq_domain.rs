@@ -1,0 +1,289 @@
+//! The twelve frequency-domain features of Table II.
+//!
+//! Energy, Entropy, Frequency Ratio, Irregularity K, Irregularity J,
+//! Sharpness, Smoothness, SpecCentroid, SpecStdDev, SpecCrest,
+//! SpecSkewness, SpecKurt — computed on the magnitude spectrum of one
+//! detected speech region (unfiltered, per §IV-B).
+
+use emoleak_dsp::{fft::next_pow2, stats, Fft, Window};
+
+/// Feature names in extraction order.
+pub const FEATURE_NAMES: [&str; 12] = [
+    "Energy",
+    "Entropy",
+    "FrequencyRatio",
+    "IrregularityK",
+    "IrregularityJ",
+    "Sharpness",
+    "Smoothness",
+    "SpecCentroid",
+    "SpecStdDev",
+    "SpecCrest",
+    "SpecSkewness",
+    "SpecKurt",
+];
+
+/// Extracts the 12 frequency-domain features from one region at sample rate
+/// `fs`. Regions shorter than 8 samples yield all-NaN vectors (cleaned
+/// later, like the paper's invalid-entry removal).
+pub fn extract(region: &[f64], fs: f64) -> [f64; 12] {
+    if region.len() < 8 {
+        return [f64::NAN; 12];
+    }
+    let n_fft = next_pow2(region.len()).min(1 << 15);
+    let fft = Fft::new(n_fft);
+    let mut frame = region[..region.len().min(n_fft)].to_vec();
+    Window::Hamming.apply(&mut frame);
+    let spectrum = fft.forward_real(&frame);
+    // Skip the DC bin for shape statistics; keep it for energy.
+    let mags: Vec<f64> = spectrum.iter().map(|z| z.abs()).collect();
+    let power: Vec<f64> = spectrum.iter().map(|z| z.norm_sqr()).collect();
+    let freqs: Vec<f64> = (0..mags.len()).map(|k| k as f64 * fs / n_fft as f64).collect();
+
+    let energy: f64 = power.iter().sum();
+    let entropy = stats::shannon_entropy(&power[1..]);
+    let frequency_ratio = frequency_ratio(&power, &freqs, fs);
+    let irregularity_k = irregularity_k(&mags[1..]);
+    let irregularity_j = irregularity_j(&mags[1..]);
+    let sharpness = sharpness(&mags[1..], &freqs[1..], fs);
+    let smoothness = smoothness(&mags[1..]);
+    let (centroid, spread, skew, kurt) = spectral_moments(&mags[1..], &freqs[1..]);
+    let crest = spectral_crest(&mags[1..]);
+
+    [
+        energy,
+        entropy,
+        frequency_ratio,
+        irregularity_k,
+        irregularity_j,
+        sharpness,
+        smoothness,
+        centroid,
+        spread,
+        crest,
+        skew,
+        kurt,
+    ]
+}
+
+/// Energy above the band split (fs/8) divided by energy below it — a
+/// coarse high/low balance sensitive to spectral tilt.
+fn frequency_ratio(power: &[f64], freqs: &[f64], fs: f64) -> f64 {
+    let split = fs / 8.0;
+    let mut low = 0.0;
+    let mut high = 0.0;
+    for (p, f) in power.iter().zip(freqs) {
+        if *f <= split {
+            low += p;
+        } else {
+            high += p;
+        }
+    }
+    if low <= 0.0 {
+        f64::NAN
+    } else {
+        high / low
+    }
+}
+
+/// Krimphoff irregularity: cumulative deviation of each partial from the
+/// local three-point mean.
+fn irregularity_k(mags: &[f64]) -> f64 {
+    if mags.len() < 3 {
+        return f64::NAN;
+    }
+    mags.windows(3)
+        .map(|w| (w[1] - (w[0] + w[1] + w[2]) / 3.0).abs())
+        .sum()
+}
+
+/// Jensen irregularity: squared successive differences normalized by total
+/// squared magnitude.
+fn irregularity_j(mags: &[f64]) -> f64 {
+    let denom: f64 = mags.iter().map(|a| a * a).sum();
+    if denom <= 0.0 || mags.len() < 2 {
+        return f64::NAN;
+    }
+    let num: f64 = mags.windows(2).map(|w| (w[0] - w[1]) * (w[0] - w[1])).sum();
+    num / denom
+}
+
+/// Acoustic sharpness: loudness-weighted centroid with a high-frequency
+/// emphasis weight (Zwicker-style, simplified to a quadratic weight above
+/// a fifth of Nyquist).
+fn sharpness(mags: &[f64], freqs: &[f64], fs: f64) -> f64 {
+    let total: f64 = mags.iter().sum();
+    if total <= 0.0 {
+        return f64::NAN;
+    }
+    let knee = fs / 10.0;
+    let weighted: f64 = mags
+        .iter()
+        .zip(freqs)
+        .map(|(m, f)| {
+            let w = if *f > knee { 1.0 + ((f - knee) / knee).powi(2) * 0.1 } else { 1.0 };
+            m * f * w
+        })
+        .sum();
+    weighted / total
+}
+
+/// Spectral smoothness (McAdams): cumulative dB deviation of each partial
+/// from its three-point neighbourhood mean. Lower = smoother spectrum.
+fn smoothness(mags: &[f64]) -> f64 {
+    if mags.len() < 3 {
+        return f64::NAN;
+    }
+    let db: Vec<f64> = mags.iter().map(|m| 20.0 * m.max(1e-12).log10()).collect();
+    db.windows(3)
+        .map(|w| (w[1] - (w[0] + w[1] + w[2]) / 3.0).abs())
+        .sum()
+}
+
+/// Magnitude-weighted spectral centroid, spread, skewness and kurtosis.
+fn spectral_moments(mags: &[f64], freqs: &[f64]) -> (f64, f64, f64, f64) {
+    let total: f64 = mags.iter().sum();
+    if total <= 0.0 {
+        return (f64::NAN, f64::NAN, f64::NAN, f64::NAN);
+    }
+    let centroid: f64 = mags.iter().zip(freqs).map(|(m, f)| m * f).sum::<f64>() / total;
+    let var: f64 = mags
+        .iter()
+        .zip(freqs)
+        .map(|(m, f)| m * (f - centroid) * (f - centroid))
+        .sum::<f64>()
+        / total;
+    let spread = var.sqrt();
+    if spread <= 0.0 {
+        return (centroid, 0.0, f64::NAN, f64::NAN);
+    }
+    let skew: f64 = mags
+        .iter()
+        .zip(freqs)
+        .map(|(m, f)| m * ((f - centroid) / spread).powi(3))
+        .sum::<f64>()
+        / total;
+    let kurt: f64 = mags
+        .iter()
+        .zip(freqs)
+        .map(|(m, f)| m * ((f - centroid) / spread).powi(4))
+        .sum::<f64>()
+        / total;
+    (centroid, spread, skew, kurt)
+}
+
+/// Spectral crest factor: peak magnitude over mean magnitude (tonality).
+fn spectral_crest(mags: &[f64]) -> f64 {
+    let mean = stats::mean(mags);
+    if !(mean > 0.0) {
+        return f64::NAN;
+    }
+    stats::max(mags) / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn noise(n: usize) -> Vec<f64> {
+        let mut state: u64 = 0x853C49E6748FEA9B;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 30) as f64 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn names_match_feature_count() {
+        assert_eq!(FEATURE_NAMES.len(), extract(&[0.0; 64], 420.0).len());
+    }
+
+    #[test]
+    fn short_region_is_nan() {
+        assert!(extract(&[1.0; 4], 420.0).iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn centroid_tracks_tone_frequency() {
+        let fs = 420.0;
+        let low = extract(&tone(40.0, fs, 512), fs);
+        let high = extract(&tone(150.0, fs, 512), fs);
+        let centroid = 7;
+        assert!(
+            high[centroid] > low[centroid] + 50.0,
+            "centroid {} vs {}",
+            high[centroid],
+            low[centroid]
+        );
+    }
+
+    #[test]
+    fn tone_has_higher_crest_and_lower_entropy_than_noise() {
+        let fs = 420.0;
+        let t = extract(&tone(100.0, fs, 1024), fs);
+        let n = extract(&noise(1024), fs);
+        let entropy = 1;
+        let crest = 9;
+        assert!(t[crest] > 3.0 * n[crest]);
+        assert!(t[entropy] < n[entropy]);
+    }
+
+    #[test]
+    fn energy_scales_quadratically() {
+        let fs = 420.0;
+        let x = tone(100.0, fs, 512);
+        let x2: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let e1 = extract(&x, fs)[0];
+        let e2 = extract(&x2, fs)[0];
+        assert!((e2 / e1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_ratio_reflects_tilt() {
+        let fs = 420.0;
+        // Energy concentrated low vs high.
+        let low = extract(&tone(20.0, fs, 1024), fs);
+        let high = extract(&tone(180.0, fs, 1024), fs);
+        assert!(high[2] > 10.0 * low[2], "ratio {} vs {}", high[2], low[2]);
+    }
+
+    #[test]
+    fn noise_spectrum_is_less_smooth_than_tone() {
+        // Smoothness (index 6) is a dB-domain roughness sum: the windowed
+        // tone's spectrum is a smooth mainlobe + smooth leakage skirt, while
+        // noise fluctuates several dB bin-to-bin.
+        let fs = 420.0;
+        let t = extract(&tone(100.0, fs, 1024), fs);
+        let n = extract(&noise(1024), fs);
+        let smoothness = 6;
+        assert!(
+            n[smoothness] > 1.5 * t[smoothness],
+            "noise {} vs tone {}",
+            n[smoothness],
+            t[smoothness]
+        );
+    }
+
+    #[test]
+    fn all_features_finite_on_realistic_region() {
+        // A noisy tone burst, like an accel speech region.
+        let fs = 420.0;
+        let x: Vec<f64> = tone(110.0, fs, 700)
+            .iter()
+            .zip(noise(700))
+            .map(|(t, n)| t * 0.02 + n * 0.002 + 0.005)
+            .collect();
+        let f = extract(&x, fs);
+        assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+    }
+}

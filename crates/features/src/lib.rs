@@ -1,0 +1,62 @@
+//! # emoleak-features
+//!
+//! The analysis front half of the EmoLeak attack: everything between a raw
+//! accelerometer trace and a classifier input.
+//!
+//! - [`regions`] — automatic speech-region detection (§III-B.2): energy
+//!   spikes in the trace mark played speech; the handheld preset applies the
+//!   paper's 8 Hz high-pass *for detection only*.
+//! - [`time_domain`] / [`freq_domain`] — the 24 features of Table II.
+//! - [`spectrogram`] — labeled 32×32 spectrogram images for the CNN image
+//!   classifier (§IV-C).
+//! - [`info_gain`] — information-gain analysis (Table I ablation).
+//! - [`dataset`] — labeled feature datasets: NaN cleaning, z-score
+//!   normalization, stratified 80/20 splits and 10-fold CV (§IV-D).
+//!
+//! # Example
+//!
+//! ```
+//! use emoleak_features::regions::RegionDetector;
+//!
+//! // A trace with a burst in the middle.
+//! let mut trace = vec![0.001; 2000];
+//! for i in 800..1200 {
+//!     trace[i] = if i % 2 == 0 { 0.2 } else { -0.2 };
+//! }
+//! let detector = RegionDetector::table_top();
+//! let regions = detector.detect(&trace, 420.0);
+//! assert_eq!(regions.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arff;
+pub mod dataset;
+pub mod freq_domain;
+pub mod info_gain;
+pub mod regions;
+pub mod spectrogram;
+pub mod time_domain;
+
+pub use dataset::FeatureDataset;
+pub use regions::RegionDetector;
+pub use spectrogram::LabeledSpectrogram;
+
+/// Names of all 24 Table II features, time-domain first.
+pub fn all_feature_names() -> Vec<String> {
+    time_domain::FEATURE_NAMES
+        .iter()
+        .chain(freq_domain::FEATURE_NAMES.iter())
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Extracts the full 24-dimensional Table II feature vector from one speech
+/// region sampled at `fs`.
+pub fn extract_all(region: &[f64], fs: f64) -> Vec<f64> {
+    let mut v = Vec::with_capacity(24);
+    v.extend_from_slice(&time_domain::extract(region));
+    v.extend_from_slice(&freq_domain::extract(region, fs));
+    v
+}

@@ -1,0 +1,263 @@
+//! Automatic speech-region detection (§III-B.2 and §IV-A.2).
+//!
+//! A played utterance shows up as an energy spike in the accelerometer
+//! trace. In the table-top/loudspeaker setting the spike is far above the
+//! noise floor and no filtering is needed (Figure 4c). In the handheld
+//! ear-speaker setting, low-frequency hand/body motion swamps the trace;
+//! the paper applies an 8 Hz high-pass **only to detect regions** (Figure
+//! 4b) and extracts features from the unfiltered data.
+
+use emoleak_dsp::envelope::rms_envelope;
+use emoleak_dsp::filter::{ButterworthDesign, FilterKind};
+use emoleak_dsp::stats;
+use serde::{Deserialize, Serialize};
+
+/// A detected speech region in samples: `[start, end)`.
+pub type Region = (usize, usize);
+
+/// The energy-spike region detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionDetector {
+    /// Optional detection-only high-pass corner in Hz (the paper's 8 Hz for
+    /// handheld recordings).
+    pub highpass_hz: Option<f64>,
+    /// Region opens when the envelope exceeds `floor + enter_fraction ×
+    /// (p90 − floor)`, where `floor` is the envelope's lower quartile.
+    pub enter_fraction: f64,
+    /// Region closes when the envelope falls below `floor + exit_fraction ×
+    /// (p90 − floor)` (hysteresis; must be ≤ `enter_fraction`).
+    pub exit_fraction: f64,
+    /// Envelope window length in seconds.
+    pub envelope_win_s: f64,
+    /// Regions closer than this gap (seconds) are merged.
+    pub merge_gap_s: f64,
+    /// Regions shorter than this (seconds) are dropped.
+    pub min_region_s: f64,
+}
+
+impl RegionDetector {
+    /// Preset for the table-top / loudspeaker setting: no filter.
+    pub fn table_top() -> Self {
+        RegionDetector {
+            highpass_hz: None,
+            enter_fraction: 0.35,
+            exit_fraction: 0.15,
+            envelope_win_s: 0.05,
+            merge_gap_s: 0.12,
+            min_region_s: 0.08,
+        }
+    }
+
+    /// Preset for the handheld / ear-speaker setting: the paper's 8 Hz
+    /// high-pass is applied for detection only.
+    pub fn handheld() -> Self {
+        RegionDetector {
+            highpass_hz: Some(8.0),
+            enter_fraction: 0.45,
+            exit_fraction: 0.20,
+            envelope_win_s: 0.06,
+            merge_gap_s: 0.15,
+            min_region_s: 0.08,
+        }
+    }
+
+    /// Detects speech regions in `trace` sampled at `fs`.
+    ///
+    /// Returns `[start, end)` sample ranges into the *unfiltered* trace
+    /// (indices are valid regardless of the detection filter).
+    pub fn detect(&self, trace: &[f64], fs: f64) -> Vec<Region> {
+        if trace.is_empty() {
+            return Vec::new();
+        }
+        // Detection signal: optionally high-passed; otherwise the raw
+        // gravity-compensated trace. No mean subtraction — speech regions
+        // carry a positive DC shift from envelope down-conversion, and
+        // removing the global mean would lift the quiet gaps to the same
+        // envelope level as the speech.
+        let filtered = match self.highpass_hz {
+            Some(fc) if fc < fs / 2.0 => {
+                ButterworthDesign::new(FilterKind::HighPass, 4, fc, fs)
+                    .expect("corner below Nyquist")
+                    .build()
+                    .filtfilt(trace)
+            }
+            _ => trace.to_vec(),
+        };
+        let win = ((self.envelope_win_s * fs) as usize).max(3);
+        let env = rms_envelope(&filtered, win);
+        // Robust floor and dynamic range of the envelope. The spread-based
+        // threshold adapts to mostly-speech clips (where a fixed multiple of
+        // the lower quartile overshoots the speech level) while the 1.5×
+        // floor guard keeps pure-noise traces from triggering.
+        let floor = stats::quantile(&env, 0.25).max(1e-12);
+        let p90 = stats::quantile(&env, 0.90);
+        let spread = (p90 - floor).max(0.0);
+        let enter = (floor + self.enter_fraction * spread).max(1.5 * floor);
+        let exit = (floor + self.exit_fraction * spread).max(1.2 * floor);
+
+        // Hysteresis thresholding.
+        let mut regions: Vec<Region> = Vec::new();
+        let mut open: Option<usize> = None;
+        for (i, &e) in env.iter().enumerate() {
+            match open {
+                None if e > enter => open = Some(i),
+                Some(start) if e < exit => {
+                    regions.push((start, i));
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            regions.push((start, trace.len()));
+        }
+
+        // Merge close regions, then drop short ones.
+        let merge_gap = (self.merge_gap_s * fs) as usize;
+        let merged = merge_regions(&regions, merge_gap);
+        let min_len = (self.min_region_s * fs) as usize;
+        merged.into_iter().filter(|(s, e)| e - s >= min_len).collect()
+    }
+}
+
+/// Merges regions separated by gaps smaller than `max_gap` samples.
+pub fn merge_regions(regions: &[Region], max_gap: usize) -> Vec<Region> {
+    let mut out: Vec<Region> = Vec::with_capacity(regions.len());
+    for &(s, e) in regions {
+        match out.last_mut() {
+            Some((_, last_end)) if s.saturating_sub(*last_end) <= max_gap => {
+                *last_end = (*last_end).max(e);
+            }
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Fraction of ground-truth spans that a detection run recovered: a truth
+/// span counts as detected if at least half of it is covered by detected
+/// regions. This is the paper's "extraction rate" (≥90 % table-top, ≥45 %
+/// ear speaker).
+pub fn detection_rate(detected: &[Region], truth: &[Region]) -> f64 {
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let hits = truth
+        .iter()
+        .filter(|&&(ts, te)| {
+            let span = te.saturating_sub(ts);
+            if span == 0 {
+                return false;
+            }
+            let covered: usize = detected
+                .iter()
+                .map(|&(ds, de)| de.min(te).saturating_sub(ds.max(ts)))
+                .sum();
+            covered * 2 >= span
+        })
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a trace with bursts at the given spans over a noise floor.
+    fn trace_with_bursts(n: usize, spans: &[(usize, usize)], burst: f64, noise: f64) -> Vec<f64> {
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| noise * ((i * 2654435761) % 1000) as f64 / 1000.0 - noise / 2.0)
+            .collect();
+        for &(s, e) in spans {
+            for i in s..e.min(n) {
+                x[i] += burst * if i % 2 == 0 { 1.0 } else { -1.0 };
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn detects_single_burst() {
+        let x = trace_with_bursts(4000, &[(1000, 1500)], 0.2, 0.004);
+        let det = RegionDetector::table_top();
+        let regions = det.detect(&x, 420.0);
+        assert_eq!(regions.len(), 1);
+        let (s, e) = regions[0];
+        assert!(s.abs_diff(1000) < 60, "start {s}");
+        assert!(e.abs_diff(1500) < 60, "end {e}");
+    }
+
+    #[test]
+    fn detects_multiple_separated_bursts() {
+        let spans = [(500, 900), (1500, 1900), (2600, 3100)];
+        let x = trace_with_bursts(4000, &spans, 0.15, 0.004);
+        let det = RegionDetector::table_top();
+        let regions = det.detect(&x, 420.0);
+        assert_eq!(regions.len(), 3);
+        assert!((detection_rate(&regions, &spans) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merges_close_fragments() {
+        // Two fragments 20 samples apart at 420 Hz (~48 ms gap < 120 ms).
+        let x = trace_with_bursts(3000, &[(1000, 1200), (1220, 1400)], 0.2, 0.004);
+        let det = RegionDetector::table_top();
+        let regions = det.detect(&x, 420.0);
+        assert_eq!(regions.len(), 1);
+    }
+
+    #[test]
+    fn drops_too_short_blips() {
+        // 10-sample blip at 420 Hz = 24 ms < 80 ms minimum.
+        let x = trace_with_bursts(3000, &[(1000, 1010)], 0.5, 0.004);
+        let det = RegionDetector::table_top();
+        assert!(det.detect(&x, 420.0).is_empty());
+    }
+
+    #[test]
+    fn empty_and_flat_traces_yield_nothing() {
+        let det = RegionDetector::table_top();
+        assert!(det.detect(&[], 420.0).is_empty());
+        assert!(det.detect(&vec![0.0; 1000], 420.0).is_empty());
+    }
+
+    #[test]
+    fn handheld_filter_removes_drift_masking() {
+        // Slow large drift + small burst: unfiltered table-top detection
+        // fails (envelope dominated by drift) but the 8 Hz HPF preset finds
+        // the burst.
+        let fs = 420.0;
+        let n = 8400;
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| 0.5 * (2.0 * std::f64::consts::PI * 0.4 * i as f64 / fs).sin())
+            .collect();
+        for i in 4000..4500 {
+            x[i] += 0.06 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let handheld = RegionDetector::handheld().detect(&x, fs);
+        let truth = [(4000usize, 4500usize)];
+        assert!(
+            detection_rate(&handheld, &truth) > 0.99,
+            "handheld preset should find the burst: {handheld:?}"
+        );
+    }
+
+    #[test]
+    fn merge_regions_respects_gap() {
+        let r = [(0usize, 10usize), (15, 20), (100, 110)];
+        let merged = merge_regions(&r, 5);
+        assert_eq!(merged, vec![(0, 20), (100, 110)]);
+        let unmerged = merge_regions(&r, 2);
+        assert_eq!(unmerged.len(), 3);
+    }
+
+    #[test]
+    fn detection_rate_requires_half_coverage() {
+        let truth = [(0usize, 100usize)];
+        assert_eq!(detection_rate(&[(0, 49)], &truth), 0.0);
+        assert_eq!(detection_rate(&[(0, 51)], &truth), 1.0);
+        // Two partial detections can jointly cover.
+        assert_eq!(detection_rate(&[(0, 30), (40, 70)], &truth), 1.0);
+        assert!(detection_rate(&[], &[]).is_nan());
+    }
+}

@@ -1,0 +1,92 @@
+//! The twelve time-domain features of Table II.
+//!
+//! Min, Max, Mean, Standard Deviation, Variance, Range, CV, Skewness,
+//! Kurtosis, Quantile25, Quantile50, MeanCrossingRate — computed on the raw
+//! (unfiltered) samples of one detected speech region, exactly as §IV-B
+//! prescribes (the 8 Hz filter is *not* applied here).
+
+use emoleak_dsp::stats;
+
+/// Feature names in extraction order.
+pub const FEATURE_NAMES: [&str; 12] = [
+    "Min",
+    "Max",
+    "Mean",
+    "StdDev",
+    "Variance",
+    "Range",
+    "CV",
+    "Skewness",
+    "Kurtosis",
+    "Quantile25",
+    "Quantile50",
+    "MeanCrossingRate",
+];
+
+/// Extracts the 12 time-domain features from one speech region.
+///
+/// Degenerate regions produce NaN entries, which the dataset layer removes
+/// (mirroring the paper's NaN cleaning step).
+pub fn extract(region: &[f64]) -> [f64; 12] {
+    [
+        stats::min(region),
+        stats::max(region),
+        stats::mean(region),
+        stats::std_dev(region),
+        stats::variance(region),
+        stats::range(region),
+        stats::coefficient_of_variation(region),
+        stats::skewness(region),
+        stats::kurtosis(region),
+        stats::quantile(region, 0.25),
+        stats::quantile(region, 0.50),
+        stats::mean_crossing_rate(region),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_feature_count() {
+        assert_eq!(FEATURE_NAMES.len(), extract(&[1.0, 2.0]).len());
+    }
+
+    #[test]
+    fn known_values() {
+        let f = extract(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f[0], 1.0); // min
+        assert_eq!(f[1], 4.0); // max
+        assert!((f[2] - 2.5).abs() < 1e-12); // mean
+        assert!((f[4] - 1.25).abs() < 1e-12); // variance
+        assert!((f[5] - 3.0).abs() < 1e-12); // range
+        assert!((f[10] - 2.5).abs() < 1e-12); // median
+    }
+
+    #[test]
+    fn empty_region_is_all_nan_or_invalid() {
+        let f = extract(&[]);
+        assert!(f.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn louder_region_has_larger_range() {
+        let quiet: Vec<f64> = (0..200).map(|i| 0.01 * (i as f64 * 0.3).sin()).collect();
+        let loud: Vec<f64> = (0..200).map(|i| 0.5 * (i as f64 * 0.3).sin()).collect();
+        let fq = extract(&quiet);
+        let fl = extract(&loud);
+        assert!(fl[5] > 10.0 * fq[5]); // range
+        assert!(fl[3] > 10.0 * fq[3]); // std-dev
+    }
+
+    #[test]
+    fn dc_offset_moves_mean_not_stddev() {
+        let base: Vec<f64> = (0..500).map(|i| (i as f64 * 0.2).sin()).collect();
+        let shifted: Vec<f64> = base.iter().map(|v| v + 5.0).collect();
+        let fb = extract(&base);
+        let fs_ = extract(&shifted);
+        assert!((fs_[2] - fb[2] - 5.0).abs() < 1e-9);
+        assert!((fs_[3] - fb[3]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! Evaluation protocols: accuracy, confusion matrices, 80/20 holdout and
+//! stratified k-fold cross-validation (the paper uses both, §IV-D.1).
+
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// A confusion matrix: `matrix[truth][predicted]` counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+    class_names: Vec<String>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an all-zero matrix for the given classes.
+    pub fn new(class_names: Vec<String>) -> Self {
+        let k = class_names.len();
+        ConfusionMatrix { counts: vec![vec![0; k]; k], class_names }
+    }
+
+    /// Records one (truth, predicted) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        self.counts[truth][predicted] += 1;
+    }
+
+    /// Merges another matrix into this one (for k-fold accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices have different shapes.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.counts.len(), other.counts.len(), "shape mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// The raw counts, `[truth][predicted]`.
+    pub fn counts(&self) -> &[Vec<usize>] {
+        &self.counts
+    }
+
+    /// The class names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy; NaN if empty.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        let total = self.total();
+        if total == 0 {
+            f64::NAN
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Per-class recall; NaN for classes with no samples.
+    pub fn recalls(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let total: usize = row.iter().sum();
+                if total == 0 {
+                    f64::NAN
+                } else {
+                    row[i] as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the matrix as an aligned text table (Figure 6 style).
+    pub fn render(&self) -> String {
+        let w = self
+            .class_names
+            .iter()
+            .map(|n| n.len())
+            .chain(self.counts.iter().flatten().map(|c| c.to_string().len()))
+            .max()
+            .unwrap_or(4)
+            + 2;
+        let mut out = String::new();
+        out.push_str(&" ".repeat(w));
+        for name in &self.class_names {
+            out.push_str(&format!("{name:>w$}"));
+        }
+        out.push('\n');
+        for (i, row) in self.counts.iter().enumerate() {
+            out.push_str(&format!("{:>w$}", self.class_names[i]));
+            for c in row {
+                out.push_str(&format!("{c:>w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The outcome of an evaluation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Overall accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// The confusion matrix.
+    pub confusion: ConfusionMatrix,
+}
+
+/// Trains `clf` on the train split and evaluates on the test split.
+///
+/// # Panics
+///
+/// Panics if splits are empty or dimensions disagree (see
+/// [`Classifier::fit`]).
+pub fn train_test_evaluate<C: Classifier + ?Sized>(
+    clf: &mut C,
+    train_x: &[Vec<f64>],
+    train_y: &[usize],
+    test_x: &[Vec<f64>],
+    test_y: &[usize],
+    class_names: &[String],
+) -> Evaluation {
+    clf.fit(train_x, train_y, class_names.len());
+    let mut confusion = ConfusionMatrix::new(class_names.to_vec());
+    for (xi, &yi) in test_x.iter().zip(test_y) {
+        confusion.record(yi, clf.predict(xi));
+    }
+    Evaluation { accuracy: confusion.accuracy(), confusion }
+}
+
+/// Stratified k-fold cross-validation: trains `k` fresh classifiers from
+/// `make_clf` and accumulates one confusion matrix over all folds (the
+/// paper's 10-fold protocol, used for Figure 6b).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or the dataset is smaller than `k`.
+pub fn cross_validate<C: Classifier>(
+    make_clf: impl Fn() -> C,
+    x: &[Vec<f64>],
+    y: &[usize],
+    class_names: &[String],
+    k: usize,
+    seed: u64,
+) -> Evaluation {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(x.len() >= k, "dataset smaller than fold count");
+    // Stratified fold assignment.
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut fold_of = vec![0usize; x.len()];
+    for class in 0..class_names.len() {
+        let mut idx: Vec<usize> = (0..x.len()).filter(|&i| y[i] == class).collect();
+        idx.shuffle(&mut rng);
+        for (pos, i) in idx.into_iter().enumerate() {
+            fold_of[i] = pos % k;
+        }
+    }
+    let mut confusion = ConfusionMatrix::new(class_names.to_vec());
+    for fold in 0..k {
+        let (mut tx, mut ty, mut vx, mut vy) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for i in 0..x.len() {
+            if fold_of[i] == fold {
+                vx.push(x[i].clone());
+                vy.push(y[i]);
+            } else {
+                tx.push(x[i].clone());
+                ty.push(y[i]);
+            }
+        }
+        if vx.is_empty() || tx.is_empty() {
+            continue;
+        }
+        let mut clf = make_clf();
+        clf.fit(&tx, &ty, class_names.len());
+        for (xi, &yi) in vx.iter().zip(&vy) {
+            confusion.record(yi, clf.predict(xi));
+        }
+    }
+    Evaluation { accuracy: confusion.accuracy(), confusion }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::Logistic;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let j = (i % 8) as f64 * 0.05;
+            x.push(vec![0.0 + j, j]);
+            y.push(0);
+            x.push(vec![4.0 - j, 4.0 + j]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn confusion_matrix_basics() {
+        let mut cm = ConfusionMatrix::new(vec!["a".into(), "b".into()]);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        assert_eq!(cm.total(), 3);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        let recalls = cm.recalls();
+        assert!((recalls[0] - 0.5).abs() < 1e-12);
+        assert!((recalls[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_is_nan() {
+        let cm = ConfusionMatrix::new(vec!["a".into()]);
+        assert!(cm.accuracy().is_nan());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix::new(vec!["a".into(), "b".into()]);
+        a.record(0, 0);
+        let mut b = ConfusionMatrix::new(vec!["a".into(), "b".into()]);
+        b.record(1, 0);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.counts()[1][0], 1);
+    }
+
+    #[test]
+    fn render_contains_all_classes() {
+        let mut cm = ConfusionMatrix::new(vec!["anger".into(), "sad".into()]);
+        cm.record(0, 1);
+        let s = cm.render();
+        assert!(s.contains("anger") && s.contains("sad"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn holdout_evaluation_on_separable_data() {
+        let (x, y) = blobs();
+        let (tx, ty) = (x[..60].to_vec(), y[..60].to_vec());
+        let (vx, vy) = (x[60..].to_vec(), y[60..].to_vec());
+        let mut clf = Logistic::default();
+        let names = vec!["a".to_string(), "b".to_string()];
+        let ev = train_test_evaluate(&mut clf, &tx, &ty, &vx, &vy, &names);
+        assert!(ev.accuracy > 0.95, "accuracy {}", ev.accuracy);
+        assert_eq!(ev.confusion.total(), 20);
+    }
+
+    #[test]
+    fn cross_validation_covers_every_sample_once() {
+        let (x, y) = blobs();
+        let names = vec!["a".to_string(), "b".to_string()];
+        let ev = cross_validate(Logistic::default, &x, &y, &names, 10, 1);
+        assert_eq!(ev.confusion.total(), x.len());
+        assert!(ev.accuracy > 0.95);
+    }
+
+    #[test]
+    fn cross_validation_is_deterministic() {
+        let (x, y) = blobs();
+        let names = vec!["a".to_string(), "b".to_string()];
+        let a = cross_validate(Logistic::default, &x, &y, &names, 5, 3);
+        let b = cross_validate(Logistic::default, &x, &y, &names, 5, 3);
+        assert_eq!(a.confusion.counts(), b.confusion.counts());
+    }
+
+    #[test]
+    #[should_panic(expected = "folds")]
+    fn one_fold_is_rejected() {
+        let (x, y) = blobs();
+        cross_validate(Logistic::default, &x, &y, &["a".into(), "b".into()], 1, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Random forest: bagged information-gain trees with per-split feature
+//! subsampling (Weka's "RandomForest", used in the Table VI ear-speaker
+//! results).
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::{linalg::argmax, validate_fit_inputs, Classifier};
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A random forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Ensemble seed.
+    pub seed: u64,
+    trees: Vec<DecisionTree>,
+    num_classes: usize,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        RandomForest { num_trees: 60, max_depth: 14, seed: 0xF0_4E57, trees: Vec::new(), num_classes: 0 }
+    }
+}
+
+impl RandomForest {
+    /// Creates a forest with explicit size/depth/seed.
+    pub fn new(num_trees: usize, max_depth: usize, seed: u64) -> Self {
+        RandomForest { num_trees, max_depth, seed, ..Default::default() }
+    }
+
+    /// Averaged class-probability distribution over all trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before fitting.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "forest is not fitted");
+        let mut acc = vec![0.0; self.num_classes];
+        for t in &self.trees {
+            for (a, p) in acc.iter_mut().zip(t.predict_dist(x)) {
+                *a += p;
+            }
+        }
+        for a in acc.iter_mut() {
+            *a /= self.trees.len() as f64;
+        }
+        acc
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], num_classes: usize) {
+        validate_fit_inputs(x, y, num_classes);
+        self.num_classes = num_classes;
+        let n = x.len();
+        let dim = x[0].len();
+        // √dim features per split, the standard heuristic.
+        let k = (dim as f64).sqrt().round().max(1.0) as usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        self.trees = (0..self.num_trees)
+            .map(|t| {
+                // Bootstrap sample.
+                let bx: Vec<Vec<f64>>;
+                let by: Vec<usize>;
+                {
+                    let mut xs = Vec::with_capacity(n);
+                    let mut ys = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let i = rng.gen_range(0..n);
+                        xs.push(x[i].clone());
+                        ys.push(y[i]);
+                    }
+                    bx = xs;
+                    by = ys;
+                }
+                let cfg = TreeConfig {
+                    max_depth: self.max_depth,
+                    min_split: 2,
+                    features_per_split: Some(k),
+                };
+                let mut tree = DecisionTree::new(cfg, self.seed ^ (t as u64) << 17);
+                tree.fit(&bx, &by, num_classes);
+                tree
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+
+    fn name(&self) -> &str {
+        "RandomForest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_rings() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Class 0 inside the unit circle, class 1 outside — nonlinear.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut state = 99u64;
+        let mut unit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        for _ in 0..200 {
+            let (a, b) = (unit() * 4.0, unit() * 4.0);
+            x.push(vec![a, b]);
+            y.push(usize::from(a * a + b * b > 1.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let (x, y) = noisy_rings();
+        let mut rf = RandomForest::new(40, 10, 1);
+        rf.fit(&x, &y, 2);
+        let acc = x.iter().zip(&y).filter(|(xi, &yi)| rf.predict(xi) == yi).count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let (x, y) = noisy_rings();
+        let mut rf = RandomForest::new(10, 6, 2);
+        rf.fit(&x, &y, 2);
+        let p = rf.predict_proba(&[0.0, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = noisy_rings();
+        let fit = |seed: u64| {
+            let mut rf = RandomForest::new(10, 8, seed);
+            rf.fit(&x, &y, 2);
+            (0..20)
+                .map(|i| rf.predict(&[i as f64 * 0.1 - 1.0, 0.3]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fit(5), fit(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn unfitted_panics() {
+        RandomForest::default().predict(&[0.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! # emoleak-ml
+//!
+//! From-scratch machine learning for the EmoLeak reproduction.
+//!
+//! The paper classifies emotions with two tool stacks, both reimplemented
+//! here in pure Rust:
+//!
+//! **Weka classical classifiers** (§IV-D.1):
+//! - [`logistic::Logistic`] — multinomial ridge logistic regression
+//!   (Weka's "Logistic"),
+//! - [`one_vs_rest::OneVsRest`] — one-vs-rest meta classifier
+//!   (Weka's "MultiClassClassifier"),
+//! - [`lmt::Lmt`] — logistic model tree (Weka's "trees.LMT"),
+//! - [`forest::RandomForest`] — bagged trees with feature subsampling,
+//! - [`subspace::RandomSubspace`] — ensemble over random feature subspaces.
+//!
+//! **Keras CNNs** (§IV-C/D.2): the [`nn`] module is a small neural-network
+//! library (tensors, Conv1d/Conv2d, Dense, ReLU, MaxPool, Dropout,
+//! BatchNorm, softmax cross-entropy, SGD/Adam) sufficient to realize the
+//! paper's two architectures exactly, with per-epoch loss/accuracy history
+//! for the Figure 7 training curves.
+//!
+//! [`eval`] provides accuracy, confusion matrices, stratified k-fold
+//! cross-validation and the 80/20 evaluation protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use emoleak_ml::logistic::Logistic;
+//! use emoleak_ml::Classifier;
+//!
+//! let x = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 4.9]];
+//! let y = vec![0, 0, 1, 1];
+//! let mut clf = Logistic::default();
+//! clf.fit(&x, &y, 2);
+//! assert_eq!(clf.predict(&[0.05, 0.02]), 0);
+//! assert_eq!(clf.predict(&[5.0, 5.0]), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod forest;
+pub mod linalg;
+pub mod lmt;
+pub mod logistic;
+pub mod nn;
+pub mod one_vs_rest;
+pub mod subspace;
+pub mod tree;
+
+/// A trainable multi-class classifier over dense feature vectors.
+///
+/// All EmoLeak classifiers implement this, so the evaluation harness
+/// ([`eval`]) can sweep them uniformly.
+pub trait Classifier {
+    /// Trains on feature rows `x` with labels `y` in `0..num_classes`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` and `y` lengths differ, `x` is empty, or
+    /// a label is out of range.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], num_classes: usize);
+
+    /// Predicts the class of one feature vector.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Predicts a batch (default: per-row [`Classifier::predict`]).
+    fn predict_batch(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        x.iter().map(|row| self.predict(row)).collect()
+    }
+
+    /// A short display name for result tables.
+    fn name(&self) -> &str;
+}
+
+pub(crate) fn validate_fit_inputs(x: &[Vec<f64>], y: &[usize], num_classes: usize) {
+    assert!(!x.is_empty(), "training set must be non-empty");
+    assert_eq!(x.len(), y.len(), "feature/label count mismatch");
+    assert!(num_classes >= 2, "need at least two classes");
+    let dim = x[0].len();
+    assert!(dim > 0, "features must be non-empty");
+    assert!(
+        x.iter().all(|r| r.len() == dim),
+        "all feature rows must have the same dimension"
+    );
+    assert!(
+        y.iter().all(|&l| l < num_classes),
+        "label out of range"
+    );
+}

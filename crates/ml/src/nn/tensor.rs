@@ -1,0 +1,98 @@
+//! A minimal dense tensor: shape + row-major data.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f64`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Dimension sizes (e.g. `[channels, height, width]`).
+    pub shape: Vec<usize>,
+    /// Row-major contents; `data.len() == shape.iter().product()`.
+    pub data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Wraps a flat vector as a 1-D tensor.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Tensor { shape: vec![data.len()], data }
+    }
+
+    /// Wraps data with an explicit shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count does not match the shape.
+    pub fn from_shape(shape: &[usize], data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length does not match shape"
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reshapes in place (same element count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&mut self, shape: &[usize]) {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape changes element count"
+        );
+        self.shape = shape.to_vec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape_checks() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.len(), 6);
+        let v = Tensor::from_vec(vec![1.0, 2.0]);
+        assert_eq!(v.shape, vec![2]);
+        let s = Tensor::from_shape(&[2, 2], vec![1.0; 4]);
+        assert_eq!(s.shape, vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_shape_panics() {
+        Tensor::from_shape(&[2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        t.reshape(&[2, 2]);
+        assert_eq!(t.shape, vec![2, 2]);
+        assert_eq!(t.data, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "element count")]
+    fn reshape_rejects_size_change() {
+        let mut t = Tensor::from_vec(vec![1.0; 4]);
+        t.reshape(&[3]);
+    }
+}

@@ -1,0 +1,140 @@
+//! One-vs-rest meta classifier — Weka's "MultiClassClassifier".
+//!
+//! Trains one binary ridge-logistic model per class against all others and
+//! predicts the class whose model outputs the highest probability.
+
+use crate::linalg::{argmax, dot, sigmoid};
+use crate::{validate_fit_inputs, Classifier};
+use serde::{Deserialize, Serialize};
+
+/// One-vs-rest ensemble of binary logistic regressors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OneVsRest {
+    /// Ridge penalty for each binary model.
+    pub ridge: f64,
+    /// Gradient-descent iterations per binary model.
+    pub max_iter: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    models: Vec<Vec<f64>>, // per class: dim + 1 weights (bias last)
+}
+
+impl Default for OneVsRest {
+    fn default() -> Self {
+        OneVsRest { ridge: 1e-4, max_iter: 300, learning_rate: 0.5, models: Vec::new() }
+    }
+}
+
+impl OneVsRest {
+    /// Per-class (uncalibrated) positive-class probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before fitting.
+    pub fn scores(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.models.is_empty(), "classifier is not fitted");
+        self.models
+            .iter()
+            .map(|w| sigmoid(dot(&w[..w.len() - 1], x) + w[w.len() - 1]))
+            .collect()
+    }
+
+    fn fit_binary(&self, x: &[Vec<f64>], targets: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        let dim = x[0].len();
+        let mut w = vec![0.0; dim + 1];
+        let mut velocity = vec![0.0; dim + 1];
+        let momentum = 0.9;
+        let lr = self.learning_rate / n as f64;
+        for _ in 0..self.max_iter {
+            let mut grad = vec![0.0; dim + 1];
+            for (xi, &t) in x.iter().zip(targets) {
+                let p = sigmoid(dot(&w[..dim], xi) + w[dim]);
+                let err = p - t;
+                for (gj, xj) in grad[..dim].iter_mut().zip(xi) {
+                    *gj += err * xj;
+                }
+                grad[dim] += err;
+            }
+            for j in 0..=dim {
+                let reg = if j < dim { self.ridge * w[j] * n as f64 } else { 0.0 };
+                velocity[j] = momentum * velocity[j] - lr * (grad[j] + reg);
+                w[j] += velocity[j];
+            }
+        }
+        w
+    }
+}
+
+impl Classifier for OneVsRest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], num_classes: usize) {
+        validate_fit_inputs(x, y, num_classes);
+        self.models = (0..num_classes)
+            .map(|c| {
+                let targets: Vec<f64> =
+                    y.iter().map(|&l| if l == c { 1.0 } else { 0.0 }).collect();
+                self.fit_binary(x, &targets)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.scores(x))
+    }
+
+    fn name(&self) -> &str {
+        "MultiClassClassifier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_classes() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Three well-separated clusters.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f64 * 0.1;
+            x.push(vec![0.0 + j, 0.0 + j]);
+            y.push(0);
+            x.push(vec![5.0 + j, 0.0 - j]);
+            y.push(1);
+            x.push(vec![2.5 - j, 5.0 + j]);
+            y.push(2);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_three_clusters() {
+        let (x, y) = grid_classes();
+        let mut clf = OneVsRest::default();
+        clf.fit(&x, &y, 3);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| clf.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_are_probabilities_per_model() {
+        let (x, y) = grid_classes();
+        let mut clf = OneVsRest::default();
+        clf.fit(&x, &y, 3);
+        let s = clf.scores(&[0.0, 0.0]);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|p| (0.0..=1.0).contains(p)));
+        assert_eq!(crate::linalg::argmax(&s), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn unfitted_predict_panics() {
+        OneVsRest::default().predict(&[0.0]);
+    }
+}

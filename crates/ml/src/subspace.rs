@@ -1,0 +1,162 @@
+//! Random-subspace ensemble — Weka's "RandomSubSpace" (Table VI).
+//!
+//! Each member tree is trained on the full sample set but sees only a random
+//! subset of the features; predictions are averaged.
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::{linalg::argmax, validate_fit_inputs, Classifier};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A random-subspace ensemble of decision trees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomSubspace {
+    /// Number of ensemble members.
+    pub num_members: usize,
+    /// Fraction of features each member sees (Weka default 0.5).
+    pub subspace_fraction: f64,
+    /// Maximum depth per member tree.
+    pub max_depth: usize,
+    /// Ensemble seed.
+    pub seed: u64,
+    members: Vec<(Vec<usize>, DecisionTree)>,
+    num_classes: usize,
+}
+
+impl Default for RandomSubspace {
+    fn default() -> Self {
+        RandomSubspace {
+            num_members: 30,
+            subspace_fraction: 0.5,
+            max_depth: 12,
+            seed: 0x5B5_ACE,
+            members: Vec::new(),
+            num_classes: 0,
+        }
+    }
+}
+
+impl RandomSubspace {
+    /// Creates an ensemble with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subspace_fraction` is outside `(0, 1]`.
+    pub fn new(num_members: usize, subspace_fraction: f64, max_depth: usize, seed: u64) -> Self {
+        assert!(
+            subspace_fraction > 0.0 && subspace_fraction <= 1.0,
+            "subspace fraction must be in (0, 1]"
+        );
+        RandomSubspace { num_members, subspace_fraction, max_depth, seed, ..Default::default() }
+    }
+
+    /// Averaged class-probability distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before fitting.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.members.is_empty(), "ensemble is not fitted");
+        let mut acc = vec![0.0; self.num_classes];
+        for (features, tree) in &self.members {
+            let sub: Vec<f64> = features.iter().map(|&f| x[f]).collect();
+            for (a, p) in acc.iter_mut().zip(tree.predict_dist(&sub)) {
+                *a += p;
+            }
+        }
+        for a in acc.iter_mut() {
+            *a /= self.members.len() as f64;
+        }
+        acc
+    }
+}
+
+impl Classifier for RandomSubspace {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], num_classes: usize) {
+        validate_fit_inputs(x, y, num_classes);
+        self.num_classes = num_classes;
+        let dim = x[0].len();
+        let k = ((dim as f64 * self.subspace_fraction).round() as usize).clamp(1, dim);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        self.members = (0..self.num_members)
+            .map(|m| {
+                let mut features: Vec<usize> = (0..dim).collect();
+                features.shuffle(&mut rng);
+                features.truncate(k);
+                features.sort_unstable();
+                let sub_x: Vec<Vec<f64>> = x
+                    .iter()
+                    .map(|row| features.iter().map(|&f| row[f]).collect())
+                    .collect();
+                let cfg = TreeConfig {
+                    max_depth: self.max_depth,
+                    min_split: 2,
+                    features_per_split: None,
+                };
+                let mut tree = DecisionTree::new(cfg, self.seed ^ ((m as u64) << 13));
+                tree.fit(&sub_x, y, num_classes);
+                (features, tree)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+
+    fn name(&self) -> &str {
+        "RandomSubSpace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn redundant_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Label depends on features 0 and 3; 1, 2 are noise.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut state = 5u64;
+        let mut unit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        for _ in 0..160 {
+            let a = unit() * 2.0;
+            let b = unit() * 2.0;
+            x.push(vec![a, unit(), unit(), b]);
+            y.push(usize::from(a + b > 0.0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_with_redundant_features() {
+        let (x, y) = redundant_data();
+        let mut rs = RandomSubspace::new(30, 0.5, 10, 3);
+        rs.fit(&x, &y, 2);
+        let acc = x.iter().zip(&y).filter(|(xi, &yi)| rs.predict(xi) == yi).count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn members_use_distinct_subspaces() {
+        let (x, y) = redundant_data();
+        let mut rs = RandomSubspace::new(10, 0.5, 5, 3);
+        rs.fit(&x, &y, 2);
+        let distinct: std::collections::HashSet<Vec<usize>> =
+            rs.members.iter().map(|(f, _)| f.clone()).collect();
+        assert!(distinct.len() > 1, "subspaces should differ");
+        // Each subspace has round(4 * 0.5) = 2 features.
+        assert!(rs.members.iter().all(|(f, _)| f.len() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "subspace fraction")]
+    fn rejects_bad_fraction() {
+        RandomSubspace::new(10, 0.0, 5, 1);
+    }
+}

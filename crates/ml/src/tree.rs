@@ -1,0 +1,304 @@
+//! Information-gain decision trees (the base learner for LMT, random forest
+//! and random-subspace ensembles).
+//!
+//! Numeric features only (the EmoLeak features all are), binary splits at
+//! the midpoint between sorted neighbouring values, entropy-based gain.
+
+use crate::{validate_fit_inputs, Classifier};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for growing a [`DecisionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_split: usize,
+    /// If `Some(k)`, only a random subset of `k` features is considered per
+    /// split (random-forest style). `None` considers every feature.
+    pub features_per_split: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 12, min_split: 4, features_per_split: None }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Class-probability distribution at the leaf.
+        dist: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A single decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    seed: u64,
+    root: Option<Node>,
+    num_classes: usize,
+}
+
+impl DecisionTree {
+    /// Creates a tree with the given configuration and split-sampling seed.
+    pub fn new(config: TreeConfig, seed: u64) -> Self {
+        DecisionTree { config, seed, root: None, num_classes: 0 }
+    }
+
+    /// The leaf class distribution for a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before fitting.
+    pub fn predict_dist(&self, x: &[f64]) -> &[f64] {
+        let mut node = self.root.as_ref().expect("tree is not fitted");
+        loop {
+            match node {
+                Node::Leaf { dist } => return dist,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves (diagnostic).
+    pub fn num_leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+
+    fn grow<R: Rng + ?Sized>(
+        &self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        indices: &[usize],
+        depth: usize,
+        rng: &mut R,
+    ) -> Node {
+        let dist = class_distribution(y, indices, self.num_classes);
+        let ent = entropy(&dist);
+        if depth >= self.config.max_depth
+            || indices.len() < self.config.min_split
+            || ent <= 1e-12
+        {
+            return Node::Leaf { dist };
+        }
+        let dim = x[0].len();
+        let candidate_features: Vec<usize> = match self.config.features_per_split {
+            Some(k) => {
+                let mut all: Vec<usize> = (0..dim).collect();
+                all.shuffle(rng);
+                all.truncate(k.max(1).min(dim));
+                all
+            }
+            None => (0..dim).collect(),
+        };
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for &f in &candidate_features {
+            if let Some((gain, thr)) = best_split(x, y, indices, f, self.num_classes) {
+                if best.is_none_or(|(g, _, _)| gain > g) {
+                    best = Some((gain, f, thr));
+                }
+            }
+        }
+        // Note: a zero-gain split is still taken when the node is impure —
+        // greedy gain is blind to XOR-style interactions where the payoff
+        // only appears one level deeper. Termination is guaranteed because
+        // both children are strictly smaller and depth is bounded.
+        let Some((_gain, feature, threshold)) = best else {
+            return Node::Leaf { dist };
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[i][feature] <= threshold);
+        if li.is_empty() || ri.is_empty() {
+            return Node::Leaf { dist };
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.grow(x, y, &li, depth + 1, rng)),
+            right: Box::new(self.grow(x, y, &ri, depth + 1, rng)),
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], num_classes: usize) {
+        validate_fit_inputs(x, y, num_classes);
+        self.num_classes = num_classes;
+        let indices: Vec<usize> = (0..x.len()).collect();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        self.root = Some(self.grow(x, y, &indices, 0, &mut rng));
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        crate::linalg::argmax(self.predict_dist(x))
+    }
+
+    fn name(&self) -> &str {
+        "DecisionTree"
+    }
+}
+
+/// Normalized class distribution over `indices`.
+pub(crate) fn class_distribution(y: &[usize], indices: &[usize], num_classes: usize) -> Vec<f64> {
+    let mut dist = vec![0.0; num_classes];
+    for &i in indices {
+        dist[y[i]] += 1.0;
+    }
+    let total: f64 = dist.iter().sum();
+    if total > 0.0 {
+        for d in dist.iter_mut() {
+            *d /= total;
+        }
+    }
+    dist
+}
+
+fn entropy(dist: &[f64]) -> f64 {
+    -dist
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>()
+}
+
+/// Best (gain, threshold) for one feature over `indices`, or `None` if the
+/// feature is constant there.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[usize],
+    indices: &[usize],
+    feature: usize,
+    num_classes: usize,
+) -> Option<(f64, f64)> {
+    let mut order: Vec<usize> = indices.to_vec();
+    order.sort_by(|&a, &b| x[a][feature].total_cmp(&x[b][feature]));
+    let n = order.len() as f64;
+    let parent = entropy(&class_distribution(y, indices, num_classes));
+    // Incremental left/right class counts.
+    let mut left = vec![0.0f64; num_classes];
+    let mut right = vec![0.0f64; num_classes];
+    for &i in &order {
+        right[y[i]] += 1.0;
+    }
+    let mut best: Option<(f64, f64)> = None;
+    for w in 0..order.len() - 1 {
+        let i = order[w];
+        left[y[i]] += 1.0;
+        right[y[i]] -= 1.0;
+        let v0 = x[i][feature];
+        let v1 = x[order[w + 1]][feature];
+        if v1 <= v0 {
+            continue; // ties cannot split here
+        }
+        let nl = (w + 1) as f64;
+        let nr = n - nl;
+        let el = entropy(&normalize(&left, nl));
+        let er = entropy(&normalize(&right, nr));
+        let gain = parent - (nl / n) * el - (nr / n) * er;
+        let thr = (v0 + v1) / 2.0;
+        if best.is_none_or(|(g, _)| gain > g) {
+            best = Some((gain, thr));
+        }
+    }
+    best
+}
+
+fn normalize(counts: &[f64], total: f64) -> Vec<f64> {
+    counts.iter().map(|c| c / total.max(1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let jitter = i as f64 * 0.01;
+            for &(a, b) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                x.push(vec![a + jitter, b - jitter]);
+                y.push(usize::from((a > 0.5) != (b > 0.5)));
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        // XOR defeats linear models; a depth-2 tree nails it.
+        let (x, y) = xor_data();
+        let mut tree = DecisionTree::new(TreeConfig::default(), 0);
+        tree.fit(&x, &y, 2);
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(tree.predict(xi), yi);
+        }
+    }
+
+    #[test]
+    fn depth_limit_caps_leaves() {
+        let (x, y) = xor_data();
+        let mut stump = DecisionTree::new(
+            TreeConfig { max_depth: 1, ..Default::default() },
+            0,
+        );
+        stump.fit(&x, &y, 2);
+        assert!(stump.num_leaves() <= 2);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![1, 1, 1];
+        let mut tree = DecisionTree::new(TreeConfig::default(), 0);
+        tree.fit(&x, &y, 2);
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.predict(&[5.0]), 1);
+    }
+
+    #[test]
+    fn leaf_distribution_reflects_impurity() {
+        let x = vec![vec![0.0], vec![0.0], vec![0.0], vec![0.0]];
+        let y = vec![0, 0, 0, 1];
+        let mut tree = DecisionTree::new(TreeConfig::default(), 0);
+        tree.fit(&x, &y, 2);
+        let d = tree.predict_dist(&[0.0]);
+        assert!((d[0] - 0.75).abs() < 1e-12);
+        assert!((d[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns_separable_data() {
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![if i < 20 { 0.0 } else { 1.0 }, (i % 7) as f64])
+            .collect();
+        let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let mut tree = DecisionTree::new(
+            TreeConfig { features_per_split: Some(1), ..Default::default() },
+            7,
+        );
+        tree.fit(&x, &y, 2);
+        let acc = x.iter().zip(&y).filter(|(xi, &yi)| tree.predict(xi) == yi).count();
+        assert!(acc >= 36, "accuracy {acc}/40");
+    }
+}

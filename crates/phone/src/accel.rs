@@ -1,0 +1,150 @@
+//! Accelerometer model: sampling, noise floor, quantization.
+//!
+//! Smartphone IMUs deliver 400–500 Hz by default; Android 12 caps
+//! zero-permission apps at 200 Hz (§VI-A, modeled in [`crate::android`]).
+//! The sensor subsamples the continuous chassis vibration *without* an
+//! anti-alias filter — the resulting fold-in of out-of-band energy is part
+//! of the physical channel.
+
+use emoleak_dsp::noise::Gaussian;
+use emoleak_dsp::resample::resample_linear;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A z-axis accelerometer recording.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelTrace {
+    /// Sampled acceleration in m/s² (gravity-compensated z axis).
+    pub samples: Vec<f64>,
+    /// Sampling rate in Hz.
+    pub fs: f64,
+}
+
+impl AccelTrace {
+    /// Trace duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.fs
+    }
+}
+
+/// The sensor model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerometer {
+    rate_hz: f64,
+    noise_std: f64,
+    lsb: f64,
+}
+
+impl Accelerometer {
+    /// Creates a sensor with output rate `rate_hz`, Gaussian noise floor
+    /// `noise_std` (m/s²) and quantization step `lsb` (m/s²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is not positive or `lsb`/`noise_std` are
+    /// negative.
+    pub fn new(rate_hz: f64, noise_std: f64, lsb: f64) -> Self {
+        assert!(rate_hz > 0.0, "sensor rate must be positive");
+        assert!(noise_std >= 0.0 && lsb >= 0.0, "noise parameters must be non-negative");
+        Accelerometer { rate_hz, noise_std, lsb }
+    }
+
+    /// The output sampling rate in Hz.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// The noise floor standard deviation in m/s².
+    pub fn noise_std(&self) -> f64 {
+        self.noise_std
+    }
+
+    /// Samples a continuous vibration signal (given at `fs_in`) at the
+    /// sensor rate, adding the noise floor and quantizing.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        vibration: &[f64],
+        fs_in: f64,
+        rng: &mut R,
+    ) -> AccelTrace {
+        let mut samples = if vibration.is_empty() {
+            Vec::new()
+        } else {
+            resample_linear(vibration, fs_in, self.rate_hz)
+                .expect("valid rates and non-empty input")
+        };
+        let mut gauss = Gaussian::new();
+        for v in samples.iter_mut() {
+            *v += gauss.sample(rng, 0.0, self.noise_std);
+            if self.lsb > 0.0 {
+                *v = (*v / self.lsb).round() * self.lsb;
+            }
+        }
+        AccelTrace { samples, fs: self.rate_hz }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emoleak_dsp::stats;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn output_rate_and_length() {
+        let acc = Accelerometer::new(420.0, 0.0, 0.0);
+        let vib = vec![0.5; 8000]; // 1 s at 8 kHz
+        let t = acc.sample(&vib, 8000.0, &mut rng(1));
+        assert_eq!(t.fs, 420.0);
+        assert!((t.samples.len() as f64 - 420.0).abs() <= 2.0);
+        assert!((t.duration() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn noiseless_sensor_reproduces_constant() {
+        let acc = Accelerometer::new(400.0, 0.0, 0.0);
+        let t = acc.sample(&vec![0.25; 4000], 8000.0, &mut rng(2));
+        assert!(t.samples.iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn quantization_snaps_to_lsb() {
+        let acc = Accelerometer::new(400.0, 0.0, 0.01);
+        let t = acc.sample(&vec![0.123; 4000], 8000.0, &mut rng(3));
+        assert!(t.samples.iter().all(|&v| (v - 0.12).abs() < 1e-12));
+    }
+
+    #[test]
+    fn noise_floor_has_configured_std() {
+        let acc = Accelerometer::new(500.0, 0.002, 0.0);
+        let t = acc.sample(&vec![0.0; 800_000], 8000.0, &mut rng(4));
+        let sd = stats::std_dev(&t.samples);
+        assert!((sd - 0.002).abs() < 2e-4, "noise std {sd}");
+    }
+
+    #[test]
+    fn empty_vibration_gives_empty_trace() {
+        let acc = Accelerometer::new(400.0, 0.001, 0.001);
+        let t = acc.sample(&[], 8000.0, &mut rng(5));
+        assert!(t.samples.is_empty());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let acc = Accelerometer::new(420.0, 0.002, 0.001);
+        let vib: Vec<f64> = (0..8000).map(|i| (i as f64 * 0.05).sin() * 0.01).collect();
+        let a = acc.sample(&vib, 8000.0, &mut rng(6));
+        let b = acc.sample(&vib, 8000.0, &mut rng(6));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn zero_rate_is_rejected() {
+        Accelerometer::new(0.0, 0.001, 0.001);
+    }
+}

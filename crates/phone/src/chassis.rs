@@ -1,0 +1,192 @@
+//! Chassis conduction: how speaker force becomes accelerometer-visible
+//! vibration.
+//!
+//! The motherboard shared by speaker and IMU (§II-C) conducts three things
+//! into the ≤ 250 Hz band the accelerometer can see:
+//!
+//! 1. **Direct path** — spectral components of the drive force that already
+//!    lie inside the band (the speech fundamental and low harmonics,
+//!    attenuated by the speaker rolloff but not eliminated).
+//! 2. **Envelope down-conversion** — the structure responds to the *power*
+//!    of the wide-band excitation: mechanically a rectifying nonlinearity.
+//!    Full-wave rectification followed by a low-pass recreates the speech
+//!    energy envelope (syllable rhythm, attack shape, vocal effort) and
+//!    regenerates F0 harmonics from the glottal pulse train.
+//! 3. **Resonant modes** — each phone chassis rings at a few structural
+//!    modes (100–250 Hz), emphasizing device-specific bands.
+
+use emoleak_dsp::filter::{Biquad, ButterworthDesign, FilterKind};
+use serde::{Deserialize, Serialize};
+
+/// One structural resonance of the chassis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResonantMode {
+    /// Mode frequency in Hz.
+    pub freq_hz: f64,
+    /// Mode bandwidth in Hz (wider = more damped).
+    pub bandwidth_hz: f64,
+    /// Relative contribution of this mode.
+    pub gain: f64,
+}
+
+impl ResonantMode {
+    /// Realizes the mode as a DC-unit-gain two-pole resonator at `fs`.
+    fn biquad(&self, fs: f64) -> Biquad {
+        let r = (-std::f64::consts::PI * self.bandwidth_hz / fs).exp();
+        let theta = 2.0 * std::f64::consts::PI * self.freq_hz / fs;
+        let a = [-2.0 * r * theta.cos(), r * r];
+        let b0 = 1.0 + a[0] + a[1];
+        Biquad::new([b0, 0.0, 0.0], a)
+    }
+}
+
+/// The conduction model: direct + envelope-down-conversion + modal ringing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChassisModel {
+    modes: Vec<ResonantMode>,
+    direct_coupling: f64,
+    envelope_coupling: f64,
+    /// Upper edge of the conduction band in Hz.
+    band_hz: f64,
+}
+
+impl ChassisModel {
+    /// Creates a model with the given modes and coupling coefficients.
+    pub fn new(modes: Vec<ResonantMode>, direct_coupling: f64, envelope_coupling: f64) -> Self {
+        ChassisModel { modes, direct_coupling, envelope_coupling, band_hz: 260.0 }
+    }
+
+    /// The structural modes of this chassis.
+    pub fn modes(&self) -> &[ResonantMode] {
+        &self.modes
+    }
+
+    /// Converts the speaker drive force (audio rate) into chassis vibration
+    /// at the same rate. The output is later sampled by the accelerometer.
+    pub fn conduct(&self, drive: &[f64], fs: f64) -> Vec<f64> {
+        if drive.is_empty() {
+            return Vec::new();
+        }
+        let band = ButterworthDesign::new(FilterKind::LowPass, 4, self.band_hz.min(0.45 * fs), fs)
+            .expect("band edge below Nyquist")
+            .build();
+        // Direct linear path.
+        let direct = band.process(drive);
+        // Nonlinear envelope path: full-wave rectification → band-limit.
+        let rectified: Vec<f64> = drive.iter().map(|v| v.abs()).collect();
+        let envelope = band.process(&rectified);
+        // Mix.
+        let mut mix: Vec<f64> = direct
+            .iter()
+            .zip(&envelope)
+            .map(|(d, e)| self.direct_coupling * d + self.envelope_coupling * e)
+            .collect();
+        // Modal ringing driven by the mixed excitation.
+        for mode in &self.modes {
+            let rung = mode.biquad(fs).process(&mix);
+            for (m, r) in mix.iter_mut().zip(&rung) {
+                *m += mode.gain * 0.5 * r;
+            }
+        }
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emoleak_dsp::Fft;
+
+    fn model() -> ChassisModel {
+        ChassisModel::new(
+            vec![ResonantMode { freq_hz: 150.0, bandwidth_hz: 50.0, gain: 1.0 }],
+            0.9,
+            0.8,
+        )
+    }
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(model().conduct(&[], 8000.0).is_empty());
+    }
+
+    #[test]
+    fn high_frequency_tone_downconverts_to_envelope() {
+        // A pure 1 kHz tone is outside the accel band; its rectified envelope
+        // has a DC component plus 2 kHz harmonics (also filtered out), so the
+        // conduction output is essentially a DC shift: nonzero mean.
+        let fs = 8000.0;
+        let out = model().conduct(&tone(1000.0, fs, 16000), fs);
+        let mean = out[8000..].iter().sum::<f64>() / 8000.0;
+        assert!(mean > 0.3, "envelope DC {mean}");
+    }
+
+    #[test]
+    fn amplitude_modulation_survives_downconversion() {
+        // 1 kHz carrier AM-modulated at 8 Hz: the 8 Hz envelope must appear
+        // in the output even though the carrier is out of band.
+        let fs = 8000.0;
+        let n = 32768;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let am = 0.5 * (1.0 + (2.0 * std::f64::consts::PI * 8.0 * t).sin());
+                am * (2.0 * std::f64::consts::PI * 1000.0 * t).sin()
+            })
+            .collect();
+        let out = model().conduct(&x, fs);
+        let fft = Fft::new(32768);
+        let p = fft.power_spectrum(&out);
+        let bin = |f: f64| (f / fs * 32768.0).round() as usize;
+        let at8 = p[bin(8.0) - 2..bin(8.0) + 3].iter().cloned().fold(0.0f64, f64::max);
+        let at29 = p[bin(29.0) - 2..bin(29.0) + 3].iter().cloned().fold(0.0f64, f64::max);
+        assert!(at8 > 30.0 * at29, "AM tone should dominate: {at8} vs {at29}");
+    }
+
+    #[test]
+    fn in_band_tone_passes_directly() {
+        let fs = 8000.0;
+        let out = model().conduct(&tone(100.0, fs, 16000), fs);
+        let rms = (out[8000..].iter().map(|v| v * v).sum::<f64>() / 8000.0).sqrt();
+        assert!(rms > 0.4, "direct path rms {rms}");
+    }
+
+    #[test]
+    fn out_of_band_carrier_is_suppressed() {
+        let fs = 8000.0;
+        let out = model().conduct(&tone(1000.0, fs, 16384), fs);
+        let fft = Fft::new(16384);
+        let p = fft.power_spectrum(&out);
+        let bin = |f: f64| (f / fs * 16384.0).round() as usize;
+        // Carrier residue at 1 kHz far below DC/envelope component.
+        assert!(p[bin(1000.0)] < 1e-3 * p[0]);
+    }
+
+    #[test]
+    fn resonant_mode_amplifies_its_band() {
+        let fs = 8000.0;
+        let with_mode = model();
+        let without_mode = ChassisModel::new(vec![], 0.9, 0.8);
+        let x = tone(150.0, fs, 16000);
+        let rms = |y: &[f64]| (y[8000..].iter().map(|v| v * v).sum::<f64>() / 8000.0).sqrt();
+        let a = rms(&with_mode.conduct(&x, fs));
+        let b = rms(&without_mode.conduct(&x, fs));
+        assert!(a > 1.3 * b, "mode should amplify 150 Hz: {a} vs {b}");
+    }
+
+    #[test]
+    fn stronger_coupling_gives_stronger_output() {
+        let fs = 8000.0;
+        let weak = ChassisModel::new(vec![], 0.5, 0.4);
+        let strong = ChassisModel::new(vec![], 0.9, 0.8);
+        let x = tone(120.0, fs, 8000);
+        let energy = |y: &[f64]| y.iter().map(|v| v * v).sum::<f64>();
+        assert!(energy(&strong.conduct(&x, fs)) > energy(&weak.conduct(&x, fs)));
+    }
+}

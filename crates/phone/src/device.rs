@@ -1,0 +1,338 @@
+//! Device profiles for the six evaluation phones.
+//!
+//! The numbers below are *behavioural* parameters chosen so that each device
+//! reproduces its relative standing in the paper's tables (e.g. the OnePlus
+//! 7T's strong stereo speakers make it the best eavesdropping platform in
+//! Table V; the Pixel 5 couples most weakly). Absolute values are in
+//! plausible physical units: drive gain maps digital full scale to m/s² of
+//! chassis acceleration; SPL figures follow §I (ear speakers 36–46 dB).
+
+use crate::accel::Accelerometer;
+use crate::chassis::{ChassisModel, ResonantMode};
+use serde::{Deserialize, Serialize};
+
+/// Which of the phone's two speakers plays the audio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpeakerKind {
+    /// Bottom loudspeaker at maximum media volume (table-top scenario).
+    Loudspeaker,
+    /// Top earpiece speaker at call volume (handheld scenario).
+    EarSpeaker,
+}
+
+/// Electro-mechanical description of one speaker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeakerSpec {
+    /// Peak chassis force the speaker can inject, as m/s² of acceleration at
+    /// digital full scale.
+    pub drive_gain: f64,
+    /// Sound pressure level at typical use, dB (documentation/reporting).
+    pub spl_db: f64,
+    /// Low-frequency rolloff corner in Hz (small drivers reproduce little
+    /// energy below a few hundred Hz; the chassis still receives the
+    /// envelope).
+    pub rolloff_hz: f64,
+}
+
+impl SpeakerSpec {
+    /// Applies the speaker's drive gain and low-frequency rolloff to the
+    /// playback signal.
+    pub fn drive(&self, audio: &[f64], fs_audio: f64) -> Vec<f64> {
+        use emoleak_dsp::filter::{ButterworthDesign, FilterKind};
+        // First-order high-pass models the driver's LF rolloff; the corner
+        // is well below Nyquist for all realistic audio rates.
+        let hp = ButterworthDesign::new(FilterKind::HighPass, 1, self.rolloff_hz, fs_audio)
+            .expect("rolloff corner below Nyquist")
+            .build();
+        hp.process(audio)
+            .into_iter()
+            .map(|v| v * self.drive_gain)
+            .collect()
+    }
+}
+
+/// A complete phone description: speakers, chassis, accelerometer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    name: String,
+    loudspeaker: SpeakerSpec,
+    ear_speaker: SpeakerSpec,
+    modes: Vec<ResonantMode>,
+    /// Fraction of speech-band energy that down-converts into the
+    /// accelerometer band via envelope coupling.
+    envelope_coupling: f64,
+    /// Direct (linear) conduction gain for components already inside the
+    /// accelerometer band.
+    direct_coupling: f64,
+    accel_rate_hz: f64,
+    accel_noise_std: f64,
+    accel_lsb: f64,
+    motion_noise_std: f64,
+}
+
+impl DeviceProfile {
+    /// OnePlus 7T — the paper's best eavesdropping platform: powerful stereo
+    /// speakers (§I) and strong chassis coupling. 95.3 % TESS/loudspeaker.
+    pub fn oneplus_7t() -> DeviceProfile {
+        DeviceProfile {
+            name: "OnePlus 7T".into(),
+            loudspeaker: SpeakerSpec { drive_gain: 0.055, spl_db: 78.0, rolloff_hz: 350.0 },
+            ear_speaker: SpeakerSpec { drive_gain: 0.060, spl_db: 45.0, rolloff_hz: 420.0 },
+            modes: vec![
+                ResonantMode { freq_hz: 145.0, bandwidth_hz: 45.0, gain: 1.00 },
+                ResonantMode { freq_hz: 205.0, bandwidth_hz: 60.0, gain: 0.70 },
+            ],
+            envelope_coupling: 0.85,
+            direct_coupling: 0.9,
+            accel_rate_hz: 420.0,
+            accel_noise_std: 0.0018,
+            accel_lsb: 0.0012,
+            motion_noise_std: 0.007,
+        }
+    }
+
+    /// OnePlus 9 — stereo speakers comparable to the 7T; used in the
+    /// ear-speaker experiments (Table VI).
+    pub fn oneplus_9() -> DeviceProfile {
+        DeviceProfile {
+            name: "OnePlus 9".into(),
+            loudspeaker: SpeakerSpec { drive_gain: 0.052, spl_db: 78.0, rolloff_hz: 360.0 },
+            ear_speaker: SpeakerSpec { drive_gain: 0.063, spl_db: 46.0, rolloff_hz: 410.0 },
+            modes: vec![
+                ResonantMode { freq_hz: 155.0, bandwidth_hz: 50.0, gain: 0.95 },
+                ResonantMode { freq_hz: 215.0, bandwidth_hz: 65.0, gain: 0.66 },
+            ],
+            envelope_coupling: 0.82,
+            direct_coupling: 0.88,
+            accel_rate_hz: 440.0,
+            accel_noise_std: 0.0018,
+            accel_lsb: 0.0012,
+            motion_noise_std: 0.007,
+        }
+    }
+
+    /// Google Pixel 5 — the weakest coupling of the evaluated phones
+    /// (lowest loudspeaker accuracies in Tables III and V).
+    pub fn pixel_5() -> DeviceProfile {
+        DeviceProfile {
+            name: "Pixel 5".into(),
+            loudspeaker: SpeakerSpec { drive_gain: 0.048, spl_db: 74.0, rolloff_hz: 420.0 },
+            ear_speaker: SpeakerSpec { drive_gain: 0.0038, spl_db: 40.0, rolloff_hz: 480.0 },
+            modes: vec![
+                ResonantMode { freq_hz: 130.0, bandwidth_hz: 55.0, gain: 0.75 },
+                ResonantMode { freq_hz: 190.0, bandwidth_hz: 70.0, gain: 0.45 },
+            ],
+            envelope_coupling: 0.62,
+            direct_coupling: 0.72,
+            accel_rate_hz: 400.0,
+            accel_noise_std: 0.0026,
+            accel_lsb: 0.0015,
+            motion_noise_std: 0.013,
+        }
+    }
+
+    /// Samsung Galaxy S10 — mid-field coupling; the CREMA-D device
+    /// (Table IV).
+    pub fn galaxy_s10() -> DeviceProfile {
+        DeviceProfile {
+            name: "Galaxy S10".into(),
+            loudspeaker: SpeakerSpec { drive_gain: 0.038, spl_db: 76.0, rolloff_hz: 390.0 },
+            ear_speaker: SpeakerSpec { drive_gain: 0.0042, spl_db: 41.0, rolloff_hz: 460.0 },
+            modes: vec![
+                ResonantMode { freq_hz: 150.0, bandwidth_hz: 50.0, gain: 0.85 },
+                ResonantMode { freq_hz: 225.0, bandwidth_hz: 70.0, gain: 0.55 },
+            ],
+            envelope_coupling: 0.68,
+            direct_coupling: 0.78,
+            accel_rate_hz: 500.0,
+            accel_noise_std: 0.0022,
+            accel_lsb: 0.0014,
+            motion_noise_std: 0.013,
+        }
+    }
+
+    /// Samsung Galaxy S21 — strong stereo coupling, second-best TESS device
+    /// (Table V).
+    pub fn galaxy_s21() -> DeviceProfile {
+        DeviceProfile {
+            name: "Galaxy S21".into(),
+            loudspeaker: SpeakerSpec { drive_gain: 0.044, spl_db: 77.0, rolloff_hz: 370.0 },
+            ear_speaker: SpeakerSpec { drive_gain: 0.0046, spl_db: 42.0, rolloff_hz: 450.0 },
+            modes: vec![
+                ResonantMode { freq_hz: 148.0, bandwidth_hz: 48.0, gain: 0.92 },
+                ResonantMode { freq_hz: 210.0, bandwidth_hz: 62.0, gain: 0.62 },
+            ],
+            envelope_coupling: 0.78,
+            direct_coupling: 0.85,
+            accel_rate_hz: 480.0,
+            accel_noise_std: 0.0020,
+            accel_lsb: 0.0013,
+            motion_noise_std: 0.013,
+        }
+    }
+
+    /// Samsung Galaxy S21 Ultra — similar to the S21, slightly heavier
+    /// chassis (marginally lower coupling).
+    pub fn galaxy_s21_ultra() -> DeviceProfile {
+        DeviceProfile {
+            name: "Galaxy S21 Ultra".into(),
+            loudspeaker: SpeakerSpec { drive_gain: 0.040, spl_db: 77.0, rolloff_hz: 380.0 },
+            ear_speaker: SpeakerSpec { drive_gain: 0.0044, spl_db: 42.0, rolloff_hz: 455.0 },
+            modes: vec![
+                ResonantMode { freq_hz: 138.0, bandwidth_hz: 46.0, gain: 0.88 },
+                ResonantMode { freq_hz: 200.0, bandwidth_hz: 60.0, gain: 0.58 },
+            ],
+            envelope_coupling: 0.72,
+            direct_coupling: 0.80,
+            accel_rate_hz: 480.0,
+            accel_noise_std: 0.0021,
+            accel_lsb: 0.0013,
+            motion_noise_std: 0.013,
+        }
+    }
+
+    /// All six evaluation devices in the paper's order.
+    pub fn all() -> Vec<DeviceProfile> {
+        vec![
+            DeviceProfile::oneplus_7t(),
+            DeviceProfile::oneplus_9(),
+            DeviceProfile::pixel_5(),
+            DeviceProfile::galaxy_s10(),
+            DeviceProfile::galaxy_s21(),
+            DeviceProfile::galaxy_s21_ultra(),
+        ]
+    }
+
+    /// The marketing name of the device.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The spec of the selected speaker.
+    pub fn speaker(&self, kind: SpeakerKind) -> &SpeakerSpec {
+        match kind {
+            SpeakerKind::Loudspeaker => &self.loudspeaker,
+            SpeakerKind::EarSpeaker => &self.ear_speaker,
+        }
+    }
+
+    /// Builds the chassis conduction model for this device.
+    pub fn chassis_model(&self) -> ChassisModel {
+        ChassisModel::new(
+            self.modes.clone(),
+            self.direct_coupling,
+            self.envelope_coupling,
+        )
+    }
+
+    /// Builds the accelerometer model for this device.
+    pub fn accelerometer(&self) -> Accelerometer {
+        Accelerometer::new(self.accel_rate_hz, self.accel_noise_std, self.accel_lsb)
+    }
+
+    /// The accelerometer sampling rate in Hz.
+    pub fn accel_rate_hz(&self) -> f64 {
+        self.accel_rate_hz
+    }
+
+    /// Handheld motion-noise standard deviation (m/s²).
+    pub fn motion_noise_std(&self) -> f64 {
+        self.motion_noise_std
+    }
+
+    /// Returns a copy with all chassis coupling coefficients scaled by
+    /// `scale` — the vibration-damping / sensor-relocation mitigation of
+    /// §VI-B (0 = perfectly isolated sensor, 1 = unmodified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative.
+    #[must_use]
+    pub fn with_coupling_scale(mut self, scale: f64) -> DeviceProfile {
+        assert!(scale >= 0.0, "coupling scale must be non-negative");
+        self.envelope_coupling *= scale;
+        self.direct_coupling *= scale;
+        for m in &mut self.modes {
+            m.gain *= scale;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_devices_with_unique_names() {
+        let all = DeviceProfile::all();
+        assert_eq!(all.len(), 6);
+        let mut names: Vec<&str> = all.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn ear_speakers_are_quieter_but_couple_to_the_chassis() {
+        for d in DeviceProfile::all() {
+            let ls = d.speaker(SpeakerKind::Loudspeaker);
+            let es = d.speaker(SpeakerKind::EarSpeaker);
+            // Acoustically the earpiece is 30+ dB quieter (§I)...
+            assert!((36.0..=46.0).contains(&es.spl_db), "{} ear SPL", d.name());
+            assert!(ls.spl_db >= es.spl_db + 28.0, "{} SPL gap", d.name());
+            // ...but its chassis force is bounded by the loudspeaker's (it
+            // sits right next to the IMU, so the gap is far smaller than
+            // the SPL gap suggests).
+            assert!(es.drive_gain <= ls.drive_gain * 1.3, "{} drive", d.name());
+        }
+    }
+
+    #[test]
+    fn oneplus_7t_has_strongest_coupling() {
+        let best = DeviceProfile::oneplus_7t();
+        for d in [
+            DeviceProfile::pixel_5(),
+            DeviceProfile::galaxy_s10(),
+            DeviceProfile::galaxy_s21(),
+            DeviceProfile::galaxy_s21_ultra(),
+        ] {
+            assert!(
+                best.envelope_coupling > d.envelope_coupling,
+                "7T should beat {}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pixel_5_is_the_weakest() {
+        let pixel = DeviceProfile::pixel_5();
+        for d in DeviceProfile::all() {
+            if d.name() != pixel.name() {
+                assert!(pixel.envelope_coupling < d.envelope_coupling);
+            }
+        }
+    }
+
+    #[test]
+    fn accel_rates_in_plausible_range() {
+        for d in DeviceProfile::all() {
+            assert!((400.0..=500.0).contains(&d.accel_rate_hz()), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn speaker_drive_scales_and_filters() {
+        let d = DeviceProfile::oneplus_7t();
+        let ls = d.speaker(SpeakerKind::Loudspeaker);
+        let fs = 8000.0;
+        // A 600 Hz tone passes (above rolloff), scaled by drive gain.
+        let tone: Vec<f64> =
+            (0..8000).map(|i| (2.0 * std::f64::consts::PI * 600.0 * i as f64 / fs).sin()).collect();
+        let out = ls.drive(&tone, fs);
+        let rms = |x: &[f64]| (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt();
+        let expected = ls.drive_gain / 2f64.sqrt();
+        assert!((rms(&out[4000..]) - expected).abs() / expected < 0.15);
+    }
+}

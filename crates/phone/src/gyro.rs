@@ -1,0 +1,127 @@
+//! Gyroscope model — the sensor the paper considered and rejected.
+//!
+//! §III-B.1: prior work (Ba et al., AccelEve) found the gyroscope's audio
+//! response much weaker than the accelerometer's: gyroscopes measure
+//! *rotation*, and speaker-induced chassis vibration is almost purely
+//! translational; only the small torque component (speaker offset from the
+//! center of mass) rotates the phone. Gyroscope-based attacks such as
+//! Gyrophone need a shared surface excited by an *external* speaker.
+//!
+//! This module exists to reproduce that justification as an experiment
+//! (`accel_vs_gyro` bench binary): the same playback through the gyroscope
+//! channel yields a far lower SNR and near-chance emotion recognition.
+
+use crate::accel::AccelTrace;
+use crate::device::{DeviceProfile, SpeakerKind};
+use emoleak_dsp::noise::Gaussian;
+use emoleak_dsp::resample::resample_linear;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A gyroscope channel for a device: converts playback into a z-axis
+/// angular-rate trace (rad/s), reusing the device's chassis model but with
+/// the rotational coupling fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GyroChannel {
+    /// Fraction of the translational vibration that appears as rotation
+    /// (torque arm ÷ moment of inertia, normalized). Prior measurements put
+    /// the gyroscope response 15–25 dB below the accelerometer's.
+    pub rotational_coupling: f64,
+    /// Gyroscope output rate in Hz.
+    pub rate_hz: f64,
+    /// Angular random walk noise floor (rad/s).
+    pub noise_std: f64,
+    device: DeviceProfile,
+    kind: SpeakerKind,
+}
+
+impl GyroChannel {
+    /// Builds the gyroscope channel for a device and speaker, with the
+    /// literature's ~20 dB rotational attenuation.
+    pub fn new(device: &DeviceProfile, kind: SpeakerKind) -> Self {
+        GyroChannel {
+            rotational_coupling: 0.10,
+            rate_hz: device.accel_rate_hz(),
+            noise_std: 0.0025,
+            device: device.clone(),
+            kind,
+        }
+    }
+
+    /// Simulates the playback → gyroscope chain (table-top placement).
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        audio: &[f64],
+        fs_audio: f64,
+        rng: &mut R,
+    ) -> AccelTrace {
+        // Same conduction physics as the accelerometer path...
+        let driven = self.device.speaker(self.kind).drive(audio, fs_audio);
+        let vibration = self.device.chassis_model().conduct(&driven, fs_audio);
+        // ...but only the rotational fraction reaches the gyroscope.
+        let mut samples = if vibration.is_empty() {
+            Vec::new()
+        } else {
+            resample_linear(&vibration, fs_audio, self.rate_hz)
+                .expect("valid rates and non-empty input")
+        };
+        let mut gauss = Gaussian::new();
+        for v in samples.iter_mut() {
+            *v = *v * self.rotational_coupling + gauss.sample(rng, 0.0, self.noise_std);
+        }
+        AccelTrace { samples, fs: self.rate_hz }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn tone(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 0.4 * (i as f64 * 0.25).sin()).collect()
+    }
+
+    #[test]
+    fn gyro_response_is_much_weaker_than_accelerometer() {
+        let device = DeviceProfile::oneplus_7t();
+        let audio = tone(16000);
+        // Noise-free comparison of the deterministic signal paths.
+        let mut gyro = GyroChannel::new(&device, SpeakerKind::Loudspeaker);
+        gyro.noise_std = 0.0;
+        let g = gyro.simulate(&audio, 8000.0, &mut rng(1));
+        let accel = crate::VibrationChannel::new(
+            &device,
+            SpeakerKind::Loudspeaker,
+            crate::Placement::TableTop,
+        );
+        let a = accel.simulate(&audio, 8000.0, &mut rng(1));
+        let rms = |x: &[f64]| (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt();
+        let ratio = rms(&a.samples) / rms(&g.samples);
+        assert!(
+            ratio > 5.0,
+            "accelerometer should dominate the gyroscope by >14 dB, got {ratio:.1}x"
+        );
+    }
+
+    #[test]
+    fn gyro_noise_floor_is_applied() {
+        let device = DeviceProfile::pixel_5();
+        let gyro = GyroChannel::new(&device, SpeakerKind::Loudspeaker);
+        let t = gyro.simulate(&vec![0.0; 8000], 8000.0, &mut rng(2));
+        let sd = emoleak_dsp::stats::std_dev(&t.samples);
+        assert!((sd - gyro.noise_std).abs() < 6e-4, "noise floor sd {sd}");
+    }
+
+    #[test]
+    fn gyro_trace_rate_matches_device() {
+        let device = DeviceProfile::galaxy_s21();
+        let gyro = GyroChannel::new(&device, SpeakerKind::Loudspeaker);
+        let t = gyro.simulate(&tone(8000), 8000.0, &mut rng(3));
+        assert_eq!(t.fs, device.accel_rate_hz());
+    }
+}

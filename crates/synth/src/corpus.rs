@@ -1,0 +1,320 @@
+//! Corpus builders mirroring the structure of SAVEE, TESS and CREMA-D.
+//!
+//! Each corpus is a deterministic generator: `(speaker, emotion, repetition)`
+//! maps to exactly one clip given the corpus seed, so every experiment in the
+//! paper's tables can be re-run bit-identically.
+
+use crate::emotion::Emotion;
+use crate::speaker::{Gender, Speaker};
+use crate::utterance::{Utterance, UtteranceConfig};
+use serde::{Deserialize, Serialize};
+
+/// One audio clip of the corpus with its ground-truth label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clip {
+    /// Mono waveform.
+    pub samples: Vec<f64>,
+    /// Sampling rate in Hz.
+    pub fs: f64,
+    /// Acted emotion (the classification label).
+    pub emotion: Emotion,
+    /// Speaker index within the corpus.
+    pub speaker: u32,
+    /// Repetition index within the (speaker, emotion) cell.
+    pub repetition: usize,
+    /// Ground-truth voiced spans in samples (for region-detector scoring).
+    pub voiced_spans: Vec<(usize, usize)>,
+}
+
+impl Clip {
+    /// Clip duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.fs
+    }
+}
+
+/// The recipe for a deterministic synthetic corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    name: String,
+    speakers: Vec<Speaker>,
+    emotions: Vec<Emotion>,
+    clips_per_cell: usize,
+    utterance: UtteranceConfig,
+    within_variation: f64,
+    seed: u64,
+}
+
+impl CorpusSpec {
+    /// Builds a custom corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `num_speakers`, `emotions`, `clips_per_cell` is
+    /// empty/zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn custom(
+        name: &str,
+        num_speakers: usize,
+        genders: &[Gender],
+        emotions: &[Emotion],
+        clips_per_cell: usize,
+        expressivity_variation: f64,
+        within_variation: f64,
+        utterance: UtteranceConfig,
+        seed: u64,
+    ) -> CorpusSpec {
+        assert!(num_speakers > 0, "corpus needs at least one speaker");
+        assert!(!emotions.is_empty(), "corpus needs at least one emotion");
+        assert!(clips_per_cell > 0, "corpus needs at least one clip per cell");
+        assert!(!genders.is_empty(), "corpus needs at least one gender");
+        let speakers = (0..num_speakers as u32)
+            .map(|id| {
+                Speaker::generate(
+                    id,
+                    genders[id as usize % genders.len()],
+                    expressivity_variation,
+                    seed,
+                )
+            })
+            .collect();
+        CorpusSpec {
+            name: name.to_string(),
+            speakers,
+            emotions: emotions.to_vec(),
+            clips_per_cell,
+            utterance,
+            within_variation,
+            seed,
+        }
+    }
+
+    /// SAVEE-like corpus: 4 male speakers × 7 emotions, ~480 clips total
+    /// (≈17 clips per cell), sentence-length utterances, moderate
+    /// expressivity variation.
+    pub fn savee() -> CorpusSpec {
+        CorpusSpec::custom(
+            "SAVEE",
+            4,
+            &[Gender::Male],
+            &Emotion::ALL7,
+            17,
+            0.60,
+            1.00,
+            UtteranceConfig { syllables: 7, syllable_slot_s: 0.20, ..Default::default() },
+            0x5AEE_0001,
+        )
+    }
+
+    /// TESS-like corpus: 2 female speakers × 7 emotions, 2800 clips total
+    /// (200 per cell), short carrier-phrase utterances ("Say the word ..."),
+    /// low expressivity variation (consistent trained actors).
+    pub fn tess() -> CorpusSpec {
+        CorpusSpec::custom(
+            "TESS",
+            2,
+            &[Gender::Female],
+            &Emotion::ALL7,
+            200,
+            0.05,
+            0.06,
+            UtteranceConfig { syllables: 4, syllable_slot_s: 0.22, ..Default::default() },
+            0x7E55_0001,
+        )
+    }
+
+    /// CREMA-D-like corpus: 91 mixed-gender speakers × 6 emotions (no
+    /// surprise), ~7442 clips total (≈13–14 per cell), high expressivity
+    /// variation (crowd-sourced actors).
+    pub fn crema_d() -> CorpusSpec {
+        CorpusSpec::custom(
+            "CREMA-D",
+            91,
+            &[Gender::Male, Gender::Female],
+            &Emotion::ALL6,
+            13,
+            0.42,
+            0.45,
+            UtteranceConfig { syllables: 5, syllable_slot_s: 0.21, ..Default::default() },
+            0xC4E3_0001,
+        )
+    }
+
+    /// Scales the corpus to `n` clips per (speaker, emotion) cell —
+    /// experiments use this to trade accuracy variance for runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_clips_per_cell(mut self, n: usize) -> CorpusSpec {
+        assert!(n > 0, "corpus needs at least one clip per cell");
+        self.clips_per_cell = n;
+        self
+    }
+
+    /// Replaces the corpus seed (for repeat-run variance studies).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> CorpusSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// The corpus display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The speakers of this corpus.
+    pub fn speakers(&self) -> &[Speaker] {
+        &self.speakers
+    }
+
+    /// The emotion classes of this corpus.
+    pub fn emotions(&self) -> &[Emotion] {
+        &self.emotions
+    }
+
+    /// Clips per (speaker, emotion) cell.
+    pub fn clips_per_cell(&self) -> usize {
+        self.clips_per_cell
+    }
+
+    /// Total clip count (`speakers × emotions × clips_per_cell`).
+    pub fn total_clips(&self) -> usize {
+        self.speakers.len() * self.emotions.len() * self.clips_per_cell
+    }
+
+    /// Random-guess accuracy for this corpus (1 / #classes).
+    pub fn random_guess(&self) -> f64 {
+        1.0 / self.emotions.len() as f64
+    }
+
+    /// Synthesizes one clip deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speaker_idx >= speakers()` or `repetition >=
+    /// clips_per_cell()` or `emotion` is not in this corpus.
+    pub fn clip(&self, speaker_idx: usize, emotion: Emotion, repetition: usize) -> Clip {
+        assert!(speaker_idx < self.speakers.len(), "speaker index out of range");
+        assert!(repetition < self.clips_per_cell, "repetition out of range");
+        assert!(
+            self.emotions.contains(&emotion),
+            "emotion {emotion} not in corpus {}",
+            self.name
+        );
+        let speaker = &self.speakers[speaker_idx];
+        let seed = self
+            .seed
+            .wrapping_mul(0x2545F4914F6CDD1D)
+            .wrapping_add((speaker_idx as u64) << 40)
+            .wrapping_add((emotion.index() as u64) << 32)
+            .wrapping_add(repetition as u64);
+        use rand::SeedableRng;
+        let mut clip_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+        let profile = speaker
+            .render(emotion)
+            .perturb(&mut clip_rng, self.within_variation);
+        let utt = Utterance::synthesize(speaker, &profile, &self.utterance, seed);
+        Clip {
+            samples: utt.samples,
+            fs: utt.fs,
+            emotion,
+            speaker: speaker.id(),
+            repetition,
+            voiced_spans: utt.voiced_spans,
+        }
+    }
+
+    /// Iterates over all clips in (speaker, emotion, repetition) order,
+    /// synthesizing lazily — the corpus is never materialized in memory.
+    pub fn iter(&self) -> impl Iterator<Item = Clip> + '_ {
+        let spk = self.speakers.len();
+        let emo = self.emotions.len();
+        let rep = self.clips_per_cell;
+        (0..spk).flat_map(move |s| {
+            (0..emo).flat_map(move |e| (0..rep).map(move |r| self.clip(s, self.emotions[e], r)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emoleak_dsp::stats;
+
+    #[test]
+    fn corpus_shapes_match_the_paper() {
+        let savee = CorpusSpec::savee();
+        assert_eq!(savee.speakers().len(), 4);
+        assert_eq!(savee.emotions().len(), 7);
+        assert_eq!(savee.total_clips(), 4 * 7 * 17); // 476 ≈ 480
+        let tess = CorpusSpec::tess();
+        assert_eq!(tess.total_clips(), 2800);
+        let crema = CorpusSpec::crema_d();
+        assert_eq!(crema.speakers().len(), 91);
+        assert_eq!(crema.emotions().len(), 6);
+        assert_eq!(crema.total_clips(), 91 * 6 * 13); // 7098 ≈ 7442
+        assert!((tess.random_guess() - 1.0 / 7.0).abs() < 1e-12);
+        assert!((crema.random_guess() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clips_are_deterministic() {
+        let c = CorpusSpec::tess().with_clips_per_cell(2);
+        let a = c.clip(0, Emotion::Fear, 1);
+        let b = c.clip(0, Emotion::Fear, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repetitions_differ_within_a_cell() {
+        let c = CorpusSpec::tess().with_clips_per_cell(3);
+        let a = c.clip(1, Emotion::Happy, 0);
+        let b = c.clip(1, Emotion::Happy, 1);
+        assert_ne!(a.samples, b.samples);
+        assert_eq!(a.emotion, b.emotion);
+    }
+
+    #[test]
+    fn iter_yields_every_cell() {
+        let c = CorpusSpec::savee().with_clips_per_cell(2);
+        let clips: Vec<Clip> = c.iter().collect();
+        assert_eq!(clips.len(), c.total_clips());
+        for e in Emotion::ALL7 {
+            assert!(clips.iter().any(|cl| cl.emotion == e));
+        }
+    }
+
+    #[test]
+    fn emotion_energy_ordering_survives_synthesis() {
+        // Averaged over the consistent TESS speakers, anger clips should be
+        // louder than sad clips.
+        let c = CorpusSpec::tess().with_clips_per_cell(4);
+        let mean_rms = |e: Emotion| {
+            let vals: Vec<f64> = (0..2)
+                .flat_map(|s| (0..4).map(move |r| (s, r)))
+                .map(|(s, r)| stats::rms(&c.clip(s, e, r).samples))
+                .collect();
+            stats::mean(&vals)
+        };
+        assert!(mean_rms(Emotion::Anger) > 1.3 * mean_rms(Emotion::Sad));
+    }
+
+    #[test]
+    #[should_panic(expected = "emotion")]
+    fn crema_d_rejects_surprise() {
+        CorpusSpec::crema_d().clip(0, Emotion::Surprise, 0);
+    }
+
+    #[test]
+    fn with_seed_changes_clips() {
+        let a = CorpusSpec::tess().with_clips_per_cell(1);
+        let b = a.clone().with_seed(999);
+        assert_ne!(
+            a.clip(0, Emotion::Neutral, 0).samples,
+            b.clip(0, Emotion::Neutral, 0).samples
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Emotion classes and their prosodic correlates.
+//!
+//! The profiles encode how each acted emotion perturbs a speaker's neutral
+//! voice. The directions follow the speech-emotion literature the paper
+//! builds on (anger/happiness: raised F0 and energy; sadness: lowered F0,
+//! narrow range, slow rate; fear: raised F0 with strong jitter; surprise:
+//! large F0 range with a terminal rise).
+
+use serde::{Deserialize, Serialize};
+
+/// The emotion classes of the SAVEE/TESS (7-class) and CREMA-D (6-class)
+/// corpora.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Emotion {
+    /// Anger.
+    Anger,
+    /// Disgust.
+    Disgust,
+    /// Fear.
+    Fear,
+    /// Happiness.
+    Happy,
+    /// Neutral (no acted emotion).
+    Neutral,
+    /// Sadness.
+    Sad,
+    /// (Pleasant) surprise — present in SAVEE and TESS, absent from CREMA-D.
+    Surprise,
+}
+
+impl Emotion {
+    /// The seven SAVEE/TESS classes (random-guess accuracy 1/7 ≈ 14.28 %).
+    pub const ALL7: [Emotion; 7] = [
+        Emotion::Anger,
+        Emotion::Disgust,
+        Emotion::Fear,
+        Emotion::Happy,
+        Emotion::Neutral,
+        Emotion::Sad,
+        Emotion::Surprise,
+    ];
+
+    /// The six CREMA-D classes (random-guess accuracy 1/6 ≈ 16.67 %).
+    pub const ALL6: [Emotion; 6] = [
+        Emotion::Anger,
+        Emotion::Disgust,
+        Emotion::Fear,
+        Emotion::Happy,
+        Emotion::Neutral,
+        Emotion::Sad,
+    ];
+
+    /// A stable small integer id (used for seeding and as class index).
+    pub fn index(self) -> usize {
+        match self {
+            Emotion::Anger => 0,
+            Emotion::Disgust => 1,
+            Emotion::Fear => 2,
+            Emotion::Happy => 3,
+            Emotion::Neutral => 4,
+            Emotion::Sad => 5,
+            Emotion::Surprise => 6,
+        }
+    }
+
+    /// Parses from the canonical lowercase name.
+    pub fn from_name(name: &str) -> Option<Emotion> {
+        match name {
+            "anger" | "angry" => Some(Emotion::Anger),
+            "disgust" => Some(Emotion::Disgust),
+            "fear" => Some(Emotion::Fear),
+            "happy" | "happiness" => Some(Emotion::Happy),
+            "neutral" => Some(Emotion::Neutral),
+            "sad" | "sadness" => Some(Emotion::Sad),
+            "surprise" | "pleasant_surprise" => Some(Emotion::Surprise),
+            _ => None,
+        }
+    }
+
+    /// The baseline prosody perturbation profile for this emotion.
+    pub fn profile(self) -> EmotionProfile {
+        match self {
+            Emotion::Neutral => EmotionProfile {
+                f0_scale: 1.0,
+                f0_range: 1.0,
+                rate: 1.0,
+                energy: 1.0,
+                jitter: 0.010,
+                shimmer: 0.04,
+                breathiness: 0.10,
+                tilt_db_per_octave: 0.0,
+                attack: 1.0,
+                final_rise: 0.0,
+            },
+            Emotion::Anger => EmotionProfile {
+                f0_scale: 1.26,
+                f0_range: 1.65,
+                rate: 1.18,
+                energy: 1.85,
+                jitter: 0.028,
+                shimmer: 0.085,
+                breathiness: 0.05,
+                tilt_db_per_octave: 2.8,
+                attack: 0.45,
+                final_rise: -0.05,
+            },
+            Emotion::Happy => EmotionProfile {
+                f0_scale: 1.32,
+                f0_range: 1.50,
+                rate: 1.10,
+                energy: 1.40,
+                jitter: 0.015,
+                shimmer: 0.050,
+                breathiness: 0.08,
+                tilt_db_per_octave: 1.6,
+                attack: 0.75,
+                final_rise: 0.05,
+            },
+            Emotion::Fear => EmotionProfile {
+                f0_scale: 1.38,
+                f0_range: 1.20,
+                rate: 1.28,
+                energy: 0.92,
+                jitter: 0.045,
+                shimmer: 0.095,
+                breathiness: 0.22,
+                tilt_db_per_octave: 0.6,
+                attack: 0.85,
+                final_rise: 0.02,
+            },
+            Emotion::Sad => EmotionProfile {
+                f0_scale: 0.84,
+                f0_range: 0.50,
+                rate: 0.74,
+                energy: 0.58,
+                jitter: 0.012,
+                shimmer: 0.042,
+                breathiness: 0.26,
+                tilt_db_per_octave: -3.0,
+                attack: 1.60,
+                final_rise: -0.04,
+            },
+            Emotion::Disgust => EmotionProfile {
+                f0_scale: 0.92,
+                f0_range: 0.82,
+                rate: 0.84,
+                energy: 0.95,
+                jitter: 0.022,
+                shimmer: 0.065,
+                breathiness: 0.14,
+                tilt_db_per_octave: -1.4,
+                attack: 1.25,
+                final_rise: -0.02,
+            },
+            Emotion::Surprise => EmotionProfile {
+                f0_scale: 1.46,
+                f0_range: 1.95,
+                rate: 1.05,
+                energy: 1.30,
+                jitter: 0.018,
+                shimmer: 0.055,
+                breathiness: 0.09,
+                tilt_db_per_octave: 2.0,
+                attack: 0.65,
+                final_rise: 0.35,
+            },
+        }
+    }
+}
+
+impl core::fmt::Display for Emotion {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Emotion::Anger => "anger",
+            Emotion::Disgust => "disgust",
+            Emotion::Fear => "fear",
+            Emotion::Happy => "happy",
+            Emotion::Neutral => "neutral",
+            Emotion::Sad => "sad",
+            Emotion::Surprise => "surprise",
+        };
+        f.write_str(name)
+    }
+}
+
+/// How an emotion perturbs a speaker's neutral voice.
+///
+/// All fields multiply or offset the speaker's neutral parameters, so a
+/// profile composes with any base voice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmotionProfile {
+    /// Multiplier on the speaker's base fundamental frequency.
+    pub f0_scale: f64,
+    /// Multiplier on F0 excursion (accent bumps, declination depth).
+    pub f0_range: f64,
+    /// Speaking-rate multiplier (>1 = faster, shorter syllables).
+    pub rate: f64,
+    /// Overall amplitude multiplier (vocal effort).
+    pub energy: f64,
+    /// Cycle-to-cycle F0 perturbation (fraction of period).
+    pub jitter: f64,
+    /// Cycle-to-cycle amplitude perturbation (fraction).
+    pub shimmer: f64,
+    /// Aspiration-noise mix (0 = none, 1 = whisper).
+    pub breathiness: f64,
+    /// Extra spectral tilt in dB/octave (positive = brighter).
+    pub tilt_db_per_octave: f64,
+    /// Syllable-envelope attack time multiplier (<1 = punchier onsets).
+    pub attack: f64,
+    /// Terminal F0 rise as a fraction of base F0 (surprise contour).
+    pub final_rise: f64,
+}
+
+impl EmotionProfile {
+    /// Randomly perturbs the profile for one clip: `scale` is the
+    /// within-cell variation knob (0 = every repetition identical in
+    /// prosody, larger = actors vary take to take).
+    pub fn perturb<R: rand::Rng + ?Sized>(&self, rng: &mut R, scale: f64) -> EmotionProfile {
+        let mut jig = |v: f64, s: f64| v + (rng.gen::<f64>() - 0.5) * 2.0 * scale * s;
+        EmotionProfile {
+            // Vocal effort varies strongly take-to-take; pitch targets are
+            // the most stable cue an actor reproduces.
+            f0_scale: jig(self.f0_scale, 0.05).max(0.5),
+            f0_range: jig(self.f0_range, 0.20).max(0.1),
+            rate: jig(self.rate, 0.10).max(0.4),
+            energy: jig(self.energy, 0.90).max(0.1),
+            jitter: jig(self.jitter, 0.008).max(0.001),
+            shimmer: jig(self.shimmer, 0.015).max(0.005),
+            breathiness: jig(self.breathiness, 0.04).clamp(0.0, 0.9),
+            tilt_db_per_octave: jig(self.tilt_db_per_octave, 0.8),
+            attack: jig(self.attack, 0.15).max(0.2),
+            final_rise: jig(self.final_rise, 0.04),
+        }
+    }
+
+    /// Linear interpolation between two profiles, `t ∈ [0, 1]`.
+    ///
+    /// Used for per-speaker expressivity blending: a barely expressive
+    /// speaker sits close to neutral.
+    pub fn lerp(&self, other: &EmotionProfile, t: f64) -> EmotionProfile {
+        let l = |a: f64, b: f64| a + (b - a) * t;
+        EmotionProfile {
+            f0_scale: l(self.f0_scale, other.f0_scale),
+            f0_range: l(self.f0_range, other.f0_range),
+            rate: l(self.rate, other.rate),
+            energy: l(self.energy, other.energy),
+            jitter: l(self.jitter, other.jitter),
+            shimmer: l(self.shimmer, other.shimmer),
+            breathiness: l(self.breathiness, other.breathiness),
+            tilt_db_per_octave: l(self.tilt_db_per_octave, other.tilt_db_per_octave),
+            attack: l(self.attack, other.attack),
+            final_rise: l(self.final_rise, other.final_rise),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_sets_have_expected_sizes() {
+        assert_eq!(Emotion::ALL7.len(), 7);
+        assert_eq!(Emotion::ALL6.len(), 6);
+        assert!(!Emotion::ALL6.contains(&Emotion::Surprise));
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = [false; 7];
+        for e in Emotion::ALL7 {
+            assert!(!seen[e.index()], "duplicate index for {e}");
+            seen[e.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for e in Emotion::ALL7 {
+            assert_eq!(Emotion::from_name(&e.to_string()), Some(e));
+        }
+        assert_eq!(Emotion::from_name("angry"), Some(Emotion::Anger));
+        assert_eq!(Emotion::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn profiles_encode_known_prosody_directions() {
+        let neutral = Emotion::Neutral.profile();
+        let anger = Emotion::Anger.profile();
+        let sad = Emotion::Sad.profile();
+        let surprise = Emotion::Surprise.profile();
+        assert!(anger.energy > neutral.energy);
+        assert!(anger.f0_scale > neutral.f0_scale);
+        assert!(sad.f0_scale < neutral.f0_scale);
+        assert!(sad.rate < neutral.rate);
+        assert!(sad.energy < neutral.energy);
+        assert!(surprise.f0_range > anger.f0_range);
+        assert!(surprise.final_rise > 0.2);
+        assert!(Emotion::Fear.profile().jitter > neutral.jitter);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Emotion::Neutral.profile();
+        let b = Emotion::Anger.profile();
+        let close = |x: &EmotionProfile, y: &EmotionProfile| {
+            (x.f0_scale - y.f0_scale).abs() < 1e-12
+                && (x.energy - y.energy).abs() < 1e-12
+                && (x.jitter - y.jitter).abs() < 1e-12
+                && (x.attack - y.attack).abs() < 1e-12
+        };
+        assert!(close(&a.lerp(&b, 0.0), &a));
+        assert!(close(&a.lerp(&b, 1.0), &b));
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.energy - (a.energy + b.energy) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Vocal-tract formant filtering.
+//!
+//! A vowel is modeled as a cascade of three two-pole resonators at the vowel's
+//! formant frequencies, scaled by the speaker's vocal-tract length. This is
+//! the classic Klatt-style cascade synthesizer reduced to what the EmoLeak
+//! channel can observe.
+
+use emoleak_dsp::filter::Biquad;
+use serde::{Deserialize, Serialize};
+
+/// A vowel identity with canonical (adult male) formant frequencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vowel {
+    /// /ɑ/ as in "father".
+    A,
+    /// /ɛ/ as in "bed".
+    E,
+    /// /i/ as in "see".
+    I,
+    /// /o/ as in "go".
+    O,
+    /// /u/ as in "boot".
+    U,
+}
+
+impl Vowel {
+    /// All five vowels.
+    pub const ALL: [Vowel; 5] = [Vowel::A, Vowel::E, Vowel::I, Vowel::O, Vowel::U];
+
+    /// Canonical first three formant frequencies in Hz (adult male values).
+    pub fn formants(self) -> [f64; 3] {
+        match self {
+            Vowel::A => [730.0, 1090.0, 2440.0],
+            Vowel::E => [530.0, 1840.0, 2480.0],
+            Vowel::I => [270.0, 2290.0, 3010.0],
+            Vowel::O => [570.0, 840.0, 2410.0],
+            Vowel::U => [300.0, 870.0, 2240.0],
+        }
+    }
+
+    /// Typical formant bandwidths in Hz.
+    pub fn bandwidths(self) -> [f64; 3] {
+        [80.0, 110.0, 160.0]
+    }
+}
+
+/// A three-resonator formant filter for one vowel at a given sampling rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormantFilter {
+    sections: Vec<Biquad>,
+}
+
+impl FormantFilter {
+    /// Builds the filter for `vowel` scaled by `formant_scale` (vocal-tract
+    /// length factor) at sampling rate `fs`.
+    ///
+    /// Formants above 95 % of Nyquist are dropped rather than wrapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fs` is not positive.
+    pub fn new(vowel: Vowel, formant_scale: f64, fs: f64) -> Self {
+        assert!(fs > 0.0, "sampling rate must be positive");
+        let sections = vowel
+            .formants()
+            .iter()
+            .zip(vowel.bandwidths())
+            .filter_map(|(&f, bw)| {
+                let freq = f * formant_scale;
+                if freq < 0.475 * fs {
+                    Some(resonator(freq, bw, fs))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        FormantFilter { sections }
+    }
+
+    /// Number of active resonator sections.
+    pub fn num_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Filters a source signal through the resonator cascade.
+    pub fn process(&self, source: &[f64]) -> Vec<f64> {
+        let mut out = source.to_vec();
+        for s in &self.sections {
+            out = s.process(&out);
+        }
+        out
+    }
+}
+
+/// A two-pole resonator at `freq` Hz with bandwidth `bw` Hz, normalized to
+/// unit gain at DC (the Klatt-cascade convention, so that resonators in
+/// series each boost their own band without attenuating the others').
+fn resonator(freq: f64, bw: f64, fs: f64) -> Biquad {
+    let r = (-std::f64::consts::PI * bw / fs).exp();
+    let theta = 2.0 * std::f64::consts::PI * freq / fs;
+    let a = [-2.0 * r * theta.cos(), r * r];
+    // H(z=1) = b0 / (1 + a1 + a2) = 1.
+    let b0 = 1.0 + a[0] + a[1];
+    Biquad::new([b0, 0.0, 0.0], a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emoleak_dsp::Fft;
+
+    #[test]
+    fn resonator_peaks_at_its_frequency() {
+        let fs = 8000.0;
+        let b = resonator(700.0, 80.0, fs);
+        let mag = |f: f64| b.magnitude_at(2.0 * std::f64::consts::PI * f / fs);
+        assert!(mag(700.0) > mag(400.0));
+        assert!(mag(700.0) > mag(1200.0));
+        // DC gain is one (Klatt normalization).
+        assert!((mag(0.0) - 1.0).abs() < 1e-9);
+        // Resonance gain well above unity.
+        assert!(mag(700.0) > 3.0);
+    }
+
+    #[test]
+    fn vowel_a_shapes_impulse_spectrum() {
+        let fs = 8000.0;
+        let filt = FormantFilter::new(Vowel::A, 1.0, fs);
+        assert_eq!(filt.num_sections(), 3);
+        let mut impulse = vec![0.0; 4096];
+        impulse[0] = 1.0;
+        let resp = filt.process(&impulse);
+        let fft = Fft::new(4096);
+        let p = fft.power_spectrum(&resp);
+        let bin = |f: f64| (f / fs * 4096.0).round() as usize;
+        // Formant peaks dominate the trough between F2 and F3.
+        assert!(p[bin(730.0)] > 3.0 * p[bin(1800.0)]);
+        assert!(p[bin(1090.0)] > 2.0 * p[bin(1800.0)]);
+    }
+
+    #[test]
+    fn formant_scale_shifts_spectrum_up() {
+        let fs = 8000.0;
+        let male = FormantFilter::new(Vowel::O, 1.0, fs);
+        let female = FormantFilter::new(Vowel::O, 1.18, fs);
+        let mut impulse = vec![0.0; 4096];
+        impulse[0] = 1.0;
+        let fft = Fft::new(4096);
+        let peak = |f: &FormantFilter| {
+            let p = fft.power_spectrum(&f.process(&impulse));
+            p.iter().enumerate().skip(10).max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+        };
+        assert!(peak(&female) > peak(&male));
+    }
+
+    #[test]
+    fn formants_above_nyquist_are_dropped() {
+        // At fs = 2000, only formants below 950 Hz survive.
+        let filt = FormantFilter::new(Vowel::I, 1.0, 2000.0);
+        assert_eq!(filt.num_sections(), 1); // only F1 = 270 Hz
+    }
+
+    #[test]
+    fn all_vowels_have_increasing_formants() {
+        for v in Vowel::ALL {
+            let f = v.formants();
+            assert!(f[0] < f[1] && f[1] < f[2], "{v:?}");
+        }
+    }
+}

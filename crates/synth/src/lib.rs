@@ -1,0 +1,46 @@
+//! # emoleak-synth
+//!
+//! Parametric emotional-speech synthesizer substituting the SAVEE, TESS and
+//! CREMA-D corpora used by the EmoLeak paper.
+//!
+//! The real corpora are recordings of actors producing scripted utterances in
+//! seven (SAVEE/TESS) or six (CREMA-D) emotional states. We cannot ship those
+//! recordings, so this crate generates *structurally equivalent* corpora with
+//! a glottal source–filter synthesizer whose prosody parameters (fundamental
+//! frequency level and range, jitter, shimmer, energy, speaking rate,
+//! spectral tilt, breathiness) are modulated per emotion — precisely the
+//! acoustic correlates that the speech-emotion-recognition literature (and
+//! EmoLeak's feature set) relies on.
+//!
+//! Dataset difficulty is reproduced through speaker structure: TESS has two
+//! consistent speakers (easiest), SAVEE four, CREMA-D ninety-one
+//! crowd-sourced actors with high expressive variation (hardest). Every clip
+//! is deterministic given the corpus seed.
+//!
+//! # Example
+//!
+//! ```
+//! use emoleak_synth::{CorpusSpec, Emotion};
+//!
+//! let corpus = CorpusSpec::tess().with_clips_per_cell(2);
+//! assert_eq!(corpus.total_clips(), 2 * 7 * 2);
+//! let clip = corpus.clip(0, Emotion::Anger, 0);
+//! assert!(!clip.samples.is_empty());
+//! assert_eq!(clip.emotion, Emotion::Anger);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod emotion;
+pub mod formant;
+pub mod prosody;
+pub mod speaker;
+pub mod utterance;
+pub mod voice;
+
+pub use corpus::{Clip, CorpusSpec};
+pub use emotion::{Emotion, EmotionProfile};
+pub use speaker::{Gender, Speaker};
+pub use utterance::{Utterance, UtteranceConfig};

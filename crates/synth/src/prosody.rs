@@ -1,0 +1,219 @@
+//! Prosodic contours: F0 and energy trajectories over an utterance.
+//!
+//! Emotion expresses itself prosodically through (a) the F0 *level* and
+//! *range*, (b) declination depth, (c) accent excursions, (d) terminal rise
+//! or fall, and (e) the energy attack/decay shape of each syllable. This
+//! module turns an [`EmotionProfile`]-adjusted parameter set into per-sample
+//! contours.
+
+use crate::emotion::EmotionProfile;
+use rand::Rng;
+
+/// Per-sample F0 contour over `n` samples for an utterance with syllable
+/// boundaries `syllables` (as (start, end) sample ranges).
+///
+/// The contour is: base level × declination × accent bumps × terminal rise,
+/// with small random wander to avoid mechanical monotony.
+pub fn f0_contour<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    base_f0: f64,
+    profile: &EmotionProfile,
+    syllables: &[(usize, usize)],
+) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let level = base_f0 * profile.f0_scale;
+    // Declination: fall of ~15 % across the utterance, scaled by range.
+    let decl_depth = 0.15 * profile.f0_range;
+    let mut contour: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            level * (1.0 - decl_depth * t)
+        })
+        .collect();
+    // Accent bump on each syllable: raised-cosine of ~12 % of level, scaled
+    // by the range parameter, with per-syllable random magnitude.
+    for &(start, end) in syllables {
+        let end = end.min(n);
+        if start >= end {
+            continue;
+        }
+        let mag = level * 0.12 * profile.f0_range * (0.6 + 0.8 * rng.gen::<f64>());
+        let len = end - start;
+        for i in start..end {
+            let phase = (i - start) as f64 / len as f64;
+            contour[i] += mag * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
+        }
+    }
+    // Terminal rise/fall over the last 20 %.
+    if profile.final_rise.abs() > 1e-9 {
+        let tail = n / 5;
+        for i in (n - tail)..n {
+            let phase = (i - (n - tail)) as f64 / tail as f64;
+            contour[i] += level * profile.final_rise * phase;
+        }
+    }
+    // Slow random wander (~2 % of level).
+    let mut wander: f64 = 0.0;
+    for v in contour.iter_mut() {
+        wander = 0.999 * wander + 0.02 * (rng.gen::<f64>() - 0.5);
+        *v *= 1.0 + 0.02 * wander.tanh();
+        *v = v.max(40.0);
+    }
+    contour
+}
+
+/// Per-sample energy envelope: each syllable gets an attack–sustain–decay
+/// shape whose attack time scales with the profile (anger = punchy onsets),
+/// and overall amplitude scales with `profile.energy`.
+pub fn energy_contour<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    profile: &EmotionProfile,
+    syllables: &[(usize, usize)],
+    fs: f64,
+) -> Vec<f64> {
+    let mut env = vec![0.0; n];
+    for &(start, end) in syllables {
+        let end = end.min(n);
+        if start >= end {
+            continue;
+        }
+        let len = end - start;
+        let attack = ((0.030 * profile.attack * fs) as usize).clamp(8, len.max(9) - 1);
+        let decay = ((0.050 * profile.attack.sqrt() * fs) as usize).clamp(8, len);
+        let level = profile.energy * (0.85 + 0.3 * rng.gen::<f64>());
+        for i in start..end {
+            let pos = i - start;
+            let shape = if pos < attack {
+                pos as f64 / attack as f64
+            } else if pos + decay > len {
+                (len - pos) as f64 / decay as f64
+            } else {
+                1.0
+            };
+            env[i] = level * shape.clamp(0.0, 1.0);
+        }
+    }
+    env
+}
+
+/// Splits a voiced duration of `n` samples into `num_syllables` alternating
+/// syllable/gap spans, returning syllable (start, end) ranges.
+///
+/// The gap fraction shrinks with faster speaking rates (already folded into
+/// `n` by the caller); this helper just spaces syllables evenly with ±20 %
+/// random spread.
+pub fn syllable_spans<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    num_syllables: usize,
+) -> Vec<(usize, usize)> {
+    if num_syllables == 0 || n == 0 {
+        return Vec::new();
+    }
+    let slot = n / num_syllables;
+    let mut spans = Vec::with_capacity(num_syllables);
+    for s in 0..num_syllables {
+        let start = s * slot;
+        // Syllable occupies 60–85 % of its slot, rest is inter-syllable gap.
+        let frac = 0.6 + 0.25 * rng.gen::<f64>();
+        let len = ((slot as f64) * frac) as usize;
+        spans.push((start, (start + len.max(1)).min(n)));
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emotion::Emotion;
+    use emoleak_dsp::stats;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn f0_stays_near_scaled_level() {
+        let p = Emotion::Neutral.profile();
+        let spans = syllable_spans(&mut rng(1), 8000, 4);
+        let c = f0_contour(&mut rng(2), 8000, 120.0, &p, &spans);
+        let m = stats::mean(&c);
+        assert!((m - 120.0).abs() < 15.0, "mean f0 {m}");
+        assert!(c.iter().all(|&f| f >= 40.0));
+    }
+
+    #[test]
+    fn anger_raises_level_and_range() {
+        let neutral = Emotion::Neutral.profile();
+        let anger = Emotion::Anger.profile();
+        let spans = syllable_spans(&mut rng(3), 8000, 4);
+        let cn = f0_contour(&mut rng(4), 8000, 120.0, &neutral, &spans);
+        let ca = f0_contour(&mut rng(4), 8000, 120.0, &anger, &spans);
+        assert!(stats::mean(&ca) > 1.15 * stats::mean(&cn));
+        assert!(stats::std_dev(&ca) > stats::std_dev(&cn));
+    }
+
+    #[test]
+    fn surprise_rises_at_the_end() {
+        let p = Emotion::Surprise.profile();
+        let spans = syllable_spans(&mut rng(5), 10000, 3);
+        let c = f0_contour(&mut rng(6), 10000, 200.0, &p, &spans);
+        let early = stats::mean(&c[7000..7500]);
+        let late = stats::mean(&c[9800..]);
+        assert!(late > early + 0.1 * 200.0, "late {late} vs early {early}");
+    }
+
+    #[test]
+    fn energy_envelope_is_zero_in_gaps() {
+        let p = Emotion::Neutral.profile();
+        let spans = vec![(0usize, 1000usize), (2000, 3000)];
+        let env = energy_contour(&mut rng(7), 4000, &p, &spans, 8000.0);
+        assert!(env[1500].abs() < 1e-12);
+        assert!(env[3500].abs() < 1e-12);
+        assert!(env[500] > 0.5);
+    }
+
+    #[test]
+    fn sad_has_lower_energy_than_anger() {
+        let spans = vec![(0usize, 4000usize)];
+        let sad = energy_contour(&mut rng(8), 4000, &Emotion::Sad.profile(), &spans, 8000.0);
+        let anger = energy_contour(&mut rng(8), 4000, &Emotion::Anger.profile(), &spans, 8000.0);
+        assert!(stats::max(&anger) > 2.0 * stats::max(&sad));
+    }
+
+    #[test]
+    fn attack_is_faster_for_anger() {
+        let spans = vec![(0usize, 4000usize)];
+        let fs = 8000.0;
+        let anger = energy_contour(&mut rng(9), 4000, &Emotion::Anger.profile(), &spans, fs);
+        let sad = energy_contour(&mut rng(9), 4000, &Emotion::Sad.profile(), &spans, fs);
+        // Time to reach 90% of own max.
+        let t90 = |e: &[f64]| {
+            let m = stats::max(e);
+            e.iter().position(|&v| v >= 0.9 * m).unwrap()
+        };
+        assert!(t90(&anger) < t90(&sad));
+    }
+
+    #[test]
+    fn spans_partition_without_overlap() {
+        let spans = syllable_spans(&mut rng(10), 10000, 5);
+        assert_eq!(spans.len(), 5);
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping spans");
+        }
+        assert!(spans.last().unwrap().1 <= 10000);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(syllable_spans(&mut rng(11), 0, 3).is_empty());
+        assert!(syllable_spans(&mut rng(11), 100, 0).is_empty());
+        assert!(f0_contour(&mut rng(11), 0, 100.0, &Emotion::Neutral.profile(), &[]).is_empty());
+    }
+}

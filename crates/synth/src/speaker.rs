@@ -1,0 +1,179 @@
+//! Speaker voices.
+//!
+//! A speaker is a base voice (fundamental frequency, vocal-tract length
+//! scale) plus a per-emotion *expressivity rendering*: how strongly and how
+//! idiosyncratically that speaker realizes each emotion's prosody profile.
+//! The rendering is what makes multi-speaker corpora harder — two angry
+//! speakers do not sound alike, and a weakly expressive speaker's anger can
+//! resemble another speaker's neutral.
+
+use crate::emotion::{Emotion, EmotionProfile};
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Speaker gender, which sets the base-F0 and formant ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gender {
+    /// Male voice (base F0 ~ 90–140 Hz).
+    Male,
+    /// Female voice (base F0 ~ 170–240 Hz).
+    Female,
+}
+
+/// A synthetic speaker voice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Speaker {
+    id: u32,
+    gender: Gender,
+    base_f0: f64,
+    formant_scale: f64,
+    expressivity: f64,
+    idiosyncrasy: f64,
+    seed: u64,
+}
+
+impl Speaker {
+    /// Deterministically generates speaker number `id` for a corpus.
+    ///
+    /// `expressivity_variation` controls how far speakers stray from the
+    /// canonical emotion profiles (0 = every speaker acts identically,
+    /// larger = idiosyncratic, overlapping renderings). `seed` scopes the
+    /// randomness to a corpus.
+    pub fn generate(id: u32, gender: Gender, expressivity_variation: f64, seed: u64) -> Speaker {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
+        let base_f0 = match gender {
+            Gender::Male => rng.gen_range(95.0..135.0),
+            Gender::Female => rng.gen_range(175.0..235.0),
+        };
+        let formant_scale = match gender {
+            Gender::Male => rng.gen_range(0.95..1.05),
+            Gender::Female => rng.gen_range(1.10..1.22),
+        };
+        // Expressivity in [1 - v, 1]: some speakers under-act. Idiosyncrasy
+        // scales per-emotion random perturbation of profile fields.
+        let expressivity = 1.0 - rng.gen::<f64>() * expressivity_variation;
+        let idiosyncrasy = expressivity_variation * (0.5 + rng.gen::<f64>());
+        Speaker {
+            id,
+            gender,
+            base_f0,
+            formant_scale,
+            expressivity,
+            idiosyncrasy,
+            seed,
+        }
+    }
+
+    /// The speaker's numeric id within its corpus.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The speaker's gender.
+    pub fn gender(&self) -> Gender {
+        self.gender
+    }
+
+    /// Neutral fundamental frequency in Hz.
+    pub fn base_f0(&self) -> f64 {
+        self.base_f0
+    }
+
+    /// Vocal-tract length scale applied to all formant frequencies.
+    pub fn formant_scale(&self) -> f64 {
+        self.formant_scale
+    }
+
+    /// How this speaker renders `emotion`: the canonical profile blended
+    /// toward neutral by the speaker's expressivity, then perturbed by the
+    /// speaker's idiosyncrasy. Deterministic per (speaker, emotion).
+    pub fn render(&self, emotion: Emotion) -> EmotionProfile {
+        let neutral = Emotion::Neutral.profile();
+        let canonical = emotion.profile();
+        let blended = neutral.lerp(&canonical, self.expressivity);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.seed
+                ^ (self.id as u64).wrapping_mul(0xD1B54A32D192ED03)
+                ^ (emotion.index() as u64).wrapping_mul(0x94D049BB133111EB),
+        );
+        let mut jig = |v: f64, scale: f64| {
+            let delta = (rng.gen::<f64>() - 0.5) * 2.0 * self.idiosyncrasy * scale;
+            v + delta
+        };
+        EmotionProfile {
+            f0_scale: jig(blended.f0_scale, 0.10).max(0.5),
+            f0_range: jig(blended.f0_range, 0.25).max(0.1),
+            rate: jig(blended.rate, 0.12).max(0.4),
+            energy: jig(blended.energy, 0.25).max(0.1),
+            jitter: jig(blended.jitter, 0.01).max(0.001),
+            shimmer: jig(blended.shimmer, 0.02).max(0.005),
+            breathiness: jig(blended.breathiness, 0.05).clamp(0.0, 0.9),
+            tilt_db_per_octave: jig(blended.tilt_db_per_octave, 1.0),
+            attack: jig(blended.attack, 0.2).max(0.2),
+            final_rise: jig(blended.final_rise, 0.05),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Speaker::generate(3, Gender::Female, 0.2, 99);
+        let b = Speaker::generate(3, Gender::Female, 0.2, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_ids_give_distinct_voices() {
+        let a = Speaker::generate(0, Gender::Male, 0.2, 1);
+        let b = Speaker::generate(1, Gender::Male, 0.2, 1);
+        assert_ne!(a.base_f0(), b.base_f0());
+    }
+
+    #[test]
+    fn gender_sets_f0_band() {
+        for id in 0..20 {
+            let m = Speaker::generate(id, Gender::Male, 0.1, 5);
+            let f = Speaker::generate(id, Gender::Female, 0.1, 5);
+            assert!((95.0..135.0).contains(&m.base_f0()));
+            assert!((175.0..235.0).contains(&f.base_f0()));
+            assert!(f.formant_scale() > m.formant_scale());
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_per_emotion() {
+        let s = Speaker::generate(2, Gender::Male, 0.3, 7);
+        assert_eq!(s.render(Emotion::Anger), s.render(Emotion::Anger));
+        assert_ne!(s.render(Emotion::Anger), s.render(Emotion::Sad));
+    }
+
+    #[test]
+    fn zero_variation_reproduces_canonical_profiles() {
+        let s = Speaker::generate(0, Gender::Female, 0.0, 11);
+        let r = s.render(Emotion::Anger);
+        let canonical = Emotion::Anger.profile();
+        assert!((r.energy - canonical.energy).abs() < 1e-9);
+        assert!((r.f0_scale - canonical.f0_scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_variation_moves_profiles_toward_neutral_overlap() {
+        // With large variation, some speaker's anger energy drops well below
+        // the canonical 1.85.
+        let canonical = Emotion::Anger.profile().energy;
+        let min_energy = (0..60)
+            .map(|id| {
+                Speaker::generate(id, Gender::Male, 0.6, 13)
+                    .render(Emotion::Anger)
+                    .energy
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_energy < 0.8 * canonical, "min anger energy {min_energy}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Utterance assembly: turning (speaker, emotion, content) into a waveform.
+//!
+//! An utterance is a sequence of syllables. Each syllable is an optional
+//! unvoiced onset (a short noise burst shaped by a fricative-like spectrum)
+//! followed by a voiced vowel nucleus (glottal source → formant filter),
+//! all under the prosodic F0/energy contours of the emotion rendering.
+
+use crate::emotion::EmotionProfile;
+use crate::formant::{FormantFilter, Vowel};
+use crate::prosody;
+use crate::speaker::Speaker;
+use crate::voice::{apply_tilt, glottal_source, GlottalParams};
+use emoleak_dsp::noise::white_noise;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Content/duration parameters for one utterance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtteranceConfig {
+    /// Audio sampling rate in Hz.
+    pub fs: f64,
+    /// Number of syllables before rate scaling (TESS-style carrier phrases
+    /// are ~3–4 syllables; SAVEE sentences longer).
+    pub syllables: usize,
+    /// Nominal duration per syllable slot in seconds at rate 1.0.
+    pub syllable_slot_s: f64,
+    /// Leading/trailing silence in seconds.
+    pub pad_s: f64,
+}
+
+impl Default for UtteranceConfig {
+    fn default() -> Self {
+        UtteranceConfig {
+            fs: 8000.0,
+            syllables: 4,
+            syllable_slot_s: 0.22,
+            pad_s: 0.06,
+        }
+    }
+}
+
+/// A synthesized utterance: the waveform plus its ground-truth voiced spans
+/// (used to score the paper's speech-region detector).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Utterance {
+    /// Mono waveform at [`UtteranceConfig::fs`].
+    pub samples: Vec<f64>,
+    /// Sampling rate in Hz.
+    pub fs: f64,
+    /// Ground-truth voiced (syllable) spans in samples.
+    pub voiced_spans: Vec<(usize, usize)>,
+}
+
+impl Utterance {
+    /// Synthesizes an utterance for `speaker` rendering `profile`, with
+    /// content randomness drawn from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.fs` is not positive or `config.syllables` is zero.
+    pub fn synthesize(
+        speaker: &Speaker,
+        profile: &EmotionProfile,
+        config: &UtteranceConfig,
+        seed: u64,
+    ) -> Utterance {
+        assert!(config.fs > 0.0, "sampling rate must be positive");
+        assert!(config.syllables > 0, "utterance needs at least one syllable");
+        let fs = config.fs;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+        // Speaking rate shortens or lengthens the voiced body.
+        let body_s = config.syllables as f64 * config.syllable_slot_s / profile.rate;
+        let body_n = (body_s * fs) as usize;
+        let pad_n = (config.pad_s * fs) as usize;
+        let total_n = body_n + 2 * pad_n;
+
+        let spans_body = prosody::syllable_spans(&mut rng, body_n, config.syllables);
+        let f0 = prosody::f0_contour(&mut rng, body_n, speaker.base_f0(), profile, &spans_body);
+        let energy = prosody::energy_contour(&mut rng, body_n, profile, &spans_body, fs);
+
+        // Voiced source over the whole body; silenced by the energy envelope
+        // in the gaps.
+        let glottal = glottal_source(
+            &mut rng,
+            &f0,
+            fs,
+            GlottalParams {
+                jitter: profile.jitter,
+                shimmer: profile.shimmer,
+                breathiness: profile.breathiness,
+            },
+        );
+
+        // Per-syllable vowel choice and formant filtering.
+        let mut voiced = vec![0.0; body_n];
+        for &(start, end) in &spans_body {
+            let end = end.min(body_n);
+            if start >= end {
+                continue;
+            }
+            let vowel = Vowel::ALL[rng.gen_range(0..Vowel::ALL.len())];
+            let filt = FormantFilter::new(vowel, speaker.formant_scale(), fs);
+            let segment = filt.process(&glottal[start..end]);
+            voiced[start..end].copy_from_slice(&segment);
+        }
+
+        // Apply energy envelope and spectral tilt.
+        for (v, e) in voiced.iter_mut().zip(&energy) {
+            *v *= e;
+        }
+        let mut body = apply_tilt(&voiced, profile.tilt_db_per_octave);
+
+        // Unvoiced onsets: short fricative bursts before ~half the syllables.
+        for &(start, _) in &spans_body {
+            if rng.gen::<f64>() < 0.5 {
+                let burst_len = ((0.03 * fs) as usize).min(start);
+                if burst_len < 8 {
+                    continue;
+                }
+                let noise = white_noise(&mut rng, burst_len, 0.15 * profile.energy);
+                for (k, nv) in noise.into_iter().enumerate() {
+                    body[start - burst_len + k] += nv;
+                }
+            }
+        }
+
+        // Assemble with padding; normalize so neutral-energy utterances peak
+        // near 0.5 and emotion energy scaling is preserved.
+        let peak = body.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let norm = if peak > 0.0 {
+            0.5 * profile.energy.min(2.5) / peak * 2.0 / (1.0 + profile.energy)
+        } else {
+            0.0
+        };
+        let mut samples = vec![0.0; total_n];
+        for (i, &b) in body.iter().enumerate() {
+            samples[pad_n + i] = b * norm * (1.0 + profile.energy) / 2.0;
+        }
+
+        let voiced_spans = spans_body
+            .iter()
+            .map(|&(s, e)| (s + pad_n, e.min(body_n) + pad_n))
+            .collect();
+        Utterance { samples, fs, voiced_spans }
+    }
+
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.fs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emotion::Emotion;
+    use crate::speaker::Gender;
+    use emoleak_dsp::stats;
+
+    fn speaker() -> Speaker {
+        Speaker::generate(0, Gender::Female, 0.1, 42)
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let s = speaker();
+        let p = s.render(Emotion::Happy);
+        let cfg = UtteranceConfig::default();
+        let a = Utterance::synthesize(&s, &p, &cfg, 7);
+        let b = Utterance::synthesize(&s, &p, &cfg, 7);
+        assert_eq!(a, b);
+        let c = Utterance::synthesize(&s, &p, &cfg, 8);
+        assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn sad_is_longer_and_quieter_than_anger() {
+        let s = speaker();
+        let cfg = UtteranceConfig::default();
+        let sad = Utterance::synthesize(&s, &s.render(Emotion::Sad), &cfg, 1);
+        let anger = Utterance::synthesize(&s, &s.render(Emotion::Anger), &cfg, 1);
+        assert!(sad.duration() > anger.duration(), "rate difference");
+        assert!(stats::rms(&anger.samples) > 1.5 * stats::rms(&sad.samples));
+    }
+
+    #[test]
+    fn voiced_spans_carry_most_energy() {
+        let s = speaker();
+        let cfg = UtteranceConfig::default();
+        let u = Utterance::synthesize(&s, &s.render(Emotion::Neutral), &cfg, 3);
+        let mut in_span = 0.0;
+        let total: f64 = u.samples.iter().map(|v| v * v).sum();
+        for &(a, b) in &u.voiced_spans {
+            in_span += u.samples[a..b].iter().map(|v| v * v).sum::<f64>();
+        }
+        assert!(in_span / total > 0.8, "voiced fraction {}", in_span / total);
+    }
+
+    #[test]
+    fn padding_is_silent() {
+        let s = speaker();
+        let cfg = UtteranceConfig::default();
+        let u = Utterance::synthesize(&s, &s.render(Emotion::Neutral), &cfg, 5);
+        let pad = (cfg.pad_s * cfg.fs) as usize;
+        assert!(u.samples[..pad / 2].iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn amplitude_is_bounded() {
+        let s = speaker();
+        let cfg = UtteranceConfig::default();
+        for e in Emotion::ALL7 {
+            let u = Utterance::synthesize(&s, &s.render(e), &cfg, 9);
+            let peak = u.samples.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+            assert!(peak <= 1.5, "{e}: peak {peak}");
+            assert!(peak > 0.05, "{e}: peak {peak}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "syllable")]
+    fn zero_syllables_panics() {
+        let s = speaker();
+        let cfg = UtteranceConfig { syllables: 0, ..Default::default() };
+        Utterance::synthesize(&s, &s.render(Emotion::Neutral), &cfg, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Glottal source generation.
+//!
+//! The voiced excitation is a Rosenberg-pulse train with jitter (period
+//! perturbation), shimmer (amplitude perturbation) and aspiration noise —
+//! the voice-quality parameters that differ across emotions and that the
+//! paper's features (jitter/shimmer proxies, spectral shape) pick up.
+
+use emoleak_dsp::noise::Gaussian;
+use rand::Rng;
+
+/// Parameters for one stretch of voiced excitation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlottalParams {
+    /// Nominal fundamental frequency trajectory is supplied per sample; this
+    /// is the cycle-to-cycle random perturbation as a fraction of the period.
+    pub jitter: f64,
+    /// Cycle amplitude perturbation (fraction).
+    pub shimmer: f64,
+    /// Aspiration-noise mix in [0, 1].
+    pub breathiness: f64,
+}
+
+/// Generates a voiced glottal source following the per-sample `f0` contour
+/// (Hz) at sampling rate `fs`.
+///
+/// The output has roughly unit peak amplitude before breath noise is mixed
+/// in. Returns an empty vector for an empty contour.
+///
+/// # Panics
+///
+/// Panics if `fs` is not positive.
+pub fn glottal_source<R: Rng + ?Sized>(
+    rng: &mut R,
+    f0: &[f64],
+    fs: f64,
+    params: GlottalParams,
+) -> Vec<f64> {
+    assert!(fs > 0.0, "sampling rate must be positive");
+    let n = f0.len();
+    let mut out = vec![0.0; n];
+    if n == 0 {
+        return out;
+    }
+    let mut gauss = Gaussian::new();
+    let mut i = 0usize;
+    while i < n {
+        let f = f0[i].max(20.0);
+        let nominal_period = fs / f;
+        let period =
+            (nominal_period * (1.0 + gauss.sample(rng, 0.0, params.jitter))).max(4.0);
+        let amp = (1.0 + gauss.sample(rng, 0.0, params.shimmer)).max(0.05);
+        let len = period.round() as usize;
+        write_rosenberg_pulse(&mut out[i..], len.min(n - i), len, amp);
+        i += len.max(1);
+    }
+    if params.breathiness > 0.0 {
+        // Aspiration: noise modulated by the glottal open phase (approximated
+        // by the pulse amplitude itself) plus a constant floor.
+        for v in out.iter_mut() {
+            let aspiration = gauss.sample(rng, 0.0, 0.3) * (0.3 + v.abs());
+            *v = (1.0 - params.breathiness) * *v + params.breathiness * aspiration;
+        }
+    }
+    out
+}
+
+/// Writes one Rosenberg glottal pulse of total period `period` samples into
+/// `dst` (truncated to `avail` samples): rising phase 40 % of the period,
+/// falling 16 %, closed otherwise.
+fn write_rosenberg_pulse(dst: &mut [f64], avail: usize, period: usize, amp: f64) {
+    let tp = (0.4 * period as f64).max(1.0);
+    let tn = (0.16 * period as f64).max(1.0);
+    for (t, v) in dst.iter_mut().enumerate().take(avail) {
+        let t = t as f64;
+        *v = if t < tp {
+            amp * 0.5 * (1.0 - (std::f64::consts::PI * t / tp).cos())
+        } else if t < tp + tn {
+            amp * (std::f64::consts::PI * (t - tp) / (2.0 * tn)).cos()
+        } else {
+            0.0
+        };
+    }
+}
+
+/// A one-pole spectral-tilt filter: positive `tilt_db_per_octave` brightens
+/// (emphasizes highs), negative darkens. The mapping is approximate but
+/// monotone, which is all the emotion coding needs.
+pub fn apply_tilt(signal: &[f64], tilt_db_per_octave: f64) -> Vec<f64> {
+    if tilt_db_per_octave.abs() < 1e-9 {
+        return signal.to_vec();
+    }
+    // Map tilt to a first-order shelf coefficient.
+    let a = (tilt_db_per_octave.abs() / 12.0).clamp(0.0, 0.95);
+    let mut out = Vec::with_capacity(signal.len());
+    let mut prev_in = 0.0;
+    let mut prev_out = 0.0;
+    for &x in signal {
+        let y = if tilt_db_per_octave > 0.0 {
+            // Pre-emphasis (difference) blended with identity.
+            (1.0 - a) * x + a * (x - prev_in) * 2.0
+        } else {
+            // De-emphasis (leaky integrator) blended with identity.
+            (1.0 - a) * x + a * (prev_out * 0.9 + x * 0.1)
+        };
+        prev_in = x;
+        prev_out = y;
+        out.push(y);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emoleak_dsp::{stats, Fft};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    const CLEAN: GlottalParams = GlottalParams { jitter: 0.0, shimmer: 0.0, breathiness: 0.0 };
+
+    #[test]
+    fn pulse_train_is_periodic_at_f0() {
+        let fs = 8000.0;
+        let f0 = vec![200.0; 8192];
+        let src = glottal_source(&mut rng(1), &f0, fs, CLEAN);
+        let fft = Fft::new(8192);
+        let p = fft.power_spectrum(&src);
+        // Fundamental peak at 200 Hz (bin 204.8 → search window).
+        let bin = |f: f64| (f / fs * 8192.0).round() as usize;
+        let near = |k: usize| p[k - 2..=k + 2].iter().cloned().fold(0.0f64, f64::max);
+        let fundamental = near(bin(200.0));
+        let trough = near(bin(300.0));
+        assert!(fundamental > 10.0 * trough, "f0 {fundamental} vs trough {trough}");
+    }
+
+    #[test]
+    fn output_length_matches_contour() {
+        let src = glottal_source(&mut rng(2), &vec![150.0; 1000], 8000.0, CLEAN);
+        assert_eq!(src.len(), 1000);
+        assert!(glottal_source(&mut rng(2), &[], 8000.0, CLEAN).is_empty());
+    }
+
+    #[test]
+    fn jitter_spreads_the_spectrum() {
+        let fs = 8000.0;
+        let f0 = vec![180.0; 16384];
+        let spectral_peakiness = |jitter: f64| {
+            let src = glottal_source(
+                &mut rng(3),
+                &f0,
+                fs,
+                GlottalParams { jitter, shimmer: 0.0, breathiness: 0.0 },
+            );
+            let fft = Fft::new(16384);
+            let p = fft.power_spectrum(&src);
+            let max = p[10..].iter().cloned().fold(0.0f64, f64::max);
+            let total: f64 = p[10..].iter().sum();
+            max / total
+        };
+        assert!(spectral_peakiness(0.0) > 1.8 * spectral_peakiness(0.06));
+    }
+
+    #[test]
+    fn shimmer_varies_cycle_amplitudes() {
+        let fs = 8000.0;
+        let f0 = vec![100.0; 16000];
+        let smooth = glottal_source(&mut rng(4), &f0, fs, CLEAN);
+        let rough = glottal_source(
+            &mut rng(4),
+            &f0,
+            fs,
+            GlottalParams { jitter: 0.0, shimmer: 0.15, breathiness: 0.0 },
+        );
+        // Peak amplitudes per 80-sample cycle should vary more with shimmer.
+        let cycle_peaks = |x: &[f64]| -> Vec<f64> {
+            x.chunks(80).map(|c| c.iter().cloned().fold(0.0f64, f64::max)).collect()
+        };
+        let sd_smooth = stats::std_dev(&cycle_peaks(&smooth));
+        let sd_rough = stats::std_dev(&cycle_peaks(&rough));
+        assert!(sd_rough > 2.0 * sd_smooth, "{sd_rough} vs {sd_smooth}");
+    }
+
+    #[test]
+    fn breathiness_adds_noise_floor() {
+        let fs = 8000.0;
+        let f0 = vec![150.0; 8192];
+        let clean = glottal_source(&mut rng(5), &f0, fs, CLEAN);
+        let breathy = glottal_source(
+            &mut rng(5),
+            &f0,
+            fs,
+            GlottalParams { jitter: 0.0, shimmer: 0.0, breathiness: 0.5 },
+        );
+        let fft = Fft::new(8192);
+        let hf = |x: &[f64]| {
+            let p = fft.power_spectrum(x);
+            p[3000..].iter().sum::<f64>()
+        };
+        assert!(hf(&breathy) > 5.0 * hf(&clean));
+    }
+
+    #[test]
+    fn tilt_brightens_or_darkens() {
+        let fs = 8000.0;
+        let f0 = vec![150.0; 8192];
+        let src = glottal_source(&mut rng(6), &f0, fs, CLEAN);
+        let fft = Fft::new(8192);
+        let ratio_hf = |x: &[f64]| {
+            let p = fft.power_spectrum(x);
+            let hf: f64 = p[2000..].iter().sum();
+            let lf: f64 = p[..500].iter().sum();
+            hf / lf
+        };
+        let base = ratio_hf(&src);
+        assert!(ratio_hf(&apply_tilt(&src, 3.0)) > base);
+        assert!(ratio_hf(&apply_tilt(&src, -3.0)) < base);
+        // Zero tilt is identity.
+        assert_eq!(apply_tilt(&src, 0.0), src);
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let f0 = vec![120.0; 2000];
+        let p = GlottalParams { jitter: 0.02, shimmer: 0.05, breathiness: 0.2 };
+        let a = glottal_source(&mut rng(7), &f0, 8000.0, p);
+        let b = glottal_source(&mut rng(7), &f0, 8000.0, p);
+        assert_eq!(a, b);
+    }
+}

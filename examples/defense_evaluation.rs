@@ -1,0 +1,45 @@
+//! Defense evaluation: does Android's 200 Hz sampling cap stop EmoLeak?
+//! What about filtering the delivered sensor data, or mechanically damping
+//! the chassis?
+//!
+//! ```sh
+//! cargo run --release --example defense_evaluation
+//! ```
+
+use emoleak::core::mitigation::damping_study;
+use emoleak::core::ClassifierKind;
+use emoleak::prelude::*;
+
+fn main() {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(12);
+    let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
+
+    println!("1. Android 12's 200 Hz sampling cap (SS VI-A):");
+    let cap = SamplingCapStudy::run(&scenario, ClassifierKind::Logistic, 11);
+    println!("   native rate: {:.1}%   capped: {:.1}%   random: {:.1}%",
+             cap.accuracy_default * 100.0,
+             cap.accuracy_capped * 100.0,
+             cap.random_guess * 100.0);
+    println!("   attack survives at >5x random guess: {}", cap.attack_survives(5.0));
+
+    println!("\n2. Filtering delivered sensor data (Table I ablation, handheld):");
+    let handheld = AttackScenario::handheld(
+        CorpusSpec::tess().with_clips_per_cell(6),
+        DeviceProfile::oneplus_7t(),
+    );
+    let ablation = FilterAblation::run(&handheld);
+    for ((name, raw), hp) in ablation
+        .features
+        .iter()
+        .zip(&ablation.gain_no_filter)
+        .zip(&ablation.gain_1hz)
+    {
+        println!("   {name:<12} info gain {raw:.2} -> {hp:.2}");
+    }
+
+    println!("\n3. Vibration damping / sensor relocation (SS VI-B):");
+    for damping in [1.0, 0.25, 0.05] {
+        let acc = damping_study(&scenario, ClassifierKind::Logistic, damping, 11);
+        println!("   {:>4.0}% coupling -> accuracy {:.1}%", damping * 100.0, acc * 100.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Gender identification from speaker-induced vibrations — the Spearphone
+//! attack (§II-C prior work) running on this reproduction's pipeline.
+//!
+//! The accelerometer band contains the speech fundamental (male ~95–135 Hz,
+//! female ~175–235 Hz), so gender separates far more easily than emotion.
+//!
+//! ```sh
+//! cargo run --release --example gender_identification
+//! ```
+
+use emoleak::features::{all_feature_names, extract_all};
+use emoleak::features::regions::RegionDetector;
+use emoleak::ml::eval::train_test_evaluate;
+use emoleak::ml::logistic::Logistic;
+use emoleak::phone::session::RecordingSession;
+use emoleak::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    // A mixed-gender corpus (CREMA-D-like alternates male/female speakers).
+    let corpus = CorpusSpec::crema_d().with_clips_per_cell(3);
+    let device = DeviceProfile::galaxy_s10();
+    let session = RecordingSession::new(&device, SpeakerKind::Loudspeaker, Placement::TableTop);
+    let detector = RegionDetector::table_top();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+
+    // Relabel every detected region by the *speaker's gender* instead of
+    // the emotion.
+    let mut dataset = FeatureDataset::new(
+        all_feature_names(),
+        vec!["male".to_string(), "female".to_string()],
+    );
+    for clip in corpus.iter() {
+        let speaker = &corpus.speakers()[clip.speaker as usize];
+        let label = match speaker.gender() {
+            emoleak::synth::Gender::Male => 0,
+            emoleak::synth::Gender::Female => 1,
+        };
+        let trace = session.record_clip(&clip.samples, clip.fs, &mut rng);
+        for &(s, e) in &detector.detect(&trace.samples, trace.fs) {
+            dataset.push(extract_all(&trace.samples[s..e.min(trace.samples.len())], trace.fs), label);
+        }
+    }
+    dataset.clean_invalid();
+    println!("{} regions from {} speakers", dataset.len(), corpus.speakers().len());
+
+    let (mut train, mut test) = dataset.stratified_split(0.8, 1);
+    let params = train.fit_normalization();
+    test.apply_normalization(&params);
+    let mut clf = Logistic::default();
+    let eval = train_test_evaluate(
+        &mut clf,
+        train.features(),
+        train.labels(),
+        test.features(),
+        test.labels(),
+        &["male".to_string(), "female".to_string()],
+    );
+    println!(
+        "gender identification accuracy: {:.1}% (random guess 50%)",
+        eval.accuracy * 100.0
+    );
+    print!("{}", eval.confusion.render());
+    println!("\nSpearphone reported ~90% gender accuracy from the same channel — the");
+    println!("fundamental-frequency gap makes this far easier than 7-class emotion.");
+}

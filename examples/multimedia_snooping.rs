@@ -1,0 +1,96 @@
+//! Multimedia snooping: the attacker profiles which *emotional content* a
+//! victim consumes (§I: correlating media emotion with content preferences).
+//!
+//! A victim plays a mix of media clips through the loudspeaker; the attacker
+//! classifies each playback window and reconstructs the emotional profile of
+//! the consumed content.
+//!
+//! ```sh
+//! cargo run --release --example multimedia_snooping
+//! ```
+
+use emoleak::features::{all_feature_names, extract_all};
+use emoleak::prelude::*;
+use emoleak::core::scenario::Setting;
+use emoleak::features::regions::RegionDetector;
+use emoleak::phone::session::RecordingSession;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    // Train the attacker's model on its own reference corpus.
+    let corpus = CorpusSpec::tess().with_clips_per_cell(12);
+    let scenario = AttackScenario::table_top(corpus.clone(), DeviceProfile::galaxy_s21());
+    let harvest = scenario.harvest();
+    let mut train = harvest.features.clone();
+    let params = train.fit_normalization();
+    let mut clf = emoleak::ml::logistic::Logistic::default();
+    clf.fit(train.features(), train.labels(), train.num_classes());
+
+    // The victim plays a "playlist" with a skewed emotional mix.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let playlist: Vec<Emotion> = {
+        let mut p = vec![Emotion::Sad; 6];
+        p.extend(vec![Emotion::Anger; 2]);
+        p.extend(vec![Emotion::Neutral; 2]);
+        p.shuffle(&mut rng);
+        p
+    };
+    let session = RecordingSession::new(
+        &DeviceProfile::galaxy_s21(),
+        Setting::TableTopLoudspeaker.speaker_kind(),
+        Setting::TableTopLoudspeaker.placement(),
+    );
+    // The victim's media comes from a *different* corpus seed than the
+    // attacker's training data — unseen recordings of the same voices.
+    let victim_corpus = corpus.clone().with_seed(0xBEEF);
+    let clips: Vec<(Vec<f64>, f64, Emotion)> = playlist
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| {
+            let clip = victim_corpus.clip(i % 2, e, i % 12);
+            (clip.samples, clip.fs, e)
+        })
+        .collect();
+    let st = session.record_session(clips, &mut rng);
+
+    // Attacker: detect regions per window, classify, count.
+    let detector = RegionDetector::table_top();
+    let emotions = corpus.emotions().to_vec();
+    let mut counts = vec![0usize; emotions.len()];
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (i, span) in st.labels.iter().enumerate() {
+        let window = st.window(i);
+        let mut votes = vec![0usize; emotions.len()];
+        for &(s, e) in &detector.detect(window, st.trace.fs) {
+            let mut f = extract_all(&window[s..e.min(window.len())], st.trace.fs);
+            if f.iter().any(|v| !v.is_finite()) {
+                continue;
+            }
+            for (v, (m, sd)) in f.iter_mut().zip(&params) {
+                *v = (*v - m) / sd;
+            }
+            votes[clf.predict(&f)] += 1;
+        }
+        let Some(pred) = votes.iter().enumerate().max_by_key(|(_, &v)| v).map(|(k, _)| k)
+        else {
+            continue;
+        };
+        counts[pred] += 1;
+        total += 1;
+        if emotions[pred] == span.label {
+            correct += 1;
+        }
+    }
+    println!("victim playlist: 6x sad, 2x anger, 2x neutral (shuffled)");
+    println!("attacker's reconstructed emotional profile:");
+    let names: Vec<String> = emotions.iter().map(|e| e.to_string()).collect();
+    for (name, c) in names.iter().zip(&counts) {
+        if *c > 0 {
+            println!("  {name:<10} {c} clips");
+        }
+    }
+    println!("per-clip accuracy: {correct}/{total}");
+    let _ = all_feature_names();
+}

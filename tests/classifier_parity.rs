@@ -1,0 +1,102 @@
+//! Integration tests for the classifier suite on harvested vibration
+//! features: every classifier family must (a) run end to end, (b) beat
+//! random guessing on the easy setting, and (c) produce valid confusion
+//! matrices.
+
+use emoleak::prelude::*;
+
+fn harvest() -> HarvestResult {
+    AttackScenario::table_top(
+        CorpusSpec::tess().with_clips_per_cell(8),
+        DeviceProfile::oneplus_7t(),
+    )
+    .harvest()
+}
+
+#[test]
+fn all_classical_classifiers_beat_random_guess() {
+    let h = harvest();
+    let random = 1.0 / 7.0;
+    for kind in [
+        ClassifierKind::Logistic,
+        ClassifierKind::MultiClass,
+        ClassifierKind::Lmt,
+        ClassifierKind::RandomForest,
+        ClassifierKind::RandomSubspace,
+    ] {
+        let eval = evaluate_features(&h.features, kind, Protocol::Holdout8020, 1);
+        assert!(
+            eval.accuracy > 2.0 * random,
+            "{} accuracy {:.2} should beat 2x random",
+            kind.display_name(),
+            eval.accuracy
+        );
+        assert_eq!(eval.confusion.total(), eval.confusion.counts().iter().flatten().sum());
+    }
+}
+
+#[test]
+fn kfold_and_holdout_agree_roughly() {
+    let h = harvest();
+    let hold = evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::Holdout8020, 2);
+    let fold = evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::KFold(10), 2);
+    assert!(
+        (hold.accuracy - fold.accuracy).abs() < 0.2,
+        "holdout {:.2} vs 10-fold {:.2} should be consistent",
+        hold.accuracy,
+        fold.accuracy
+    );
+}
+
+#[test]
+fn feature_cnn_trains_and_learns() {
+    // Explicit small config (no env mutation — tests run concurrently).
+    use emoleak::ml::nn::{CnnClassifier, TrainConfig};
+    use emoleak::ml::Classifier;
+    let h = harvest();
+    let (mut train, mut test) = h.features.stratified_split(0.8, 3);
+    let params = train.fit_normalization();
+    test.apply_normalization(&params);
+    let cfg = TrainConfig { epochs: 30, batch_size: 16, learning_rate: 3e-3, seed: 3 };
+    let mut cnn = CnnClassifier::new(cfg, 3).with_width_divisor(8);
+    cnn.fit(train.features(), train.labels(), train.num_classes());
+    let correct = test
+        .features()
+        .iter()
+        .zip(test.labels())
+        .filter(|(x, &y)| cnn.predict(x) == y)
+        .count();
+    let acc = correct as f64 / test.len() as f64;
+    assert!(acc > 2.0 / 7.0, "CNN accuracy {acc:.2} should beat 2x random guess");
+}
+
+#[test]
+fn spectrogram_cnn_trains_on_harvested_images() {
+    use emoleak::ml::nn::{spectrogram_cnn_scaled, Tensor, TrainConfig};
+    let h = harvest();
+    assert!(h.spectrograms.len() >= 50);
+    let side = emoleak::features::spectrogram::IMAGE_SIZE;
+    let tensors: Vec<Tensor> = h
+        .spectrograms
+        .iter()
+        .map(|s| Tensor::from_shape(&[1, side, side], s.pixels.clone()))
+        .collect();
+    let labels: Vec<usize> = h.spectrograms.iter().map(|s| s.label).collect();
+    let split = tensors.len() * 4 / 5;
+    let mut net = spectrogram_cnn_scaled(7, 4, 16);
+    let cfg = TrainConfig { epochs: 8, batch_size: 16, learning_rate: 3e-3, seed: 4 };
+    let history = net.fit(
+        &tensors[..split],
+        &labels[..split],
+        &tensors[split..],
+        &labels[split..],
+        &cfg,
+    );
+    // Figure 7 history: loss decreases and accuracy beats random guess.
+    assert_eq!(history.epochs(), 8);
+    assert!(history.train_loss.last().unwrap() < &history.train_loss[0]);
+    assert!(
+        *history.train_accuracy.last().unwrap() > 1.0 / 7.0,
+        "spectrogram CNN should beat random guess on train"
+    );
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration tests spanning every crate: corpus → channel →
+//! features → classifiers, checking the paper's headline result *shapes*.
+
+use emoleak::prelude::*;
+
+fn tess(n: usize) -> CorpusSpec {
+    CorpusSpec::tess().with_clips_per_cell(n)
+}
+
+#[test]
+fn loudspeaker_attack_beats_random_guess_by_4x() {
+    let scenario = AttackScenario::table_top(tess(10), DeviceProfile::oneplus_7t());
+    let harvest = scenario.harvest();
+    let eval = evaluate_features(
+        &harvest.features,
+        ClassifierKind::Logistic,
+        Protocol::Holdout8020,
+        1,
+    );
+    let random = 1.0 / 7.0;
+    assert!(
+        eval.accuracy > 4.0 * random,
+        "loudspeaker accuracy {:.2} should be > 4x random guess",
+        eval.accuracy
+    );
+}
+
+#[test]
+fn table_top_detection_rate_matches_paper() {
+    let harvest = AttackScenario::table_top(tess(6), DeviceProfile::oneplus_7t()).harvest();
+    assert!(
+        harvest.detection_rate >= 0.9,
+        "table-top detection {:.2} (paper: ~90%)",
+        harvest.detection_rate
+    );
+}
+
+#[test]
+fn ear_speaker_detection_rate_matches_paper() {
+    let harvest = AttackScenario::handheld(tess(10), DeviceProfile::oneplus_7t()).harvest();
+    assert!(
+        harvest.detection_rate >= 0.35,
+        "ear-speaker detection {:.2} (paper: >= 45%)",
+        harvest.detection_rate
+    );
+    assert!(
+        harvest.detection_rate < 0.9,
+        "ear-speaker detection should be well below table-top"
+    );
+}
+
+#[test]
+fn loudspeaker_beats_ear_speaker_on_same_corpus() {
+    let loud = AttackScenario::table_top(tess(12), DeviceProfile::oneplus_7t()).harvest();
+    let ear = AttackScenario::handheld(tess(12), DeviceProfile::oneplus_7t()).harvest();
+    let acc = |h: &HarvestResult| {
+        evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::Holdout8020, 3)
+            .accuracy
+    };
+    let (la, ea) = (acc(&loud), acc(&ear));
+    assert!(
+        la > ea + 0.1,
+        "loudspeaker {la:.2} should clearly beat ear speaker {ea:.2}"
+    );
+}
+
+#[test]
+fn tess_is_easier_than_savee() {
+    let tess_acc = evaluate_features(
+        &AttackScenario::table_top(tess(12), DeviceProfile::oneplus_7t())
+            .harvest()
+            .features,
+        ClassifierKind::Logistic,
+        Protocol::Holdout8020,
+        5,
+    )
+    .accuracy;
+    let savee_acc = evaluate_features(
+        &AttackScenario::table_top(
+            CorpusSpec::savee().with_clips_per_cell(12),
+            DeviceProfile::oneplus_7t(),
+        )
+        .harvest()
+        .features,
+        ClassifierKind::Logistic,
+        Protocol::Holdout8020,
+        5,
+    )
+    .accuracy;
+    assert!(
+        tess_acc > savee_acc + 0.15,
+        "TESS {tess_acc:.2} should dominate SAVEE {savee_acc:.2} (paper: 95% vs 54%)"
+    );
+}
+
+#[test]
+fn oneplus_7t_beats_pixel_5() {
+    let acc = |d: DeviceProfile| {
+        evaluate_features(
+            &AttackScenario::table_top(tess(12), d).harvest().features,
+            ClassifierKind::Logistic,
+            Protocol::Holdout8020,
+            7,
+        )
+        .accuracy
+    };
+    let best = acc(DeviceProfile::oneplus_7t());
+    let weakest = acc(DeviceProfile::pixel_5());
+    assert!(
+        best > weakest,
+        "OnePlus 7T {best:.2} should beat Pixel 5 {weakest:.2} (paper Table V)"
+    );
+}
+
+#[test]
+fn sampling_cap_degrades_but_does_not_stop_the_attack() {
+    let scenario = AttackScenario::table_top(tess(12), DeviceProfile::oneplus_7t());
+    let study = SamplingCapStudy::run(&scenario, ClassifierKind::Logistic, 9);
+    assert!(
+        study.accuracy_capped < study.accuracy_default + 0.02,
+        "cap should not improve accuracy: {:.2} vs {:.2}",
+        study.accuracy_capped,
+        study.accuracy_default
+    );
+    assert!(
+        study.attack_survives(3.0),
+        "attack should survive the cap at well above random guess (paper: 80.1%)"
+    );
+}
+
+#[test]
+fn harvest_is_fully_deterministic() {
+    let s = AttackScenario::table_top(tess(3), DeviceProfile::galaxy_s21());
+    let a = s.harvest();
+    let b = s.harvest();
+    assert_eq!(a.features.features(), b.features.features());
+    assert_eq!(a.spectrograms.len(), b.spectrograms.len());
+}

@@ -1,0 +1,138 @@
+//! Property-based tests on the cross-crate invariants of the pipeline.
+
+use emoleak::dsp::{fft::Fft, stats, Complex};
+use emoleak::features::regions::{detection_rate, merge_regions, RegionDetector};
+use emoleak::features::{extract_all, time_domain};
+use emoleak::ml::eval::ConfusionMatrix;
+use emoleak::ml::linalg::softmax_inplace;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT followed by inverse FFT is the identity for any signal.
+    #[test]
+    fn fft_round_trip(values in prop::collection::vec(-100.0f64..100.0, 64)) {
+        let fft = Fft::new(64);
+        let mut buf: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v)).collect();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (z, &v) in buf.iter().zip(&values) {
+            prop_assert!((z.re - v).abs() < 1e-9);
+            prop_assert!(z.im.abs() < 1e-9);
+        }
+    }
+
+    /// Parseval: energy is preserved between time and frequency domains.
+    #[test]
+    fn fft_preserves_energy(values in prop::collection::vec(-10.0f64..10.0, 128)) {
+        let fft = Fft::new(128);
+        let mut buf: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v)).collect();
+        fft.forward(&mut buf);
+        let time: f64 = values.iter().map(|v| v * v).sum();
+        let freq: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        prop_assert!((time - freq).abs() < 1e-6 * time.max(1.0));
+    }
+
+    /// Basic statistics respect their defining inequalities.
+    #[test]
+    fn stats_order_invariants(values in prop::collection::vec(-1000.0f64..1000.0, 2..200)) {
+        let min = stats::min(&values);
+        let max = stats::max(&values);
+        let mean = stats::mean(&values);
+        let q25 = stats::quantile(&values, 0.25);
+        let q50 = stats::quantile(&values, 0.50);
+        prop_assert!(min <= q25 + 1e-12);
+        prop_assert!(q25 <= q50 + 1e-12);
+        prop_assert!(q50 <= max + 1e-12);
+        prop_assert!(min <= mean && mean <= max);
+        prop_assert!(stats::variance(&values) >= 0.0);
+    }
+
+    /// The 12 time-domain features are translation-covariant in the right
+    /// slots: shifting the signal shifts min/mean/max/quantiles and leaves
+    /// std-dev/variance/range unchanged.
+    #[test]
+    fn time_features_translation(values in prop::collection::vec(-10.0f64..10.0, 16..128),
+                                 shift in -5.0f64..5.0) {
+        let base = time_domain::extract(&values);
+        let shifted_vals: Vec<f64> = values.iter().map(|v| v + shift).collect();
+        let shifted = time_domain::extract(&shifted_vals);
+        prop_assert!((shifted[0] - base[0] - shift).abs() < 1e-9); // min
+        prop_assert!((shifted[2] - base[2] - shift).abs() < 1e-9); // mean
+        prop_assert!((shifted[3] - base[3]).abs() < 1e-9);         // std-dev
+        prop_assert!((shifted[5] - base[5]).abs() < 1e-9);         // range
+    }
+
+    /// Full 24-feature extraction never panics and yields a fixed-width row.
+    #[test]
+    fn extract_all_is_total(values in prop::collection::vec(-1.0f64..1.0, 0..600)) {
+        let row = extract_all(&values, 420.0);
+        prop_assert_eq!(row.len(), 24);
+    }
+
+    /// Region detection output is always sorted, disjoint and in bounds.
+    #[test]
+    fn regions_are_sorted_disjoint(values in prop::collection::vec(-0.2f64..0.2, 50..800)) {
+        let det = RegionDetector::table_top();
+        let regions = det.detect(&values, 420.0);
+        let mut prev_end = 0usize;
+        for (s, e) in regions {
+            prop_assert!(s >= prev_end);
+            prop_assert!(s < e);
+            prop_assert!(e <= values.len());
+            prev_end = e;
+        }
+    }
+
+    /// Merging regions never increases the count and preserves coverage.
+    #[test]
+    fn merge_preserves_coverage(starts in prop::collection::vec(0usize..1000, 1..20),
+                                gap in 0usize..50) {
+        let mut regions: Vec<(usize, usize)> = starts
+            .iter()
+            .map(|&s| (s, s + 10))
+            .collect();
+        regions.sort_unstable();
+        let merged = merge_regions(&regions, gap);
+        prop_assert!(merged.len() <= regions.len());
+        // Every original region is inside some merged region.
+        for &(s, e) in &regions {
+            prop_assert!(merged.iter().any(|&(ms, me)| ms <= s && e <= me));
+        }
+    }
+
+    /// Detection rate is always a fraction (or NaN for empty truth).
+    #[test]
+    fn detection_rate_is_fraction(truth in prop::collection::vec((0usize..500, 1usize..100), 1..10)) {
+        let spans: Vec<(usize, usize)> = truth.iter().map(|&(s, l)| (s, s + l)).collect();
+        let rate = detection_rate(&spans, &spans); // self-detection = 100%
+        prop_assert!((rate - 1.0).abs() < 1e-12);
+        let none = detection_rate(&[], &spans);
+        prop_assert_eq!(none, 0.0);
+    }
+
+    /// Softmax output is always a probability distribution.
+    #[test]
+    fn softmax_is_distribution(logits in prop::collection::vec(-500.0f64..500.0, 1..20)) {
+        let mut z = logits;
+        softmax_inplace(&mut z);
+        prop_assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(z.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// Confusion-matrix accuracy equals the diagonal mass.
+    #[test]
+    fn confusion_accuracy_is_diagonal_mass(pairs in prop::collection::vec((0usize..4, 0usize..4), 1..100)) {
+        let names: Vec<String> = (0..4).map(|i| format!("c{i}")).collect();
+        let mut cm = ConfusionMatrix::new(names);
+        let mut diag = 0usize;
+        for &(t, p) in &pairs {
+            cm.record(t, p);
+            if t == p {
+                diag += 1;
+            }
+        }
+        prop_assert!((cm.accuracy() - diag as f64 / pairs.len() as f64).abs() < 1e-12);
+    }
+}
