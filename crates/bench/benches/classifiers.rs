@@ -14,7 +14,7 @@ fn harvested() -> (Vec<Vec<f64>>, Vec<usize>, usize) {
         CorpusSpec::tess().with_clips_per_cell(6),
         DeviceProfile::oneplus_7t(),
     );
-    let mut h = scenario.harvest().features;
+    let mut h = scenario.harvest().expect("clean bench scenario harvests").features;
     h.fit_normalization();
     (h.features().to_vec(), h.labels().to_vec(), h.num_classes())
 }

@@ -22,11 +22,11 @@ fn project(d: &FeatureDataset, cols: std::ops::Range<usize>) -> FeatureDataset {
     out
 }
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
     banner("Ablation: time-domain vs frequency-domain features (TESS / OnePlus 7T)",
            corpus.random_guess());
-    let harvest = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t()).harvest();
+    let harvest = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t()).harvest()?;
     let variants: [(&str, FeatureDataset); 3] = [
         ("time-domain only (12)", project(&harvest.features, 0..12)),
         ("frequency-domain only (12)", project(&harvest.features, 12..24)),
@@ -34,8 +34,9 @@ fn main() {
     ];
     println!("{:<30} {:>10}", "feature set", "accuracy");
     for (name, data) in variants {
-        let acc = evaluate_features(&data, ClassifierKind::Logistic, Protocol::Holdout8020, 0xAB1)
+        let acc = evaluate_features(&data, ClassifierKind::Logistic, Protocol::Holdout8020, 0xAB1)?
             .accuracy;
         println!("{name:<30} {:>9.2}%", acc * 100.0);
     }
+    Ok(())
 }

@@ -13,16 +13,16 @@ use emoleak_phone::gyro::GyroChannel;
 use emoleak_phone::SpeakerKind;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let n = clips_per_cell().min(20);
     let corpus = CorpusSpec::tess().with_clips_per_cell(n);
     banner("Sensor choice: accelerometer vs gyroscope (TESS / OnePlus 7T)", corpus.random_guess());
     let device = DeviceProfile::oneplus_7t();
 
     // Accelerometer arm: the standard pipeline.
-    let accel = AttackScenario::table_top(corpus.clone(), device.clone()).harvest();
+    let accel = AttackScenario::table_top(corpus.clone(), device.clone()).harvest()?;
     let accel_acc =
-        evaluate_features(&accel.features, ClassifierKind::Logistic, Protocol::Holdout8020, 1)
+        evaluate_features(&accel.features, ClassifierKind::Logistic, Protocol::Holdout8020, 1)?
             .accuracy;
 
     // Gyroscope arm: identical playback through the rotational channel.
@@ -48,7 +48,7 @@ fn main() {
     let gyro_acc = if gyro_features.len() > 40
         && gyro_features.class_counts().iter().all(|&c| c >= 5)
     {
-        evaluate_features(&gyro_features, ClassifierKind::Logistic, Protocol::Holdout8020, 1)
+        evaluate_features(&gyro_features, ClassifierKind::Logistic, Protocol::Holdout8020, 1)?
             .accuracy
     } else {
         corpus.random_guess() // too little signal to even train
@@ -63,4 +63,5 @@ fn main() {
     );
     let _ = detected;
     println!("paper (§III-B.1): gyroscope exhibits a much weaker audio response — attack uses the accelerometer");
+    Ok(())
 }

@@ -8,11 +8,11 @@ use emoleak_core::mitigation::SamplingCapStudy;
 use emoleak_core::prelude::*;
 use emoleak_core::ClassifierKind;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
     banner("Android 200 Hz sampling cap (TESS / loudspeaker / OnePlus 7T)", corpus.random_guess());
     let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
-    let study = SamplingCapStudy::run(&scenario, ClassifierKind::Logistic, 0xA12);
+    let study = SamplingCapStudy::run(&scenario, ClassifierKind::Logistic, 0xA12)?;
     println!("native rate accuracy : {:.2}%", study.accuracy_default * 100.0);
     println!("200 Hz cap accuracy  : {:.2}%", study.accuracy_capped * 100.0);
     println!("random guess         : {:.2}%", study.random_guess * 100.0);
@@ -21,4 +21,5 @@ fn main() {
         study.attack_survives(5.0)
     );
     println!("paper: 95.3% native vs 80.1% capped");
+    Ok(())
 }

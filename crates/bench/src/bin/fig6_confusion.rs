@@ -9,24 +9,26 @@ use emoleak_bench::{banner, clips_per_cell};
 use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
     banner("Figure 6: TESS confusion matrices (OnePlus 7T)", corpus.random_guess());
 
-    let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest();
-    let eval_a = evaluate_features(&loud.features, ClassifierKind::Logistic, Protocol::Holdout8020, 6);
+    let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest()?;
+    let eval_a =
+        evaluate_features(&loud.features, ClassifierKind::Logistic, Protocol::Holdout8020, 6)?;
     println!(
         "\n(a) loudspeaker / table-top, Logistic, 80/20 split — accuracy {:.2}%",
         eval_a.accuracy * 100.0
     );
     print!("{}", eval_a.confusion.render());
 
-    let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest();
+    let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest()?;
     let eval_b =
-        evaluate_features(&ear.features, ClassifierKind::RandomForest, Protocol::KFold(10), 6);
+        evaluate_features(&ear.features, ClassifierKind::RandomForest, Protocol::KFold(10), 6)?;
     println!(
         "\n(b) ear speaker / handheld, Random Forest, 10-fold CV — accuracy {:.2}%",
         eval_b.accuracy * 100.0
     );
     print!("{}", eval_b.confusion.render());
+    Ok(())
 }

@@ -22,11 +22,12 @@ fn curves(name: &str, harvest: &emoleak_core::HarvestResult) {
     println!("training loss {first:.3} -> {last:.3} (decreasing: {})", last < first);
 }
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
     banner("Figure 7: CNN training curves (TESS, OnePlus 7T)", corpus.random_guess());
-    let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest();
+    let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest()?;
     curves("loudspeaker (a, b)", &loud);
-    let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest();
+    let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest()?;
     curves("ear speaker (c, d)", &ear);
+    Ok(())
 }

@@ -7,15 +7,16 @@ use emoleak_core::mitigation::damping_study;
 use emoleak_core::prelude::*;
 use emoleak_core::ClassifierKind;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell().min(20));
     banner("Mitigations: vibration damping / sensor relocation (TESS / OnePlus 7T)",
            corpus.random_guess());
     let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
     println!("{:<24} {:>10}", "coupling remaining", "accuracy");
     for damping in [1.0, 0.5, 0.25, 0.1, 0.05, 0.02] {
-        let acc = damping_study(&scenario, ClassifierKind::Logistic, damping, 0x317);
+        let acc = damping_study(&scenario, ClassifierKind::Logistic, damping, 0x317)?;
         println!("{:<24} {:>9.2}%", format!("{:.0}%", damping * 100.0), acc * 100.0);
     }
     println!("(random guess {:.2}%)", scenario.corpus.random_guess() * 100.0);
+    Ok(())
 }

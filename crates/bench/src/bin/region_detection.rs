@@ -5,11 +5,11 @@
 use emoleak_bench::{banner, clips_per_cell};
 use emoleak_core::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
     banner("Speech-region extraction rates (TESS, OnePlus 7T)", corpus.random_guess());
-    let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest();
-    let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest();
+    let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest()?;
+    let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest()?;
     println!(
         "table-top / loudspeaker : {:.0}% of word regions (paper: ~90%)",
         loud.detection_rate * 100.0
@@ -18,4 +18,5 @@ fn main() {
         "handheld / ear speaker  : {:.0}% of word regions (paper: >= 45%)",
         ear.detection_rate * 100.0
     );
+    Ok(())
 }

@@ -1,0 +1,178 @@
+//! Robustness sweep: attack accuracy vs sensor-fault severity, one curve
+//! per fault axis.
+//!
+//! Each axis isolates one family of channel imperfections from
+//! `emoleak_phone::FaultProfile` (delivery loss, saturation, user motion,
+//! power management) and sweeps its severity over the same campaign.
+//! Severity 0 is the clean baseline; the attack should decay toward random
+//! guessing as each axis intensifies, without a single panic along the way.
+//!
+//! Prints a text degradation table and writes the full results as JSON
+//! (default `robustness_sweep.json`, override with `EMOLEAK_SWEEP_JSON`).
+
+use emoleak_bench::{banner, clips_per_cell};
+use emoleak_core::prelude::*;
+use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
+use emoleak_phone::{BatchingSpec, FaultProfile, ThermalThrottle};
+
+/// One fault axis: a named base profile whose severity gets swept.
+struct Axis {
+    name: &'static str,
+    base: FaultProfile,
+}
+
+fn axes() -> Vec<Axis> {
+    vec![
+        Axis {
+            name: "delivery",
+            base: FaultProfile {
+                drop_rate: 0.10,
+                dup_rate: 0.03,
+                jitter_std_s: 1.0e-3,
+                ..FaultProfile::clean()
+            },
+        },
+        Axis {
+            name: "saturation",
+            // Full scale chosen near the speech-band vibration amplitude so
+            // clipping starts to bite at severity 1 and dominates beyond.
+            base: FaultProfile { full_scale: Some(0.02), ..FaultProfile::clean() },
+        },
+        Axis {
+            name: "motion",
+            base: FaultProfile {
+                burst_rate_hz: 1.8,
+                burst_amp: 0.12,
+                burst_duration_s: 0.12,
+                ..FaultProfile::clean()
+            },
+        },
+        Axis {
+            name: "power",
+            base: FaultProfile {
+                batching: Some(BatchingSpec::doze_default()),
+                throttle: ThermalThrottle { onset_s: 30.0, rate_factor: 0.8 },
+                ..FaultProfile::clean()
+            },
+        },
+    ]
+}
+
+struct Cell {
+    severity: f64,
+    accuracy: f64,
+    regions: usize,
+    faults: emoleak_phone::FaultLog,
+}
+
+/// Renders an `f64` as a JSON number, mapping non-finite values to `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn to_json(random_guess: f64, severities: &[f64], results: &[(String, Vec<Cell>)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"random_guess\": {},\n", json_num(random_guess)));
+    out.push_str(&format!(
+        "  \"severities\": [{}],\n",
+        severities.iter().map(|&s| json_num(s)).collect::<Vec<_>>().join(", ")
+    ));
+    out.push_str("  \"axes\": [\n");
+    for (i, (name, cells)) in results.iter().enumerate() {
+        out.push_str(&format!("    {{\"name\": \"{name}\", \"cells\": [\n"));
+        for (j, c) in cells.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"severity\": {}, \"accuracy\": {}, \"regions\": {}, \
+                 \"dropped\": {}, \"duplicated\": {}, \"clipped\": {}, \
+                 \"bursts\": {}, \"suspensions\": {}, \"throttled\": {}}}{}\n",
+                json_num(c.severity),
+                json_num(c.accuracy),
+                c.regions,
+                c.faults.dropped,
+                c.faults.duplicated,
+                c.faults.clipped,
+                c.faults.bursts,
+                c.faults.suspensions,
+                c.faults.throttled,
+                if j + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!("    ]}}{}\n", if i + 1 < results.len() { "," } else { "" }));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> Result<(), EmoleakError> {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell().min(12));
+    let random_guess = corpus.random_guess();
+    banner("Robustness sweep: accuracy vs fault severity (TESS / OnePlus 7T)", random_guess);
+    let severities = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let device = DeviceProfile::oneplus_7t();
+
+    let mut results: Vec<(String, Vec<Cell>)> = Vec::new();
+    for axis in axes() {
+        let mut cells = Vec::new();
+        for &severity in &severities {
+            let scenario = AttackScenario::table_top(corpus.clone(), device.clone())
+                .with_faults(axis.base.clone().with_severity(severity));
+            let h = scenario.harvest()?;
+            // 5-fold CV: a single 80/20 split on a small faulted campaign
+            // is noisy enough to hide the decay trend. A campaign degraded
+            // below trainability is the fault winning, not an error: it
+            // scores as random guessing.
+            let accuracy = match evaluate_features(
+                &h.features,
+                ClassifierKind::Logistic,
+                Protocol::KFold(5),
+                0x5EED,
+            ) {
+                Ok(eval) => eval.accuracy,
+                Err(EmoleakError::DegenerateDataset(_)) => random_guess,
+                Err(e) => return Err(e),
+            };
+            cells.push(Cell { severity, accuracy, regions: h.features.len(), faults: h.faults });
+        }
+        results.push((axis.name.to_string(), cells));
+    }
+
+    // Text degradation table: one row per axis, one column per severity.
+    print!("{:<12}", "axis");
+    for s in severities {
+        print!(" {:>8}", format!("s={s}"));
+    }
+    println!();
+    println!("{}", "-".repeat(12 + severities.len() * 9));
+    for (name, cells) in &results {
+        print!("{name:<12}");
+        for c in cells {
+            print!(" {:>7.1}%", c.accuracy * 100.0);
+        }
+        println!();
+        // Coverage row: power-management faults (doze, throttling) mostly
+        // cost *regions*, not per-region accuracy.
+        print!("{:<12}", "  regions");
+        for c in cells {
+            print!(" {:>8}", c.regions);
+        }
+        println!();
+    }
+    println!("(random guess {:.1}%; accuracy at high severity should fall toward it)", random_guess * 100.0);
+    for (name, cells) in &results {
+        let f = &cells.last().expect("severities is non-empty").faults;
+        println!("  {name:<12} faults at s=4: {f}");
+    }
+
+    let json = to_json(random_guess, &severities, &results);
+    let path = std::env::var("EMOLEAK_SWEEP_JSON")
+        .unwrap_or_else(|_| "robustness_sweep.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path} ({e}); JSON follows:\n{json}"),
+    }
+    Ok(())
+}

@@ -11,7 +11,7 @@ use emoleak_bench::{banner, clips_per_cell};
 use emoleak_core::mitigation::FilterAblation;
 use emoleak_core::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     // Short grouped-emotion blocks are where the posture-drift structure
     // that Table I measures lives; larger campaigns wash the in-session
     // association out (see EXPERIMENTS.md).
@@ -19,7 +19,7 @@ fn main() {
     banner("Table I: information gain, no filter vs 1 Hz high-pass (TESS, handheld)",
            corpus.random_guess());
     let scenario = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t());
-    let ablation = FilterAblation::run(&scenario);
+    let ablation = FilterAblation::run(&scenario)?;
     println!("{:<12} {:>10} {:>10}", "feature", "no filter", "1 Hz HPF");
     println!("{}", "-".repeat(34));
     for ((name, raw), hp) in ablation
@@ -34,4 +34,5 @@ fn main() {
         "\nfilter significantly degrades level features: {}",
         ablation.filter_degrades_features()
     );
+    Ok(())
 }

@@ -6,14 +6,14 @@ use emoleak_bench::{banner, clips_per_cell};
 use emoleak_core::prelude::*;
 use emoleak_features::info_gain::information_gain_per_feature;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell().min(20));
     banner("Table II: feature inventory + information gain (TESS)", corpus.random_guess());
     for (setting, scenario) in [
         ("table-top", AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t())),
         ("handheld", AttackScenario::handheld(corpus.clone(), DeviceProfile::oneplus_7t())),
     ] {
-        let harvest = scenario.harvest();
+        let harvest = scenario.harvest()?;
         let gains = information_gain_per_feature(
             harvest.features.features(),
             harvest.features.labels(),
@@ -30,4 +30,5 @@ fn main() {
         }
         println!("non-zero gains: {nonzero}/24");
     }
+    Ok(())
 }

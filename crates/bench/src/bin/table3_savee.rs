@@ -8,7 +8,7 @@
 use emoleak_bench::{banner, clips_per_cell, loudspeaker_column};
 use emoleak_core::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::savee().with_clips_per_cell(clips_per_cell());
     banner("Table III: SAVEE / loudspeaker", corpus.random_guess());
     let devices = [DeviceProfile::oneplus_7t(), DeviceProfile::pixel_5()];
@@ -16,7 +16,7 @@ fn main() {
         "SAVEE (time-frequency features + spectrograms)",
         devices.iter().map(|d| d.name().to_string()).collect(),
     );
-    let columns: Vec<Vec<(String, f64)>> = devices
+    let columns = devices
         .iter()
         .map(|d| {
             loudspeaker_column(
@@ -24,7 +24,7 @@ fn main() {
                 0x7AB3,
             )
         })
-        .collect();
+        .collect::<Result<Vec<Vec<(String, f64)>>, _>>()?;
     for row in 0..columns[0].len() {
         let label = columns[0][row].0.clone();
         table.push_row(&label, columns.iter().map(|c| c[row].1).collect());
@@ -32,4 +32,5 @@ fn main() {
     table.push_note("paper: Logistic 53.77%/44.44%, CNN 46.98%/44.18%, spec-CNN 39.16%/35.38%");
     table.push_note("random guess 14.28%");
     print!("{}", table.render());
+    Ok(())
 }

@@ -6,7 +6,7 @@
 use emoleak_bench::{banner, clips_per_cell, loudspeaker_column};
 use emoleak_core::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     // CREMA-D has 91 speakers; its per-cell count is intrinsically small
     // (13 in the real corpus), so the scale knob is capped accordingly.
     let corpus = CorpusSpec::crema_d().with_clips_per_cell(clips_per_cell().min(13).max(2));
@@ -16,11 +16,12 @@ fn main() {
         "CREMA-D (time-frequency features + spectrograms)",
         vec![device.name().to_string()],
     );
-    let column = loudspeaker_column(&AttackScenario::table_top(corpus, device), 0xC4E);
+    let column = loudspeaker_column(&AttackScenario::table_top(corpus, device), 0xC4E)?;
     for (label, acc) in column {
         table.push_row(&label, vec![acc]);
     }
     table.push_note("paper: Logistic 58.99%, CNN 60.32%, spec-CNN 53%");
     table.push_note("random guess 16.67%");
     print!("{}", table.render());
+    Ok(())
 }

@@ -7,7 +7,7 @@
 use emoleak_bench::{banner, clips_per_cell, loudspeaker_column};
 use emoleak_core::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
     banner("Table V: TESS / loudspeaker", corpus.random_guess());
     let devices = [
@@ -21,7 +21,7 @@ fn main() {
         "TESS (time-frequency features + spectrograms)",
         devices.iter().map(|d| d.name().to_string()).collect(),
     );
-    let columns: Vec<Vec<(String, f64)>> = devices
+    let columns = devices
         .iter()
         .map(|d| {
             loudspeaker_column(
@@ -29,7 +29,7 @@ fn main() {
                 0x7E55,
             )
         })
-        .collect();
+        .collect::<Result<Vec<Vec<(String, f64)>>, _>>()?;
     for row in 0..columns[0].len() {
         let label = columns[0][row].0.clone();
         table.push_row(&label, columns.iter().map(|c| c[row].1).collect());
@@ -37,4 +37,5 @@ fn main() {
     table.push_note("paper best-per-device: 95.3%, 85.37%, 82.62%, 88.49%, 85.74%");
     table.push_note("random guess 14.28%");
     print!("{}", table.render());
+    Ok(())
 }

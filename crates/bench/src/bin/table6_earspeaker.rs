@@ -10,7 +10,7 @@ use emoleak_bench::{banner, clips_per_cell, skip_cnn};
 use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let savee = CorpusSpec::savee().with_clips_per_cell(clips_per_cell());
     let tess = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
     banner("Table VI: ear speaker / handheld (10-fold CV)", savee.random_guess());
@@ -29,7 +29,10 @@ fn main() {
         ClassifierKind::Lmt,
         ClassifierKind::Cnn,
     ];
-    let harvests: Vec<_> = scenarios.iter().map(|(_, s)| s.harvest()).collect();
+    let harvests = scenarios
+        .iter()
+        .map(|(_, s)| s.harvest())
+        .collect::<Result<Vec<_>, _>>()?;
     for kind in kinds {
         if kind == ClassifierKind::Cnn && skip_cnn() {
             table.push_row(kind.display_name(), vec![f64::NAN; harvests.len()]);
@@ -45,7 +48,9 @@ fn main() {
                 } else {
                     Protocol::KFold(10)
                 };
-                evaluate_features(&h.features, kind, protocol, 0xEA6).accuracy
+                evaluate_features(&h.features, kind, protocol, 0xEA6)
+                    .map(|eval| eval.accuracy)
+                    .unwrap_or(f64::NAN)
             })
             .collect();
         table.push_row(kind.display_name(), accs);
@@ -58,4 +63,5 @@ fn main() {
     }
     table.push_note("paper: RF 53.12/58.40/59.67, RSS 56.25/54.83/55.45, LMT 49.11/53.76/53.03, CNN 51.11/60.52/54.82");
     print!("{}", table.render());
+    Ok(())
 }

@@ -26,10 +26,12 @@ fn audio_domain_accuracy(corpus: &CorpusSpec, seed: u64) -> f64 {
         }
     }
     features.clean_invalid();
-    evaluate_features(&features, ClassifierKind::Logistic, Protocol::Holdout8020, seed).accuracy
+    evaluate_features(&features, ClassifierKind::Logistic, Protocol::Holdout8020, seed)
+        .map(|eval| eval.accuracy)
+        .unwrap_or(f64::NAN)
 }
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let n = clips_per_cell();
     banner("Table VII: vibration domain vs audio domain", 1.0 / 7.0);
     let rows: [(&str, CorpusSpec, DeviceProfile); 3] = [
@@ -47,7 +49,7 @@ fn main() {
     );
     for (name, corpus, device) in rows {
         let scenario = AttackScenario::table_top(corpus.clone(), device);
-        let harvest = scenario.harvest();
+        let harvest = scenario.harvest()?;
         let vib = [
             ClassifierKind::Logistic,
             ClassifierKind::MultiClass,
@@ -62,4 +64,5 @@ fn main() {
     table.push_note("paper: SAVEE 53.77% vs 91.7%, TESS 95.3% vs 99.57%, CREMA-D 60.32% vs 94.99%");
     table.push_note("audio baseline = same features on clean audio (substitute for cited SOTA)");
     print!("{}", table.render());
+    Ok(())
 }

@@ -35,20 +35,33 @@ pub fn skip_cnn() -> bool {
 
 /// Runs one classifier on a harvested campaign under the standard protocol
 /// (80/20 holdout, as in the loudspeaker tables).
+///
+/// A dataset too degenerate to evaluate scores as `NaN` (rendered as a
+/// missing table cell), matching the `EMOLEAK_SKIP_CNN` convention.
 pub fn classifier_accuracy(
     harvest: &emoleak_core::HarvestResult,
     kind: ClassifierKind,
     seed: u64,
 ) -> f64 {
-    evaluate_features(&harvest.features, kind, Protocol::Holdout8020, seed).accuracy
+    evaluate_features(&harvest.features, kind, Protocol::Holdout8020, seed)
+        .map(|eval| eval.accuracy)
+        .unwrap_or(f64::NAN)
 }
 
 /// Builds a full table column (one accuracy per classifier) for a scenario.
 ///
 /// The classifier set mirrors the paper's table (time–frequency features ×
 /// {Logistic, MultiClassClassifier, trees.LMT, CNN} for loudspeaker tables).
-pub fn loudspeaker_column(scenario: &AttackScenario, seed: u64) -> Vec<(String, f64)> {
-    let harvest = scenario.harvest();
+///
+/// # Errors
+///
+/// Propagates harvest failures ([`emoleak_core::EmoleakError`]); degenerate
+/// *evaluations* degrade to `NaN` cells instead.
+pub fn loudspeaker_column(
+    scenario: &AttackScenario,
+    seed: u64,
+) -> Result<Vec<(String, f64)>, EmoleakError> {
+    let harvest = scenario.harvest()?;
     let mut rows = Vec::new();
     for kind in [
         ClassifierKind::Logistic,
@@ -69,11 +82,13 @@ pub fn loudspeaker_column(scenario: &AttackScenario, seed: u64) -> Vec<(String, 
             classifier_accuracy(&harvest, ClassifierKind::Cnn, seed),
         ));
         let class_names = harvest.features.class_names().to_vec();
-        let (eval, _history) =
-            emoleak_core::evaluate_spectrograms(&harvest.spectrograms, &class_names, seed);
-        rows.push(("Spectrogram CNN".to_string(), eval.accuracy));
+        let spec_acc =
+            emoleak_core::evaluate_spectrograms(&harvest.spectrograms, &class_names, seed)
+                .map(|(eval, _history)| eval.accuracy)
+                .unwrap_or(f64::NAN);
+        rows.push(("Spectrogram CNN".to_string(), spec_acc));
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders a banner line for experiment binaries.
@@ -99,7 +114,7 @@ mod tests {
             CorpusSpec::tess().with_clips_per_cell(4),
             DeviceProfile::oneplus_7t(),
         );
-        let harvest = scenario.harvest();
+        let harvest = scenario.harvest().unwrap();
         let acc = classifier_accuracy(&harvest, ClassifierKind::Logistic, 1);
         assert!((0.0..=1.0).contains(&acc));
     }

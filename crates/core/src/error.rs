@@ -1,0 +1,61 @@
+//! Typed errors for the attack pipeline.
+//!
+//! The library boundary never panics on degenerate-but-constructible inputs
+//! (an empty corpus, a fault profile that drops every sample, a dataset too
+//! small to split): [`AttackScenario::harvest`](crate::AttackScenario::harvest)
+//! and the `evaluate_*` functions return `Result<_, EmoleakError>` so callers
+//! — in particular severity sweeps that intentionally push the channel past
+//! usability — can account for failures instead of crashing.
+
+use emoleak_dsp::DspError;
+
+/// Errors produced by the harvest/evaluation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmoleakError {
+    /// A DSP stage rejected its input.
+    Dsp(DspError),
+    /// The campaign produced no usable speech regions or features
+    /// (e.g. the channel was fully degraded by faults or damping).
+    EmptyHarvest(String),
+    /// The dataset is too small or class-starved to train and evaluate.
+    DegenerateDataset(String),
+    /// A clip carried an emotion label missing from the corpus's class set.
+    UnknownLabel(String),
+}
+
+impl core::fmt::Display for EmoleakError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EmoleakError::Dsp(e) => write!(f, "dsp error: {e}"),
+            EmoleakError::EmptyHarvest(why) => write!(f, "empty harvest: {why}"),
+            EmoleakError::DegenerateDataset(why) => {
+                write!(f, "degenerate dataset: {why}")
+            }
+            EmoleakError::UnknownLabel(label) => {
+                write!(f, "unknown emotion label: {label}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmoleakError {}
+
+impl From<DspError> for EmoleakError {
+    fn from(e: DspError) -> Self {
+        EmoleakError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = EmoleakError::DegenerateDataset("3 rows".into());
+        assert!(e.to_string().contains("3 rows"));
+        let e: EmoleakError = DspError::EmptyInput.into();
+        assert!(matches!(e, EmoleakError::Dsp(_)));
+        assert!(e.to_string().starts_with("dsp error"));
+    }
+}

@@ -24,21 +24,26 @@
 //! ```no_run
 //! use emoleak_core::prelude::*;
 //!
+//! # fn main() -> Result<(), EmoleakError> {
 //! let scenario = AttackScenario::table_top(CorpusSpec::tess().with_clips_per_cell(10),
 //!                                          DeviceProfile::oneplus_7t());
-//! let harvest = scenario.harvest();
-//! let eval = evaluate_features(&harvest.features, ClassifierKind::Logistic, Protocol::Holdout8020, 1);
+//! let harvest = scenario.harvest()?;
+//! let eval = evaluate_features(&harvest.features, ClassifierKind::Logistic, Protocol::Holdout8020, 1)?;
 //! println!("accuracy {:.1}%", eval.accuracy * 100.0);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod mitigation;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;
 
+pub use error::EmoleakError;
 pub use pipeline::{
     evaluate_features, evaluate_spectrograms, ClassifierKind, HarvestResult, Protocol,
 };
@@ -46,6 +51,7 @@ pub use scenario::{AttackScenario, Setting};
 
 /// Convenient re-exports for examples and benches.
 pub mod prelude {
+    pub use crate::error::EmoleakError;
     pub use crate::pipeline::{
         evaluate_features, evaluate_spectrograms, ClassifierKind, HarvestResult, Protocol,
     };
@@ -53,6 +59,6 @@ pub mod prelude {
     pub use crate::scenario::{AttackScenario, Setting};
     pub use emoleak_features::FeatureDataset;
     pub use emoleak_ml::eval::Evaluation;
-    pub use emoleak_phone::{DeviceProfile, SamplingPolicy};
+    pub use emoleak_phone::{DeviceProfile, FaultLog, FaultProfile, SamplingPolicy};
     pub use emoleak_synth::{CorpusSpec, Emotion};
 }

@@ -6,6 +6,7 @@
 //! [`evaluate_spectrograms`] then run any of the paper's classifiers under
 //! the 80/20 or 10-fold protocol.
 
+use crate::error::EmoleakError;
 use crate::scenario::AttackScenario;
 use emoleak_features::spectrogram::SpectrogramGenerator;
 use emoleak_features::{all_feature_names, extract_all, FeatureDataset, LabeledSpectrogram};
@@ -14,8 +15,15 @@ use emoleak_ml::nn::{spectrogram_cnn_scaled, CnnClassifier, Tensor, TrainConfig,
 use emoleak_ml::{forest::RandomForest, lmt::Lmt, logistic::Logistic, one_vs_rest::OneVsRest,
     subspace::RandomSubspace, Classifier};
 use emoleak_phone::session::RecordingSession;
+use emoleak_phone::FaultLog;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// One clip's trace window with its ground-truth speech spans and label.
+type LabeledWindow = (Vec<f64>, Vec<(usize, usize)>, usize);
+/// A clip queued for continuous-session recording: samples, sample rate,
+/// and the (label, ground-truth spans) payload carried through the session.
+type SessionClip = (Vec<f64>, f64, (usize, Vec<(usize, usize)>));
 
 /// Everything the attacker extracts from one recording campaign.
 #[derive(Debug, Clone)]
@@ -29,6 +37,12 @@ pub struct HarvestResult {
     pub detection_rate: f64,
     /// The delivered accelerometer rate (after the Android policy).
     pub accel_fs: f64,
+    /// Fault accounting per recording: table-top campaigns record clip by
+    /// clip (one entry per clip); handheld campaigns record one continuous
+    /// session (a single campaign-wide entry). Empty for fault-free runs.
+    pub clip_faults: Vec<FaultLog>,
+    /// Aggregate of `clip_faults` over the whole campaign.
+    pub faults: FaultLog,
 }
 
 impl AttackScenario {
@@ -39,13 +53,26 @@ impl AttackScenario {
     /// paper's protocol (§V-B: "we collected all the data in a continuous
     /// manner"), which matters because slow posture drift then spans
     /// consecutive clips.
-    pub fn harvest(&self) -> HarvestResult {
+    ///
+    /// A heavily faulted or damped channel degrades gracefully: the result
+    /// may carry few (or zero) features, and `clip_faults` accounts for
+    /// every injected fault. The downstream `evaluate_*` functions report
+    /// such datasets as [`EmoleakError::DegenerateDataset`] rather than
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmoleakError::UnknownLabel`] if a corpus clip carries an
+    /// emotion missing from the corpus's own class set (a corpus-construction
+    /// bug, not a channel condition).
+    pub fn harvest(&self) -> Result<HarvestResult, EmoleakError> {
         let session = RecordingSession::new(
             &self.device,
             self.setting.speaker_kind(),
             self.setting.placement(),
         )
-        .with_policy(self.policy);
+        .with_policy(self.policy)
+        .with_faults(self.faults.clone());
         let detector = self.setting.region_detector();
         let spec_gen = SpectrogramGenerator::for_accel();
         let emotions = self.corpus.emotions().to_vec();
@@ -56,37 +83,46 @@ impl AttackScenario {
         let fs_out = session.delivered_rate();
         let mut truth_total = 0usize;
         let mut truth_hit = 0.0f64;
+        let mut clip_faults = Vec::new();
+        let mut faults = FaultLog::default();
+
+        let label_of = |emotion: &emoleak_synth::Emotion| {
+            emotions
+                .iter()
+                .position(|e| e == emotion)
+                .ok_or_else(|| EmoleakError::UnknownLabel(emotion.to_string()))
+        };
 
         // (trace window, ground-truth spans within it, label) per clip.
-        let mut windows: Vec<(Vec<f64>, Vec<(usize, usize)>, usize)> = Vec::new();
+        let mut windows: Vec<LabeledWindow> = Vec::new();
         match self.setting {
             crate::scenario::Setting::TableTopLoudspeaker => {
                 for clip in self.corpus.iter() {
-                    let label = emotions
-                        .iter()
-                        .position(|e| *e == clip.emotion)
-                        .expect("clip emotion always in corpus");
-                    let trace = session.record_clip(&clip.samples, clip.fs, &mut rng);
+                    let label = label_of(&clip.emotion)?;
+                    let (trace, log) =
+                        session.record_clip_logged(&clip.samples, clip.fs, &mut rng);
+                    faults.absorb(&log);
+                    if !self.faults.is_noop() {
+                        clip_faults.push(log);
+                    }
                     let scale = trace.fs / clip.fs;
                     let truth = rescale_spans(&clip.voiced_spans, scale);
                     windows.push((trace.samples, truth, label));
                 }
             }
             crate::scenario::Setting::HandheldEarSpeaker => {
-                let clips: Vec<(Vec<f64>, f64, (usize, Vec<(usize, usize)>))> = self
-                    .corpus
-                    .iter()
-                    .map(|clip| {
-                        let label = emotions
-                            .iter()
-                            .position(|e| *e == clip.emotion)
-                            .expect("clip emotion always in corpus");
-                        let scale = fs_out / clip.fs;
-                        let truth = rescale_spans(&clip.voiced_spans, scale);
-                        (clip.samples, clip.fs, (label, truth))
-                    })
-                    .collect();
-                let st = session.record_session(clips, &mut rng);
+                let mut clips: Vec<SessionClip> = Vec::new();
+                for clip in self.corpus.iter() {
+                    let label = label_of(&clip.emotion)?;
+                    let scale = fs_out / clip.fs;
+                    let truth = rescale_spans(&clip.voiced_spans, scale);
+                    clips.push((clip.samples, clip.fs, (label, truth)));
+                }
+                let (st, log) = session.record_session_logged(clips, &mut rng);
+                faults.absorb(&log);
+                if !self.faults.is_noop() {
+                    clip_faults.push(log);
+                }
                 for (i, span) in st.labels.iter().enumerate() {
                     let window = st.window(i).to_vec();
                     let (label, truth) = span.label.clone();
@@ -103,7 +139,12 @@ impl AttackScenario {
                 truth_hit += rate * truth.len() as f64;
             }
             for &(start, end) in &regions {
-                let region = &window[start..end.min(window.len())];
+                let end = end.min(window.len());
+                let start = start.min(end);
+                let region = &window[start..end];
+                if region.is_empty() {
+                    continue;
+                }
                 features.push(extract_all(region, fs_out), *label);
                 if let Some(img) = spec_gen.generate(region, fs_out, *label) {
                     spectrograms.push(img);
@@ -111,7 +152,7 @@ impl AttackScenario {
             }
         }
         features.clean_invalid();
-        HarvestResult {
+        Ok(HarvestResult {
             features,
             spectrograms,
             detection_rate: if truth_total == 0 {
@@ -120,7 +161,9 @@ impl AttackScenario {
                 truth_hit / truth_total as f64
             },
             accel_fs: fs_out,
-        }
+            clip_faults,
+            faults,
+        })
     }
 }
 
@@ -224,42 +267,75 @@ fn make_classifier(kind: ClassifierKind, seed: u64) -> Box<dyn Classifier> {
 /// Evaluates one classifier on a harvested feature dataset under the given
 /// protocol. Features are z-score normalized with training statistics.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the dataset is too small to split.
+/// Returns [`EmoleakError::DegenerateDataset`] when the dataset cannot
+/// support the protocol: fewer than 10 rows, fewer than 2 represented
+/// classes, a class with fewer than 2 rows (holdout), or fewer rows than
+/// folds (k-fold). Heavily faulted harvests routinely hit these conditions;
+/// callers should score such campaigns as random-guess performance.
 pub fn evaluate_features(
     features: &FeatureDataset,
     kind: ClassifierKind,
     protocol: Protocol,
     seed: u64,
-) -> Evaluation {
+) -> Result<Evaluation, EmoleakError> {
+    let counts = features.class_counts();
+    let represented = counts.iter().filter(|&&c| c > 0).count();
+    if features.len() < 10 {
+        return Err(EmoleakError::DegenerateDataset(format!(
+            "{} feature rows (need at least 10)",
+            features.len()
+        )));
+    }
+    if represented < 2 {
+        return Err(EmoleakError::DegenerateDataset(format!(
+            "{represented} represented class(es) (need at least 2)"
+        )));
+    }
     let class_names = features.class_names().to_vec();
     match protocol {
         Protocol::Holdout8020 => {
+            if counts.iter().any(|&c| c > 0 && c < 2) {
+                return Err(EmoleakError::DegenerateDataset(
+                    "a represented class has fewer than 2 rows".into(),
+                ));
+            }
             let (mut train, mut test) = features.stratified_split(0.8, seed);
+            if train.is_empty() || test.is_empty() {
+                return Err(EmoleakError::DegenerateDataset(
+                    "holdout split produced an empty train or test set".into(),
+                ));
+            }
             let params = train.fit_normalization();
             test.apply_normalization(&params);
             let mut clf = make_classifier(kind, seed);
-            train_test_evaluate(
+            Ok(train_test_evaluate(
                 clf.as_mut(),
                 train.features(),
                 train.labels(),
                 test.features(),
                 test.labels(),
                 &class_names,
-            )
+            ))
         }
         Protocol::KFold(k) => {
+            if k < 2 || features.len() < k {
+                return Err(EmoleakError::DegenerateDataset(format!(
+                    "{} rows cannot be split into {k} folds",
+                    features.len()
+                )));
+            }
             let mut normed = features.clone();
             normed.fit_normalization();
-            cross_validate(
+            Ok(cross_validate(
                 || BoxedClassifier { inner: make_classifier(kind, seed) },
                 normed.features(),
                 normed.labels(),
                 &class_names,
                 k,
                 seed,
-            )
+            ))
         }
     }
 }
@@ -289,15 +365,34 @@ impl Classifier for BoxedClassifier {
 /// `EMOLEAK_CNN_DIV`; divisor 1 is paper-exact). Returns the evaluation and
 /// the training history.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if fewer than 2 classes or ~10 images are provided.
+/// Returns [`EmoleakError::DegenerateDataset`] for fewer than 10 images or
+/// fewer than 2 represented classes (common outcomes of heavily faulted
+/// campaigns).
 pub fn evaluate_spectrograms(
     spectrograms: &[LabeledSpectrogram],
     class_names: &[String],
     seed: u64,
-) -> (Evaluation, TrainingHistory) {
-    assert!(spectrograms.len() >= 10, "need at least 10 spectrograms");
+) -> Result<(Evaluation, TrainingHistory), EmoleakError> {
+    if spectrograms.len() < 10 {
+        return Err(EmoleakError::DegenerateDataset(format!(
+            "{} spectrograms (need at least 10)",
+            spectrograms.len()
+        )));
+    }
+    let mut class_seen = vec![false; class_names.len()];
+    for s in spectrograms {
+        if let Some(seen) = class_seen.get_mut(s.label) {
+            *seen = true;
+        }
+    }
+    let represented = class_seen.iter().filter(|&&s| s).count();
+    if represented < 2 {
+        return Err(EmoleakError::DegenerateDataset(format!(
+            "{represented} represented class(es) among spectrograms (need at least 2)"
+        )));
+    }
     let side = emoleak_features::spectrogram::IMAGE_SIZE;
     // Large campaigns produce thousands of images; single-core training
     // cost is linear in that count, so cap the per-class sample count
@@ -337,7 +432,7 @@ pub fn evaluate_spectrograms(
     for (x, &y) in test_x.iter().zip(&test_y) {
         confusion.record(y, net.predict(x));
     }
-    (Evaluation { accuracy: confusion.accuracy(), confusion }, history)
+    Ok((Evaluation { accuracy: confusion.accuracy(), confusion }, history))
 }
 
 #[cfg(test)]
@@ -355,7 +450,7 @@ mod tests {
 
     #[test]
     fn harvest_produces_labeled_data() {
-        let h = small_scenario().harvest();
+        let h = small_scenario().harvest().unwrap();
         assert!(h.features.len() > 20, "features {}", h.features.len());
         assert_eq!(h.features.dim(), 24);
         assert_eq!(h.features.num_classes(), 7);
@@ -364,12 +459,15 @@ mod tests {
         assert!(h.accel_fs > 200.0);
         // Every class is represented.
         assert!(h.features.class_counts().iter().all(|&c| c > 0));
+        // A fault-free campaign carries clean accounting.
+        assert!(h.faults.is_clean());
+        assert!(h.clip_faults.is_empty());
     }
 
     #[test]
     fn harvest_is_deterministic() {
-        let a = small_scenario().harvest();
-        let b = small_scenario().harvest();
+        let a = small_scenario().harvest().unwrap();
+        let b = small_scenario().harvest().unwrap();
         assert_eq!(a.features.features(), b.features.features());
         assert_eq!(a.detection_rate, b.detection_rate);
     }
@@ -380,8 +478,11 @@ mod tests {
             CorpusSpec::tess().with_clips_per_cell(6),
             DeviceProfile::oneplus_7t(),
         )
-        .harvest();
-        let eval = evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::Holdout8020, 1);
+        .harvest()
+        .unwrap();
+        let eval =
+            evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::Holdout8020, 1)
+                .unwrap();
         assert!(
             eval.accuracy > 2.0 / 7.0,
             "accuracy {} should beat 2x random guess",
@@ -393,7 +494,68 @@ mod tests {
     fn capped_policy_reduces_rate() {
         let h = small_scenario()
             .with_policy(emoleak_phone::SamplingPolicy::Capped200Hz)
-            .harvest();
+            .harvest()
+            .unwrap();
         assert_eq!(h.accel_fs, 200.0);
+    }
+
+    #[test]
+    fn faulted_harvest_accounts_per_clip() {
+        use emoleak_phone::FaultProfile;
+        let h = small_scenario()
+            .with_faults(FaultProfile::handheld_walking())
+            .harvest()
+            .unwrap();
+        // Table-top records clip by clip: one log per corpus clip.
+        let n_clips = small_scenario().corpus.iter().count();
+        assert_eq!(h.clip_faults.len(), n_clips);
+        assert!(!h.faults.is_clean());
+        assert!(h.faults.dropped > 0);
+        // Features still flow (moderate faults degrade, not destroy).
+        assert!(h.features.len() > 10, "features {}", h.features.len());
+        assert!(h.features.features().iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn extreme_faults_degrade_gracefully() {
+        use emoleak_phone::FaultProfile;
+        // Severity 20 on the walking profile: most samples dropped, the
+        // rest clipped at a tiny full scale. The pipeline must not panic.
+        let h = small_scenario()
+            .with_faults(FaultProfile::handheld_walking().with_severity(20.0))
+            .harvest()
+            .unwrap();
+        assert!(h.faults.dropped > 0);
+        match evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::Holdout8020, 1) {
+            Ok(eval) => assert!((0.0..=1.0).contains(&eval.accuracy) || eval.accuracy.is_nan()),
+            Err(EmoleakError::DegenerateDataset(_)) => {} // expected outcome
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_datasets_error_not_panic() {
+        use emoleak_features::FeatureDataset;
+        let empty = FeatureDataset::new(all_feature_names(), vec!["a".into(), "b".into()]);
+        assert!(matches!(
+            evaluate_features(&empty, ClassifierKind::Logistic, Protocol::Holdout8020, 1),
+            Err(EmoleakError::DegenerateDataset(_))
+        ));
+        let mut one_class = FeatureDataset::new(all_feature_names(), vec!["a".into(), "b".into()]);
+        for _ in 0..12 {
+            one_class.push(vec![0.0; all_feature_names().len()], 0);
+        }
+        assert!(matches!(
+            evaluate_features(&one_class, ClassifierKind::Logistic, Protocol::Holdout8020, 1),
+            Err(EmoleakError::DegenerateDataset(_))
+        ));
+        assert!(matches!(
+            evaluate_features(&one_class, ClassifierKind::Logistic, Protocol::KFold(100), 1),
+            Err(EmoleakError::DegenerateDataset(_))
+        ));
+        assert!(matches!(
+            evaluate_spectrograms(&[], &["a".into(), "b".into()], 1),
+            Err(EmoleakError::DegenerateDataset(_))
+        ));
     }
 }

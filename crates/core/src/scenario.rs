@@ -1,7 +1,7 @@
 //! Attack scenarios: what the malicious app records.
 
 use emoleak_features::regions::RegionDetector;
-use emoleak_phone::{DeviceProfile, Placement, SamplingPolicy, SpeakerKind};
+use emoleak_phone::{DeviceProfile, FaultProfile, Placement, SamplingPolicy, SpeakerKind};
 use emoleak_synth::CorpusSpec;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +63,9 @@ pub struct AttackScenario {
     pub setting: Setting,
     /// The Android sensor policy the malicious app operates under.
     pub policy: SamplingPolicy,
+    /// Channel imperfections injected into every recording (dropped events,
+    /// timestamp jitter, saturation, motion bursts, doze, throttling).
+    pub faults: FaultProfile,
     /// Channel-noise seed (sensor noise, motion noise).
     pub seed: u64,
 }
@@ -75,6 +78,7 @@ impl AttackScenario {
             device,
             setting: Setting::TableTopLoudspeaker,
             policy: SamplingPolicy::Default,
+            faults: FaultProfile::clean(),
             seed: 0xE40,
         }
     }
@@ -86,6 +90,7 @@ impl AttackScenario {
             device,
             setting: Setting::HandheldEarSpeaker,
             policy: SamplingPolicy::Default,
+            faults: FaultProfile::clean(),
             seed: 0xEA4,
         }
     }
@@ -94,6 +99,15 @@ impl AttackScenario {
     #[must_use]
     pub fn with_policy(mut self, policy: SamplingPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Injects channel imperfections into every recording of the campaign
+    /// (the robustness studies sweep this with
+    /// [`FaultProfile::with_severity`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -136,6 +150,17 @@ mod tests {
         assert_eq!(s.policy, SamplingPolicy::Capped200Hz);
         assert_eq!(s.seed, 9);
         assert_eq!(s.device.name(), "Pixel 5");
+    }
+
+    #[test]
+    fn fault_builder_sets_profile() {
+        let s = AttackScenario::table_top(
+            CorpusSpec::tess().with_clips_per_cell(1),
+            DeviceProfile::oneplus_7t(),
+        );
+        assert!(s.faults.is_noop(), "default scenario is fault-free");
+        let s = s.with_faults(FaultProfile::handheld_walking());
+        assert!(!s.faults.is_noop());
     }
 
     #[test]

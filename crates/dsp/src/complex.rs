@@ -4,7 +4,7 @@
 //! needs addition, subtraction, multiplication, scaling, conjugation and
 //! magnitude.
 
-use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 use serde::{Deserialize, Serialize};
 
 /// A complex number in Cartesian form, `re + i·im`.
@@ -88,6 +88,11 @@ impl Complex {
         Complex { re: self.re * k, im: self.im * k }
     }
 
+}
+
+impl Div for Complex {
+    type Output = Complex;
+
     /// Complex division.
     ///
     /// # Panics
@@ -95,7 +100,7 @@ impl Complex {
     /// Does not panic, but dividing by a zero denominator yields non-finite
     /// components, matching IEEE-754 semantics.
     #[inline]
-    pub fn div(self, rhs: Complex) -> Self {
+    fn div(self, rhs: Complex) -> Self {
         let d = rhs.norm_sqr();
         Complex {
             re: (self.re * rhs.re + self.im * rhs.im) / d,
@@ -211,7 +216,7 @@ mod tests {
     fn division_inverts_multiplication() {
         let a = Complex::new(2.0, 3.0);
         let b = Complex::new(4.0, -5.0);
-        let q = (a * b).div(b);
+        let q = (a * b) / b;
         assert!(close(q, a));
     }
 

@@ -52,7 +52,7 @@ impl Biquad {
             + z1.scale(self.b[1])
             + z2.scale(self.b[2]);
         let den = Complex::ONE + z1.scale(self.a[0]) + z2.scale(self.a[1]);
-        num.div(den).abs()
+        (num / den).abs()
     }
 }
 
@@ -119,7 +119,7 @@ impl ButterworthDesign {
         if order == 0 {
             return Err(DspError::InvalidParameter("order must be >= 1".into()));
         }
-        if !(fs > 0.0) {
+        if fs.is_nan() || fs <= 0.0 {
             return Err(DspError::InvalidParameter(format!(
                 "sampling rate must be positive, got {fs}"
             )));

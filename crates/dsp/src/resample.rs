@@ -56,7 +56,7 @@ pub fn decimate_filtered(x: &[f64], m: usize, fs_in: f64) -> Result<Vec<f64>, Ds
 /// Returns [`DspError::InvalidParameter`] if either rate is non-positive, and
 /// [`DspError::EmptyInput`] if `x` is empty.
 pub fn resample_linear(x: &[f64], fs_in: f64, fs_out: f64) -> Result<Vec<f64>, DspError> {
-    if !(fs_in > 0.0) || !(fs_out > 0.0) {
+    if fs_in.is_nan() || fs_in <= 0.0 || fs_out.is_nan() || fs_out <= 0.0 {
         return Err(DspError::InvalidParameter(format!(
             "sampling rates must be positive (got {fs_in} -> {fs_out})"
         )));
@@ -76,6 +76,79 @@ pub fn resample_linear(x: &[f64], fs_in: f64, fs_out: f64) -> Result<Vec<f64>, D
             x[lo] * (1.0 - w) + x[hi] * w
         })
         .collect();
+    Ok(out)
+}
+
+/// Gap-aware resampling of an *irregularly timestamped* series onto a uniform
+/// `fs_out` grid covering `[t[0], t[last]]`.
+///
+/// Real sensor logs are irregular: delivery jitter perturbs timestamps and
+/// dropped events / doze blackouts leave holes. Each output grid point is
+/// linearly interpolated between its two bracketing input samples — unless
+/// the bracketing samples are more than `max_gap_s` apart, in which case the
+/// sensor was not delivering and the output is filled with `0.0` (the sensor
+/// rest level after DC removal) rather than a long interpolation ramp that
+/// would smear spurious low-frequency energy across the blackout.
+///
+/// Timestamps must be non-decreasing (as produced by a sensor event log).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if the series is empty,
+/// [`DspError::InvalidParameter`] if `fs_out` is non-positive, the slice
+/// lengths differ, or the timestamps are not sorted.
+pub fn resample_irregular(
+    t: &[f64],
+    x: &[f64],
+    fs_out: f64,
+    max_gap_s: f64,
+) -> Result<Vec<f64>, DspError> {
+    if fs_out.is_nan() || fs_out <= 0.0 {
+        return Err(DspError::InvalidParameter(format!(
+            "output rate must be positive (got {fs_out})"
+        )));
+    }
+    if t.len() != x.len() {
+        return Err(DspError::InvalidParameter(format!(
+            "timestamp/sample length mismatch ({} vs {})",
+            t.len(),
+            x.len()
+        )));
+    }
+    if t.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if t.windows(2).any(|w| w[1] < w[0]) {
+        return Err(DspError::InvalidParameter("timestamps must be non-decreasing".into()));
+    }
+    let t0 = t[0];
+    let duration = t[t.len() - 1] - t0;
+    let n_out = (duration * fs_out).floor() as usize + 1;
+    let mut out = Vec::with_capacity(n_out);
+    // `hi` walks forward monotonically: total work is O(n_in + n_out).
+    let mut hi = 0usize;
+    for i in 0..n_out {
+        let tq = t0 + i as f64 / fs_out;
+        while hi < t.len() && t[hi] < tq {
+            hi += 1;
+        }
+        let v = if hi == 0 {
+            x[0]
+        } else if hi == t.len() {
+            x[x.len() - 1]
+        } else {
+            let (ta, tb) = (t[hi - 1], t[hi]);
+            if tb - ta > max_gap_s {
+                0.0 // delivery blackout: rest level, not an interpolation ramp
+            } else if tb - ta <= f64::EPSILON {
+                x[hi]
+            } else {
+                let w = (tq - ta) / (tb - ta);
+                x[hi - 1] * (1.0 - w) + x[hi] * w
+            }
+        };
+        out.push(v);
+    }
     Ok(out)
 }
 
@@ -150,5 +223,79 @@ mod tests {
         assert!(resample_linear(&[], 100.0, 50.0).is_err());
         assert!(resample_linear(&[1.0], -1.0, 50.0).is_err());
         assert!(decimate_filtered(&[1.0, 2.0], 0, 100.0).is_err());
+    }
+
+    #[test]
+    fn irregular_on_regular_grid_is_identity() {
+        let fs = 100.0;
+        let x = tone(7.0, fs, 500);
+        let t: Vec<f64> = (0..500).map(|i| i as f64 / fs).collect();
+        let y = resample_irregular(&t, &x, fs, 0.1).unwrap();
+        assert_eq!(y.len(), x.len());
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn irregular_recovers_tone_from_jittered_timestamps() {
+        let fs = 400.0;
+        let n = 4096;
+        // Jittered sample instants, still sorted.
+        let t: Vec<f64> = (0..n)
+            .map(|i| i as f64 / fs + 1e-4 * ((i as u64 * 2654435761) % 97) as f64 / 97.0)
+            .collect();
+        let x: Vec<f64> =
+            t.iter().map(|&ti| (2.0 * std::f64::consts::PI * 20.0 * ti).sin()).collect();
+        let y = resample_irregular(&t, &x, fs, 0.1).unwrap();
+        let fft = crate::Fft::new(2048);
+        let p = fft.power_spectrum(&y[..2048]);
+        let peak = p.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let freq = peak as f64 * fs / 2048.0;
+        assert!((freq - 20.0).abs() < 0.5, "peak at {freq}");
+    }
+
+    #[test]
+    fn wide_gaps_fill_with_rest_level() {
+        // Two bursts of samples separated by a 1 s hole; max_gap 50 ms.
+        let fs = 100.0;
+        let mut t = Vec::new();
+        let mut x = Vec::new();
+        for i in 0..50 {
+            t.push(i as f64 / fs);
+            x.push(1.0);
+        }
+        for i in 0..50 {
+            t.push(1.5 + i as f64 / fs);
+            x.push(1.0);
+        }
+        let y = resample_irregular(&t, &x, fs, 0.05).unwrap();
+        // Grid points inside the hole (0.5 .. 1.5 s) are zero-filled.
+        let hole: Vec<f64> = y
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let tq = *i as f64 / fs;
+                tq > 0.55 && tq < 1.45
+            })
+            .map(|(_, &v)| v)
+            .collect();
+        assert!(!hole.is_empty());
+        assert!(hole.iter().all(|&v| v == 0.0), "hole not rest-filled");
+        assert!((y[10] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irregular_rejects_bad_input() {
+        assert!(resample_irregular(&[], &[], 100.0, 0.1).is_err());
+        assert!(resample_irregular(&[0.0, 1.0], &[1.0], 100.0, 0.1).is_err());
+        assert!(resample_irregular(&[1.0, 0.5], &[1.0, 2.0], 100.0, 0.1).is_err());
+        assert!(resample_irregular(&[0.0, 1.0], &[1.0, 2.0], 0.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn irregular_single_sample_yields_single_output() {
+        let y = resample_irregular(&[3.0], &[0.7], 100.0, 0.1).unwrap();
+        assert_eq!(y, vec![0.7]);
     }
 }

@@ -175,7 +175,7 @@ fn spectral_moments(mags: &[f64], freqs: &[f64]) -> (f64, f64, f64, f64) {
 /// Spectral crest factor: peak magnitude over mean magnitude (tonality).
 fn spectral_crest(mags: &[f64]) -> f64 {
     let mean = stats::mean(mags);
-    if !(mean > 0.0) {
+    if mean.is_nan() || mean <= 0.0 {
         return f64::NAN;
     }
     stats::max(mags) / mean

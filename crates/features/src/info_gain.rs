@@ -31,7 +31,7 @@ pub fn information_gain(values: &[f64], labels: &[usize], bins: usize) -> f64 {
     }
     let vmin = pairs.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
     let vmax = pairs.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
-    if !(vmax > vmin) {
+    if vmax <= vmin {
         return 0.0;
     }
     let num_classes = pairs.iter().map(|p| p.1).max().unwrap() + 1;

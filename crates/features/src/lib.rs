@@ -54,9 +54,41 @@ pub fn all_feature_names() -> Vec<String> {
 
 /// Extracts the full 24-dimensional Table II feature vector from one speech
 /// region sampled at `fs`.
+///
+/// Degenerate regions degrade to NaN entries rather than panicking: empty
+/// or too-short regions, and regions carrying any non-finite sample (a
+/// corrupted sensor log), all yield all-NaN vectors that
+/// [`FeatureDataset::clean_invalid`](dataset::FeatureDataset::clean_invalid)
+/// removes — mirroring the paper's invalid-entry cleaning step.
 pub fn extract_all(region: &[f64], fs: f64) -> Vec<f64> {
+    if region.iter().any(|v| !v.is_finite()) {
+        return vec![f64::NAN; 24];
+    }
     let mut v = Vec::with_capacity(24);
     v.extend_from_slice(&time_domain::extract(region));
     v.extend_from_slice(&freq_domain::extract(region, fs));
     v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_regions_yield_nan_not_panic() {
+        assert!(extract_all(&[], 420.0).iter().all(|v| v.is_nan()));
+        assert!(extract_all(&[1.0, f64::NAN, 2.0], 420.0).iter().all(|v| v.is_nan()));
+        assert!(extract_all(&[1.0, f64::INFINITY], 420.0).iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn nan_rows_are_cleaned_from_datasets() {
+        let mut d = FeatureDataset::new(all_feature_names(), vec!["a".into(), "b".into()]);
+        d.push(extract_all(&[], 420.0), 0); // all-NaN row
+        let good: Vec<f64> = (0..700).map(|i| 0.05 * (i as f64 * 0.3).sin()).collect();
+        d.push(extract_all(&good, 420.0), 1);
+        let dropped = d.clean_invalid();
+        assert_eq!(dropped, 1);
+        assert_eq!(d.len(), 1);
+    }
 }

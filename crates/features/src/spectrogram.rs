@@ -54,7 +54,7 @@ impl SpectrogramGenerator {
 fn normalize_01(img: &[f64]) -> Vec<f64> {
     let lo = img.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = img.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    if !(hi > lo) {
+    if hi <= lo {
         return vec![0.0; img.len()];
     }
     img.iter().map(|v| (v - lo) / (hi - lo)).collect()

@@ -736,8 +736,8 @@ impl Layer for BatchNorm1d {
             // Mean/var are (near-)constants w.r.t. this sample (running
             // statistics), so the gradient is a plain scale.
             let scale = self.gamma[c] * self.cached_inv_std[c];
-            for i in 0..l {
-                grad_in.data[c * l + i] = scale * g[i];
+            for (gi, &go) in grad_in.data[c * l..(c + 1) * l].iter_mut().zip(g) {
+                *gi = scale * go;
             }
         }
         grad_in

@@ -1,12 +1,22 @@
-//! Android sensor sampling policy (§VI-A).
+//! Android sensor sampling policy (§VI-A) and OS-level delivery faults.
 //!
 //! Apps targeting Android 12+ without the `HIGH_SAMPLING_RATE_SENSORS`
 //! permission receive motion-sensor data capped at 200 Hz. The paper
 //! evaluates the attack under this cap and still finds 80.1 % accuracy on
 //! TESS/loudspeaker (vs 95.3 % uncapped).
+//!
+//! Beyond the cap, a real background recorder also suffers OS scheduling
+//! faults that the ideal model omits: **doze/batching suspensions** (the
+//! sensor HAL buffers or suspends delivery when the device naps, leaving
+//! multi-second blackouts in the log) and **thermal throttling** (sustained
+//! recording heats the SoC and the delivered rate is downshifted). Both are
+//! modeled here as [`BatchingSpec`] and [`ThermalThrottle`], consumed by
+//! [`crate::faults::FaultProfile`].
 
 use crate::accel::AccelTrace;
+use crate::faults::TimedTrace;
 use emoleak_dsp::resample::resample_linear;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// The sampling policy the recording app operates under.
@@ -35,9 +45,157 @@ impl SamplingPolicy {
         if (target - trace.fs).abs() < 1e-9 || trace.samples.is_empty() {
             return trace;
         }
-        let samples = resample_linear(&trace.samples, trace.fs, target)
-            .expect("valid rates for non-empty trace");
-        AccelTrace { samples, fs: target }
+        // Rates are positive by construction and the trace is non-empty
+        // (checked above); fall back to passing the trace through untouched
+        // rather than panicking if resampling ever rejects the input.
+        match resample_linear(&trace.samples, trace.fs, target) {
+            Ok(samples) => AccelTrace { samples, fs: target },
+            Err(_) => trace,
+        }
+    }
+}
+
+/// Doze/batching suspensions of sensor delivery (background recorders).
+///
+/// Android's sensor batching FIFO and app-standby doze windows suspend
+/// event delivery for whole stretches; the recording app's log then shows
+/// multi-second blackouts. Suspensions occur at an expected rate of
+/// [`BatchingSpec::suspensions_per_min`] per minute, each lasting
+/// [`BatchingSpec::suspension_s`] seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchingSpec {
+    /// Expected suspensions per minute of recording.
+    pub suspensions_per_min: f64,
+    /// Length of one suspension blackout, seconds.
+    pub suspension_s: f64,
+}
+
+impl BatchingSpec {
+    /// The default doze model: one ~1.5 s blackout every ~20 s of
+    /// background recording.
+    pub fn doze_default() -> Self {
+        BatchingSpec { suspensions_per_min: 3.0, suspension_s: 1.5 }
+    }
+
+    /// Scales blackout frequency and length by `severity`.
+    #[must_use]
+    pub fn scaled(mut self, severity: f64) -> Self {
+        let s = severity.max(0.0);
+        self.suspensions_per_min *= s;
+        self.suspension_s *= s;
+        self
+    }
+
+    /// Removes doze blackouts from `trace` in place, returning
+    /// `(suspensions, samples dropped)`.
+    pub fn apply<R: Rng + ?Sized>(&self, trace: &mut TimedTrace, rng: &mut R) -> (usize, usize) {
+        if self.suspensions_per_min <= 0.0 || self.suspension_s <= 0.0
+            || trace.samples.is_empty()
+        {
+            return (0, 0);
+        }
+        let duration = trace.duration();
+        let expected = self.suspensions_per_min * duration / 60.0;
+        let trials = (expected.ceil() as usize) * 4 + 4;
+        let p = (expected / trials as f64).min(1.0);
+        let mut windows: Vec<(f64, f64)> = Vec::new();
+        for _ in 0..trials {
+            if rng.gen::<f64>() < p {
+                let start = rng.gen_range(0.0..duration.max(f64::MIN_POSITIVE));
+                windows.push((start, start + self.suspension_s));
+            }
+        }
+        if windows.is_empty() {
+            return (0, 0);
+        }
+        let suspensions = windows.len();
+        let before = trace.samples.len();
+        let t0 = trace.timestamps_s.first().copied().unwrap_or(0.0);
+        let mut keep_samples = Vec::with_capacity(before);
+        let mut keep_stamps = Vec::with_capacity(before);
+        for (&v, &t) in trace.samples.iter().zip(&trace.timestamps_s) {
+            let rel = t - t0;
+            if windows.iter().any(|&(a, b)| rel >= a && rel < b) {
+                continue;
+            }
+            keep_samples.push(v);
+            keep_stamps.push(t);
+        }
+        trace.samples = keep_samples;
+        trace.timestamps_s = keep_stamps;
+        (suspensions, before - trace.samples.len())
+    }
+}
+
+/// Thermal sensor-rate throttling: after [`ThermalThrottle::onset_s`]
+/// seconds of sustained recording, the delivered rate drops to
+/// `rate_factor ×` nominal (the OS decimates delivery to cool the SoC).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalThrottle {
+    /// Seconds of recording before throttling kicks in.
+    pub onset_s: f64,
+    /// Delivered-rate multiplier after onset, in `(0, 1]`; 1 disables.
+    pub rate_factor: f64,
+}
+
+impl ThermalThrottle {
+    /// No throttling.
+    pub fn off() -> Self {
+        ThermalThrottle { onset_s: 0.0, rate_factor: 1.0 }
+    }
+
+    /// Whether this throttle never removes a sample.
+    pub fn is_off(&self) -> bool {
+        self.rate_factor >= 1.0
+    }
+
+    /// Scales throttle aggressiveness by `severity`: severity 0 turns it
+    /// off; higher severities push the delivered rate further down (but
+    /// never below 5 % of nominal) and shorten the onset.
+    #[must_use]
+    pub fn scaled(self, severity: f64) -> Self {
+        let s = severity.max(0.0);
+        if s == 0.0 || self.is_off() {
+            return ThermalThrottle::off();
+        }
+        let reduction = (1.0 - self.rate_factor) * s;
+        ThermalThrottle {
+            onset_s: if s > 0.0 { self.onset_s / s } else { self.onset_s },
+            rate_factor: (1.0 - reduction).clamp(0.05, 1.0),
+        }
+    }
+
+    /// Decimates delivery after onset in place, returning the number of
+    /// samples removed.
+    pub fn apply(&self, trace: &mut TimedTrace) -> usize {
+        if self.is_off() || self.rate_factor <= 0.0 || trace.samples.is_empty() {
+            return 0;
+        }
+        let keep_every = (1.0 / self.rate_factor).max(1.0);
+        let t0 = trace.timestamps_s.first().copied().unwrap_or(0.0);
+        let before = trace.samples.len();
+        let mut keep_samples = Vec::with_capacity(before);
+        let mut keep_stamps = Vec::with_capacity(before);
+        let mut kept_after_onset = 0usize;
+        let mut seen_after_onset = 0usize;
+        for (&v, &t) in trace.samples.iter().zip(&trace.timestamps_s) {
+            if t - t0 < self.onset_s {
+                keep_samples.push(v);
+                keep_stamps.push(t);
+                continue;
+            }
+            // Keep samples at the throttled cadence: the k-th post-onset
+            // sample survives when it crosses the next keep_every boundary.
+            seen_after_onset += 1;
+            if (seen_after_onset as f64 / keep_every) as usize > kept_after_onset {
+                kept_after_onset += 1;
+                keep_samples.push(v);
+                keep_stamps.push(t);
+            }
+        }
+        trace.samples = keep_samples;
+        trace.timestamps_s = keep_stamps;
+        before - trace.samples.len()
     }
 }
 
@@ -81,5 +239,60 @@ mod tests {
         let t = AccelTrace { samples: vec![], fs: 420.0 };
         let out = SamplingPolicy::Capped200Hz.apply(t);
         assert!(out.samples.is_empty());
+    }
+
+    fn timed(n: usize, fs: f64) -> TimedTrace {
+        TimedTrace::from_regular(&AccelTrace { samples: vec![0.1; n], fs })
+    }
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn doze_blackouts_drop_contiguous_windows() {
+        // 60 s at 420 Hz with the default doze model: expect ~3 blackouts.
+        let mut t = timed(25_200, 420.0);
+        let (suspensions, dropped) = BatchingSpec::doze_default().apply(&mut t, &mut rng(1));
+        assert!(suspensions > 0, "no suspension in 60 s");
+        assert!(dropped > 0);
+        assert_eq!(t.samples.len(), 25_200 - dropped);
+        // Timestamps stay sorted after window removal.
+        assert!(t.timestamps_s.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn zero_rate_batching_is_noop() {
+        let mut t = timed(4200, 420.0);
+        let spec = BatchingSpec { suspensions_per_min: 0.0, suspension_s: 1.0 };
+        assert_eq!(spec.apply(&mut t, &mut rng(2)), (0, 0));
+        assert_eq!(t.samples.len(), 4200);
+    }
+
+    #[test]
+    fn throttle_halves_post_onset_rate() {
+        let mut t = timed(8400, 420.0); // 20 s
+        let throttle = ThermalThrottle { onset_s: 10.0, rate_factor: 0.5 };
+        let removed = throttle.apply(&mut t);
+        // First 10 s untouched (4200 samples), second 10 s halved (~2100).
+        assert!((removed as f64 - 2100.0).abs() < 10.0, "removed {removed}");
+        assert!(t.timestamps_s.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn throttle_off_is_noop() {
+        let mut t = timed(1000, 420.0);
+        assert_eq!(ThermalThrottle::off().apply(&mut t), 0);
+        assert_eq!(t.samples.len(), 1000);
+    }
+
+    #[test]
+    fn throttle_scaling_clamps_sanely() {
+        let base = ThermalThrottle { onset_s: 60.0, rate_factor: 0.75 };
+        assert!(base.scaled(0.0).is_off());
+        let heavy = base.scaled(4.0);
+        assert!(heavy.rate_factor >= 0.05 && heavy.rate_factor < 0.75);
+        assert!(heavy.onset_s < 60.0);
     }
 }

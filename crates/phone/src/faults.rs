@@ -1,0 +1,532 @@
+//! Sensor fault injection: the gap between an ideal recording campaign and
+//! a real zero-permission capture.
+//!
+//! The base channel model delivers a perfectly regular, gap-free trace.
+//! Real accelerometer logs collected by a background app are nothing like
+//! that: the EarSpy measurements (Mahdad et al., 2022) and Android's sensor
+//! HAL documentation both show
+//!
+//! - **dropped and duplicated events** when the handler thread falls behind,
+//! - **timestamp jitter / irregular sampling** — hardware timestamps wobble
+//!   around the nominal period and whole batches arrive bunched,
+//! - **saturation** — cheap IMUs clip at ±2 g / ±4 g full scale, and walking
+//!   impacts regularly hit that rail,
+//! - **user-motion interference bursts** — step impacts and hand-tremor
+//!   transients superimposed on the speech-induced vibration,
+//! - **OS suspensions and throttling** — doze/batching blackouts and thermal
+//!   sensor-rate downshifts ([`crate::android`]).
+//!
+//! [`FaultProfile`] composes all of these into one severity-scalable
+//! description. [`FaultProfile::apply`] turns a clean [`AccelTrace`] into a
+//! timestamped [`TimedTrace`] plus a [`FaultLog`] accounting for every
+//! injected fault, and [`TimedTrace::regularize`] performs the gap-aware
+//! resampling that the downstream feature pipeline consumes.
+
+use crate::accel::AccelTrace;
+use crate::android::{BatchingSpec, ThermalThrottle};
+use emoleak_dsp::noise::Gaussian;
+use emoleak_dsp::resample::resample_irregular;
+use emoleak_dsp::DspError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An irregularly sampled accelerometer trace: what the recording app's
+/// `onSensorChanged` handler actually logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedTrace {
+    /// Sampled acceleration in m/s².
+    pub samples: Vec<f64>,
+    /// Per-sample hardware timestamps in seconds, non-decreasing.
+    pub timestamps_s: Vec<f64>,
+    /// The nominal (requested) sampling rate in Hz.
+    pub nominal_fs: f64,
+}
+
+impl TimedTrace {
+    /// Wraps a clean, regular trace with its implied timestamps.
+    pub fn from_regular(trace: &AccelTrace) -> Self {
+        let dt = 1.0 / trace.fs;
+        TimedTrace {
+            timestamps_s: (0..trace.samples.len()).map(|i| i as f64 * dt).collect(),
+            samples: trace.samples.clone(),
+            nominal_fs: trace.fs,
+        }
+    }
+
+    /// Trace duration in seconds (0 for fewer than 2 samples).
+    pub fn duration(&self) -> f64 {
+        match (self.timestamps_s.first(), self.timestamps_s.last()) {
+            (Some(&a), Some(&b)) => b - a,
+            _ => 0.0,
+        }
+    }
+
+    /// Gap-aware regularization back onto the uniform nominal-rate grid
+    /// (linear interpolation; stretches longer than `max_gap_s` are filled
+    /// with the rest level 0 instead of being interpolated across).
+    ///
+    /// This is the degradation-tolerant entry point for the feature
+    /// pipeline: every downstream stage keeps consuming a regular
+    /// [`AccelTrace`] no matter how mangled the delivery was.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for a trace with no samples.
+    pub fn regularize(&self, max_gap_s: f64) -> Result<AccelTrace, DspError> {
+        let samples = resample_irregular(
+            &self.timestamps_s,
+            &self.samples,
+            self.nominal_fs,
+            max_gap_s,
+        )?;
+        Ok(AccelTrace { samples, fs: self.nominal_fs })
+    }
+}
+
+/// Per-trace accounting of every fault that was injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultLog {
+    /// Samples dropped by the delivery path (incl. doze/batching blackouts).
+    pub dropped: usize,
+    /// Samples delivered twice.
+    pub duplicated: usize,
+    /// Samples clamped at the sensor's full-scale range.
+    pub clipped: usize,
+    /// Motion-interference bursts superimposed on the trace.
+    pub bursts: usize,
+    /// Doze/batching suspensions (each may drop many samples).
+    pub suspensions: usize,
+    /// Samples removed by thermal rate throttling.
+    pub throttled: usize,
+}
+
+impl FaultLog {
+    /// Whether no fault of any kind was injected.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultLog::default()
+    }
+
+    /// Accumulates another log into this one (per-campaign totals).
+    pub fn absorb(&mut self, other: &FaultLog) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.clipped += other.clipped;
+        self.bursts += other.bursts;
+        self.suspensions += other.suspensions;
+        self.throttled += other.throttled;
+    }
+
+    /// Total number of fault events of all kinds.
+    pub fn total(&self) -> usize {
+        self.dropped + self.duplicated + self.clipped + self.bursts + self.suspensions
+            + self.throttled
+    }
+}
+
+impl core::fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "dropped {} dup {} clipped {} bursts {} suspensions {} throttled {}",
+            self.dropped, self.duplicated, self.clipped, self.bursts, self.suspensions,
+            self.throttled
+        )
+    }
+}
+
+/// A composable description of channel imperfections, applied to a clean
+/// trace by [`FaultProfile::apply`]. All rates scale linearly under
+/// [`FaultProfile::with_severity`]; severity 0 is the exact no-op.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Per-sample probability that a delivered event is lost.
+    pub drop_rate: f64,
+    /// Per-sample probability that an event is delivered twice.
+    pub dup_rate: f64,
+    /// Standard deviation of hardware-timestamp jitter, seconds.
+    pub jitter_std_s: f64,
+    /// Sensor full-scale range in m/s² (`None` = never clips). Samples
+    /// beyond ±full_scale are clamped to the rail.
+    pub full_scale: Option<f64>,
+    /// Expected motion-interference bursts per second of trace.
+    pub burst_rate_hz: f64,
+    /// Peak amplitude of a motion burst, m/s².
+    pub burst_amp: f64,
+    /// Decay time of a burst envelope, seconds.
+    pub burst_duration_s: f64,
+    /// Android batching/doze suspensions (`None` = always-on delivery).
+    pub batching: Option<BatchingSpec>,
+    /// Thermal rate throttling (`ThermalThrottle::off()` = none).
+    pub throttle: ThermalThrottle,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::clean()
+    }
+}
+
+impl FaultProfile {
+    /// The identity profile: applying it returns the input unchanged
+    /// (byte-identical samples, uniform timestamps, clean log).
+    pub fn clean() -> Self {
+        FaultProfile {
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            jitter_std_s: 0.0,
+            full_scale: None,
+            burst_rate_hz: 0.0,
+            burst_amp: 0.0,
+            burst_duration_s: 0.08,
+            batching: None,
+            throttle: ThermalThrottle::off(),
+        }
+    }
+
+    /// Preset: phone held by a walking user. Step-impact bursts dominate,
+    /// with the delivery-path drops and timestamp wobble of a busy
+    /// foreground device.
+    pub fn handheld_walking() -> Self {
+        FaultProfile {
+            drop_rate: 0.01,
+            dup_rate: 0.004,
+            jitter_std_s: 0.4e-3,
+            full_scale: Some(4.0 * 9.81),
+            burst_rate_hz: 1.8, // ~2 steps/s
+            burst_amp: 0.12,
+            burst_duration_s: 0.12,
+            batching: None,
+            throttle: ThermalThrottle::off(),
+        }
+    }
+
+    /// Preset: recording app demoted to the background — doze blackouts and
+    /// batch delivery, plus mild thermal throttling on long campaigns.
+    pub fn background_doze() -> Self {
+        FaultProfile {
+            drop_rate: 0.002,
+            dup_rate: 0.001,
+            jitter_std_s: 0.8e-3,
+            full_scale: None,
+            burst_rate_hz: 0.0,
+            burst_amp: 0.0,
+            burst_duration_s: 0.08,
+            batching: Some(BatchingSpec::doze_default()),
+            throttle: ThermalThrottle { onset_s: 60.0, rate_factor: 0.75 },
+        }
+    }
+
+    /// Preset: a low-grade IMU — tight ±2 g full scale (speech-band signal
+    /// plus motion rides close to the rail) and sloppy timestamps.
+    pub fn cheap_imu() -> Self {
+        FaultProfile {
+            drop_rate: 0.005,
+            dup_rate: 0.01,
+            jitter_std_s: 1.2e-3,
+            full_scale: Some(2.0 * 9.81),
+            burst_rate_hz: 0.3,
+            burst_amp: 0.25,
+            burst_duration_s: 0.10,
+            batching: None,
+            throttle: ThermalThrottle::off(),
+        }
+    }
+
+    /// Scales every fault intensity by `severity` (clamped at 0). Severity 0
+    /// yields a profile whose application is a byte-identical no-op;
+    /// severity 1 returns the profile unchanged; values above 1 exaggerate.
+    ///
+    /// Saturation tightens with severity: the full-scale range shrinks as
+    /// `full_scale / severity`, vanishing (no clipping) at severity 0.
+    #[must_use]
+    pub fn with_severity(mut self, severity: f64) -> Self {
+        let s = severity.max(0.0);
+        self.drop_rate = (self.drop_rate * s).min(0.95);
+        self.dup_rate = (self.dup_rate * s).min(0.95);
+        self.jitter_std_s *= s;
+        self.burst_rate_hz *= s;
+        self.burst_amp *= s;
+        self.full_scale = if s > 0.0 {
+            self.full_scale.map(|fsr| fsr / s)
+        } else {
+            None
+        };
+        self.batching = if s > 0.0 {
+            self.batching.map(|b| b.scaled(s))
+        } else {
+            None
+        };
+        self.throttle = self.throttle.scaled(s);
+        self
+    }
+
+    /// Whether applying this profile is guaranteed to change nothing.
+    pub fn is_noop(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.dup_rate == 0.0
+            && self.jitter_std_s == 0.0
+            && self.full_scale.is_none()
+            && (self.burst_rate_hz == 0.0 || self.burst_amp == 0.0)
+            && self.batching.is_none()
+            && self.throttle.is_off()
+    }
+
+    /// Injects every configured fault into `trace`, returning the resulting
+    /// irregular, timestamped trace and the fault accounting.
+    ///
+    /// The injection order mirrors the physical chain: motion interference
+    /// is added to the continuous signal, the sensor front-end clips at full
+    /// scale, the delivery path drops/duplicates/jitters events, and the OS
+    /// layer (doze blackouts, thermal throttling) discards whole stretches.
+    pub fn apply<R: Rng + ?Sized>(&self, trace: &AccelTrace, rng: &mut R) -> (TimedTrace, FaultLog) {
+        let mut log = FaultLog::default();
+        let mut timed = TimedTrace::from_regular(trace);
+        if self.is_noop() || trace.samples.is_empty() {
+            return (timed, log);
+        }
+
+        // 1. Motion-interference bursts on the continuous signal.
+        if self.burst_rate_hz > 0.0 && self.burst_amp > 0.0 {
+            log.bursts = add_motion_bursts(
+                &mut timed.samples,
+                trace.fs,
+                self.burst_rate_hz,
+                self.burst_amp,
+                self.burst_duration_s,
+                rng,
+            );
+        }
+
+        // 2. Sensor front-end saturation.
+        if let Some(fsr) = self.full_scale {
+            let fsr = fsr.abs();
+            for v in timed.samples.iter_mut() {
+                if v.abs() > fsr {
+                    *v = v.clamp(-fsr, fsr);
+                    log.clipped += 1;
+                }
+            }
+        }
+
+        // 3. Delivery path: drops and duplicates.
+        if self.drop_rate > 0.0 || self.dup_rate > 0.0 {
+            let mut samples = Vec::with_capacity(timed.samples.len());
+            let mut stamps = Vec::with_capacity(timed.samples.len());
+            for (&v, &t) in timed.samples.iter().zip(&timed.timestamps_s) {
+                if self.drop_rate > 0.0 && rng.gen::<f64>() < self.drop_rate {
+                    log.dropped += 1;
+                    continue;
+                }
+                samples.push(v);
+                stamps.push(t);
+                if self.dup_rate > 0.0 && rng.gen::<f64>() < self.dup_rate {
+                    // A duplicate is re-delivered immediately with an
+                    // epsilon-later timestamp, as batched HAL queues do.
+                    samples.push(v);
+                    stamps.push(t + 1e-6);
+                    log.duplicated += 1;
+                }
+            }
+            timed.samples = samples;
+            timed.timestamps_s = stamps;
+        }
+
+        // 4. Hardware-timestamp jitter (monotonicity restored afterwards).
+        if self.jitter_std_s > 0.0 {
+            let mut gauss = Gaussian::new();
+            for t in timed.timestamps_s.iter_mut() {
+                *t += gauss.sample(rng, 0.0, self.jitter_std_s);
+            }
+            let mut prev = f64::NEG_INFINITY;
+            for t in timed.timestamps_s.iter_mut() {
+                if *t < prev {
+                    *t = prev;
+                } else {
+                    prev = *t;
+                }
+            }
+        }
+
+        // 5. OS layer: doze/batching blackouts, then thermal throttling.
+        if let Some(batching) = &self.batching {
+            let (suspensions, dropped) = batching.apply(&mut timed, rng);
+            log.suspensions = suspensions;
+            log.dropped += dropped;
+        }
+        log.throttled = self.throttle.apply(&mut timed);
+
+        (timed, log)
+    }
+}
+
+/// Superimposes decaying-oscillation motion transients (step impacts, hand
+/// knocks) at Poisson-distributed instants. Returns the number of bursts.
+fn add_motion_bursts<R: Rng + ?Sized>(
+    samples: &mut [f64],
+    fs: f64,
+    rate_hz: f64,
+    amp: f64,
+    duration_s: f64,
+    rng: &mut R,
+) -> usize {
+    let duration = samples.len() as f64 / fs;
+    let expected = rate_hz * duration;
+    // Poisson draw via thinned Bernoulli trials: exact enough for a
+    // simulation, deterministic per rng stream.
+    let trials = (expected.ceil() as usize) * 4 + 4;
+    let p = (expected / trials as f64).min(1.0);
+    let mut count = 0usize;
+    for _ in 0..trials {
+        if rng.gen::<f64>() >= p {
+            continue;
+        }
+        count += 1;
+        let start = rng.gen_range(0.0..duration.max(f64::MIN_POSITIVE));
+        let start_idx = (start * fs) as usize;
+        // A step impact: sharp attack, ~duration_s exponential decay, with a
+        // low-frequency carrier (2–9 Hz: gait harmonics and tremor band).
+        let carrier_hz: f64 = rng.gen_range(2.0..9.0);
+        let peak: f64 = amp * rng.gen_range(0.6..1.4);
+        let phase: f64 = rng.gen_range(0.0..core::f64::consts::TAU);
+        let tail = ((duration_s * 4.0) * fs) as usize;
+        for k in 0..tail {
+            let Some(v) = samples.get_mut(start_idx + k) else { break };
+            let t = k as f64 / fs;
+            let envelope = (-t / duration_s.max(1e-6)).exp();
+            *v += peak * envelope * (core::f64::consts::TAU * carrier_hz * t + phase).cos();
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn tone_trace(n: usize, fs: f64) -> AccelTrace {
+        AccelTrace {
+            samples: (0..n).map(|i| 0.05 * (i as f64 * 0.3).sin()).collect(),
+            fs,
+        }
+    }
+
+    #[test]
+    fn clean_profile_is_identity() {
+        let trace = tone_trace(1000, 420.0);
+        let (timed, log) = FaultProfile::clean().apply(&trace, &mut rng(1));
+        assert!(log.is_clean());
+        assert_eq!(timed.samples, trace.samples);
+        assert_eq!(timed.nominal_fs, trace.fs);
+        // Uniform implied timestamps.
+        let dt = timed.timestamps_s[1] - timed.timestamps_s[0];
+        assert!((dt - 1.0 / 420.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_severity_is_identity_for_any_preset() {
+        let trace = tone_trace(800, 420.0);
+        for preset in [
+            FaultProfile::handheld_walking(),
+            FaultProfile::background_doze(),
+            FaultProfile::cheap_imu(),
+        ] {
+            let p = preset.with_severity(0.0);
+            assert!(p.is_noop());
+            let (timed, log) = p.apply(&trace, &mut rng(2));
+            assert!(log.is_clean());
+            assert_eq!(timed.samples, trace.samples);
+        }
+    }
+
+    #[test]
+    fn drops_shorten_and_dups_lengthen() {
+        let trace = tone_trace(10_000, 420.0);
+        let drop = FaultProfile { drop_rate: 0.2, ..FaultProfile::clean() };
+        let (timed, log) = drop.apply(&trace, &mut rng(3));
+        assert!(log.dropped > 1000, "dropped {}", log.dropped);
+        assert_eq!(timed.samples.len(), trace.samples.len() - log.dropped);
+
+        let dup = FaultProfile { dup_rate: 0.2, ..FaultProfile::clean() };
+        let (timed, log) = dup.apply(&trace, &mut rng(4));
+        assert!(log.duplicated > 1000);
+        assert_eq!(timed.samples.len(), trace.samples.len() + log.duplicated);
+    }
+
+    #[test]
+    fn saturation_clamps_at_full_scale() {
+        let mut trace = tone_trace(2000, 420.0);
+        for v in trace.samples.iter_mut() {
+            *v *= 100.0; // drive well past the rail
+        }
+        let p = FaultProfile { full_scale: Some(2.0), ..FaultProfile::clean() };
+        let (timed, log) = p.apply(&trace, &mut rng(5));
+        assert!(log.clipped > 0);
+        assert!(timed.samples.iter().all(|v| v.abs() <= 2.0 + 1e-12));
+    }
+
+    #[test]
+    fn jitter_keeps_timestamps_monotone() {
+        let trace = tone_trace(5000, 420.0);
+        let p = FaultProfile { jitter_std_s: 5e-3, ..FaultProfile::clean() };
+        let (timed, _) = p.apply(&trace, &mut rng(6));
+        for w in timed.timestamps_s.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn bursts_add_energy() {
+        let trace = AccelTrace { samples: vec![0.0; 42_000], fs: 420.0 };
+        let p = FaultProfile {
+            burst_rate_hz: 2.0,
+            burst_amp: 0.3,
+            burst_duration_s: 0.1,
+            ..FaultProfile::clean()
+        };
+        let (timed, log) = p.apply(&trace, &mut rng(7));
+        assert!(log.bursts > 100, "bursts {}", log.bursts);
+        let energy: f64 = timed.samples.iter().map(|v| v * v).sum();
+        assert!(energy > 0.0);
+    }
+
+    #[test]
+    fn regularize_restores_nominal_grid() {
+        let trace = tone_trace(4200, 420.0);
+        let p = FaultProfile { drop_rate: 0.05, jitter_std_s: 0.5e-3, ..FaultProfile::clean() };
+        let (timed, _) = p.apply(&trace, &mut rng(8));
+        let reg = timed.regularize(0.05).unwrap();
+        assert_eq!(reg.fs, 420.0);
+        // Length close to the original 10 s.
+        assert!((reg.samples.len() as f64 - 4200.0).abs() < 30.0, "len {}", reg.samples.len());
+        assert!(reg.samples.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn apply_is_deterministic_per_seed() {
+        let trace = tone_trace(4000, 420.0);
+        let p = FaultProfile::handheld_walking();
+        let a = p.apply(&trace, &mut rng(9));
+        let b = p.apply(&trace, &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_survives_every_preset() {
+        let empty = AccelTrace { samples: Vec::new(), fs: 420.0 };
+        for preset in [
+            FaultProfile::clean(),
+            FaultProfile::handheld_walking(),
+            FaultProfile::background_doze(),
+            FaultProfile::cheap_imu(),
+        ] {
+            let (timed, log) = preset.apply(&empty, &mut rng(10));
+            assert!(timed.samples.is_empty());
+            assert!(log.is_clean());
+        }
+    }
+}

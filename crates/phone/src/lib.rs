@@ -44,14 +44,16 @@ pub mod accel;
 pub mod android;
 pub mod chassis;
 pub mod device;
+pub mod faults;
 pub mod gyro;
 pub mod motion;
 pub mod session;
 
 pub use accel::{AccelTrace, Accelerometer};
-pub use android::SamplingPolicy;
+pub use android::{BatchingSpec, SamplingPolicy, ThermalThrottle};
 pub use chassis::{ChassisModel, ResonantMode};
 pub use device::{DeviceProfile, SpeakerKind, SpeakerSpec};
+pub use faults::{FaultLog, FaultProfile, TimedTrace};
 pub use session::{LabeledSpan, RecordingSession, SessionTrace};
 
 use rand::Rng;

@@ -10,6 +10,7 @@
 use crate::accel::AccelTrace;
 use crate::android::SamplingPolicy;
 use crate::device::{DeviceProfile, SpeakerKind};
+use crate::faults::{FaultLog, FaultProfile};
 use crate::{Placement, VibrationChannel};
 use emoleak_dsp::noise::Gaussian;
 use rand::Rng;
@@ -38,12 +39,17 @@ pub struct SessionTrace<L> {
 impl<L> SessionTrace<L> {
     /// The samples of the window for label entry `i`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range.
+    /// Never panics: spans are clamped to the recorded trace, so a window
+    /// that falls partly or wholly past the end of the recording (possible
+    /// when fault injection shortened the trace) yields the surviving
+    /// overlap — or an empty slice, as does an out-of-range `i`.
     pub fn window(&self, i: usize) -> &[f64] {
-        let span = &self.labels[i];
-        &self.trace.samples[span.start..span.end.min(self.trace.samples.len())]
+        let Some(span) = self.labels.get(i) else {
+            return &[];
+        };
+        let end = span.end.min(self.trace.samples.len());
+        let start = span.start.min(end);
+        &self.trace.samples[start..end]
     }
 }
 
@@ -54,6 +60,7 @@ pub struct RecordingSession {
     policy: SamplingPolicy,
     gap_s: f64,
     device_name: String,
+    faults: FaultProfile,
 }
 
 impl RecordingSession {
@@ -64,6 +71,7 @@ impl RecordingSession {
             policy: SamplingPolicy::Default,
             gap_s: 0.25,
             device_name: device.name().to_string(),
+            faults: FaultProfile::clean(),
         }
     }
 
@@ -72,6 +80,23 @@ impl RecordingSession {
     pub fn with_policy(mut self, policy: SamplingPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Injects channel imperfections ([`FaultProfile`]) into every recording
+    /// made by this session. The faulted irregular trace is regularized back
+    /// onto the nominal grid before being returned, so downstream consumers
+    /// keep seeing a uniform [`AccelTrace`]; fault accounting is available
+    /// through [`RecordingSession::record_clip_logged`] and
+    /// [`RecordingSession::record_session_logged`].
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault profile recordings are subjected to.
+    pub fn fault_profile(&self) -> &FaultProfile {
+        &self.faults
     }
 
     /// Sets the silent gap between consecutive clip playbacks (seconds).
@@ -98,8 +123,60 @@ impl RecordingSession {
         fs_audio: f64,
         rng: &mut R,
     ) -> AccelTrace {
+        self.record_clip_logged(audio, fs_audio, rng).0
+    }
+
+    /// Records one clip and reports the faults injected into it.
+    ///
+    /// With a [`FaultProfile::clean`] profile (the default) the log is
+    /// always clean and the trace matches [`RecordingSession::record_clip`].
+    pub fn record_clip_logged<R: Rng + ?Sized>(
+        &self,
+        audio: &[f64],
+        fs_audio: f64,
+        rng: &mut R,
+    ) -> (AccelTrace, FaultLog) {
+        let clean = self.record_clip_clean(audio, fs_audio, rng);
+        self.fault_and_regularize(clean, rng)
+    }
+
+    /// The ideal-channel recording: simulation + sampling policy, no faults.
+    fn record_clip_clean<R: Rng + ?Sized>(
+        &self,
+        audio: &[f64],
+        fs_audio: f64,
+        rng: &mut R,
+    ) -> AccelTrace {
         let raw = self.channel.simulate(audio, fs_audio, rng);
         self.policy.apply(raw)
+    }
+
+    /// Runs `trace` through the session's fault profile and regularizes the
+    /// resulting irregular delivery back onto the nominal uniform grid.
+    /// Degenerate outcomes (every sample dropped) yield an empty trace, not
+    /// an error — downstream guards handle empty input.
+    fn fault_and_regularize<R: Rng + ?Sized>(
+        &self,
+        trace: AccelTrace,
+        rng: &mut R,
+    ) -> (AccelTrace, FaultLog) {
+        if self.faults.is_noop() {
+            return (trace, FaultLog::default());
+        }
+        let fs = trace.fs;
+        let (timed, log) = self.faults.apply(&trace, rng);
+        // Interpolate across ordinary delivery hiccups (a handful of nominal
+        // periods, wider when thermal throttling legitimately slows the
+        // cadence) but rest-fill longer blackouts such as doze suspensions.
+        let period = 1.0 / fs;
+        let mut max_gap = 8.0 * period;
+        if !self.faults.throttle.is_off() && self.faults.throttle.rate_factor > 0.0 {
+            max_gap = max_gap.max(3.0 * period / self.faults.throttle.rate_factor);
+        }
+        match timed.regularize(max_gap) {
+            Ok(regular) => (regular, log),
+            Err(_) => (AccelTrace { samples: Vec::new(), fs }, log),
+        }
     }
 
     /// Plays `clips` back-to-back (with gaps) into one continuous recording,
@@ -112,6 +189,24 @@ impl RecordingSession {
         clips: impl IntoIterator<Item = (Vec<f64>, f64, L)>,
         rng: &mut R,
     ) -> SessionTrace<L> {
+        self.record_session_logged(clips, rng).0
+    }
+
+    /// Like [`RecordingSession::record_session`], also returning the
+    /// campaign-wide fault accounting.
+    ///
+    /// Faults are injected into the *continuous* recording (after
+    /// concatenation), as a real background recorder would experience them:
+    /// doze blackouts and thermal throttling act on wall-clock recording
+    /// time, not per clip. Label spans keep their nominal sample indices —
+    /// timestamps survive regularization, so windows stay aligned to within
+    /// a few samples — and [`SessionTrace::window`] clamps spans that
+    /// outlive a fault-shortened trace.
+    pub fn record_session_logged<L: Clone, R: Rng + ?Sized>(
+        &self,
+        clips: impl IntoIterator<Item = (Vec<f64>, f64, L)>,
+        rng: &mut R,
+    ) -> (SessionTrace<L>, FaultLog) {
         let fs_out = self.delivered_rate();
         let mut samples: Vec<f64> = Vec::new();
         let mut labels = Vec::new();
@@ -119,10 +214,10 @@ impl RecordingSession {
         for (audio, fs_audio, label) in clips {
             // Gap before each clip: sensor noise only.
             let silent = vec![0.0; (self.gap_s * fs_audio) as usize];
-            let gap_trace = self.record_clip(&silent, fs_audio, rng);
+            let gap_trace = self.record_clip_clean(&silent, fs_audio, rng);
             samples.extend(gap_trace.samples.into_iter().take(gap_len));
             let start = samples.len();
-            let clip_trace = self.record_clip(&audio, fs_audio, rng);
+            let clip_trace = self.record_clip_clean(&audio, fs_audio, rng);
             samples.extend(clip_trace.samples);
             labels.push(LabeledSpan { start, end: samples.len(), label });
         }
@@ -139,7 +234,9 @@ impl RecordingSession {
                 rng,
             );
         }
-        SessionTrace { trace: AccelTrace { samples, fs: fs_out }, labels }
+        let (trace, log) =
+            self.fault_and_regularize(AccelTrace { samples, fs: fs_out }, rng);
+        (SessionTrace { trace, labels }, log)
     }
 }
 
@@ -258,6 +355,85 @@ mod tests {
         // Only sensor noise remains.
         let rms = (t.samples.iter().map(|v| v * v).sum::<f64>() / t.samples.len() as f64).sqrt();
         assert!(rms < 0.005, "silenced channel rms {rms}");
+    }
+
+    #[test]
+    fn window_clamps_out_of_range_spans() {
+        let st = SessionTrace {
+            trace: AccelTrace { samples: vec![1.0, 2.0, 3.0], fs: 420.0 },
+            labels: vec![
+                LabeledSpan { start: 1, end: 3, label: () },
+                LabeledSpan { start: 2, end: 10, label: () },
+                LabeledSpan { start: 7, end: 10, label: () },
+            ],
+        };
+        assert_eq!(st.window(0), &[2.0, 3.0]);
+        assert_eq!(st.window(1), &[3.0]); // end clamped
+        assert!(st.window(2).is_empty()); // start past trace
+        assert!(st.window(99).is_empty()); // index out of range
+    }
+
+    #[test]
+    fn faulted_clip_keeps_nominal_rate_and_logs_faults() {
+        let s = session().with_faults(FaultProfile::handheld_walking());
+        let (t, log) = s.record_clip_logged(&tone_clip(16000), 8000.0, &mut rng(31));
+        assert_eq!(t.fs, 420.0);
+        assert!(!log.is_clean(), "expected injected faults, log: {log}");
+        assert!(log.dropped > 0);
+        assert!(t.samples.iter().all(|v| v.is_finite()));
+        // ~2 s of audio still ~2 s of trace after regularization.
+        assert!((t.duration() - 2.0).abs() < 0.1, "duration {}", t.duration());
+    }
+
+    #[test]
+    fn clean_profile_logged_matches_unlogged() {
+        let audio = tone_clip(8000);
+        let a = session().record_clip(&audio, 8000.0, &mut rng(32));
+        let (b, log) = session().record_clip_logged(&audio, 8000.0, &mut rng(32));
+        assert!(log.is_clean());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulted_session_keeps_label_alignment() {
+        let clips = vec![
+            (tone_clip(8000), 8000.0, "anger"),
+            (tone_clip(8000), 8000.0, "sad"),
+        ];
+        // Delivery faults only (drops/dups/jitter): motion bursts would add
+        // energy to the gaps and confound the alignment check below.
+        let s = session().with_faults(FaultProfile {
+            drop_rate: 0.05,
+            dup_rate: 0.02,
+            jitter_std_s: 0.5e-3,
+            ..FaultProfile::clean()
+        });
+        let (st, log) = s.record_session_logged(clips, &mut rng(33));
+        assert!(!log.is_clean());
+        assert_eq!(st.labels.len(), 2);
+        // Windows still carry the clip energy: signal ≫ the preceding gap.
+        let rms = |x: &[f64]| {
+            if x.is_empty() {
+                return 0.0;
+            }
+            (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+        };
+        let gap_rms = rms(&st.trace.samples[..st.labels[0].start.min(st.trace.samples.len())]);
+        let clip_rms = rms(st.window(0));
+        assert!(
+            clip_rms > 2.0 * gap_rms,
+            "alignment lost: clip {clip_rms} vs gap {gap_rms}"
+        );
+    }
+
+    #[test]
+    fn total_drop_profile_yields_empty_trace_not_panic() {
+        let p = FaultProfile { drop_rate: 1.0, ..FaultProfile::clean() }
+            .with_severity(10.0); // clamps at 0.95 — still nearly everything
+        let s = session().with_faults(p);
+        let (t, log) = s.record_clip_logged(&tone_clip(4000), 8000.0, &mut rng(34));
+        assert!(log.dropped > 0);
+        assert!(t.samples.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -42,17 +42,17 @@ pub fn f0_contour<R: Rng + ?Sized>(
         }
         let mag = level * 0.12 * profile.f0_range * (0.6 + 0.8 * rng.gen::<f64>());
         let len = end - start;
-        for i in start..end {
-            let phase = (i - start) as f64 / len as f64;
-            contour[i] += mag * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
+        for (j, v) in contour[start..end].iter_mut().enumerate() {
+            let phase = j as f64 / len as f64;
+            *v += mag * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
         }
     }
     // Terminal rise/fall over the last 20 %.
     if profile.final_rise.abs() > 1e-9 {
         let tail = n / 5;
-        for i in (n - tail)..n {
-            let phase = (i - (n - tail)) as f64 / tail as f64;
-            contour[i] += level * profile.final_rise * phase;
+        for (j, v) in contour[n - tail..].iter_mut().enumerate() {
+            let phase = j as f64 / tail as f64;
+            *v += level * profile.final_rise * phase;
         }
     }
     // Slow random wander (~2 % of level).
@@ -85,8 +85,7 @@ pub fn energy_contour<R: Rng + ?Sized>(
         let attack = ((0.030 * profile.attack * fs) as usize).clamp(8, len.max(9) - 1);
         let decay = ((0.050 * profile.attack.sqrt() * fs) as usize).clamp(8, len);
         let level = profile.energy * (0.85 + 0.3 * rng.gen::<f64>());
-        for i in start..end {
-            let pos = i - start;
+        for (pos, v) in env[start..end].iter_mut().enumerate() {
             let shape = if pos < attack {
                 pos as f64 / attack as f64
             } else if pos + decay > len {
@@ -94,7 +93,7 @@ pub fn energy_contour<R: Rng + ?Sized>(
             } else {
                 1.0
             };
-            env[i] = level * shape.clamp(0.0, 1.0);
+            *v = level * shape.clamp(0.0, 1.0);
         }
     }
     env

@@ -10,12 +10,12 @@ use emoleak::core::mitigation::damping_study;
 use emoleak::core::ClassifierKind;
 use emoleak::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(12);
     let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
 
     println!("1. Android 12's 200 Hz sampling cap (SS VI-A):");
-    let cap = SamplingCapStudy::run(&scenario, ClassifierKind::Logistic, 11);
+    let cap = SamplingCapStudy::run(&scenario, ClassifierKind::Logistic, 11)?;
     println!("   native rate: {:.1}%   capped: {:.1}%   random: {:.1}%",
              cap.accuracy_default * 100.0,
              cap.accuracy_capped * 100.0,
@@ -27,7 +27,7 @@ fn main() {
         CorpusSpec::tess().with_clips_per_cell(6),
         DeviceProfile::oneplus_7t(),
     );
-    let ablation = FilterAblation::run(&handheld);
+    let ablation = FilterAblation::run(&handheld)?;
     for ((name, raw), hp) in ablation
         .features
         .iter()
@@ -39,7 +39,8 @@ fn main() {
 
     println!("\n3. Vibration damping / sensor relocation (SS VI-B):");
     for damping in [1.0, 0.25, 0.05] {
-        let acc = damping_study(&scenario, ClassifierKind::Logistic, damping, 11);
+        let acc = damping_study(&scenario, ClassifierKind::Logistic, damping, 11)?;
         println!("   {:>4.0}% coupling -> accuracy {:.1}%", damping * 100.0, acc * 100.0);
     }
+    Ok(())
 }

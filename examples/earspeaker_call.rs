@@ -12,20 +12,20 @@
 
 use emoleak::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(20);
     let random_guess = corpus.random_guess();
     let scenario = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t());
 
     println!("Recording one continuous handheld session (ear speaker)...");
-    let harvest = scenario.harvest();
+    let harvest = scenario.harvest()?;
     println!(
         "  detection rate {:.0}% of word regions (paper: >= 45% for ear speakers)",
         harvest.detection_rate * 100.0
     );
 
     for kind in [ClassifierKind::RandomForest, ClassifierKind::RandomSubspace] {
-        let eval = evaluate_features(&harvest.features, kind, Protocol::KFold(10), 7);
+        let eval = evaluate_features(&harvest.features, kind, Protocol::KFold(10), 7)?;
         println!(
             "  {:<16} 10-fold accuracy {:.1}% ({:.1}x random guess)",
             kind.display_name(),
@@ -34,4 +34,5 @@ fn main() {
         );
     }
     println!("\npaper: ~55-60% for the TESS ear-speaker setting (4x random guess)");
+    Ok(())
 }

@@ -1,0 +1,51 @@
+//! Quickstart through an imperfect channel: the same campaign as
+//! `quickstart`, recorded once through an ideal sensor pipeline and once
+//! through `FaultProfile::handheld_walking()` — step-impact motion bursts,
+//! dropped/duplicated samples and timestamp jitter — then the accuracy
+//! delta between the two.
+//!
+//! ```sh
+//! cargo run --release --example faulted_quickstart
+//! ```
+
+use emoleak::prelude::*;
+
+fn main() -> Result<(), EmoleakError> {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(12);
+    let random_guess = corpus.random_guess();
+    let clean = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
+    let faulted = clean.clone().with_faults(FaultProfile::handheld_walking());
+
+    let accuracy = |scenario: &AttackScenario| -> Result<(f64, usize, FaultLog), EmoleakError> {
+        let h = scenario.harvest()?;
+        let acc = match evaluate_features(
+            &h.features,
+            ClassifierKind::Logistic,
+            Protocol::Holdout8020,
+            1,
+        ) {
+            Ok(eval) => eval.accuracy,
+            // Faults can degrade a campaign below trainability; that is a
+            // result (the channel won), not a crash.
+            Err(EmoleakError::DegenerateDataset(_)) => random_guess,
+            Err(e) => return Err(e),
+        };
+        Ok((acc, h.features.len(), h.faults))
+    };
+
+    println!("Recording the campaign through the ideal channel...");
+    let (clean_acc, clean_regions, _) = accuracy(&clean)?;
+    println!("  {clean_regions} regions, accuracy {:.1}%", clean_acc * 100.0);
+
+    println!("Recording the same campaign while the victim walks...");
+    let (faulted_acc, faulted_regions, faults) = accuracy(&faulted)?;
+    println!("  {faulted_regions} regions, accuracy {:.1}%", faulted_acc * 100.0);
+    println!("  injected faults: {faults}");
+
+    println!(
+        "\ndegradation: {:+.1} points (random guess {:.1}%)",
+        (faulted_acc - clean_acc) * 100.0,
+        random_guess * 100.0
+    );
+    Ok(())
+}

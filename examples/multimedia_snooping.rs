@@ -17,11 +17,11 @@ use emoleak::phone::session::RecordingSession;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     // Train the attacker's model on its own reference corpus.
     let corpus = CorpusSpec::tess().with_clips_per_cell(12);
     let scenario = AttackScenario::table_top(corpus.clone(), DeviceProfile::galaxy_s21());
-    let harvest = scenario.harvest();
+    let harvest = scenario.harvest()?;
     let mut train = harvest.features.clone();
     let params = train.fit_normalization();
     let mut clf = emoleak::ml::logistic::Logistic::default();
@@ -93,4 +93,5 @@ fn main() {
     }
     println!("per-clip accuracy: {correct}/{total}");
     let _ = all_feature_names();
+    Ok(())
 }

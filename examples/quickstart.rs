@@ -7,7 +7,7 @@
 
 use emoleak::prelude::*;
 
-fn main() {
+fn main() -> Result<(), EmoleakError> {
     // A small campaign: 2 speakers x 7 emotions x 12 clips on the paper's
     // best device.
     let corpus = CorpusSpec::tess().with_clips_per_cell(12);
@@ -15,7 +15,7 @@ fn main() {
     let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
 
     println!("Recording campaign through the vibration channel...");
-    let harvest = scenario.harvest();
+    let harvest = scenario.harvest()?;
     println!(
         "  {} labeled speech regions at {:.0} Hz, {:.0}% of word regions detected",
         harvest.features.len(),
@@ -29,7 +29,7 @@ fn main() {
         ClassifierKind::Logistic,
         Protocol::Holdout8020,
         1,
-    );
+    )?;
     println!(
         "  emotion-recognition accuracy: {:.1}% (random guess {:.1}%)",
         eval.accuracy * 100.0,
@@ -37,4 +37,5 @@ fn main() {
     );
     println!("\nConfusion matrix (rows = truth, columns = predicted):");
     print!("{}", eval.confusion.render());
+    Ok(())
 }

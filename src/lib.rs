@@ -22,19 +22,22 @@
 //! ```no_run
 //! use emoleak::prelude::*;
 //!
+//! # fn main() -> Result<(), EmoleakError> {
 //! // 1. Pick a corpus and a victim phone.
 //! let corpus = CorpusSpec::tess().with_clips_per_cell(10);
 //! let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
 //!
 //! // 2. Record the campaign through the vibration channel.
-//! let harvest = scenario.harvest();
+//! let harvest = scenario.harvest()?;
 //! println!("{} labeled regions, {:.0}% detected",
 //!          harvest.features.len(), harvest.detection_rate * 100.0);
 //!
 //! // 3. Classify emotions from accelerometer features.
 //! let eval = evaluate_features(&harvest.features, ClassifierKind::Logistic,
-//!                              Protocol::Holdout8020, 1);
+//!                              Protocol::Holdout8020, 1)?;
 //! println!("accuracy {:.1}%", eval.accuracy * 100.0);
+//! # Ok(())
+//! # }
 //! ```
 
 pub use emoleak_core as core;

@@ -11,6 +11,7 @@ fn harvest() -> HarvestResult {
         DeviceProfile::oneplus_7t(),
     )
     .harvest()
+    .unwrap()
 }
 
 #[test]
@@ -24,7 +25,7 @@ fn all_classical_classifiers_beat_random_guess() {
         ClassifierKind::RandomForest,
         ClassifierKind::RandomSubspace,
     ] {
-        let eval = evaluate_features(&h.features, kind, Protocol::Holdout8020, 1);
+        let eval = evaluate_features(&h.features, kind, Protocol::Holdout8020, 1).unwrap();
         assert!(
             eval.accuracy > 2.0 * random,
             "{} accuracy {:.2} should beat 2x random",
@@ -38,8 +39,10 @@ fn all_classical_classifiers_beat_random_guess() {
 #[test]
 fn kfold_and_holdout_agree_roughly() {
     let h = harvest();
-    let hold = evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::Holdout8020, 2);
-    let fold = evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::KFold(10), 2);
+    let hold = evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::Holdout8020, 2)
+        .unwrap();
+    let fold =
+        evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::KFold(10), 2).unwrap();
     assert!(
         (hold.accuracy - fold.accuracy).abs() < 0.2,
         "holdout {:.2} vs 10-fold {:.2} should be consistent",

@@ -10,13 +10,14 @@ fn tess(n: usize) -> CorpusSpec {
 #[test]
 fn loudspeaker_attack_beats_random_guess_by_4x() {
     let scenario = AttackScenario::table_top(tess(10), DeviceProfile::oneplus_7t());
-    let harvest = scenario.harvest();
+    let harvest = scenario.harvest().unwrap();
     let eval = evaluate_features(
         &harvest.features,
         ClassifierKind::Logistic,
         Protocol::Holdout8020,
         1,
-    );
+    )
+    .unwrap();
     let random = 1.0 / 7.0;
     assert!(
         eval.accuracy > 4.0 * random,
@@ -27,7 +28,8 @@ fn loudspeaker_attack_beats_random_guess_by_4x() {
 
 #[test]
 fn table_top_detection_rate_matches_paper() {
-    let harvest = AttackScenario::table_top(tess(6), DeviceProfile::oneplus_7t()).harvest();
+    let harvest =
+        AttackScenario::table_top(tess(6), DeviceProfile::oneplus_7t()).harvest().unwrap();
     assert!(
         harvest.detection_rate >= 0.9,
         "table-top detection {:.2} (paper: ~90%)",
@@ -37,7 +39,8 @@ fn table_top_detection_rate_matches_paper() {
 
 #[test]
 fn ear_speaker_detection_rate_matches_paper() {
-    let harvest = AttackScenario::handheld(tess(10), DeviceProfile::oneplus_7t()).harvest();
+    let harvest =
+        AttackScenario::handheld(tess(10), DeviceProfile::oneplus_7t()).harvest().unwrap();
     assert!(
         harvest.detection_rate >= 0.35,
         "ear-speaker detection {:.2} (paper: >= 45%)",
@@ -51,10 +54,11 @@ fn ear_speaker_detection_rate_matches_paper() {
 
 #[test]
 fn loudspeaker_beats_ear_speaker_on_same_corpus() {
-    let loud = AttackScenario::table_top(tess(12), DeviceProfile::oneplus_7t()).harvest();
-    let ear = AttackScenario::handheld(tess(12), DeviceProfile::oneplus_7t()).harvest();
+    let loud = AttackScenario::table_top(tess(12), DeviceProfile::oneplus_7t()).harvest().unwrap();
+    let ear = AttackScenario::handheld(tess(12), DeviceProfile::oneplus_7t()).harvest().unwrap();
     let acc = |h: &HarvestResult| {
         evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::Holdout8020, 3)
+            .unwrap()
             .accuracy
     };
     let (la, ea) = (acc(&loud), acc(&ear));
@@ -69,11 +73,13 @@ fn tess_is_easier_than_savee() {
     let tess_acc = evaluate_features(
         &AttackScenario::table_top(tess(12), DeviceProfile::oneplus_7t())
             .harvest()
+            .unwrap()
             .features,
         ClassifierKind::Logistic,
         Protocol::Holdout8020,
         5,
     )
+    .unwrap()
     .accuracy;
     let savee_acc = evaluate_features(
         &AttackScenario::table_top(
@@ -81,11 +87,13 @@ fn tess_is_easier_than_savee() {
             DeviceProfile::oneplus_7t(),
         )
         .harvest()
+        .unwrap()
         .features,
         ClassifierKind::Logistic,
         Protocol::Holdout8020,
         5,
     )
+    .unwrap()
     .accuracy;
     assert!(
         tess_acc > savee_acc + 0.15,
@@ -97,11 +105,12 @@ fn tess_is_easier_than_savee() {
 fn oneplus_7t_beats_pixel_5() {
     let acc = |d: DeviceProfile| {
         evaluate_features(
-            &AttackScenario::table_top(tess(12), d).harvest().features,
+            &AttackScenario::table_top(tess(12), d).harvest().unwrap().features,
             ClassifierKind::Logistic,
             Protocol::Holdout8020,
             7,
         )
+        .unwrap()
         .accuracy
     };
     let best = acc(DeviceProfile::oneplus_7t());
@@ -115,7 +124,7 @@ fn oneplus_7t_beats_pixel_5() {
 #[test]
 fn sampling_cap_degrades_but_does_not_stop_the_attack() {
     let scenario = AttackScenario::table_top(tess(12), DeviceProfile::oneplus_7t());
-    let study = SamplingCapStudy::run(&scenario, ClassifierKind::Logistic, 9);
+    let study = SamplingCapStudy::run(&scenario, ClassifierKind::Logistic, 9).unwrap();
     assert!(
         study.accuracy_capped < study.accuracy_default + 0.02,
         "cap should not improve accuracy: {:.2} vs {:.2}",
@@ -131,8 +140,8 @@ fn sampling_cap_degrades_but_does_not_stop_the_attack() {
 #[test]
 fn harvest_is_fully_deterministic() {
     let s = AttackScenario::table_top(tess(3), DeviceProfile::galaxy_s21());
-    let a = s.harvest();
-    let b = s.harvest();
+    let a = s.harvest().unwrap();
+    let b = s.harvest().unwrap();
     assert_eq!(a.features.features(), b.features.features());
     assert_eq!(a.spectrograms.len(), b.spectrograms.len());
 }

@@ -1,11 +1,14 @@
 //! Property-based tests on the cross-crate invariants of the pipeline.
 
 use emoleak::dsp::{fft::Fft, stats, Complex};
+use emoleak::phone::accel::AccelTrace;
+use emoleak::phone::FaultProfile;
 use emoleak::features::regions::{detection_rate, merge_regions, RegionDetector};
 use emoleak::features::{extract_all, time_domain};
 use emoleak::ml::eval::ConfusionMatrix;
 use emoleak::ml::linalg::softmax_inplace;
 use proptest::prelude::*;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -134,5 +137,111 @@ proptest! {
             }
         }
         prop_assert!((cm.accuracy() - diag as f64 / pairs.len() as f64).abs() < 1e-12);
+    }
+
+    /// Fault injection is total and structure-preserving: for any finite
+    /// input trace and any preset profile at any severity, the faulted
+    /// trace has non-decreasing timestamps, a bounded sample count (each
+    /// survivor duplicated at most once) and only finite values.
+    #[test]
+    fn fault_injection_structural_invariants(
+        samples in prop::collection::vec(-0.5f64..0.5, 1..600),
+        which in 0usize..3,
+        severity in 0.0f64..6.0,
+        seed in 0u64..1000,
+    ) {
+        let n = samples.len();
+        let trace = AccelTrace { samples, fs: 420.0 };
+        let profile = match which {
+            0 => FaultProfile::handheld_walking(),
+            1 => FaultProfile::background_doze(),
+            _ => FaultProfile::cheap_imu(),
+        }
+        .with_severity(severity);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (timed, log) = profile.apply(&trace, &mut rng);
+        prop_assert_eq!(timed.samples.len(), timed.timestamps_s.len());
+        prop_assert!(timed.samples.len() <= 2 * n);
+        prop_assert!(timed.samples.iter().all(|v| v.is_finite()));
+        prop_assert!(timed.timestamps_s.iter().all(|t| t.is_finite()));
+        prop_assert!(timed.timestamps_s.windows(2).all(|w| w[1] >= w[0]));
+        // The log accounts for exactly the events that changed the count:
+        // drops (delivery + doze) and throttle decimation remove samples,
+        // duplicates add them.
+        prop_assert_eq!(
+            timed.samples.len() as i64,
+            n as i64 + log.duplicated as i64 - log.dropped as i64 - log.throttled as i64
+        );
+    }
+
+    /// A saturated channel never delivers a sample beyond its full scale,
+    /// even with motion bursts riding on top of the signal.
+    #[test]
+    fn saturation_never_exceeds_full_scale(
+        samples in prop::collection::vec(-10.0f64..10.0, 16..400),
+        full_scale in 0.01f64..1.0,
+        burst_amp in 0.0f64..5.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = AccelTrace { samples, fs: 420.0 };
+        let profile = FaultProfile {
+            full_scale: Some(full_scale),
+            burst_rate_hz: 2.0,
+            burst_amp,
+            ..FaultProfile::clean()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (timed, log) = profile.apply(&trace, &mut rng);
+        prop_assert!(timed.samples.iter().all(|v| v.abs() <= full_scale + 1e-12));
+        // Input deliberately overdrives the rail, so clipping must engage.
+        prop_assert!(log.clipped > 0);
+    }
+
+    /// Severity zero turns every preset into a byte-identical no-op with a
+    /// clean fault log.
+    #[test]
+    fn zero_severity_is_byte_identical_noop(
+        samples in prop::collection::vec(-1.0f64..1.0, 1..400),
+        which in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let trace = AccelTrace { samples: samples.clone(), fs: 420.0 };
+        let profile = match which {
+            0 => FaultProfile::handheld_walking(),
+            1 => FaultProfile::background_doze(),
+            _ => FaultProfile::cheap_imu(),
+        }
+        .with_severity(0.0);
+        prop_assert!(profile.is_noop());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (timed, log) = profile.apply(&trace, &mut rng);
+        prop_assert!(log.is_clean());
+        prop_assert_eq!(timed.samples, samples.clone());
+        // Byte-identical to the untouched regular-grid trace.
+        let untouched = emoleak::phone::TimedTrace::from_regular(&trace);
+        prop_assert_eq!(timed.timestamps_s, untouched.timestamps_s);
+    }
+
+    /// Faulted recording through the public session API is total: the
+    /// regularized trace keeps the nominal rate and only finite samples,
+    /// for any severity.
+    #[test]
+    fn faulted_recording_is_total(
+        audio in prop::collection::vec(-0.3f64..0.3, 400..4000),
+        severity in 0.0f64..8.0,
+        seed in 0u64..1000,
+    ) {
+        use emoleak::phone::session::RecordingSession;
+        use emoleak::phone::{DeviceProfile, Placement, SpeakerKind};
+        let session = RecordingSession::new(
+            &DeviceProfile::oneplus_7t(),
+            SpeakerKind::Loudspeaker,
+            Placement::TableTop,
+        )
+        .with_faults(FaultProfile::handheld_walking().with_severity(severity));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (trace, _log) = session.record_clip_logged(&audio, 8000.0, &mut rng);
+        prop_assert!(trace.samples.iter().all(|v| v.is_finite()));
+        prop_assert!((trace.fs - session.delivered_rate()).abs() < 1e-9);
     }
 }

@@ -1,0 +1,15 @@
+//! Offline marker-only stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but has
+//! no serializer backend dependency, so the traits are only ever used as
+//! markers. This stub keeps the annotations compiling without network access;
+//! swapping back to real serde requires no source change outside `vendor/`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
