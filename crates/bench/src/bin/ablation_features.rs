@@ -33,10 +33,13 @@ fn main() -> Result<(), EmoleakError> {
         ("all Table II features (24)", harvest.features.clone()),
     ];
     println!("{:<30} {:>10}", "feature set", "accuracy");
-    for (name, data) in variants {
-        let acc = evaluate_features(&data, ClassifierKind::Logistic, Protocol::Holdout8020, 0xAB1)?
-            .accuracy;
-        println!("{name:<30} {:>9.2}%", acc * 100.0);
+    // The three projections train independently: evaluate in parallel.
+    let accs = emoleak_exec::par_map_indexed(&variants, |_, (_, data)| {
+        evaluate_features(data, ClassifierKind::Logistic, Protocol::Holdout8020, 0xAB1)
+            .map(|eval| eval.accuracy)
+    });
+    for ((name, _), acc) in variants.iter().zip(accs) {
+        println!("{name:<30} {:>9.2}%", acc? * 100.0);
     }
     Ok(())
 }

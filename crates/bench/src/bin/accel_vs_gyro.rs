@@ -31,17 +31,33 @@ fn main() -> Result<(), EmoleakError> {
     let class_names: Vec<String> = emotions.iter().map(|e| e.to_string()).collect();
     let mut gyro_features = FeatureDataset::new(all_feature_names(), class_names);
     let detector = RegionDetector::table_top();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE40);
+    // Per-clip RNG streams (not one shared sequential RNG) so the clips can
+    // simulate in parallel with worker-count-independent output.
+    let clip_indices: Vec<usize> = (0..corpus.total_clips()).collect();
+    let per_clip: Vec<(Vec<(Vec<f64>, usize)>, usize)> =
+        emoleak_exec::par_map_indexed(&clip_indices, |_, &i| {
+            let clip = corpus.clip_at(i);
+            let label = emotions.iter().position(|e| *e == clip.emotion).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(
+                emoleak_exec::derive_seed(0xE40, i as u64),
+            );
+            let trace = gyro_channel.simulate(&clip.samples, clip.fs, &mut rng);
+            let regions = detector.detect(&trace.samples, trace.fs);
+            let rows = regions
+                .iter()
+                .map(|&(s, e)| {
+                    let region = &trace.samples[s..e.min(trace.samples.len())];
+                    (extract_all(region, trace.fs), label)
+                })
+                .collect();
+            (rows, regions.len())
+        });
     let mut detected = 0usize;
-    let mut clips = 0usize;
-    for clip in corpus.iter() {
-        let label = emotions.iter().position(|e| *e == clip.emotion).unwrap();
-        let trace = gyro_channel.simulate(&clip.samples, clip.fs, &mut rng);
-        let regions = detector.detect(&trace.samples, trace.fs);
-        detected += regions.len();
-        clips += 1;
-        for &(s, e) in &regions {
-            gyro_features.push(extract_all(&trace.samples[s..e.min(trace.samples.len())], trace.fs), label);
+    let clips = clip_indices.len();
+    for (rows, n_regions) in per_clip {
+        detected += n_regions;
+        for (row, label) in rows {
+            gyro_features.push(row, label);
         }
     }
     gyro_features.clean_invalid();

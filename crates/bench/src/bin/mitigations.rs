@@ -13,9 +13,13 @@ fn main() -> Result<(), EmoleakError> {
            corpus.random_guess());
     let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
     println!("{:<24} {:>10}", "coupling remaining", "accuracy");
-    for damping in [1.0, 0.5, 0.25, 0.1, 0.05, 0.02] {
-        let acc = damping_study(&scenario, ClassifierKind::Logistic, damping, 0x317)?;
-        println!("{:<24} {:>9.2}%", format!("{:.0}%", damping * 100.0), acc * 100.0);
+    // Each damping level is an independent campaign: sweep in parallel.
+    let levels = [1.0, 0.5, 0.25, 0.1, 0.05, 0.02];
+    let accs = emoleak_exec::par_map_indexed(&levels, |_, &damping| {
+        damping_study(&scenario, ClassifierKind::Logistic, damping, 0x317)
+    });
+    for (&damping, acc) in levels.iter().zip(accs) {
+        println!("{:<24} {:>9.2}%", format!("{:.0}%", damping * 100.0), acc? * 100.0);
     }
     println!("(random guess {:.2}%)", scenario.corpus.random_guess() * 100.0);
     Ok(())

@@ -9,6 +9,8 @@
 //!
 //! Prints a text degradation table and writes the full results as JSON
 //! (default `robustness_sweep.json`, override with `EMOLEAK_SWEEP_JSON`).
+//! The 24 (axis, severity) campaigns run in parallel on `EMOLEAK_THREADS`
+//! workers with bit-identical output at any worker count.
 
 use emoleak_bench::{banner, clips_per_cell};
 use emoleak_core::prelude::*;
@@ -114,12 +116,17 @@ fn main() -> Result<(), EmoleakError> {
     let severities = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
     let device = DeviceProfile::oneplus_7t();
 
-    let mut results: Vec<(String, Vec<Cell>)> = Vec::new();
-    for axis in axes() {
-        let mut cells = Vec::new();
-        for &severity in &severities {
+    // Every (axis, severity) cell is an independent campaign: flatten the
+    // grid and run all cells in parallel. Each campaign is fully seeded, so
+    // the sweep is bit-identical at any EMOLEAK_THREADS.
+    let axes = axes();
+    let grid: Vec<(usize, f64)> = (0..axes.len())
+        .flat_map(|ai| severities.iter().map(move |&s| (ai, s)))
+        .collect();
+    let cells: Vec<Result<Cell, EmoleakError>> =
+        emoleak_exec::par_map_indexed(&grid, |_, &(ai, severity)| {
             let scenario = AttackScenario::table_top(corpus.clone(), device.clone())
-                .with_faults(axis.base.clone().with_severity(severity));
+                .with_faults(axes[ai].base.clone().with_severity(severity));
             let h = scenario.harvest()?;
             // 5-fold CV: a single 80/20 split on a small faulted campaign
             // is noisy enough to hide the decay trend. A campaign degraded
@@ -135,9 +142,16 @@ fn main() -> Result<(), EmoleakError> {
                 Err(EmoleakError::DegenerateDataset(_)) => random_guess,
                 Err(e) => return Err(e),
             };
-            cells.push(Cell { severity, accuracy, regions: h.features.len(), faults: h.faults });
-        }
-        results.push((axis.name.to_string(), cells));
+            Ok(Cell { severity, accuracy, regions: h.features.len(), faults: h.faults })
+        });
+    let mut results: Vec<(String, Vec<Cell>)> = Vec::new();
+    let mut cells = cells.into_iter();
+    for axis in &axes {
+        let row = cells
+            .by_ref()
+            .take(severities.len())
+            .collect::<Result<Vec<Cell>, EmoleakError>>()?;
+        results.push((axis.name.to_string(), row));
     }
 
     // Text degradation table: one row per axis, one column per severity.

@@ -9,11 +9,14 @@ use emoleak_features::info_gain::information_gain_per_feature;
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell().min(20));
     banner("Table II: feature inventory + information gain (TESS)", corpus.random_guess());
-    for (setting, scenario) in [
+    let settings = [
         ("table-top", AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t())),
         ("handheld", AttackScenario::handheld(corpus.clone(), DeviceProfile::oneplus_7t())),
-    ] {
-        let harvest = scenario.harvest()?;
+    ];
+    // Both campaigns harvest in parallel; the report prints in order.
+    let harvests = emoleak_exec::par_map_indexed(&settings, |_, (_, s)| s.harvest());
+    for ((setting, _), harvest) in settings.iter().zip(harvests) {
+        let harvest = harvest?;
         let gains = information_gain_per_feature(
             harvest.features.features(),
             harvest.features.labels(),

@@ -21,15 +21,15 @@ fn main() -> Result<(), EmoleakError> {
         "TESS (time-frequency features + spectrograms)",
         devices.iter().map(|d| d.name().to_string()).collect(),
     );
-    let columns = devices
-        .iter()
-        .map(|d| {
-            loudspeaker_column(
-                &AttackScenario::table_top(corpus.clone(), d.clone()),
-                0x7E55,
-            )
-        })
-        .collect::<Result<Vec<Vec<(String, f64)>>, _>>()?;
+    // One campaign per device column, all five columns in parallel.
+    let columns = emoleak_exec::par_map_indexed(&devices, |_, d| {
+        loudspeaker_column(
+            &AttackScenario::table_top(corpus.clone(), d.clone()),
+            0x7E55,
+        )
+    })
+    .into_iter()
+    .collect::<Result<Vec<Vec<(String, f64)>>, _>>()?;
     for row in 0..columns[0].len() {
         let label = columns[0][row].0.clone();
         table.push_row(&label, columns.iter().map(|c| c[row].1).collect());

@@ -29,30 +29,27 @@ fn main() -> Result<(), EmoleakError> {
         ClassifierKind::Lmt,
         ClassifierKind::Cnn,
     ];
-    let harvests = scenarios
-        .iter()
-        .map(|(_, s)| s.harvest())
+    // The three campaigns are independent: harvest them in parallel.
+    let harvests = emoleak_exec::par_map_indexed(&scenarios, |_, (_, s)| s.harvest())
+        .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
     for kind in kinds {
         if kind == ClassifierKind::Cnn && skip_cnn() {
             table.push_row(kind.display_name(), vec![f64::NAN; harvests.len()]);
             continue;
         }
-        let accs: Vec<f64> = harvests
-            .iter()
-            .map(|h| {
-                // The paper's ear-speaker protocol: 10-fold CV (§V-D). The
-                // CNN uses a holdout split to keep runtimes single-core sane.
-                let protocol = if kind == ClassifierKind::Cnn {
-                    Protocol::Holdout8020
-                } else {
-                    Protocol::KFold(10)
-                };
-                evaluate_features(&h.features, kind, protocol, 0xEA6)
-                    .map(|eval| eval.accuracy)
-                    .unwrap_or(f64::NAN)
-            })
-            .collect();
+        let accs: Vec<f64> = emoleak_exec::par_map_indexed(&harvests, |_, h| {
+            // The paper's ear-speaker protocol: 10-fold CV (§V-D). The
+            // CNN uses a holdout split to keep runtimes single-core sane.
+            let protocol = if kind == ClassifierKind::Cnn {
+                Protocol::Holdout8020
+            } else {
+                Protocol::KFold(10)
+            };
+            evaluate_features(&h.features, kind, protocol, 0xEA6)
+                .map(|eval| eval.accuracy)
+                .unwrap_or(f64::NAN)
+        });
         table.push_row(kind.display_name(), accs);
     }
     for (h, (name, _)) in harvests.iter().zip(&scenarios) {

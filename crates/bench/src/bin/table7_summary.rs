@@ -13,16 +13,29 @@ use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
 use emoleak_features::{all_feature_names, extract_all};
 
 /// The audio-domain baseline: Table II features on the clean synthesized
-/// audio (16× the accelerometer bandwidth, no channel loss).
+/// audio (16× the accelerometer bandwidth, no channel loss). Clip synthesis
+/// and feature extraction run in parallel per clip; rows are pushed in clip
+/// order, matching the sequential iterator exactly.
 fn audio_domain_accuracy(corpus: &CorpusSpec, seed: u64) -> f64 {
     let emotions = corpus.emotions().to_vec();
     let class_names: Vec<String> = emotions.iter().map(|e| e.to_string()).collect();
     let mut features = FeatureDataset::new(all_feature_names(), class_names);
-    for clip in corpus.iter() {
-        let label = emotions.iter().position(|e| *e == clip.emotion).unwrap();
-        for &(s, e) in &clip.voiced_spans {
-            let region = &clip.samples[s..e.min(clip.samples.len())];
-            features.push(extract_all(region, clip.fs), label);
+    let clip_indices: Vec<usize> = (0..corpus.total_clips()).collect();
+    let per_clip: Vec<Vec<(Vec<f64>, usize)>> =
+        emoleak_exec::par_map_indexed(&clip_indices, |_, &i| {
+            let clip = corpus.clip_at(i);
+            let label = emotions.iter().position(|e| *e == clip.emotion).unwrap();
+            clip.voiced_spans
+                .iter()
+                .map(|&(s, e)| {
+                    let region = &clip.samples[s..e.min(clip.samples.len())];
+                    (extract_all(region, clip.fs), label)
+                })
+                .collect()
+        });
+    for clip_rows in per_clip {
+        for (row, label) in clip_rows {
+            features.push(row, label);
         }
     }
     features.clean_invalid();
@@ -47,18 +60,25 @@ fn main() -> Result<(), EmoleakError> {
         "Summary (best classical classifier, vibration vs clean audio)",
         vec!["vibration (EmoLeak)".into(), "audio baseline".into()],
     );
-    for (name, corpus, device) in rows {
-        let scenario = AttackScenario::table_top(corpus.clone(), device);
-        let harvest = scenario.harvest()?;
-        let vib = [
-            ClassifierKind::Logistic,
-            ClassifierKind::MultiClass,
-            ClassifierKind::Lmt,
-        ]
-        .iter()
-        .map(|&k| classifier_accuracy(&harvest, k, 0x7AB7))
-        .fold(f64::NAN, f64::max);
-        let audio = audio_domain_accuracy(&corpus, 0x7AB7);
+    // The three dataset rows are independent campaigns: run them in
+    // parallel, collect in row order.
+    let row_cells: Vec<Result<(f64, f64), EmoleakError>> =
+        emoleak_exec::par_map_indexed(&rows, |_, (_, corpus, device)| {
+            let scenario = AttackScenario::table_top(corpus.clone(), device.clone());
+            let harvest = scenario.harvest()?;
+            let vib = [
+                ClassifierKind::Logistic,
+                ClassifierKind::MultiClass,
+                ClassifierKind::Lmt,
+            ]
+            .iter()
+            .map(|&k| classifier_accuracy(&harvest, k, 0x7AB7))
+            .fold(f64::NAN, f64::max);
+            let audio = audio_domain_accuracy(corpus, 0x7AB7);
+            Ok((vib, audio))
+        });
+    for ((name, _, _), cell) in rows.iter().zip(row_cells) {
+        let (vib, audio) = cell?;
         table.push_row(name, vec![vib, audio]);
     }
     table.push_note("paper: SAVEE 53.77% vs 91.7%, TESS 95.3% vs 99.57%, CREMA-D 60.32% vs 94.99%");

@@ -12,12 +12,16 @@
 //! | `EMOLEAK_EPOCHS` | 25 | CNN training epochs |
 //! | `EMOLEAK_CNN_DIV` | 4 | CNN channel-width divisor (1 = paper-exact) |
 //! | `EMOLEAK_SKIP_CNN` | unset | skip the CNN rows entirely (quick runs) |
+//! | `EMOLEAK_THREADS` | all cores | worker threads (`emoleak-exec`); any value produces bit-identical tables |
 //!
 //! The defaults complete on a single core in minutes; `EMOLEAK_CLIPS=200
-//! EMOLEAK_CNN_DIV=1` reproduces the full-scale campaign.
+//! EMOLEAK_CNN_DIV=1` reproduces the full-scale campaign. Every experiment
+//! is deterministic **independent of `EMOLEAK_THREADS`**: parallel stages
+//! draw from per-task RNG streams and combine results in task order, so a
+//! 16-core run reproduces the single-core numbers exactly.
 
 use emoleak_core::prelude::*;
-use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
+use emoleak_core::{evaluate_feature_grid, evaluate_features, ClassifierKind, Protocol};
 
 /// Clips per (speaker, emotion) cell for this run (`EMOLEAK_CLIPS`).
 pub fn clips_per_cell() -> usize {
@@ -62,25 +66,30 @@ pub fn loudspeaker_column(
     seed: u64,
 ) -> Result<Vec<(String, f64)>, EmoleakError> {
     let harvest = scenario.harvest()?;
-    let mut rows = Vec::new();
-    for kind in [
+    let mut kinds = vec![
         ClassifierKind::Logistic,
         ClassifierKind::MultiClass,
         ClassifierKind::Lmt,
-    ] {
-        rows.push((
-            kind.display_name().to_string(),
-            classifier_accuracy(&harvest, kind, seed),
-        ));
+    ];
+    if !skip_cnn() {
+        kinds.push(ClassifierKind::Cnn);
     }
+    // All classifiers of the column train in parallel on the same harvest;
+    // the grid returns results in `kinds` order.
+    let mut rows: Vec<(String, f64)> =
+        evaluate_feature_grid(&harvest.features, &kinds, Protocol::Holdout8020, seed)
+            .into_iter()
+            .map(|(kind, result)| {
+                (
+                    kind.display_name().to_string(),
+                    result.map(|eval| eval.accuracy).unwrap_or(f64::NAN),
+                )
+            })
+            .collect();
     if skip_cnn() {
         rows.push(("CNN".to_string(), f64::NAN));
         rows.push(("Spectrogram CNN".to_string(), f64::NAN));
     } else {
-        rows.push((
-            "CNN".to_string(),
-            classifier_accuracy(&harvest, ClassifierKind::Cnn, seed),
-        ));
         let class_names = harvest.features.class_names().to_vec();
         let spec_acc =
             emoleak_core::evaluate_spectrograms(&harvest.spectrograms, &class_names, seed)

@@ -45,7 +45,8 @@ pub mod scenario;
 
 pub use error::EmoleakError;
 pub use pipeline::{
-    evaluate_features, evaluate_spectrograms, ClassifierKind, HarvestResult, Protocol,
+    evaluate_feature_grid, evaluate_features, evaluate_spectrograms, ClassifierKind,
+    HarvestResult, Protocol,
 };
 pub use scenario::{AttackScenario, Setting};
 
@@ -53,7 +54,8 @@ pub use scenario::{AttackScenario, Setting};
 pub mod prelude {
     pub use crate::error::EmoleakError;
     pub use crate::pipeline::{
-        evaluate_features, evaluate_spectrograms, ClassifierKind, HarvestResult, Protocol,
+        evaluate_feature_grid, evaluate_features, evaluate_spectrograms, ClassifierKind,
+        HarvestResult, Protocol,
     };
     pub use crate::report::ResultTable;
     pub use crate::scenario::{AttackScenario, Setting};

@@ -16,7 +16,7 @@ use emoleak_ml::{forest::RandomForest, lmt::Lmt, logistic::Logistic, one_vs_rest
     subspace::RandomSubspace, Classifier};
 use emoleak_phone::session::RecordingSession;
 use emoleak_phone::FaultLog;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One clip's trace window with its ground-truth speech spans and label.
@@ -54,6 +54,14 @@ impl AttackScenario {
     /// manner"), which matters because slow posture drift then spans
     /// consecutive clips.
     ///
+    /// The per-clip work (synthesis, channel simulation, fault injection,
+    /// region detection, feature extraction) runs in parallel on
+    /// `EMOLEAK_THREADS` workers, and the result is bit-identical for any
+    /// worker count: clip `i` draws from its own RNG stream
+    /// `derive_seed(seed, i)` instead of a shared sequential RNG, results
+    /// are collected by clip index, and float accumulators are folded in
+    /// index order (see `emoleak_exec`).
+    ///
     /// A heavily faulted or damped channel degrades gracefully: the result
     /// may carry few (or zero) features, and `clip_faults` accounts for
     /// every injected fault. The downstream `evaluate_*` functions report
@@ -78,11 +86,7 @@ impl AttackScenario {
         let emotions = self.corpus.emotions().to_vec();
         let class_names: Vec<String> = emotions.iter().map(|e| e.to_string()).collect();
         let mut features = FeatureDataset::new(all_feature_names(), class_names);
-        let mut spectrograms = Vec::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         let fs_out = session.delivered_rate();
-        let mut truth_total = 0usize;
-        let mut truth_hit = 0.0f64;
         let mut clip_faults = Vec::new();
         let mut faults = FaultLog::default();
 
@@ -93,32 +97,57 @@ impl AttackScenario {
                 .ok_or_else(|| EmoleakError::UnknownLabel(emotion.to_string()))
         };
 
-        // (trace window, ground-truth spans within it, label) per clip.
+        // Stage 1 — record. Parallel over clip index; clip i synthesizes
+        // via `clip_at(i)` and draws channel noise from stream
+        // `derive_seed(seed, i)`, so scheduling cannot reorder any draw.
+        // Produces (trace window, ground-truth spans within it, label).
+        let clip_indices: Vec<usize> = (0..self.corpus.total_clips()).collect();
         let mut windows: Vec<LabeledWindow> = Vec::new();
         match self.setting {
             crate::scenario::Setting::TableTopLoudspeaker => {
-                for clip in self.corpus.iter() {
-                    let label = label_of(&clip.emotion)?;
-                    let (trace, log) =
-                        session.record_clip_logged(&clip.samples, clip.fs, &mut rng);
+                let recorded: Vec<Result<(LabeledWindow, FaultLog), EmoleakError>> =
+                    emoleak_exec::par_map_indexed(&clip_indices, |_, &i| {
+                        let clip = self.corpus.clip_at(i);
+                        let label = label_of(&clip.emotion)?;
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(
+                            emoleak_exec::derive_seed(self.seed, i as u64),
+                        );
+                        let (trace, log) =
+                            session.record_clip_logged(&clip.samples, clip.fs, &mut rng);
+                        let scale = trace.fs / clip.fs;
+                        let truth = rescale_spans(&clip.voiced_spans, scale);
+                        Ok(((trace.samples, truth, label), log))
+                    });
+                for r in recorded {
+                    let (window, log) = r?;
                     faults.absorb(&log);
                     if !self.faults.is_noop() {
                         clip_faults.push(log);
                     }
-                    let scale = trace.fs / clip.fs;
-                    let truth = rescale_spans(&clip.voiced_spans, scale);
-                    windows.push((trace.samples, truth, label));
+                    windows.push(window);
                 }
             }
             crate::scenario::Setting::HandheldEarSpeaker => {
-                let mut clips: Vec<SessionClip> = Vec::new();
-                for clip in self.corpus.iter() {
-                    let label = label_of(&clip.emotion)?;
-                    let scale = fs_out / clip.fs;
-                    let truth = rescale_spans(&clip.voiced_spans, scale);
-                    clips.push((clip.samples, clip.fs, (label, truth)));
+                // Synthesis is parallel per clip; the continuous recording
+                // itself derives per-clip streams internally
+                // (`record_session_seeded`), since posture drift spans
+                // clip boundaries and must stay a single whole-session
+                // stream.
+                let synthesized: Vec<Result<SessionClip, EmoleakError>> =
+                    emoleak_exec::par_map_indexed(&clip_indices, |_, &i| {
+                        let clip = self.corpus.clip_at(i);
+                        let label = label_of(&clip.emotion)?;
+                        let scale = fs_out / clip.fs;
+                        let truth = rescale_spans(&clip.voiced_spans, scale);
+                        Ok((clip.samples, clip.fs, (label, truth)))
+                    });
+                let mut clips: Vec<SessionClip> = Vec::with_capacity(synthesized.len());
+                for c in synthesized {
+                    clips.push(c?);
                 }
-                let (st, log) = session.record_session_logged(clips, &mut rng);
+                let session_seed =
+                    rand::rngs::StdRng::seed_from_u64(self.seed).next_u64();
+                let (st, log) = session.record_session_seeded(clips, session_seed);
                 faults.absorb(&log);
                 if !self.faults.is_noop() {
                     clip_faults.push(log);
@@ -131,25 +160,46 @@ impl AttackScenario {
             }
         }
 
-        for (window, truth, label) in &windows {
-            let regions = detector.detect(window, fs_out);
-            truth_total += truth.len();
-            let rate = emoleak_features::regions::detection_rate(&regions, truth);
-            if rate.is_finite() {
-                truth_hit += rate * truth.len() as f64;
-            }
-            for &(start, end) in &regions {
-                let end = end.min(window.len());
-                let start = start.min(end);
-                let region = &window[start..end];
-                if region.is_empty() {
-                    continue;
+        // Stage 2 — detect + extract. Parallel over windows; pure DSP with
+        // no RNG, combined strictly in window order below.
+        struct WindowHarvest {
+            rows: Vec<(Vec<f64>, usize)>,
+            specs: Vec<LabeledSpectrogram>,
+            truth_count: usize,
+            hit: f64,
+        }
+        let processed: Vec<WindowHarvest> =
+            emoleak_exec::par_map_indexed(&windows, |_, (window, truth, label)| {
+                let regions = detector.detect(window, fs_out);
+                let rate = emoleak_features::regions::detection_rate(&regions, truth);
+                let hit =
+                    if rate.is_finite() { rate * truth.len() as f64 } else { 0.0 };
+                let mut rows = Vec::new();
+                let mut specs = Vec::new();
+                for &(start, end) in &regions {
+                    let end = end.min(window.len());
+                    let start = start.min(end);
+                    let region = &window[start..end];
+                    if region.is_empty() {
+                        continue;
+                    }
+                    rows.push((extract_all(region, fs_out), *label));
+                    if let Some(img) = spec_gen.generate(region, fs_out, *label) {
+                        specs.push(img);
+                    }
                 }
-                features.push(extract_all(region, fs_out), *label);
-                if let Some(img) = spec_gen.generate(region, fs_out, *label) {
-                    spectrograms.push(img);
-                }
+                WindowHarvest { rows, specs, truth_count: truth.len(), hit }
+            });
+        let truth_total: usize = processed.iter().map(|w| w.truth_count).sum();
+        // f64 addition is order-sensitive; fold the per-window hit mass in
+        // index order so worker count cannot change the last bit.
+        let truth_hit = emoleak_exec::sum_ordered(processed.iter().map(|w| w.hit));
+        let mut spectrograms = Vec::new();
+        for w in processed {
+            for (row, label) in w.rows {
+                features.push(row, label);
             }
+            spectrograms.extend(w.specs);
         }
         features.clean_invalid();
         Ok(HarvestResult {
@@ -251,7 +301,7 @@ pub fn cnn_width_divisor() -> usize {
         .unwrap_or(4)
 }
 
-fn make_classifier(kind: ClassifierKind, seed: u64) -> Box<dyn Classifier> {
+fn make_classifier(kind: ClassifierKind, seed: u64) -> Box<dyn Classifier + Send> {
     match kind {
         ClassifierKind::Logistic => Box::new(Logistic::default()),
         ClassifierKind::MultiClass => Box::new(OneVsRest::default()),
@@ -340,10 +390,10 @@ pub fn evaluate_features(
     }
 }
 
-/// Adapter so `cross_validate` (generic over `C: Classifier`) can construct
-/// fresh boxed classifiers of a runtime-selected kind.
+/// Adapter so `cross_validate` (generic over `C: Classifier + Send`) can
+/// construct fresh boxed classifiers of a runtime-selected kind.
 struct BoxedClassifier {
-    inner: Box<dyn Classifier>,
+    inner: Box<dyn Classifier + Send>,
 }
 
 impl Classifier for BoxedClassifier {
@@ -358,6 +408,26 @@ impl Classifier for BoxedClassifier {
     fn name(&self) -> &str {
         self.inner.name()
     }
+}
+
+/// Evaluates every classifier in `kinds` on the same harvested dataset, in
+/// parallel — the shape of the paper's per-table classifier columns.
+///
+/// Each `(kind, result)` pair is exactly what a sequential
+/// [`evaluate_features`] loop would produce: classifiers never share RNG
+/// state (each seeds from `seed`), and results are returned in `kinds`
+/// order. Per-classifier inner parallelism (k-fold) automatically runs
+/// serially inside these workers, so total thread count stays bounded.
+pub fn evaluate_feature_grid(
+    features: &FeatureDataset,
+    kinds: &[ClassifierKind],
+    protocol: Protocol,
+    seed: u64,
+) -> Vec<(ClassifierKind, Result<Evaluation, EmoleakError>)> {
+    let evals = emoleak_exec::par_map_indexed(kinds, |_, &kind| {
+        evaluate_features(features, kind, protocol, seed)
+    });
+    kinds.iter().copied().zip(evals).collect()
 }
 
 /// The spectrogram-CNN evaluation (§IV-C): stratified 80/20 over labeled

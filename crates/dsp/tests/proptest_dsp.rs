@@ -1,0 +1,157 @@
+//! Property tests locking down the DSP substrate the parallel harvest
+//! leans on: FFT round-trip exactness, STFT Parseval energy conservation,
+//! and the gap-aware resampler's invariants on irregular, hole-ridden
+//! sensor timelines.
+//!
+//! These properties are what make the deterministic-parallelism contract
+//! meaningful: every parallel harvest worker runs this arithmetic, so any
+//! input-dependent instability here would masquerade as a scheduling bug.
+
+use emoleak_dsp::fft::Fft;
+use emoleak_dsp::resample::{resample_irregular, resample_linear};
+use emoleak_dsp::stft::StftConfig;
+use emoleak_dsp::window::Window;
+use emoleak_dsp::{Complex, DspError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `inverse(forward(x)) == x` within 1e-9 for every length in the plan
+    /// family the pipeline uses (region FFTs are 64–1024 points).
+    #[test]
+    fn fft_ifft_round_trip_within_1e9(
+        values in prop::collection::vec(-1.0e3f64..1.0e3, 256),
+        size_sel in 0usize..4,
+    ) {
+        let n = [64usize, 128, 256, 32][size_sel];
+        let fft = Fft::new(n);
+        let mut buf: Vec<Complex> =
+            values[..n].iter().map(|&v| Complex::from_real(v)).collect();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (z, &v) in buf.iter().zip(&values[..n]) {
+            prop_assert!((z.re - v).abs() < 1e-9, "re {} vs {}", z.re, v);
+            prop_assert!(z.im.abs() < 1e-9, "im {}", z.im);
+        }
+    }
+
+    /// Parseval for the STFT: for every frame, the full-spectrum power sum
+    /// (unfolded from the non-redundant bins) equals `n_fft ×` the energy of
+    /// the windowed frame. Checked per frame, not just in aggregate, so a
+    /// single corrupted frame cannot hide in the total.
+    #[test]
+    fn stft_satisfies_parseval_per_frame(
+        values in prop::collection::vec(-10.0f64..10.0, 200..400),
+        hop_sel in 0usize..3,
+    ) {
+        let frame_len = 64usize;
+        let hop = [16usize, 32, 64][hop_sel];
+        let cfg = StftConfig::new(frame_len, hop);
+        let n_fft = cfg.n_fft();
+        let spec = cfg.spectrogram(&values, 420.0).unwrap();
+        let coeffs = Window::Hamming.coefficients(frame_len);
+        for t in 0..spec.num_frames() {
+            // Unfold the one-sided power row to the full-spectrum sum: DC
+            // and Nyquist appear once, interior bins twice.
+            let row = spec.frame(t);
+            let full: f64 = row[0]
+                + row[row.len() - 1]
+                + 2.0 * row[1..row.len() - 1].iter().sum::<f64>();
+            let start = t * hop;
+            let time_energy: f64 = values[start..start + frame_len]
+                .iter()
+                .zip(&coeffs)
+                .map(|(x, w)| (x * w) * (x * w))
+                .sum();
+            let expect = n_fft as f64 * time_energy;
+            prop_assert!(
+                (full - expect).abs() <= 1e-9 * expect.max(1.0),
+                "frame {t}: spectrum {full} vs {expect}"
+            );
+        }
+    }
+
+    /// The uniform resampler's output covers exactly the input duration:
+    /// `floor(duration × fs_out) + 1` samples, all finite and bounded by the
+    /// input range (linear interpolation cannot overshoot).
+    #[test]
+    fn resample_linear_length_and_bounds(
+        values in prop::collection::vec(-50.0f64..50.0, 2..300),
+        fs_out in 50.0f64..2000.0,
+    ) {
+        let fs_in = 420.0;
+        let out = resample_linear(&values, fs_in, fs_out).unwrap();
+        let duration = (values.len() - 1) as f64 / fs_in;
+        prop_assert_eq!(out.len(), (duration * fs_out).floor() as usize + 1);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in &out {
+            prop_assert!(v.is_finite());
+            prop_assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// The gap-aware resampler on an irregular, hole-ridden timeline:
+    /// output length is `floor((t_last − t_0) × fs_out) + 1`, every sample
+    /// is finite, and every sample is either an in-range interpolation or
+    /// the `0.0` blackout fill — never an extrapolated ramp.
+    #[test]
+    fn resample_irregular_invariants_on_gap_ridden_input(
+        deltas in prop::collection::vec(0.0f64..0.01, 10..200),
+        values in prop::collection::vec(-5.0f64..5.0, 200),
+        gap_at in 3usize..9,
+        gap_len in 0.1f64..2.0,
+    ) {
+        // Build a non-decreasing timeline with one long delivery hole.
+        let mut t = Vec::with_capacity(deltas.len());
+        let mut now = 0.0;
+        for (i, d) in deltas.iter().enumerate() {
+            now += d + if i == gap_at { gap_len } else { 0.0 };
+            t.push(now);
+        }
+        let x = &values[..t.len()];
+        let fs_out = 420.0;
+        let max_gap = 0.05;
+        let out = resample_irregular(&t, x, fs_out, max_gap).unwrap();
+        let duration = t[t.len() - 1] - t[0];
+        prop_assert_eq!(out.len(), (duration * fs_out).floor() as usize + 1);
+        let lo = x.iter().cloned().fold(f64::INFINITY, f64::min).min(0.0);
+        let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(0.0);
+        for v in &out {
+            prop_assert!(v.is_finite());
+            prop_assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+        }
+        // Grid points that land strictly inside the hole (the >= 0.1 s
+        // delivery blackout between samples gap_at-1 and gap_at) must be
+        // the 0.0 blackout fill, not an interpolation ramp.
+        let hole_start = t[gap_at - 1];
+        let hole_end = t[gap_at];
+        let mut saw_fill = false;
+        for (i, v) in out.iter().enumerate() {
+            let tq = t[0] + i as f64 / fs_out;
+            if tq > hole_start + 1e-9 && tq < hole_end - 1e-9 {
+                prop_assert!(*v == 0.0, "grid point {tq} inside blackout not filled");
+                saw_fill = true;
+            }
+        }
+        // The hole is >= 0.1 s on a 420 Hz grid: the fill branch must fire.
+        prop_assert!(saw_fill, "blackout fill never exercised");
+    }
+
+    /// Unsorted timestamps are rejected, never silently mis-resampled.
+    #[test]
+    fn resample_irregular_rejects_unsorted(
+        swap_at in 1usize..19,
+    ) {
+        let mut t: Vec<f64> = (0..20).map(|i| i as f64 * 0.01).collect();
+        let x = vec![1.0; 20];
+        t.swap(swap_at - 1, swap_at.min(19));
+        let r = resample_irregular(&t, &x, 100.0, 0.5);
+        if t.windows(2).all(|w| w[1] >= w[0]) {
+            prop_assert!(r.is_ok()); // degenerate swap of equal stamps
+        } else {
+            prop_assert!(matches!(r, Err(DspError::InvalidParameter(_))));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! A work-stealing scoped thread pool built on `std::thread` + channels.
+//!
+//! The vendored offline dependency set rules out rayon/crossbeam, so this is
+//! the minimal pool the pipeline needs: [`par_map_indexed`] fans a slice of
+//! independent work items out over `threads()` scoped workers and returns
+//! the results **in input order**, making the worker count provably
+//! irrelevant to the output.
+//!
+//! ## Scheduling
+//!
+//! Indices are dealt round-robin into one deque per worker. Each worker
+//! drains its own deque from the front and, when empty, steals from the
+//! *back* of a sibling's deque (classic work stealing: owner and thief touch
+//! opposite ends, keeping contention low even with `Mutex`-guarded deques).
+//! Because the task set is fixed up front — `par_map_indexed` never spawns
+//! new work — "every deque empty" is a correct termination condition.
+//!
+//! ## Determinism
+//!
+//! Scheduling affects only *when* an item runs, never *what it computes*
+//! (items must not share mutable state — the compiler enforces this via the
+//! `Fn(usize, &T) -> R + Sync` bound) and never *where its result lands*
+//! (each result is sent back tagged with its index and stored in its input
+//! slot). Work stealing therefore cannot perturb results; the determinism
+//! suite in `tests/determinism.rs` locks this in across 1/2/8 workers.
+//!
+//! ## Nesting
+//!
+//! A parallel region entered from inside a worker runs serially on that
+//! worker (a thread-local guard detects nesting). This bounds the total
+//! thread count at `threads()` no matter how deeply the pipeline nests
+//! parallel maps — e.g. a bench bin parallelizing over scenarios whose
+//! harvests are themselves parallel — and keeps the serial fast path (and
+//! thus the output) identical at every nesting depth.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Per-call worker-count override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set while the current thread is a pool worker: nested parallel
+    /// regions then run serially instead of spawning a second pool.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The worker count parallel regions use, resolved in priority order:
+/// a [`with_threads`] override on this thread, then `EMOLEAK_THREADS`,
+/// then [`std::thread::available_parallelism`]. Always at least 1.
+pub fn threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("EMOLEAK_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread.
+///
+/// This is how the determinism tests prove the thread count is irrelevant:
+/// the same campaign is executed under `with_threads(1)`, `with_threads(2)`
+/// and `with_threads(8)` and the outputs compared byte for byte. The
+/// override is scoped to the current thread and restored on exit (also on
+/// unwind), so parallel test binaries don't interfere with each other.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// The contract that makes parallel harvesting safe to ship:
+///
+/// - `f(i, &items[i])` is called exactly once per index;
+/// - the output `Vec` satisfies `out[i] == f(i, &items[i])` regardless of
+///   the worker count or which worker ran which index;
+/// - panics in `f` propagate to the caller (after all workers stop).
+///
+/// Work items should be coarse (a whole clip recording, a classifier fold):
+/// the per-item overhead is one deque pop plus one channel send, which is
+/// noise for millisecond-scale items but not for nanosecond-scale ones.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads().min(items.len().max(1));
+    if workers <= 1 || IN_POOL.with(Cell::get) {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Deal indices round-robin into one deque per worker. Round-robin (vs
+    // contiguous blocks) spreads systematically-expensive regions — e.g.
+    // the high-severity tail of a sweep — across workers up front, so
+    // stealing is the exception rather than the steady state.
+    let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for i in 0..items.len() {
+        queues[i % workers].push_back(i);
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> = queues.into_iter().map(Mutex::new).collect();
+
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            let f = &f;
+            scope.spawn(move || {
+                IN_POOL.with(|c| c.set(true));
+                loop {
+                    // Own queue first (front), then steal (back).
+                    let job = pop_own(&queues[w]).or_else(|| {
+                        (1..workers).find_map(|d| steal(&queues[(w + d) % workers]))
+                    });
+                    let Some(i) = job else { break };
+                    // A send can only fail if the collector stopped early,
+                    // which only happens when another worker panicked; the
+                    // scope is about to propagate that panic anyway.
+                    if tx.send((i, f(i, &items[i]))).is_err() {
+                        break;
+                    }
+                }
+                IN_POOL.with(|c| c.set(false));
+            });
+        }
+        drop(tx);
+        // Collect by index. The loop ends when every worker has dropped its
+        // sender — either all work is done or a worker panicked (and the
+        // scope will re-raise that panic when it joins).
+        while let Ok((i, r)) = rx.recv() {
+            out[i] = Some(r);
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| slot.expect("every index produces exactly one result"))
+        .collect()
+}
+
+fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+}
+
+fn steal(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue.lock().unwrap_or_else(|e| e.into_inner()).pop_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = with_threads(8, || par_map_indexed(&items, |i, &x| x * 2 + i as u64));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, items[i] * 2 + i as u64);
+        }
+    }
+
+    #[test]
+    fn output_is_identical_across_worker_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let run = |n| {
+            with_threads(n, || {
+                par_map_indexed(&items, |i, &x| crate::derive_seed(x, i as u64))
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(3));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn each_index_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items = vec![(); 513];
+        with_threads(4, || {
+            par_map_indexed(&items, |_, ()| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 513);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map_indexed(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map_indexed(&[7u8], |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn nested_parallel_regions_run_serially_and_agree() {
+        let items: Vec<u64> = (0..24).collect();
+        let nested = |n| {
+            with_threads(n, || {
+                par_map_indexed(&items, |i, &x| {
+                    let inner: Vec<u64> = (0..8).map(|k| x + k).collect();
+                    // Inner region: serial inside a worker, parallel at n=1
+                    // caller level — either way the same numbers.
+                    par_map_indexed(&inner, |j, &y| crate::derive_seed(y, (i + j) as u64))
+                        .into_iter()
+                        .fold(0u64, u64::wrapping_add)
+                })
+            })
+        };
+        assert_eq!(nested(1), nested(6));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_indexed(&items, |i, _| {
+                    assert!(i != 13, "intentional test panic");
+                    i
+                })
+            })
+        });
+        assert!(result.is_err(), "panic in a worker must reach the caller");
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let before = threads();
+        with_threads(3, || assert_eq!(threads(), 3));
+        assert_eq!(threads(), before);
+    }
+
+    #[test]
+    fn stealing_drains_imbalanced_queues() {
+        // One item is 1000x slower than the rest; the other workers must
+        // steal the slow worker's remaining round-robin share.
+        let items: Vec<u64> = (0..64).collect();
+        let out = with_threads(4, || {
+            par_map_indexed(&items, |i, &x| {
+                let spins = if i == 0 { 200_000 } else { 200 };
+                (0..spins).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+            })
+        });
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let spins = if i == 0 { 200_000u64 } else { 200 };
+                (0..spins).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+            })
+            .collect();
+        assert_eq!(out, serial);
+    }
+}

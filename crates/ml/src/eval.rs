@@ -145,11 +145,19 @@ pub fn train_test_evaluate<C: Classifier + ?Sized>(
 /// `make_clf` and accumulates one confusion matrix over all folds (the
 /// paper's 10-fold protocol, used for Figure 6b).
 ///
+/// Folds are trained **in parallel** (`emoleak_exec`, `EMOLEAK_THREADS`
+/// workers). The fold assignment is drawn sequentially up front, each fold
+/// trains on its own data copies, and the per-fold confusion matrices are
+/// merged in fold order — integer counts whose merge is order-independent
+/// anyway, so the worker count cannot affect the result. Per-sample
+/// *gradient* accumulation inside a classifier is never parallelized: see
+/// `gradient_accumulation_order_is_part_of_the_contract` below for why.
+///
 /// # Panics
 ///
 /// Panics if `k < 2` or the dataset is smaller than `k`.
-pub fn cross_validate<C: Classifier>(
-    make_clf: impl Fn() -> C,
+pub fn cross_validate<C: Classifier + Send>(
+    make_clf: impl Fn() -> C + Sync,
     x: &[Vec<f64>],
     y: &[usize],
     class_names: &[String],
@@ -158,7 +166,7 @@ pub fn cross_validate<C: Classifier>(
 ) -> Evaluation {
     assert!(k >= 2, "need at least 2 folds");
     assert!(x.len() >= k, "dataset smaller than fold count");
-    // Stratified fold assignment.
+    // Stratified fold assignment: sequential, before any parallelism.
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -170,26 +178,34 @@ pub fn cross_validate<C: Classifier>(
             fold_of[i] = pos % k;
         }
     }
-    let mut confusion = ConfusionMatrix::new(class_names.to_vec());
-    for fold in 0..k {
-        let (mut tx, mut ty, mut vx, mut vy) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        for i in 0..x.len() {
-            if fold_of[i] == fold {
-                vx.push(x[i].clone());
-                vy.push(y[i]);
-            } else {
-                tx.push(x[i].clone());
-                ty.push(y[i]);
+    let folds: Vec<usize> = (0..k).collect();
+    let per_fold: Vec<Option<ConfusionMatrix>> =
+        emoleak_exec::par_map_indexed(&folds, |_, &fold| {
+            let (mut tx, mut ty, mut vx, mut vy) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            for i in 0..x.len() {
+                if fold_of[i] == fold {
+                    vx.push(x[i].clone());
+                    vy.push(y[i]);
+                } else {
+                    tx.push(x[i].clone());
+                    ty.push(y[i]);
+                }
             }
-        }
-        if vx.is_empty() || tx.is_empty() {
-            continue;
-        }
-        let mut clf = make_clf();
-        clf.fit(&tx, &ty, class_names.len());
-        for (xi, &yi) in vx.iter().zip(&vy) {
-            confusion.record(yi, clf.predict(xi));
-        }
+            if vx.is_empty() || tx.is_empty() {
+                return None;
+            }
+            let mut clf = make_clf();
+            clf.fit(&tx, &ty, class_names.len());
+            let mut confusion = ConfusionMatrix::new(class_names.to_vec());
+            for (xi, &yi) in vx.iter().zip(&vy) {
+                confusion.record(yi, clf.predict(xi));
+            }
+            Some(confusion)
+        });
+    let mut confusion = ConfusionMatrix::new(class_names.to_vec());
+    for fold_cm in per_fold.into_iter().flatten() {
+        confusion.merge(&fold_cm);
     }
     Evaluation { accuracy: confusion.accuracy(), confusion }
 }
@@ -286,5 +302,60 @@ mod tests {
     fn one_fold_is_rejected() {
         let (x, y) = blobs();
         cross_validate(Logistic::default, &x, &y, &["a".into(), "b".into()], 1, 0);
+    }
+
+    #[test]
+    fn cross_validation_is_worker_count_invariant() {
+        let (x, y) = blobs();
+        let names = vec!["a".to_string(), "b".to_string()];
+        let baseline = emoleak_exec::with_threads(1, || {
+            cross_validate(Logistic::default, &x, &y, &names, 5, 7)
+        });
+        for n in [2, 8] {
+            let ev = emoleak_exec::with_threads(n, || {
+                cross_validate(Logistic::default, &x, &y, &names, 5, 7)
+            });
+            assert_eq!(ev.confusion.counts(), baseline.confusion.counts(), "{n} workers");
+            assert_eq!(ev.accuracy.to_bits(), baseline.accuracy.to_bits(), "{n} workers");
+        }
+    }
+
+    /// Why per-sample gradient accumulation is never parallelized.
+    ///
+    /// IEEE-754 addition is not associative, so a parallel (or merely
+    /// reordered) reduction over per-sample gradient contributions produces
+    /// a bitwise-different sum, which after thousands of gradient steps
+    /// amplifies into different logistic-regression weights and eventually
+    /// different predictions near the decision boundary. The fix used
+    /// throughout this workspace is `emoleak_exec::sum_ordered`: combine
+    /// parallel partial results *sequentially in index order*, which is
+    /// bit-identical to the serial loop regardless of worker count.
+    #[test]
+    fn gradient_accumulation_order_is_part_of_the_contract() {
+        // A logistic-gradient-shaped accumulation: residual * feature terms
+        // of wildly mixed magnitude, as produced by unnormalized features
+        // (clip energy ~1e4 next to spectral flatness ~1e-3).
+        let contributions: Vec<f64> = (0..64)
+            .map(|i| {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                sign * (10f64).powi((i % 9) as i32 - 4) * (1.0 + i as f64 * 0.01)
+            })
+            .collect();
+        let forward = emoleak_exec::sum_ordered(contributions.iter().copied());
+        let reversed = emoleak_exec::sum_ordered(contributions.iter().rev().copied());
+        // Same real-number sum, different float: the hazard is real on this
+        // data, so any reduction that lets worker scheduling pick the order
+        // would make training results depend on EMOLEAK_THREADS.
+        assert_ne!(
+            forward.to_bits(),
+            reversed.to_bits(),
+            "expected order-sensitive data; weaken the magnitudes if this fails"
+        );
+        // And the index-ordered fold is exactly the serial loop.
+        let mut serial = 0.0;
+        for c in &contributions {
+            serial += c;
+        }
+        assert_eq!(forward.to_bits(), serial.to_bits());
     }
 }

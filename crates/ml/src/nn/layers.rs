@@ -13,7 +13,10 @@ use super::tensor::Tensor;
 use rand::{Rng, SeedableRng};
 
 /// A differentiable layer.
-pub trait Layer {
+///
+/// `Send` is a supertrait so networks can move across `emoleak_exec`
+/// workers (parallel k-fold trains one CNN per fold on its own thread).
+pub trait Layer: Send {
     /// Forward pass. `training` toggles dropout/batch-norm behaviour.
     fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
 

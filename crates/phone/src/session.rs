@@ -202,25 +202,67 @@ impl RecordingSession {
     /// timestamps survive regularization, so windows stay aligned to within
     /// a few samples — and [`SessionTrace::window`] clamps spans that
     /// outlive a fault-shortened trace.
+    ///
+    /// One seed is drawn from `rng` and the rest of the recording runs on
+    /// per-clip derived streams (see
+    /// [`RecordingSession::record_session_seeded`]), so the channel noise
+    /// is identical however many workers record the session.
     pub fn record_session_logged<L: Clone, R: Rng + ?Sized>(
         &self,
         clips: impl IntoIterator<Item = (Vec<f64>, f64, L)>,
         rng: &mut R,
     ) -> (SessionTrace<L>, FaultLog) {
+        let session_seed = rng.next_u64();
+        self.record_session_seeded(clips.into_iter().collect(), session_seed)
+    }
+
+    /// Records one continuous session from an explicit seed, with each
+    /// clip's channel noise drawn from its own RNG stream derived from
+    /// `(seed, clip_index)` — the determinism contract that lets the clips
+    /// be simulated **in parallel** (worker count cannot affect the trace,
+    /// because no clip shares a random stream with any other, and the
+    /// posture-drift and fault-injection stages run on dedicated streams
+    /// over the concatenated trace in playback order).
+    pub fn record_session_seeded<L: Clone>(
+        &self,
+        clips: Vec<(Vec<f64>, f64, L)>,
+        seed: u64,
+    ) -> (SessionTrace<L>, FaultLog) {
+        use rand::SeedableRng;
+        // Dedicated streams: clip i uses stream i; whole-trace stages use
+        // high-bit streams that no clip index can reach.
+        const DRIFT_STREAM: u64 = 1 << 63;
+        const FAULT_STREAM: u64 = (1 << 63) | 1;
         let fs_out = self.delivered_rate();
+        let gap_len = (self.gap_s * fs_out) as usize;
+        let (payloads, label_payloads): (Vec<(Vec<f64>, f64)>, Vec<L>) = clips
+            .into_iter()
+            .map(|(audio, fs_audio, label)| ((audio, fs_audio), label))
+            .unzip();
+        // Per-clip recording (gap first, then the playback) on stream i.
+        let recorded: Vec<(Vec<f64>, Vec<f64>)> =
+            emoleak_exec::par_map_indexed(&payloads, |i, (audio, fs_audio)| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    emoleak_exec::derive_seed(seed, i as u64),
+                );
+                let silent = vec![0.0; (self.gap_s * fs_audio) as usize];
+                let gap_trace = self.record_clip_clean(&silent, *fs_audio, &mut rng);
+                let clip_trace = self.record_clip_clean(audio, *fs_audio, &mut rng);
+                (gap_trace.samples, clip_trace.samples)
+            });
+        // Concatenation in playback order — index-ordered, never
+        // completion-ordered.
         let mut samples: Vec<f64> = Vec::new();
         let mut labels = Vec::new();
-        let gap_len = (self.gap_s * fs_out) as usize;
-        for (audio, fs_audio, label) in clips {
-            // Gap before each clip: sensor noise only.
-            let silent = vec![0.0; (self.gap_s * fs_audio) as usize];
-            let gap_trace = self.record_clip_clean(&silent, fs_audio, rng);
-            samples.extend(gap_trace.samples.into_iter().take(gap_len));
+        for ((gap, clip), label) in recorded.into_iter().zip(label_payloads) {
+            samples.extend(gap.into_iter().take(gap_len));
             let start = samples.len();
-            let clip_trace = self.record_clip_clean(&audio, fs_audio, rng);
-            samples.extend(clip_trace.samples);
+            samples.extend(clip);
             labels.push(LabeledSpan { start, end: samples.len(), label });
         }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            emoleak_exec::derive_seed(seed, DRIFT_STREAM),
+        );
         // Handheld sessions additionally carry a continuous posture drift:
         // the holder's arm slowly settles and shifts over tens of seconds,
         // moving the gravity projection on the z axis. This is the slow
@@ -231,11 +273,14 @@ impl RecordingSession {
                 &mut samples,
                 fs_out,
                 6.0 * self.channel.motion_noise_std(),
-                rng,
+                &mut rng,
             );
         }
+        let mut fault_rng = rand::rngs::StdRng::seed_from_u64(
+            emoleak_exec::derive_seed(seed, FAULT_STREAM),
+        );
         let (trace, log) =
-            self.fault_and_regularize(AccelTrace { samples, fs: fs_out }, rng);
+            self.fault_and_regularize(AccelTrace { samples, fs: fs_out }, &mut fault_rng);
         (SessionTrace { trace, labels }, log)
     }
 }
@@ -424,6 +469,41 @@ mod tests {
             clip_rms > 2.0 * gap_rms,
             "alignment lost: clip {clip_rms} vs gap {gap_rms}"
         );
+    }
+
+    #[test]
+    fn seeded_session_is_identical_across_worker_counts() {
+        let clips: Vec<(Vec<f64>, f64, usize)> =
+            (0..6).map(|r| (tone_clip(4000), 8000.0, r)).collect();
+        let s = RecordingSession::new(
+            &DeviceProfile::oneplus_7t(),
+            SpeakerKind::EarSpeaker,
+            Placement::Handheld,
+        )
+        .with_faults(FaultProfile::handheld_walking());
+        let run = |n: usize| {
+            emoleak_exec::with_threads(n, || s.record_session_seeded(clips.clone(), 0xD5))
+        };
+        let (a, log_a) = run(1);
+        for n in [2, 8] {
+            let (b, log_b) = run(n);
+            let bits = |x: &[f64]| x.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.trace.samples), bits(&b.trace.samples), "{n} workers");
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(log_a, log_b);
+        }
+    }
+
+    #[test]
+    fn logged_session_draws_one_seed_then_delegates() {
+        // record_session_logged must equal record_session_seeded with the
+        // seed the caller's RNG would produce next.
+        let clips = vec![(tone_clip(4000), 8000.0, "anger")];
+        let mut r = rng(40);
+        let expected_seed = r.next_u64();
+        let (a, _) = session().record_session_logged(clips.clone(), &mut rng(40));
+        let (b, _) = session().record_session_seeded(clips, expected_seed);
+        assert_eq!(a, b);
     }
 
     #[test]

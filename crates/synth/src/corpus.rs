@@ -227,6 +227,25 @@ impl CorpusSpec {
         }
     }
 
+    /// Synthesizes the clip at flat index `i` of the
+    /// (speaker, emotion, repetition) iteration order — the random-access
+    /// twin of [`CorpusSpec::iter`], which lets parallel harvesters
+    /// synthesize any subset of the corpus independently while preserving
+    /// the exact clips (and clip order) of the sequential iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= total_clips()`.
+    pub fn clip_at(&self, i: usize) -> Clip {
+        assert!(i < self.total_clips(), "clip index {i} out of range");
+        let rep = self.clips_per_cell;
+        let emo = self.emotions.len();
+        let r = i % rep;
+        let e = (i / rep) % emo;
+        let s = i / (rep * emo);
+        self.clip(s, self.emotions[e], r)
+    }
+
     /// Iterates over all clips in (speaker, emotion, repetition) order,
     /// synthesizing lazily — the corpus is never materialized in memory.
     pub fn iter(&self) -> impl Iterator<Item = Clip> + '_ {
@@ -275,6 +294,22 @@ mod tests {
         let b = c.clip(1, Emotion::Happy, 1);
         assert_ne!(a.samples, b.samples);
         assert_eq!(a.emotion, b.emotion);
+    }
+
+    #[test]
+    fn clip_at_matches_iteration_order() {
+        let c = CorpusSpec::savee().with_clips_per_cell(2);
+        for (i, clip) in c.iter().enumerate() {
+            let random_access = c.clip_at(i);
+            assert_eq!(clip, random_access, "flat index {i} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn clip_at_rejects_out_of_range() {
+        let c = CorpusSpec::tess().with_clips_per_cell(1);
+        c.clip_at(c.total_clips());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!
 //! | crate | role |
 //! |---|---|
+//! | [`exec`] | deterministic work-stealing thread pool (`EMOLEAK_THREADS`) |
 //! | [`dsp`] | FFT, STFT, Butterworth filters, statistics |
 //! | [`synth`] | parametric emotional-speech corpora (SAVEE/TESS/CREMA-D substitutes) |
 //! | [`phone`] | vibration channel: speakers, chassis, accelerometer, motion noise |
@@ -42,6 +43,7 @@
 
 pub use emoleak_core as core;
 pub use emoleak_dsp as dsp;
+pub use emoleak_exec as exec;
 pub use emoleak_features as features;
 pub use emoleak_ml as ml;
 pub use emoleak_phone as phone;

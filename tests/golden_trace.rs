@@ -1,0 +1,164 @@
+//! Golden-trace regression tests: a reduced SAVEE-shaped campaign at a
+//! fixed seed, rendered to canonical JSON and compared byte-for-byte
+//! against fixtures under `tests/golden/`.
+//!
+//! These lock the *numbers* of the pipeline, not just its invariance: any
+//! change to synthesis, the vibration channel, region detection, feature
+//! extraction, fold assignment, or classifier training shifts the rendered
+//! bytes and fails here. Intentional changes are re-blessed with
+//!
+//! ```text
+//! EMOLEAK_BLESS=1 cargo test -p emoleak --test golden_trace
+//! ```
+//!
+//! Rendering notes: `f64` values use Rust's `{}` Display — the shortest
+//! string that round-trips the exact bits — so the fixture is a faithful,
+//! byte-stable encoding of the f64s (the vendored serde stub is a no-op,
+//! hence hand-rolled JSON).
+
+use emoleak::prelude::*;
+use emoleak_core::evaluate_features;
+use std::path::PathBuf;
+
+fn campaign() -> AttackScenario {
+    AttackScenario::table_top(
+        CorpusSpec::savee().with_clips_per_cell(2),
+        DeviceProfile::oneplus_7t(),
+    )
+}
+
+const CAMPAIGN_SEED_NOTE: &str =
+    "SAVEE-shaped, 2 clips/cell, OnePlus 7T, table-top, default scenario seed";
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+/// Compares `rendered` against the fixture, or rewrites the fixture when
+/// `EMOLEAK_BLESS=1`.
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var("EMOLEAK_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); generate it with EMOLEAK_BLESS=1 cargo test",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "pipeline output diverged from {} — if the change is intentional, \
+         re-bless with EMOLEAK_BLESS=1 cargo test -p emoleak --test golden_trace",
+        path.display()
+    );
+}
+
+fn render_f64(v: f64) -> String {
+    if v.is_nan() {
+        "\"NaN\"".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Canonical JSON for the per-emotion mean feature vectors of a harvest.
+fn render_feature_summary(h: &HarvestResult) -> String {
+    let d = h.features.dim();
+    let names = h.features.class_names();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"note\": \"{CAMPAIGN_SEED_NOTE}\",\n"));
+    out.push_str(&format!("  \"regions\": {},\n", h.features.len()));
+    out.push_str(&format!("  \"detection_rate\": {},\n", render_f64(h.detection_rate)));
+    out.push_str(&format!("  \"accel_fs\": {},\n", render_f64(h.accel_fs)));
+    out.push_str(&format!("  \"spectrograms\": {},\n", h.spectrograms.len()));
+    out.push_str("  \"per_emotion_mean_features\": {\n");
+    for (class, name) in names.iter().enumerate() {
+        let rows: Vec<&Vec<f64>> = h
+            .features
+            .features()
+            .iter()
+            .zip(h.features.labels())
+            .filter(|(_, &l)| l == class)
+            .map(|(r, _)| r)
+            .collect();
+        let mut means = Vec::with_capacity(d);
+        for col in 0..d {
+            // Index-ordered fold: the golden bytes must not depend on how
+            // the harvest was scheduled.
+            let sum = emoleak_exec::sum_ordered(rows.iter().map(|r| r[col]));
+            means.push(if rows.is_empty() { f64::NAN } else { sum / rows.len() as f64 });
+        }
+        out.push_str(&format!(
+            "    \"{name}\": [{}]{}\n",
+            means.iter().map(|&m| render_f64(m)).collect::<Vec<_>>().join(", "),
+            if class + 1 < names.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Canonical JSON for a classifier evaluation (accuracy + confusion counts).
+fn render_evaluation(kind: &str, eval: &Evaluation) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"note\": \"{CAMPAIGN_SEED_NOTE}\",\n"));
+    out.push_str(&format!("  \"classifier\": \"{kind}\",\n"));
+    out.push_str(&format!("  \"accuracy\": {},\n", render_f64(eval.accuracy)));
+    out.push_str(&format!(
+        "  \"classes\": [{}],\n",
+        eval.confusion
+            .class_names()
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"confusion\": [\n");
+    let counts = eval.confusion.counts();
+    for (i, row) in counts.iter().enumerate() {
+        out.push_str(&format!(
+            "    [{}]{}\n",
+            row.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
+            if i + 1 < counts.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[test]
+fn golden_feature_summary() {
+    let h = campaign().harvest().unwrap();
+    check_golden("savee_feature_summary.json", &render_feature_summary(&h));
+}
+
+#[test]
+fn golden_logistic_confusion() {
+    let h = campaign().harvest().unwrap();
+    let eval =
+        evaluate_features(&h.features, ClassifierKind::Logistic, Protocol::KFold(5), 0x90_1D)
+            .unwrap();
+    check_golden("savee_logistic_confusion.json", &render_evaluation("Logistic", &eval));
+}
+
+#[test]
+fn golden_handheld_feature_summary() {
+    // The handheld path exercises the continuous-session recorder (posture
+    // drift + session-level fault streams) — its own golden fixture.
+    let h = AttackScenario::handheld(
+        CorpusSpec::savee().with_clips_per_cell(2),
+        DeviceProfile::oneplus_7t(),
+    )
+    .harvest()
+    .unwrap();
+    check_golden("savee_handheld_feature_summary.json", &render_feature_summary(&h));
+}
