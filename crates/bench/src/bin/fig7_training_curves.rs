@@ -8,11 +8,11 @@ use emoleak_core::report::render_history;
 use emoleak_ml::nn::CnnClassifier;
 use emoleak_ml::Classifier;
 
-fn curves(name: &str, harvest: &emoleak_core::HarvestResult) {
+fn curves(name: &str, harvest: &emoleak_core::HarvestResult) -> Result<(), EmoleakError> {
     let mut features = harvest.features.clone();
     features.fit_normalization();
     let mut cnn =
-        CnnClassifier::new(cnn_train_config(), 0xF16).with_width_divisor(cnn_width_divisor());
+        CnnClassifier::new(cnn_train_config()?, 0xF16).with_width_divisor(cnn_width_divisor()?);
     cnn.fit(features.features(), features.labels(), features.num_classes());
     let history = cnn.history().expect("history recorded during fit");
     println!("\n[{name}]");
@@ -20,14 +20,15 @@ fn curves(name: &str, harvest: &emoleak_core::HarvestResult) {
     let first = history.train_loss.first().copied().unwrap_or(f64::NAN);
     let last = history.train_loss.last().copied().unwrap_or(f64::NAN);
     println!("training loss {first:.3} -> {last:.3} (decreasing: {})", last < first);
+    Ok(())
 }
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
     banner("Figure 7: CNN training curves (TESS, OnePlus 7T)", corpus.random_guess());
     let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest()?;
-    curves("loudspeaker (a, b)", &loud);
+    curves("loudspeaker (a, b)", &loud)?;
     let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest()?;
-    curves("ear speaker (c, d)", &ear);
+    curves("ear speaker (c, d)", &ear)?;
     Ok(())
 }

@@ -106,7 +106,8 @@ pub fn banner(title: &str, random_guess: f64) {
     println!(
         "(clips/cell = {}, CNN width divisor = {}, random guess = {:.2}%)",
         clips_per_cell(),
-        emoleak_core::pipeline::cnn_width_divisor(),
+        emoleak_core::pipeline::cnn_width_divisor()
+            .map_or_else(|e| format!("invalid ({e})"), |d| d.to_string()),
         random_guess * 100.0
     );
 }

@@ -9,6 +9,31 @@
 
 use emoleak_dsp::DspError;
 
+/// Identifies the corpus clip an error surfaced from, so a single bad
+/// utterance in a thousand-clip campaign is diagnosable from the error
+/// alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClipContext {
+    /// The corpus being played (e.g. `TESS`).
+    pub corpus: String,
+    /// Speaker index within the corpus.
+    pub speaker: u32,
+    /// The acted emotion of the clip.
+    pub emotion: String,
+    /// Clip index within the campaign (`CorpusSpec::clip_at` order).
+    pub clip: usize,
+}
+
+impl core::fmt::Display for ClipContext {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "corpus {} speaker {} emotion {} clip #{}",
+            self.corpus, self.speaker, self.emotion, self.clip
+        )
+    }
+}
+
 /// Errors produced by the harvest/evaluation pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EmoleakError {
@@ -21,6 +46,32 @@ pub enum EmoleakError {
     DegenerateDataset(String),
     /// A clip carried an emotion label missing from the corpus's class set.
     UnknownLabel(String),
+    /// An `EMOLEAK_*` environment knob is set to a malformed or
+    /// out-of-range value (e.g. `EMOLEAK_THREADS=abc`). Never silently
+    /// defaulted: a set knob either applies or errors.
+    Config(String),
+    /// An error localized to one corpus clip, wrapped with the clip's
+    /// identity so the failing utterance is diagnosable from the error
+    /// alone.
+    InClip {
+        /// Which clip the error surfaced from.
+        context: ClipContext,
+        /// The underlying error.
+        source: Box<EmoleakError>,
+    },
+}
+
+impl EmoleakError {
+    /// Wraps this error with the identity of the clip it surfaced from.
+    /// An error already carrying clip context is returned unchanged (the
+    /// innermost clip is the diagnostic one).
+    #[must_use]
+    pub fn in_clip(self, context: ClipContext) -> EmoleakError {
+        match self {
+            e @ EmoleakError::InClip { .. } => e,
+            e => EmoleakError::InClip { context, source: Box::new(e) },
+        }
+    }
 }
 
 impl core::fmt::Display for EmoleakError {
@@ -34,11 +85,28 @@ impl core::fmt::Display for EmoleakError {
             EmoleakError::UnknownLabel(label) => {
                 write!(f, "unknown emotion label: {label}")
             }
+            EmoleakError::Config(why) => write!(f, "bad configuration: {why}"),
+            EmoleakError::InClip { context, source } => {
+                write!(f, "{source} ({context})")
+            }
         }
     }
 }
 
-impl std::error::Error for EmoleakError {}
+impl std::error::Error for EmoleakError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmoleakError::InClip { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<emoleak_exec::EnvError> for EmoleakError {
+    fn from(e: emoleak_exec::EnvError) -> Self {
+        EmoleakError::Config(e.to_string())
+    }
+}
 
 impl From<DspError> for EmoleakError {
     fn from(e: DspError) -> Self {
@@ -57,5 +125,52 @@ mod tests {
         let e: EmoleakError = DspError::EmptyInput.into();
         assert!(matches!(e, EmoleakError::Dsp(_)));
         assert!(e.to_string().starts_with("dsp error"));
+    }
+
+    fn ctx() -> ClipContext {
+        ClipContext { corpus: "TESS".into(), speaker: 1, emotion: "anger".into(), clip: 17 }
+    }
+
+    #[test]
+    fn clip_context_is_visible_in_the_message() {
+        let e = EmoleakError::UnknownLabel("surprise".into()).in_clip(ctx());
+        let msg = e.to_string();
+        assert!(msg.contains("surprise"), "{msg}");
+        assert!(msg.contains("TESS"), "{msg}");
+        assert!(msg.contains("speaker 1"), "{msg}");
+        assert!(msg.contains("anger"), "{msg}");
+        assert!(msg.contains("clip #17"), "{msg}");
+    }
+
+    #[test]
+    fn in_clip_does_not_double_wrap() {
+        let inner = EmoleakError::UnknownLabel("x".into()).in_clip(ctx());
+        let rewrapped = inner.clone().in_clip(ClipContext {
+            corpus: "other".into(),
+            speaker: 9,
+            emotion: "sad".into(),
+            clip: 2,
+        });
+        assert_eq!(inner, rewrapped, "innermost clip context wins");
+    }
+
+    #[test]
+    fn env_errors_become_config_errors() {
+        let env = emoleak_exec::EnvError {
+            name: "EMOLEAK_THREADS".into(),
+            value: "abc".into(),
+            expected: "a positive integer",
+        };
+        let e: EmoleakError = env.into();
+        assert!(matches!(e, EmoleakError::Config(_)));
+        assert!(e.to_string().contains("EMOLEAK_THREADS"));
+        assert!(e.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn in_clip_exposes_source() {
+        use std::error::Error;
+        let e = EmoleakError::UnknownLabel("x".into()).in_clip(ctx());
+        assert!(e.source().is_some());
     }
 }

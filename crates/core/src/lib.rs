@@ -39,20 +39,33 @@
 
 pub mod error;
 pub mod mitigation;
+pub mod online;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;
 
-pub use error::EmoleakError;
+pub use error::{ClipContext, EmoleakError};
+pub use online::{
+    extract_window, InferenceLevel, ModelBundle, RecordedCampaign, RegionFeatures, Verdict,
+    WindowExtraction,
+};
 pub use pipeline::{
     evaluate_feature_grid, evaluate_features, evaluate_spectrograms, ClassifierKind,
     HarvestResult, Protocol,
 };
 pub use scenario::{AttackScenario, Setting};
 
+#[cfg(test)]
+pub(crate) mod test_support {
+    /// Serializes unit tests that mutate `EMOLEAK_*` process env vars, so
+    /// they cannot race tests reading the same knobs on sibling threads.
+    pub static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}
+
 /// Convenient re-exports for examples and benches.
 pub mod prelude {
-    pub use crate::error::EmoleakError;
+    pub use crate::error::{ClipContext, EmoleakError};
+    pub use crate::online::{InferenceLevel, ModelBundle, RecordedCampaign, Verdict};
     pub use crate::pipeline::{
         evaluate_feature_grid, evaluate_features, evaluate_spectrograms, ClassifierKind,
         HarvestResult, Protocol,

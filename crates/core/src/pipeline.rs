@@ -9,21 +9,14 @@
 use crate::error::EmoleakError;
 use crate::scenario::AttackScenario;
 use emoleak_features::spectrogram::SpectrogramGenerator;
-use emoleak_features::{all_feature_names, extract_all, FeatureDataset, LabeledSpectrogram};
+use emoleak_features::{all_feature_names, FeatureDataset, LabeledSpectrogram};
 use emoleak_ml::eval::{cross_validate, train_test_evaluate, ConfusionMatrix, Evaluation};
 use emoleak_ml::nn::{spectrogram_cnn_scaled, CnnClassifier, Tensor, TrainConfig, TrainingHistory};
 use emoleak_ml::{forest::RandomForest, lmt::Lmt, logistic::Logistic, one_vs_rest::OneVsRest,
     subspace::RandomSubspace, Classifier};
-use emoleak_phone::session::RecordingSession;
 use emoleak_phone::FaultLog;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-
-/// One clip's trace window with its ground-truth speech spans and label.
-type LabeledWindow = (Vec<f64>, Vec<(usize, usize)>, usize);
-/// A clip queued for continuous-session recording: samples, sample rate,
-/// and the (label, ground-truth spans) payload carried through the session.
-type SessionClip = (Vec<f64>, f64, (usize, Vec<(usize, usize)>));
 
 /// Everything the attacker extracts from one recording campaign.
 #[derive(Debug, Clone)]
@@ -72,134 +65,44 @@ impl AttackScenario {
     ///
     /// Returns [`EmoleakError::UnknownLabel`] if a corpus clip carries an
     /// emotion missing from the corpus's own class set (a corpus-construction
-    /// bug, not a channel condition).
+    /// bug, not a channel condition), wrapped in [`EmoleakError::InClip`]
+    /// identifying the offending clip.
     pub fn harvest(&self) -> Result<HarvestResult, EmoleakError> {
-        let session = RecordingSession::new(
-            &self.device,
-            self.setting.speaker_kind(),
-            self.setting.placement(),
-        )
-        .with_policy(self.policy)
-        .with_faults(self.faults.clone());
+        // Stage 1 — record (see `online::record_windows`).
+        let campaign = self.record_windows()?;
         let detector = self.setting.region_detector();
         let spec_gen = SpectrogramGenerator::for_accel();
-        let emotions = self.corpus.emotions().to_vec();
-        let class_names: Vec<String> = emotions.iter().map(|e| e.to_string()).collect();
-        let mut features = FeatureDataset::new(all_feature_names(), class_names);
-        let fs_out = session.delivered_rate();
-        let mut clip_faults = Vec::new();
-        let mut faults = FaultLog::default();
-
-        let label_of = |emotion: &emoleak_synth::Emotion| {
-            emotions
-                .iter()
-                .position(|e| e == emotion)
-                .ok_or_else(|| EmoleakError::UnknownLabel(emotion.to_string()))
-        };
-
-        // Stage 1 — record. Parallel over clip index; clip i synthesizes
-        // via `clip_at(i)` and draws channel noise from stream
-        // `derive_seed(seed, i)`, so scheduling cannot reorder any draw.
-        // Produces (trace window, ground-truth spans within it, label).
-        let clip_indices: Vec<usize> = (0..self.corpus.total_clips()).collect();
-        let mut windows: Vec<LabeledWindow> = Vec::new();
-        match self.setting {
-            crate::scenario::Setting::TableTopLoudspeaker => {
-                let recorded: Vec<Result<(LabeledWindow, FaultLog), EmoleakError>> =
-                    emoleak_exec::par_map_indexed(&clip_indices, |_, &i| {
-                        let clip = self.corpus.clip_at(i);
-                        let label = label_of(&clip.emotion)?;
-                        let mut rng = rand::rngs::StdRng::seed_from_u64(
-                            emoleak_exec::derive_seed(self.seed, i as u64),
-                        );
-                        let (trace, log) =
-                            session.record_clip_logged(&clip.samples, clip.fs, &mut rng);
-                        let scale = trace.fs / clip.fs;
-                        let truth = rescale_spans(&clip.voiced_spans, scale);
-                        Ok(((trace.samples, truth, label), log))
-                    });
-                for r in recorded {
-                    let (window, log) = r?;
-                    faults.absorb(&log);
-                    if !self.faults.is_noop() {
-                        clip_faults.push(log);
-                    }
-                    windows.push(window);
-                }
-            }
-            crate::scenario::Setting::HandheldEarSpeaker => {
-                // Synthesis is parallel per clip; the continuous recording
-                // itself derives per-clip streams internally
-                // (`record_session_seeded`), since posture drift spans
-                // clip boundaries and must stay a single whole-session
-                // stream.
-                let synthesized: Vec<Result<SessionClip, EmoleakError>> =
-                    emoleak_exec::par_map_indexed(&clip_indices, |_, &i| {
-                        let clip = self.corpus.clip_at(i);
-                        let label = label_of(&clip.emotion)?;
-                        let scale = fs_out / clip.fs;
-                        let truth = rescale_spans(&clip.voiced_spans, scale);
-                        Ok((clip.samples, clip.fs, (label, truth)))
-                    });
-                let mut clips: Vec<SessionClip> = Vec::with_capacity(synthesized.len());
-                for c in synthesized {
-                    clips.push(c?);
-                }
-                let session_seed =
-                    rand::rngs::StdRng::seed_from_u64(self.seed).next_u64();
-                let (st, log) = session.record_session_seeded(clips, session_seed);
-                faults.absorb(&log);
-                if !self.faults.is_noop() {
-                    clip_faults.push(log);
-                }
-                for (i, span) in st.labels.iter().enumerate() {
-                    let window = st.window(i).to_vec();
-                    let (label, truth) = span.label.clone();
-                    windows.push((window, truth, label));
-                }
-            }
-        }
+        let mut features =
+            FeatureDataset::new(all_feature_names(), campaign.class_names.clone());
+        let fs_out = campaign.fs;
 
         // Stage 2 — detect + extract. Parallel over windows; pure DSP with
-        // no RNG, combined strictly in window order below.
-        struct WindowHarvest {
-            rows: Vec<(Vec<f64>, usize)>,
-            specs: Vec<LabeledSpectrogram>,
-            truth_count: usize,
-            hit: f64,
-        }
-        let processed: Vec<WindowHarvest> =
-            emoleak_exec::par_map_indexed(&windows, |_, (window, truth, label)| {
-                let regions = detector.detect(window, fs_out);
-                let rate = emoleak_features::regions::detection_rate(&regions, truth);
-                let hit =
-                    if rate.is_finite() { rate * truth.len() as f64 } else { 0.0 };
-                let mut rows = Vec::new();
-                let mut specs = Vec::new();
-                for &(start, end) in &regions {
-                    let end = end.min(window.len());
-                    let start = start.min(end);
-                    let region = &window[start..end];
-                    if region.is_empty() {
-                        continue;
-                    }
-                    rows.push((extract_all(region, fs_out), *label));
-                    if let Some(img) = spec_gen.generate(region, fs_out, *label) {
-                        specs.push(img);
-                    }
-                }
-                WindowHarvest { rows, specs, truth_count: truth.len(), hit }
+        // no RNG, combined strictly in window order below. The per-window
+        // body is `online::extract_window`, shared verbatim with the
+        // streaming service so batch and online features are identical.
+        let processed: Vec<crate::online::WindowExtraction> =
+            emoleak_exec::par_map_indexed(&campaign.windows, |_, (window, _truth, label)| {
+                crate::online::extract_window(window, fs_out, &detector, Some(&spec_gen), *label)
             });
-        let truth_total: usize = processed.iter().map(|w| w.truth_count).sum();
+        let truth_total: usize = campaign.windows.iter().map(|(_, t, _)| t.len()).sum();
         // f64 addition is order-sensitive; fold the per-window hit mass in
         // index order so worker count cannot change the last bit.
-        let truth_hit = emoleak_exec::sum_ordered(processed.iter().map(|w| w.hit));
+        let truth_hit =
+            emoleak_exec::sum_ordered(processed.iter().zip(&campaign.windows).map(
+                |(ex, (_, truth, _))| {
+                    let rate =
+                        emoleak_features::regions::detection_rate(&ex.regions, truth);
+                    if rate.is_finite() { rate * truth.len() as f64 } else { 0.0 }
+                },
+            ));
         let mut spectrograms = Vec::new();
-        for w in processed {
-            for (row, label) in w.rows {
-                features.push(row, label);
+        for (ex, (_, _, label)) in processed.into_iter().zip(&campaign.windows) {
+            for rf in ex.rows {
+                features.push(rf.features, *label);
+                if let Some(img) = rf.spectrogram {
+                    spectrograms.push(img);
+                }
             }
-            spectrograms.extend(w.specs);
         }
         features.clean_invalid();
         Ok(HarvestResult {
@@ -211,17 +114,10 @@ impl AttackScenario {
                 truth_hit / truth_total as f64
             },
             accel_fs: fs_out,
-            clip_faults,
-            faults,
+            clip_faults: campaign.clip_faults,
+            faults: campaign.faults,
         })
     }
-}
-
-fn rescale_spans(spans: &[(usize, usize)], scale: f64) -> Vec<(usize, usize)> {
-    spans
-        .iter()
-        .map(|&(s, e)| ((s as f64 * scale) as usize, (e as f64 * scale) as usize))
-        .collect()
 }
 
 /// The five classifier families of the paper's tables.
@@ -283,34 +179,56 @@ pub enum Protocol {
 /// CNN cost controls: width divisor 1 is the paper-exact architecture; the
 /// default divisor 4 keeps single-core runtimes practical with the same
 /// layer structure. Overridable via `EMOLEAK_CNN_DIV` / `EMOLEAK_EPOCHS`.
-pub fn cnn_train_config() -> TrainConfig {
-    let epochs = std::env::var("EMOLEAK_EPOCHS")
-        .ok()
-        .and_then(|v| v.parse().ok())
+///
+/// # Errors
+///
+/// Returns [`EmoleakError::Config`] when `EMOLEAK_EPOCHS` is set to
+/// anything other than a positive integer. A set knob either applies or
+/// errors — it is never silently replaced by the default (same contract as
+/// `EMOLEAK_THREADS` in `emoleak_exec`).
+pub fn cnn_train_config() -> Result<TrainConfig, EmoleakError> {
+    let epochs =
+        emoleak_exec::parse_checked::<usize>("EMOLEAK_EPOCHS", "a positive integer", |&n| {
+            n > 0
+        })?
         .unwrap_or(40);
-    TrainConfig { epochs, batch_size: 16, learning_rate: 3e-3, seed: 0xC44 }
+    Ok(TrainConfig { epochs, batch_size: 16, learning_rate: 3e-3, seed: 0xC44 })
 }
 
 /// The CNN channel-width divisor for this run (`EMOLEAK_CNN_DIV`, default 4;
 /// set to 1 for the paper-exact architectures).
-pub fn cnn_width_divisor() -> usize {
-    std::env::var("EMOLEAK_CNN_DIV")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&d| d > 0)
-        .unwrap_or(4)
+///
+/// # Errors
+///
+/// Returns [`EmoleakError::Config`] when `EMOLEAK_CNN_DIV` is set to
+/// anything other than a positive integer.
+pub fn cnn_width_divisor() -> Result<usize, EmoleakError> {
+    Ok(
+        emoleak_exec::parse_checked::<usize>("EMOLEAK_CNN_DIV", "a positive integer", |&d| {
+            d > 0
+        })?
+        .unwrap_or(4),
+    )
 }
 
-fn make_classifier(kind: ClassifierKind, seed: u64) -> Box<dyn Classifier + Send> {
+/// Builds a classifier of `kind`. CNN settings are resolved (and their env
+/// knobs validated) once by the caller and passed in, so this stays
+/// infallible and cheap inside per-fold factory closures.
+fn make_classifier(
+    kind: ClassifierKind,
+    seed: u64,
+    cnn: Option<(TrainConfig, usize)>,
+) -> Box<dyn Classifier + Send> {
     match kind {
         ClassifierKind::Logistic => Box::new(Logistic::default()),
         ClassifierKind::MultiClass => Box::new(OneVsRest::default()),
         ClassifierKind::Lmt => Box::new(Lmt::default()),
         ClassifierKind::RandomForest => Box::new(RandomForest::new(60, 14, seed)),
         ClassifierKind::RandomSubspace => Box::new(RandomSubspace::new(30, 0.5, 12, seed)),
-        ClassifierKind::Cnn => Box::new(
-            CnnClassifier::new(cnn_train_config(), seed).with_width_divisor(cnn_width_divisor()),
-        ),
+        ClassifierKind::Cnn => {
+            let (config, divisor) = cnn.expect("CNN settings resolved by the caller");
+            Box::new(CnnClassifier::new(config, seed).with_width_divisor(divisor))
+        }
     }
 }
 
@@ -324,6 +242,9 @@ fn make_classifier(kind: ClassifierKind, seed: u64) -> Box<dyn Classifier + Send
 /// classes, a class with fewer than 2 rows (holdout), or fewer rows than
 /// folds (k-fold). Heavily faulted harvests routinely hit these conditions;
 /// callers should score such campaigns as random-guess performance.
+///
+/// For the CNN, returns [`EmoleakError::Config`] when `EMOLEAK_EPOCHS` or
+/// `EMOLEAK_CNN_DIV` is set to a malformed value.
 pub fn evaluate_features(
     features: &FeatureDataset,
     kind: ClassifierKind,
@@ -344,6 +265,12 @@ pub fn evaluate_features(
         )));
     }
     let class_names = features.class_names().to_vec();
+    // Resolve (and strictly validate) the CNN env knobs once, up front:
+    // the per-fold factory below must stay infallible.
+    let cnn = match kind {
+        ClassifierKind::Cnn => Some((cnn_train_config()?, cnn_width_divisor()?)),
+        _ => None,
+    };
     match protocol {
         Protocol::Holdout8020 => {
             if counts.iter().any(|&c| c > 0 && c < 2) {
@@ -359,7 +286,7 @@ pub fn evaluate_features(
             }
             let params = train.fit_normalization();
             test.apply_normalization(&params);
-            let mut clf = make_classifier(kind, seed);
+            let mut clf = make_classifier(kind, seed, cnn);
             Ok(train_test_evaluate(
                 clf.as_mut(),
                 train.features(),
@@ -379,7 +306,7 @@ pub fn evaluate_features(
             let mut normed = features.clone();
             normed.fit_normalization();
             Ok(cross_validate(
-                || BoxedClassifier { inner: make_classifier(kind, seed) },
+                || BoxedClassifier { inner: make_classifier(kind, seed, cnn.clone()) },
                 normed.features(),
                 normed.labels(),
                 &class_names,
@@ -439,7 +366,8 @@ pub fn evaluate_feature_grid(
 ///
 /// Returns [`EmoleakError::DegenerateDataset`] for fewer than 10 images or
 /// fewer than 2 represented classes (common outcomes of heavily faulted
-/// campaigns).
+/// campaigns), and [`EmoleakError::Config`] when `EMOLEAK_MAX_IMAGES`,
+/// `EMOLEAK_EPOCHS` or `EMOLEAK_CNN_DIV` is set to a malformed value.
 pub fn evaluate_spectrograms(
     spectrograms: &[LabeledSpectrogram],
     class_names: &[String],
@@ -467,11 +395,12 @@ pub fn evaluate_spectrograms(
     // Large campaigns produce thousands of images; single-core training
     // cost is linear in that count, so cap the per-class sample count
     // (stratified) at EMOLEAK_MAX_IMAGES/classes, default 600 total.
-    let max_images: usize = std::env::var("EMOLEAK_MAX_IMAGES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n >= 10)
-        .unwrap_or(600);
+    let max_images: usize = emoleak_exec::parse_checked::<usize>(
+        "EMOLEAK_MAX_IMAGES",
+        "an integer of at least 10",
+        |&n| n >= 10,
+    )?
+    .unwrap_or(600);
     let per_class = (max_images / class_names.len()).max(2);
     // Stratified 80/20 split by label.
     use rand::seq::SliceRandom;
@@ -496,8 +425,8 @@ pub fn evaluate_spectrograms(
     let test_x: Vec<Tensor> = test_idx.iter().map(|&i| to_tensor(i)).collect();
     let test_y: Vec<usize> = test_idx.iter().map(|&i| spectrograms[i].label).collect();
 
-    let mut net = spectrogram_cnn_scaled(class_names.len(), seed, cnn_width_divisor());
-    let history = net.fit(&train_x, &train_y, &test_x, &test_y, &cnn_train_config());
+    let mut net = spectrogram_cnn_scaled(class_names.len(), seed, cnn_width_divisor()?);
+    let history = net.fit(&train_x, &train_y, &test_x, &test_y, &cnn_train_config()?);
     let mut confusion = ConfusionMatrix::new(class_names.to_vec());
     for (x, &y) in test_x.iter().zip(&test_y) {
         confusion.record(y, net.predict(x));
@@ -601,6 +530,53 @@ mod tests {
             Err(EmoleakError::DegenerateDataset(_)) => {} // expected outcome
             Err(e) => panic!("unexpected error: {e}"),
         }
+    }
+
+    fn restore_env(name: &str, prior: Result<String, std::env::VarError>) {
+        match prior {
+            Ok(v) => std::env::set_var(name, v),
+            Err(_) => std::env::remove_var(name),
+        }
+    }
+
+    #[test]
+    fn malformed_env_knobs_error_not_default() {
+        let _guard = crate::test_support::ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+
+        let prior = std::env::var("EMOLEAK_EPOCHS");
+        for bad in ["abc", "0", "-3", "4.5", ""] {
+            std::env::set_var("EMOLEAK_EPOCHS", bad);
+            let err = cnn_train_config().unwrap_err();
+            assert!(matches!(err, EmoleakError::Config(_)), "{bad:?}: {err}");
+            assert!(err.to_string().contains("EMOLEAK_EPOCHS"), "{err}");
+        }
+        std::env::set_var("EMOLEAK_EPOCHS", "12");
+        assert_eq!(cnn_train_config().unwrap().epochs, 12);
+        restore_env("EMOLEAK_EPOCHS", prior);
+        assert!(cnn_train_config().is_ok(), "ambient env must stay valid");
+
+        let prior = std::env::var("EMOLEAK_CNN_DIV");
+        std::env::set_var("EMOLEAK_CNN_DIV", "zero");
+        assert!(matches!(cnn_width_divisor(), Err(EmoleakError::Config(_))));
+        std::env::set_var("EMOLEAK_CNN_DIV", "2");
+        assert_eq!(cnn_width_divisor().unwrap(), 2);
+        restore_env("EMOLEAK_CNN_DIV", prior);
+
+        // Malformed knobs surface through the public evaluation entry
+        // points as typed Config errors, not as silently-defaulted runs.
+        let prior = std::env::var("EMOLEAK_MAX_IMAGES");
+        std::env::set_var("EMOLEAK_MAX_IMAGES", "lots");
+        let specs: Vec<LabeledSpectrogram> = (0..12)
+            .map(|i| LabeledSpectrogram {
+                pixels: vec![0.5; emoleak_features::spectrogram::IMAGE_SIZE.pow(2)],
+                label: i % 2,
+            })
+            .collect();
+        let out = evaluate_spectrograms(&specs, &["a".into(), "b".into()], 1);
+        assert!(matches!(out, Err(EmoleakError::Config(_))), "{out:?}");
+        restore_env("EMOLEAK_MAX_IMAGES", prior);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Strict environment-knob parsing.
+//!
+//! Every `EMOLEAK_*` knob used to be read with `parse().ok()`, which
+//! silently fell back to the default on garbage — `EMOLEAK_THREADS=abc`
+//! quietly ran on all cores, and a typo'd `EMOLEAK_EPOCHS` trained the
+//! default 40 epochs with no hint that the override was ignored. This
+//! module is the one shared parser: a set variable either parses and
+//! passes its validity check, or produces a typed [`EnvError`] that the
+//! caller can surface (`emoleak-core` wraps it in `EmoleakError::Config`)
+//! or log (`threads()` warns once on stderr and falls back, because it is
+//! called from infallible contexts).
+
+use std::str::FromStr;
+
+/// A malformed or out-of-range environment knob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The variable name, e.g. `EMOLEAK_THREADS`.
+    pub name: String,
+    /// The offending value as found in the environment.
+    pub value: String,
+    /// What was expected, e.g. `a positive integer`.
+    pub expected: &'static str,
+}
+
+impl core::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: expected {}",
+            self.name, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Reads and strictly parses environment variable `name`.
+///
+/// Returns `Ok(None)` when the variable is unset (callers apply their
+/// default), `Ok(Some(v))` when it parses **and** satisfies `valid`, and
+/// [`EnvError`] otherwise — a set-but-malformed knob is never silently
+/// ignored.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] (carrying the variable name, the offending value
+/// and `expected`) when the value does not parse as `T` or fails `valid`.
+pub fn parse_checked<T: FromStr>(
+    name: &str,
+    expected: &'static str,
+    valid: impl Fn(&T) -> bool,
+) -> Result<Option<T>, EnvError> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    match raw.parse::<T>() {
+        Ok(v) if valid(&v) => Ok(Some(v)),
+        _ => Err(EnvError { name: name.to_string(), value: raw, expected }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env mutation is process-global; each test uses its own variable name
+    // so parallel test threads cannot race.
+
+    #[test]
+    fn unset_is_none() {
+        assert_eq!(
+            parse_checked::<usize>("EMOLEAK_TEST_UNSET", "an integer", |_| true),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn valid_value_parses() {
+        std::env::set_var("EMOLEAK_TEST_VALID", "12");
+        assert_eq!(
+            parse_checked::<usize>("EMOLEAK_TEST_VALID", "an integer", |_| true),
+            Ok(Some(12))
+        );
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error() {
+        std::env::set_var("EMOLEAK_TEST_GARBAGE", "abc");
+        let err = parse_checked::<usize>("EMOLEAK_TEST_GARBAGE", "a positive integer", |_| true)
+            .unwrap_err();
+        assert_eq!(err.name, "EMOLEAK_TEST_GARBAGE");
+        assert_eq!(err.value, "abc");
+        assert!(err.to_string().contains("EMOLEAK_TEST_GARBAGE"));
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn out_of_range_is_a_typed_error() {
+        std::env::set_var("EMOLEAK_TEST_RANGE", "0");
+        let err =
+            parse_checked::<usize>("EMOLEAK_TEST_RANGE", "a positive integer", |&n| n > 0)
+                .unwrap_err();
+        assert_eq!(err.value, "0");
+    }
+}

@@ -30,10 +30,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
+pub mod env;
 pub mod pool;
 pub mod reduce;
 pub mod rng;
 
+pub use cancel::{CancellationToken, Deadline};
+pub use env::{parse_checked, EnvError};
 pub use pool::{par_map_indexed, threads, with_threads};
 pub use reduce::sum_ordered;
 pub use rng::{derive_seed, splitmix64};

@@ -49,16 +49,25 @@ thread_local! {
 /// The worker count parallel regions use, resolved in priority order:
 /// a [`with_threads`] override on this thread, then `EMOLEAK_THREADS`,
 /// then [`std::thread::available_parallelism`]. Always at least 1.
+///
+/// `EMOLEAK_THREADS` is parsed strictly (see [`crate::env`]): a malformed
+/// value (`abc`, `0`, `-2`) is not silently ignored — it is reported once
+/// on stderr, then the parallelism fallback applies. `threads()` stays
+/// infallible because it is called from contexts (Drop impls, worker
+/// loops) that cannot propagate an error; fallible callers should use
+/// [`crate::env::parse_checked`] directly and surface the typed error.
 pub fn threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
         return n.max(1);
     }
-    if let Some(n) = std::env::var("EMOLEAK_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
+    match crate::env::parse_checked::<usize>("EMOLEAK_THREADS", "a positive integer", |&n| n > 0)
     {
-        return n;
+        Ok(Some(n)) => return n,
+        Ok(None) => {}
+        Err(e) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("emoleak-exec: {e}; falling back to all cores"));
+        }
     }
     std::thread::available_parallelism().map_or(1, usize::from)
 }

@@ -47,6 +47,7 @@ pub mod device;
 pub mod faults;
 pub mod gyro;
 pub mod motion;
+pub mod replay;
 pub mod session;
 
 pub use accel::{AccelTrace, Accelerometer};
@@ -54,6 +55,7 @@ pub use android::{BatchingSpec, SamplingPolicy, ThermalThrottle};
 pub use chassis::{ChassisModel, ResonantMode};
 pub use device::{DeviceProfile, SpeakerKind, SpeakerSpec};
 pub use faults::{FaultLog, FaultProfile, TimedTrace};
+pub use replay::{ChunkedReplay, FlakyReplay, ReplayChunk, SourceDropout};
 pub use session::{LabeledSpan, RecordingSession, SessionTrace};
 
 use rand::Rng;

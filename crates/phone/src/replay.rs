@@ -1,0 +1,273 @@
+//! Chunked replay of recorded sessions — the sample feed for online
+//! inference.
+//!
+//! A live attacker does not get a whole campaign at once: the sensor HAL
+//! hands the zero-permission app small batches of accelerometer samples,
+//! and reads occasionally fail transiently (binder hiccups, listener
+//! re-registration after a foreground change). [`ChunkedReplay`] turns a
+//! recorded [`SessionTrace`] into exactly that shape — fixed-size chunks in
+//! playback order, tagged with their labeled window — and [`FlakyReplay`]
+//! layers seeded transient read failures on top with *at-least-once*
+//! delivery: a failed read retains its chunk, so a retried call returns the
+//! same samples and the replayed stream loses nothing.
+
+use crate::session::SessionTrace;
+
+/// A fixed-size batch of samples from one labeled window of a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayChunk<L> {
+    /// Index of the labeled window (= clip playback) this chunk belongs to.
+    pub window: usize,
+    /// Offset of the first sample within its window, samples.
+    pub offset: usize,
+    /// The samples: `chunk_len` of them, fewer at a window's tail.
+    pub samples: Vec<f64>,
+    /// The window's playback-time label.
+    pub label: L,
+    /// Whether this is the final chunk of its window.
+    pub last_in_window: bool,
+}
+
+/// Cuts a [`SessionTrace`] into per-window fixed-size chunks, in playback
+/// order.
+///
+/// Every labeled window appears, in order, as one or more chunks whose
+/// concatenated samples equal [`SessionTrace::window`] exactly; the last
+/// chunk of each window is flagged. A window emptied by fault injection
+/// still yields one empty flagged chunk, so downstream consumers see every
+/// window index exactly once — the property that keeps streaming output
+/// aligned with the batch pipeline's per-window iteration.
+#[derive(Debug, Clone)]
+pub struct ChunkedReplay<'a, L> {
+    session: &'a SessionTrace<L>,
+    chunk_len: usize,
+    window: usize,
+    offset: usize,
+}
+
+impl<L: Clone> SessionTrace<L> {
+    /// Replays this session as fixed-size chunks of at most `chunk_len`
+    /// samples (clamped to at least 1).
+    pub fn chunks(&self, chunk_len: usize) -> ChunkedReplay<'_, L> {
+        ChunkedReplay { session: self, chunk_len: chunk_len.max(1), window: 0, offset: 0 }
+    }
+}
+
+impl<L: Clone> Iterator for ChunkedReplay<'_, L> {
+    type Item = ReplayChunk<L>;
+
+    fn next(&mut self) -> Option<ReplayChunk<L>> {
+        let span = self.session.labels.get(self.window)?;
+        let window = self.session.window(self.window);
+        let start = self.offset;
+        let end = (start + self.chunk_len).min(window.len());
+        let last_in_window = end == window.len();
+        let chunk = ReplayChunk {
+            window: self.window,
+            offset: start,
+            samples: window[start..end].to_vec(),
+            label: span.label.clone(),
+            last_in_window,
+        };
+        if last_in_window {
+            self.window += 1;
+            self.offset = 0;
+        } else {
+            self.offset = end;
+        }
+        Some(chunk)
+    }
+}
+
+/// A transient sensor-read failure. The read can simply be retried: the
+/// source retained the chunk and will deliver it on the next successful
+/// call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceDropout {
+    /// How many consecutive reads have failed at this stream position
+    /// (1 on the first failure).
+    pub attempt: u32,
+}
+
+impl core::fmt::Display for SourceDropout {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "transient sensor read failure (attempt {})", self.attempt)
+    }
+}
+
+impl std::error::Error for SourceDropout {}
+
+/// A [`ChunkedReplay`] whose reads transiently fail with a seeded
+/// probability — the HAL-flakiness counterpart to the channel-level
+/// [`FaultProfile`](crate::FaultProfile).
+///
+/// Failures are *transient and lossless*: a failing [`FlakyReplay::read`]
+/// keeps the chunk it would have delivered, and the retried read returns
+/// exactly that chunk. Draining the source therefore yields the same chunk
+/// sequence as the clean replay regardless of where failures land, and the
+/// failure pattern is a pure function of `seed` (one `splitmix64` draw per
+/// read attempt), so every run is reproducible.
+#[derive(Debug, Clone)]
+pub struct FlakyReplay<'a, L> {
+    inner: ChunkedReplay<'a, L>,
+    fail_rate: f64,
+    seed: u64,
+    draws: u64,
+    pending: Option<ReplayChunk<L>>,
+    attempt: u32,
+}
+
+impl<'a, L: Clone> FlakyReplay<'a, L> {
+    /// Wraps `inner` so each read fails with probability `fail_rate`
+    /// (clamped to `[0, 0.95]` — a source that never succeeds would make
+    /// liveness unfalsifiable), deterministically in `seed`.
+    pub fn new(inner: ChunkedReplay<'a, L>, fail_rate: f64, seed: u64) -> Self {
+        FlakyReplay {
+            inner,
+            fail_rate: fail_rate.clamp(0.0, 0.95),
+            seed,
+            draws: 0,
+            pending: None,
+            attempt: 0,
+        }
+    }
+
+    /// Reads the next chunk: `Ok(None)` at end of stream, or a retryable
+    /// [`SourceDropout`].
+    ///
+    /// # Errors
+    ///
+    /// Fails transiently with probability `fail_rate` per call; the chunk
+    /// is retained and returned by the next successful call.
+    pub fn read(&mut self) -> Result<Option<ReplayChunk<L>>, SourceDropout> {
+        if self.pending.is_none() {
+            self.pending = self.inner.next();
+            if self.pending.is_none() {
+                // End of stream is delivered reliably: a dropout here
+                // would be indistinguishable from a wedged source.
+                return Ok(None);
+            }
+        }
+        let mut stream = emoleak_exec::derive_seed(self.seed, self.draws);
+        let roll = emoleak_exec::splitmix64(&mut stream);
+        self.draws += 1;
+        // 53-bit mantissa → uniform in [0, 1).
+        let uniform = (roll >> 11) as f64 / (1u64 << 53) as f64;
+        if uniform < self.fail_rate {
+            self.attempt += 1;
+            return Err(SourceDropout { attempt: self.attempt });
+        }
+        self.attempt = 0;
+        Ok(self.pending.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AccelTrace;
+    use crate::session::LabeledSpan;
+
+    fn session() -> SessionTrace<&'static str> {
+        let samples: Vec<f64> = (0..25).map(f64::from).collect();
+        SessionTrace {
+            trace: AccelTrace { samples, fs: 420.0 },
+            labels: vec![
+                LabeledSpan { start: 0, end: 10, label: "anger" },
+                LabeledSpan { start: 10, end: 10, label: "empty" },
+                LabeledSpan { start: 10, end: 25, label: "sad" },
+                LabeledSpan { start: 30, end: 40, label: "gone" }, // clamped away
+            ],
+        }
+    }
+
+    #[test]
+    fn chunks_reassemble_every_window_in_order() {
+        let st = session();
+        let chunks: Vec<_> = st.chunks(4).collect();
+        // Window 0: 10 samples → 3 chunks; window 1: empty → 1 chunk;
+        // window 2: 15 samples → 4 chunks; window 3: clamped empty → 1.
+        assert_eq!(chunks.len(), 3 + 1 + 4 + 1);
+        for w in 0..st.labels.len() {
+            let of_w: Vec<_> = chunks.iter().filter(|c| c.window == w).collect();
+            let rebuilt: Vec<f64> =
+                of_w.iter().flat_map(|c| c.samples.iter().copied()).collect();
+            assert_eq!(rebuilt, st.window(w), "window {w}");
+            let (last, rest) = of_w.split_last().unwrap();
+            assert!(last.last_in_window);
+            assert!(rest.iter().all(|c| !c.last_in_window));
+            assert!(of_w.iter().all(|c| c.label == st.labels[w].label));
+        }
+        // Offsets advance within a window.
+        assert_eq!(
+            chunks.iter().filter(|c| c.window == 0).map(|c| c.offset).collect::<Vec<_>>(),
+            vec![0, 4, 8]
+        );
+    }
+
+    #[test]
+    fn zero_chunk_len_is_clamped_not_an_infinite_loop() {
+        let st = session();
+        let n = st.chunks(0).take(1000).count();
+        assert!(n < 1000, "chunking must terminate");
+    }
+
+    #[test]
+    fn flaky_replay_is_lossless_and_deterministic() {
+        let st = session();
+        let clean: Vec<_> = st.chunks(4).collect();
+        let drain = |seed: u64| {
+            let mut flaky = FlakyReplay::new(st.chunks(4), 0.5, seed);
+            let mut out = Vec::new();
+            let mut dropouts = 0u32;
+            loop {
+                match flaky.read() {
+                    Ok(Some(c)) => out.push(c),
+                    Ok(None) => break,
+                    Err(e) => {
+                        assert!(e.attempt >= 1);
+                        dropouts += 1;
+                        assert!(dropouts < 10_000, "no livelock");
+                    }
+                }
+            }
+            (out, dropouts)
+        };
+        let (a, drops_a) = drain(0xF1);
+        assert_eq!(a, clean, "retries must not lose or duplicate chunks");
+        assert!(drops_a > 0, "rate 0.5 over {} reads must fail sometimes", clean.len());
+        let (b, drops_b) = drain(0xF1);
+        assert_eq!(a, b);
+        assert_eq!(drops_a, drops_b, "failure pattern is seed-deterministic");
+    }
+
+    #[test]
+    fn fail_rate_zero_matches_plain_iteration() {
+        let st = session();
+        let mut flaky = FlakyReplay::new(st.chunks(7), 0.0, 9);
+        let mut out = Vec::new();
+        while let Some(c) = flaky.read().expect("rate 0 never fails") {
+            out.push(c);
+        }
+        assert_eq!(out, st.chunks(7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn consecutive_failures_count_attempts() {
+        let st = session();
+        // Rate clamps at 0.95, so a long run still terminates; attempts
+        // must count up through a failure burst and reset on success.
+        let mut flaky = FlakyReplay::new(st.chunks(4), 1.0, 3);
+        let mut max_attempt = 0;
+        let mut reads = 0usize;
+        loop {
+            match flaky.read() {
+                Ok(Some(_)) => reads += 1,
+                Ok(None) => break,
+                Err(e) => max_attempt = max_attempt.max(e.attempt),
+            }
+        }
+        assert_eq!(reads, st.chunks(4).count());
+        assert!(max_attempt >= 2, "bursts of consecutive dropouts occur");
+    }
+}

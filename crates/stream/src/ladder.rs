@@ -1,0 +1,221 @@
+//! The deadline-miss degradation ladder.
+//!
+//! The online service promises a per-region classification deadline. When
+//! the current rung keeps missing it, a circuit breaker trips the service
+//! one rung down the quality ladder (CNN → classical → energy-only →
+//! shed); sustained headroom climbs back up — but only after a cooldown,
+//! and only against a much longer streak of met deadlines than the miss
+//! streak that degrades (hysteresis), so the ladder settles instead of
+//! oscillating every few regions.
+//!
+//! The ladder is a *pure state machine*: time enters only as the boolean
+//! "was the deadline missed", which the service computes (or, in tests,
+//! synthesizes). That keeps every transition unit-testable and every chaos
+//! run reproducible.
+
+use emoleak_core::online::InferenceLevel;
+
+/// Tuning for the degradation circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderConfig {
+    /// Consecutive deadline misses that trip one rung down.
+    pub degrade_after: u32,
+    /// Consecutive met deadlines that climb one rung up.
+    pub recover_after: u32,
+    /// Regions after any transition during which recovery is frozen
+    /// (degradation is never frozen — overload must always be escapable).
+    pub cooldown: u32,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        // recover_after ≫ degrade_after: climbing back is much harder than
+        // falling, the hysteresis that prevents flapping.
+        LadderConfig { degrade_after: 3, recover_after: 8, cooldown: 4 }
+    }
+}
+
+/// A recorded rung change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The rung before.
+    pub from: InferenceLevel,
+    /// The rung after.
+    pub to: InferenceLevel,
+}
+
+/// The degradation state machine. Feed it one [`observe`](DegradationLadder::observe)
+/// per classified region.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    config: LadderConfig,
+    level: InferenceLevel,
+    consecutive_misses: u32,
+    consecutive_meets: u32,
+    cooldown_left: u32,
+    best: InferenceLevel,
+}
+
+impl DegradationLadder {
+    /// A ladder starting (and topping out) at `best`.
+    pub fn new(config: LadderConfig, best: InferenceLevel) -> Self {
+        DegradationLadder {
+            config,
+            level: best,
+            consecutive_misses: 0,
+            consecutive_meets: 0,
+            cooldown_left: 0,
+            best,
+        }
+    }
+
+    /// The rung the next region should be classified at.
+    pub fn level(&self) -> InferenceLevel {
+        self.level
+    }
+
+    /// Records one region's deadline outcome; returns the transition it
+    /// caused, if any.
+    pub fn observe(&mut self, deadline_missed: bool) -> Option<Transition> {
+        self.cooldown_left = self.cooldown_left.saturating_sub(1);
+        if deadline_missed {
+            self.consecutive_meets = 0;
+            self.consecutive_misses += 1;
+            if self.consecutive_misses >= self.config.degrade_after
+                && self.level != InferenceLevel::Shed
+            {
+                return Some(self.shift(self.level.degraded()));
+            }
+        } else {
+            self.consecutive_misses = 0;
+            self.consecutive_meets += 1;
+            if self.consecutive_meets >= self.config.recover_after
+                && self.cooldown_left == 0
+                && self.level != self.best
+            {
+                return Some(self.shift(self.level.recovered().max(self.best)));
+            }
+        }
+        None
+    }
+
+    fn shift(&mut self, to: InferenceLevel) -> Transition {
+        let t = Transition { from: self.level, to };
+        self.level = to;
+        self.consecutive_misses = 0;
+        self.consecutive_meets = 0;
+        self.cooldown_left = self.config.cooldown;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use InferenceLevel::*;
+
+    fn ladder() -> DegradationLadder {
+        DegradationLadder::new(LadderConfig::default(), Cnn)
+    }
+
+    #[test]
+    fn misses_trip_one_rung_at_a_time() {
+        let mut l = ladder();
+        assert_eq!(l.observe(true), None);
+        assert_eq!(l.observe(true), None);
+        assert_eq!(l.observe(true), Some(Transition { from: Cnn, to: Classical }));
+        assert_eq!(l.level(), Classical);
+        // The miss streak resets after a transition.
+        assert_eq!(l.observe(true), None);
+        assert_eq!(l.observe(true), None);
+        assert_eq!(l.observe(true), Some(Transition { from: Classical, to: EnergyOnly }));
+        for _ in 0..2 {
+            assert_eq!(l.observe(true), None);
+        }
+        assert_eq!(l.observe(true), Some(Transition { from: EnergyOnly, to: Shed }));
+        // Shed is the floor: further misses change nothing.
+        for _ in 0..10 {
+            assert_eq!(l.observe(true), None);
+        }
+        assert_eq!(l.level(), Shed);
+    }
+
+    #[test]
+    fn a_met_deadline_resets_the_miss_streak() {
+        let mut l = ladder();
+        l.observe(true);
+        l.observe(true);
+        assert_eq!(l.observe(false), None);
+        assert_eq!(l.observe(true), None);
+        assert_eq!(l.observe(true), None, "streak restarted after the meet");
+        assert_eq!(l.level(), Cnn);
+    }
+
+    #[test]
+    fn recovery_needs_a_long_streak_and_respects_cooldown() {
+        let cfg = LadderConfig { degrade_after: 2, recover_after: 5, cooldown: 3 };
+        let mut l = DegradationLadder::new(cfg, Cnn);
+        l.observe(true);
+        assert_eq!(l.observe(true).unwrap().to, Classical);
+        // Cooldown: the first `cooldown` meets cannot recover even once the
+        // meet streak is long enough.
+        let mut transitions = Vec::new();
+        for _ in 0..20 {
+            if let Some(t) = l.observe(false) {
+                transitions.push(t);
+            }
+        }
+        assert_eq!(transitions, vec![Transition { from: Classical, to: Cnn }]);
+        assert_eq!(l.level(), Cnn);
+        // And it never climbs above its best rung.
+        for _ in 0..50 {
+            assert_eq!(l.observe(false), None);
+        }
+        assert_eq!(l.level(), Cnn);
+    }
+
+    #[test]
+    fn degradation_ignores_cooldown() {
+        // Overload must always be escapable: a fresh transition's cooldown
+        // freezes recovery, never further degradation.
+        let cfg = LadderConfig { degrade_after: 2, recover_after: 4, cooldown: 10 };
+        let mut l = DegradationLadder::new(cfg, Cnn);
+        l.observe(true);
+        l.observe(true); // -> Classical, cooldown 10
+        l.observe(true);
+        assert_eq!(l.observe(true).unwrap().to, EnergyOnly);
+    }
+
+    #[test]
+    fn classical_best_never_climbs_to_cnn() {
+        let cfg = LadderConfig { degrade_after: 1, recover_after: 1, cooldown: 0 };
+        let mut l = DegradationLadder::new(cfg, Classical);
+        assert_eq!(l.observe(true).unwrap().to, EnergyOnly);
+        assert_eq!(l.observe(false).unwrap().to, Classical);
+        assert_eq!(l.observe(false), None, "tops out at its configured best");
+    }
+
+    #[test]
+    fn overload_oscillation_is_bounded_by_hysteresis() {
+        // Under permanent overload (every non-shed region misses), the
+        // ladder must spend almost all its time at Shed, not flap: shed
+        // regions always meet the deadline, so without hysteresis it would
+        // bounce Shed ↔ EnergyOnly every few regions.
+        let mut l = ladder();
+        let mut transitions = 0;
+        for _ in 0..1000 {
+            let missed = l.level() != Shed; // shedding is always fast
+            if l.observe(missed).is_some() {
+                transitions += 1;
+            }
+        }
+        // 3 rungs down, then bounded Shed↔EnergyOnly cycling: each full
+        // cycle needs ≥ recover_after + degrade_after observations.
+        let cfg = LadderConfig::default();
+        let cycle = (cfg.recover_after + cfg.degrade_after) as usize;
+        assert!(
+            transitions <= 3 + 2 * (1000 / cycle + 1),
+            "{transitions} transitions in 1000 regions is flapping"
+        );
+    }
+}

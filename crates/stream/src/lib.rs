@@ -1,0 +1,56 @@
+//! `emoleak-stream`: a resilient online inference service for the EmoLeak
+//! attack pipeline.
+//!
+//! Where `emoleak-core`'s batch pipeline harvests a whole recorded campaign
+//! at once, this crate classifies emotions *as the accelerometer stream
+//! arrives*: fixed-size chunks flow through bounded queues into incremental
+//! region detection, feature extraction, and per-region classification
+//! under a configurable deadline.
+//!
+//! The crate is built around the failure modes a long-lived service meets
+//! in the wild, each handled by a dedicated module:
+//!
+//! | failure | mechanism | module |
+//! |---|---|---|
+//! | transient source errors | seeded exponential backoff | [`retry`] |
+//! | slow consumers | bounded queues + explicit overflow policy | [`queue`] |
+//! | sustained overload | deadline-miss degradation ladder with hysteresis | [`ladder`] |
+//! | worker panics / wedges | supervision: restart, watchdog, abandon | [`supervisor`] |
+//!
+//! Everything the resilience machinery does is recorded in a deterministic
+//! [`ServiceLog`], and on a clean stream the service's emissions are
+//! byte-identical to a batch harvest of the same recording — degradation
+//! is observable and optional, never silent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ladder;
+pub mod log;
+pub mod queue;
+pub mod retry;
+pub mod service;
+pub mod source;
+pub mod supervisor;
+
+pub use ladder::{DegradationLadder, LadderConfig, Transition};
+pub use log::{ServiceEvent, ServiceLog};
+pub use queue::{BoundedQueue, OverflowPolicy, PopOutcome, PushOutcome};
+pub use retry::{retry_with_backoff, RetryError, RetryPolicy};
+pub use service::{
+    RegionEmission, StreamConfig, StreamError, StreamReport, StreamService, StreamStats,
+};
+pub use source::{FlakySource, ReplaySource, SampleSource, SourceChunk, SourceError};
+pub use supervisor::{
+    supervise, Heartbeat, Stage, StageCtx, SupervisionError, SupervisionReport,
+    SupervisorConfig,
+};
+
+/// Commonly used types for streaming consumers.
+pub mod prelude {
+    pub use crate::ladder::LadderConfig;
+    pub use crate::queue::OverflowPolicy;
+    pub use crate::service::{StreamConfig, StreamError, StreamReport, StreamService};
+    pub use crate::source::{FlakySource, ReplaySource, SampleSource};
+    pub use emoleak_core::online::{InferenceLevel, ModelBundle, Verdict};
+}

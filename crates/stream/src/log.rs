@@ -1,0 +1,166 @@
+//! The service log: a structured record of everything the resilience
+//! machinery did.
+//!
+//! Chaos assertions and operators both need to know *what the service did
+//! to survive* — which rungs it degraded through, how often retries saved a
+//! read, which workers panicked and were restarted. [`ServiceLog`] records
+//! those as typed events ordered by a logical clock (the running region /
+//! chunk counters), not wall-clock timestamps, so a clean-path run produces
+//! a byte-identical log every time.
+
+use crate::ladder::Transition;
+use emoleak_core::online::InferenceLevel;
+
+/// One resilience event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// The ladder tripped one rung down after consecutive deadline misses.
+    Degraded {
+        /// Region counter when the breaker tripped.
+        region: u64,
+        /// The transition taken.
+        transition: Transition,
+    },
+    /// The ladder climbed one rung back up after sustained headroom.
+    Recovered {
+        /// Region counter when recovery fired.
+        region: u64,
+        /// The transition taken.
+        transition: Transition,
+    },
+    /// A transient source failure was retried into a success.
+    SourceRecovered {
+        /// Chunk counter at the affected read.
+        chunk: u64,
+        /// Retries the read needed.
+        retries: u32,
+    },
+    /// A worker stage panicked and was restarted.
+    WorkerPanicked {
+        /// Stage name.
+        stage: &'static str,
+        /// Restarts of this stage so far (this one included).
+        restarts: u32,
+        /// The panic message, if it carried one.
+        message: String,
+    },
+    /// A worker stopped heartbeating and was abandoned + replaced.
+    WatchdogFired {
+        /// Stage name.
+        stage: &'static str,
+        /// Restarts of this stage so far (this one included).
+        restarts: u32,
+    },
+    /// A full queue evicted its oldest item (`DropOldest` policy).
+    ChunkDropped {
+        /// Total evictions on that queue so far.
+        total: u64,
+    },
+}
+
+/// An append-only, deterministic event log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceLog {
+    events: Vec<ServiceEvent>,
+}
+
+impl ServiceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ServiceLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: ServiceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in order.
+    pub fn events(&self) -> &[ServiceEvent] {
+        &self.events
+    }
+
+    /// The ladder transitions, in order.
+    pub fn transitions(&self) -> Vec<Transition> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ServiceEvent::Degraded { transition, .. }
+                | ServiceEvent::Recovered { transition, .. } => Some(*transition),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The lowest (worst) rung the ladder ever reached, if it ever moved.
+    pub fn worst_level(&self) -> Option<InferenceLevel> {
+        self.transitions().iter().map(|t| t.to).max()
+    }
+
+    /// Count of worker panics absorbed.
+    pub fn panics(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ServiceEvent::WorkerPanicked { .. }))
+            .count()
+    }
+
+    /// Count of watchdog-driven worker replacements.
+    pub fn watchdog_fires(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ServiceEvent::WatchdogFired { .. }))
+            .count()
+    }
+
+    /// Count of reads saved by retry.
+    pub fn source_recoveries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ServiceEvent::SourceRecovered { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use InferenceLevel::*;
+
+    #[test]
+    fn log_summarizes_by_event_kind() {
+        let mut log = ServiceLog::new();
+        log.push(ServiceEvent::SourceRecovered { chunk: 3, retries: 2 });
+        log.push(ServiceEvent::Degraded {
+            region: 10,
+            transition: Transition { from: Cnn, to: Classical },
+        });
+        log.push(ServiceEvent::Degraded {
+            region: 14,
+            transition: Transition { from: Classical, to: EnergyOnly },
+        });
+        log.push(ServiceEvent::WorkerPanicked {
+            stage: "extract",
+            restarts: 1,
+            message: "boom".into(),
+        });
+        log.push(ServiceEvent::Recovered {
+            region: 40,
+            transition: Transition { from: EnergyOnly, to: Classical },
+        });
+        assert_eq!(log.events().len(), 5);
+        assert_eq!(log.transitions().len(), 3);
+        assert_eq!(log.worst_level(), Some(EnergyOnly));
+        assert_eq!(log.panics(), 1);
+        assert_eq!(log.watchdog_fires(), 0);
+        assert_eq!(log.source_recoveries(), 1);
+    }
+
+    #[test]
+    fn untouched_log_reports_nothing() {
+        let log = ServiceLog::new();
+        assert!(log.events().is_empty());
+        assert_eq!(log.worst_level(), None);
+        assert_eq!(log.transitions(), Vec::new());
+    }
+}

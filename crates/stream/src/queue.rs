@@ -1,0 +1,321 @@
+//! Bounded SPSC/MPSC queues with explicit backpressure policy.
+//!
+//! Every hop in the streaming pipeline is a [`BoundedQueue`] — depth is
+//! capped by construction, so a slow consumer can never make the producer
+//! hoard unbounded memory. What happens at the cap is an explicit
+//! [`OverflowPolicy`], not an accident: block the producer (lossless, the
+//! default) or drop the oldest queued item and count it (bounded staleness
+//! for soft-real-time consumers).
+//!
+//! All waits are timed — there is no untimed `Condvar::wait` anywhere — so
+//! workers always regain control to check their cancellation token, and a
+//! lost wakeup can delay progress but never deadlock it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// What a full queue does with a new item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the producer until space frees up (lossless backpressure).
+    Block,
+    /// Evict the oldest queued item to admit the new one, counting the
+    /// eviction (freshness over completeness).
+    DropOldest,
+}
+
+/// Outcome of a push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Item admitted without loss.
+    Accepted,
+    /// Item admitted; the oldest queued item was evicted to make room.
+    DroppedOldest,
+    /// The queue is closed; the item was discarded.
+    Closed,
+}
+
+/// Outcome of a pop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PopOutcome<T> {
+    /// An item.
+    Item(T),
+    /// Nothing arrived within the timeout; the queue is still open.
+    TimedOut,
+    /// The queue is closed and drained — no more items will ever arrive.
+    Done,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    dropped: u64,
+    max_depth: usize,
+}
+
+/// A bounded FIFO connecting two pipeline stages.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to at least 1).
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                dropped: 0,
+                max_depth: 0,
+            }),
+            capacity: capacity.max(1),
+            policy,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pushes an item, applying the overflow policy. Under
+    /// [`OverflowPolicy::Block`] this waits at most `patience` for space
+    /// and returns `Err(item)` on timeout so the caller can check its
+    /// cancellation token and retry — the queue never parks a producer
+    /// indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back on a blocking-push timeout.
+    pub fn push(&self, item: T, patience: Duration) -> Result<PushOutcome, T> {
+        let mut state = self.lock();
+        if state.closed {
+            return Ok(PushOutcome::Closed);
+        }
+        let mut outcome = PushOutcome::Accepted;
+        if state.items.len() >= self.capacity {
+            match self.policy {
+                OverflowPolicy::DropOldest => {
+                    state.items.pop_front();
+                    state.dropped += 1;
+                    outcome = PushOutcome::DroppedOldest;
+                }
+                OverflowPolicy::Block => {
+                    let (s, wait) = self
+                        .not_full
+                        .wait_timeout_while(state, patience, |s| {
+                            !s.closed && s.items.len() >= self.capacity
+                        })
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = s;
+                    if state.closed {
+                        return Ok(PushOutcome::Closed);
+                    }
+                    if wait.timed_out() && state.items.len() >= self.capacity {
+                        return Err(item);
+                    }
+                }
+            }
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        state.max_depth = state.max_depth.max(depth);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(outcome)
+    }
+
+    /// Pops the next item, waiting at most `patience`.
+    pub fn pop(&self, patience: Duration) -> PopOutcome<T> {
+        let state = self.lock();
+        let (mut state, _) = self
+            .not_empty
+            .wait_timeout_while(state, patience, |s| s.items.is_empty() && !s.closed)
+            .unwrap_or_else(|e| e.into_inner());
+        match state.items.pop_front() {
+            Some(item) => {
+                drop(state);
+                self.not_full.notify_one();
+                PopOutcome::Item(item)
+            }
+            None if state.closed => PopOutcome::Done,
+            None => PopOutcome::TimedOut,
+        }
+    }
+
+    /// Closes the queue: future pushes are discarded, pops drain what is
+    /// left and then report [`PopOutcome::Done`]. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The deepest the queue has ever been (never exceeds capacity).
+    pub fn max_depth(&self) -> usize {
+        self.lock().max_depth
+    }
+
+    /// Items evicted under [`OverflowPolicy::DropOldest`].
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const TICK: Duration = Duration::from_millis(5);
+
+    #[test]
+    fn fifo_order_and_depth_accounting() {
+        let q = BoundedQueue::new(8, OverflowPolicy::Block);
+        for i in 0..5 {
+            assert_eq!(q.push(i, TICK), Ok(PushOutcome::Accepted));
+        }
+        assert_eq!(q.depth(), 5);
+        assert_eq!(q.max_depth(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(TICK), PopOutcome::Item(i));
+        }
+        assert_eq!(q.pop(TICK), PopOutcome::TimedOut);
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_and_counts() {
+        let q = BoundedQueue::new(3, OverflowPolicy::DropOldest);
+        for i in 0..3 {
+            q.push(i, TICK).unwrap();
+        }
+        assert_eq!(q.push(3, TICK), Ok(PushOutcome::DroppedOldest));
+        assert_eq!(q.push(4, TICK), Ok(PushOutcome::DroppedOldest));
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.depth(), 3, "depth never exceeds capacity");
+        assert_eq!(q.max_depth(), 3);
+        // Oldest went first: 0 and 1 are gone.
+        assert_eq!(q.pop(TICK), PopOutcome::Item(2));
+        assert_eq!(q.pop(TICK), PopOutcome::Item(3));
+        assert_eq!(q.pop(TICK), PopOutcome::Item(4));
+    }
+
+    #[test]
+    fn blocking_push_times_out_with_item_returned() {
+        let q = BoundedQueue::new(1, OverflowPolicy::Block);
+        q.push(1, TICK).unwrap();
+        let start = Instant::now();
+        assert_eq!(q.push(2, TICK), Err(2), "timeout hands the item back");
+        assert!(start.elapsed() >= TICK);
+    }
+
+    #[test]
+    fn blocking_push_wakes_when_consumer_drains() {
+        let q = Arc::new(BoundedQueue::new(1, OverflowPolicy::Block));
+        q.push(10, TICK).unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.pop(Duration::from_secs(1))
+            })
+        };
+        // Generous patience: the consumer frees a slot mid-wait.
+        assert_eq!(q.push(11, Duration::from_secs(5)), Ok(PushOutcome::Accepted));
+        assert_eq!(consumer.join().unwrap(), PopOutcome::Item(10));
+        assert_eq!(q.pop(TICK), PopOutcome::Item(11));
+    }
+
+    #[test]
+    fn close_drains_then_reports_done() {
+        let q = BoundedQueue::new(4, OverflowPolicy::Block);
+        q.push("a", TICK).unwrap();
+        q.close();
+        assert_eq!(q.push("b", TICK), Ok(PushOutcome::Closed));
+        assert_eq!(q.pop(TICK), PopOutcome::Item("a"));
+        assert_eq!(q.pop(TICK), PopOutcome::Done);
+        assert_eq!(q.pop(TICK), PopOutcome::Done);
+        q.close(); // idempotent
+    }
+
+    #[test]
+    fn close_wakes_blocked_parties() {
+        let q = Arc::new(BoundedQueue::new(1, OverflowPolicy::Block));
+        q.push(1, TICK).unwrap();
+        let blocked_producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2, Duration::from_secs(10)))
+        };
+        let blocked_consumer = {
+            let q = Arc::new(BoundedQueue::<u8>::new(1, OverflowPolicy::Block));
+            let q2 = Arc::clone(&q);
+            let h = std::thread::spawn(move || q2.pop(Duration::from_secs(10)));
+            std::thread::sleep(Duration::from_millis(10));
+            q.close();
+            h
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(blocked_producer.join().unwrap(), Ok(PushOutcome::Closed));
+        assert_eq!(blocked_consumer.join().unwrap(), PopOutcome::Done);
+    }
+
+    #[test]
+    fn mpsc_contention_loses_nothing_under_block_policy() {
+        let q = Arc::new(BoundedQueue::new(4, OverflowPolicy::Block));
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let mut item = p * 1000 + i;
+                        loop {
+                            match q.push(item, Duration::from_millis(50)) {
+                                Ok(_) => break,
+                                Err(back) => item = back,
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        while got.len() < 150 {
+            if let PopOutcome::Item(v) = q.pop(Duration::from_millis(100)) {
+                got.push(v);
+            }
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        got.sort_unstable();
+        let mut expected: Vec<i32> =
+            (0..3).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(q.max_depth() <= 4, "bound held under contention");
+    }
+}

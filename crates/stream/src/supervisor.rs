@@ -1,0 +1,462 @@
+//! Worker supervision: restart crashed stages, replace wedged ones.
+//!
+//! The streaming pipeline's stages run as plain `std` threads, so the two
+//! failure modes a long-lived service must survive are a **panic** (the
+//! thread dies) and a **wedge** (the thread lives but stops making
+//! progress). The supervisor handles both: every worker runs under
+//! `catch_unwind` and reports a heartbeat; the supervisor polls, restarts
+//! dead workers (bounded by a restart budget), and — since a `std` thread
+//! cannot be killed — *abandons* wedged ones after a watchdog timeout by
+//! cancelling their [`CancellationToken`] and spawning a replacement.
+//!
+//! Stages must therefore be written re-entrantly: all progress state lives
+//! in shared structures (queues, assembler, counters), so a replacement
+//! worker resumes where its predecessor stopped, and every wait is timed so
+//! a cooperating worker re-checks its token even when no data flows.
+
+use crate::log::{ServiceEvent, ServiceLog};
+use emoleak_exec::CancellationToken;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Supervision tuning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Restarts allowed *per stage* before the service gives up.
+    pub max_restarts: u32,
+    /// How long a worker may go without beating its heartbeat before it is
+    /// declared wedged and replaced.
+    pub watchdog: Duration,
+    /// Supervisor polling cadence.
+    pub poll: Duration,
+    /// Global bound on the whole run — the final liveness backstop: if the
+    /// pipeline stops converging for any reason, the run ends with
+    /// [`SupervisionError::Stalled`] instead of hanging.
+    pub run_timeout: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 3,
+            watchdog: Duration::from_secs(2),
+            poll: Duration::from_millis(2),
+            run_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// A worker's liveness signal. Cheap to clone; beat it at least once per
+/// loop iteration (including idle iterations).
+#[derive(Debug, Clone, Default)]
+pub struct Heartbeat {
+    count: Arc<AtomicU64>,
+}
+
+impl Heartbeat {
+    /// Signals one unit of progress (or liveness while idle).
+    pub fn beat(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotonic beat counter.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// What a running worker gets from the supervisor.
+#[derive(Debug, Clone)]
+pub struct StageCtx {
+    /// Cooperative stop signal: checked by the worker between items. Fired
+    /// when the worker is abandoned, or when the whole service shuts down
+    /// on a fatal error.
+    pub token: CancellationToken,
+    /// The worker's liveness signal.
+    pub heartbeat: Heartbeat,
+}
+
+/// A supervised pipeline stage: a name and a re-entrant work function.
+///
+/// The function is the *whole stage loop* — it runs until the stage's input
+/// is exhausted (clean completion) or its token fires. On restart the same
+/// function is invoked again with a fresh context.
+#[derive(Clone)]
+pub struct Stage {
+    name: &'static str,
+    work: Arc<dyn Fn(&StageCtx) + Send + Sync>,
+}
+
+impl Stage {
+    /// A named stage running `work`.
+    pub fn new(name: &'static str, work: impl Fn(&StageCtx) + Send + Sync + 'static) -> Self {
+        Stage { name, work: Arc::new(work) }
+    }
+
+    /// The stage's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl core::fmt::Debug for Stage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Stage").field("name", &self.name).finish()
+    }
+}
+
+/// Why supervision gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisionError {
+    /// One stage exceeded its restart budget.
+    TooManyRestarts {
+        /// The stage that kept dying.
+        stage: &'static str,
+        /// Restarts it consumed.
+        restarts: u32,
+    },
+    /// The run exceeded its global timeout without completing.
+    Stalled,
+}
+
+impl core::fmt::Display for SupervisionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SupervisionError::TooManyRestarts { stage, restarts } => {
+                write!(f, "stage '{stage}' exceeded its restart budget ({restarts} restarts)")
+            }
+            SupervisionError::Stalled => write!(f, "run exceeded its global timeout"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisionError {}
+
+/// What supervision absorbed while keeping the pipeline alive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionReport {
+    /// Worker restarts after panics.
+    pub panic_restarts: u32,
+    /// Worker replacements after watchdog timeouts.
+    pub watchdog_fires: u32,
+}
+
+struct Worker {
+    stage: Stage,
+    token: CancellationToken,
+    heartbeat: Heartbeat,
+    done: Arc<AtomicBool>,
+    panic_message: Arc<Mutex<Option<String>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    last_count: u64,
+    last_progress: Instant,
+    restarts: u32,
+    completed: bool,
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn spawn(stage: &Stage) -> Worker {
+    let token = CancellationToken::new();
+    let heartbeat = Heartbeat::default();
+    let done = Arc::new(AtomicBool::new(false));
+    let panic_message: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let ctx = StageCtx { token: token.clone(), heartbeat: heartbeat.clone() };
+    let work = Arc::clone(&stage.work);
+    let done_flag = Arc::clone(&done);
+    let message = Arc::clone(&panic_message);
+    let handle = std::thread::spawn(move || {
+        match catch_unwind(AssertUnwindSafe(|| work(&ctx))) {
+            Ok(()) => done_flag.store(true, Ordering::Release),
+            Err(payload) => {
+                *message.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some(panic_text(payload));
+            }
+        }
+    });
+    Worker {
+        stage: stage.clone(),
+        token,
+        heartbeat,
+        done,
+        panic_message,
+        handle: Some(handle),
+        last_count: 0,
+        last_progress: Instant::now(),
+        restarts: 0,
+        completed: false,
+    }
+}
+
+/// Runs `stages` to completion under supervision.
+///
+/// Resilience events (panics absorbed, watchdog replacements) are appended
+/// to `log`. Returns when every stage's work function has returned cleanly.
+///
+/// # Errors
+///
+/// [`SupervisionError::TooManyRestarts`] when a stage dies more than
+/// `max_restarts` times, [`SupervisionError::Stalled`] when the global
+/// `run_timeout` elapses first. Either way every worker token is cancelled
+/// before returning, so cooperating workers wind down.
+pub fn supervise(
+    stages: &[Stage],
+    config: &SupervisorConfig,
+    log: &Arc<Mutex<ServiceLog>>,
+) -> Result<SupervisionReport, SupervisionError> {
+    let started = Instant::now();
+    let mut report = SupervisionReport::default();
+    let mut workers: Vec<Worker> = stages.iter().map(spawn).collect();
+    let cancel_all = |workers: &mut [Worker]| {
+        for w in workers.iter() {
+            w.token.cancel();
+        }
+        // Join what can be joined so no cooperating worker outlives the
+        // call; genuinely wedged threads are left behind by design.
+        for w in workers.iter_mut() {
+            if let Some(h) = w.handle.take() {
+                if h.is_finished() {
+                    let _ = h.join();
+                }
+            }
+        }
+    };
+    loop {
+        if workers.iter().all(|w| w.completed) {
+            return Ok(report);
+        }
+        if started.elapsed() >= config.run_timeout {
+            cancel_all(&mut workers);
+            return Err(SupervisionError::Stalled);
+        }
+        for i in 0..workers.len() {
+            let w = &mut workers[i];
+            if w.completed {
+                continue;
+            }
+            let finished = w.handle.as_ref().is_none_or(|h| h.is_finished());
+            if finished {
+                if let Some(h) = w.handle.take() {
+                    let _ = h.join();
+                }
+                if w.done.load(Ordering::Acquire) {
+                    w.completed = true;
+                    continue;
+                }
+                // Panicked: restart if the budget allows.
+                w.restarts += 1;
+                report.panic_restarts += 1;
+                let message = w
+                    .panic_message
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .unwrap_or_default();
+                log.lock().unwrap_or_else(|e| e.into_inner()).push(
+                    ServiceEvent::WorkerPanicked {
+                        stage: w.stage.name,
+                        restarts: w.restarts,
+                        message,
+                    },
+                );
+                if w.restarts > config.max_restarts {
+                    let err = SupervisionError::TooManyRestarts {
+                        stage: w.stage.name,
+                        restarts: w.restarts,
+                    };
+                    cancel_all(&mut workers);
+                    return Err(err);
+                }
+                let restarts = w.restarts;
+                let mut fresh = spawn(&w.stage);
+                fresh.restarts = restarts;
+                workers[i] = fresh;
+            } else {
+                // Watchdog: no heartbeat progress for too long → abandon.
+                let count = w.heartbeat.count();
+                if count != w.last_count {
+                    w.last_count = count;
+                    w.last_progress = Instant::now();
+                } else if w.last_progress.elapsed() >= config.watchdog {
+                    w.token.cancel();
+                    w.restarts += 1;
+                    report.watchdog_fires += 1;
+                    log.lock().unwrap_or_else(|e| e.into_inner()).push(
+                        ServiceEvent::WatchdogFired {
+                            stage: w.stage.name,
+                            restarts: w.restarts,
+                        },
+                    );
+                    if w.restarts > config.max_restarts {
+                        let err = SupervisionError::TooManyRestarts {
+                            stage: w.stage.name,
+                            restarts: w.restarts,
+                        };
+                        cancel_all(&mut workers);
+                        return Err(err);
+                    }
+                    let restarts = w.restarts;
+                    let mut fresh = spawn(&w.stage);
+                    fresh.restarts = restarts;
+                    workers[i] = fresh; // old handle dropped: thread abandoned
+                }
+            }
+        }
+        std::thread::sleep(config.poll);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn test_config() -> SupervisorConfig {
+        SupervisorConfig {
+            max_restarts: 3,
+            watchdog: Duration::from_millis(60),
+            poll: Duration::from_millis(2),
+            run_timeout: Duration::from_secs(20),
+        }
+    }
+
+    fn fresh_log() -> Arc<Mutex<ServiceLog>> {
+        Arc::new(Mutex::new(ServiceLog::new()))
+    }
+
+    #[test]
+    fn clean_stages_complete_without_events() {
+        let log = fresh_log();
+        let hits = Arc::new(AtomicU32::new(0));
+        let stages: Vec<Stage> = (0..3)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                Stage::new("worker", move |ctx| {
+                    ctx.heartbeat.beat();
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let report = supervise(&stages, &test_config(), &log).unwrap();
+        assert_eq!(report, SupervisionReport::default());
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        assert!(log.lock().unwrap().events().is_empty());
+    }
+
+    #[test]
+    fn panicked_stage_is_restarted_and_recovers() {
+        let log = fresh_log();
+        let attempts = Arc::new(AtomicU32::new(0));
+        let a = Arc::clone(&attempts);
+        let stage = Stage::new("flaky", move |ctx| {
+            ctx.heartbeat.beat();
+            assert!(
+                a.fetch_add(1, Ordering::Relaxed) >= 2,
+                "intentional crash while warming up"
+            );
+        });
+        let report = supervise(&[stage], &test_config(), &log).unwrap();
+        assert_eq!(report.panic_restarts, 2);
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+        let log = log.lock().unwrap();
+        assert_eq!(log.panics(), 2);
+        // The panic message is captured into the log.
+        assert!(matches!(
+            &log.events()[0],
+            ServiceEvent::WorkerPanicked { stage: "flaky", restarts: 1, message }
+                if message.contains("intentional crash")
+        ));
+    }
+
+    #[test]
+    fn restart_budget_is_enforced() {
+        let log = fresh_log();
+        let stage = Stage::new("doomed", |ctx| {
+            ctx.heartbeat.beat();
+            panic!("always");
+        });
+        let err = supervise(&[stage], &test_config(), &log).unwrap_err();
+        assert_eq!(err, SupervisionError::TooManyRestarts { stage: "doomed", restarts: 4 });
+        assert_eq!(log.lock().unwrap().panics(), 4);
+    }
+
+    #[test]
+    fn wedged_stage_is_abandoned_and_replaced() {
+        let log = fresh_log();
+        let attempts = Arc::new(AtomicU32::new(0));
+        let a = Arc::clone(&attempts);
+        let stage = Stage::new("wedgy", move |ctx| {
+            ctx.heartbeat.beat();
+            if a.fetch_add(1, Ordering::Relaxed) == 0 {
+                // Wedge: stop beating but keep (cooperatively) sleeping.
+                // The watchdog must abandon this worker, not wait for it.
+                while !ctx.token.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        });
+        let report = supervise(&[stage], &test_config(), &log).unwrap();
+        assert_eq!(report.watchdog_fires, 1);
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+        assert_eq!(log.lock().unwrap().watchdog_fires(), 1);
+    }
+
+    #[test]
+    fn stalled_run_times_out_with_all_tokens_cancelled() {
+        let log = fresh_log();
+        let config = SupervisorConfig {
+            run_timeout: Duration::from_millis(80),
+            ..test_config()
+        };
+        let seen_cancel = Arc::new(AtomicU32::new(0));
+        let s = Arc::clone(&seen_cancel);
+        // Beats forever, never completes: only the global timeout stops it.
+        let stage = Stage::new("spinner", move |ctx| {
+            loop {
+                ctx.heartbeat.beat();
+                if ctx.token.is_cancelled() {
+                    s.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let err = supervise(&[stage], &config, &log).unwrap_err();
+        assert_eq!(err, SupervisionError::Stalled);
+        // The worker observed cancellation (possibly just after supervise
+        // returned; give it a beat).
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(seen_cancel.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn restarted_worker_resumes_shared_state() {
+        // The contract stages are written against: progress lives in
+        // shared state, so a replacement continues, not restarts.
+        let log = fresh_log();
+        let progress = Arc::new(AtomicU32::new(0));
+        let p = Arc::clone(&progress);
+        let stage = Stage::new("resumer", move |ctx| {
+            loop {
+                ctx.heartbeat.beat();
+                let n = p.fetch_add(1, Ordering::Relaxed) + 1;
+                assert!(n != 5, "crash mid-stream");
+                if n >= 10 {
+                    return;
+                }
+            }
+        });
+        supervise(&[stage], &test_config(), &log).unwrap();
+        assert_eq!(progress.load(Ordering::Relaxed), 10, "no work redone from scratch");
+    }
+}

@@ -17,7 +17,14 @@ fn main() -> Result<(), EmoleakError> {
     let faulted = clean.clone().with_faults(FaultProfile::handheld_walking());
 
     let accuracy = |scenario: &AttackScenario| -> Result<(f64, usize, FaultLog), EmoleakError> {
-        let h = scenario.harvest()?;
+        // Errors from inside a recording carry the clip they surfaced
+        // from — print it before bailing so a failed campaign is
+        // attributable to a specific (corpus, speaker, emotion, clip).
+        let h = scenario.harvest().inspect_err(|e| {
+            if let EmoleakError::InClip { context, .. } = e {
+                eprintln!("  harvest failed while recording {context}");
+            }
+        })?;
         let acc = match evaluate_features(
             &h.features,
             ClassifierKind::Logistic,

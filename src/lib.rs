@@ -17,6 +17,7 @@
 //! | [`features`] | speech-region detection, Table-II features, spectrograms |
 //! | [`ml`] | Weka-style classifiers and CNNs, from scratch |
 //! | [`core`] | the end-to-end attack pipeline, reports, mitigations |
+//! | [`stream`] | resilient online inference: bounded queues, supervision, degradation |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use emoleak_exec as exec;
 pub use emoleak_features as features;
 pub use emoleak_ml as ml;
 pub use emoleak_phone as phone;
+pub use emoleak_stream as stream;
 pub use emoleak_synth as synth;
 
 /// One-stop imports for examples and downstream users.
@@ -55,5 +57,6 @@ pub mod prelude {
     pub use emoleak_core::prelude::*;
     pub use emoleak_ml::Classifier;
     pub use emoleak_phone::{Placement, SpeakerKind};
+    pub use emoleak_stream::prelude::*;
     pub use emoleak_synth::{Emotion, Speaker};
 }

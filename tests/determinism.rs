@@ -101,3 +101,45 @@ fn evaluation_tables_are_worker_count_invariant() {
         assert_eq!(baseline, table, "evaluation grid at {n} threads");
     }
 }
+
+#[test]
+fn streaming_labels_are_worker_count_invariant() {
+    // The streaming service itself runs fixed supervised stages, but its
+    // inputs — the recorded campaign (parallel stage 1) and the trained
+    // bundle (parallel harvest) — come off the pool. Streamed labels must
+    // not depend on how many workers produced those inputs.
+    use emoleak::stream::{ReplaySource, StreamConfig, StreamService};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let run = || {
+        let scenario = AttackScenario::table_top(
+            CorpusSpec::tess().with_clips_per_cell(1),
+            DeviceProfile::oneplus_7t(),
+        )
+        .with_faults(FaultProfile::cheap_imu());
+        let campaign = scenario.record_windows().unwrap();
+        let bundle = Arc::new(ModelBundle::train(&scenario.harvest().unwrap(), 7).unwrap());
+        let service = StreamService::new(
+            bundle,
+            scenario.setting.region_detector(),
+            campaign.fs,
+            StreamConfig {
+                latency_override: Some([Duration::ZERO; 3]),
+                ..StreamConfig::default()
+            },
+        );
+        let report = service
+            .run(Box::new(ReplaySource::from_campaign(&campaign, 256)))
+            .unwrap();
+        report
+            .emissions
+            .iter()
+            .map(|e| (e.window, e.start, e.end, e.verdict.label))
+            .collect::<Vec<_>>()
+    };
+    let baseline = with_threads(1, run);
+    for n in [2, 8] {
+        assert_eq!(baseline, with_threads(n, run), "streamed labels at {n} threads");
+    }
+}
