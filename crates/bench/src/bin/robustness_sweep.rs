@@ -12,9 +12,10 @@
 //! The 24 (axis, severity) campaigns run in parallel on `EMOLEAK_THREADS`
 //! workers with bit-identical output at any worker count.
 
-use emoleak_bench::{banner, clips_per_cell};
+use emoleak_bench::{banner, campaign_fingerprint, clips_per_cell, run_campaign, write_result};
 use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
+use emoleak_durable::{Dec, Enc};
 use emoleak_phone::{BatchingSpec, FaultProfile, ThermalThrottle};
 
 /// One fault axis: a named base profile whose severity gets swept.
@@ -65,6 +66,49 @@ struct Cell {
     accuracy: f64,
     regions: usize,
     faults: emoleak_phone::FaultLog,
+}
+
+/// Checkpoint payload for one sweep cell; accuracies are raw `f64` bits so
+/// a resumed sweep's JSON is byte-identical to an uninterrupted one.
+fn encode_cell(c: &Cell) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.f64(c.severity).f64(c.accuracy).u64(c.regions as u64);
+    for n in [
+        c.faults.dropped,
+        c.faults.duplicated,
+        c.faults.clipped,
+        c.faults.bursts,
+        c.faults.suspensions,
+        c.faults.throttled,
+    ] {
+        enc.u64(n as u64);
+    }
+    enc.into_bytes()
+}
+
+fn decode_cell(bytes: &[u8]) -> Option<Cell> {
+    let mut dec = Dec::new(bytes);
+    let severity = dec.f64().ok()?;
+    let accuracy = dec.f64().ok()?;
+    let regions = dec.u64().ok()? as usize;
+    let mut counts = [0usize; 6];
+    for slot in &mut counts {
+        *slot = dec.u64().ok()? as usize;
+    }
+    dec.finish().ok()?;
+    Some(Cell {
+        severity,
+        accuracy,
+        regions,
+        faults: emoleak_phone::FaultLog {
+            dropped: counts[0],
+            duplicated: counts[1],
+            clipped: counts[2],
+            bursts: counts[3],
+            suspensions: counts[4],
+            throttled: counts[5],
+        },
+    })
 }
 
 /// Renders an `f64` as a JSON number, mapping non-finite values to `null`.
@@ -123,34 +167,46 @@ fn main() -> Result<(), EmoleakError> {
     let grid: Vec<(usize, f64)> = (0..axes.len())
         .flat_map(|ai| severities.iter().map(move |&s| (ai, s)))
         .collect();
-    let cells: Vec<Result<Cell, EmoleakError>> =
-        emoleak_exec::par_map_indexed(&grid, |_, &(ai, severity)| {
-            let scenario = AttackScenario::table_top(corpus.clone(), device.clone())
-                .with_faults(axes[ai].base.clone().with_severity(severity));
-            let h = scenario.harvest()?;
-            // 5-fold CV: a single 80/20 split on a small faulted campaign
-            // is noisy enough to hide the decay trend. A campaign degraded
-            // below trainability is the fault winning, not an error: it
-            // scores as random guessing.
-            let accuracy = match evaluate_features(
-                &h.features,
-                ClassifierKind::Logistic,
-                Protocol::KFold(5),
-                0x5EED,
-            ) {
-                Ok(eval) => eval.accuracy,
-                Err(EmoleakError::DegenerateDataset(_)) => random_guess,
-                Err(e) => return Err(e),
-            };
-            Ok(Cell { severity, accuracy, regions: h.features.len(), faults: h.faults })
-        });
+    let fingerprint = campaign_fingerprint(&[
+        &format!("clips={}", corpus.clips_per_cell()),
+        &format!("severities={severities:?}"),
+        &axes.iter().map(|a| a.name).collect::<Vec<_>>().join(","),
+    ]);
+    let cells = run_campaign(
+        "robustness_sweep",
+        fingerprint,
+        grid.len(),
+        encode_cell,
+        decode_cell,
+        |range| {
+            emoleak_exec::par_map_indexed(&grid[range], |_, &(ai, severity)| {
+                let scenario = AttackScenario::table_top(corpus.clone(), device.clone())
+                    .with_faults(axes[ai].base.clone().with_severity(severity));
+                let h = scenario.harvest()?;
+                // 5-fold CV: a single 80/20 split on a small faulted campaign
+                // is noisy enough to hide the decay trend. A campaign degraded
+                // below trainability is the fault winning, not an error: it
+                // scores as random guessing.
+                let accuracy = match evaluate_features(
+                    &h.features,
+                    ClassifierKind::Logistic,
+                    Protocol::KFold(5),
+                    0x5EED,
+                ) {
+                    Ok(eval) => eval.accuracy,
+                    Err(EmoleakError::DegenerateDataset(_)) => random_guess,
+                    Err(e) => return Err(e),
+                };
+                Ok(Cell { severity, accuracy, regions: h.features.len(), faults: h.faults })
+            })
+            .into_iter()
+            .collect()
+        },
+    )?;
     let mut results: Vec<(String, Vec<Cell>)> = Vec::new();
     let mut cells = cells.into_iter();
     for axis in &axes {
-        let row = cells
-            .by_ref()
-            .take(severities.len())
-            .collect::<Result<Vec<Cell>, EmoleakError>>()?;
+        let row: Vec<Cell> = cells.by_ref().take(severities.len()).collect();
         results.push((axis.name.to_string(), row));
     }
 
@@ -184,7 +240,9 @@ fn main() -> Result<(), EmoleakError> {
     let json = to_json(random_guess, &severities, &results);
     let path = std::env::var("EMOLEAK_SWEEP_JSON")
         .unwrap_or_else(|_| "robustness_sweep.json".to_string());
-    match std::fs::write(&path, &json) {
+    // Atomic write: an interrupt leaves either the previous sweep's JSON or
+    // this one, never a torn file.
+    match write_result(std::path::Path::new(&path), json.as_bytes()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => println!("\ncould not write {path} ({e}); JSON follows:\n{json}"),
     }

@@ -20,7 +20,7 @@
 //! the grid for smoke runs. Exits non-zero if any run violates the
 //! contract.
 
-use emoleak_bench::banner;
+use emoleak_bench::{banner, write_result};
 use emoleak_core::online::ModelBundle;
 use emoleak_core::prelude::*;
 use emoleak_phone::FaultProfile;
@@ -339,7 +339,8 @@ fn main() -> Result<(), EmoleakError> {
     let json = to_json(&records);
     let path = std::env::var("EMOLEAK_CHAOS_JSON")
         .unwrap_or_else(|_| "results/stream_chaos.json".to_string());
-    match std::fs::write(&path, &json) {
+    // Atomic write: a kill mid-write can no longer leave a torn JSON file.
+    match write_result(std::path::Path::new(&path), json.as_bytes()) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => println!("could not write {path} ({e}); JSON follows:\n{json}"),
     }

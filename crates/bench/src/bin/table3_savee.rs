@@ -4,9 +4,17 @@
 //! Paper: Logistic 53.77 % / 44.44 %, MultiClass 51.85 % / 52.97 %,
 //! trees.LMT 51.58 % / 53.00 %, CNN 46.98 % / 44.18 %, spectrogram CNN
 //! 39.16 % / 35.38 % (random guess 14.28 %).
+//!
+//! With `EMOLEAK_CHECKPOINT_DIR` set, each completed device column is
+//! journaled and a killed run resumes from its cursor, byte-identically.
 
-use emoleak_bench::{banner, clips_per_cell, loudspeaker_column};
+use emoleak_bench::{
+    banner, campaign_fingerprint, clips_per_cell, decode_column, encode_column,
+    loudspeaker_column, run_campaign, skip_cnn,
+};
 use emoleak_core::prelude::*;
+
+const SEED: u64 = 0x7AB3;
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::savee().with_clips_per_cell(clips_per_cell());
@@ -16,15 +24,29 @@ fn main() -> Result<(), EmoleakError> {
         "SAVEE (time-frequency features + spectrograms)",
         devices.iter().map(|d| d.name().to_string()).collect(),
     );
-    // One campaign per device column, all columns in parallel.
-    let columns = emoleak_exec::par_map_indexed(&devices, |_, d| {
-        loudspeaker_column(
-            &AttackScenario::table_top(corpus.clone(), d.clone()),
-            0x7AB3,
-        )
-    })
-    .into_iter()
-    .collect::<Result<Vec<Vec<(String, f64)>>, _>>()?;
+    let device_names: Vec<&str> = devices.iter().map(|d| d.name()).collect();
+    let fingerprint = campaign_fingerprint(&[
+        &format!("seed={SEED:#x}"),
+        &format!("clips={}", clips_per_cell()),
+        &format!("skip_cnn={}", skip_cnn()),
+        &device_names.join(","),
+    ]);
+    // One campaign unit per device column; within a chunk the columns run
+    // in parallel, and completed columns are checkpointed.
+    let columns = run_campaign(
+        "table3_savee",
+        fingerprint,
+        devices.len(),
+        encode_column,
+        decode_column,
+        |range| {
+            emoleak_exec::par_map_indexed(&devices[range], |_, d| {
+                loudspeaker_column(&AttackScenario::table_top(corpus.clone(), d.clone()), SEED)
+            })
+            .into_iter()
+            .collect()
+        },
+    )?;
     for row in 0..columns[0].len() {
         let label = columns[0][row].0.clone();
         table.push_row(&label, columns.iter().map(|c| c[row].1).collect());

@@ -7,10 +7,30 @@
 //! Table II features extracted directly from the synthesized audio (no
 //! vibration channel), which stands in for the cited audio-domain systems.
 
-use emoleak_bench::{banner, classifier_accuracy, clips_per_cell};
+use emoleak_bench::{
+    banner, campaign_fingerprint, classifier_accuracy, clips_per_cell, run_campaign, skip_cnn,
+};
 use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
+use emoleak_durable::{Dec, Enc};
 use emoleak_features::{all_feature_names, extract_all};
+
+const SEED: u64 = 0x7AB7;
+
+/// One summary row's accuracies, bit-exact through the checkpoint.
+fn encode_row(cell: &(f64, f64)) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.f64(cell.0).f64(cell.1);
+    enc.into_bytes()
+}
+
+fn decode_row(bytes: &[u8]) -> Option<(f64, f64)> {
+    let mut dec = Dec::new(bytes);
+    let vib = dec.f64().ok()?;
+    let audio = dec.f64().ok()?;
+    dec.finish().ok()?;
+    Some((vib, audio))
+}
 
 /// The audio-domain baseline: Table II features on the clean synthesized
 /// audio (16× the accelerometer bandwidth, no channel loss). Clip synthesis
@@ -60,25 +80,40 @@ fn main() -> Result<(), EmoleakError> {
         "Summary (best classical classifier, vibration vs clean audio)",
         vec!["vibration (EmoLeak)".into(), "audio baseline".into()],
     );
-    // The three dataset rows are independent campaigns: run them in
-    // parallel, collect in row order.
-    let row_cells: Vec<Result<(f64, f64), EmoleakError>> =
-        emoleak_exec::par_map_indexed(&rows, |_, (_, corpus, device)| {
-            let scenario = AttackScenario::table_top(corpus.clone(), device.clone());
-            let harvest = scenario.harvest()?;
-            let vib = [
-                ClassifierKind::Logistic,
-                ClassifierKind::MultiClass,
-                ClassifierKind::Lmt,
-            ]
-            .iter()
-            .map(|&k| classifier_accuracy(&harvest, k, 0x7AB7))
-            .fold(f64::NAN, f64::max);
-            let audio = audio_domain_accuracy(corpus, 0x7AB7);
-            Ok((vib, audio))
-        });
-    for ((name, _, _), cell) in rows.iter().zip(row_cells) {
-        let (vib, audio) = cell?;
+    let fingerprint = campaign_fingerprint(&[
+        &format!("seed={SEED:#x}"),
+        &format!("clips={n}"),
+        &format!("skip_cnn={}", skip_cnn()),
+        &rows.iter().map(|(name, _, _)| *name).collect::<Vec<_>>().join(","),
+    ]);
+    // The three dataset rows are independent campaign units: run each
+    // chunk in parallel, checkpoint completed rows, collect in row order.
+    let row_cells = run_campaign(
+        "table7_summary",
+        fingerprint,
+        rows.len(),
+        encode_row,
+        decode_row,
+        |range| {
+            emoleak_exec::par_map_indexed(&rows[range], |_, (_, corpus, device)| {
+                let scenario = AttackScenario::table_top(corpus.clone(), device.clone());
+                let harvest = scenario.harvest()?;
+                let vib = [
+                    ClassifierKind::Logistic,
+                    ClassifierKind::MultiClass,
+                    ClassifierKind::Lmt,
+                ]
+                .iter()
+                .map(|&k| classifier_accuracy(&harvest, k, SEED))
+                .fold(f64::NAN, f64::max);
+                let audio = audio_domain_accuracy(corpus, SEED);
+                Ok((vib, audio))
+            })
+            .into_iter()
+            .collect()
+        },
+    )?;
+    for ((name, _, _), (vib, audio)) in rows.iter().zip(row_cells) {
         table.push_row(name, vec![vib, audio]);
     }
     table.push_note("paper: SAVEE 53.77% vs 91.7%, TESS 95.3% vs 99.57%, CREMA-D 60.32% vs 94.99%");

@@ -50,6 +50,11 @@ pub enum EmoleakError {
     /// out-of-range value (e.g. `EMOLEAK_THREADS=abc`). Never silently
     /// defaulted: a set knob either applies or errors.
     Config(String),
+    /// The durability layer failed while checkpointing or resuming a
+    /// campaign (carried as a rendered message so `emoleak-core` does not
+    /// depend on `emoleak-durable`; the typed `DurableError` is available
+    /// to callers that use that crate directly).
+    Durable(String),
     /// An error localized to one corpus clip, wrapped with the clip's
     /// identity so the failing utterance is diagnosable from the error
     /// alone.
@@ -86,6 +91,7 @@ impl core::fmt::Display for EmoleakError {
                 write!(f, "unknown emotion label: {label}")
             }
             EmoleakError::Config(why) => write!(f, "bad configuration: {why}"),
+            EmoleakError::Durable(why) => write!(f, "durability error: {why}"),
             EmoleakError::InClip { context, source } => {
                 write!(f, "{source} ({context})")
             }

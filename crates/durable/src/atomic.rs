@@ -1,0 +1,123 @@
+//! Atomic file replacement: temp file + fsync + rename.
+//!
+//! A plain `std::fs::write` interrupted mid-way leaves a torn file under
+//! the *final* name — exactly the failure the bench bins used to have for
+//! `results/*.json`. [`write_atomic`] makes the rename the commit point:
+//!
+//! 1. write the full contents to a sibling `.tmp` file,
+//! 2. `fsync` that file (data reaches the platter before the name does),
+//! 3. `rename` it over the destination (atomic on POSIX),
+//! 4. `fsync` the parent directory (the rename itself is durable).
+//!
+//! A crash before step 3 leaves the old file untouched plus an ignorable
+//! `.tmp`; a crash after leaves the new file complete. No interleaving
+//! exposes a half-written file under the destination name.
+
+use crate::error::DurableError;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The sibling temp path `write_atomic` stages through (`<name>.tmp` in the
+/// same directory — rename is only atomic within one filesystem).
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Flushes the directory entry for `path` so a completed rename survives a
+/// power cut. Best-effort: directory handles are not openable on every
+/// platform, and a failure here narrows durability without breaking
+/// atomicity, so it is not an error.
+fn sync_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// Writes `contents` to the staged temp file and syncs it, *without*
+/// renaming. This is the prefix of [`write_atomic`] that a process killed
+/// between write and rename would have executed; the crash injector uses it
+/// to leave exactly that state behind.
+pub(crate) fn stage_only(path: &Path, contents: &[u8]) -> Result<(), DurableError> {
+    let tmp = temp_path(path);
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| DurableError::io(&tmp, "open", &e))?;
+    file.write_all(contents).map_err(|e| DurableError::io(&tmp, "write", &e))?;
+    file.sync_all().map_err(|e| DurableError::io(&tmp, "fsync", &e))?;
+    Ok(())
+}
+
+/// Atomically replaces `path` with `contents` (temp file + fsync + rename +
+/// directory fsync). Readers never observe a torn file: they see either the
+/// old contents or the new, complete ones.
+///
+/// # Errors
+///
+/// Returns [`DurableError::Io`] when any step fails; the destination is
+/// untouched in that case (the stale `.tmp`, if any, is ignorable and will
+/// be overwritten by the next attempt).
+pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), DurableError> {
+    stage_only(path, contents)?;
+    let tmp = temp_path(path);
+    std::fs::rename(&tmp, path).map_err(|e| DurableError::io(path, "rename", &e))?;
+    sync_dir(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "emoleak-atomic-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = scratch("replace");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        assert!(!temp_path(&path).exists(), "temp file must not linger");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stage_only_leaves_destination_untouched() {
+        let dir = scratch("stage");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"committed").unwrap();
+        stage_only(&path, b"in flight").unwrap();
+        // The kill-between-write-and-rename state: old contents intact,
+        // temp file present.
+        assert_eq!(std::fs::read(&path).unwrap(), b"committed");
+        assert_eq!(std::fs::read(temp_path(&path)).unwrap(), b"in flight");
+        // The next attempt recovers by simply overwriting the temp file.
+        write_atomic(&path, b"recovered").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"recovered");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_parent_is_a_typed_error() {
+        let path = PathBuf::from("/nonexistent-emoleak-dir/out.json");
+        let err = write_atomic(&path, b"x").unwrap_err();
+        assert!(matches!(err, DurableError::Io { .. }), "{err}");
+    }
+}

@@ -1,0 +1,414 @@
+//! Resumable campaigns: chunked unit execution over a [`CheckpointStore`].
+//!
+//! A *campaign* is `total` independently-seeded units of work (device
+//! columns, sweep cells, corpus rows) whose results are opaque byte
+//! payloads. The runner journals every completed unit, snapshots the
+//! accumulated state periodically, and — on reopen — resumes from the
+//! recovered cursor instead of recomputing.
+//!
+//! Because every unit derives its RNG stream from `(campaign_seed, index)`
+//! (the `emoleak-exec` determinism model), a resumed campaign's payloads
+//! are byte-identical to an uninterrupted run's: the cursor *is* the RNG
+//! stream position, so nothing else needs to be saved.
+
+use crate::error::{Defect, DurableError};
+use crate::store::{CheckpointStore, CrashPlan};
+use crate::wire::{Dec, Enc, WireError};
+use std::ops::Range;
+use std::path::Path;
+
+/// Journal record kind for one completed campaign unit (`seq` = unit index,
+/// `data` = the unit's payload).
+pub const REC_UNIT: u8 = 1;
+
+/// Identity of a campaign: which work this checkpoint directory belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Stable campaign name (e.g. `"table5_tess"`).
+    pub id: String,
+    /// Hash of everything that shapes unit results (seed, clip count,
+    /// classifier flags…). A recovered state with a different fingerprint
+    /// is discarded — resuming it would splice incompatible results.
+    pub fingerprint: u64,
+    /// Number of units in the campaign.
+    pub total: usize,
+}
+
+/// Execution knobs for [`run_resumable`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Units computed per `compute` call (0 = one at a time). Bench bins
+    /// pass the worker count so a chunk saturates the pool.
+    pub chunk: usize,
+    /// Snapshot after this many newly-completed units (0 = only the final
+    /// snapshot). Between snapshots, completed units live in the journal.
+    pub snapshot_every: usize,
+    /// Optional seeded kill point, forwarded to
+    /// [`CheckpointStore::arm_crash`].
+    pub crash: Option<CrashPlan>,
+}
+
+/// The serialized form of an in-flight campaign: what a snapshot holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignState {
+    /// Campaign name, matched against [`CampaignSpec::id`] on resume.
+    pub id: String,
+    /// Configuration fingerprint, matched against
+    /// [`CampaignSpec::fingerprint`] on resume.
+    pub fingerprint: u64,
+    /// Payloads of units `0..cursor`, in unit order. The cursor (and hence
+    /// the RNG stream position) is implicitly `payloads.len()`.
+    pub payloads: Vec<Vec<u8>>,
+}
+
+impl CampaignState {
+    /// Serializes the state (the snapshot container's payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.str(&self.id).u64(self.fingerprint).u64(self.payloads.len() as u64);
+        for payload in &self.payloads {
+            enc.bytes(payload);
+        }
+        enc.into_bytes()
+    }
+
+    /// Deserializes a state produced by [`CampaignState::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Corrupt`] (labelled `"<state>"`) when the bytes do
+    /// not decode exactly — never a panic, never a partial value.
+    pub fn decode(bytes: &[u8]) -> Result<CampaignState, DurableError> {
+        let corrupt = |e: WireError| DurableError::Corrupt {
+            path: "<state>".into(),
+            offset: e.offset,
+            detail: e.detail,
+        };
+        let mut dec = Dec::new(bytes);
+        let id = dec.str().map_err(corrupt)?;
+        let fingerprint = dec.u64().map_err(corrupt)?;
+        let count = dec.u64().map_err(corrupt)?;
+        let count = usize::try_from(count).map_err(|_| DurableError::Corrupt {
+            path: "<state>".into(),
+            offset: dec.offset(),
+            detail: format!("payload count {count} overflows usize"),
+        })?;
+        let mut payloads = Vec::new();
+        for _ in 0..count {
+            payloads.push(dec.bytes().map_err(corrupt)?.to_vec());
+        }
+        dec.finish().map_err(corrupt)?;
+        Ok(CampaignState { id, fingerprint, payloads })
+    }
+}
+
+/// A campaign failure: either the application's own compute error or a
+/// durability failure.
+#[derive(Debug)]
+pub enum CampaignError<E> {
+    /// The `compute` callback failed; checkpoints remain valid for a retry.
+    App(E),
+    /// The durability layer failed (or an injected crash fired).
+    Durable(DurableError),
+}
+
+impl<E: core::fmt::Display> core::fmt::Display for CampaignError<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CampaignError::App(e) => write!(f, "campaign compute failed: {e}"),
+            CampaignError::Durable(e) => write!(f, "campaign durability failed: {e}"),
+        }
+    }
+}
+
+impl<E: core::fmt::Debug + core::fmt::Display> std::error::Error for CampaignError<E> {}
+
+impl<E> From<DurableError> for CampaignError<E> {
+    fn from(e: DurableError) -> Self {
+        CampaignError::Durable(e)
+    }
+}
+
+/// A completed campaign.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Unit payloads `0..total`, in unit order.
+    pub payloads: Vec<Vec<u8>>,
+    /// How many units were restored from the checkpoint instead of
+    /// recomputed (0 on a cold start).
+    pub resumed_units: usize,
+    /// Damage recovery repaired while opening the checkpoint directory.
+    pub defects: Vec<Defect>,
+    /// Durable operations this run performed (0 without a checkpoint
+    /// directory). Chaos harnesses use it to aim [`CrashPlan`]s: every op
+    /// in `1..=ops` is a valid kill point.
+    pub ops: u64,
+}
+
+/// Restores `(payloads, defects)` for `spec` from an [`Opened`] store:
+/// validates the snapshot against the spec, then extends it with the
+/// journal tail if the tail continues the snapshot's epoch.
+///
+/// [`Opened`]: crate::store::Opened
+fn restore(
+    dir: &Path,
+    spec: &CampaignSpec,
+    opened: &crate::store::Opened,
+    defects: &mut Vec<Defect>,
+) -> Vec<Vec<u8>> {
+    let mut payloads = match &opened.state {
+        None => Vec::new(),
+        Some(bytes) => match CampaignState::decode(bytes) {
+            Err(e) => {
+                defects.push(Defect::StateDiscarded {
+                    detail: format!("snapshot state does not decode: {e}"),
+                });
+                Vec::new()
+            }
+            Ok(state) if state.id != spec.id || state.fingerprint != spec.fingerprint => {
+                defects.push(Defect::StateDiscarded {
+                    detail: format!(
+                        "checkpoint is for campaign {:?} fingerprint {:#x}, this run is {:?} \
+                         fingerprint {:#x}",
+                        state.id, state.fingerprint, spec.id, spec.fingerprint
+                    ),
+                });
+                Vec::new()
+            }
+            Ok(state) if state.payloads.len() > spec.total => {
+                defects.push(Defect::StateDiscarded {
+                    detail: format!(
+                        "checkpoint holds {} units but the campaign has only {}",
+                        state.payloads.len(),
+                        spec.total
+                    ),
+                });
+                Vec::new()
+            }
+            Ok(state) => state.payloads,
+        },
+    };
+
+    for rec in &opened.tail {
+        let expect = payloads.len() as u64;
+        if rec.kind != REC_UNIT || rec.seq != expect {
+            // The tail does not continue this snapshot (journal reset was
+            // skipped by a crash, or the store fell back to an older
+            // snapshot). Discard the rest; those units recompute.
+            defects.push(Defect::JournalEpochMismatch {
+                path: crate::store::journal_path(dir).display().to_string(),
+                expect,
+                found: rec.seq,
+            });
+            break;
+        }
+        payloads.push(rec.data.clone());
+    }
+    payloads
+}
+
+/// Runs (or resumes) a campaign of `spec.total` units.
+///
+/// `compute(range)` must return one payload per unit in `range`, and must
+/// be a pure function of the unit index (seed derivation by index) — that
+/// is what makes a resumed run byte-identical to an uninterrupted one.
+///
+/// With `dir = None` the campaign runs without durability (no checkpoint
+/// files, nothing to resume). With `Some(dir)`, completed units are
+/// journaled as they finish, state snapshots land every
+/// `opts.snapshot_every` units, and a rerun picks up from the recovered
+/// cursor. The final snapshot (cursor = total) is always written, so a
+/// finished campaign re-opens without recomputing anything.
+///
+/// # Errors
+///
+/// [`CampaignError::App`] if `compute` fails; [`CampaignError::Durable`]
+/// on durability failures, including [`DurableError::Injected`] from an
+/// armed crash plan.
+pub fn run_resumable<E>(
+    dir: Option<&Path>,
+    spec: &CampaignSpec,
+    opts: &RunOptions,
+    compute: &mut dyn FnMut(Range<usize>) -> Result<Vec<Vec<u8>>, E>,
+) -> Result<Outcome, CampaignError<E>> {
+    let chunk = opts.chunk.max(1);
+    let Some(dir) = dir else {
+        let payloads = compute(0..spec.total).map_err(CampaignError::App)?;
+        debug_assert_eq!(payloads.len(), spec.total);
+        return Ok(Outcome { payloads, resumed_units: 0, defects: Vec::new(), ops: 0 });
+    };
+
+    let opened = CheckpointStore::open(dir)?;
+    let mut defects = opened.defects.clone();
+    let mut payloads = restore(dir, spec, &opened, &mut defects);
+    let resumed_units = payloads.len();
+    let mut store = opened.store;
+    store.arm_crash(opts.crash);
+
+    let mut since_snapshot = 0usize;
+    while payloads.len() < spec.total {
+        let start = payloads.len();
+        let end = (start + chunk).min(spec.total);
+        let fresh = compute(start..end).map_err(CampaignError::App)?;
+        debug_assert_eq!(fresh.len(), end - start);
+        for (offset, payload) in fresh.into_iter().enumerate() {
+            store.append(REC_UNIT, (start + offset) as u64, &payload)?;
+            payloads.push(payload);
+            since_snapshot += 1;
+        }
+        if opts.snapshot_every > 0
+            && since_snapshot >= opts.snapshot_every
+            && payloads.len() < spec.total
+        {
+            let state = CampaignState {
+                id: spec.id.clone(),
+                fingerprint: spec.fingerprint,
+                payloads: payloads.clone(),
+            };
+            store.snapshot(&state.encode())?;
+            since_snapshot = 0;
+        }
+    }
+
+    // Final snapshot: a finished campaign reopens at cursor = total.
+    let state = CampaignState {
+        id: spec.id.clone(),
+        fingerprint: spec.fingerprint,
+        payloads: payloads.clone(),
+    };
+    store.snapshot(&state.encode())?;
+    Ok(Outcome { payloads, resumed_units, defects, ops: store.ops() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "emoleak-campaign-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn unit_payload(i: usize) -> Vec<u8> {
+        format!("unit-{i}-payload").into_bytes()
+    }
+
+    fn spec(total: usize) -> CampaignSpec {
+        CampaignSpec { id: "test-campaign".into(), fingerprint: 0xFEED_F00D, total }
+    }
+
+    /// A compute callback that records which units it actually ran.
+    fn counting_compute(
+        ran: &mut Vec<usize>,
+    ) -> impl FnMut(Range<usize>) -> Result<Vec<Vec<u8>>, String> + '_ {
+        move |range: Range<usize>| {
+            ran.extend(range.clone());
+            Ok(range.map(unit_payload).collect())
+        }
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let state = CampaignState {
+            id: "abc".into(),
+            fingerprint: 42,
+            payloads: vec![b"x".to_vec(), Vec::new(), b"yz".to_vec()],
+        };
+        assert_eq!(CampaignState::decode(&state.encode()).unwrap(), state);
+    }
+
+    #[test]
+    fn without_dir_runs_everything_once() {
+        let mut ran = Vec::new();
+        let outcome =
+            run_resumable(None, &spec(4), &RunOptions::default(), &mut counting_compute(&mut ran))
+                .unwrap();
+        assert_eq!(outcome.payloads, (0..4).map(unit_payload).collect::<Vec<_>>());
+        assert_eq!(outcome.resumed_units, 0);
+        assert_eq!(ran, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn completed_campaign_resumes_without_recompute() {
+        let dir = scratch("complete");
+        let opts = RunOptions { chunk: 2, snapshot_every: 2, crash: None };
+        let mut first_ran = Vec::new();
+        let a = run_resumable(Some(&dir), &spec(5), &opts, &mut counting_compute(&mut first_ran))
+            .unwrap();
+        assert_eq!(first_ran.len(), 5);
+
+        let mut second_ran = Vec::new();
+        let b = run_resumable(Some(&dir), &spec(5), &opts, &mut counting_compute(&mut second_ran))
+            .unwrap();
+        assert!(second_ran.is_empty(), "nothing should recompute: {second_ran:?}");
+        assert_eq!(b.resumed_units, 5);
+        assert_eq!(a.payloads, b.payloads);
+        assert!(b.defects.is_empty(), "{:?}", b.defects);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_crash_then_resume_matches_clean_run() {
+        let clean = run_resumable(
+            None,
+            &spec(6),
+            &RunOptions::default(),
+            &mut counting_compute(&mut Vec::new()),
+        )
+        .unwrap();
+
+        // Kill at every plausible op of a 6-unit run (appends + snapshot
+        // steps) and make sure resume always converges to the clean result.
+        for kill in 1..=10 {
+            let dir = scratch(&format!("kill-{kill}"));
+            let opts = RunOptions {
+                chunk: 2,
+                snapshot_every: 2,
+                crash: Some(CrashPlan { at_op: kill, partial_frac: 0.3 }),
+            };
+            let mut ran = Vec::new();
+            let err = run_resumable(Some(&dir), &spec(6), &opts, &mut counting_compute(&mut ran))
+                .expect_err("crash must fire");
+            assert!(
+                matches!(&err, CampaignError::Durable(e) if e.is_injected()),
+                "kill {kill}: {err}"
+            );
+
+            let resumed = run_resumable(
+                Some(&dir),
+                &spec(6),
+                &RunOptions { chunk: 2, snapshot_every: 2, crash: None },
+                &mut counting_compute(&mut Vec::new()),
+            )
+            .unwrap();
+            assert_eq!(resumed.payloads, clean.payloads, "kill at op {kill} diverged");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_discards_checkpoint() {
+        let dir = scratch("fingerprint");
+        let opts = RunOptions { chunk: 2, snapshot_every: 2, crash: None };
+        run_resumable(Some(&dir), &spec(4), &opts, &mut counting_compute(&mut Vec::new()))
+            .unwrap();
+
+        let other = CampaignSpec { fingerprint: 0xDEAD, ..spec(4) };
+        let mut ran = Vec::new();
+        let outcome =
+            run_resumable(Some(&dir), &other, &opts, &mut counting_compute(&mut ran)).unwrap();
+        assert_eq!(ran.len(), 4, "stale checkpoint must not be spliced in");
+        assert_eq!(outcome.resumed_units, 0);
+        assert!(
+            outcome.defects.iter().any(|d| matches!(d, Defect::StateDiscarded { .. })),
+            "{:?}",
+            outcome.defects
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

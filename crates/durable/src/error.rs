@@ -1,0 +1,227 @@
+//! Typed durability errors and recovery defect reports.
+//!
+//! The durability layer has two distinct failure surfaces:
+//!
+//! - [`DurableError`] — the *fatal* surface: an operation could not complete
+//!   (I/O failed, a file is not ours, a format version is from the future,
+//!   an injected crash fired). These propagate to the caller as `Err`.
+//! - [`Defect`] — the *recovered* surface: something on disk was damaged
+//!   (torn tail, flipped bit, stale manifest) and recovery repaired it by
+//!   falling back to the last valid state. Opening a damaged store is `Ok`,
+//!   but every repair is reported as a typed defect so chaos harnesses can
+//!   assert that nothing was silently papered over.
+
+/// A fatal durability failure. Never a panic, never silently corrupt data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// An OS-level file operation failed.
+    Io {
+        /// The file or directory involved.
+        path: String,
+        /// The operation that failed (`open`, `write`, `fsync`, `rename`…).
+        op: &'static str,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file is not a durability-layer file at all (bad magic).
+    Format {
+        /// The offending file.
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The file was written by a *newer* format version than this build
+    /// supports. Refusing is the only safe move: a future version may have
+    /// changed record layout in ways the checksum cannot reveal.
+    Version {
+        /// The offending file.
+        path: String,
+        /// The version found in the header.
+        found: u16,
+        /// The newest version this build understands.
+        supported: u16,
+    },
+    /// Checksummed content failed verification (bit flip, torn write, bad
+    /// length) in a context where no older state exists to fall back to.
+    Corrupt {
+        /// The offending file (`"<memory>"` for in-memory decodes).
+        path: String,
+        /// Byte offset of the damage.
+        offset: u64,
+        /// What the verifier saw.
+        detail: String,
+    },
+    /// A seeded crash injection fired (see [`crate::CrashPlan`]). Models a
+    /// `SIGKILL` landing at a write syscall boundary: the partial on-disk
+    /// effect is left exactly as a killed process would leave it.
+    Injected {
+        /// The durable-operation counter value the plan armed.
+        op: u64,
+        /// Which operation was cut short.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DurableError::Io { path, op, message } => {
+                write!(f, "io error: {op} {path}: {message}")
+            }
+            DurableError::Format { path, detail } => {
+                write!(f, "format error: {path}: {detail}")
+            }
+            DurableError::Version { path, found, supported } => write!(
+                f,
+                "version error: {path}: written by format v{found}, this build supports \
+                 up to v{supported}"
+            ),
+            DurableError::Corrupt { path, offset, detail } => {
+                write!(f, "corrupt data: {path} at byte {offset}: {detail}")
+            }
+            DurableError::Injected { op, detail } => {
+                write!(f, "injected crash at durable op #{op}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl DurableError {
+    /// Wraps an [`std::io::Error`] with the path and operation it hit.
+    pub fn io(path: &std::path::Path, op: &'static str, e: &std::io::Error) -> DurableError {
+        DurableError::Io { path: path.display().to_string(), op, message: e.to_string() }
+    }
+
+    /// Whether this error is an injected crash (chaos harnesses resume
+    /// after these; anything else is a real failure).
+    pub fn is_injected(&self) -> bool {
+        matches!(self, DurableError::Injected { .. })
+    }
+}
+
+/// A damage site that recovery detected *and repaired* by falling back to
+/// the last valid state. Reported, never silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Defect {
+    /// The journal ended mid-record (kill during append); the tail was
+    /// truncated to the last whole record.
+    TornTail {
+        /// The journal file.
+        path: String,
+        /// Offset the journal was truncated back to.
+        offset: u64,
+        /// Bytes discarded.
+        lost: u64,
+    },
+    /// A journal record failed its CRC (bit flip); the journal was
+    /// truncated to the last record that verified.
+    CorruptRecord {
+        /// The journal file.
+        path: String,
+        /// Offset of the failing record.
+        offset: u64,
+        /// What the verifier saw.
+        detail: String,
+    },
+    /// A snapshot file failed verification; recovery fell back to an older
+    /// snapshot (or a fresh start).
+    SnapshotInvalid {
+        /// The snapshot file.
+        path: String,
+        /// The underlying error.
+        detail: String,
+    },
+    /// The manifest failed verification; recovery scanned the directory for
+    /// the newest valid snapshot instead.
+    ManifestInvalid {
+        /// The manifest file.
+        path: String,
+        /// The underlying error.
+        detail: String,
+    },
+    /// The manifest named a snapshot that does not exist or does not verify
+    /// (kill between snapshot replacement steps, or external damage).
+    ManifestStale {
+        /// The manifest file.
+        path: String,
+        /// The snapshot sequence number it pointed at.
+        snapshot: u64,
+    },
+    /// The journal tail does not continue the recovered snapshot (its first
+    /// record's unit index is not the snapshot cursor); the tail belongs to
+    /// a different epoch and was discarded.
+    JournalEpochMismatch {
+        /// The journal file.
+        path: String,
+        /// The unit index the snapshot expects next.
+        expect: u64,
+        /// The unit index the journal starts at.
+        found: u64,
+    },
+    /// Checkpointed state belonged to a different campaign configuration
+    /// (fingerprint mismatch) and was discarded in favor of a fresh run.
+    StateDiscarded {
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for Defect {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Defect::TornTail { path, offset, lost } => write!(
+                f,
+                "torn journal tail: {path} truncated to byte {offset} ({lost} bytes lost)"
+            ),
+            Defect::CorruptRecord { path, offset, detail } => {
+                write!(f, "corrupt journal record: {path} at byte {offset}: {detail}")
+            }
+            Defect::SnapshotInvalid { path, detail } => {
+                write!(f, "invalid snapshot: {path}: {detail}")
+            }
+            Defect::ManifestInvalid { path, detail } => {
+                write!(f, "invalid manifest: {path}: {detail}")
+            }
+            Defect::ManifestStale { path, snapshot } => {
+                write!(f, "stale manifest: {path} points at missing/invalid snapshot #{snapshot}")
+            }
+            Defect::JournalEpochMismatch { path, expect, found } => write!(
+                f,
+                "journal epoch mismatch: {path} starts at unit {found}, snapshot expects {expect}"
+            ),
+            Defect::StateDiscarded { detail } => {
+                write!(f, "checkpoint discarded: {detail}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = DurableError::Version { path: "snap-3.bin".into(), found: 9, supported: 1 };
+        let msg = e.to_string();
+        assert!(msg.contains("snap-3.bin") && msg.contains("v9") && msg.contains("v1"), "{msg}");
+        let e = DurableError::Corrupt {
+            path: "journal.log".into(),
+            offset: 42,
+            detail: "crc mismatch".into(),
+        };
+        assert!(e.to_string().contains("byte 42"), "{e}");
+        assert!(!e.is_injected());
+        assert!(DurableError::Injected { op: 3, detail: "append".into() }.is_injected());
+    }
+
+    #[test]
+    fn defects_render_their_repair() {
+        let d = Defect::TornTail { path: "j".into(), offset: 10, lost: 5 };
+        assert!(d.to_string().contains("truncated"));
+        let d = Defect::ManifestStale { path: "m".into(), snapshot: 7 };
+        assert!(d.to_string().contains("#7"));
+    }
+}

@@ -1,0 +1,356 @@
+//! Write-ahead journal: length-prefixed, CRC32-checksummed, versioned
+//! records with append + fsync semantics.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! header   : magic "EMOJ" (4) | version u16 LE (2)
+//! record   : len u32 LE (4) | crc u32 LE (4) | payload (len bytes)
+//! payload  : kind u8 (1) | seq u64 LE (8) | data (len - 9 bytes)
+//! ```
+//!
+//! `crc` is the IEEE CRC-32 of the payload. A record is *committed* once its
+//! bytes are on disk in full and the CRC verifies; [`Journal::open`] scans
+//! forward record by record and truncates the file back to the last
+//! committed record, reporting the repair as a [`Defect`]. A kill during
+//! append therefore loses at most the record being written — never an
+//! earlier one, and never silently.
+
+use crate::error::{Defect, DurableError};
+use crate::wire::{crc32, Dec, Enc};
+use crate::JOURNAL_VERSION;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal file magic.
+pub const JOURNAL_MAGIC: &[u8; 4] = b"EMOJ";
+
+/// Header length: magic + version.
+const HEADER_LEN: u64 = 6;
+
+/// Sanity cap on a single record's payload. A length prefix beyond this is
+/// treated as corruption rather than an allocation request.
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// One committed journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Record type tag (the layer above assigns meanings).
+    pub kind: u8,
+    /// Monotonic sequence / unit index assigned by the writer.
+    pub seq: u64,
+    /// Opaque record body.
+    pub data: Vec<u8>,
+}
+
+/// An append-only journal handle, positioned at the end of the last
+/// committed record.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+fn encode_record(kind: u8, seq: u64, data: &[u8]) -> Vec<u8> {
+    let mut payload = Enc::new();
+    payload.u8(kind).u64(seq);
+    let mut payload = payload.into_bytes();
+    payload.extend_from_slice(data);
+    let mut frame = Enc::new();
+    frame.u32(payload.len() as u32).u32(crc32(&payload));
+    let mut frame = frame.into_bytes();
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path`, truncating any existing file, and
+    /// syncs the header.
+    pub fn create(path: &Path) -> Result<Journal, DurableError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| DurableError::io(path, "open", &e))?;
+        let mut header = Enc::new();
+        header.u16(JOURNAL_VERSION);
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&header.into_bytes());
+        file.write_all(&bytes).map_err(|e| DurableError::io(path, "write", &e))?;
+        file.sync_all().map_err(|e| DurableError::io(path, "fsync", &e))?;
+        Ok(Journal { path: path.to_path_buf(), file })
+    }
+
+    /// Opens (or creates) the journal at `path`, replays every committed
+    /// record, and repairs a damaged tail.
+    ///
+    /// Returns the handle, the committed records in append order, and the
+    /// defects repaired along the way (torn tail, corrupt record). The file
+    /// is physically truncated back to the last committed record so the
+    /// next append extends a clean tail.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Format`] if the header magic is wrong (the file is
+    /// not a journal), [`DurableError::Version`] if it was written by a
+    /// newer format, [`DurableError::Io`] on OS failures. Damage *after* a
+    /// valid header is repaired, not fatal.
+    pub fn open(path: &Path) -> Result<(Journal, Vec<Record>, Vec<Defect>), DurableError> {
+        if !path.exists() {
+            return Ok((Journal::create(path)?, Vec::new(), Vec::new()));
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| DurableError::io(path, "open", &e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| DurableError::io(path, "read", &e))?;
+
+        if bytes.len() < HEADER_LEN as usize || &bytes[..4] != JOURNAL_MAGIC {
+            return Err(DurableError::Format {
+                path: path.display().to_string(),
+                detail: "journal header magic mismatch (expected \"EMOJ\")".into(),
+            });
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version > JOURNAL_VERSION {
+            return Err(DurableError::Version {
+                path: path.display().to_string(),
+                found: version,
+                supported: JOURNAL_VERSION,
+            });
+        }
+
+        let mut records = Vec::new();
+        let mut defects = Vec::new();
+        let mut committed = HEADER_LEN as usize; // end of last whole record
+        let mut pos = committed;
+        loop {
+            let remaining = bytes.len() - pos;
+            if remaining == 0 {
+                break;
+            }
+            if remaining < 8 {
+                defects.push(Defect::TornTail {
+                    path: path.display().to_string(),
+                    offset: committed as u64,
+                    lost: remaining as u64,
+                });
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if !(9..=MAX_RECORD_LEN).contains(&len) {
+                defects.push(Defect::CorruptRecord {
+                    path: path.display().to_string(),
+                    offset: pos as u64,
+                    detail: format!("implausible record length {len}"),
+                });
+                break;
+            }
+            let len = len as usize;
+            if remaining - 8 < len {
+                defects.push(Defect::TornTail {
+                    path: path.display().to_string(),
+                    offset: committed as u64,
+                    lost: remaining as u64,
+                });
+                break;
+            }
+            let payload = &bytes[pos + 8..pos + 8 + len];
+            if crc32(payload) != crc {
+                defects.push(Defect::CorruptRecord {
+                    path: path.display().to_string(),
+                    offset: pos as u64,
+                    detail: "payload CRC mismatch".into(),
+                });
+                break;
+            }
+            let mut dec = Dec::new(payload);
+            let kind = dec.u8().expect("length checked above");
+            let seq = dec.u64().expect("length checked above");
+            records.push(Record { kind, seq, data: payload[9..].to_vec() });
+            pos += 8 + len;
+            committed = pos;
+        }
+
+        if committed < bytes.len() {
+            // Damage found: drop everything after the last committed record
+            // so the next append starts from a verified tail. Records after
+            // a corrupt one are unreachable by the forward scan — framing is
+            // untrustworthy past the first bad CRC — and are discarded with it.
+            file.set_len(committed as u64).map_err(|e| DurableError::io(path, "truncate", &e))?;
+            file.sync_all().map_err(|e| DurableError::io(path, "fsync", &e))?;
+        }
+        file.seek(SeekFrom::End(0)).map_err(|e| DurableError::io(path, "seek", &e))?;
+        Ok((Journal { path: path.to_path_buf(), file }, records, defects))
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a record and syncs it to disk. On return the record is
+    /// committed: a crash immediately after cannot lose it.
+    pub fn append(&mut self, kind: u8, seq: u64, data: &[u8]) -> Result<(), DurableError> {
+        let frame = encode_record(kind, seq, data);
+        self.file.write_all(&frame).map_err(|e| DurableError::io(&self.path, "write", &e))?;
+        self.file.sync_all().map_err(|e| DurableError::io(&self.path, "fsync", &e))?;
+        Ok(())
+    }
+
+    /// Writes only the first `frac` of the record's frame bytes, then syncs —
+    /// the on-disk state a `SIGKILL` mid-`write(2)` leaves behind. The crash
+    /// injector calls this and then reports [`DurableError::Injected`]; the
+    /// next [`Journal::open`] must repair the tear.
+    pub fn append_torn(
+        &mut self,
+        kind: u8,
+        seq: u64,
+        data: &[u8],
+        frac: f64,
+    ) -> Result<(), DurableError> {
+        let frame = encode_record(kind, seq, data);
+        let keep = ((frame.len() as f64) * frac.clamp(0.0, 1.0)) as usize;
+        let keep = keep.min(frame.len().saturating_sub(1)); // always torn, never whole
+        self.file
+            .write_all(&frame[..keep])
+            .map_err(|e| DurableError::io(&self.path, "write", &e))?;
+        self.file.sync_all().map_err(|e| DurableError::io(&self.path, "fsync", &e))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "emoleak-journal-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let dir = scratch("replay");
+        let path = dir.join("journal.log");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(1, 0, b"alpha").unwrap();
+        j.append(1, 1, b"beta").unwrap();
+        j.append(2, 2, b"").unwrap();
+        drop(j);
+        let (_j, records, defects) = Journal::open(&path).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert_eq!(
+            records,
+            vec![
+                Record { kind: 1, seq: 0, data: b"alpha".to_vec() },
+                Record { kind: 1, seq: 1, data: b"beta".to_vec() },
+                Record { kind: 2, seq: 2, data: Vec::new() },
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_append_is_truncated_and_reported() {
+        let dir = scratch("torn");
+        let path = dir.join("journal.log");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(1, 0, b"kept").unwrap();
+        j.append_torn(1, 1, b"lost to the crash", 0.5).unwrap();
+        drop(j);
+        let before = std::fs::metadata(&path).unwrap().len();
+        let (mut j, records, defects) = Journal::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].data, b"kept");
+        assert!(
+            matches!(defects.as_slice(), [Defect::TornTail { .. }]),
+            "{defects:?}"
+        );
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before, "tail must be physically truncated");
+        // The repaired journal accepts appends and replays cleanly.
+        j.append(1, 1, b"retry").unwrap();
+        drop(j);
+        let (_j, records, defects) = Journal::open(&path).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].data, b"retry");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_record_is_detected() {
+        let dir = scratch("flip");
+        let path = dir.join("journal.log");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(1, 0, b"first").unwrap();
+        j.append(1, 1, b"second").unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 3; // inside the second record's payload
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_j, records, defects) = Journal::open(&path).unwrap();
+        assert_eq!(records.len(), 1, "only the intact prefix survives");
+        assert!(
+            matches!(defects.as_slice(), [Defect::CorruptRecord { .. }]),
+            "{defects:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_is_format_error_and_future_version_is_version_error() {
+        let dir = scratch("header");
+        let bad_magic = dir.join("notes.txt");
+        std::fs::write(&bad_magic, b"not a journal at all").unwrap();
+        assert!(matches!(
+            Journal::open(&bad_magic),
+            Err(DurableError::Format { .. })
+        ));
+        let vnext = dir.join("future.log");
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&(JOURNAL_VERSION + 1).to_le_bytes());
+        std::fs::write(&vnext, &bytes).unwrap();
+        match Journal::open(&vnext) {
+            Err(DurableError::Version { found, supported, .. }) => {
+                assert_eq!(found, JOURNAL_VERSION + 1);
+                assert_eq!(supported, JOURNAL_VERSION);
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn implausible_length_prefix_does_not_allocate() {
+        let dir = scratch("hugelen");
+        let path = dir.join("journal.log");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(1, 0, b"ok").unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd len
+        bytes.extend_from_slice(&[0u8; 12]);
+        std::fs::write(&path, &bytes).unwrap();
+        let (_j, records, defects) = Journal::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(
+            matches!(defects.as_slice(), [Defect::CorruptRecord { .. }]),
+            "{defects:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

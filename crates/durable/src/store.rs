@@ -1,0 +1,509 @@
+//! Checkpoint store: snapshot + manifest + journal under one directory,
+//! with recovery-on-open and seeded crash injection.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/journal.log    write-ahead journal (units since last snapshot)
+//! <dir>/snap-<n>.bin   full state snapshots (latest two are kept)
+//! <dir>/manifest.bin   names the last completely-written snapshot
+//! ```
+//!
+//! ## Commit protocol
+//!
+//! Each completed unit is journaled (append + fsync). Periodically the
+//! store snapshots: write `snap-<n+1>.bin` (atomic), replace the manifest
+//! (atomic), then reset the journal. A kill between any two steps leaves a
+//! state [`CheckpointStore::open`] recovers from:
+//!
+//! | killed after            | recovery outcome                              |
+//! |-------------------------|-----------------------------------------------|
+//! | journal append (torn)   | tail truncated, unit recomputed ([`Defect::TornTail`]) |
+//! | snapshot staged         | old manifest + old snapshot + journal tail — nothing lost |
+//! | snapshot renamed        | manifest still names old snapshot; journal continues it |
+//! | manifest renamed        | new snapshot loads; stale journal tail discarded ([`Defect::JournalEpochMismatch`], reported by the campaign layer) |
+//!
+//! ## Crash injection
+//!
+//! [`CrashPlan`] models a `SIGKILL` landing at the N-th durable write
+//! syscall: the store performs the *partial* effect a killed process would
+//! leave (torn journal bytes, staged-but-unrenamed temp file), then returns
+//! [`DurableError::Injected`]. The caller must drop the store and reopen —
+//! exactly what a restarted process does.
+
+use crate::error::{Defect, DurableError};
+use crate::journal::{Journal, Record};
+use crate::snapshot::{encode_container, read_container, write_container};
+use crate::wire::{Dec, Enc};
+use crate::{MANIFEST_VERSION, SNAPSHOT_VERSION};
+use std::path::{Path, PathBuf};
+
+/// Snapshot container magic.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"EMOS";
+/// Manifest container magic.
+pub const MANIFEST_MAGIC: &[u8; 4] = b"EMOM";
+
+/// The journal file inside a checkpoint directory.
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("journal.log")
+}
+
+/// The manifest file inside a checkpoint directory.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest.bin")
+}
+
+/// The `seq`-th snapshot file inside a checkpoint directory.
+pub fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq}.bin"))
+}
+
+/// A seeded kill point: the `at_op`-th durable write is cut short exactly
+/// as a `SIGKILL` at that syscall would cut it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// 1-based index of the durable operation to kill (see
+    /// [`CheckpointStore::ops`] for the counter).
+    pub at_op: u64,
+    /// How much of the interrupted write's bytes reach disk (`0.0..1.0`);
+    /// only torn journal appends use it, other kill sites are all-or-nothing
+    /// at the rename boundary.
+    pub partial_frac: f64,
+}
+
+/// A recovered checkpoint store, ready for appends.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    journal: Journal,
+    snapshot_seq: u64,
+    ops: u64,
+    crash: Option<CrashPlan>,
+}
+
+/// The result of [`CheckpointStore::open`]: the store plus everything
+/// recovery learned from disk.
+#[derive(Debug)]
+pub struct Opened {
+    /// The store handle.
+    pub store: CheckpointStore,
+    /// The last valid snapshot's payload, if any snapshot survived.
+    pub state: Option<Vec<u8>>,
+    /// Committed journal records appended after that snapshot.
+    pub tail: Vec<Record>,
+    /// Every damage site recovery repaired. Empty after a clean shutdown.
+    pub defects: Vec<Defect>,
+}
+
+fn manifest_payload(seq: u64) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u64(seq);
+    enc.into_bytes()
+}
+
+/// Lists the snapshot sequence numbers present in `dir`, newest first.
+fn snapshot_seqs(dir: &Path) -> Vec<u64> {
+    let mut seqs: Vec<u64> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name().into_string().ok()?;
+            let seq = name.strip_prefix("snap-")?.strip_suffix(".bin")?;
+            seq.parse().ok()
+        })
+        .collect();
+    seqs.sort_unstable_by(|a, b| b.cmp(a));
+    seqs
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the checkpoint directory, verifies and
+    /// repairs its contents, and returns the last valid state.
+    ///
+    /// The recovery chain: manifest → the snapshot it names → (on damage)
+    /// the newest snapshot that verifies → fresh state. Every fallback step
+    /// is reported as a [`Defect`]; only unrepairable conditions (I/O
+    /// failure, a journal that is not ours, future format versions endorsed
+    /// by the manifest) are `Err`.
+    pub fn open(dir: &Path) -> Result<Opened, DurableError> {
+        std::fs::create_dir_all(dir).map_err(|e| DurableError::io(dir, "mkdir", &e))?;
+        let (journal, tail, mut defects) = Journal::open(&journal_path(dir))?;
+
+        let manifest = manifest_path(dir);
+        let mut state = None;
+        let mut snapshot_seq = 0;
+        let mut scan = false;
+        if manifest.exists() {
+            match read_container(MANIFEST_MAGIC, MANIFEST_VERSION, &manifest)
+                .and_then(|payload| {
+                    let mut dec = Dec::new(&payload);
+                    let seq = dec.u64().and_then(|s| dec.finish().map(|()| s)).map_err(
+                        |e| DurableError::Corrupt {
+                            path: manifest.display().to_string(),
+                            offset: e.offset,
+                            detail: e.detail,
+                        },
+                    )?;
+                    Ok(seq)
+                }) {
+                Ok(seq) => match read_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &snapshot_path(dir, seq)) {
+                    Ok(payload) => {
+                        state = Some(payload);
+                        snapshot_seq = seq;
+                    }
+                    // A manifest-endorsed snapshot from a future build is
+                    // fatal: falling back past newer data would silently
+                    // lose it.
+                    Err(e @ DurableError::Version { .. }) => return Err(e),
+                    Err(_) => {
+                        defects.push(Defect::ManifestStale {
+                            path: manifest.display().to_string(),
+                            snapshot: seq,
+                        });
+                        scan = true;
+                    }
+                },
+                Err(e @ DurableError::Version { .. }) => return Err(e),
+                Err(e) => {
+                    defects.push(Defect::ManifestInvalid {
+                        path: manifest.display().to_string(),
+                        detail: e.to_string(),
+                    });
+                    scan = true;
+                }
+            }
+        } else if !snapshot_seqs(dir).is_empty() {
+            // Snapshots without a manifest: killed before the first manifest
+            // write, or the manifest was deleted externally.
+            defects.push(Defect::ManifestInvalid {
+                path: manifest.display().to_string(),
+                detail: "manifest missing but snapshots exist".into(),
+            });
+            scan = true;
+        }
+
+        if scan {
+            for seq in snapshot_seqs(dir) {
+                let path = snapshot_path(dir, seq);
+                match read_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &path) {
+                    Ok(payload) => {
+                        state = Some(payload);
+                        snapshot_seq = seq;
+                        break;
+                    }
+                    Err(e) => defects.push(Defect::SnapshotInvalid {
+                        path: path.display().to_string(),
+                        detail: e.to_string(),
+                    }),
+                }
+            }
+        }
+
+        Ok(Opened {
+            store: CheckpointStore { dir: dir.to_path_buf(), journal, snapshot_seq, ops: 0, crash: None },
+            state,
+            tail,
+            defects,
+        })
+    }
+
+    /// Arms (or disarms) a seeded kill point. The op counter keeps running
+    /// across calls; op numbering is documented on [`CheckpointStore::ops`].
+    pub fn arm_crash(&mut self, plan: Option<CrashPlan>) {
+        self.crash = plan;
+    }
+
+    /// Durable operations performed so far. Appends count one op each;
+    /// every [`CheckpointStore::snapshot`] counts three (snapshot file,
+    /// manifest file, journal reset) — the kill points a [`CrashPlan`] can
+    /// target.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The sequence number of the last completed snapshot (0 if none).
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snapshot_seq
+    }
+
+    fn fire(&mut self, op: u64) -> Option<f64> {
+        match self.crash {
+            Some(plan) if plan.at_op == op => Some(plan.partial_frac),
+            _ => None,
+        }
+    }
+
+    /// Journals one record (append + fsync). On `Ok`, the record is
+    /// committed and survives any later kill.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Injected`] when an armed [`CrashPlan`] targets this
+    /// op — the torn partial write is left on disk and the store must be
+    /// dropped and reopened. [`DurableError::Io`] on real I/O failure.
+    pub fn append(&mut self, kind: u8, seq: u64, data: &[u8]) -> Result<(), DurableError> {
+        self.ops += 1;
+        let op = self.ops;
+        if let Some(frac) = self.fire(op) {
+            self.journal.append_torn(kind, seq, data, frac)?;
+            return Err(DurableError::Injected {
+                op,
+                detail: format!("journal append of record seq {seq} torn mid-write"),
+            });
+        }
+        self.journal.append(kind, seq, data)
+    }
+
+    /// Checkpoints the full `state`: writes the next snapshot, points the
+    /// manifest at it, resets the journal, and prunes snapshots older than
+    /// the previous one. Three counted kill points (see
+    /// [`CheckpointStore::ops`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Injected`] at an armed kill point — the on-disk state
+    /// is whatever a `SIGKILL` there would leave, and the store must be
+    /// dropped and reopened. [`DurableError::Io`] on real I/O failure.
+    pub fn snapshot(&mut self, state: &[u8]) -> Result<(), DurableError> {
+        let seq = self.snapshot_seq + 1;
+        let snap = snapshot_path(&self.dir, seq);
+
+        self.ops += 1;
+        if self.fire(self.ops).is_some() {
+            // Killed between the temp-file fsync and the rename: the staged
+            // file exists, the destination does not change.
+            crate::atomic::stage_only(&snap, &encode_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, state))?;
+            return Err(DurableError::Injected {
+                op: self.ops,
+                detail: format!("snapshot #{seq} staged but not renamed"),
+            });
+        }
+        write_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &snap, state)?;
+
+        let manifest = manifest_path(&self.dir);
+        self.ops += 1;
+        if self.fire(self.ops).is_some() {
+            crate::atomic::stage_only(
+                &manifest,
+                &encode_container(MANIFEST_MAGIC, MANIFEST_VERSION, &manifest_payload(seq)),
+            )?;
+            return Err(DurableError::Injected {
+                op: self.ops,
+                detail: format!("manifest update to snapshot #{seq} staged but not renamed"),
+            });
+        }
+        write_container(MANIFEST_MAGIC, MANIFEST_VERSION, &manifest, &manifest_payload(seq))?;
+
+        self.ops += 1;
+        if self.fire(self.ops).is_some() {
+            // Killed before the journal reset: the journal still holds the
+            // records the new snapshot already covers. Recovery discards
+            // them via the epoch check.
+            return Err(DurableError::Injected {
+                op: self.ops,
+                detail: format!("journal reset after snapshot #{seq} skipped"),
+            });
+        }
+        self.journal = Journal::create(&journal_path(&self.dir))?;
+        self.snapshot_seq = seq;
+
+        // Keep the latest two snapshots so one bad snapshot always has a
+        // fallback; pruning is best-effort (a leftover file is harmless).
+        for old in snapshot_seqs(&self.dir) {
+            if old + 1 < seq {
+                let _ = std::fs::remove_file(snapshot_path(&self.dir, old));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "emoleak-store-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_open_then_snapshot_then_reopen() {
+        let dir = scratch("fresh");
+        let opened = CheckpointStore::open(&dir).unwrap();
+        assert!(opened.state.is_none() && opened.tail.is_empty() && opened.defects.is_empty());
+        let mut store = opened.store;
+        store.append(1, 0, b"unit0").unwrap();
+        store.append(1, 1, b"unit1").unwrap();
+        store.snapshot(b"state@2").unwrap();
+        store.append(1, 2, b"unit2").unwrap();
+        drop(store);
+
+        let opened = CheckpointStore::open(&dir).unwrap();
+        assert!(opened.defects.is_empty(), "{:?}", opened.defects);
+        assert_eq!(opened.state.as_deref(), Some(b"state@2".as_slice()));
+        assert_eq!(opened.tail.len(), 1);
+        assert_eq!(opened.tail[0].seq, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_on_append_is_torn_and_recovered() {
+        let dir = scratch("crash-append");
+        let mut store = CheckpointStore::open(&dir).unwrap().store;
+        store.append(1, 0, b"committed").unwrap();
+        store.arm_crash(Some(CrashPlan { at_op: 2, partial_frac: 0.4 }));
+        let err = store.append(1, 1, b"torn away").unwrap_err();
+        assert!(err.is_injected(), "{err}");
+        drop(store);
+
+        let opened = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(opened.tail.len(), 1, "only the committed record survives");
+        assert!(
+            opened.defects.iter().any(|d| matches!(d, Defect::TornTail { .. })),
+            "{:?}",
+            opened.defects
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_at_each_snapshot_step_recovers() {
+        // Kill points: op 3 = snapshot stage, op 4 = manifest stage, op 5 =
+        // journal-reset skip. Each must reopen to a usable state. Op 3
+        // leaves only a staged temp file (old state wins, cleanly); op 4
+        // leaves an orphan snapshot that the scan finds (with a defect
+        // flagging the missing manifest); op 5 leaves snapshot + manifest
+        // complete but a stale journal for the epoch check to discard.
+        for (kill_op, expect_state, expect_defect) in [
+            (3, None, false),
+            (4, Some(b"state@1".as_slice()), true),
+            (5, Some(b"state@1".as_slice()), false),
+        ] {
+            let dir = scratch(&format!("crash-snap-{kill_op}"));
+            let mut store = CheckpointStore::open(&dir).unwrap().store;
+            store.append(1, 0, b"u0").unwrap();
+            store.append(1, 1, b"u1").unwrap();
+            store.arm_crash(Some(CrashPlan { at_op: kill_op, partial_frac: 0.5 }));
+            let err = store.snapshot(b"state@1").unwrap_err();
+            assert!(err.is_injected(), "op {kill_op}: {err}");
+            drop(store);
+
+            let opened = CheckpointStore::open(&dir).unwrap();
+            assert_eq!(opened.state.as_deref(), expect_state, "kill at op {kill_op}");
+            // In every case the journal was not reset: both committed
+            // records must still replay (the campaign layer decides, via
+            // the epoch check, whether they extend the recovered state).
+            assert_eq!(opened.tail.len(), 2, "kill at op {kill_op}");
+            assert_eq!(
+                opened.defects.iter().any(|d| matches!(d, Defect::ManifestInvalid { .. })),
+                expect_defect,
+                "kill at op {kill_op}: {:?}",
+                opened.defects
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupt_manifest_falls_back_to_scan() {
+        let dir = scratch("bad-manifest");
+        let mut store = CheckpointStore::open(&dir).unwrap().store;
+        store.append(1, 0, b"u0").unwrap();
+        store.snapshot(b"good state").unwrap();
+        drop(store);
+        // Flip a bit inside the manifest payload.
+        let m = manifest_path(&dir);
+        let mut bytes = std::fs::read(&m).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&m, &bytes).unwrap();
+
+        let opened = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(opened.state.as_deref(), Some(b"good state".as_slice()));
+        assert!(
+            opened.defects.iter().any(|d| matches!(d, Defect::ManifestInvalid { .. })),
+            "{:?}",
+            opened.defects
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_manifest_falls_back_to_newest_valid_snapshot() {
+        let dir = scratch("stale-manifest");
+        let mut store = CheckpointStore::open(&dir).unwrap().store;
+        store.snapshot(b"state@1").unwrap();
+        drop(store);
+        // Point the manifest at a snapshot that does not exist.
+        write_container(MANIFEST_MAGIC, MANIFEST_VERSION, &manifest_path(&dir), &manifest_payload(99))
+            .unwrap();
+
+        let opened = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(opened.state.as_deref(), Some(b"state@1".as_slice()));
+        assert!(
+            opened.defects.iter().any(|d| matches!(d, Defect::ManifestStale { snapshot: 99, .. })),
+            "{:?}",
+            opened.defects
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_previous() {
+        let dir = scratch("bad-snap");
+        let mut store = CheckpointStore::open(&dir).unwrap().store;
+        store.snapshot(b"state@1").unwrap();
+        store.snapshot(b"state@2").unwrap();
+        drop(store);
+        // Truncate the newest snapshot mid-payload.
+        let snap2 = snapshot_path(&dir, 2);
+        let bytes = std::fs::read(&snap2).unwrap();
+        std::fs::write(&snap2, &bytes[..bytes.len() - 2]).unwrap();
+
+        let opened = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(
+            opened.state.as_deref(),
+            Some(b"state@1".as_slice()),
+            "must fall back to the previous snapshot"
+        );
+        assert!(
+            opened.defects.iter().any(|d| matches!(d, Defect::ManifestStale { snapshot: 2, .. })),
+            "{:?}",
+            opened.defects
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_version_snapshot_named_by_manifest_is_fatal() {
+        let dir = scratch("vnext");
+        let mut store = CheckpointStore::open(&dir).unwrap().store;
+        store.snapshot(b"state@1").unwrap();
+        drop(store);
+        let snap = snapshot_path(&dir, 1);
+        let vnext = encode_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION + 1, b"future state");
+        std::fs::write(&snap, &vnext).unwrap();
+        assert!(matches!(
+            CheckpointStore::open(&dir),
+            Err(DurableError::Version { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshots_are_pruned_to_two() {
+        let dir = scratch("prune");
+        let mut store = CheckpointStore::open(&dir).unwrap().store;
+        for i in 1..=5u64 {
+            store.snapshot(format!("state@{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(snapshot_seqs(&dir), vec![5, 4]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

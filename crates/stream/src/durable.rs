@@ -1,0 +1,342 @@
+//! Durable verdict journaling for the streaming service.
+//!
+//! A long-lived capture service is routinely killed — by the OS, a battery
+//! manager, or a chaos harness. [`DurableSink`] writes every committed
+//! [`RegionEmission`] and every degradation-ladder [`Transition`] to a
+//! write-ahead journal (`emoleak-durable`) *at the moment it commits*, so a
+//! kill loses at most the region being classified. [`recover_run`] replays
+//! a journal — including one torn by a kill mid-append — back into typed
+//! emissions and transitions.
+//!
+//! Journaling happens on the classify worker thread, where an `Err` has no
+//! caller to land in; the sink therefore latches its first failure and
+//! stops journaling, and [`DurableSink::take_error`] surfaces the failure
+//! after the run. Classification itself never blocks on a broken disk.
+
+use crate::ladder::Transition;
+use crate::service::RegionEmission;
+use emoleak_core::online::{InferenceLevel, Verdict};
+use emoleak_durable::{Dec, Defect, DurableError, Enc, Journal, WireError};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Journal record kind: one committed region emission.
+pub const REC_EMISSION: u8 = 1;
+/// Journal record kind: one degradation-ladder transition.
+pub const REC_TRANSITION: u8 = 2;
+/// Journal record kind: end-of-run summary (its presence marks a run that
+/// shut down cleanly rather than being killed).
+pub const REC_RUN_SUMMARY: u8 = 3;
+
+fn level_code(level: InferenceLevel) -> u8 {
+    InferenceLevel::ALL
+        .iter()
+        .position(|l| *l == level)
+        .map(|i| i as u8)
+        .unwrap_or(u8::MAX)
+}
+
+fn level_from(code: u8, offset: u64) -> Result<InferenceLevel, WireError> {
+    InferenceLevel::ALL.get(usize::from(code)).copied().ok_or_else(|| WireError {
+        offset,
+        detail: format!("unknown inference level code {code}"),
+    })
+}
+
+fn encode_emission(e: &RegionEmission) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u64(e.window as u64)
+        .u64(e.start as u64)
+        .u64(e.end as u64)
+        .u64(e.truth as u64)
+        .u8(level_code(e.verdict.level))
+        .u8(u8::from(e.verdict.is_speech))
+        .u8(u8::from(e.verdict.label.is_some()))
+        .u64(e.verdict.label.unwrap_or(0) as u64)
+        .u8(u8::from(e.deadline_missed))
+        .u64(e.latency.as_nanos() as u64);
+    enc.into_bytes()
+}
+
+fn decode_emission(region: u64, data: &[u8]) -> Result<RegionEmission, WireError> {
+    let mut dec = Dec::new(data);
+    let window = dec.u64()? as usize;
+    let start = dec.u64()? as usize;
+    let end = dec.u64()? as usize;
+    let truth = dec.u64()? as usize;
+    let level_at = dec.offset();
+    let level = level_from(dec.u8()?, level_at)?;
+    let is_speech = dec.u8()? != 0;
+    let has_label = dec.u8()? != 0;
+    let label_raw = dec.u64()? as usize;
+    let deadline_missed = dec.u8()? != 0;
+    let latency = Duration::from_nanos(dec.u64()?);
+    dec.finish()?;
+    Ok(RegionEmission {
+        region,
+        window,
+        start,
+        end,
+        truth,
+        verdict: Verdict { level, label: has_label.then_some(label_raw), is_speech },
+        deadline_missed,
+        latency,
+    })
+}
+
+fn encode_transition(region: u64, t: Transition) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u64(region).u8(level_code(t.from)).u8(level_code(t.to));
+    enc.into_bytes()
+}
+
+struct SinkInner {
+    journal: Journal,
+    seq: u64,
+    error: Option<DurableError>,
+}
+
+/// A thread-safe handle journaling service events as they commit. Cloning
+/// shares the underlying journal.
+#[derive(Clone)]
+pub struct DurableSink {
+    inner: Arc<Mutex<SinkInner>>,
+}
+
+impl core::fmt::Debug for DurableSink {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("DurableSink")
+            .field("path", &inner.journal.path())
+            .field("seq", &inner.seq)
+            .field("error", &inner.error)
+            .finish()
+    }
+}
+
+impl DurableSink {
+    /// Creates a fresh journal at `path` (truncating an existing one — each
+    /// service run is its own journal).
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Io`] when the journal cannot be created.
+    pub fn create(path: &Path) -> Result<DurableSink, DurableError> {
+        let journal = Journal::create(path)?;
+        Ok(DurableSink { inner: Arc::new(Mutex::new(SinkInner { journal, seq: 0, error: None })) })
+    }
+
+    fn append(&self, kind: u8, data: &[u8]) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.error.is_some() {
+            return; // latched: first failure wins, journaling stops
+        }
+        let seq = inner.seq;
+        if let Err(e) = inner.journal.append(kind, seq, data) {
+            inner.error = Some(e);
+        } else {
+            inner.seq += 1;
+        }
+    }
+
+    /// Journals one committed region emission (append + fsync).
+    pub fn record_emission(&self, emission: &RegionEmission) {
+        self.append(REC_EMISSION, &encode_emission(emission));
+    }
+
+    /// Journals one degradation-ladder transition, tagged with the region
+    /// counter it fired at.
+    pub fn record_transition(&self, region: u64, transition: Transition) {
+        self.append(REC_TRANSITION, &encode_transition(region, transition));
+    }
+
+    /// Journals the end-of-run summary. A journal ending without one was
+    /// killed mid-run.
+    pub fn finish(&self, regions: u64, final_level: InferenceLevel) {
+        let mut enc = Enc::new();
+        enc.u64(regions).u8(level_code(final_level));
+        self.append(REC_RUN_SUMMARY, &enc.into_bytes());
+    }
+
+    /// The first journaling failure, if any (taking it resets the latch but
+    /// journaling does not resume for this run).
+    pub fn take_error(&self) -> Option<DurableError> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).error.take()
+    }
+}
+
+/// A service run replayed from its journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredRun {
+    /// Committed emissions, in commit order (region counters are 1-based
+    /// and contiguous).
+    pub emissions: Vec<RegionEmission>,
+    /// Committed ladder transitions as `(region, transition)` pairs.
+    pub transitions: Vec<(u64, Transition)>,
+    /// Whether the run wrote its end-of-run summary (`false` = killed).
+    pub complete: bool,
+}
+
+/// Replays a service journal, repairing a torn tail if the writer was
+/// killed mid-append.
+///
+/// # Errors
+///
+/// [`DurableError::Format`]/[`DurableError::Version`] for a file that is
+/// not (or is a future) journal, [`DurableError::Corrupt`] for a record
+/// whose payload passes the CRC but does not decode — that is real damage,
+/// never served silently.
+pub fn recover_run(path: &Path) -> Result<(RecoveredRun, Vec<Defect>), DurableError> {
+    let (_journal, records, defects) = Journal::open(path)?;
+    let corrupt = |e: WireError| DurableError::Corrupt {
+        path: path.display().to_string(),
+        offset: e.offset,
+        detail: e.detail,
+    };
+    let mut run =
+        RecoveredRun { emissions: Vec::new(), transitions: Vec::new(), complete: false };
+    for record in records {
+        match record.kind {
+            REC_EMISSION => {
+                let region = run.emissions.len() as u64 + 1;
+                run.emissions.push(decode_emission(region, &record.data).map_err(corrupt)?);
+            }
+            REC_TRANSITION => {
+                let mut dec = Dec::new(&record.data);
+                let region = dec.u64().map_err(corrupt)?;
+                let from_at = dec.offset();
+                let from = dec.u8().map_err(corrupt).and_then(|c| {
+                    level_from(c, from_at).map_err(corrupt)
+                })?;
+                let to_at = dec.offset();
+                let to =
+                    dec.u8().map_err(corrupt).and_then(|c| level_from(c, to_at).map_err(corrupt))?;
+                dec.finish().map_err(corrupt)?;
+                run.transitions.push((region, Transition { from, to }));
+            }
+            REC_RUN_SUMMARY => run.complete = true,
+            other => {
+                return Err(DurableError::Corrupt {
+                    path: path.display().to_string(),
+                    offset: 0,
+                    detail: format!("unknown service record kind {other}"),
+                })
+            }
+        }
+    }
+    Ok((run, defects))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "emoleak-sink-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn emission(region: u64) -> RegionEmission {
+        RegionEmission {
+            region,
+            window: 3,
+            start: 10,
+            end: 250,
+            truth: 2,
+            verdict: Verdict {
+                level: InferenceLevel::Classical,
+                label: Some(5),
+                is_speech: true,
+            },
+            deadline_missed: region % 2 == 0,
+            latency: Duration::from_micros(123 + region),
+        }
+    }
+
+    #[test]
+    fn emissions_and_transitions_round_trip() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("run.log");
+        let sink = DurableSink::create(&path).unwrap();
+        sink.record_emission(&emission(1));
+        sink.record_transition(
+            1,
+            Transition { from: InferenceLevel::Classical, to: InferenceLevel::EnergyOnly },
+        );
+        sink.record_emission(&emission(2));
+        sink.finish(2, InferenceLevel::EnergyOnly);
+        assert!(sink.take_error().is_none());
+
+        let (run, defects) = recover_run(&path).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert!(run.complete);
+        assert_eq!(run.emissions, vec![emission(1), emission(2)]);
+        assert_eq!(
+            run.transitions,
+            vec![(1, Transition { from: InferenceLevel::Classical, to: InferenceLevel::EnergyOnly })]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn none_label_round_trips() {
+        let dir = scratch("shed");
+        let path = dir.join("run.log");
+        let sink = DurableSink::create(&path).unwrap();
+        let shed = RegionEmission {
+            verdict: Verdict { level: InferenceLevel::Shed, label: None, is_speech: false },
+            ..emission(1)
+        };
+        sink.record_emission(&shed);
+        let (run, _) = recover_run(&path).unwrap();
+        assert_eq!(run.emissions, vec![shed]);
+        assert!(!run.complete, "no summary record: the run was cut short");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_last_record() {
+        let dir = scratch("torn");
+        let path = dir.join("run.log");
+        let sink = DurableSink::create(&path).unwrap();
+        sink.record_emission(&emission(1));
+        sink.record_emission(&emission(2));
+        drop(sink);
+        // Chop the last record in half: a kill mid-append.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 20]).unwrap();
+
+        let (run, defects) = recover_run(&path).unwrap();
+        assert_eq!(run.emissions, vec![emission(1)]);
+        assert_eq!(defects.len(), 1, "{defects:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sink_latches_failure_instead_of_blocking_classification() {
+        let dir = scratch("latch");
+        let path = dir.join("run.log");
+        let sink = DurableSink::create(&path).unwrap();
+        sink.record_emission(&emission(1));
+        // Replace the journal file with a directory so the next fsync-ed
+        // append fails at the OS level.
+        std::fs::remove_file(&path).unwrap();
+        std::fs::create_dir(&path).unwrap();
+        sink.record_emission(&emission(2));
+        sink.record_emission(&emission(3));
+        let err = sink.take_error();
+        assert!(
+            matches!(err, Some(DurableError::Io { .. })) || err.is_none(),
+            "either the OS surfaces the swap or appends keep landing on the \
+             open handle; a panic is the only wrong answer: {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

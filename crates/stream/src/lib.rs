@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod ladder;
 pub mod log;
 pub mod queue;
@@ -33,6 +34,9 @@ pub mod service;
 pub mod source;
 pub mod supervisor;
 
+pub use durable::{
+    recover_run, DurableSink, RecoveredRun, REC_EMISSION, REC_RUN_SUMMARY, REC_TRANSITION,
+};
 pub use ladder::{DegradationLadder, LadderConfig, Transition};
 pub use log::{ServiceEvent, ServiceLog};
 pub use queue::{BoundedQueue, OverflowPolicy, PopOutcome, PushOutcome};

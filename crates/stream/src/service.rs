@@ -79,6 +79,10 @@ pub struct StreamConfig {
     /// Chaos knob: the extract worker panics once after processing this
     /// many chunks, to exercise supervision end to end.
     pub panic_after_chunks: Option<u64>,
+    /// Optional write-ahead journal: every emission and ladder transition
+    /// is persisted (append + fsync) as it commits, so a killed run loses
+    /// at most the region in flight (see [`crate::durable`]).
+    pub durable: Option<crate::durable::DurableSink>,
 }
 
 impl Default for StreamConfig {
@@ -95,6 +99,7 @@ impl Default for StreamConfig {
             supervisor: SupervisorConfig::default(),
             latency_override: None,
             panic_after_chunks: None,
+            durable: None,
         }
     }
 }
@@ -477,6 +482,7 @@ impl StreamService {
             let deadline = cfg.deadline;
             let patience = cfg.patience;
             let latency_override = cfg.latency_override;
+            let durable = cfg.durable.clone();
             Stage::new("classify", move |ctx| {
                 loop {
                     if ctx.token.is_cancelled() {
@@ -513,13 +519,16 @@ impl StreamService {
                                 counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
                             }
                             if let Some(t) = locked(&ladder).observe(missed) {
+                                if let Some(sink) = &durable {
+                                    sink.record_transition(region, t);
+                                }
                                 locked(&log).push(if t.to > t.from {
                                     ServiceEvent::Degraded { region, transition: t }
                                 } else {
                                     ServiceEvent::Recovered { region, transition: t }
                                 });
                             }
-                            locked(&emissions).push(RegionEmission {
+                            let emission = RegionEmission {
                                 region,
                                 window: p.window,
                                 start: p.rf.start,
@@ -528,7 +537,11 @@ impl StreamService {
                                 verdict,
                                 deadline_missed: missed,
                                 latency,
-                            });
+                            };
+                            if let Some(sink) = &durable {
+                                sink.record_emission(&emission);
+                            }
+                            locked(&emissions).push(emission);
                         }
                     }
                 }
@@ -565,6 +578,9 @@ impl StreamService {
         let final_level = locked(&ladder).level();
         let emissions = std::mem::take(&mut *locked(&emissions));
         let log = locked(&log).clone();
+        if let Some(sink) = &self.config.durable {
+            sink.finish(stats.regions, final_level);
+        }
         Ok(StreamReport { emissions, log, stats, final_level })
     }
 }
@@ -761,6 +777,28 @@ mod tests {
             transitions.iter().any(|t| t.to < t.from),
             "sustained headroom must climb back up: {transitions:?}"
         );
+    }
+
+    #[test]
+    fn durable_sink_journals_every_emission_as_it_commits() {
+        use crate::durable::{recover_run, DurableSink};
+        let fix = fixture();
+        let dir = std::env::temp_dir()
+            .join(format!("emoleak-service-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.log");
+        let sink = DurableSink::create(&path).unwrap();
+        let svc = service(StreamConfig { durable: Some(sink.clone()), ..fast_config() });
+        let source = ReplaySource::from_campaign(&fix.campaign, svc.config().chunk_len);
+        let report = svc.run(Box::new(source)).unwrap();
+        assert!(sink.take_error().is_none());
+
+        let (run, defects) = recover_run(&path).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert!(run.complete, "clean shutdown must write the summary record");
+        assert_eq!(run.emissions, report.emissions, "journal must replay the exact run");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

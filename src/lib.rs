@@ -18,6 +18,7 @@
 //! | [`ml`] | Weka-style classifiers and CNNs, from scratch |
 //! | [`core`] | the end-to-end attack pipeline, reports, mitigations |
 //! | [`stream`] | resilient online inference: bounded queues, supervision, degradation |
+//! | [`durable`] | crash safety: write-ahead journal, checkpoints, resumable campaigns |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 
 pub use emoleak_core as core;
 pub use emoleak_dsp as dsp;
+pub use emoleak_durable as durable;
 pub use emoleak_exec as exec;
 pub use emoleak_features as features;
 pub use emoleak_ml as ml;

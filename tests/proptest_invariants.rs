@@ -245,3 +245,96 @@ proptest! {
         prop_assert!((trace.fs - session.delivered_rate()).abs() < 1e-9);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Durability-layer invariants: corruption is detected, never absorbed.
+// ---------------------------------------------------------------------------
+
+use emoleak::durable::{
+    decode_container, encode_container, CampaignState, DurableError, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
+
+/// Builds an arbitrary campaign state from generated ingredients: an id of
+/// `id_len` chars, a fingerprint, and `raw` split into opaque payloads.
+fn mk_state(id_len: usize, fingerprint: u64, raw: &[u32]) -> CampaignState {
+    let id: String = "campaign_id_".chars().take(id_len).collect();
+    let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+    let payloads: Vec<Vec<u8>> = bytes.chunks(17).map(|c| c.to_vec()).collect();
+    CampaignState { id, fingerprint, payloads }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A snapshot container truncated at *any* byte refuses to decode with
+    /// a typed error — never a panic, never a partial state.
+    #[test]
+    fn truncated_snapshot_never_decodes(
+        id_len in 0usize..13,
+        fingerprint in 0u64..u64::MAX,
+        raw in prop::collection::vec(0u32..256, 0..160),
+        cut in 0.0f64..1.0,
+    ) {
+        let state = mk_state(id_len, fingerprint, &raw);
+        let encoded = encode_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &state.encode());
+        let keep = ((encoded.len() as f64) * cut) as usize; // strictly < len
+        let err = decode_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &encoded[..keep], "t.bin")
+            .expect_err("a truncated container must not decode");
+        prop_assert!(
+            matches!(
+                err,
+                DurableError::Corrupt { .. }
+                    | DurableError::Format { .. }
+                    | DurableError::Version { .. }
+            ),
+            "unexpected error class: {err}"
+        );
+    }
+
+    /// Flipping *any* single bit of a snapshot container yields either a
+    /// typed error or — when the flip lands somewhere the format tolerates,
+    /// e.g. turning the version into an older number — the exact original
+    /// state. Nothing in between: no silently altered payloads.
+    #[test]
+    fn bit_flipped_snapshot_detects_or_round_trips(
+        id_len in 0usize..13,
+        fingerprint in 0u64..u64::MAX,
+        raw in prop::collection::vec(0u32..256, 0..160),
+        pos in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let state = mk_state(id_len, fingerprint, &raw);
+        let mut encoded = encode_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &state.encode());
+        let idx = ((encoded.len() as f64) * pos) as usize % encoded.len();
+        encoded[idx] ^= 1u8 << bit;
+        match decode_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &encoded, "t.bin") {
+            Err(
+                DurableError::Corrupt { .. }
+                | DurableError::Format { .. }
+                | DurableError::Version { .. },
+            ) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+            Ok(payload) => {
+                let decoded = CampaignState::decode(&payload)
+                    .expect("an accepted container payload must decode");
+                prop_assert!(
+                    decoded == state,
+                    "a bit flip survived the checksum AND changed the state"
+                );
+            }
+        }
+    }
+
+    /// `CampaignState::decode` is total over arbitrary bytes: typed error
+    /// or a value, never a panic.
+    #[test]
+    fn campaign_state_decode_is_total(raw in prop::collection::vec(0u32..256, 0..256)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        match CampaignState::decode(&bytes) {
+            Ok(state) => prop_assert!(state.encode() == bytes, "decode/encode must agree"),
+            Err(DurableError::Corrupt { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+}

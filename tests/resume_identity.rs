@@ -1,0 +1,118 @@
+//! Kill-and-resume byte-identity for checkpointed campaigns.
+//!
+//! A campaign is checkpointed mid-flight (an injected crash tears the
+//! journal or the snapshot replacement), the in-memory state is dropped,
+//! and the campaign is resumed — on a *different* worker count than the run
+//! that died. The resumed payloads, which embed every region's truth label
+//! and the classifier accuracy as raw bits, must compare byte-for-byte
+//! equal to an uninterrupted single-threaded run.
+//!
+//! This is the durability layer leaning on the determinism model: unit
+//! results depend only on the unit index, so the recovered cursor *is* the
+//! RNG stream position and splicing checkpointed units with recomputed ones
+//! is invisible in the output.
+
+use emoleak::core::{evaluate_features, ClassifierKind, Protocol};
+use emoleak::durable::{
+    run_resumable, CampaignError, CampaignSpec, CrashPlan, Defect, Enc, Outcome, RunOptions,
+};
+use emoleak::prelude::*;
+use emoleak_exec::with_threads;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 0x1D3;
+const SEVERITIES: [f64; 3] = [0.0, 1.0, 3.0];
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("emoleak-resume-identity-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One unit per severity: harvest TESS under handheld motion faults, then
+/// classify. The payload captures the campaign's *labels* — every detected
+/// region's truth label plus the accuracy — as raw bytes, so payload
+/// equality is a byte-for-byte label comparison.
+fn compute_units(range: Range<usize>) -> Result<Vec<Vec<u8>>, EmoleakError> {
+    let corpus = CorpusSpec::tess().with_clips_per_cell(2);
+    let random_guess = corpus.random_guess();
+    let severities = &SEVERITIES[range];
+    emoleak_exec::par_map_indexed(severities, |_, &severity| {
+        let scenario = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t())
+            .with_faults(
+                emoleak::phone::FaultProfile::handheld_walking().with_severity(severity),
+            );
+        let h = scenario.harvest()?;
+        let accuracy = match evaluate_features(
+            &h.features,
+            ClassifierKind::Logistic,
+            Protocol::Holdout8020,
+            SEED,
+        ) {
+            Ok(eval) => eval.accuracy,
+            Err(EmoleakError::DegenerateDataset(_)) => random_guess,
+            Err(e) => return Err(e),
+        };
+        let mut enc = Enc::new();
+        enc.f64(severity).f64(accuracy).u64(h.features.len() as u64);
+        for &label in h.features.labels() {
+            enc.u64(label as u64);
+        }
+        Ok(enc.into_bytes())
+    })
+    .into_iter()
+    .collect()
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec { id: "resume-identity".into(), fingerprint: 0xB17E, total: SEVERITIES.len() }
+}
+
+fn opts(crash: Option<CrashPlan>) -> RunOptions {
+    RunOptions { chunk: 2, snapshot_every: 2, crash }
+}
+
+fn run(dir: Option<&Path>, crash: Option<CrashPlan>) -> Result<Outcome, String> {
+    run_resumable(dir, &spec(), &opts(crash), &mut compute_units).map_err(|e| match e {
+        CampaignError::App(a) => format!("compute failed: {a}"),
+        CampaignError::Durable(d) => format!("durable: {d}"),
+    })
+}
+
+#[test]
+fn killed_campaign_resumes_byte_identical_across_thread_counts() {
+    // The identity target: an uninterrupted run, one worker. A clean
+    // 4-worker run must already match it (the determinism model).
+    let clean = with_threads(1, || run(None, None)).expect("clean run");
+    let clean4 = with_threads(4, || run(None, None)).expect("clean 4-thread run");
+    assert_eq!(clean.payloads, clean4.payloads, "clean runs diverge across thread counts");
+
+    // Kill mid-journal-append on 1 worker; drop everything; resume on 4.
+    // Op 2 is the second unit's append — the crash leaves a torn record.
+    let dir = scratch("torn-append");
+    let err = with_threads(1, || run(Some(&dir), Some(CrashPlan { at_op: 2, partial_frac: 0.5 })))
+        .expect_err("kill must fire");
+    assert!(err.contains("injected crash"), "{err}");
+    let resumed = with_threads(4, || run(Some(&dir), None)).expect("resume");
+    assert_eq!(resumed.resumed_units, 1, "exactly the journaled unit restores");
+    assert!(
+        resumed.defects.iter().any(|d| matches!(d, Defect::TornTail { .. })),
+        "torn append must surface as a typed defect: {:?}",
+        resumed.defects
+    );
+    assert_eq!(resumed.payloads, clean.payloads, "1→4 thread resume diverged");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    // Kill mid-snapshot-replacement on 4 workers (op 4: the manifest is
+    // staged but not renamed); drop everything; resume on 1.
+    let dir = scratch("staged-manifest");
+    let err = with_threads(4, || run(Some(&dir), Some(CrashPlan { at_op: 4, partial_frac: 0.5 })))
+        .expect_err("kill must fire");
+    assert!(err.contains("injected crash"), "{err}");
+    let resumed = with_threads(1, || run(Some(&dir), None)).expect("resume");
+    assert_eq!(resumed.resumed_units, 2, "both snapshotted units restore");
+    assert_eq!(resumed.payloads, clean.payloads, "4→1 thread resume diverged");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
