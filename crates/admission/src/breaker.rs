@@ -1,0 +1,149 @@
+//! The fleet circuit breaker.
+//!
+//! Where each session's [`DegradationLadder`](emoleak_stream::DegradationLadder)
+//! reacts to its *own* deadline misses, the fleet breaker watches the
+//! *shared* overload signal (standing queue latency, memory pressure) and
+//! walks the whole fleet down the
+//! [`FleetState`](emoleak_core::admission::FleetState) ladder — Healthy →
+//! Degraded → Saturated → BrownOut — with the same hysteresis discipline:
+//! tripping is never frozen (overload must be escapable), recovery needs a
+//! long calm streak *and* an elapsed cooldown, so the fleet settles instead
+//! of flapping.
+
+use emoleak_core::admission::FleetState;
+
+/// Tuning for the fleet breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive overloaded observations that trip one state worse.
+    pub trip_after: u32,
+    /// Consecutive calm observations that recover one state better.
+    pub recover_after: u32,
+    /// Observations after any transition during which recovery is frozen
+    /// (tripping never is).
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        // recover_after ≫ trip_after: falling is easy, climbing back is
+        // earned — the same hysteresis shape as the session ladder.
+        BreakerConfig { trip_after: 3, recover_after: 10, cooldown: 5 }
+    }
+}
+
+/// The fleet-state machine. Feed it one `observe` per admission tick.
+#[derive(Debug, Clone)]
+pub struct FleetBreaker {
+    cfg: BreakerConfig,
+    state: FleetState,
+    strained: u32,
+    calm: u32,
+    cooldown_left: u32,
+}
+
+impl FleetBreaker {
+    /// A breaker starting Healthy.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        FleetBreaker { cfg, state: FleetState::Healthy, strained: 0, calm: 0, cooldown_left: 0 }
+    }
+
+    /// The current fleet state.
+    pub fn state(&self) -> FleetState {
+        self.state
+    }
+
+    /// Records one overload observation; returns the transition it caused,
+    /// if any.
+    pub fn observe(&mut self, overloaded: bool) -> Option<(FleetState, FleetState)> {
+        self.cooldown_left = self.cooldown_left.saturating_sub(1);
+        if overloaded {
+            self.calm = 0;
+            self.strained += 1;
+            if self.strained >= self.cfg.trip_after && self.state != FleetState::BrownOut {
+                return Some(self.shift(self.state.worse()));
+            }
+        } else {
+            self.strained = 0;
+            self.calm += 1;
+            if self.calm >= self.cfg.recover_after
+                && self.cooldown_left == 0
+                && self.state != FleetState::Healthy
+            {
+                return Some(self.shift(self.state.better()));
+            }
+        }
+        None
+    }
+
+    fn shift(&mut self, to: FleetState) -> (FleetState, FleetState) {
+        let t = (self.state, to);
+        self.state = to;
+        self.strained = 0;
+        self.calm = 0;
+        self.cooldown_left = self.cfg.cooldown;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use FleetState::*;
+
+    fn breaker() -> FleetBreaker {
+        FleetBreaker::new(BreakerConfig { trip_after: 2, recover_after: 4, cooldown: 3 })
+    }
+
+    #[test]
+    fn sustained_overload_walks_the_whole_ladder() {
+        let mut b = breaker();
+        let mut transitions = Vec::new();
+        for _ in 0..10 {
+            if let Some(t) = b.observe(true) {
+                transitions.push(t);
+            }
+        }
+        assert_eq!(
+            transitions,
+            vec![(Healthy, Degraded), (Degraded, Saturated), (Saturated, BrownOut)]
+        );
+        assert_eq!(b.state(), BrownOut, "brown-out is the floor");
+    }
+
+    #[test]
+    fn one_calm_tick_resets_the_strain_streak() {
+        let mut b = breaker();
+        assert_eq!(b.observe(true), None);
+        assert_eq!(b.observe(false), None);
+        assert_eq!(b.observe(true), None, "streak restarted");
+        assert_eq!(b.observe(true), Some((Healthy, Degraded)));
+    }
+
+    #[test]
+    fn recovery_needs_calm_streak_and_cooldown() {
+        let mut b = breaker();
+        b.observe(true);
+        b.observe(true); // -> Degraded, cooldown 3
+        let mut transitions = Vec::new();
+        for _ in 0..12 {
+            if let Some(t) = b.observe(false) {
+                transitions.push(t);
+            }
+        }
+        assert_eq!(transitions, vec![(Degraded, Healthy)]);
+        // Healthy is the ceiling: further calm changes nothing.
+        for _ in 0..20 {
+            assert_eq!(b.observe(false), None);
+        }
+    }
+
+    #[test]
+    fn tripping_ignores_cooldown() {
+        let mut b = breaker();
+        b.observe(true);
+        b.observe(true); // -> Degraded, fresh cooldown
+        b.observe(true);
+        assert_eq!(b.observe(true), Some((Degraded, Saturated)), "cooldown never delays a trip");
+    }
+}

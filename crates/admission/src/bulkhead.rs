@@ -1,0 +1,86 @@
+//! Concurrency bulkheads.
+//!
+//! A bulkhead caps how many sessions may be in flight at once — one per
+//! tenant (no tenant hoards the fleet) and one global (the box has finite
+//! cores and memory). Named for a ship's bulkheads: a flooded compartment
+//! must not sink the vessel.
+
+/// A counting concurrency limiter.
+#[derive(Debug, Clone)]
+pub struct Bulkhead {
+    limit: usize,
+    in_flight: usize,
+    peak: usize,
+}
+
+impl Bulkhead {
+    /// A bulkhead admitting at most `limit` concurrent holders.
+    pub fn new(limit: usize) -> Self {
+        Bulkhead { limit, in_flight: 0, peak: 0 }
+    }
+
+    /// Takes a slot; `false` means the bulkhead is full.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.in_flight < self.limit {
+            self.in_flight += 1;
+            self.peak = self.peak.max(self.in_flight);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns a slot. Releasing more than was acquired saturates at zero
+    /// rather than corrupting the count.
+    pub fn release(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    /// Slots currently held.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// The most slots ever held at once.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_the_line_at_limit() {
+        let mut b = Bulkhead::new(2);
+        assert!(b.try_acquire());
+        assert!(b.try_acquire());
+        assert!(!b.try_acquire(), "the third holder is refused");
+        assert_eq!(b.in_flight(), 2);
+        b.release();
+        assert!(b.try_acquire(), "a released slot is reusable");
+        assert_eq!(b.peak(), 2);
+    }
+
+    #[test]
+    fn over_release_saturates() {
+        let mut b = Bulkhead::new(1);
+        b.release();
+        b.release();
+        assert_eq!(b.in_flight(), 0);
+        assert!(b.try_acquire());
+        assert!(!b.try_acquire(), "spurious releases must not mint slots");
+    }
+
+    #[test]
+    fn zero_limit_admits_nobody() {
+        let mut b = Bulkhead::new(0);
+        assert!(!b.try_acquire());
+    }
+}

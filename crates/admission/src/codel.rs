@@ -1,0 +1,174 @@
+//! Deterministic CoDel ("controlled delay") load shedding.
+//!
+//! Bounded queues bound *memory*; they do not bound *staleness* — a queue
+//! that is always full serves every item a full queue's worth of latency
+//! late. CoDel watches each dequeued item's *sojourn time* and, once the
+//! sojourn has stayed above a target for a sustained interval, sheds items
+//! at an increasing rate (`interval / sqrt(drops)`) until the queue drains
+//! back below target — the classic control law from Nichols & Jacobson,
+//! here on the admission layer's logical clock.
+//!
+//! Determinism: the only non-integer arithmetic is IEEE-754 `sqrt` on
+//! exact small integers, which is correctly rounded and identical on every
+//! platform — a scenario replays byte-identically.
+
+/// Tuning for the CoDel control law, in logical ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodelConfig {
+    /// Acceptable standing sojourn. Above this for a full `interval`, the
+    /// queue is judged standing-full and shedding starts.
+    pub target: u64,
+    /// How long the sojourn must stay above target before the first shed;
+    /// also the base of the shedding-rate schedule.
+    pub interval: u64,
+}
+
+impl Default for CodelConfig {
+    fn default() -> Self {
+        // The classic 5ms/100ms shape, in ticks (1 tick = 1ms).
+        CodelConfig { target: 5, interval: 100 }
+    }
+}
+
+/// What to do with a dequeued item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodelVerdict {
+    /// Serve it.
+    Serve,
+    /// Shed it: the queue has carried standing latency too long.
+    Shed,
+}
+
+/// The CoDel state machine. Feed it every dequeue.
+#[derive(Debug, Clone)]
+pub struct Codel {
+    cfg: CodelConfig,
+    /// When the sojourn first went above target, if it is still above.
+    first_above: Option<u64>,
+    /// Next scheduled shed while in the dropping state.
+    drop_next: u64,
+    /// Sheds in the current dropping episode.
+    drop_count: u64,
+    dropping: bool,
+}
+
+impl Codel {
+    /// A fresh controller.
+    pub fn new(cfg: CodelConfig) -> Self {
+        Codel { cfg, first_above: None, drop_next: 0, drop_count: 0, dropping: false }
+    }
+
+    /// `interval / sqrt(drop_count)`: the shed interval shrinks as an
+    /// episode persists, draining harder the longer the queue stands.
+    fn backoff(&self) -> u64 {
+        ((self.cfg.interval as f64) / (self.drop_count.max(1) as f64).sqrt()).max(1.0) as u64
+    }
+
+    /// Judges one dequeued item that waited `sojourn` ticks, at tick `now`.
+    pub fn on_dequeue(&mut self, sojourn: u64, now: u64) -> CodelVerdict {
+        if sojourn < self.cfg.target {
+            // Below target: leave the dropping state entirely.
+            self.first_above = None;
+            self.dropping = false;
+            return CodelVerdict::Serve;
+        }
+        if self.dropping {
+            if now >= self.drop_next {
+                self.drop_count += 1;
+                self.drop_next = now + self.backoff();
+                return CodelVerdict::Shed;
+            }
+            return CodelVerdict::Serve;
+        }
+        match self.first_above {
+            None => {
+                self.first_above = Some(now + self.cfg.interval);
+                CodelVerdict::Serve
+            }
+            Some(deadline) if now >= deadline => {
+                self.dropping = true;
+                self.drop_count = 1;
+                self.drop_next = now + self.backoff();
+                CodelVerdict::Shed
+            }
+            Some(_) => CodelVerdict::Serve,
+        }
+    }
+
+    /// Whether the controller is currently in a shedding episode.
+    pub fn dropping(&self) -> bool {
+        self.dropping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codel() -> Codel {
+        Codel::new(CodelConfig { target: 5, interval: 100 })
+    }
+
+    #[test]
+    fn short_sojourns_never_shed() {
+        let mut c = codel();
+        for now in 0..10_000 {
+            assert_eq!(c.on_dequeue(4, now), CodelVerdict::Serve);
+        }
+        assert!(!c.dropping());
+    }
+
+    #[test]
+    fn standing_latency_sheds_after_a_full_interval() {
+        let mut c = codel();
+        // Sojourn above target, but the interval has not elapsed: served.
+        assert_eq!(c.on_dequeue(50, 0), CodelVerdict::Serve);
+        assert_eq!(c.on_dequeue(50, 99), CodelVerdict::Serve);
+        // A full interval above target: the first shed.
+        assert_eq!(c.on_dequeue(50, 100), CodelVerdict::Shed);
+        assert!(c.dropping());
+    }
+
+    #[test]
+    fn shedding_rate_increases_while_latency_stands() {
+        let mut c = codel();
+        let mut sheds = Vec::new();
+        for now in 0..2000 {
+            if c.on_dequeue(50, now) == CodelVerdict::Shed {
+                sheds.push(now);
+            }
+        }
+        assert!(sheds.len() > 3, "{sheds:?}");
+        let gaps: Vec<u64> = sheds.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.windows(2).all(|w| w[1] <= w[0]),
+            "gaps must shrink (or hold) as the episode persists: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_resets_the_episode() {
+        let mut c = codel();
+        for now in 0..500 {
+            c.on_dequeue(50, now);
+        }
+        assert!(c.dropping());
+        assert_eq!(c.on_dequeue(1, 500), CodelVerdict::Serve);
+        assert!(!c.dropping(), "a below-target sojourn ends the episode");
+        // The next episode again needs a full interval of standing latency.
+        assert_eq!(c.on_dequeue(50, 501), CodelVerdict::Serve);
+        assert_eq!(c.on_dequeue(50, 600), CodelVerdict::Serve);
+        assert_eq!(c.on_dequeue(50, 601), CodelVerdict::Shed);
+    }
+
+    #[test]
+    fn verdict_sequence_is_deterministic() {
+        let run = || {
+            let mut c = codel();
+            (0..1000)
+                .map(|now| c.on_dequeue(if now % 7 == 0 { 2 } else { 60 }, now))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

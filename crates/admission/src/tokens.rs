@@ -1,0 +1,113 @@
+//! Deterministic token-bucket rate limiting.
+//!
+//! One bucket per tenant bounds the *rate* of chunk offers (the bulkhead
+//! bounds *concurrency*). The bucket runs on the admission layer's logical
+//! clock — [`TICKS_PER_SEC`] ticks per second — and in integer
+//! *millitokens*, so refill is exact: at `rate` tokens per second, one
+//! tick refills exactly `rate` millitokens. No floats, no rounding drift,
+//! no wall clock: the same offer sequence always gets the same verdicts.
+
+/// Logical ticks per second: one tick is a millisecond.
+pub const TICKS_PER_SEC: u64 = 1000;
+
+/// Millitokens one request costs.
+const MILLI: u64 = 1000;
+
+/// An integer token bucket on the logical clock.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Bucket capacity, millitokens (`burst * 1000`).
+    capacity: u64,
+    /// Current fill, millitokens.
+    fill: u64,
+    /// Refill per tick, millitokens (`== rate` tokens/sec).
+    rate: u64,
+    /// Tick the bucket was last advanced to.
+    last: u64,
+}
+
+impl TokenBucket {
+    /// A bucket admitting `rate` requests per second with bursts up to
+    /// `burst` requests. Starts full.
+    pub fn new(rate: u64, burst: u64) -> Self {
+        let capacity = burst.max(1).saturating_mul(MILLI);
+        TokenBucket { capacity, fill: capacity, rate, last: 0 }
+    }
+
+    /// Refills for the ticks elapsed since the last advance. The clock
+    /// never runs backwards: an earlier `now` is a no-op.
+    fn advance(&mut self, now: u64) {
+        if now > self.last {
+            let elapsed = now - self.last;
+            self.fill = self
+                .fill
+                .saturating_add(elapsed.saturating_mul(self.rate))
+                .min(self.capacity);
+            self.last = now;
+        }
+    }
+
+    /// Takes one request's worth of tokens at tick `now`; `false` means
+    /// rate-limited.
+    pub fn try_take(&mut self, now: u64) -> bool {
+        self.advance(now);
+        if self.fill >= MILLI {
+            self.fill -= MILLI;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole tokens currently available.
+    pub fn available(&self) -> u64 {
+        self.fill / MILLI
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_steady_rate() {
+        // 2 req/s, burst 3: the first 3 offers at t=0 pass, the 4th fails.
+        let mut b = TokenBucket::new(2, 3);
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(!b.try_take(0));
+        // 2/s == 2 millitokens per tick: one token every 500 ticks.
+        assert!(!b.try_take(499));
+        assert!(b.try_take(500));
+        assert!(!b.try_take(500));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(1000, 2);
+        assert!(b.try_take(0) && b.try_take(0));
+        // A long idle period refills to burst, not beyond.
+        b.advance(1_000_000);
+        assert_eq!(b.available(), 2);
+    }
+
+    #[test]
+    fn clock_never_runs_backwards() {
+        let mut b = TokenBucket::new(1, 1);
+        assert!(b.try_take(5000));
+        assert!(!b.try_take(0), "an earlier tick must not refill");
+        assert!(!b.try_take(5999));
+        assert!(b.try_take(6000));
+    }
+
+    #[test]
+    fn deterministic_across_replays() {
+        let offers = [0u64, 0, 3, 7, 7, 900, 1000, 1001, 2500];
+        let run = || {
+            let mut b = TokenBucket::new(2, 2);
+            offers.iter().map(|&t| b.try_take(t)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -23,7 +23,7 @@ fn project(d: &FeatureDataset, cols: std::ops::Range<usize>) -> FeatureDataset {
 }
 
 fn main() -> Result<(), EmoleakError> {
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
     banner("Ablation: time-domain vs frequency-domain features (TESS / OnePlus 7T)",
            corpus.random_guess());
     let harvest = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t()).harvest()?;

@@ -14,7 +14,7 @@ use emoleak_phone::SpeakerKind;
 use rand::SeedableRng;
 
 fn main() -> Result<(), EmoleakError> {
-    let n = clips_per_cell().min(20);
+    let n = clips_per_cell()?.min(20);
     let corpus = CorpusSpec::tess().with_clips_per_cell(n);
     banner("Sensor choice: accelerometer vs gyroscope (TESS / OnePlus 7T)", corpus.random_guess());
     let device = DeviceProfile::oneplus_7t();

@@ -9,7 +9,7 @@ use emoleak_core::prelude::*;
 use emoleak_core::ClassifierKind;
 
 fn main() -> Result<(), EmoleakError> {
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
     banner("Android 200 Hz sampling cap (TESS / loudspeaker / OnePlus 7T)", corpus.random_guess());
     let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
     let study = SamplingCapStudy::run(&scenario, ClassifierKind::Logistic, 0xA12)?;

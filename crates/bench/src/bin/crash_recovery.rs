@@ -58,13 +58,10 @@ fn axes() -> Vec<(&'static str, FaultProfile)> {
     ]
 }
 
-fn clips() -> usize {
-    std::env::var("EMOLEAK_CLIPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
+fn clips() -> Result<usize, EmoleakError> {
+    Ok(emoleak_exec::parse_checked("EMOLEAK_CLIPS", "a positive integer", |&n: &usize| n > 0)?
         .unwrap_or(2)
-        .min(4)
+        .min(4))
 }
 
 /// Computes units `range` of the campaign grid: one payload per
@@ -74,7 +71,7 @@ fn compute_units(
     grid: &[(usize, f64)],
     range: std::ops::Range<usize>,
 ) -> Result<Vec<Vec<u8>>, EmoleakError> {
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips());
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips()?);
     let random_guess = corpus.random_guess();
     let axes = axes();
     emoleak_exec::par_map_indexed(&grid[range], |_, &(ai, severity)| {
@@ -258,16 +255,13 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() -> Result<(), EmoleakError> {
-    let kills: u64 = std::env::var("EMOLEAK_CRASH_KILLS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(6);
-    let chaos_seed: u64 = std::env::var("EMOLEAK_CRASH_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0xC4A5);
+    let kills: u64 =
+        emoleak_exec::parse_checked("EMOLEAK_CRASH_KILLS", "a kill count", |_| true)?.unwrap_or(6);
+    let chaos_seed: u64 =
+        emoleak_exec::parse_checked("EMOLEAK_CRASH_SEED", "a u64 seed", |_| true)?
+            .unwrap_or(0xC4A5);
     println!("crash_recovery: kill-and-resume chaos over a checkpointed campaign");
-    println!("(kills = {kills}, chaos seed = {chaos_seed:#x}, clips/cell = {})\n", clips());
+    println!("(kills = {kills}, chaos seed = {chaos_seed:#x}, clips/cell = {})\n", clips()?);
 
     let grid: Vec<(usize, f64)> = (0..axes().len())
         .flat_map(|ai| SEVERITIES.iter().map(move |&s| (ai, s)))
@@ -276,7 +270,7 @@ fn main() -> Result<(), EmoleakError> {
         id: "crash_recovery".into(),
         fingerprint: campaign_fingerprint(&[
             &format!("seed={SEED:#x}"),
-            &format!("clips={}", clips()),
+            &format!("clips={}", clips()?),
             &format!("severities={SEVERITIES:?}"),
         ]),
         total: grid.len(),

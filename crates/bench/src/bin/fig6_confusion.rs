@@ -10,7 +10,7 @@ use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
 
 fn main() -> Result<(), EmoleakError> {
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
     banner("Figure 6: TESS confusion matrices (OnePlus 7T)", corpus.random_guess());
 
     let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest()?;

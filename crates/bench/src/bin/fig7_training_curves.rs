@@ -24,7 +24,7 @@ fn curves(name: &str, harvest: &emoleak_core::HarvestResult) -> Result<(), Emole
 }
 
 fn main() -> Result<(), EmoleakError> {
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
     banner("Figure 7: CNN training curves (TESS, OnePlus 7T)", corpus.random_guess());
     let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest()?;
     curves("loudspeaker (a, b)", &loud)?;

@@ -8,7 +8,7 @@ use emoleak_core::prelude::*;
 use emoleak_core::ClassifierKind;
 
 fn main() -> Result<(), EmoleakError> {
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell().min(20));
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?.min(20));
     banner("Mitigations: vibration damping / sensor relocation (TESS / OnePlus 7T)",
            corpus.random_guess());
     let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());

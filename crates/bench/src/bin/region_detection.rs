@@ -6,7 +6,7 @@ use emoleak_bench::{banner, clips_per_cell};
 use emoleak_core::prelude::*;
 
 fn main() -> Result<(), EmoleakError> {
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
     banner("Speech-region extraction rates (TESS, OnePlus 7T)", corpus.random_guess());
     let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest()?;
     let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest()?;

@@ -154,7 +154,7 @@ fn to_json(random_guess: f64, severities: &[f64], results: &[(String, Vec<Cell>)
 }
 
 fn main() -> Result<(), EmoleakError> {
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell().min(12));
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?.min(12));
     let random_guess = corpus.random_guess();
     banner("Robustness sweep: accuracy vs fault severity (TESS / OnePlus 7T)", random_guess);
     let severities = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];

@@ -265,16 +265,15 @@ fn main() -> Result<(), EmoleakError> {
     banner("Stream chaos: liveness under faults, flaky transport, and panics", corpus.random_guess());
     let device = DeviceProfile::oneplus_7t();
 
-    let severities: Vec<f64> = std::env::var("EMOLEAK_CHAOS_SEVERITIES")
-        .map(|s| {
-            s.split(',')
-                .map(|t| t.trim().parse::<f64>().expect("EMOLEAK_CHAOS_SEVERITIES: bad number"))
-                .collect()
-        })
-        .unwrap_or_else(|_| vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0]);
-    let seeds: u64 = std::env::var("EMOLEAK_CHAOS_SEEDS")
-        .map(|s| s.parse().expect("EMOLEAK_CHAOS_SEEDS: bad count"))
-        .unwrap_or(3);
+    let severities: Vec<f64> = emoleak_exec::parse_list_checked(
+        "EMOLEAK_CHAOS_SEVERITIES",
+        "comma-separated non-negative numbers",
+        |&s: &f64| s.is_finite() && s >= 0.0,
+    )?
+    .unwrap_or_else(|| vec![0.0, 0.5, 1.0, 2.0, 4.0, 8.0]);
+    let seeds: u64 =
+        emoleak_exec::parse_checked("EMOLEAK_CHAOS_SEEDS", "a positive count", |&n: &u64| n > 0)?
+            .unwrap_or(3);
 
     // One classical bundle, trained once on the clean campaign, backs every
     // run: chaos is about the service, not the model.

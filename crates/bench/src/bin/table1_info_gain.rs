@@ -15,7 +15,7 @@ fn main() -> Result<(), EmoleakError> {
     // Short grouped-emotion blocks are where the posture-drift structure
     // that Table I measures lives; larger campaigns wash the in-session
     // association out (see EXPERIMENTS.md).
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell().min(6));
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?.min(6));
     banner("Table I: information gain, no filter vs 1 Hz high-pass (TESS, handheld)",
            corpus.random_guess());
     let scenario = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t());

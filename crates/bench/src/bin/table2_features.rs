@@ -7,7 +7,7 @@ use emoleak_core::prelude::*;
 use emoleak_features::info_gain::information_gain_per_feature;
 
 fn main() -> Result<(), EmoleakError> {
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell().min(20));
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?.min(20));
     banner("Table II: feature inventory + information gain (TESS)", corpus.random_guess());
     let settings = [
         ("table-top", AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t())),

@@ -17,7 +17,7 @@ use emoleak_core::prelude::*;
 const SEED: u64 = 0x7AB3;
 
 fn main() -> Result<(), EmoleakError> {
-    let corpus = CorpusSpec::savee().with_clips_per_cell(clips_per_cell());
+    let corpus = CorpusSpec::savee().with_clips_per_cell(clips_per_cell()?);
     banner("Table III: SAVEE / loudspeaker", corpus.random_guess());
     let devices = [DeviceProfile::oneplus_7t(), DeviceProfile::pixel_5()];
     let mut table = ResultTable::new(
@@ -27,7 +27,7 @@ fn main() -> Result<(), EmoleakError> {
     let device_names: Vec<&str> = devices.iter().map(|d| d.name()).collect();
     let fingerprint = campaign_fingerprint(&[
         &format!("seed={SEED:#x}"),
-        &format!("clips={}", clips_per_cell()),
+        &format!("clips={}", clips_per_cell()?),
         &format!("skip_cnn={}", skip_cnn()),
         &device_names.join(","),
     ]);

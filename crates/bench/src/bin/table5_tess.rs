@@ -16,7 +16,7 @@ use emoleak_core::prelude::*;
 const SEED: u64 = 0x7E55;
 
 fn main() -> Result<(), EmoleakError> {
-    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
+    let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
     banner("Table V: TESS / loudspeaker", corpus.random_guess());
     let devices = [
         DeviceProfile::oneplus_7t(),
@@ -32,7 +32,7 @@ fn main() -> Result<(), EmoleakError> {
     let device_names: Vec<&str> = devices.iter().map(|d| d.name()).collect();
     let fingerprint = campaign_fingerprint(&[
         &format!("seed={SEED:#x}"),
-        &format!("clips={}", clips_per_cell()),
+        &format!("clips={}", clips_per_cell()?),
         &format!("skip_cnn={}", skip_cnn()),
         &device_names.join(","),
     ]);

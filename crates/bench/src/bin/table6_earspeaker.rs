@@ -11,8 +11,8 @@ use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
 
 fn main() -> Result<(), EmoleakError> {
-    let savee = CorpusSpec::savee().with_clips_per_cell(clips_per_cell());
-    let tess = CorpusSpec::tess().with_clips_per_cell(clips_per_cell());
+    let savee = CorpusSpec::savee().with_clips_per_cell(clips_per_cell()?);
+    let tess = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
     banner("Table VI: ear speaker / handheld (10-fold CV)", savee.random_guess());
     let scenarios = [
         ("SAVEE (OnePlus 7T)", AttackScenario::handheld(savee.clone(), DeviceProfile::oneplus_7t())),

@@ -65,7 +65,7 @@ fn audio_domain_accuracy(corpus: &CorpusSpec, seed: u64) -> f64 {
 }
 
 fn main() -> Result<(), EmoleakError> {
-    let n = clips_per_cell();
+    let n = clips_per_cell()?;
     banner("Table VII: vibration domain vs audio domain", 1.0 / 7.0);
     let rows: [(&str, CorpusSpec, DeviceProfile); 3] = [
         ("SAVEE", CorpusSpec::savee().with_clips_per_cell(n), DeviceProfile::oneplus_7t()),

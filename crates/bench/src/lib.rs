@@ -32,13 +32,17 @@ use emoleak_durable::{
 };
 use std::path::{Path, PathBuf};
 
-/// Clips per (speaker, emotion) cell for this run (`EMOLEAK_CLIPS`).
-pub fn clips_per_cell() -> usize {
-    std::env::var("EMOLEAK_CLIPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(40)
+/// Clips per (speaker, emotion) cell for this run (`EMOLEAK_CLIPS`,
+/// default 40). Strict: a set-but-malformed value errors instead of
+/// silently running the default campaign size.
+///
+/// # Errors
+///
+/// [`EmoleakError::Config`] when `EMOLEAK_CLIPS` is set but not a
+/// positive integer.
+pub fn clips_per_cell() -> Result<usize, EmoleakError> {
+    Ok(emoleak_exec::parse_checked("EMOLEAK_CLIPS", "a positive integer", |&n: &usize| n > 0)?
+        .unwrap_or(40))
 }
 
 /// Whether CNN rows should be skipped (`EMOLEAK_SKIP_CNN`).
@@ -56,12 +60,18 @@ pub fn checkpoint_dir() -> Option<PathBuf> {
 /// Units between snapshot checkpoints (`EMOLEAK_SNAPSHOT_EVERY`, default 4).
 /// The write-ahead journal covers the units since the last snapshot, so
 /// this trades snapshot I/O against recovery replay length, never safety.
-pub fn snapshot_every() -> usize {
-    std::env::var("EMOLEAK_SNAPSHOT_EVERY")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(4)
+///
+/// # Errors
+///
+/// [`EmoleakError::Config`] when `EMOLEAK_SNAPSHOT_EVERY` is set but not a
+/// positive integer.
+pub fn snapshot_every() -> Result<usize, EmoleakError> {
+    Ok(emoleak_exec::parse_checked(
+        "EMOLEAK_SNAPSHOT_EVERY",
+        "a positive integer",
+        |&n: &usize| n > 0,
+    )?
+    .unwrap_or(4))
 }
 
 /// Fingerprints everything that shapes a campaign's unit results (FNV-1a
@@ -104,7 +114,7 @@ pub fn run_campaign<T>(
     let spec = CampaignSpec { id: id.to_string(), fingerprint, total };
     let opts = RunOptions {
         chunk: emoleak_exec::threads().max(1),
-        snapshot_every: snapshot_every(),
+        snapshot_every: snapshot_every()?,
         crash: None,
     };
     let outcome = run_resumable(dir.as_deref(), &spec, &opts, &mut |range| {
@@ -246,7 +256,7 @@ pub fn banner(title: &str, random_guess: f64) {
     println!("\n{title}");
     println!(
         "(clips/cell = {}, CNN width divisor = {}, random guess = {:.2}%)",
-        clips_per_cell(),
+        clips_per_cell().map_or_else(|e| format!("invalid ({e})"), |n| n.to_string()),
         emoleak_core::pipeline::cnn_width_divisor()
             .map_or_else(|e| format!("invalid ({e})"), |d| d.to_string()),
         random_guess * 100.0
@@ -273,7 +283,8 @@ mod tests {
     #[test]
     fn env_knob_defaults() {
         // Not set in the test environment.
-        assert!(clips_per_cell() >= 1);
+        assert!(clips_per_cell().unwrap() >= 1);
+        assert!(snapshot_every().unwrap() >= 1);
     }
 
     /// Serializes the env-mutating tests in this binary.

@@ -55,6 +55,10 @@ pub enum EmoleakError {
     /// depend on `emoleak-durable`; the typed `DurableError` is available
     /// to callers that use that crate directly).
     Durable(String),
+    /// The ingest layer rejected hostile or corrupt input — NaN/Inf
+    /// samples, non-monotonic or duplicate timestamps — before it could
+    /// reach DSP (see [`emoleak_phone::replay::InputDefect`]).
+    HostileInput(emoleak_phone::replay::InputDefect),
     /// An error localized to one corpus clip, wrapped with the clip's
     /// identity so the failing utterance is diagnosable from the error
     /// alone.
@@ -92,6 +96,9 @@ impl core::fmt::Display for EmoleakError {
             }
             EmoleakError::Config(why) => write!(f, "bad configuration: {why}"),
             EmoleakError::Durable(why) => write!(f, "durability error: {why}"),
+            EmoleakError::HostileInput(defect) => {
+                write!(f, "hostile input rejected: {defect}")
+            }
             EmoleakError::InClip { context, source } => {
                 write!(f, "{source} ({context})")
             }
@@ -117,6 +124,12 @@ impl From<emoleak_exec::EnvError> for EmoleakError {
 impl From<DspError> for EmoleakError {
     fn from(e: DspError) -> Self {
         EmoleakError::Dsp(e)
+    }
+}
+
+impl From<emoleak_phone::replay::InputDefect> for EmoleakError {
+    fn from(d: emoleak_phone::replay::InputDefect) -> Self {
+        EmoleakError::HostileInput(d)
     }
 }
 
@@ -171,6 +184,19 @@ mod tests {
         assert!(matches!(e, EmoleakError::Config(_)));
         assert!(e.to_string().contains("EMOLEAK_THREADS"));
         assert!(e.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn input_defects_become_hostile_input_errors() {
+        let defect = emoleak_phone::replay::InputDefect::DuplicateTimestamp {
+            window: 4,
+            offset: 128,
+        };
+        let e: EmoleakError = defect.clone().into();
+        assert_eq!(e, EmoleakError::HostileInput(defect));
+        let msg = e.to_string();
+        assert!(msg.contains("hostile input"), "{msg}");
+        assert!(msg.contains("128"), "{msg}");
     }
 
     #[test]

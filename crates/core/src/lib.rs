@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod error;
 pub mod mitigation;
 pub mod online;
@@ -44,6 +45,7 @@ pub mod pipeline;
 pub mod report;
 pub mod scenario;
 
+pub use admission::{AdmissionError, FleetState, VerdictMeta};
 pub use error::{ClipContext, EmoleakError};
 pub use online::{
     extract_window, InferenceLevel, ModelBundle, RecordedCampaign, RegionFeatures, Verdict,
@@ -64,6 +66,7 @@ pub(crate) mod test_support {
 
 /// Convenient re-exports for examples and benches.
 pub mod prelude {
+    pub use crate::admission::{AdmissionError, FleetState, VerdictMeta};
     pub use crate::error::{ClipContext, EmoleakError};
     pub use crate::online::{InferenceLevel, ModelBundle, RecordedCampaign, Verdict};
     pub use crate::pipeline::{

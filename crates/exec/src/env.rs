@@ -60,6 +60,41 @@ pub fn parse_checked<T: FromStr>(
     }
 }
 
+
+/// Reads and strictly parses a comma-separated list from environment
+/// variable `name`.
+///
+/// Returns `Ok(None)` when the variable is unset. When set, *every*
+/// comma-separated element (whitespace-trimmed) must parse as `T` and
+/// satisfy `valid`, and the list must be non-empty — a partially-garbage
+/// list is never silently truncated.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] (carrying the whole raw value) when the list is
+/// empty or any element fails to parse or validate.
+pub fn parse_list_checked<T: FromStr>(
+    name: &str,
+    expected: &'static str,
+    valid: impl Fn(&T) -> bool,
+) -> Result<Option<Vec<T>>, EnvError> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    let err = || EnvError { name: name.to_string(), value: raw.clone(), expected };
+    let mut out = Vec::new();
+    for part in raw.split(',') {
+        match part.trim().parse::<T>() {
+            Ok(v) if valid(&v) => out.push(v),
+            _ => return Err(err()),
+        }
+    }
+    if out.is_empty() {
+        return Err(err());
+    }
+    Ok(Some(out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +137,36 @@ mod tests {
             parse_checked::<usize>("EMOLEAK_TEST_RANGE", "a positive integer", |&n| n > 0)
                 .unwrap_err();
         assert_eq!(err.value, "0");
+    }
+
+    #[test]
+    fn list_parses_trimmed_elements() {
+        std::env::set_var("EMOLEAK_TEST_LIST", "1, 2 ,3");
+        assert_eq!(
+            parse_list_checked::<u64>("EMOLEAK_TEST_LIST", "integers", |_| true),
+            Ok(Some(vec![1, 2, 3]))
+        );
+    }
+
+    #[test]
+    fn list_rejects_any_bad_element() {
+        std::env::set_var("EMOLEAK_TEST_LIST_BAD", "1,x,3");
+        let err = parse_list_checked::<u64>("EMOLEAK_TEST_LIST_BAD", "integers", |_| true)
+            .unwrap_err();
+        assert_eq!(err.value, "1,x,3", "the whole raw value is reported");
+        std::env::set_var("EMOLEAK_TEST_LIST_EMPTY", "");
+        assert!(
+            parse_list_checked::<u64>("EMOLEAK_TEST_LIST_EMPTY", "integers", |_| true)
+                .is_err(),
+            "an empty list is an error, not a silent no-op"
+        );
+    }
+
+    #[test]
+    fn list_unset_is_none() {
+        assert_eq!(
+            parse_list_checked::<u64>("EMOLEAK_TEST_LIST_UNSET", "integers", |_| true),
+            Ok(None)
+        );
     }
 }

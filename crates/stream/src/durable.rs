@@ -15,6 +15,7 @@
 
 use crate::ladder::Transition;
 use crate::service::RegionEmission;
+use emoleak_core::admission::FleetState;
 use emoleak_core::online::{InferenceLevel, Verdict};
 use emoleak_durable::{Dec, Defect, DurableError, Enc, Journal, WireError};
 use std::path::Path;
@@ -28,6 +29,21 @@ pub const REC_TRANSITION: u8 = 2;
 /// Journal record kind: end-of-run summary (its presence marks a run that
 /// shut down cleanly rather than being killed).
 pub const REC_RUN_SUMMARY: u8 = 3;
+/// Journal record kind: one fleet-breaker state transition.
+pub const REC_FLEET_TRANSITION: u8 = 4;
+/// Journal record kind: one CoDel load shed.
+pub const REC_LOAD_SHED: u8 = 5;
+
+fn fleet_code(state: FleetState) -> u8 {
+    FleetState::ALL.iter().position(|s| *s == state).map(|i| i as u8).unwrap_or(u8::MAX)
+}
+
+fn fleet_from(code: u8, offset: u64) -> Result<FleetState, WireError> {
+    FleetState::ALL.get(usize::from(code)).copied().ok_or_else(|| WireError {
+        offset,
+        detail: format!("unknown fleet state code {code}"),
+    })
+}
 
 fn level_code(level: InferenceLevel) -> u8 {
     InferenceLevel::ALL
@@ -151,6 +167,21 @@ impl DurableSink {
         self.append(REC_TRANSITION, &encode_transition(region, transition));
     }
 
+    /// Journals one fleet-breaker transition at logical tick `tick`.
+    pub fn record_fleet_transition(&self, tick: u64, from: FleetState, to: FleetState) {
+        let mut enc = Enc::new();
+        enc.u64(tick).u8(fleet_code(from)).u8(fleet_code(to));
+        self.append(REC_FLEET_TRANSITION, &enc.into_bytes());
+    }
+
+    /// Journals one CoDel load shed: `tenant`'s item, queued for
+    /// `sojourn` ticks, dropped at tick `tick`.
+    pub fn record_shed(&self, tick: u64, tenant: &str, sojourn: u64) {
+        let mut enc = Enc::new();
+        enc.u64(tick).str(tenant).u64(sojourn);
+        self.append(REC_LOAD_SHED, &enc.into_bytes());
+    }
+
     /// Journals the end-of-run summary. A journal ending without one was
     /// killed mid-run.
     pub fn finish(&self, regions: u64, final_level: InferenceLevel) {
@@ -174,6 +205,10 @@ pub struct RecoveredRun {
     pub emissions: Vec<RegionEmission>,
     /// Committed ladder transitions as `(region, transition)` pairs.
     pub transitions: Vec<(u64, Transition)>,
+    /// Committed fleet-breaker transitions as `(tick, from, to)` triples.
+    pub fleet_transitions: Vec<(u64, FleetState, FleetState)>,
+    /// Committed CoDel sheds as `(tick, tenant, sojourn)` triples.
+    pub sheds: Vec<(u64, String, u64)>,
     /// Whether the run wrote its end-of-run summary (`false` = killed).
     pub complete: bool,
 }
@@ -194,8 +229,13 @@ pub fn recover_run(path: &Path) -> Result<(RecoveredRun, Vec<Defect>), DurableEr
         offset: e.offset,
         detail: e.detail,
     };
-    let mut run =
-        RecoveredRun { emissions: Vec::new(), transitions: Vec::new(), complete: false };
+    let mut run = RecoveredRun {
+        emissions: Vec::new(),
+        transitions: Vec::new(),
+        fleet_transitions: Vec::new(),
+        sheds: Vec::new(),
+        complete: false,
+    };
     for record in records {
         match record.kind {
             REC_EMISSION => {
@@ -214,6 +254,27 @@ pub fn recover_run(path: &Path) -> Result<(RecoveredRun, Vec<Defect>), DurableEr
                     dec.u8().map_err(corrupt).and_then(|c| level_from(c, to_at).map_err(corrupt))?;
                 dec.finish().map_err(corrupt)?;
                 run.transitions.push((region, Transition { from, to }));
+            }
+            REC_FLEET_TRANSITION => {
+                let mut dec = Dec::new(&record.data);
+                let tick = dec.u64().map_err(corrupt)?;
+                let from_at = dec.offset();
+                let from = dec.u8().map_err(corrupt).and_then(|c| {
+                    fleet_from(c, from_at).map_err(corrupt)
+                })?;
+                let to_at = dec.offset();
+                let to =
+                    dec.u8().map_err(corrupt).and_then(|c| fleet_from(c, to_at).map_err(corrupt))?;
+                dec.finish().map_err(corrupt)?;
+                run.fleet_transitions.push((tick, from, to));
+            }
+            REC_LOAD_SHED => {
+                let mut dec = Dec::new(&record.data);
+                let tick = dec.u64().map_err(corrupt)?;
+                let tenant = dec.str().map_err(corrupt)?;
+                let sojourn = dec.u64().map_err(corrupt)?;
+                dec.finish().map_err(corrupt)?;
+                run.sheds.push((tick, tenant, sojourn));
             }
             REC_RUN_SUMMARY => run.complete = true,
             other => {
@@ -282,6 +343,32 @@ mod tests {
             run.transitions,
             vec![(1, Transition { from: InferenceLevel::Classical, to: InferenceLevel::EnergyOnly })]
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fleet_events_round_trip() {
+        let dir = scratch("fleet");
+        let path = dir.join("run.log");
+        let sink = DurableSink::create(&path).unwrap();
+        sink.record_fleet_transition(17, FleetState::Healthy, FleetState::Degraded);
+        sink.record_shed(21, "tenant-b", 9);
+        sink.record_fleet_transition(40, FleetState::Degraded, FleetState::Healthy);
+        sink.finish(0, InferenceLevel::Cnn);
+        assert!(sink.take_error().is_none());
+
+        let (run, defects) = recover_run(&path).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert!(run.complete);
+        assert!(run.emissions.is_empty());
+        assert_eq!(
+            run.fleet_transitions,
+            vec![
+                (17, FleetState::Healthy, FleetState::Degraded),
+                (40, FleetState::Degraded, FleetState::Healthy),
+            ]
+        );
+        assert_eq!(run.sheds, vec![(21, "tenant-b".to_string(), 9)]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

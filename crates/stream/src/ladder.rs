@@ -14,6 +14,49 @@
 //! run reproducible.
 
 use emoleak_core::online::InferenceLevel;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A shared, fleet-imposed *ceiling* on inference quality.
+///
+/// The per-session [`DegradationLadder`] reacts to the session's own
+/// deadline misses; a `LevelCap` is how the fleet breaker
+/// (`emoleak-admission`) cheapens every session at once when the whole
+/// service saturates. The classify stage runs each region at the worse of
+/// the two — `want.max(cap)` in the [`InferenceLevel`] ordering, where a
+/// greater rung is a cheaper one — so neither mechanism can ever *raise*
+/// quality above what the other allows.
+#[derive(Debug, Default)]
+pub struct LevelCap {
+    // Index into `InferenceLevel::ALL`; 0 (Cnn) caps nothing.
+    code: AtomicU8,
+}
+
+impl LevelCap {
+    /// An open cap (no restriction: everything up to CNN is allowed).
+    pub fn new() -> Self {
+        LevelCap::default()
+    }
+
+    /// Sets the cheapest rung sessions may exceed — [`InferenceLevel::Cnn`]
+    /// lifts the cap, [`InferenceLevel::Shed`] forces every region shed.
+    pub fn set(&self, cap: InferenceLevel) {
+        let code = InferenceLevel::ALL.iter().position(|l| *l == cap).unwrap_or(0) as u8;
+        self.code.store(code, Ordering::Relaxed);
+    }
+
+    /// The current cap.
+    pub fn get(&self) -> InferenceLevel {
+        InferenceLevel::ALL
+            .get(usize::from(self.code.load(Ordering::Relaxed)))
+            .copied()
+            .unwrap_or(InferenceLevel::Cnn)
+    }
+
+    /// The rung a session wanting `want` actually runs at under this cap.
+    pub fn apply(&self, want: InferenceLevel) -> InferenceLevel {
+        want.max(self.get())
+    }
+}
 
 /// Tuning for the degradation circuit breaker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,6 +236,18 @@ mod tests {
         assert_eq!(l.observe(true).unwrap().to, EnergyOnly);
         assert_eq!(l.observe(false).unwrap().to, Classical);
         assert_eq!(l.observe(false), None, "tops out at its configured best");
+    }
+
+    #[test]
+    fn level_cap_only_ever_cheapens() {
+        let cap = LevelCap::new();
+        assert_eq!(cap.get(), Cnn, "fresh cap restricts nothing");
+        assert_eq!(cap.apply(Classical), Classical);
+        cap.set(EnergyOnly);
+        assert_eq!(cap.apply(Cnn), EnergyOnly, "cap wins when stricter");
+        assert_eq!(cap.apply(Shed), Shed, "session's own shed survives the cap");
+        cap.set(Cnn);
+        assert_eq!(cap.apply(Classical), Classical, "lifting the cap restores the ladder");
     }
 
     #[test]

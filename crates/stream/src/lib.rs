@@ -35,16 +35,19 @@ pub mod source;
 pub mod supervisor;
 
 pub use durable::{
-    recover_run, DurableSink, RecoveredRun, REC_EMISSION, REC_RUN_SUMMARY, REC_TRANSITION,
+    recover_run, DurableSink, RecoveredRun, REC_EMISSION, REC_FLEET_TRANSITION,
+    REC_LOAD_SHED, REC_RUN_SUMMARY, REC_TRANSITION,
 };
-pub use ladder::{DegradationLadder, LadderConfig, Transition};
+pub use ladder::{DegradationLadder, LadderConfig, LevelCap, Transition};
 pub use log::{ServiceEvent, ServiceLog};
-pub use queue::{BoundedQueue, OverflowPolicy, PopOutcome, PushOutcome};
+pub use queue::{BoundedQueue, ByteGauge, OverflowPolicy, PopOutcome, PushOutcome};
 pub use retry::{retry_with_backoff, RetryError, RetryPolicy};
 pub use service::{
     RegionEmission, StreamConfig, StreamError, StreamReport, StreamService, StreamStats,
 };
-pub use source::{FlakySource, ReplaySource, SampleSource, SourceChunk, SourceError};
+pub use source::{
+    FlakySource, ReplaySource, SampleSource, SourceChunk, SourceError, ValidatingSource,
+};
 pub use supervisor::{
     supervise, Heartbeat, Stage, StageCtx, SupervisionError, SupervisionReport,
     SupervisorConfig,
@@ -52,9 +55,9 @@ pub use supervisor::{
 
 /// Commonly used types for streaming consumers.
 pub mod prelude {
-    pub use crate::ladder::LadderConfig;
-    pub use crate::queue::OverflowPolicy;
+    pub use crate::ladder::{LadderConfig, LevelCap};
+    pub use crate::queue::{ByteGauge, OverflowPolicy};
     pub use crate::service::{StreamConfig, StreamError, StreamReport, StreamService};
-    pub use crate::source::{FlakySource, ReplaySource, SampleSource};
+    pub use crate::source::{FlakySource, ReplaySource, SampleSource, ValidatingSource};
     pub use emoleak_core::online::{InferenceLevel, ModelBundle, Verdict};
 }

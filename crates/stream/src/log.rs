@@ -9,6 +9,7 @@
 //! a byte-identical log every time.
 
 use crate::ladder::Transition;
+use emoleak_core::admission::FleetState;
 use emoleak_core::online::InferenceLevel;
 
 /// One resilience event.
@@ -55,6 +56,35 @@ pub enum ServiceEvent {
     ChunkDropped {
         /// Total evictions on that queue so far.
         total: u64,
+    },
+    /// The fleet breaker moved the whole fleet to a new overload state.
+    FleetTransition {
+        /// Logical tick (admission-layer clock) of the transition.
+        tick: u64,
+        /// The state before.
+        from: FleetState,
+        /// The state after.
+        to: FleetState,
+    },
+    /// The admission layer refused a request or session at the front door.
+    AdmissionRejected {
+        /// Logical tick of the refusal.
+        tick: u64,
+        /// The refused tenant.
+        tenant: String,
+        /// The stable refusal tag (see
+        /// [`AdmissionError::tag`](emoleak_core::admission::AdmissionError::tag)).
+        reason: String,
+    },
+    /// CoDel shed an already-admitted item whose queue sojourn exceeded
+    /// the target for a sustained interval.
+    LoadShed {
+        /// Logical tick of the shed.
+        tick: u64,
+        /// The tenant whose item was shed.
+        tenant: String,
+        /// How long the item had been queued, ticks.
+        sojourn: u64,
     },
 }
 
@@ -120,6 +150,35 @@ impl ServiceLog {
             .filter(|e| matches!(e, ServiceEvent::SourceRecovered { .. }))
             .count()
     }
+
+    /// The fleet-state transitions, in order, as `(tick, from, to)`.
+    pub fn fleet_transitions(&self) -> Vec<(u64, FleetState, FleetState)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ServiceEvent::FleetTransition { tick, from, to } => Some((*tick, *from, *to)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The worst fleet state the breaker ever reached, if it ever moved.
+    pub fn worst_fleet_state(&self) -> Option<FleetState> {
+        self.fleet_transitions().iter().map(|(_, _, to)| *to).max()
+    }
+
+    /// Count of admission refusals.
+    pub fn rejections(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, ServiceEvent::AdmissionRejected { .. }))
+            .count()
+    }
+
+    /// Count of CoDel sheds.
+    pub fn sheds(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, ServiceEvent::LoadShed { .. })).count()
+    }
 }
 
 #[cfg(test)]
@@ -162,5 +221,48 @@ mod tests {
         assert!(log.events().is_empty());
         assert_eq!(log.worst_level(), None);
         assert_eq!(log.transitions(), Vec::new());
+        assert_eq!(log.worst_fleet_state(), None);
+        assert_eq!(log.rejections(), 0);
+        assert_eq!(log.sheds(), 0);
+    }
+
+    #[test]
+    fn fleet_events_summarize_separately_from_session_events() {
+        let mut log = ServiceLog::new();
+        log.push(ServiceEvent::FleetTransition {
+            tick: 10,
+            from: FleetState::Healthy,
+            to: FleetState::Degraded,
+        });
+        log.push(ServiceEvent::AdmissionRejected {
+            tick: 11,
+            tenant: "t1".into(),
+            reason: "rate-limited".into(),
+        });
+        log.push(ServiceEvent::LoadShed { tick: 12, tenant: "t2".into(), sojourn: 9 });
+        log.push(ServiceEvent::FleetTransition {
+            tick: 30,
+            from: FleetState::Degraded,
+            to: FleetState::Saturated,
+        });
+        log.push(ServiceEvent::FleetTransition {
+            tick: 90,
+            from: FleetState::Saturated,
+            to: FleetState::Degraded,
+        });
+        assert_eq!(
+            log.fleet_transitions(),
+            vec![
+                (10, FleetState::Healthy, FleetState::Degraded),
+                (30, FleetState::Degraded, FleetState::Saturated),
+                (90, FleetState::Saturated, FleetState::Degraded),
+            ]
+        );
+        assert_eq!(log.worst_fleet_state(), Some(FleetState::Saturated));
+        assert_eq!(log.rejections(), 1);
+        assert_eq!(log.sheds(), 1);
+        // Fleet events do not leak into the per-session ladder summaries.
+        assert_eq!(log.transitions(), Vec::new());
+        assert_eq!(log.worst_level(), None);
     }
 }

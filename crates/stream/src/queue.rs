@@ -12,8 +12,81 @@
 //! lost wakeup can delay progress but never deadlock it.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// A shared byte gauge: the fleet-wide memory accountant that metered
+/// queues charge and release against.
+///
+/// Every queued chunk or region costs bytes; one gauge shared by every
+/// queue of every session makes "how much is the whole fleet holding?" a
+/// single number with a high-water mark, and [`ByteGauge::try_charge`]
+/// turns it into a hard budget: a charge that would exceed the budget is
+/// refused atomically, so concurrent chargers can never conspire past it.
+#[derive(Debug, Default)]
+pub struct ByteGauge {
+    charged: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl ByteGauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        ByteGauge::default()
+    }
+
+    /// Unconditionally charges `bytes` (metered queues account what they
+    /// actually hold; budget *enforcement* happens at admission).
+    pub fn charge(&self, bytes: u64) {
+        let now = self.charged.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Atomically charges `bytes` only if the total stays within `budget`.
+    /// Returns whether the charge was taken.
+    pub fn try_charge(&self, bytes: u64, budget: u64) -> bool {
+        let mut current = self.charged.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = current.checked_add(bytes) else {
+                return false;
+            };
+            if next > budget {
+                return false;
+            }
+            match self.charged.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return true;
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Releases a previous charge (saturating: a stray double-release can
+    /// never wrap the gauge to astronomical values).
+    pub fn release(&self, bytes: u64) {
+        let _ = self.charged.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            Some(cur.saturating_sub(bytes))
+        });
+    }
+
+    /// Bytes currently charged.
+    pub fn charged(&self) -> u64 {
+        self.charged.load(Ordering::Relaxed)
+    }
+
+    /// The most bytes ever charged at once.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
 
 /// What a full queue does with a new item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +127,9 @@ struct State<T> {
     max_depth: usize,
 }
 
+/// A gauge plus the cost function items charge against it.
+type Meter<T> = (Arc<ByteGauge>, fn(&T) -> u64);
+
 /// A bounded FIFO connecting two pipeline stages.
 pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
@@ -61,6 +137,7 @@ pub struct BoundedQueue<T> {
     policy: OverflowPolicy,
     not_empty: Condvar,
     not_full: Condvar,
+    meter: Option<Meter<T>>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -77,7 +154,20 @@ impl<T> BoundedQueue<T> {
             policy,
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            meter: None,
         }
+    }
+
+    /// Meters this queue's memory on `gauge`: every admitted item charges
+    /// `cost(&item)` bytes, and every item leaving the queue — popped,
+    /// evicted by [`OverflowPolicy::DropOldest`], or still queued when the
+    /// queue is dropped — releases its charge. Conservation holds by
+    /// construction: the gauge returns to its pre-queue level once the
+    /// queue is gone.
+    #[must_use]
+    pub fn with_meter(mut self, gauge: Arc<ByteGauge>, cost: fn(&T) -> u64) -> Self {
+        self.meter = Some((gauge, cost));
+        self
     }
 
     fn lock(&self) -> MutexGuard<'_, State<T>> {
@@ -102,7 +192,11 @@ impl<T> BoundedQueue<T> {
         if state.items.len() >= self.capacity {
             match self.policy {
                 OverflowPolicy::DropOldest => {
-                    state.items.pop_front();
+                    if let Some(evicted) = state.items.pop_front() {
+                        if let Some((gauge, cost)) = &self.meter {
+                            gauge.release(cost(&evicted));
+                        }
+                    }
                     state.dropped += 1;
                     outcome = PushOutcome::DroppedOldest;
                 }
@@ -123,6 +217,9 @@ impl<T> BoundedQueue<T> {
                 }
             }
         }
+        if let Some((gauge, cost)) = &self.meter {
+            gauge.charge(cost(&item));
+        }
         state.items.push_back(item);
         let depth = state.items.len();
         state.max_depth = state.max_depth.max(depth);
@@ -141,6 +238,9 @@ impl<T> BoundedQueue<T> {
         match state.items.pop_front() {
             Some(item) => {
                 drop(state);
+                if let Some((gauge, cost)) = &self.meter {
+                    gauge.release(cost(&item));
+                }
                 self.not_full.notify_one();
                 PopOutcome::Item(item)
             }
@@ -180,6 +280,17 @@ impl<T> BoundedQueue<T> {
     /// The configured capacity bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+}
+
+impl<T> Drop for BoundedQueue<T> {
+    fn drop(&mut self) {
+        if let Some((gauge, cost)) = &self.meter {
+            let state = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
+            for item in &state.items {
+                gauge.release(cost(item));
+            }
+        }
     }
 }
 
@@ -281,6 +392,44 @@ mod tests {
         q.close();
         assert_eq!(blocked_producer.join().unwrap(), Ok(PushOutcome::Closed));
         assert_eq!(blocked_consumer.join().unwrap(), PopOutcome::Done);
+    }
+
+    #[test]
+    fn gauge_budget_is_atomic_and_saturating() {
+        let g = ByteGauge::new();
+        assert!(g.try_charge(600, 1000));
+        assert!(!g.try_charge(500, 1000), "would exceed the budget");
+        assert!(g.try_charge(400, 1000));
+        assert_eq!(g.charged(), 1000);
+        assert_eq!(g.peak(), 1000);
+        g.release(700);
+        assert_eq!(g.charged(), 300);
+        g.release(10_000); // stray double release
+        assert_eq!(g.charged(), 0, "release saturates at zero");
+        assert_eq!(g.peak(), 1000, "peak is a high-water mark");
+        assert!(!g.try_charge(u64::MAX, u64::MAX - 1), "overflow is a refusal");
+    }
+
+    #[test]
+    fn metered_queue_charges_and_releases_every_path() {
+        let g = Arc::new(ByteGauge::new());
+        let cost = |v: &Vec<u8>| v.len() as u64;
+        {
+            let q = BoundedQueue::new(2, OverflowPolicy::DropOldest)
+                .with_meter(Arc::clone(&g), cost);
+            q.push(vec![0u8; 10], TICK).unwrap();
+            q.push(vec![0u8; 20], TICK).unwrap();
+            assert_eq!(g.charged(), 30);
+            // Eviction releases the evicted item's bytes.
+            assert_eq!(q.push(vec![0u8; 5], TICK), Ok(PushOutcome::DroppedOldest));
+            assert_eq!(g.charged(), 25);
+            // Popping releases too.
+            assert!(matches!(q.pop(TICK), PopOutcome::Item(_)));
+            assert_eq!(g.charged(), 5);
+            assert_eq!(g.peak(), 30);
+            // One item still queued when the queue drops.
+        }
+        assert_eq!(g.charged(), 0, "dropping the queue releases what it held");
     }
 
     #[test]

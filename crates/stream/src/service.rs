@@ -24,11 +24,11 @@
 //! is bounded by a global timeout — the service can degrade and can fail
 //! with an error, but it cannot hang and it cannot crash the caller.
 
-use crate::ladder::{DegradationLadder, LadderConfig};
+use crate::ladder::{DegradationLadder, LadderConfig, LevelCap};
 use crate::log::{ServiceEvent, ServiceLog};
-use crate::queue::{BoundedQueue, OverflowPolicy, PopOutcome, PushOutcome};
+use crate::queue::{BoundedQueue, ByteGauge, OverflowPolicy, PopOutcome, PushOutcome};
 use crate::retry::{retry_with_backoff, RetryError, RetryPolicy};
-use crate::source::{SampleSource, SourceChunk, SourceError};
+use crate::source::{SampleSource, SourceChunk, SourceError, ValidatingSource};
 use crate::supervisor::{supervise, Stage, StageCtx, SupervisionError, SupervisorConfig};
 use emoleak_core::online::{
     extract_window, InferenceLevel, ModelBundle, RegionFeatures, Verdict,
@@ -83,6 +83,15 @@ pub struct StreamConfig {
     /// is persisted (append + fsync) as it commits, so a killed run loses
     /// at most the region in flight (see [`crate::durable`]).
     pub durable: Option<crate::durable::DurableSink>,
+    /// Optional shared memory accountant: when set, every queued chunk and
+    /// pending region is charged against this gauge while it sits in a
+    /// queue, so a fleet of sessions can be held to one byte budget
+    /// (`emoleak-admission` enforces the budget at admission time).
+    pub memory: Option<Arc<ByteGauge>>,
+    /// Optional fleet-imposed quality ceiling: the classify stage runs each
+    /// region at the worse of the session ladder's rung and this cap (see
+    /// [`LevelCap`]). The fleet breaker lowers it for every session at once.
+    pub fleet_cap: Option<Arc<LevelCap>>,
 }
 
 impl Default for StreamConfig {
@@ -100,8 +109,22 @@ impl Default for StreamConfig {
             latency_override: None,
             panic_after_chunks: None,
             durable: None,
+            memory: None,
+            fleet_cap: None,
         }
     }
+}
+
+/// Resident cost of a queued chunk, bytes (samples + header).
+fn chunk_cost(chunk: &SourceChunk) -> u64 {
+    (chunk.samples.len() * 8 + 64) as u64
+}
+
+/// Resident cost of a pending region, bytes (features + optional
+/// spectrogram + header).
+fn region_cost(p: &PendingRegion) -> u64 {
+    let spec = p.rf.spectrogram.as_ref().map_or(0, |s| s.pixels.len() * 8);
+    (p.rf.features.len() * 8 + spec + 64) as u64
 }
 
 /// A region in flight between extract and classify.
@@ -300,10 +323,17 @@ impl StreamService {
     /// in the report.
     pub fn run(&self, source: Box<dyn SampleSource>) -> Result<StreamReport, StreamError> {
         let cfg = self.config.clone();
-        let chunk_q: Arc<BoundedQueue<SourceChunk>> =
-            Arc::new(BoundedQueue::new(cfg.queue_capacity, cfg.overflow));
-        let region_q: Arc<BoundedQueue<PendingRegion>> =
-            Arc::new(BoundedQueue::new(cfg.queue_capacity, OverflowPolicy::Block));
+        // Every chunk is screened for hostile input before it enters the
+        // pipeline; the first defect fails the run as a fatal source error.
+        let source: Box<dyn SampleSource> = Box::new(ValidatingSource::new(source));
+        let mut chunk_q = BoundedQueue::new(cfg.queue_capacity, cfg.overflow);
+        let mut region_q = BoundedQueue::new(cfg.queue_capacity, OverflowPolicy::Block);
+        if let Some(gauge) = &cfg.memory {
+            chunk_q = chunk_q.with_meter(Arc::clone(gauge), chunk_cost);
+            region_q = region_q.with_meter(Arc::clone(gauge), region_cost);
+        }
+        let chunk_q: Arc<BoundedQueue<SourceChunk>> = Arc::new(chunk_q);
+        let region_q: Arc<BoundedQueue<PendingRegion>> = Arc::new(region_q);
         let log = Arc::new(Mutex::new(ServiceLog::new()));
         let counters = Arc::new(Counters::default());
         let fatal: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
@@ -483,6 +513,7 @@ impl StreamService {
             let patience = cfg.patience;
             let latency_override = cfg.latency_override;
             let durable = cfg.durable.clone();
+            let fleet_cap = cfg.fleet_cap.clone();
             Stage::new("classify", move |ctx| {
                 loop {
                     if ctx.token.is_cancelled() {
@@ -493,7 +524,10 @@ impl StreamService {
                         PopOutcome::TimedOut => continue,
                         PopOutcome::Done => return,
                         PopOutcome::Item(p) => {
-                            let want = locked(&ladder).level();
+                            let mut want = locked(&ladder).level();
+                            if let Some(cap) = &fleet_cap {
+                                want = cap.apply(want);
+                            }
                             let (verdict, latency) = match latency_override {
                                 Some(lat) => {
                                     let v = bundle.classify(want, &p.rf);
@@ -799,6 +833,34 @@ mod tests {
         assert!(run.complete, "clean shutdown must write the summary record");
         assert_eq!(run.emissions, report.emissions, "journal must replay the exact run");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_gauge_and_fleet_cap_govern_a_run() {
+        let fix = fixture();
+        let gauge = Arc::new(ByteGauge::new());
+        let cap = Arc::new(LevelCap::new());
+        cap.set(InferenceLevel::EnergyOnly);
+        let svc = service(StreamConfig {
+            memory: Some(Arc::clone(&gauge)),
+            fleet_cap: Some(Arc::clone(&cap)),
+            ..fast_config()
+        });
+        let source = ReplaySource::from_campaign(&fix.campaign, 256);
+        let report = svc.run(Box::new(source)).unwrap();
+        assert!(report.stats.regions > 0);
+        // The fleet cap forced every region below the ladder's rung.
+        assert_eq!(report.stats.level_counts[0], 0);
+        assert_eq!(report.stats.level_counts[1], 0);
+        assert!(report.stats.level_counts[2] > 0);
+        assert!(report
+            .emissions
+            .iter()
+            .all(|e| e.verdict.level == InferenceLevel::EnergyOnly));
+        // The gauge metered real traffic and every byte was released when
+        // the queues drained.
+        assert!(gauge.peak() > 0, "queued chunks must be charged");
+        assert_eq!(gauge.charged(), 0, "a drained run must release everything");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! [`emoleak_phone::FlakyReplay`]).
 
 use emoleak_core::online::RecordedCampaign;
-use emoleak_phone::replay::ReplayChunk;
+use emoleak_phone::replay::{ChunkValidator, ReplayChunk};
 use emoleak_phone::session::{LabeledSpan, SessionTrace};
 use emoleak_phone::AccelTrace;
 
@@ -53,6 +53,48 @@ pub trait SampleSource: Send {
     /// [`SourceError::Transient`] for retryable failures,
     /// [`SourceError::Fatal`] when the stream cannot continue.
     fn next_chunk(&mut self) -> Result<Option<SourceChunk>, SourceError>;
+}
+
+impl<S: SampleSource + ?Sized> SampleSource for Box<S> {
+    fn next_chunk(&mut self) -> Result<Option<SourceChunk>, SourceError> {
+        (**self).next_chunk()
+    }
+}
+
+/// Decorates any source with hostile-input screening: every delivered chunk
+/// passes through a [`ChunkValidator`] (NaN/Inf samples, non-monotonic or
+/// duplicate timestamps, reopened windows), and the first defect kills the
+/// stream with [`SourceError::Fatal`].
+///
+/// Fatal, not transient, on purpose: a poisoned or replayed stream is an
+/// integrity failure, and retrying would hand the attacker-controlled chunk
+/// straight back to the retry loop. Transient errors and end-of-stream pass
+/// through unvalidated — there is no chunk to screen.
+#[derive(Debug)]
+pub struct ValidatingSource<S> {
+    inner: S,
+    validator: ChunkValidator,
+}
+
+impl<S: SampleSource> ValidatingSource<S> {
+    /// Wraps `inner` with a fresh validator.
+    pub fn new(inner: S) -> Self {
+        ValidatingSource { inner, validator: ChunkValidator::default() }
+    }
+}
+
+impl<S: SampleSource> SampleSource for ValidatingSource<S> {
+    fn next_chunk(&mut self) -> Result<Option<SourceChunk>, SourceError> {
+        match self.inner.next_chunk() {
+            Ok(Some(chunk)) => match self.validator.check(&chunk) {
+                Ok(()) => Ok(Some(chunk)),
+                Err(defect) => {
+                    Err(SourceError::Fatal(format!("hostile input rejected: {defect}")))
+                }
+            },
+            other => other,
+        }
+    }
 }
 
 /// Replays a recorded campaign or session as a clean chunk stream.
@@ -219,6 +261,44 @@ mod tests {
         assert_eq!((a, ta), (b, tb), "failure pattern is a function of the seed");
         let (_, tc) = run(12);
         assert_ne!(ta, tc, "different seeds give different failure patterns");
+    }
+
+    #[test]
+    fn validating_source_passes_honest_streams_untouched() {
+        let st = session();
+        let (clean, _) = drain(&mut ReplaySource::from_session(&st, 8));
+        let mut src = ValidatingSource::new(ReplaySource::from_session(&st, 8));
+        let (screened, _) = drain(&mut src);
+        assert_eq!(screened, clean);
+        assert_eq!(src.next_chunk(), Ok(None));
+    }
+
+    #[test]
+    fn validating_source_kills_poisoned_streams() {
+        struct Poisoned(u64);
+        impl SampleSource for Poisoned {
+            fn next_chunk(&mut self) -> Result<Option<SourceChunk>, SourceError> {
+                let read = self.0;
+                self.0 += 1;
+                let samples = if read == 1 { vec![f64::NAN] } else { vec![1.0, 2.0] };
+                Ok(Some(ReplayChunk {
+                    window: read as usize,
+                    offset: 0,
+                    samples,
+                    label: 0,
+                    last_in_window: true,
+                }))
+            }
+        }
+        let mut src = ValidatingSource::new(Poisoned(0));
+        assert!(src.next_chunk().is_ok());
+        match src.next_chunk() {
+            Err(SourceError::Fatal(msg)) => {
+                assert!(msg.contains("hostile input"), "{msg}");
+                assert!(msg.contains("non-finite"), "{msg}");
+            }
+            other => panic!("poisoned chunk must be fatal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`core`] | the end-to-end attack pipeline, reports, mitigations |
 //! | [`stream`] | resilient online inference: bounded queues, supervision, degradation |
 //! | [`durable`] | crash safety: write-ahead journal, checkpoints, resumable campaigns |
+//! | [`admission`] | multi-tenant overload protection: rate limits, bulkheads, shedding |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@
 //! # }
 //! ```
 
+pub use emoleak_admission as admission;
 pub use emoleak_core as core;
 pub use emoleak_dsp as dsp;
 pub use emoleak_durable as durable;
@@ -55,6 +57,7 @@ pub use emoleak_synth as synth;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use emoleak_admission::prelude::*;
     pub use emoleak_core::mitigation::{FilterAblation, SamplingCapStudy};
     pub use emoleak_core::prelude::*;
     pub use emoleak_ml::Classifier;

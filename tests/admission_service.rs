@@ -1,0 +1,148 @@
+//! Integration: the admission layer in front of *real* streaming sessions.
+//!
+//! A [`FleetGate`] admits tenants and hands each a [`SessionPermit`];
+//! `permit.configure(..)` threads the fleet's shared byte gauge and level
+//! cap into the session's `StreamConfig`. These tests pin the contract
+//! end to end:
+//!
+//! * an admitted session's queues bill the fleet budget (the shared gauge
+//!   sees real bytes, and a finished fleet holds zero);
+//! * a tripped fleet cap actually degrades every session's classify rung,
+//!   and a lifted cap restores full quality — without touching the
+//!   sessions themselves;
+//! * permits hold bulkhead slots for their lifetime and release them on
+//!   drop;
+//! * gated runs stay byte-identical across worker counts.
+
+use emoleak::admission::{AdmissionConfig, FleetGate};
+use emoleak::prelude::*;
+use emoleak::stream::{ReplaySource, StreamConfig, StreamReport, StreamService};
+use emoleak_exec::with_threads;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+struct Fixture {
+    bundle: Arc<ModelBundle>,
+    campaign: RecordedCampaign,
+    scenario: AttackScenario,
+}
+
+/// One trained bundle + recorded campaign backs every test: the property
+/// under test is the admission wiring, not the model.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let scenario = AttackScenario::table_top(
+            CorpusSpec::tess().with_clips_per_cell(2),
+            DeviceProfile::oneplus_7t(),
+        );
+        let harvest = scenario.harvest().unwrap();
+        let bundle = Arc::new(ModelBundle::train(&harvest, 7).unwrap());
+        let campaign = scenario.record_windows().unwrap();
+        Fixture { bundle, campaign, scenario }
+    })
+}
+
+fn fast_config() -> StreamConfig {
+    StreamConfig { latency_override: Some([Duration::ZERO; 3]), ..StreamConfig::default() }
+}
+
+fn run_gated(gate: &FleetGate, tenant: &str, now: u64) -> StreamReport {
+    let fx = fixture();
+    let permit = gate.admit(tenant, now).unwrap();
+    let service = StreamService::new(
+        Arc::clone(&fx.bundle),
+        fx.scenario.setting.region_detector(),
+        fx.campaign.fs,
+        permit.configure(fast_config()),
+    );
+    service.run(Box::new(ReplaySource::from_campaign(&fx.campaign, 256))).unwrap()
+}
+
+fn labels(report: &StreamReport) -> Vec<(usize, usize, usize, Option<usize>)> {
+    report.emissions.iter().map(|e| (e.window, e.start, e.end, e.verdict.label)).collect()
+}
+
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn gated_sessions_bill_the_fleet_budget_and_release_it() {
+    let gate = FleetGate::new(AdmissionConfig::default());
+    let report = run_gated(&gate, "ada", 0);
+    assert!(report.stats.regions > 0, "the gated session did real work");
+
+    let ctrl = gate.controller();
+    let gauge = locked(&ctrl).memory();
+    assert!(gauge.peak() > 0, "session queues never billed the fleet gauge");
+    assert_eq!(gauge.charged(), 0, "finished fleet still holds bytes");
+}
+
+#[test]
+fn fleet_cap_degrades_and_restores_every_session() {
+    let gate = FleetGate::new(AdmissionConfig::default());
+
+    // Healthy fleet: full-quality rungs.
+    let healthy = run_gated(&gate, "ada", 0);
+    assert!(
+        healthy.stats.level_counts[0] > 0 || healthy.stats.level_counts[1] > 0,
+        "healthy fleet should classify above energy-only: {:?}",
+        healthy.stats.level_counts
+    );
+
+    // A saturated fleet caps every session at energy-only — the session
+    // config is untouched; only the shared cap moved.
+    {
+        let ctrl = gate.controller();
+        locked(&ctrl).level_cap().set(InferenceLevel::EnergyOnly);
+    }
+    let capped = run_gated(&gate, "bea", 1);
+    assert_eq!(capped.stats.level_counts[0], 0, "CNN ran under a saturated fleet");
+    assert_eq!(capped.stats.level_counts[1], 0, "classical ran under a saturated fleet");
+    assert!(capped.stats.level_counts[2] > 0, "energy-only should carry the load");
+    assert_eq!(
+        capped.stats.regions, healthy.stats.regions,
+        "the cap changes quality, not coverage"
+    );
+
+    // Recovery lifts the cap; quality returns.
+    {
+        let ctrl = gate.controller();
+        locked(&ctrl).level_cap().set(InferenceLevel::Cnn);
+    }
+    let recovered = run_gated(&gate, "cyd", 2);
+    assert_eq!(labels(&recovered), labels(&healthy), "recovery must restore full quality");
+}
+
+#[test]
+fn permits_hold_slots_for_the_session_lifetime() {
+    let gate = FleetGate::new(AdmissionConfig {
+        max_sessions: 1,
+        tenant_sessions: 1,
+        ..AdmissionConfig::default()
+    });
+    {
+        let permit = gate.admit("ada", 0).unwrap();
+        // While the permit lives the fleet is full.
+        assert!(gate.admit("bea", 0).is_err(), "bulkhead admitted past its limit");
+        drop(permit);
+    }
+    // Dropping the permit released the slot.
+    let _second = gate.admit("bea", 1).unwrap();
+}
+
+#[test]
+fn gated_runs_are_byte_identical_across_worker_counts() {
+    let mut per_thread_count = Vec::new();
+    for threads in [1usize, 4] {
+        per_thread_count.push(with_threads(threads, || {
+            let gate = FleetGate::new(AdmissionConfig::default());
+            labels(&run_gated(&gate, "ada", 0))
+        }));
+    }
+    assert_eq!(
+        per_thread_count[0], per_thread_count[1],
+        "worker count changed a gated session's labels"
+    );
+}
