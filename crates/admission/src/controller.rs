@@ -15,10 +15,13 @@
 //!    latency develops.
 //!
 //! Every outcome increments exactly one counter, so the conservation law
-//! `offered == served + rejected + shed + queued` holds at every tick —
-//! the chaos harness asserts it after every scenario. Sheds and fleet
-//! transitions land in the [`ServiceLog`] and, when a [`DurableSink`] is
-//! attached, in the write-ahead journal.
+//! `offered == served + rejected + shed + queued + migrated` holds at
+//! every tick — the chaos harness asserts it after every scenario. (The
+//! `migrated` term is zero for a standalone controller; it counts chunks
+//! [`evacuate`](AdmissionController::evacuate)d to another shard when the
+//! controller runs inside a fleet.) Sheds and fleet transitions land in
+//! the [`ServiceLog`] and, when a [`DurableSink`] is attached, in the
+//! write-ahead journal.
 
 use crate::breaker::FleetBreaker;
 use crate::bulkhead::Bulkhead;
@@ -42,6 +45,12 @@ pub struct QueuedChunk {
     pub cost: u64,
     /// The tick it was admitted.
     pub enqueued: u64,
+    /// The tenant's chunk sequence number. Assigned per tenant by the
+    /// controller (or by a fleet coordinator via
+    /// [`offer_tagged`](AdmissionController::offer_tagged)) and preserved
+    /// across shard migration, so per-tenant served order is stable no
+    /// matter which shard ends up serving the chunk.
+    pub seq: u64,
 }
 
 /// Per-tenant accounting.
@@ -55,6 +64,8 @@ pub struct TenantStats {
     pub rejected: u64,
     /// Admitted chunks CoDel shed before service.
     pub shed: u64,
+    /// Admitted chunks evacuated to another shard before service.
+    pub migrated: u64,
     /// Most sessions the tenant ever held at once.
     pub peak_sessions: usize,
 }
@@ -63,6 +74,7 @@ struct TenantState {
     bucket: TokenBucket,
     sessions: Bulkhead,
     stats: TenantStats,
+    next_seq: u64,
 }
 
 /// Fleet-wide accounting.
@@ -76,6 +88,8 @@ pub struct AdmissionStats {
     pub rejected: u64,
     /// Admitted chunks CoDel shed before service.
     pub shed: u64,
+    /// Admitted chunks evacuated to another shard before service.
+    pub migrated: u64,
     /// Chunks still queued.
     pub queued: u64,
     /// High-water mark of charged bytes.
@@ -102,6 +116,7 @@ pub struct AdmissionController {
     served: u64,
     rejected: u64,
     shed: u64,
+    migrated: u64,
 }
 
 impl AdmissionController {
@@ -122,6 +137,7 @@ impl AdmissionController {
             served: 0,
             rejected: 0,
             shed: 0,
+            migrated: 0,
         }
     }
 
@@ -158,6 +174,7 @@ impl AdmissionController {
             bucket: TokenBucket::new(cfg.tenant_rps, cfg.tenant_burst),
             sessions: Bulkhead::new(cfg.tenant_sessions),
             stats: TenantStats::default(),
+            next_seq: 0,
         })
     }
 
@@ -223,9 +240,34 @@ impl AdmissionController {
     /// [`AdmissionError::MemoryExhausted`] — each refusal increments the
     /// tenant's and the fleet's `rejected` counters.
     pub fn offer(&mut self, tenant: &str, cost: u64, now: u64) -> Result<(), AdmissionError> {
+        let seq = {
+            let t = self.tenant(tenant);
+            let seq = t.next_seq;
+            t.next_seq += 1;
+            seq
+        };
+        self.offer_tagged(tenant, cost, now, seq)
+    }
+
+    /// [`offer`](Self::offer) with a caller-assigned per-tenant sequence
+    /// number. A fleet coordinator uses this to keep a tenant's chunk
+    /// numbering global across shards: the coordinator assigns `seq` once
+    /// per chunk, and the tag survives migration, so the tenant's served
+    /// order is independent of how many shards the fleet runs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`offer`](Self::offer).
+    pub fn offer_tagged(
+        &mut self,
+        tenant: &str,
+        cost: u64,
+        now: u64,
+        seq: u64,
+    ) -> Result<(), AdmissionError> {
         self.offered += 1;
         self.tenant(tenant).stats.offered += 1;
-        let outcome = self.try_admit(tenant, cost, now);
+        let outcome = self.try_admit(tenant, cost, now, seq);
         if let Err(e) = &outcome {
             self.rejected += 1;
             self.tenant(tenant).stats.rejected += 1;
@@ -235,7 +277,13 @@ impl AdmissionController {
         outcome
     }
 
-    fn try_admit(&mut self, tenant: &str, cost: u64, now: u64) -> Result<(), AdmissionError> {
+    fn try_admit(
+        &mut self,
+        tenant: &str,
+        cost: u64,
+        now: u64,
+        seq: u64,
+    ) -> Result<(), AdmissionError> {
         if self.breaker.state() == FleetState::BrownOut {
             return Err(AdmissionError::BrownedOut);
         }
@@ -249,8 +297,26 @@ impl AdmissionController {
                 budget: self.cfg.mem_budget,
             });
         }
-        self.queue.push_back(QueuedChunk { tenant: tenant.to_string(), cost, enqueued: now });
+        self.queue.push_back(QueuedChunk { tenant: tenant.to_string(), cost, enqueued: now, seq });
         Ok(())
+    }
+
+    /// Empties the ingest queue for shard evacuation, releasing every
+    /// chunk's bytes and counting each as `migrated` (fleet-wide and per
+    /// tenant). The returned chunks keep their `seq` tags; the caller
+    /// re-offers them through another shard's front door, where they are
+    /// counted as that shard's `offered` — so the per-shard conservation
+    /// identity `offered == served + rejected + shed + queued + migrated`
+    /// rolls up exactly across the fleet.
+    pub fn evacuate(&mut self) -> Vec<QueuedChunk> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(chunk) = self.queue.pop_front() {
+            self.memory.release(chunk.cost);
+            self.migrated += 1;
+            self.tenant(&chunk.tenant).stats.migrated += 1;
+            out.push(chunk);
+        }
+        out
     }
 
     /// Dequeues up to `capacity` chunks for service at tick `now`,
@@ -310,14 +376,15 @@ impl AdmissionController {
         self.queue.len()
     }
 
-    /// Fleet-wide counters. `offered == served + rejected + shed + queued`
-    /// holds at every tick by construction.
+    /// Fleet-wide counters. `offered == served + rejected + shed +
+    /// queued + migrated` holds at every tick by construction.
     pub fn stats(&self) -> AdmissionStats {
         AdmissionStats {
             offered: self.offered,
             served: self.served,
             rejected: self.rejected,
             shed: self.shed,
+            migrated: self.migrated,
             queued: self.queue.len() as u64,
             mem_peak: self.memory.peak(),
             mem_charged: self.memory.charged(),
@@ -355,7 +422,7 @@ mod tests {
         let s = c.stats();
         assert_eq!(
             s.offered,
-            s.served + s.rejected + s.shed + s.queued,
+            s.served + s.rejected + s.shed + s.queued + s.migrated,
             "conservation violated: {s:?}"
         );
     }
@@ -471,6 +538,45 @@ mod tests {
         );
         assert!(c.offer("a", 10, 600).is_ok());
         conserve(&c);
+    }
+
+    #[test]
+    fn evacuation_releases_bytes_counts_migrated_and_keeps_seq_tags() {
+        let mut c = AdmissionController::new(small());
+        assert!(c.offer("a", 100, 0).is_ok());
+        assert!(c.offer("b", 200, 0).is_ok());
+        assert!(c.offer("a", 100, 1).is_ok());
+        assert_eq!(c.stats().mem_charged, 400);
+
+        let moved = c.evacuate();
+        assert_eq!(moved.len(), 3);
+        // Auto-assigned seqs count per tenant, and survive evacuation.
+        let tags: Vec<(&str, u64)> =
+            moved.iter().map(|q| (q.tenant.as_str(), q.seq)).collect();
+        assert_eq!(tags, vec![("a", 0), ("b", 0), ("a", 1)]);
+        let s = c.stats();
+        assert_eq!(s.migrated, 3);
+        assert_eq!(s.mem_charged, 0, "evacuated bytes are released");
+        assert_eq!(c.queue_depth(), 0);
+        conserve(&c);
+
+        // Re-offering through another controller's front door preserves
+        // the tag and makes the two-shard roll-up conserve.
+        let mut other = AdmissionController::new(small());
+        for q in &moved {
+            assert!(other.offer_tagged(&q.tenant, q.cost, 2, q.seq).is_ok());
+        }
+        let served = other.drain(2, usize::MAX);
+        assert_eq!(
+            served.iter().map(|q| (q.tenant.as_str(), q.seq)).collect::<Vec<_>>(),
+            tags
+        );
+        let (a, b) = (c.stats(), other.stats());
+        assert_eq!(
+            a.offered + b.offered,
+            a.served + b.served + a.rejected + b.rejected + a.shed + b.shed
+                + a.queued + b.queued + a.migrated + b.migrated
+        );
     }
 
     #[test]

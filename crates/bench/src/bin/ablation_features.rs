@@ -5,7 +5,7 @@
 //! on the TESS/loudspeaker/OnePlus 7T campaign. The paper uses all 24; this
 //! ablation quantifies why.
 
-use emoleak_bench::{banner, clips_per_cell};
+use emoleak_bench::{clips_per_cell, Report};
 use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
 use emoleak_features::FeatureDataset;
@@ -24,22 +24,24 @@ fn project(d: &FeatureDataset, cols: std::ops::Range<usize>) -> FeatureDataset {
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
-    banner("Ablation: time-domain vs frequency-domain features (TESS / OnePlus 7T)",
-           corpus.random_guess());
+    let mut report = Report::new("ablation_features");
+    report.banner("Ablation: time-domain vs frequency-domain features (TESS / OnePlus 7T)",
+                  corpus.random_guess());
     let harvest = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t()).harvest()?;
     let variants: [(&str, FeatureDataset); 3] = [
         ("time-domain only (12)", project(&harvest.features, 0..12)),
         ("frequency-domain only (12)", project(&harvest.features, 12..24)),
         ("all Table II features (24)", harvest.features.clone()),
     ];
-    println!("{:<30} {:>10}", "feature set", "accuracy");
+    report.line(format!("{:<30} {:>10}", "feature set", "accuracy"));
     // The three projections train independently: evaluate in parallel.
     let accs = emoleak_exec::par_map_indexed(&variants, |_, (_, data)| {
         evaluate_features(data, ClassifierKind::Logistic, Protocol::Holdout8020, 0xAB1)
             .map(|eval| eval.accuracy)
     });
     for ((name, _), acc) in variants.iter().zip(accs) {
-        println!("{name:<30} {:>9.2}%", acc? * 100.0);
+        report.line(format!("{name:<30} {:>9.2}%", acc? * 100.0));
     }
+    report.publish()?;
     Ok(())
 }

@@ -4,7 +4,7 @@
 //! identical playback campaigns through both sensor channels, then emotion
 //! classification on each.
 
-use emoleak_bench::{banner, clips_per_cell};
+use emoleak_bench::{clips_per_cell, Report};
 use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
 use emoleak_features::regions::RegionDetector;
@@ -16,7 +16,9 @@ use rand::SeedableRng;
 fn main() -> Result<(), EmoleakError> {
     let n = clips_per_cell()?.min(20);
     let corpus = CorpusSpec::tess().with_clips_per_cell(n);
-    banner("Sensor choice: accelerometer vs gyroscope (TESS / OnePlus 7T)", corpus.random_guess());
+    let mut report = Report::new("accel_vs_gyro");
+    report.banner("Sensor choice: accelerometer vs gyroscope (TESS / OnePlus 7T)",
+                  corpus.random_guess());
     let device = DeviceProfile::oneplus_7t();
 
     // Accelerometer arm: the standard pipeline.
@@ -70,14 +72,19 @@ fn main() -> Result<(), EmoleakError> {
         corpus.random_guess() // too little signal to even train
     };
 
-    println!("accelerometer : accuracy {:.1}% ({} regions)", accel_acc * 100.0, accel.features.len());
-    println!(
+    report.line(format!(
+        "accelerometer : accuracy {:.1}% ({} regions)",
+        accel_acc * 100.0,
+        accel.features.len()
+    ));
+    report.line(format!(
         "gyroscope     : accuracy {:.1}% ({} regions from {} clips)",
         gyro_acc * 100.0,
         gyro_features.len(),
         clips
-    );
+    ));
     let _ = detected;
-    println!("paper (§III-B.1): gyroscope exhibits a much weaker audio response — attack uses the accelerometer");
+    report.line("paper (§III-B.1): gyroscope exhibits a much weaker audio response — attack uses the accelerometer");
+    report.publish()?;
     Ok(())
 }

@@ -3,23 +3,26 @@
 //!
 //! Paper: 95.3 % native vs 80.1 % capped — still > 5× random guessing.
 
-use emoleak_bench::{banner, clips_per_cell};
+use emoleak_bench::{clips_per_cell, Report};
 use emoleak_core::mitigation::SamplingCapStudy;
 use emoleak_core::prelude::*;
 use emoleak_core::ClassifierKind;
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
-    banner("Android 200 Hz sampling cap (TESS / loudspeaker / OnePlus 7T)", corpus.random_guess());
+    let mut report = Report::new("android_200hz");
+    report.banner("Android 200 Hz sampling cap (TESS / loudspeaker / OnePlus 7T)",
+                  corpus.random_guess());
     let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
     let study = SamplingCapStudy::run(&scenario, ClassifierKind::Logistic, 0xA12)?;
-    println!("native rate accuracy : {:.2}%", study.accuracy_default * 100.0);
-    println!("200 Hz cap accuracy  : {:.2}%", study.accuracy_capped * 100.0);
-    println!("random guess         : {:.2}%", study.random_guess * 100.0);
-    println!(
+    report.line(format!("native rate accuracy : {:.2}%", study.accuracy_default * 100.0));
+    report.line(format!("200 Hz cap accuracy  : {:.2}%", study.accuracy_capped * 100.0));
+    report.line(format!("random guess         : {:.2}%", study.random_guess * 100.0));
+    report.line(format!(
         "attack survives the cap at >5x random guess: {}",
         study.attack_survives(5.0)
-    );
-    println!("paper: 95.3% native vs 80.1% capped");
+    ));
+    report.line("paper: 95.3% native vs 80.1% capped");
+    report.publish()?;
     Ok(())
 }

@@ -2,6 +2,7 @@
 //! emotions through the loudspeaker (OnePlus 7T, table-top), rendered as
 //! ASCII heat maps (time down the page, frequency across).
 
+use emoleak_bench::Report;
 use emoleak_core::prelude::*;
 use emoleak_core::scenario::Setting;
 use emoleak_features::regions::RegionDetector;
@@ -9,8 +10,9 @@ use emoleak_features::spectrogram::{ascii_render, SpectrogramGenerator, IMAGE_SI
 use emoleak_phone::session::RecordingSession;
 use rand::SeedableRng;
 
-fn main() {
-    println!("Figure 2: accelerometer spectrograms per emotion (OnePlus 7T, loudspeaker)");
+fn main() -> Result<(), EmoleakError> {
+    let mut report = Report::new("fig2_spectrograms");
+    report.line("Figure 2: accelerometer spectrograms per emotion (OnePlus 7T, loudspeaker)");
     let corpus = CorpusSpec::tess().with_clips_per_cell(1);
     let device = DeviceProfile::oneplus_7t();
     let session = RecordingSession::new(
@@ -34,14 +36,18 @@ fn main() {
         let trace = session.record_clip(&clip.samples, clip.fs, &mut rng);
         let regions = detector.detect(&trace.samples, trace.fs);
         let Some(&(s, e)) = regions.first() else {
-            println!("\n[{emotion}] (no region detected)");
+            report.line(format!("\n[{emotion}] (no region detected)"));
             continue;
         };
         let img = spec_gen
             .generate(&trace.samples[s..e.min(trace.samples.len())], trace.fs, 0)
             .expect("region long enough for a spectrogram");
-        println!("\n[{emotion}] region {:.2}-{:.2} s, freq -> 0..{:.0} Hz",
-                 s as f64 / trace.fs, e as f64 / trace.fs, trace.fs / 2.0);
-        print!("{}", ascii_render(&img.pixels, IMAGE_SIZE));
+        report.line(format!(
+            "\n[{emotion}] region {:.2}-{:.2} s, freq -> 0..{:.0} Hz",
+            s as f64 / trace.fs, e as f64 / trace.fs, trace.fs / 2.0
+        ));
+        report.block(ascii_render(&img.pixels, IMAGE_SIZE));
     }
+    report.publish()?;
+    Ok(())
 }

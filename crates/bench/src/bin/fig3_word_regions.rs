@@ -1,14 +1,16 @@
 //! Figure 3 — word regions in a TESS playback: the acceleration-vs-time view
 //! and the per-region detection, rendered as an ASCII amplitude plot.
 
+use emoleak_bench::Report;
 use emoleak_core::prelude::*;
 use emoleak_core::scenario::Setting;
 use emoleak_features::regions::{detection_rate, RegionDetector};
 use emoleak_phone::session::RecordingSession;
 use rand::SeedableRng;
 
-fn main() {
-    println!("Figure 3: word regions in accelerometer data (TESS, loudspeaker)");
+fn main() -> Result<(), EmoleakError> {
+    let mut report = Report::new("fig3_word_regions");
+    report.line("Figure 3: word regions in accelerometer data (TESS, loudspeaker)");
     let corpus = CorpusSpec::tess().with_clips_per_cell(3);
     let device = DeviceProfile::oneplus_7t();
     let session = RecordingSession::new(
@@ -41,10 +43,10 @@ fn main() {
         let in_region = regions.iter().any(|&(s, e)| lo < e && hi > s);
         marker_row.push(if in_region { '^' } else { ' ' });
     }
-    println!("|amplitude| (0-9 scale), {:.1} s total:", trace.duration());
-    println!("{amp_row}");
-    println!("{marker_row}  <- detected speech regions");
-    println!("\ndetected {} regions: {:?}", regions.len(), regions);
+    report.line(format!("|amplitude| (0-9 scale), {:.1} s total:", trace.duration()));
+    report.line(&amp_row);
+    report.line(format!("{marker_row}  <- detected speech regions"));
+    report.line(format!("\ndetected {} regions: {:?}", regions.len(), regions));
     // Detection-rate score against ground truth (per clip windows).
     let mut truths = Vec::new();
     for (i, span) in st.labels.iter().enumerate() {
@@ -57,8 +59,10 @@ fn main() {
             ));
         }
     }
-    println!(
+    report.line(format!(
         "word-region detection rate: {:.0}% (paper: ~90% table-top)",
         detection_rate(&regions, &truths) * 100.0
-    );
+    ));
+    report.publish()?;
+    Ok(())
 }

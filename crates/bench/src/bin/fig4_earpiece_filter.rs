@@ -2,6 +2,7 @@
 //! (a) raw handheld trace shows no visible speech, (b) after the 8 Hz HPF
 //! the regions emerge, (c) the loudspeaker trace needs no filter.
 
+use emoleak_bench::Report;
 use emoleak_core::prelude::*;
 use emoleak_core::scenario::Setting;
 use emoleak_dsp::filter::earpiece_region_highpass;
@@ -25,8 +26,9 @@ fn amp_strip(samples: &[f64], cols: usize) -> String {
         .collect()
 }
 
-fn main() {
-    println!("Figure 4: earpiece vs loudspeaker region visibility (TESS, OnePlus 7T)");
+fn main() -> Result<(), EmoleakError> {
+    let mut report = Report::new("fig4_earpiece_filter");
+    report.line("Figure 4: earpiece vs loudspeaker region visibility (TESS, OnePlus 7T)");
     let corpus = CorpusSpec::tess().with_clips_per_cell(4);
     let device = DeviceProfile::oneplus_7t();
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
@@ -44,14 +46,14 @@ fn main() {
     );
     let st = handheld.record_session(clips(()), &mut rng);
     let raw = &st.trace.samples;
-    println!("\n(a) raw earpiece trace (motion noise dominates):");
-    println!("{}", amp_strip(raw, 100));
+    report.line("\n(a) raw earpiece trace (motion noise dominates):");
+    report.line(amp_strip(raw, 100));
     let hp = earpiece_region_highpass(st.trace.fs).expect("accel rate above 16 Hz");
     let filtered = hp.filtfilt(raw);
-    println!("(b) after 8 Hz high-pass (speech regions emerge):");
-    println!("{}", amp_strip(&filtered, 100));
+    report.line("(b) after 8 Hz high-pass (speech regions emerge):");
+    report.line(amp_strip(&filtered, 100));
     let regions_hp = RegionDetector::handheld().detect(raw, st.trace.fs);
-    println!("    detected regions: {regions_hp:?}");
+    report.line(format!("    detected regions: {regions_hp:?}"));
 
     // Ground truth for the ear-speaker detection rate.
     let mut truths = Vec::new();
@@ -65,10 +67,10 @@ fn main() {
             ));
         }
     }
-    println!(
+    report.line(format!(
         "    ear-speaker detection rate: {:.0}% (paper: >= 45%)",
         detection_rate(&regions_hp, &truths) * 100.0
-    );
+    ));
 
     // (c): loudspeaker, table-top — no filter needed.
     let tabletop = RecordingSession::new(
@@ -77,8 +79,10 @@ fn main() {
         Setting::TableTopLoudspeaker.placement(),
     );
     let st2 = tabletop.record_session(clips(()), &mut rng);
-    println!("\n(c) loudspeaker trace (no filter needed):");
-    println!("{}", amp_strip(&st2.trace.samples, 100));
+    report.line("\n(c) loudspeaker trace (no filter needed):");
+    report.line(amp_strip(&st2.trace.samples, 100));
     let regions_ls = RegionDetector::table_top().detect(&st2.trace.samples, st2.trace.fs);
-    println!("    detected regions: {regions_ls:?}");
+    report.line(format!("    detected regions: {regions_ls:?}"));
+    report.publish()?;
+    Ok(())
 }

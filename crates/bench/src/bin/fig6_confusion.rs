@@ -5,30 +5,32 @@
 //! Paper shape: (a) near-diagonal (95 %+); (b) diffuse with
 //! disgust/fear/neutral/sad confusions.
 
-use emoleak_bench::{banner, clips_per_cell};
+use emoleak_bench::{clips_per_cell, Report};
 use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
-    banner("Figure 6: TESS confusion matrices (OnePlus 7T)", corpus.random_guess());
+    let mut report = Report::new("fig6_confusion");
+    report.banner("Figure 6: TESS confusion matrices (OnePlus 7T)", corpus.random_guess());
 
     let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest()?;
     let eval_a =
         evaluate_features(&loud.features, ClassifierKind::Logistic, Protocol::Holdout8020, 6)?;
-    println!(
+    report.line(format!(
         "\n(a) loudspeaker / table-top, Logistic, 80/20 split — accuracy {:.2}%",
         eval_a.accuracy * 100.0
-    );
-    print!("{}", eval_a.confusion.render());
+    ));
+    report.block(eval_a.confusion.render());
 
     let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest()?;
     let eval_b =
         evaluate_features(&ear.features, ClassifierKind::RandomForest, Protocol::KFold(10), 6)?;
-    println!(
+    report.line(format!(
         "\n(b) ear speaker / handheld, Random Forest, 10-fold CV — accuracy {:.2}%",
         eval_b.accuracy * 100.0
-    );
-    print!("{}", eval_b.confusion.render());
+    ));
+    report.block(eval_b.confusion.render());
+    report.publish()?;
     Ok(())
 }

@@ -1,34 +1,43 @@
 //! Figure 7 — CNN training/validation loss and accuracy curves for the
 //! TESS dataset, loudspeaker (a, b) and ear speaker (c, d).
 
-use emoleak_bench::{banner, clips_per_cell};
+use emoleak_bench::{clips_per_cell, Report};
 use emoleak_core::pipeline::{cnn_train_config, cnn_width_divisor};
 use emoleak_core::prelude::*;
 use emoleak_core::report::render_history;
 use emoleak_ml::nn::CnnClassifier;
 use emoleak_ml::Classifier;
 
-fn curves(name: &str, harvest: &emoleak_core::HarvestResult) -> Result<(), EmoleakError> {
+fn curves(
+    report: &mut Report,
+    name: &str,
+    harvest: &emoleak_core::HarvestResult,
+) -> Result<(), EmoleakError> {
     let mut features = harvest.features.clone();
     features.fit_normalization();
     let mut cnn =
         CnnClassifier::new(cnn_train_config()?, 0xF16).with_width_divisor(cnn_width_divisor()?);
     cnn.fit(features.features(), features.labels(), features.num_classes());
     let history = cnn.history().expect("history recorded during fit");
-    println!("\n[{name}]");
-    print!("{}", render_history(history));
+    report.line(format!("\n[{name}]"));
+    report.block(render_history(history));
     let first = history.train_loss.first().copied().unwrap_or(f64::NAN);
     let last = history.train_loss.last().copied().unwrap_or(f64::NAN);
-    println!("training loss {first:.3} -> {last:.3} (decreasing: {})", last < first);
+    report.line(format!(
+        "training loss {first:.3} -> {last:.3} (decreasing: {})",
+        last < first
+    ));
     Ok(())
 }
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
-    banner("Figure 7: CNN training curves (TESS, OnePlus 7T)", corpus.random_guess());
+    let mut report = Report::new("fig7_training_curves");
+    report.banner("Figure 7: CNN training curves (TESS, OnePlus 7T)", corpus.random_guess());
     let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest()?;
-    curves("loudspeaker (a, b)", &loud)?;
+    curves(&mut report, "loudspeaker (a, b)", &loud)?;
     let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest()?;
-    curves("ear speaker (c, d)", &ear)?;
+    curves(&mut report, "ear speaker (c, d)", &ear)?;
+    report.publish()?;
     Ok(())
 }

@@ -1,0 +1,161 @@
+//! Fleet performance baseline: a sharded fleet under diurnal/bursty load.
+//!
+//! Drives real streaming sessions (trained bundle, recorded campaign,
+//! full verdict pipeline) through a [`FleetService`] while a seeded
+//! [`LoadProfile`] shapes the arrival rate — a sinusoidal diurnal cycle
+//! with multiplicative bursts. Publishes the repo's perf baseline to
+//! `BENCH_fleet.json`:
+//!
+//! * `sessions_per_sec` — admitted sessions completed per wall-clock
+//!   second (the fleet's session throughput);
+//! * `verdict_latency_us` — p50/p99 of per-region classification
+//!   latency, measured inside the sessions;
+//! * `bytes_per_verdict` — ingested sample bytes per emitted verdict
+//!   (the pipeline's data efficiency);
+//! * admission counters — offered/admitted/spilled/refused sessions, so
+//!   a regression in the brown-out path shows up next to the latency it
+//!   causes.
+//!
+//! Wall-clock numbers vary by machine; the *shape* (counters, emissions,
+//! verdicts) is deterministic for a fixed seed and shard count. Knobs:
+//! `EMOLEAK_SHARDS`, `EMOLEAK_FLEET_SEED`, `EMOLEAK_FLEET_BENCH_TICKS`
+//! (default 48), `EMOLEAK_FLEET_BENCH_RATE` (mean sessions/tick, default
+//! 1.5), `EMOLEAK_FLEET_BENCH_JSON` (default `BENCH_fleet.json`).
+
+use emoleak_bench::write_result;
+use emoleak_core::prelude::*;
+use emoleak_fleet::{FleetConfig, FleetService, LoadProfile};
+use emoleak_stream::{ReplaySource, StreamConfig, StreamReport, StreamService};
+use std::sync::Arc;
+use std::time::Instant;
+
+const TENANTS: [&str; 6] = ["amber", "brook", "coral", "dune", "ember", "fjord"];
+const CHUNK: usize = 256;
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() -> Result<(), EmoleakError> {
+    println!("Fleet bench: diurnal/bursty session load over a sharded fleet");
+
+    let ticks: u64 = emoleak_exec::parse_checked(
+        "EMOLEAK_FLEET_BENCH_TICKS",
+        "a positive tick count",
+        |&n: &u64| n > 0,
+    )?
+    .unwrap_or(48);
+    let rate: f64 = emoleak_exec::parse_checked(
+        "EMOLEAK_FLEET_BENCH_RATE",
+        "a positive mean arrival rate",
+        |&r: &f64| r.is_finite() && r > 0.0,
+    )?
+    .unwrap_or(1.5);
+    let cfg = FleetConfig::from_env()?;
+    let shards = cfg.shards;
+    let service = FleetService::new(&cfg);
+    let profile = LoadProfile {
+        base_rate: rate,
+        period: ticks.max(2) / 2, // two diurnal cycles per run
+        ..LoadProfile::default()
+    };
+
+    // The workload: one trained bundle + recorded campaign shared by every
+    // session. The bench measures the serving fleet, not model training.
+    let scenario = AttackScenario::table_top(
+        CorpusSpec::tess().with_clips_per_cell(2),
+        DeviceProfile::oneplus_7t(),
+    );
+    let harvest = scenario.harvest()?;
+    let bundle = Arc::new(ModelBundle::train(&harvest, 7)?);
+    let campaign = scenario.record_windows()?;
+    let detector = scenario.setting.region_detector();
+
+    let mut offered = 0u64;
+    let mut refused = 0u64;
+    let mut reports: Vec<StreamReport> = Vec::new();
+    let t0 = Instant::now();
+    for now in 0..ticks {
+        // This tick's arrivals, shaped by the diurnal/bursty profile and
+        // spread round-robin over the tenants.
+        let arrivals = profile.offers_at(now);
+        let placements: Vec<_> = (0..arrivals)
+            .filter_map(|k| {
+                offered += 1;
+                let tenant = TENANTS[((now * 8 + k) as usize) % TENANTS.len()];
+                match service.admit(tenant, now) {
+                    Ok(p) => Some(p),
+                    Err(_) => {
+                        refused += 1;
+                        None
+                    }
+                }
+            })
+            .collect();
+        // Admitted sessions of one tick run concurrently — that is the
+        // fleet's actual serving shape.
+        let batch = emoleak_exec::par_map_vec_indexed(placements, |_, placement| {
+            let svc = StreamService::new(
+                Arc::clone(&bundle),
+                detector.clone(),
+                campaign.fs,
+                placement.permit.configure(StreamConfig::default()),
+            );
+            svc.run(Box::new(ReplaySource::from_campaign(&campaign, CHUNK)))
+        });
+        for report in batch {
+            reports.push(
+                report.map_err(|e| EmoleakError::Durable(format!("session failed: {e}")))?,
+            );
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let admitted = reports.len() as u64;
+    let spilled = service.migrated_sessions();
+    let verdicts: u64 = reports.iter().map(|r| r.stats.regions).sum();
+    let bytes: u64 = reports
+        .iter()
+        .map(|r| r.stats.chunks_ingested * (CHUNK as u64) * 8)
+        .sum();
+    let mut lat: Vec<f64> = reports
+        .iter()
+        .flat_map(|r| r.emissions.iter().map(|e| e.latency.as_secs_f64() * 1e6))
+        .collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let p50 = percentile(&lat, 0.50);
+    let p99 = percentile(&lat, 0.99);
+    let sessions_per_sec = if wall_s > 0.0 { admitted as f64 / wall_s } else { 0.0 };
+    let bytes_per_verdict = if verdicts > 0 { bytes as f64 / verdicts as f64 } else { 0.0 };
+
+    println!(
+        "{ticks} ticks, {shards} shard(s): {offered} offered, {admitted} admitted \
+         ({spilled} spilled to a sibling shard), {refused} refused"
+    );
+    println!(
+        "{verdicts} verdicts in {wall_s:.2}s wall — {sessions_per_sec:.2} sessions/s, \
+         verdict latency p50 {p50:.0}us p99 {p99:.0}us, {bytes_per_verdict:.0} bytes/verdict"
+    );
+
+    let json = format!(
+        "{{\n  \"ticks\": {ticks},\n  \"shards\": {shards},\n  \"mean_rate\": {rate},\n  \
+         \"sessions_offered\": {offered},\n  \"sessions_admitted\": {admitted},\n  \
+         \"sessions_spilled\": {spilled},\n  \"sessions_refused\": {refused},\n  \
+         \"verdicts\": {verdicts},\n  \"wall_seconds\": {wall_s:.3},\n  \
+         \"sessions_per_sec\": {sessions_per_sec:.3},\n  \
+         \"verdict_latency_us\": {{\"p50\": {p50:.1}, \"p99\": {p99:.1}}},\n  \
+         \"bytes_per_verdict\": {bytes_per_verdict:.1}\n}}\n"
+    );
+    let path = std::env::var("EMOLEAK_FLEET_BENCH_JSON")
+        .unwrap_or_else(|_| "BENCH_fleet.json".to_string());
+    match write_result(std::path::Path::new(&path), json.as_bytes()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path} ({e}); JSON follows:\n{json}"),
+    }
+    assert!(verdicts > 0, "the bench produced no verdicts");
+    Ok(())
+}

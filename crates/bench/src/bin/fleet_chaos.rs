@@ -1,0 +1,627 @@
+//! Fleet-chaos harness for the sharded coordinator.
+//!
+//! Drives `emoleak_fleet::FleetCoordinator` through a grid of fleet-level
+//! failure scenarios × severities × seeds and asserts the *fleet contract*
+//! on every run:
+//!
+//! * conservation — at the end of every run (after a full drain),
+//!   `offered == served + rejected + shed + queued + migrated` fleet-wide,
+//!   with `queued == 0`;
+//! * no lost tenants — after any single-shard kill, every tenant is still
+//!   served (its chunks flow through its new home shard);
+//! * contained panics — hostile chunks panic inside their shard only; a
+//!   sibling shard never burns restart budget, and no panic escapes to
+//!   this harness;
+//! * graceful failover is lossless — a brown-out fence books zero
+//!   `crash_loss` and a positive `migrated` count;
+//! * the last shard is never fenced — cascades stop at one live shard;
+//! * clean-path silence — at severity 0 there are no failovers, no
+//!   rejections, no sheds, and everything offered is served;
+//! * clean-path placement invariance — the per-tenant served stream
+//!   (tenant, seq, cost) digests to the same value for ANY shard count,
+//!   because coordinator-assigned seqs survive routing. The digests land
+//!   in their own artifact so CI can byte-compare it across
+//!   `EMOLEAK_SHARDS` values.
+//!
+//! The simulation runs on the fleet's logical clock, and the scenario grid
+//! is parallelized with order-preserving `par_map_indexed`, so
+//! `results/fleet_chaos.json` is **byte-identical under any
+//! `EMOLEAK_THREADS`** (for a fixed shard count). Knobs:
+//! `EMOLEAK_FLEET_SEVERITIES` (comma list, default `0,1,2`),
+//! `EMOLEAK_FLEET_SEEDS` (default 2), `EMOLEAK_SHARDS` (fleet width,
+//! default 4), `EMOLEAK_FLEET_JSON` and `EMOLEAK_FLEET_DIGEST` (artifact
+//! paths). Exits non-zero if any run violates the contract.
+
+use emoleak_bench::write_result;
+use emoleak_core::EmoleakError;
+use emoleak_exec::{derive_seed, par_map_indexed, splitmix64};
+use emoleak_fleet::{FailoverKind, FleetConfig, FleetCoordinator};
+use std::collections::BTreeMap;
+
+const TICKS: u64 = 400;
+const TENANTS: [&str; 8] =
+    ["amber", "brook", "coral", "dune", "ember", "fjord", "grove", "heath"];
+
+#[derive(Clone, Copy)]
+enum Scenario {
+    /// A healthy fleet under steady load — the placement-invariance and
+    /// clean-path baseline.
+    SteadyState,
+    /// One shard is hard-killed mid-run (`SIGKILL`); its tenants must
+    /// re-home and keep being served.
+    ShardKill,
+    /// One shard's tenants flood it into a sustained BrownOut; the
+    /// coordinator must fence it gracefully, with zero loss.
+    BrownOutFailover,
+    /// Brown-outs cascade shard by shard; the fleet must stop fencing at
+    /// one live shard.
+    Cascade,
+    /// The coordinator itself is killed mid-run and restarted from its
+    /// checkpoint journal.
+    CoordinatorRestart,
+    /// Hostile chunks panic one shard's workers while a flood squeezes
+    /// another: two containment domains failing differently at once.
+    SplitTenantFlood,
+}
+
+impl Scenario {
+    const ALL: [Scenario; 6] = [
+        Scenario::SteadyState,
+        Scenario::ShardKill,
+        Scenario::BrownOutFailover,
+        Scenario::Cascade,
+        Scenario::CoordinatorRestart,
+        Scenario::SplitTenantFlood,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::SteadyState => "steady_state",
+            Scenario::ShardKill => "shard_kill",
+            Scenario::BrownOutFailover => "brown_out_failover",
+            Scenario::Cascade => "cascade",
+            Scenario::CoordinatorRestart => "coordinator_restart",
+            Scenario::SplitTenantFlood => "split_tenant_flood",
+        }
+    }
+}
+
+/// The fleet tuning every run uses: generous rate limits (floods are
+/// shaped by the byte budget and the breaker), a short ledger cadence so
+/// crash reconciliation stays tight, and the shard count from the
+/// environment so CI can sweep it.
+fn fleet_config(shards: u32) -> FleetConfig {
+    let mut cfg = FleetConfig {
+        shards,
+        ledger_every: 10,
+        ..FleetConfig::default()
+    };
+    cfg.admission.mem_budget = 1 << 16;
+    cfg.admission.tenant_rps = 1_000_000;
+    cfg.admission.tenant_burst = 1_000_000;
+    cfg
+}
+
+/// Offers issued for tick `now`, as `(tenant index, cost)` pairs — a pure
+/// function of `(scenario, severity, seed, now, flood targets)`.
+fn offers(
+    scenario: Scenario,
+    severity: f64,
+    seed: u64,
+    now: u64,
+    flooded: &[usize],
+) -> Vec<(usize, u64)> {
+    let mut stream = derive_seed(seed, now);
+    let mut draw = || splitmix64(&mut stream);
+    // Baseline: two polite offers per tick, round-robin over all tenants.
+    let mut out = vec![
+        ((now as usize * 2) % TENANTS.len(), 64 + draw() % 64),
+        ((now as usize * 2 + 1) % TENANTS.len(), 64 + draw() % 64),
+    ];
+    if severity > 0.0 {
+        match scenario {
+            Scenario::SteadyState | Scenario::ShardKill | Scenario::CoordinatorRestart => {}
+            Scenario::BrownOutFailover | Scenario::Cascade | Scenario::SplitTenantFlood => {
+                // The flood tenants hammer their home shards hard enough
+                // to overrun the byte budget and trip the breaker.
+                for &t in flooded {
+                    for _ in 0..(12.0 * severity) as u64 {
+                        out.push((t, 256));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+struct RunSpec {
+    scenario: Scenario,
+    severity: f64,
+    seed: u64,
+    shards: u32,
+}
+
+struct RunRecord {
+    scenario: &'static str,
+    severity: f64,
+    seed: u64,
+    ok: bool,
+    violations: Vec<String>,
+    offered: u64,
+    served: u64,
+    rejected: u64,
+    shed: u64,
+    migrated: u64,
+    crash_loss: u64,
+    failovers_graceful: usize,
+    failovers_crash: usize,
+    live_shards: usize,
+    restart_burn: u32,
+    /// FNV-1a over the per-tenant served stream `(tenant, seq, cost)`,
+    /// tenant-sorted — invariant across shard counts on the clean path.
+    served_digest: u64,
+}
+
+fn fail_record(spec: &RunSpec, why: String) -> RunRecord {
+    RunRecord {
+        scenario: spec.scenario.name(),
+        severity: spec.severity,
+        seed: spec.seed,
+        ok: false,
+        violations: vec![why],
+        offered: 0,
+        served: 0,
+        rejected: 0,
+        shed: 0,
+        migrated: 0,
+        crash_loss: 0,
+        failovers_graceful: 0,
+        failovers_crash: 0,
+        live_shards: 0,
+        restart_burn: 0,
+        served_digest: 0,
+    }
+}
+
+fn run_one(index: usize, spec: &RunSpec) -> RunRecord {
+    let dir = std::env::temp_dir().join(format!(
+        "emoleak-fleet-chaos-{}-{index}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        simulate(spec, &dir)
+    }));
+    let _ = std::fs::remove_dir_all(&dir);
+    match outcome {
+        Ok(record) => record,
+        Err(_) => fail_record(spec, "escaped panic in the fleet layer".to_string()),
+    }
+}
+
+/// FNV-1a over the served stream, per tenant in seq order. Served chunks
+/// are grouped by tenant (sorted) and sorted by seq within a tenant, so
+/// the digest only depends on *what* each tenant had served — not on
+/// which shard served it or in what global interleaving.
+fn served_digest(served: &BTreeMap<String, Vec<(u64, u64)>>) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for (tenant, chunks) in served {
+        for b in tenant.bytes() {
+            eat(b);
+        }
+        eat(0xFF);
+        for (seq, cost) in chunks {
+            for b in seq.to_le_bytes().into_iter().chain(cost.to_le_bytes()) {
+                eat(b);
+            }
+        }
+    }
+    hash
+}
+
+fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
+    let cfg = fleet_config(spec.shards);
+    let mut coord = match FleetCoordinator::new(cfg.clone(), dir) {
+        Ok(c) => c,
+        Err(e) => return fail_record(spec, format!("fleet dir unusable: {e}")),
+    };
+    let mut violations = Vec::new();
+
+    // Flood targets: for the brown-out scenarios, one tenant homed on
+    // shard 0 (and, for the split flood, the panic victim is a *different*
+    // shard). For the cascade, one tenant per shard so the floods roll
+    // across the whole fleet.
+    let home_of =
+        |c: &FleetCoordinator, t: &str| -> u32 { c.ring().route(t) };
+    let tenant_on = |c: &FleetCoordinator, shard: u32| -> Option<usize> {
+        (0..TENANTS.len()).find(|&t| home_of(c, TENANTS[t]) == shard)
+    };
+    let flooded: Vec<usize> = match spec.scenario {
+        Scenario::BrownOutFailover | Scenario::SplitTenantFlood => {
+            tenant_on(&coord, 0).into_iter().collect()
+        }
+        Scenario::Cascade => coord
+            .ring()
+            .shard_ids()
+            .iter()
+            .filter_map(|&s| tenant_on(&coord, s))
+            .collect(),
+        _ => Vec::new(),
+    };
+    // The split flood panics the shard housing the round-robin tenant
+    // furthest from the flooded one, so the two failure domains differ.
+    let panic_shard: Option<u32> = match spec.scenario {
+        Scenario::SplitTenantFlood if spec.severity > 0.0 => coord
+            .ring()
+            .shard_ids()
+            .into_iter()
+            .find(|&s| s != 0),
+        _ => None,
+    };
+
+    let kill_tick = TICKS / 2;
+    let restart_tick = TICKS / 2;
+    let mut killed: Option<u32> = None;
+    let mut victim_tenants: Vec<String> = Vec::new();
+    let mut served: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut served_after_kill: BTreeMap<String, u64> = BTreeMap::new();
+
+    let mut now = 0;
+    while now < TICKS {
+        if matches!(spec.scenario, Scenario::ShardKill)
+            && spec.severity > 0.0
+            && now == kill_tick
+            && coord.ring().len() > 1
+        {
+            let victim = coord.ring().shard_ids()[0];
+            victim_tenants = TENANTS
+                .iter()
+                .filter(|t| home_of(&coord, t) == victim)
+                .map(|t| t.to_string())
+                .collect();
+            let event = coord.kill_shard(victim, now);
+            if event.kind != FailoverKind::Crash {
+                violations.push("a kill must reconcile as a crash".to_string());
+            }
+            killed = Some(victim);
+        }
+        if matches!(spec.scenario, Scenario::CoordinatorRestart)
+            && spec.severity > 0.0
+            && now == restart_tick
+        {
+            // Checkpoint, drop the coordinator (its shards' memory dies
+            // with it), and recover from the journal.
+            if let Err(e) = coord.checkpoint(now) {
+                violations.push(format!("checkpoint failed: {e}"));
+            }
+            drop(coord);
+            coord = match FleetCoordinator::recover(cfg.clone(), dir) {
+                Ok(c) => c,
+                Err(e) => {
+                    violations.push(format!("recovery failed: {e}"));
+                    return fail_record(spec, violations.remove(0));
+                }
+            };
+            if !coord.stats().conserves() {
+                violations.push(format!(
+                    "identity broken right after recovery: {:?}",
+                    coord.stats()
+                ));
+            }
+        }
+
+        for (t, cost) in offers(spec.scenario, spec.severity, spec.seed, now, &flooded) {
+            // Refusals (brown-out, memory) are legitimate under attack;
+            // they are counted and conserved, not hidden.
+            let _ = coord.offer(TENANTS[t], cost, now);
+        }
+        let panics: Vec<u32> = match panic_shard {
+            // One hostile chunk per tick until the restart budget dies.
+            Some(s) if now < kill_tick && coord.ring().contains(s) => vec![s],
+            _ => Vec::new(),
+        };
+        for chunk in coord.advance(now, 4, &panics) {
+            served.entry(chunk.tenant.clone()).or_default().push((chunk.seq, chunk.cost));
+            if killed.is_some() {
+                *served_after_kill.entry(chunk.tenant).or_insert(0) += 1;
+            }
+        }
+        coord.react(now);
+        if !coord.stats().conserves() {
+            violations.push(format!("identity broken at tick {now}: {:?}", coord.stats()));
+            break;
+        }
+        now += 1;
+    }
+    // Full drain: the identity must close with queued == 0.
+    let mut drained = 0;
+    while coord.stats().queued > 0 && drained < 10_000 {
+        for chunk in coord.advance(now, usize::MAX, &[]) {
+            served.entry(chunk.tenant.clone()).or_default().push((chunk.seq, chunk.cost));
+            if killed.is_some() {
+                *served_after_kill.entry(chunk.tenant).or_insert(0) += 1;
+            }
+        }
+        now += 1;
+        drained += 1;
+    }
+    for chunks in served.values_mut() {
+        chunks.sort_unstable();
+    }
+
+    let stats = coord.stats();
+    let view = coord.view();
+    if !stats.conserves() {
+        violations.push(format!("final identity broken: {stats:?}"));
+    }
+    if stats.queued != 0 {
+        violations.push(format!("drained fleet still queues {} chunk(s)", stats.queued));
+    }
+    if view.live == 0 {
+        violations.push("the fleet went dark: zero live shards".to_string());
+    }
+    let graceful =
+        coord.failovers().iter().filter(|f| f.kind == FailoverKind::Graceful).count();
+    let crashes =
+        coord.failovers().iter().filter(|f| f.kind == FailoverKind::Crash).count();
+
+    if spec.severity == 0.0 {
+        // Clean path: no failure machinery may have moved.
+        if !coord.failovers().is_empty()
+            || stats.rejected != 0
+            || stats.shed != 0
+            || stats.migrated != 0
+            || stats.crash_loss != 0
+        {
+            violations.push(format!("clean run was not silent: {stats:?}"));
+        }
+        if stats.served != stats.offered {
+            violations.push(format!("clean run dropped chunks: {stats:?}"));
+        }
+    } else {
+        match spec.scenario {
+            Scenario::SteadyState => {}
+            Scenario::ShardKill => {
+                // A single-shard fleet has nothing to fail over to; the
+                // kill is skipped rather than blacking out the fleet.
+                if spec.shards > 1 && crashes == 0 {
+                    violations.push("the kill never registered as a crash".to_string());
+                }
+                // No lost tenants: every tenant of the killed shard keeps
+                // being served through its new home.
+                for t in &victim_tenants {
+                    if served_after_kill.get(t).copied().unwrap_or(0) == 0 {
+                        violations.push(format!(
+                            "tenant {t} was lost with its shard (never served again)"
+                        ));
+                    }
+                }
+            }
+            Scenario::BrownOutFailover => {
+                // The last shard is never fenced — a one-shard fleet
+                // rides the brown-out out behind its own breaker.
+                if spec.severity >= 2.0 && spec.shards > 1 {
+                    if graceful == 0 {
+                        violations
+                            .push("a sustained brown-out must fence the shard".to_string());
+                    }
+                    if stats.crash_loss != 0 {
+                        violations.push(format!(
+                            "graceful failover must be lossless: {} crash loss",
+                            stats.crash_loss
+                        ));
+                    }
+                    if stats.migrated == 0 {
+                        violations.push("a fence must migrate the queue".to_string());
+                    }
+                }
+            }
+            Scenario::Cascade => {
+                if view.live < 1 {
+                    violations.push("the cascade fenced the last shard".to_string());
+                }
+                if spec.severity >= 2.0 && spec.shards > 1 && graceful == 0 {
+                    violations.push("a fleet-wide flood must fence something".to_string());
+                }
+            }
+            Scenario::CoordinatorRestart => {
+                if view.live != spec.shards as usize {
+                    violations.push(format!(
+                        "restart lost shards: {} live of {}",
+                        view.live, spec.shards
+                    ));
+                }
+            }
+            Scenario::SplitTenantFlood => {
+                if let Some(s) = panic_shard {
+                    // The panic storm stayed inside its shard: every
+                    // *other* shard's restart budget is untouched.
+                    for h in &view.shards {
+                        if h.id != s && h.restarts_used != 0 {
+                            violations.push(format!(
+                                "panic leaked across the bulkhead into shard {}",
+                                h.id
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    RunRecord {
+        scenario: spec.scenario.name(),
+        severity: spec.severity,
+        seed: spec.seed,
+        ok: violations.is_empty(),
+        violations,
+        offered: stats.offered,
+        served: stats.served,
+        rejected: stats.rejected,
+        shed: stats.shed,
+        migrated: stats.migrated,
+        crash_loss: stats.crash_loss,
+        failovers_graceful: graceful,
+        failovers_crash: crashes,
+        live_shards: view.live,
+        restart_burn: view.restart_burn,
+        served_digest: served_digest(&served),
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn to_json(records: &[RunRecord], shards: u32) -> String {
+    let mut out = format!("{{\n  \"shards\": {shards},\n  \"runs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"severity\": {}, \"seed\": {}, \"ok\": {}, \
+             \"offered\": {}, \"served\": {}, \"rejected\": {}, \"shed\": {}, \
+             \"migrated\": {}, \"crash_loss\": {}, \"failovers_graceful\": {}, \
+             \"failovers_crash\": {}, \"live_shards\": {}, \"restart_burn\": {}, \
+             \"served_digest\": \"{:016x}\", \"violations\": [{}]}}{}\n",
+            r.scenario,
+            json_num(r.severity),
+            r.seed,
+            r.ok,
+            r.offered,
+            r.served,
+            r.rejected,
+            r.shed,
+            r.migrated,
+            r.crash_loss,
+            r.failovers_graceful,
+            r.failovers_crash,
+            r.live_shards,
+            r.restart_burn,
+            r.served_digest,
+            r.violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    let failed = records.iter().filter(|r| !r.ok).count();
+    out.push_str(&format!(
+        "  ],\n  \"total_runs\": {},\n  \"failed_runs\": {failed}\n}}\n",
+        records.len()
+    ));
+    out
+}
+
+/// The shard-count-invariant artifact: only the clean-path (severity 0)
+/// served digests, which a correct fleet reproduces for ANY shard count.
+/// CI byte-compares this file across `EMOLEAK_SHARDS` values.
+fn digest_artifact(records: &[RunRecord]) -> String {
+    let mut out =
+        String::from("# clean-path served digests: invariant across EMOLEAK_SHARDS\n");
+    for r in records.iter().filter(|r| r.severity == 0.0) {
+        out.push_str(&format!(
+            "{} seed={} digest={:016x}\n",
+            r.scenario, r.seed, r.served_digest
+        ));
+    }
+    out
+}
+
+fn main() -> Result<(), EmoleakError> {
+    println!("Fleet chaos: shard kills, brown-out failover, cascades, coordinator restarts");
+
+    let severities: Vec<f64> = emoleak_exec::parse_list_checked(
+        "EMOLEAK_FLEET_SEVERITIES",
+        "comma-separated non-negative numbers",
+        |&s: &f64| s.is_finite() && s >= 0.0,
+    )?
+    .unwrap_or_else(|| vec![0.0, 1.0, 2.0]);
+    let seeds: u64 = emoleak_exec::parse_checked(
+        "EMOLEAK_FLEET_SEEDS",
+        "a positive count",
+        |&n: &u64| n > 0,
+    )?
+    .unwrap_or(2);
+    let shards = FleetConfig::from_env()?.shards;
+
+    let mut grid = Vec::new();
+    for scenario in Scenario::ALL {
+        for &severity in &severities {
+            for seed in 0..seeds {
+                grid.push(RunSpec {
+                    scenario,
+                    severity,
+                    seed: 0xF1EE ^ (seed.wrapping_mul(0x9E37_79B9)) ^ (severity.to_bits() >> 17),
+                    shards,
+                });
+            }
+        }
+    }
+    // Order-preserving parallel map: the record order — and therefore the
+    // JSON bytes — is the grid order under any EMOLEAK_THREADS.
+    let records = par_map_indexed(&grid, run_one);
+
+    println!(
+        "{:<20} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>8} {:>5} {:>6} {:>5} {:>5}",
+        "scenario", "sev", "ok", "offered", "served", "rejected", "shed", "migrated", "loss",
+        "fails", "live", "burn"
+    );
+    println!("{}", "-".repeat(100));
+    for r in &records {
+        println!(
+            "{:<20} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>8} {:>5} {:>4}g{:>1}c {:>4} {:>5}",
+            r.scenario,
+            r.severity,
+            if r.ok { "ok" } else { "FAIL" },
+            r.offered,
+            r.served,
+            r.rejected,
+            r.shed,
+            r.migrated,
+            r.crash_loss,
+            r.failovers_graceful,
+            r.failovers_crash,
+            r.live_shards,
+            r.restart_burn,
+        );
+        for v in &r.violations {
+            println!("    violation: {v}");
+        }
+    }
+    let failed = records.iter().filter(|r| !r.ok).count();
+    println!(
+        "\n{} runs ({} shards), {} violations; migrated: {}, crash loss: {}",
+        records.len(),
+        shards,
+        failed,
+        records.iter().map(|r| r.migrated).sum::<u64>(),
+        records.iter().map(|r| r.crash_loss).sum::<u64>(),
+    );
+
+    let json = to_json(&records, shards);
+    let path = std::env::var("EMOLEAK_FLEET_JSON")
+        .unwrap_or_else(|_| "results/fleet_chaos.json".to_string());
+    match write_result(std::path::Path::new(&path), json.as_bytes()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path} ({e}); JSON follows:\n{json}"),
+    }
+    let digest = digest_artifact(&records);
+    let digest_path = std::env::var("EMOLEAK_FLEET_DIGEST")
+        .unwrap_or_else(|_| "results/fleet_clean_digest.txt".to_string());
+    match write_result(std::path::Path::new(&digest_path), digest.as_bytes()) {
+        Ok(()) => println!("wrote {digest_path}"),
+        Err(e) => println!("could not write {digest_path} ({e}); digests follow:\n{digest}"),
+    }
+    assert!(failed == 0, "{failed} fleet run(s) violated the contract");
+    Ok(())
+}

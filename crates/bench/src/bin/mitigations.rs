@@ -2,25 +2,27 @@
 //! modeled as scaling the chassis coupling, plus the delivered-data
 //! high-pass from Table I.
 
-use emoleak_bench::{banner, clips_per_cell};
+use emoleak_bench::{clips_per_cell, Report};
 use emoleak_core::mitigation::damping_study;
 use emoleak_core::prelude::*;
 use emoleak_core::ClassifierKind;
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?.min(20));
-    banner("Mitigations: vibration damping / sensor relocation (TESS / OnePlus 7T)",
-           corpus.random_guess());
+    let mut report = Report::new("mitigations");
+    report.banner("Mitigations: vibration damping / sensor relocation (TESS / OnePlus 7T)",
+                  corpus.random_guess());
     let scenario = AttackScenario::table_top(corpus, DeviceProfile::oneplus_7t());
-    println!("{:<24} {:>10}", "coupling remaining", "accuracy");
+    report.line(format!("{:<24} {:>10}", "coupling remaining", "accuracy"));
     // Each damping level is an independent campaign: sweep in parallel.
     let levels = [1.0, 0.5, 0.25, 0.1, 0.05, 0.02];
     let accs = emoleak_exec::par_map_indexed(&levels, |_, &damping| {
         damping_study(&scenario, ClassifierKind::Logistic, damping, 0x317)
     });
     for (&damping, acc) in levels.iter().zip(accs) {
-        println!("{:<24} {:>9.2}%", format!("{:.0}%", damping * 100.0), acc? * 100.0);
+        report.line(format!("{:<24} {:>9.2}%", format!("{:.0}%", damping * 100.0), acc? * 100.0));
     }
-    println!("(random guess {:.2}%)", scenario.corpus.random_guess() * 100.0);
+    report.line(format!("(random guess {:.2}%)", scenario.corpus.random_guess() * 100.0));
+    report.publish()?;
     Ok(())
 }

@@ -5,7 +5,9 @@
 //! contract* on every run:
 //!
 //! * conservation — after a full drain,
-//!   `offered == served + rejected + shed`, fleet-wide and per tenant;
+//!   `offered == served + rejected + shed + migrated`, fleet-wide and per
+//!   tenant (`migrated` is zero for a standalone controller; the term
+//!   exists so the identity matches the fleet-wide form);
 //! * bounded memory — charged bytes never exceed the budget (`mem_peak <=
 //!   budget`) and a drained fleet holds zero bytes;
 //! * bulkheads hold — per-tenant and fleet session peaks never exceed
@@ -196,6 +198,8 @@ struct RunRecord {
     peak_sessions: usize,
     fleet_transitions: usize,
     worst_state: String,
+    /// Served-chunk queue sojourns, ticks: `[p50, p99, p99.9, max]`.
+    sojourn_ticks: [u64; 4],
 }
 
 fn run_one(index: usize, spec: &RunSpec) -> RunRecord {
@@ -224,14 +228,30 @@ fn run_one(index: usize, spec: &RunSpec) -> RunRecord {
             peak_sessions: 0,
             fleet_transitions: 0,
             worst_state: "-".to_string(),
+            sojourn_ticks: [0; 4],
         },
     }
+}
+
+/// `[p50, p99, p99.9, max]` of `sojourns` (all zeros when nothing was
+/// served). Nearest-rank on the sorted sample.
+fn sojourn_summary(mut sojourns: Vec<u64>) -> [u64; 4] {
+    if sojourns.is_empty() {
+        return [0; 4];
+    }
+    sojourns.sort_unstable();
+    let rank = |p: f64| {
+        let idx = ((p / 100.0) * sojourns.len() as f64).ceil() as usize;
+        sojourns[idx.clamp(1, sojourns.len()) - 1]
+    };
+    [rank(50.0), rank(99.0), rank(99.9), *sojourns.last().unwrap()]
 }
 
 fn simulate(spec: &RunSpec, cfg: &AdmissionConfig, journal: &std::path::Path) -> RunRecord {
     let sink = DurableSink::create(journal).expect("temp journal must be creatable");
     let mut ctrl = AdmissionController::new(cfg.clone()).with_durable(sink.clone());
     let mut held: Vec<&str> = Vec::new();
+    let mut sojourns: Vec<u64> = Vec::new();
 
     for now in 0..TICKS {
         // Session churn: every 50 ticks each tenant asks for a session,
@@ -252,14 +272,18 @@ fn simulate(spec: &RunSpec, cfg: &AdmissionConfig, journal: &std::path::Path) ->
         for (tenant, cost) in offers(spec.scenario, spec.severity, spec.seed, now) {
             let _: Result<(), AdmissionError> = ctrl.offer(TENANTS[tenant], cost, now);
         }
-        ctrl.drain(now, capacity(spec.scenario, spec.severity, now));
+        for chunk in ctrl.drain(now, capacity(spec.scenario, spec.severity, now)) {
+            sojourns.push(now.saturating_sub(chunk.enqueued));
+        }
         ctrl.observe(now);
     }
     // Full drain: whatever is still queued is served or shed, so the
     // conservation identity closes without a `queued` term.
     let mut now = TICKS;
     while ctrl.queue_depth() > 0 {
-        ctrl.drain(now, 64);
+        for chunk in ctrl.drain(now, 64) {
+            sojourns.push(now.saturating_sub(chunk.enqueued));
+        }
         now += 1;
     }
     for t in held.drain(..) {
@@ -271,14 +295,14 @@ fn simulate(spec: &RunSpec, cfg: &AdmissionConfig, journal: &std::path::Path) ->
     let tenants = ctrl.tenant_stats();
     let mut violations = Vec::new();
 
-    if stats.offered != stats.served + stats.rejected + stats.shed {
+    if stats.offered != stats.served + stats.rejected + stats.shed + stats.migrated {
         violations.push(format!(
-            "conservation broken: {} offered != {} served + {} rejected + {} shed",
-            stats.offered, stats.served, stats.rejected, stats.shed
+            "conservation broken: {} offered != {} served + {} rejected + {} shed + {} migrated",
+            stats.offered, stats.served, stats.rejected, stats.shed, stats.migrated
         ));
     }
     for (name, t) in &tenants {
-        if t.offered != t.served + t.rejected + t.shed {
+        if t.offered != t.served + t.rejected + t.shed + t.migrated {
             violations.push(format!("tenant {name} conservation broken: {t:?}"));
         }
         if t.peak_sessions > cfg.tenant_sessions {
@@ -408,6 +432,7 @@ fn simulate(spec: &RunSpec, cfg: &AdmissionConfig, journal: &std::path::Path) ->
             .log()
             .worst_fleet_state()
             .map_or_else(|| "-".to_string(), |s: FleetState| s.to_string()),
+        sojourn_ticks: sojourn_summary(sojourns),
     }
 }
 
@@ -426,7 +451,9 @@ fn to_json(records: &[RunRecord]) -> String {
             "    {{\"scenario\": \"{}\", \"severity\": {}, \"seed\": {}, \"ok\": {}, \
              \"offered\": {}, \"served\": {}, \"rejected\": {}, \"shed\": {}, \
              \"mem_peak\": {}, \"peak_sessions\": {}, \"fleet_transitions\": {}, \
-             \"worst_state\": \"{}\", \"violations\": [{}]}}{}\n",
+             \"worst_state\": \"{}\", \
+             \"sojourn_ticks\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}, \
+             \"violations\": [{}]}}{}\n",
             r.scenario,
             json_num(r.severity),
             r.seed,
@@ -439,6 +466,10 @@ fn to_json(records: &[RunRecord]) -> String {
             r.peak_sessions,
             r.fleet_transitions,
             r.worst_state,
+            r.sojourn_ticks[0],
+            r.sojourn_ticks[1],
+            r.sojourn_ticks[2],
+            r.sojourn_ticks[3],
             r.violations
                 .iter()
                 .map(|v| format!("\"{}\"", v.replace('"', "'")))
@@ -488,14 +519,14 @@ fn main() -> Result<(), EmoleakError> {
     let records = par_map_indexed(&grid, run_one);
 
     println!(
-        "{:<16} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>9} {:>6} {:>11}",
+        "{:<16} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>9} {:>6} {:>11} {:>6} {:>6}",
         "scenario", "sev", "ok", "offered", "served", "rejected", "shed", "mem_peak", "trans",
-        "worst"
+        "worst", "p99.9", "max"
     );
-    println!("{}", "-".repeat(92));
+    println!("{}", "-".repeat(106));
     for r in &records {
         println!(
-            "{:<16} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>9} {:>6} {:>11}",
+            "{:<16} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>9} {:>6} {:>11} {:>6} {:>6}",
             r.scenario,
             r.severity,
             if r.ok { "ok" } else { "FAIL" },
@@ -506,6 +537,8 @@ fn main() -> Result<(), EmoleakError> {
             r.mem_peak,
             r.fleet_transitions,
             r.worst_state,
+            r.sojourn_ticks[2],
+            r.sojourn_ticks[3],
         );
         for v in &r.violations {
             println!("    violation: {v}");

@@ -2,21 +2,23 @@
 //! table-top/loudspeaker setting, >= 45 % for the handheld/ear-speaker
 //! setting.
 
-use emoleak_bench::{banner, clips_per_cell};
+use emoleak_bench::{clips_per_cell, Report};
 use emoleak_core::prelude::*;
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
-    banner("Speech-region extraction rates (TESS, OnePlus 7T)", corpus.random_guess());
+    let mut report = Report::new("region_detection");
+    report.banner("Speech-region extraction rates (TESS, OnePlus 7T)", corpus.random_guess());
     let loud = AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t()).harvest()?;
     let ear = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t()).harvest()?;
-    println!(
+    report.line(format!(
         "table-top / loudspeaker : {:.0}% of word regions (paper: ~90%)",
         loud.detection_rate * 100.0
-    );
-    println!(
+    ));
+    report.line(format!(
         "handheld / ear speaker  : {:.0}% of word regions (paper: >= 45%)",
         ear.detection_rate * 100.0
-    );
+    ));
+    report.publish()?;
     Ok(())
 }

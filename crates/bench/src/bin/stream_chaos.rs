@@ -52,6 +52,8 @@ struct RunRecord {
     p50_us: f64,
     p95_us: f64,
     p99_us: f64,
+    p999_us: f64,
+    max_us: f64,
     wall_ms: f64,
 }
 
@@ -172,6 +174,8 @@ fn run_one(
                 p50_us: percentile(&lat, 0.50),
                 p95_us: percentile(&lat, 0.95),
                 p99_us: percentile(&lat, 0.99),
+                p999_us: percentile(&lat, 0.999),
+                max_us: lat.last().copied().unwrap_or(0.0),
                 wall_ms,
                 spec,
             }
@@ -190,6 +194,8 @@ fn run_one(
             p50_us: 0.0,
             p95_us: 0.0,
             p99_us: 0.0,
+            p999_us: 0.0,
+            max_us: 0.0,
             wall_ms,
             spec,
         },
@@ -213,7 +219,8 @@ fn to_json(records: &[RunRecord]) -> String {
              \"dropped\": {}, \"deadline_misses\": {}, \"transitions\": {}, \
              \"worst_level\": \"{}\", \"panic_restarts\": {}, \
              \"max_chunk_depth\": {}, \"latency_us\": {{\"p50\": {}, \"p95\": {}, \
-             \"p99\": {}}}, \"wall_ms\": {}, \"violations\": [{}]}}{}\n",
+             \"p99\": {}, \"p999\": {}, \"max\": {}}}, \"wall_ms\": {}, \
+             \"violations\": [{}]}}{}\n",
             r.spec.preset,
             json_num(r.spec.severity),
             r.spec.seed,
@@ -230,6 +237,8 @@ fn to_json(records: &[RunRecord]) -> String {
             json_num(r.p50_us),
             json_num(r.p95_us),
             json_num(r.p99_us),
+            json_num(r.p999_us),
+            json_num(r.max_us),
             json_num(r.wall_ms),
             r.violations
                 .iter()

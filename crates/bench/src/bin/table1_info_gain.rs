@@ -7,7 +7,7 @@
 //! (all level statistics drop, power retains the most) — see EXPERIMENTS.md
 //! for the discrepancy discussion.
 
-use emoleak_bench::{banner, clips_per_cell};
+use emoleak_bench::{clips_per_cell, Report};
 use emoleak_core::mitigation::FilterAblation;
 use emoleak_core::prelude::*;
 
@@ -16,23 +16,25 @@ fn main() -> Result<(), EmoleakError> {
     // that Table I measures lives; larger campaigns wash the in-session
     // association out (see EXPERIMENTS.md).
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?.min(6));
-    banner("Table I: information gain, no filter vs 1 Hz high-pass (TESS, handheld)",
-           corpus.random_guess());
+    let mut report = Report::new("table1_info_gain");
+    report.banner("Table I: information gain, no filter vs 1 Hz high-pass (TESS, handheld)",
+                  corpus.random_guess());
     let scenario = AttackScenario::handheld(corpus, DeviceProfile::oneplus_7t());
     let ablation = FilterAblation::run(&scenario)?;
-    println!("{:<12} {:>10} {:>10}", "feature", "no filter", "1 Hz HPF");
-    println!("{}", "-".repeat(34));
+    report.line(format!("{:<12} {:>10} {:>10}", "feature", "no filter", "1 Hz HPF"));
+    report.line("-".repeat(34));
     for ((name, raw), hp) in ablation
         .features
         .iter()
         .zip(&ablation.gain_no_filter)
         .zip(&ablation.gain_1hz)
     {
-        println!("{name:<12} {raw:>10.3} {hp:>10.3}");
+        report.line(format!("{name:<12} {raw:>10.3} {hp:>10.3}"));
     }
-    println!(
+    report.line(format!(
         "\nfilter significantly degrades level features: {}",
         ablation.filter_degrades_features()
-    );
+    ));
+    report.publish()?;
     Ok(())
 }

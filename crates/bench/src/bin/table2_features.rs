@@ -2,13 +2,14 @@
 //! gain per feature on a live campaign (the paper reports that all features
 //! have non-zero gain in both settings; §III-B.4).
 
-use emoleak_bench::{banner, clips_per_cell};
+use emoleak_bench::{clips_per_cell, Report};
 use emoleak_core::prelude::*;
 use emoleak_features::info_gain::information_gain_per_feature;
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?.min(20));
-    banner("Table II: feature inventory + information gain (TESS)", corpus.random_guess());
+    let mut report = Report::new("table2_features");
+    report.banner("Table II: feature inventory + information gain (TESS)", corpus.random_guess());
     let settings = [
         ("table-top", AttackScenario::table_top(corpus.clone(), DeviceProfile::oneplus_7t())),
         ("handheld", AttackScenario::handheld(corpus.clone(), DeviceProfile::oneplus_7t())),
@@ -22,16 +23,17 @@ fn main() -> Result<(), EmoleakError> {
             harvest.features.labels(),
             10,
         );
-        println!("\n[{setting}] {} regions", harvest.features.len());
-        println!("{:<20} {:>8}", "feature", "gain");
+        report.line(format!("\n[{setting}] {} regions", harvest.features.len()));
+        report.line(format!("{:<20} {:>8}", "feature", "gain"));
         let mut nonzero = 0;
         for (name, g) in harvest.features.feature_names().iter().zip(&gains) {
-            println!("{name:<20} {g:>8.3}");
+            report.line(format!("{name:<20} {g:>8.3}"));
             if *g > 0.0 {
                 nonzero += 1;
             }
         }
-        println!("non-zero gains: {nonzero}/24");
+        report.line(format!("non-zero gains: {nonzero}/24"));
     }
+    report.publish()?;
     Ok(())
 }

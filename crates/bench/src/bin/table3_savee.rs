@@ -9,8 +9,8 @@
 //! journaled and a killed run resumes from its cursor, byte-identically.
 
 use emoleak_bench::{
-    banner, campaign_fingerprint, clips_per_cell, decode_column, encode_column,
-    loudspeaker_column, run_campaign, skip_cnn,
+    campaign_fingerprint, clips_per_cell, decode_column, encode_column, loudspeaker_column,
+    run_campaign, skip_cnn, Report,
 };
 use emoleak_core::prelude::*;
 
@@ -18,7 +18,8 @@ const SEED: u64 = 0x7AB3;
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::savee().with_clips_per_cell(clips_per_cell()?);
-    banner("Table III: SAVEE / loudspeaker", corpus.random_guess());
+    let mut report = Report::new("table3_savee");
+    report.banner("Table III: SAVEE / loudspeaker", corpus.random_guess());
     let devices = [DeviceProfile::oneplus_7t(), DeviceProfile::pixel_5()];
     let mut table = ResultTable::new(
         "SAVEE (time-frequency features + spectrograms)",
@@ -53,6 +54,7 @@ fn main() -> Result<(), EmoleakError> {
     }
     table.push_note("paper: Logistic 53.77%/44.44%, CNN 46.98%/44.18%, spec-CNN 39.16%/35.38%");
     table.push_note("random guess 14.28%");
-    print!("{}", table.render());
+    report.block(table.render());
+    report.publish()?;
     Ok(())
 }

@@ -3,14 +3,15 @@
 //! Paper: Logistic 58.99 %, MultiClass 58.51 %, trees.LMT 58.99 %,
 //! CNN 60.32 %, spectrogram CNN 53 % (random guess 16.67 %).
 
-use emoleak_bench::{banner, clips_per_cell, loudspeaker_column};
+use emoleak_bench::{clips_per_cell, loudspeaker_column, Report};
 use emoleak_core::prelude::*;
 
 fn main() -> Result<(), EmoleakError> {
     // CREMA-D has 91 speakers; its per-cell count is intrinsically small
     // (13 in the real corpus), so the scale knob is capped accordingly.
     let corpus = CorpusSpec::crema_d().with_clips_per_cell(clips_per_cell()?.min(13).max(2));
-    banner("Table IV: CREMA-D / loudspeaker", corpus.random_guess());
+    let mut report = Report::new("table4_cremad");
+    report.banner("Table IV: CREMA-D / loudspeaker", corpus.random_guess());
     let device = DeviceProfile::galaxy_s10();
     let mut table = ResultTable::new(
         "CREMA-D (time-frequency features + spectrograms)",
@@ -22,6 +23,7 @@ fn main() -> Result<(), EmoleakError> {
     }
     table.push_note("paper: Logistic 58.99%, CNN 60.32%, spec-CNN 53%");
     table.push_note("random guess 16.67%");
-    print!("{}", table.render());
+    report.block(table.render());
+    report.publish()?;
     Ok(())
 }

@@ -8,8 +8,8 @@
 //! journaled and a killed run resumes from its cursor, byte-identically.
 
 use emoleak_bench::{
-    banner, campaign_fingerprint, clips_per_cell, decode_column, encode_column,
-    loudspeaker_column, run_campaign, skip_cnn,
+    campaign_fingerprint, clips_per_cell, decode_column, encode_column, loudspeaker_column,
+    run_campaign, skip_cnn, Report,
 };
 use emoleak_core::prelude::*;
 
@@ -17,7 +17,8 @@ const SEED: u64 = 0x7E55;
 
 fn main() -> Result<(), EmoleakError> {
     let corpus = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
-    banner("Table V: TESS / loudspeaker", corpus.random_guess());
+    let mut report = Report::new("table5_tess");
+    report.banner("Table V: TESS / loudspeaker", corpus.random_guess());
     let devices = [
         DeviceProfile::oneplus_7t(),
         DeviceProfile::galaxy_s10(),
@@ -58,6 +59,7 @@ fn main() -> Result<(), EmoleakError> {
     }
     table.push_note("paper best-per-device: 95.3%, 85.37%, 82.62%, 88.49%, 85.74%");
     table.push_note("random guess 14.28%");
-    print!("{}", table.render());
+    report.block(table.render());
+    report.publish()?;
     Ok(())
 }

@@ -6,14 +6,15 @@
 //! CNN 51.11 % / 60.52 % / 54.82 % (random guess 14.28 %). The paper uses
 //! 10-fold cross-validation for these results.
 
-use emoleak_bench::{banner, clips_per_cell, skip_cnn};
+use emoleak_bench::{clips_per_cell, skip_cnn, Report};
 use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
 
 fn main() -> Result<(), EmoleakError> {
     let savee = CorpusSpec::savee().with_clips_per_cell(clips_per_cell()?);
     let tess = CorpusSpec::tess().with_clips_per_cell(clips_per_cell()?);
-    banner("Table VI: ear speaker / handheld (10-fold CV)", savee.random_guess());
+    let mut report = Report::new("table6_earspeaker");
+    report.banner("Table VI: ear speaker / handheld (10-fold CV)", savee.random_guess());
     let scenarios = [
         ("SAVEE (OnePlus 7T)", AttackScenario::handheld(savee.clone(), DeviceProfile::oneplus_7t())),
         ("SAVEE (OnePlus 9)", AttackScenario::handheld(savee, DeviceProfile::oneplus_9())),
@@ -59,6 +60,7 @@ fn main() -> Result<(), EmoleakError> {
         ));
     }
     table.push_note("paper: RF 53.12/58.40/59.67, RSS 56.25/54.83/55.45, LMT 49.11/53.76/53.03, CNN 51.11/60.52/54.82");
-    print!("{}", table.render());
+    report.block(table.render());
+    report.publish()?;
     Ok(())
 }

@@ -8,7 +8,7 @@
 //! vibration channel), which stands in for the cited audio-domain systems.
 
 use emoleak_bench::{
-    banner, campaign_fingerprint, classifier_accuracy, clips_per_cell, run_campaign, skip_cnn,
+    campaign_fingerprint, classifier_accuracy, clips_per_cell, run_campaign, skip_cnn, Report,
 };
 use emoleak_core::prelude::*;
 use emoleak_core::{evaluate_features, ClassifierKind, Protocol};
@@ -66,7 +66,8 @@ fn audio_domain_accuracy(corpus: &CorpusSpec, seed: u64) -> f64 {
 
 fn main() -> Result<(), EmoleakError> {
     let n = clips_per_cell()?;
-    banner("Table VII: vibration domain vs audio domain", 1.0 / 7.0);
+    let mut report = Report::new("table7_summary");
+    report.banner("Table VII: vibration domain vs audio domain", 1.0 / 7.0);
     let rows: [(&str, CorpusSpec, DeviceProfile); 3] = [
         ("SAVEE", CorpusSpec::savee().with_clips_per_cell(n), DeviceProfile::oneplus_7t()),
         ("TESS", CorpusSpec::tess().with_clips_per_cell(n), DeviceProfile::oneplus_7t()),
@@ -118,6 +119,7 @@ fn main() -> Result<(), EmoleakError> {
     }
     table.push_note("paper: SAVEE 53.77% vs 91.7%, TESS 95.3% vs 99.57%, CREMA-D 60.32% vs 94.99%");
     table.push_note("audio baseline = same features on clean audio (substitute for cited SOTA)");
-    print!("{}", table.render());
+    report.block(table.render());
+    report.publish()?;
     Ok(())
 }

@@ -251,16 +251,75 @@ pub fn loudspeaker_column(
     Ok(rows)
 }
 
-/// Renders a banner line for experiment binaries.
-pub fn banner(title: &str, random_guess: f64) {
-    println!("\n{title}");
-    println!(
-        "(clips/cell = {}, CNN width divisor = {}, random guess = {:.2}%)",
+/// Renders the banner block for experiment binaries (leading blank line,
+/// title, scale-knob summary), without printing it.
+pub fn banner_text(title: &str, random_guess: f64) -> String {
+    format!(
+        "\n{title}\n(clips/cell = {}, CNN width divisor = {}, random guess = {:.2}%)\n",
         clips_per_cell().map_or_else(|e| format!("invalid ({e})"), |n| n.to_string()),
         emoleak_core::pipeline::cnn_width_divisor()
             .map_or_else(|e| format!("invalid ({e})"), |d| d.to_string()),
         random_guess * 100.0
-    );
+    )
+}
+
+/// Prints a banner line for experiment binaries.
+pub fn banner(title: &str, random_guess: f64) {
+    print!("{}", banner_text(title, random_guess));
+}
+
+/// Directory for published artifacts (`EMOLEAK_RESULTS_DIR`, default
+/// `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("EMOLEAK_RESULTS_DIR")
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Accumulates an experiment's rendered output, mirroring every piece to
+/// stdout, then publishes the whole artifact **atomically** to
+/// `results/<name>.txt` (see [`results_dir`]). This replaces the old
+/// shell-redirection workflow (`bin > results/name.txt`), which left a
+/// torn artifact whenever a run was interrupted mid-write.
+pub struct Report {
+    name: String,
+    buf: String,
+}
+
+impl Report {
+    /// Starts an artifact named `<name>.txt`.
+    pub fn new(name: &str) -> Self {
+        Report { name: name.to_string(), buf: String::new() }
+    }
+
+    /// Mirrors the standard experiment banner (see [`banner`]).
+    pub fn banner(&mut self, title: &str, random_guess: f64) {
+        self.block(banner_text(title, random_guess));
+    }
+
+    /// Mirrors one line (a trailing newline is added).
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        println!("{}", text.as_ref());
+        self.buf.push_str(text.as_ref());
+        self.buf.push('\n');
+    }
+
+    /// Mirrors a pre-rendered block verbatim (no newline added).
+    pub fn block(&mut self, text: impl AsRef<str>) {
+        print!("{}", text.as_ref());
+        self.buf.push_str(text.as_ref());
+    }
+
+    /// Writes the accumulated artifact atomically and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// [`EmoleakError::Durable`] when the artifact cannot be written.
+    pub fn publish(self) -> Result<PathBuf, EmoleakError> {
+        let path = results_dir().join(format!("{}.txt", self.name));
+        write_result(&path, self.buf.as_bytes())?;
+        eprintln!("[{}] artifact published to {}", self.name, path.display());
+        Ok(path)
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +419,27 @@ mod tests {
         assert_eq!(a, b);
 
         std::env::remove_var("EMOLEAK_CHECKPOINT_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_publishes_the_mirrored_artifact_atomically() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir()
+            .join(format!("emoleak-bench-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("EMOLEAK_RESULTS_DIR", &dir);
+        let mut report = Report::new("unit");
+        report.line("header");
+        report.block("cell-a cell-b\n");
+        report.line(format!("acc {:.2}%", 86.304));
+        let path = report.publish().unwrap();
+        std::env::remove_var("EMOLEAK_RESULTS_DIR");
+        assert_eq!(path, dir.join("unit.txt"));
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "header\ncell-a cell-b\nacc 86.30%\n"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -38,6 +38,6 @@ pub mod rng;
 
 pub use cancel::{CancellationToken, Deadline};
 pub use env::{parse_checked, parse_list_checked, EnvError};
-pub use pool::{par_map_indexed, threads, with_threads};
+pub use pool::{par_map_indexed, par_map_vec_indexed, threads, with_threads};
 pub use reduce::sum_ordered;
 pub use rng::{derive_seed, splitmix64};

@@ -164,6 +164,36 @@ where
         .collect()
 }
 
+/// Maps `f` over an **owned** `Vec` in parallel, returning results in input
+/// order. The by-value sibling of [`par_map_indexed`], for work items that
+/// must be *mutated or consumed* rather than shared — e.g. advancing a
+/// fleet of independent shard runners, each owning its admission state and
+/// journal handle, one tick in parallel.
+///
+/// Same contract as [`par_map_indexed`]: each index runs exactly once, the
+/// output order is the input order, and the worker count cannot affect the
+/// results (items are independent by construction — each worker takes full
+/// ownership of the items it runs).
+pub fn par_map_vec_indexed<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    // Each slot is taken exactly once (par_map_indexed calls each index
+    // exactly once), so the Mutex is uncontended handoff, not sharing.
+    let slots: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    par_map_indexed(&slots, |i, slot| {
+        let item = slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("each index is visited exactly once");
+        f(i, item)
+    })
+}
+
 fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
     queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
 }
@@ -235,6 +265,24 @@ mod tests {
             })
         };
         assert_eq!(nested(1), nested(6));
+    }
+
+    #[test]
+    fn owned_map_consumes_items_in_input_order() {
+        // Items that are not Clone and not Sync-shareable by reference use.
+        struct Runner(u64);
+        let items: Vec<Runner> = (0..97).map(Runner).collect();
+        let out = with_threads(4, || {
+            par_map_vec_indexed(items, |i, r| r.0 * 2 + i as u64)
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+        // Identical across worker counts.
+        let again = with_threads(1, || {
+            par_map_vec_indexed((0..97).map(Runner).collect(), |i, r| r.0 * 2 + i as u64)
+        });
+        assert_eq!(out, again);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Fleet tuning, with the same strict environment contract as the
+//! admission layer: a set-but-malformed knob errors, it is never silently
+//! defaulted.
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `EMOLEAK_SHARDS` | number of independent shards | 4 |
+//! | `EMOLEAK_FLEET_SEED` | consistent-hash ring seed | `0xE40F_1EE7` |
+
+use emoleak_admission::AdmissionConfig;
+use emoleak_core::EmoleakError;
+use emoleak_exec::parse_checked;
+
+/// Tuning for a sharded fleet ([`FleetCoordinator`](crate::FleetCoordinator)
+/// / [`FleetService`](crate::FleetService)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of independent shards (each owns its controller, journal
+    /// segment, and — in a [`FleetService`](crate::FleetService) — its
+    /// session gate).
+    pub shards: u32,
+    /// Consistent-hash ring seed: placement is a pure function of this
+    /// and the live shard set.
+    pub seed: u64,
+    /// Virtual nodes per shard on the ring (more = tighter balance).
+    pub vnodes: usize,
+    /// Consecutive BrownOut health observations of one shard before the
+    /// coordinator fences it and migrates its tenants.
+    pub failover_after: u32,
+    /// Contained panics a shard survives before it is declared dead.
+    pub restart_budget: u32,
+    /// Ticks between journaled shard-ledger snapshots (the crash-recovery
+    /// reconciliation floor: a kill loses at most this much accounting).
+    pub ledger_every: u64,
+    /// Per-shard admission tuning.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            seed: 0xE40F_1EE7,
+            vnodes: 64,
+            failover_after: 3,
+            restart_budget: 3,
+            ledger_every: 50,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The defaults with `EMOLEAK_SHARDS` / `EMOLEAK_FLEET_SEED` overrides
+    /// applied (and the nested [`AdmissionConfig`] read through its own
+    /// `from_env`).
+    ///
+    /// # Errors
+    ///
+    /// [`EmoleakError::Config`] when a set knob is malformed or out of
+    /// range (`EMOLEAK_SHARDS` must be positive).
+    pub fn from_env() -> Result<Self, EmoleakError> {
+        let mut cfg = FleetConfig { admission: AdmissionConfig::from_env()?, ..Self::default() };
+        if let Some(n) = parse_checked::<u32>("EMOLEAK_SHARDS", "a positive shard count", |&n| {
+            n > 0
+        })? {
+            cfg.shards = n;
+        }
+        if let Some(s) = parse_checked::<u64>("EMOLEAK_FLEET_SEED", "a u64 seed", |_| true)? {
+            cfg.seed = s;
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env mutation is process-global; this test owns these two names.
+    #[test]
+    fn env_overrides_are_strict() {
+        for name in ["EMOLEAK_SHARDS", "EMOLEAK_FLEET_SEED"] {
+            std::env::remove_var(name);
+        }
+        assert_eq!(FleetConfig::from_env().unwrap(), FleetConfig::default());
+
+        std::env::set_var("EMOLEAK_SHARDS", "2");
+        std::env::set_var("EMOLEAK_FLEET_SEED", "12345");
+        let cfg = FleetConfig::from_env().unwrap();
+        assert_eq!(cfg.shards, 2);
+        assert_eq!(cfg.seed, 12345);
+
+        std::env::set_var("EMOLEAK_SHARDS", "0");
+        let err = FleetConfig::from_env().unwrap_err();
+        assert!(matches!(err, EmoleakError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("EMOLEAK_SHARDS"));
+        for name in ["EMOLEAK_SHARDS", "EMOLEAK_FLEET_SEED"] {
+            std::env::remove_var(name);
+        }
+    }
+}

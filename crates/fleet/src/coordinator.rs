@@ -1,0 +1,751 @@
+//! The fleet coordinator: routing, health aggregation, failover, and the
+//! fleet-wide conservation ledger.
+//!
+//! The coordinator owns the [`HashRing`] and every [`Shard`]. It assigns
+//! each tenant a global chunk sequence (so served order is independent of
+//! shard count), routes offers to the tenant's home shard, advances all
+//! shards one tick **in parallel** (each shard is owned by exactly one
+//! worker per tick — [`emoleak_exec::par_map_vec_indexed`] keeps the
+//! result order and therefore the byte stream deterministic), and watches
+//! per-shard health.
+//!
+//! # Failover and the conservation algebra
+//!
+//! The PR-5 identity `offered == served + rejected + shed + queued`
+//! gains a `migrated` term and becomes *per shard*:
+//!
+//! ```text
+//! offered_s == served_s + rejected_s + shed_s + queued_s + migrated_s
+//! ```
+//!
+//! A migrated chunk is **re-offered through the target shard's normal
+//! front door**, so it counts once in the source shard's `migrated` and
+//! once in the target's `offered` — the fleet-wide roll-up (retired
+//! shards' final ledgers plus live shards' counters) then satisfies the
+//! identity by construction, with no special cases.
+//!
+//! Two failover paths:
+//!
+//! - **graceful** (sustained BrownOut): the shard is fenced — queue
+//!   evacuated with seq tags intact, final ledger journaled — its vnodes
+//!   leave the ring (only *its* tenants move), and the evacuees are
+//!   re-offered along each tenant's new route.
+//! - **crash** (panic budget exhausted, or a hard kill): in-memory state
+//!   is gone. The coordinator replays the shard's journal segment: the
+//!   last ledger gives a consistent counter snapshot, the journaled shed
+//!   events give the *exact* shed count, and the coordinator's own routed
+//!   count bounds the offers. Whatever the journal cannot account for is
+//!   booked as `crash_loss` (and counted as shed), keeping the identity
+//!   exact instead of silently leaking chunks.
+
+use crate::config::FleetConfig;
+use crate::ring::HashRing;
+use crate::shard::{Shard, ShardHealth, ShardState};
+use emoleak_admission::QueuedChunk;
+use emoleak_core::admission::{AdmissionError, FleetState};
+use emoleak_durable::{Dec, DurableError, Enc, Journal};
+use emoleak_exec::par_map_vec_indexed;
+use emoleak_stream::durable::{recover_run, LedgerRecord};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Coordinator-journal record kind: one checkpoint.
+pub const REC_CHECKPOINT: u8 = 1;
+
+/// Fleet-wide counters: live shards plus the retired ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Chunks offered across all shards (migrated chunks count again at
+    /// their target — see the module docs).
+    pub offered: u64,
+    /// Chunks served to backends.
+    pub served: u64,
+    /// Chunks refused at a front door.
+    pub rejected: u64,
+    /// Chunks shed (CoDel sheds plus crash losses).
+    pub shed: u64,
+    /// Chunks still queued on live shards.
+    pub queued: u64,
+    /// Chunks evacuated out of a shard.
+    pub migrated: u64,
+    /// The subset of `shed` that a crashed shard's journal could not
+    /// account for (in-memory queue lost to the crash).
+    pub crash_loss: u64,
+}
+
+impl FleetStats {
+    /// The fleet conservation identity.
+    pub fn conserves(&self) -> bool {
+        self.offered == self.served + self.rejected + self.shed + self.queued + self.migrated
+    }
+}
+
+/// Why a shard was failed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverKind {
+    /// Sustained BrownOut: fenced and evacuated.
+    Graceful,
+    /// Crash: reconciled from the journal segment.
+    Crash,
+}
+
+/// One failover the coordinator performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// The tick it happened at.
+    pub tick: u64,
+    /// The shard that left the ring.
+    pub shard: u32,
+    /// Graceful or crash.
+    pub kind: FailoverKind,
+    /// Chunks evacuated and re-offered (graceful only).
+    pub moved_chunks: u64,
+    /// Evacuated chunks the target shards refused.
+    pub reoffer_rejected: u64,
+    /// Chunks booked as crash loss (crash only).
+    pub crash_loss: u64,
+}
+
+/// The aggregated health picture one `view()` call returns.
+#[derive(Debug, Clone)]
+pub struct FleetView {
+    /// Per-shard health samples, shard-id order.
+    pub shards: Vec<ShardHealth>,
+    /// Shards still in the ring.
+    pub live: usize,
+    /// The worst live shard's breaker state ([`FleetState::Healthy`] when
+    /// nothing is live — an empty fleet has nothing to brown out).
+    pub worst: FleetState,
+    /// Total chunks queued across live shards.
+    pub queue_depth_total: usize,
+    /// Total contained panics across all shards.
+    pub restart_burn: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RetiredTotals {
+    offered: u64,
+    served: u64,
+    rejected: u64,
+    shed: u64,
+    migrated: u64,
+}
+
+/// The fleet coordinator. See the module docs for the failover model.
+pub struct FleetCoordinator {
+    cfg: FleetConfig,
+    dir: PathBuf,
+    ring: HashRing,
+    shards: Vec<Shard>,
+    routed: BTreeMap<u32, u64>,
+    tenant_seq: BTreeMap<String, u64>,
+    retired: RetiredTotals,
+    crash_loss: u64,
+    brownout_streak: BTreeMap<u32, u32>,
+    checkpoint: Journal,
+    ckpt_seq: u64,
+    failovers: Vec<FailoverEvent>,
+}
+
+/// The coordinator's own checkpoint journal path under `dir`.
+pub fn coordinator_journal_path(dir: &Path) -> PathBuf {
+    dir.join("coordinator.log")
+}
+
+impl FleetCoordinator {
+    /// A fresh fleet under `dir`: shards `0..cfg.shards`, each with its
+    /// own journal segment, plus the coordinator's checkpoint journal.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError`] when `dir` or a journal cannot be created.
+    pub fn new(cfg: FleetConfig, dir: &Path) -> Result<FleetCoordinator, DurableError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| DurableError::io(dir, "create fleet dir", &e))?;
+        let mut shards = Vec::with_capacity(cfg.shards as usize);
+        for id in 0..cfg.shards {
+            shards.push(Shard::new(
+                id,
+                dir,
+                cfg.admission.clone(),
+                cfg.restart_budget,
+                cfg.ledger_every,
+            )?);
+        }
+        let checkpoint = Journal::create(&coordinator_journal_path(dir))?;
+        Ok(FleetCoordinator {
+            ring: HashRing::new(cfg.seed, cfg.shards, cfg.vnodes),
+            routed: (0..cfg.shards).map(|id| (id, 0)).collect(),
+            cfg,
+            dir: dir.to_path_buf(),
+            shards,
+            tenant_seq: BTreeMap::new(),
+            retired: RetiredTotals::default(),
+            crash_loss: 0,
+            brownout_streak: BTreeMap::new(),
+            checkpoint,
+            ckpt_seq: 0,
+            failovers: Vec::new(),
+        })
+    }
+
+    /// The live routing ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The fleet's tuning.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Every failover performed so far, in order.
+    pub fn failovers(&self) -> &[FailoverEvent] {
+        &self.failovers
+    }
+
+    fn shard_mut(&mut self, id: u32) -> &mut Shard {
+        self.shards
+            .iter_mut()
+            .find(|s| s.id() == id)
+            .expect("ring routed to a shard the coordinator does not own")
+    }
+
+    /// Offers one chunk for `tenant`: assigns the tenant's next global
+    /// seq, routes to the home shard, and counts the route. The seq
+    /// advances even on a refusal, so numbering is a pure function of the
+    /// offer stream — not of per-shard admission outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the home shard's front door refuses with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every shard has been retired (empty ring).
+    pub fn offer(&mut self, tenant: &str, cost: u64, now: u64) -> Result<(), AdmissionError> {
+        let seq = {
+            let s = self.tenant_seq.entry(tenant.to_string()).or_insert(0);
+            let seq = *s;
+            *s += 1;
+            seq
+        };
+        let id = self.ring.route(tenant);
+        *self.routed.entry(id).or_insert(0) += 1;
+        self.shard_mut(id).offer_tagged(tenant, cost, now, seq)
+    }
+
+    /// Advances every live shard one tick in parallel (drain up to
+    /// `capacity` chunks each, observe, ledger on cadence). `panics` names
+    /// the shard ids whose drain worker the chaos harness kills this tick;
+    /// those panics are contained inside their shard. Served chunks come
+    /// back in shard-id-then-queue order — deterministic for any worker
+    /// count. A shard whose restart budget dies this tick is crash-failed
+    /// over before this returns.
+    pub fn advance(&mut self, now: u64, capacity: usize, panics: &[u32]) -> Vec<QueuedChunk> {
+        let shards = std::mem::take(&mut self.shards);
+        let mut results = par_map_vec_indexed(shards, |_, mut shard| {
+            let inject = panics.contains(&shard.id());
+            let tick = shard.advance(now, capacity, inject);
+            (shard, tick)
+        });
+        let mut served = Vec::new();
+        let mut deaths = Vec::new();
+        for (shard, tick) in &mut results {
+            served.append(&mut tick.served);
+            if tick.died {
+                deaths.push(shard.id());
+            }
+        }
+        self.shards = results.into_iter().map(|(s, _)| s).collect();
+        for id in deaths {
+            self.crash_failover(id, now);
+        }
+        served
+    }
+
+    /// Scans health, advances per-shard BrownOut streaks, and fences any
+    /// shard browned out for `failover_after` consecutive scans — unless
+    /// it is the last one standing (fencing the whole fleet would turn a
+    /// brown-out into a blackout; the single shard's own breaker already
+    /// sheds load). Returns the failovers performed.
+    pub fn react(&mut self, now: u64) -> Vec<FailoverEvent> {
+        let mut fenced = Vec::new();
+        for h in self.view().shards {
+            if h.state != ShardState::Active || !self.ring.contains(h.id) {
+                continue;
+            }
+            let streak = self.brownout_streak.entry(h.id).or_insert(0);
+            if h.fleet == FleetState::BrownOut {
+                *streak += 1;
+            } else {
+                *streak = 0;
+            }
+            if *streak >= self.cfg.failover_after && self.ring.len() > 1 {
+                fenced.push(h.id);
+            }
+        }
+        let mut events = Vec::new();
+        for id in fenced {
+            if self.ring.len() > 1 {
+                events.push(self.graceful_failover(id, now));
+            }
+        }
+        events
+    }
+
+    /// Hard-kills shard `id` (chaos: a `SIGKILL` mid-campaign) and
+    /// immediately crash-fails it over.
+    pub fn kill_shard(&mut self, id: u32, now: u64) -> FailoverEvent {
+        self.shard_mut(id).kill();
+        self.crash_failover(id, now)
+    }
+
+    /// Fences shard `id`, retires its final counters, removes it from the
+    /// ring, and re-offers its evacuated queue along each tenant's new
+    /// route (seq tags intact).
+    fn graceful_failover(&mut self, id: u32, now: u64) -> FailoverEvent {
+        let (evacuated, stats) = self.shard_mut(id).fence(now);
+        debug_assert_eq!(stats.queued, 0, "fence evacuates before snapshotting");
+        self.retired.offered += stats.offered;
+        self.retired.served += stats.served;
+        self.retired.rejected += stats.rejected;
+        self.retired.shed += stats.shed;
+        self.retired.migrated += stats.migrated;
+        self.routed.remove(&id);
+        self.ring.remove_shard(id);
+        let moved = evacuated.len() as u64;
+        let mut reoffer_rejected = 0;
+        for chunk in evacuated {
+            let target = self.ring.route(&chunk.tenant);
+            *self.routed.entry(target).or_insert(0) += 1;
+            if self
+                .shard_mut(target)
+                .offer_tagged(&chunk.tenant, chunk.cost, now, chunk.seq)
+                .is_err()
+            {
+                reoffer_rejected += 1;
+            }
+        }
+        let event = FailoverEvent {
+            tick: now,
+            shard: id,
+            kind: FailoverKind::Graceful,
+            moved_chunks: moved,
+            reoffer_rejected,
+            crash_loss: 0,
+        };
+        self.failovers.push(event);
+        event
+    }
+
+    /// Reconciles a crashed shard from its journal segment and the
+    /// coordinator's routed count, then removes it from the ring. See the
+    /// module docs for the algebra.
+    fn crash_failover(&mut self, id: u32, now: u64) -> FailoverEvent {
+        let routed = self.routed.remove(&id).unwrap_or(0);
+        let path = crate::shard::shard_journal_path(&self.dir, id);
+        let (ledger, exact_shed) = match recover_run(&path) {
+            Ok((run, _defects)) => {
+                let ledger = run.ledgers.last().copied().unwrap_or_default();
+                (ledger, run.sheds.len() as u64)
+            }
+            // An unreadable segment accounts for nothing: everything
+            // routed becomes crash loss. Never happens with a healthy
+            // disk; never panics without one.
+            Err(_) => (LedgerRecord::default(), 0),
+        };
+        let known = ledger.served + ledger.rejected + exact_shed + ledger.migrated;
+        // `routed` counts every chunk the coordinator sent; the journal
+        // can only under-report (post-ledger serves/rejects, the queue at
+        // the moment of death). After a coordinator restart `routed` comes
+        // from a checkpoint and may itself lag the journal — the max of
+        // the two lower bounds is the tightest honest estimate.
+        let offered = routed.max(ledger.offered).max(known);
+        let loss = offered - known;
+        self.retired.offered += offered;
+        self.retired.served += ledger.served;
+        self.retired.rejected += ledger.rejected;
+        self.retired.shed += exact_shed + loss;
+        self.retired.migrated += ledger.migrated;
+        self.crash_loss += loss;
+        self.ring.remove_shard(id);
+        let event = FailoverEvent {
+            tick: now,
+            shard: id,
+            kind: FailoverKind::Crash,
+            moved_chunks: 0,
+            reoffer_rejected: 0,
+            crash_loss: loss,
+        };
+        self.failovers.push(event);
+        event
+    }
+
+    /// The aggregated health picture.
+    pub fn view(&self) -> FleetView {
+        let shards: Vec<ShardHealth> = self.shards.iter().map(Shard::health).collect();
+        let live: Vec<&ShardHealth> =
+            shards.iter().filter(|h| self.ring.contains(h.id)).collect();
+        FleetView {
+            live: live.len(),
+            worst: live.iter().map(|h| h.fleet).max().unwrap_or(FleetState::Healthy),
+            queue_depth_total: live.iter().map(|h| h.queue_depth).sum(),
+            restart_burn: shards.iter().map(|h| h.restarts_used).sum(),
+            shards,
+        }
+    }
+
+    /// The fleet-wide roll-up: retired ledgers plus live counters.
+    /// [`FleetStats::conserves`] holds at every tick by construction.
+    pub fn stats(&self) -> FleetStats {
+        let mut s = FleetStats {
+            offered: self.retired.offered,
+            served: self.retired.served,
+            rejected: self.retired.rejected,
+            shed: self.retired.shed,
+            queued: 0,
+            migrated: self.retired.migrated,
+            crash_loss: self.crash_loss,
+        };
+        for shard in &self.shards {
+            if let Some(a) = shard.stats() {
+                s.offered += a.offered;
+                s.served += a.served;
+                s.rejected += a.rejected;
+                s.shed += a.shed;
+                s.queued += a.queued;
+                s.migrated += a.migrated;
+            }
+        }
+        s
+    }
+
+    /// Journals a coordinator checkpoint: live shard set, routed counts,
+    /// per-tenant seqs, and the retired ledger. [`FleetCoordinator::recover`]
+    /// restarts from the newest one.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Io`] when the append fails.
+    pub fn checkpoint(&mut self, now: u64) -> Result<(), DurableError> {
+        let mut enc = Enc::new();
+        enc.u64(now);
+        let live = self.ring.shard_ids();
+        enc.u64(live.len() as u64);
+        for id in &live {
+            enc.u64(u64::from(*id));
+            enc.u64(self.routed.get(id).copied().unwrap_or(0));
+        }
+        enc.u64(self.retired.offered)
+            .u64(self.retired.served)
+            .u64(self.retired.rejected)
+            .u64(self.retired.shed)
+            .u64(self.retired.migrated)
+            .u64(self.crash_loss);
+        enc.u64(self.tenant_seq.len() as u64);
+        for (tenant, seq) in &self.tenant_seq {
+            enc.str(tenant).u64(*seq);
+        }
+        let seq = self.ckpt_seq;
+        self.checkpoint.append(REC_CHECKPOINT, seq, &enc.into_bytes())?;
+        self.ckpt_seq += 1;
+        Ok(())
+    }
+
+    /// Restarts a coordinator from `dir` after a crash: replays the
+    /// newest checkpoint, reconciles every then-live shard from its
+    /// journal segment as a crash (the process died — their memory is
+    /// gone), and brings up fresh shards under the same ids. The ring is
+    /// rebuilt from the same seed and shard set, so every tenant keeps
+    /// its home; per-tenant seqs resume where the checkpoint left them.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError`] when the checkpoint journal is unreadable or
+    /// `dir` has no checkpoint at all.
+    pub fn recover(cfg: FleetConfig, dir: &Path) -> Result<FleetCoordinator, DurableError> {
+        let ckpt_path = coordinator_journal_path(dir);
+        let (_journal, records, _defects) = Journal::open(&ckpt_path)?;
+        let last = records
+            .iter()
+            .rev()
+            .find(|r| r.kind == REC_CHECKPOINT)
+            .ok_or_else(|| DurableError::Corrupt {
+                path: ckpt_path.display().to_string(),
+                offset: 0,
+                detail: "no checkpoint to recover from".to_string(),
+            })?;
+        let corrupt = |e: emoleak_durable::WireError| DurableError::Corrupt {
+            path: ckpt_path.display().to_string(),
+            offset: e.offset,
+            detail: e.detail,
+        };
+        let mut dec = Dec::new(&last.data);
+        let tick = dec.u64().map_err(corrupt)?;
+        let live_n = dec.u64().map_err(corrupt)? as usize;
+        let mut live = Vec::with_capacity(live_n);
+        for _ in 0..live_n {
+            let id = dec.u64().map_err(corrupt)? as u32;
+            let routed = dec.u64().map_err(corrupt)?;
+            live.push((id, routed));
+        }
+        let retired = RetiredTotals {
+            offered: dec.u64().map_err(corrupt)?,
+            served: dec.u64().map_err(corrupt)?,
+            rejected: dec.u64().map_err(corrupt)?,
+            shed: dec.u64().map_err(corrupt)?,
+            migrated: dec.u64().map_err(corrupt)?,
+        };
+        let crash_loss = dec.u64().map_err(corrupt)?;
+        let tenants_n = dec.u64().map_err(corrupt)? as usize;
+        let mut tenant_seq = BTreeMap::new();
+        for _ in 0..tenants_n {
+            let tenant = dec.str().map_err(corrupt)?;
+            let seq = dec.u64().map_err(corrupt)?;
+            tenant_seq.insert(tenant, seq);
+        }
+        dec.finish().map_err(corrupt)?;
+
+        // The process died with the checkpointed shards live: reconcile
+        // each from its segment, then restart it fresh under the same id.
+        let mut coord = FleetCoordinator {
+            ring: HashRing::new(cfg.seed, 0, cfg.vnodes),
+            routed: BTreeMap::new(),
+            cfg,
+            dir: dir.to_path_buf(),
+            shards: Vec::new(),
+            tenant_seq,
+            retired,
+            crash_loss,
+            brownout_streak: BTreeMap::new(),
+            checkpoint: Journal::create(&ckpt_path)?,
+            ckpt_seq: 0,
+            failovers: Vec::new(),
+        };
+        for (id, routed) in &live {
+            coord.ring.insert_shard(*id);
+            coord.routed.insert(*id, *routed);
+        }
+        for (id, _) in &live {
+            coord.crash_failover(*id, tick);
+        }
+        // Fresh shards under the same ids (truncating the reconciled
+        // segments), same seed: every tenant keeps its home.
+        coord.routed.clear();
+        for (id, _) in &live {
+            coord.shards.push(Shard::new(
+                *id,
+                dir,
+                coord.cfg.admission.clone(),
+                coord.cfg.restart_budget,
+                coord.cfg.ledger_every,
+            )?);
+            coord.ring.insert_shard(*id);
+            coord.routed.insert(*id, 0);
+        }
+        Ok(coord)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("emoleak-coord-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small(shards: u32) -> FleetConfig {
+        FleetConfig {
+            shards,
+            ledger_every: 10,
+            admission: emoleak_admission::AdmissionConfig {
+                mem_budget: u64::MAX / 2,
+                tenant_rps: 1_000_000,
+                tenant_burst: 1_000_000,
+                ..Default::default()
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    fn tenants(n: usize) -> Vec<String> {
+        (0..n).map(|t| format!("tenant-{t}")).collect()
+    }
+
+    #[test]
+    fn clean_path_conserves_and_serves_everything() {
+        let dir = scratch("clean");
+        let mut c = FleetCoordinator::new(small(4), &dir).unwrap();
+        let ts = tenants(16);
+        for now in 0..200 {
+            for t in &ts {
+                c.offer(t, 64, now).unwrap();
+            }
+            c.advance(now, 64, &[]);
+        }
+        let mut now = 200;
+        while c.stats().queued > 0 {
+            c.advance(now, usize::MAX, &[]);
+            now += 1;
+        }
+        let s = c.stats();
+        assert!(s.conserves(), "{s:?}");
+        assert_eq!(s.offered, 16 * 200);
+        assert_eq!(s.served, s.offered, "clean path serves everything: {s:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn killing_a_shard_keeps_the_identity_and_only_moves_its_tenants() {
+        let dir = scratch("kill");
+        let mut c = FleetCoordinator::new(small(4), &dir).unwrap();
+        let ts = tenants(24);
+        let homes: BTreeMap<&String, u32> =
+            ts.iter().map(|t| (t, c.ring().route(t))).collect();
+        for now in 0..100 {
+            for t in &ts {
+                // Capacity-starved on purpose (queues must be non-empty at
+                // the kill); brown-out refusals are part of the deal.
+                let _ = c.offer(t, 64, now);
+            }
+            c.advance(now, 2, &[]);
+        }
+        let victim = 1;
+        let event = c.kill_shard(victim, 100);
+        assert_eq!(event.kind, FailoverKind::Crash);
+        assert!(c.stats().conserves(), "{:?}", c.stats());
+        // Bounded movement: only the victim's tenants re-home.
+        for t in &ts {
+            let new_home = c.ring().route(t);
+            if homes[t] == victim {
+                assert_ne!(new_home, victim);
+            } else {
+                assert_eq!(new_home, homes[t], "{t} moved without cause");
+            }
+        }
+        // The fleet keeps serving; the identity keeps holding.
+        for now in 101..200 {
+            for t in &ts {
+                let _ = c.offer(t, 64, now);
+            }
+            c.advance(now, usize::MAX, &[]);
+        }
+        let s = c.stats();
+        assert!(s.conserves(), "{s:?}");
+        assert!(s.crash_loss > 0, "a kill with queued work must book loss: {s:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn panic_storm_is_contained_until_the_budget_dies_then_reconciled() {
+        let dir = scratch("storm");
+        let mut c = FleetCoordinator::new(small(2), &dir).unwrap();
+        let ts = tenants(8);
+        let mut died_at = None;
+        for now in 0..50 {
+            for t in &ts {
+                let _ = c.offer(t, 64, now);
+            }
+            // Shard 0 eats a hostile chunk every tick; budget 3 → dead at
+            // the 4th panic.
+            c.advance(now, 8, &[0]);
+            if c.view().live == 1 && died_at.is_none() {
+                died_at = Some(now);
+            }
+            assert!(c.stats().conserves(), "tick {now}: {:?}", c.stats());
+        }
+        let died_at = died_at.expect("the storm must eventually kill shard 0");
+        assert_eq!(died_at, 3, "budget 3 contains exactly 3 panics");
+        assert_eq!(c.failovers().len(), 1);
+        assert_eq!(c.failovers()[0].kind, FailoverKind::Crash);
+        // Shard 1 never noticed.
+        let h1 = c.view().shards.iter().find(|h| h.id == 1).unwrap().restarts_used;
+        assert_eq!(h1, 0, "the storm leaked across the shard boundary");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sustained_brownout_fences_gracefully_with_zero_loss() {
+        let dir = scratch("brownout");
+        let mut cfg = small(2);
+        // Tiny budget so one tenant's flood browns its shard out.
+        cfg.admission.mem_budget = 4096;
+        let mut c = FleetCoordinator::new(cfg, &dir).unwrap();
+        // Find a tenant homed on shard 0 and flood it; drain nothing.
+        let flooder = (0..64)
+            .map(|t| format!("tenant-{t}"))
+            .find(|t| c.ring().route(t) == 0)
+            .unwrap();
+        let mut fenced = false;
+        for now in 0..400 {
+            for _ in 0..8 {
+                let _ = c.offer(&flooder, 64, now);
+            }
+            c.advance(now, 0, &[]);
+            let events = c.react(now);
+            if !events.is_empty() {
+                assert_eq!(events[0].kind, FailoverKind::Graceful);
+                assert_eq!(events[0].shard, 0);
+                assert!(events[0].moved_chunks > 0, "{events:?}");
+                fenced = true;
+                break;
+            }
+        }
+        assert!(fenced, "sustained brown-out must fence the shard");
+        let s = c.stats();
+        assert!(s.conserves(), "{s:?}");
+        assert_eq!(s.crash_loss, 0, "graceful failover loses nothing");
+        assert!(s.migrated > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn coordinator_restart_recovers_from_the_checkpoint() {
+        let dir = scratch("restart");
+        let ts = tenants(12);
+        let (pre_stats, seqs) = {
+            let mut c = FleetCoordinator::new(small(3), &dir).unwrap();
+            for now in 0..60 {
+                for t in &ts {
+                    // Capacity-starved: refusals are expected and still
+                    // advance the tenant's seq.
+                    let _ = c.offer(t, 64, now);
+                }
+                c.advance(now, 2, &[]);
+                if now % 20 == 19 {
+                    c.checkpoint(now).unwrap();
+                }
+            }
+            (c.stats(), c.tenant_seq.clone())
+            // Dropped without a final checkpoint: ticks 40..59 are the
+            // window a restart must reconcile honestly.
+        };
+        let c = FleetCoordinator::recover(small(3), &dir).unwrap();
+        let s = c.stats();
+        assert!(s.conserves(), "{s:?}");
+        // Everything checkpoint-known or journal-known is retired;
+        // nothing silently vanishes: recovered offered covers at least
+        // the last checkpoint's routing and at most what really ran.
+        assert!(s.offered <= pre_stats.offered, "recovered more than ran: {s:?}");
+        assert!(
+            s.offered >= 12 * 40,
+            "recovery lost checkpointed routing: {} < {}",
+            s.offered,
+            12 * 40
+        );
+        // Seqs resume from the checkpoint: monotone, never reused from 0.
+        for t in &ts {
+            let recovered = c.tenant_seq.get(t).copied().unwrap_or(0);
+            assert!(recovered >= 40, "{t} seq rewound to {recovered}");
+            assert!(recovered <= seqs[t]);
+        }
+        assert_eq!(c.view().live, 3, "all shards restart fresh");
+        assert!(c.stats().conserves());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,132 @@
+//! A deterministic diurnal/bursty load generator.
+//!
+//! Real capture fleets see two load shapes at once: a slow diurnal swell
+//! (device populations wake and sleep) and sharp bursts (a batch of
+//! devices comes online together). [`LoadProfile`] models both as a pure
+//! function of `(seed, tick)` — no wall clock, no shared RNG — so a bench
+//! run is replayable bit-for-bit and byte-identical across worker counts.
+//!
+//! The offered rate at tick `t` is
+//!
+//! ```text
+//! rate(t) = base_rps · (1 + amplitude · sin(2πt / period)) · burst(t)
+//! ```
+//!
+//! where `burst(t)` is `burst_multiplier` inside seeded burst windows and
+//! `1` outside. Fractional rates resolve by deterministic dithering: the
+//! fractional part is compared against a per-tick uniform draw derived
+//! with [`derive_seed`], so long-run throughput matches the real-valued
+//! rate without accumulating drift.
+
+use emoleak_exec::derive_seed;
+
+/// A deterministic diurnal + burst load shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadProfile {
+    /// Mean offered chunks per tick at the diurnal midline.
+    pub base_rate: f64,
+    /// Diurnal swing as a fraction of `base_rate` (0 = flat).
+    pub amplitude: f64,
+    /// Diurnal period, ticks.
+    pub period: u64,
+    /// A burst window opens when the per-window draw falls below this
+    /// probability (0 = never).
+    pub burst_prob: f64,
+    /// Burst window length, ticks.
+    pub burst_len: u64,
+    /// Rate multiplier inside a burst window.
+    pub burst_multiplier: f64,
+    /// The profile's RNG stream seed.
+    pub seed: u64,
+}
+
+impl Default for LoadProfile {
+    fn default() -> Self {
+        LoadProfile {
+            base_rate: 8.0,
+            amplitude: 0.5,
+            period: 600,
+            burst_prob: 0.05,
+            burst_len: 20,
+            burst_multiplier: 4.0,
+            seed: 0x10AD,
+        }
+    }
+}
+
+/// A uniform draw in `[0, 1)` from stream `(seed, index)`.
+fn u01(seed: u64, index: u64) -> f64 {
+    (derive_seed(seed, index) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl LoadProfile {
+    /// Whether tick `t` falls inside a burst window. Windows are aligned
+    /// to `burst_len` boundaries; each window draws once.
+    pub fn in_burst(&self, t: u64) -> bool {
+        if self.burst_prob <= 0.0 || self.burst_len == 0 {
+            return false;
+        }
+        let window = t / self.burst_len;
+        u01(self.seed ^ 0xB0B5, window) < self.burst_prob
+    }
+
+    /// The real-valued offered rate at tick `t`.
+    pub fn rate(&self, t: u64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (t % self.period) as f64 / self.period as f64;
+        let diurnal = self.base_rate * (1.0 + self.amplitude * phase.sin());
+        if self.in_burst(t) {
+            diurnal * self.burst_multiplier
+        } else {
+            diurnal
+        }
+    }
+
+    /// The integer number of chunks to offer at tick `t` (dithered, so the
+    /// long-run mean matches [`rate`](Self::rate)).
+    pub fn offers_at(&self, t: u64) -> u64 {
+        let rate = self.rate(t).max(0.0);
+        let whole = rate.floor();
+        let frac = rate - whole;
+        whole as u64 + u64::from(u01(self.seed, t) < frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_profile_is_a_pure_function_of_seed_and_tick() {
+        let p = LoadProfile::default();
+        let a: Vec<u64> = (0..2000).map(|t| p.offers_at(t)).collect();
+        let b: Vec<u64> = (0..2000).map(|t| p.offers_at(t)).collect();
+        assert_eq!(a, b);
+        let q = LoadProfile { seed: 0xDEAD, ..p };
+        assert_ne!(a, (0..2000).map(|t| q.offers_at(t)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn long_run_mean_tracks_the_configured_rate() {
+        let p = LoadProfile { burst_prob: 0.0, ..LoadProfile::default() };
+        let ticks = 10 * p.period;
+        let total: u64 = (0..ticks).map(|t| p.offers_at(t)).sum();
+        let mean = total as f64 / ticks as f64;
+        // The sinusoid integrates to zero over whole periods; dithering is
+        // unbiased.
+        assert!(
+            (mean - p.base_rate).abs() < 0.25,
+            "mean {mean} strays from base {}",
+            p.base_rate
+        );
+    }
+
+    #[test]
+    fn bursts_multiply_the_rate_and_respect_their_windows() {
+        let p = LoadProfile { burst_prob: 0.3, ..LoadProfile::default() };
+        let bursty: u64 = (0..6000).filter(|t| p.in_burst(*t)).count() as u64;
+        assert!(bursty > 0, "p=0.3 over 300 windows must open some");
+        let calm = LoadProfile { burst_prob: 0.0, ..p.clone() };
+        let some_burst_tick = (0..6000).find(|t| p.in_burst(*t)).unwrap();
+        assert!(p.rate(some_burst_tick) > calm.rate(some_burst_tick) * 3.0);
+    }
+}

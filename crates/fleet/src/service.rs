@@ -1,0 +1,203 @@
+//! The session layer: real [`StreamService`](emoleak_stream::StreamService)
+//! sessions admitted through per-shard gates, with brown-out spill-over.
+//!
+//! Where [`crate::FleetCoordinator`] multiplexes *chunks* through shard
+//! admission queues, [`FleetService`] places whole *sessions*: each shard
+//! owns a [`FleetGate`] (its own bulkheads, byte gauge, and level cap),
+//! a tenant's session is admitted at its home shard, and —
+//! the migration path — a session refused because its home shard is
+//! browned out or saturated walks the tenant's
+//! [`route_chain`](crate::HashRing::route_chain) and is admitted by the
+//! first healthy shard instead. On the clean path no spill happens, every
+//! session runs under identical gate wiring, and the per-tenant verdict
+//! stream is therefore byte-identical across shard counts — the
+//! invariance `tests/fleet_service.rs` and CI pin.
+
+use crate::config::FleetConfig;
+use crate::ring::HashRing;
+use emoleak_admission::{FleetGate, SessionPermit};
+use emoleak_core::admission::AdmissionError;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A sharded front end for real streaming sessions.
+pub struct FleetService {
+    ring: HashRing,
+    gates: BTreeMap<u32, FleetGate>,
+    migrated_sessions: AtomicU64,
+}
+
+/// A granted placement: which shard admitted the session, and the permit
+/// holding its slots.
+#[derive(Debug)]
+pub struct Placement {
+    /// The shard that admitted the session.
+    pub shard: u32,
+    /// Whether the session spilled past its home shard.
+    pub migrated: bool,
+    /// The admission permit (configure session configs through it; slots
+    /// release on drop).
+    pub permit: SessionPermit,
+}
+
+impl FleetService {
+    /// A fleet of `cfg.shards` gates, each over its own fresh controller.
+    pub fn new(cfg: &FleetConfig) -> FleetService {
+        FleetService {
+            ring: HashRing::new(cfg.seed, cfg.shards, cfg.vnodes),
+            gates: (0..cfg.shards)
+                .map(|id| (id, FleetGate::new(cfg.admission.clone())))
+                .collect(),
+            migrated_sessions: AtomicU64::new(0),
+        }
+    }
+
+    /// The live ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The gate of shard `id` (e.g. to trip its breaker in a test, or to
+    /// read its stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown or fenced shard id.
+    pub fn gate(&self, id: u32) -> &FleetGate {
+        self.gates.get(&id).expect("unknown or fenced shard id")
+    }
+
+    /// The tenant's home shard.
+    pub fn home(&self, tenant: &str) -> u32 {
+        self.ring.route(tenant)
+    }
+
+    /// Fences shard `id`: its gate is dropped (open permits keep their
+    /// clone of the controller and release cleanly) and its vnodes leave
+    /// the ring, so every subsequent admit re-homes its tenants. Returns
+    /// whether the shard was live. Refuses to fence the last shard.
+    pub fn fence_shard(&mut self, id: u32) -> bool {
+        if self.ring.len() <= 1 || !self.ring.contains(id) {
+            return false;
+        }
+        self.ring.remove_shard(id);
+        self.gates.remove(&id);
+        true
+    }
+
+    /// Admits a session for `tenant`, walking its route chain: home shard
+    /// first, then — only when the home gate refuses — each surviving
+    /// shard in ring order. A session admitted past its home counts as
+    /// migrated.
+    ///
+    /// # Errors
+    ///
+    /// The *home* shard's refusal when every shard in the chain refuses
+    /// (the home error names the root cause; later refusals are
+    /// congestion it caused).
+    pub fn admit(&self, tenant: &str, now: u64) -> Result<Placement, AdmissionError> {
+        let chain = self.ring.route_chain(tenant);
+        let mut home_err = None;
+        for (hop, id) in chain.iter().enumerate() {
+            match self.gate(*id).admit(tenant, now) {
+                Ok(permit) => {
+                    let migrated = hop > 0;
+                    if migrated {
+                        self.migrated_sessions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(Placement { shard: *id, migrated, permit });
+                }
+                Err(e) => {
+                    if hop == 0 {
+                        home_err = Some(e);
+                    }
+                }
+            }
+        }
+        Err(home_err.expect("route chain of a live ring is never empty"))
+    }
+
+    /// Sessions admitted away from their home shard so far.
+    pub fn migrated_sessions(&self) -> u64 {
+        self.migrated_sessions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emoleak_core::online::InferenceLevel;
+
+    fn service(shards: u32) -> FleetService {
+        FleetService::new(&FleetConfig {
+            shards,
+            admission: emoleak_admission::AdmissionConfig {
+                max_sessions: 2,
+                tenant_sessions: 2,
+                ..Default::default()
+            },
+            ..FleetConfig::default()
+        })
+    }
+
+    #[test]
+    fn sessions_home_deterministically_and_stay_put_when_healthy() {
+        let svc = service(4);
+        for t in 0..32 {
+            let tenant = format!("tenant-{t}");
+            let placement = svc.admit(&tenant, 0).unwrap();
+            assert_eq!(placement.shard, svc.home(&tenant));
+            assert!(!placement.migrated);
+        }
+        assert_eq!(svc.migrated_sessions(), 0);
+    }
+
+    #[test]
+    fn browned_out_home_spills_to_the_next_shard_in_the_chain() {
+        let svc = service(4);
+        let tenant = "tenant-7";
+        let home = svc.home(tenant);
+        // Trip the home shard's breaker to BrownOut.
+        {
+            let ctrl = svc.gate(home).controller();
+            let mut c = ctrl.lock().unwrap();
+            let _ = c.offer(tenant, 1, 0);
+            for now in 0..100 {
+                c.observe(now);
+            }
+            assert_eq!(c.level_cap().get(), InferenceLevel::Shed);
+        }
+        let placement = svc.admit(tenant, 100).unwrap();
+        assert_ne!(placement.shard, home, "session stayed on a browned-out shard");
+        assert!(placement.migrated);
+        assert_eq!(svc.migrated_sessions(), 1);
+        // A healthy tenant homed elsewhere is untouched.
+        let other = (0..64)
+            .map(|t| format!("tenant-{t}"))
+            .find(|t| svc.home(t) != home)
+            .unwrap();
+        let p = svc.admit(&other, 100).unwrap();
+        assert!(!p.migrated, "isolation: other homes must not spill");
+    }
+
+    #[test]
+    fn fencing_a_shard_rehomes_only_its_tenants() {
+        let mut svc = service(4);
+        let tenants: Vec<String> = (0..64).map(|t| format!("tenant-{t}")).collect();
+        let homes: Vec<u32> = tenants.iter().map(|t| svc.home(t)).collect();
+        assert!(svc.fence_shard(2));
+        assert!(!svc.fence_shard(2), "double fence reports dead");
+        for (t, old) in tenants.iter().zip(&homes) {
+            let new = svc.home(t);
+            if *old == 2 {
+                assert_ne!(new, 2);
+            } else {
+                assert_eq!(new, *old, "{t} re-homed without cause");
+            }
+        }
+        // The last shard can never be fenced.
+        assert!(svc.fence_shard(0));
+        assert!(svc.fence_shard(1));
+        assert!(!svc.fence_shard(3), "fencing the last shard would black out the fleet");
+    }
+}

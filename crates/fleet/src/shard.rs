@@ -1,0 +1,367 @@
+//! One shard: an isolated admission domain with its own journal segment
+//! and a panic firewall.
+//!
+//! A shard owns everything whose failure must stay contained: its
+//! [`AdmissionController`] (queue, token buckets, byte gauge, breaker),
+//! and its [`DurableSink`] journal segment (`shard-<id>.log`). Nothing is
+//! shared with sibling shards, so a panic storm, memory squeeze, or
+//! hostile-input burst inside one shard cannot — by construction, not by
+//! discipline — touch the others.
+//!
+//! The panic firewall lives in [`Shard::advance`]: every tick runs under
+//! `catch_unwind`, a caught panic burns one unit of the shard's restart
+//! budget, and an exhausted budget flips the shard to [`ShardState::Dead`]
+//! (dropping the controller, exactly as a crashed process would lose its
+//! memory). The coordinator then reconciles the shard from its journal —
+//! see [`crate::FleetCoordinator`].
+
+use emoleak_admission::{AdmissionConfig, AdmissionController, AdmissionStats, QueuedChunk};
+use emoleak_core::admission::{AdmissionError, FleetState};
+use emoleak_stream::durable::{DurableSink, LedgerRecord};
+use emoleak_stream::log::ServiceLog;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// A shard's position in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Serving: routed offers land here.
+    Active,
+    /// Drained gracefully: queue evacuated, final ledger written, removed
+    /// from the ring. Terminal.
+    Fenced,
+    /// Crashed (restart budget exhausted, or killed): in-memory state
+    /// lost; only the journal segment remains. Terminal.
+    Dead,
+}
+
+/// One health sample of one shard, as aggregated by the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// The shard's id.
+    pub id: u32,
+    /// Lifecycle state.
+    pub state: ShardState,
+    /// The shard's breaker state (Healthy → BrownOut); `BrownOut` for a
+    /// dead or fenced shard.
+    pub fleet: FleetState,
+    /// Chunks waiting in the shard's ingest queue.
+    pub queue_depth: usize,
+    /// Bytes currently charged against the shard's budget.
+    pub mem_charged: u64,
+    /// The shard's byte budget.
+    pub mem_budget: u64,
+    /// Contained panics so far.
+    pub restarts_used: u32,
+    /// Contained panics the shard survives before dying.
+    pub restart_budget: u32,
+}
+
+/// What one [`Shard::advance`] tick produced.
+#[derive(Debug, Default)]
+pub struct ShardTick {
+    /// Chunks served to the backend this tick (empty if the tick panicked).
+    pub served: Vec<QueuedChunk>,
+    /// Whether a panic was caught (and contained) this tick.
+    pub panicked: bool,
+    /// Whether this tick exhausted the restart budget and killed the shard.
+    pub died: bool,
+}
+
+/// An isolated admission domain: controller + journal segment + firewall.
+pub struct Shard {
+    id: u32,
+    state: ShardState,
+    ctrl: Option<AdmissionController>,
+    sink: DurableSink,
+    journal_path: PathBuf,
+    restarts_used: u32,
+    restart_budget: u32,
+    ledger_every: u64,
+    next_ledger: u64,
+}
+
+impl core::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Shard")
+            .field("id", &self.id)
+            .field("state", &self.state)
+            .field("restarts_used", &self.restarts_used)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The journal segment path for shard `id` under `dir`.
+pub fn shard_journal_path(dir: &Path, id: u32) -> PathBuf {
+    dir.join(format!("shard-{id}.log"))
+}
+
+impl Shard {
+    /// A fresh shard with its journal segment at `dir/shard-<id>.log`
+    /// (truncating any previous segment — each fleet run owns its
+    /// segments).
+    ///
+    /// # Errors
+    ///
+    /// [`emoleak_durable::DurableError`] when the segment cannot be
+    /// created.
+    pub fn new(
+        id: u32,
+        dir: &Path,
+        admission: AdmissionConfig,
+        restart_budget: u32,
+        ledger_every: u64,
+    ) -> Result<Shard, emoleak_durable::DurableError> {
+        let journal_path = shard_journal_path(dir, id);
+        let sink = DurableSink::create(&journal_path)?;
+        let ctrl = AdmissionController::new(admission).with_durable(sink.clone());
+        Ok(Shard {
+            id,
+            state: ShardState::Active,
+            ctrl: Some(ctrl),
+            sink,
+            journal_path,
+            restarts_used: 0,
+            restart_budget,
+            ledger_every,
+            next_ledger: ledger_every,
+        })
+    }
+
+    /// The shard's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The shard's lifecycle state.
+    pub fn state(&self) -> ShardState {
+        self.state
+    }
+
+    /// The shard's journal segment path.
+    pub fn journal_path(&self) -> &Path {
+        &self.journal_path
+    }
+
+    /// The live controller, or `None` for a fenced/dead shard.
+    fn ctrl_mut(&mut self) -> &mut AdmissionController {
+        self.ctrl.as_mut().expect("offer/advance on a retired shard is a coordinator bug")
+    }
+
+    /// Offers one seq-tagged chunk through the shard's front door.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the shard's [`AdmissionController`] refuses with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is not [`ShardState::Active`] — the coordinator
+    /// must never route to a retired shard.
+    pub fn offer_tagged(
+        &mut self,
+        tenant: &str,
+        cost: u64,
+        now: u64,
+        seq: u64,
+    ) -> Result<(), AdmissionError> {
+        assert_eq!(self.state, ShardState::Active, "offer to a retired shard");
+        self.ctrl_mut().offer_tagged(tenant, cost, now, seq)
+    }
+
+    /// Runs one tick: drain up to `capacity` chunks, feed the breaker one
+    /// observation, and journal a ledger snapshot on the configured
+    /// cadence — all inside the panic firewall. `inject_panic` models a
+    /// hostile chunk killing the drain worker at pickup (before any chunk
+    /// is dequeued, so the accounting stays consistent); the panic is
+    /// caught here and never crosses the shard boundary.
+    pub fn advance(&mut self, now: u64, capacity: usize, inject_panic: bool) -> ShardTick {
+        if self.state != ShardState::Active {
+            return ShardTick::default();
+        }
+        let ctrl = self.ctrl.as_mut().expect("active shard has a controller");
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected: hostile chunk killed shard {} drain worker", self.id);
+            }
+            let served = ctrl.drain(now, capacity);
+            ctrl.observe(now);
+            served
+        }));
+        match outcome {
+            Ok(served) => {
+                if now >= self.next_ledger {
+                    let ledger = ledger_at(now, &self.ctrl.as_ref().unwrap().stats());
+                    self.sink.record_ledger(&ledger);
+                    self.next_ledger = now + self.ledger_every;
+                }
+                ShardTick { served, panicked: false, died: false }
+            }
+            Err(_) => {
+                self.restarts_used += 1;
+                let died = self.restarts_used > self.restart_budget;
+                if died {
+                    // Crash semantics: in-memory state (queue included) is
+                    // gone; the journal segment is all that survives.
+                    self.ctrl = None;
+                    self.state = ShardState::Dead;
+                }
+                ShardTick { served: Vec::new(), panicked: true, died }
+            }
+        }
+    }
+
+    /// One health sample for the coordinator's fleet view.
+    pub fn health(&self) -> ShardHealth {
+        let (fleet, queue_depth, mem_charged, mem_budget) = match &self.ctrl {
+            Some(c) => {
+                let s = c.stats();
+                (c.fleet_state(), c.queue_depth(), s.mem_charged, c.config().mem_budget)
+            }
+            None => (FleetState::BrownOut, 0, 0, 0),
+        };
+        ShardHealth {
+            id: self.id,
+            state: self.state,
+            fleet,
+            queue_depth,
+            mem_charged,
+            mem_budget,
+            restarts_used: self.restarts_used,
+            restart_budget: self.restart_budget,
+        }
+    }
+
+    /// Current admission counters, or `None` for a retired shard.
+    pub fn stats(&self) -> Option<AdmissionStats> {
+        self.ctrl.as_ref().map(AdmissionController::stats)
+    }
+
+    /// The shard's event log, or `None` for a retired shard.
+    pub fn log(&self) -> Option<&ServiceLog> {
+        self.ctrl.as_ref().map(AdmissionController::log)
+    }
+
+    /// Gracefully retires the shard: evacuates its queue (each chunk
+    /// counted `migrated`, bytes released), writes the final ledger, and
+    /// fences it. Returns the evacuated chunks (seq tags intact, ready to
+    /// re-offer elsewhere) and the shard's final counters for the
+    /// coordinator's retired ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard is not [`ShardState::Active`].
+    pub fn fence(&mut self, now: u64) -> (Vec<QueuedChunk>, AdmissionStats) {
+        assert_eq!(self.state, ShardState::Active, "fence on a retired shard");
+        let ctrl = self.ctrl.as_mut().expect("active shard has a controller");
+        let evacuated = ctrl.evacuate();
+        let stats = ctrl.stats();
+        self.sink.record_ledger(&ledger_at(now, &stats));
+        self.ctrl = None;
+        self.state = ShardState::Fenced;
+        (evacuated, stats)
+    }
+
+    /// Hard-kills the shard: no evacuation, no final ledger — exactly what
+    /// a `SIGKILL` leaves behind. The chaos harness uses this; recovery
+    /// goes through the journal segment.
+    pub fn kill(&mut self) {
+        self.ctrl = None;
+        self.state = ShardState::Dead;
+    }
+}
+
+/// A ledger snapshot of `stats` at tick `now`.
+fn ledger_at(now: u64, s: &AdmissionStats) -> LedgerRecord {
+    LedgerRecord {
+        tick: now,
+        offered: s.offered,
+        served: s.served,
+        rejected: s.rejected,
+        shed: s.shed,
+        queued: s.queued,
+        migrated: s.migrated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emoleak_stream::durable::recover_run;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("emoleak-shard-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn shard(dir: &Path) -> Shard {
+        Shard::new(0, dir, AdmissionConfig::default(), 2, 10).unwrap()
+    }
+
+    #[test]
+    fn panics_are_contained_and_budgeted() {
+        let dir = scratch("panic");
+        let mut s = shard(&dir);
+        s.offer_tagged("a", 64, 0, 0).unwrap();
+        // Two contained panics: still Active, queue intact.
+        for now in 1..=2 {
+            let tick = s.advance(now, 8, true);
+            assert!(tick.panicked && !tick.died);
+            assert_eq!(s.state(), ShardState::Active);
+        }
+        assert_eq!(s.health().queue_depth, 1, "contained panic must not lose the queue");
+        // The third exhausts the budget of 2: Dead, controller gone.
+        let tick = s.advance(3, 8, true);
+        assert!(tick.panicked && tick.died);
+        assert_eq!(s.state(), ShardState::Dead);
+        assert!(s.stats().is_none());
+        // A dead shard's advance is a no-op, not a panic.
+        let tick = s.advance(4, 8, false);
+        assert!(tick.served.is_empty() && !tick.panicked);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ledgers_land_on_cadence_and_on_fence() {
+        let dir = scratch("ledger");
+        let mut s = shard(&dir);
+        for now in 0..25 {
+            s.offer_tagged("a", 64, now, now).unwrap();
+            s.advance(now, 1, false);
+        }
+        // Cadence 10 with next_ledger starting at 10: ticks 10 and 20.
+        let (evacuated, stats) = s.fence(25);
+        assert!(evacuated.is_empty(), "capacity 1 kept up with 1 offer/tick");
+        assert_eq!(stats.offered, stats.served + stats.migrated);
+        let (run, defects) = recover_run(s.journal_path()).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert_eq!(
+            run.ledgers.iter().map(|l| l.tick).collect::<Vec<_>>(),
+            vec![10, 20, 25],
+            "cadence ledgers plus the fence ledger"
+        );
+        let last = run.ledgers.last().unwrap();
+        assert_eq!(last.offered, stats.offered);
+        assert_eq!(last.served, stats.served);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_leaves_only_the_journal() {
+        let dir = scratch("kill");
+        let mut s = shard(&dir);
+        for now in 0..12 {
+            s.offer_tagged("a", 64, now, now).unwrap();
+            s.advance(now, 1, false);
+        }
+        s.kill();
+        assert_eq!(s.state(), ShardState::Dead);
+        let (run, _) = recover_run(s.journal_path()).unwrap();
+        assert!(!run.complete, "a killed shard never writes a summary");
+        assert_eq!(run.ledgers.last().unwrap().tick, 10, "only the cadence ledger");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -33,6 +33,30 @@ pub const REC_RUN_SUMMARY: u8 = 3;
 pub const REC_FLEET_TRANSITION: u8 = 4;
 /// Journal record kind: one CoDel load shed.
 pub const REC_LOAD_SHED: u8 = 5;
+/// Journal record kind: one periodic shard admission ledger snapshot.
+pub const REC_SHARD_LEDGER: u8 = 6;
+
+/// One snapshot of a shard's admission counters, journaled periodically so
+/// a fleet coordinator can reconcile a crash-killed shard: the last ledger
+/// plus the journaled sheds after it bound exactly how many routed chunks
+/// the shard can account for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerRecord {
+    /// The logical tick the snapshot was taken at.
+    pub tick: u64,
+    /// Chunks offered to the shard so far.
+    pub offered: u64,
+    /// Chunks served so far.
+    pub served: u64,
+    /// Chunks rejected at the front door so far.
+    pub rejected: u64,
+    /// Chunks CoDel shed so far.
+    pub shed: u64,
+    /// Chunks queued at snapshot time.
+    pub queued: u64,
+    /// Chunks evacuated to other shards so far.
+    pub migrated: u64,
+}
 
 fn fleet_code(state: FleetState) -> u8 {
     FleetState::ALL.iter().position(|s| *s == state).map(|i| i as u8).unwrap_or(u8::MAX)
@@ -182,6 +206,19 @@ impl DurableSink {
         self.append(REC_LOAD_SHED, &enc.into_bytes());
     }
 
+    /// Journals one shard admission-ledger snapshot.
+    pub fn record_ledger(&self, ledger: &LedgerRecord) {
+        let mut enc = Enc::new();
+        enc.u64(ledger.tick)
+            .u64(ledger.offered)
+            .u64(ledger.served)
+            .u64(ledger.rejected)
+            .u64(ledger.shed)
+            .u64(ledger.queued)
+            .u64(ledger.migrated);
+        self.append(REC_SHARD_LEDGER, &enc.into_bytes());
+    }
+
     /// Journals the end-of-run summary. A journal ending without one was
     /// killed mid-run.
     pub fn finish(&self, regions: u64, final_level: InferenceLevel) {
@@ -209,6 +246,8 @@ pub struct RecoveredRun {
     pub fleet_transitions: Vec<(u64, FleetState, FleetState)>,
     /// Committed CoDel sheds as `(tick, tenant, sojourn)` triples.
     pub sheds: Vec<(u64, String, u64)>,
+    /// Committed shard admission-ledger snapshots, in commit order.
+    pub ledgers: Vec<LedgerRecord>,
     /// Whether the run wrote its end-of-run summary (`false` = killed).
     pub complete: bool,
 }
@@ -234,6 +273,7 @@ pub fn recover_run(path: &Path) -> Result<(RecoveredRun, Vec<Defect>), DurableEr
         transitions: Vec::new(),
         fleet_transitions: Vec::new(),
         sheds: Vec::new(),
+        ledgers: Vec::new(),
         complete: false,
     };
     for record in records {
@@ -275,6 +315,20 @@ pub fn recover_run(path: &Path) -> Result<(RecoveredRun, Vec<Defect>), DurableEr
                 let sojourn = dec.u64().map_err(corrupt)?;
                 dec.finish().map_err(corrupt)?;
                 run.sheds.push((tick, tenant, sojourn));
+            }
+            REC_SHARD_LEDGER => {
+                let mut dec = Dec::new(&record.data);
+                let ledger = LedgerRecord {
+                    tick: dec.u64().map_err(corrupt)?,
+                    offered: dec.u64().map_err(corrupt)?,
+                    served: dec.u64().map_err(corrupt)?,
+                    rejected: dec.u64().map_err(corrupt)?,
+                    shed: dec.u64().map_err(corrupt)?,
+                    queued: dec.u64().map_err(corrupt)?,
+                    migrated: dec.u64().map_err(corrupt)?,
+                };
+                dec.finish().map_err(corrupt)?;
+                run.ledgers.push(ledger);
             }
             REC_RUN_SUMMARY => run.complete = true,
             other => {
@@ -369,6 +423,33 @@ mod tests {
             ]
         );
         assert_eq!(run.sheds, vec![(21, "tenant-b".to_string(), 9)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_ledgers_round_trip() {
+        let dir = scratch("ledger");
+        let path = dir.join("run.log");
+        let sink = DurableSink::create(&path).unwrap();
+        let a = LedgerRecord {
+            tick: 100,
+            offered: 40,
+            served: 25,
+            rejected: 5,
+            shed: 3,
+            queued: 7,
+            migrated: 0,
+        };
+        let b = LedgerRecord { tick: 200, offered: 80, served: 60, migrated: 7, ..a };
+        sink.record_ledger(&a);
+        sink.record_shed(150, "tenant-a", 12);
+        sink.record_ledger(&b);
+        assert!(sink.take_error().is_none());
+
+        let (run, defects) = recover_run(&path).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert_eq!(run.ledgers, vec![a, b]);
+        assert_eq!(run.sheds.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -35,8 +35,9 @@ pub mod source;
 pub mod supervisor;
 
 pub use durable::{
-    recover_run, DurableSink, RecoveredRun, REC_EMISSION, REC_FLEET_TRANSITION,
-    REC_LOAD_SHED, REC_RUN_SUMMARY, REC_TRANSITION,
+    recover_run, DurableSink, LedgerRecord, RecoveredRun, REC_EMISSION,
+    REC_FLEET_TRANSITION, REC_LOAD_SHED, REC_RUN_SUMMARY, REC_SHARD_LEDGER,
+    REC_TRANSITION,
 };
 pub use ladder::{DegradationLadder, LadderConfig, LevelCap, Transition};
 pub use log::{ServiceEvent, ServiceLog};

@@ -20,6 +20,7 @@
 //! | [`stream`] | resilient online inference: bounded queues, supervision, degradation |
 //! | [`durable`] | crash safety: write-ahead journal, checkpoints, resumable campaigns |
 //! | [`admission`] | multi-tenant overload protection: rate limits, bulkheads, shedding |
+//! | [`fleet`] | fault-contained sharding: consistent-hash placement, brown-out failover |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use emoleak_dsp as dsp;
 pub use emoleak_durable as durable;
 pub use emoleak_exec as exec;
 pub use emoleak_features as features;
+pub use emoleak_fleet as fleet;
 pub use emoleak_ml as ml;
 pub use emoleak_phone as phone;
 pub use emoleak_stream as stream;
@@ -60,6 +62,7 @@ pub mod prelude {
     pub use emoleak_admission::prelude::*;
     pub use emoleak_core::mitigation::{FilterAblation, SamplingCapStudy};
     pub use emoleak_core::prelude::*;
+    pub use emoleak_fleet::prelude::*;
     pub use emoleak_ml::Classifier;
     pub use emoleak_phone::{Placement, SpeakerKind};
     pub use emoleak_stream::prelude::*;

@@ -1,0 +1,167 @@
+//! Integration: real streaming sessions through the sharded fleet.
+//!
+//! A [`FleetService`] places sessions on consistent-hashed shards, each
+//! with its own [`FleetGate`]. These tests pin the fleet's two headline
+//! invariants end to end, with real trained models and real verdicts:
+//!
+//! * **placement invariance** — on the clean path, a tenant's verdict
+//!   stream is byte-identical whether the fleet runs 1, 2, or 4 shards,
+//!   and under any `EMOLEAK_THREADS` (here: `with_threads(1)` vs `4`);
+//! * **failover continuity** — fencing a tenant's home shard migrates
+//!   its next session to a sibling shard and the verdicts do not change;
+//! * **shard isolation** — a browned-out shard spills its sessions while
+//!   other shards' tenants and byte accounting stay untouched.
+
+use emoleak::fleet::{FleetConfig, FleetService};
+use emoleak::prelude::*;
+use emoleak::stream::{ReplaySource, StreamConfig, StreamReport, StreamService};
+use emoleak_exec::with_threads;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+struct Fixture {
+    bundle: Arc<ModelBundle>,
+    campaign: RecordedCampaign,
+    scenario: AttackScenario,
+}
+
+/// One trained bundle + recorded campaign backs every test: the property
+/// under test is the fleet wiring, not the model.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let scenario = AttackScenario::table_top(
+            CorpusSpec::tess().with_clips_per_cell(2),
+            DeviceProfile::oneplus_7t(),
+        );
+        let harvest = scenario.harvest().unwrap();
+        let bundle = Arc::new(ModelBundle::train(&harvest, 7).unwrap());
+        let campaign = scenario.record_windows().unwrap();
+        Fixture { bundle, campaign, scenario }
+    })
+}
+
+fn fast_config() -> StreamConfig {
+    StreamConfig { latency_override: Some([Duration::ZERO; 3]), ..StreamConfig::default() }
+}
+
+fn fleet(shards: u32) -> FleetService {
+    FleetService::new(&FleetConfig { shards, ..FleetConfig::default() })
+}
+
+/// Admits `tenant` and runs one full session on whichever shard takes it.
+fn run_session(svc: &FleetService, tenant: &str, now: u64) -> StreamReport {
+    let fx = fixture();
+    let placement = svc.admit(tenant, now).unwrap();
+    let service = StreamService::new(
+        Arc::clone(&fx.bundle),
+        fx.scenario.setting.region_detector(),
+        fx.campaign.fs,
+        placement.permit.configure(fast_config()),
+    );
+    service.run(Box::new(ReplaySource::from_campaign(&fx.campaign, 256))).unwrap()
+}
+
+type Labels = Vec<(usize, usize, usize, Option<usize>)>;
+
+fn labels(report: &StreamReport) -> Labels {
+    report.emissions.iter().map(|e| (e.window, e.start, e.end, e.verdict.label)).collect()
+}
+
+const TENANTS: [&str; 3] = ["ada", "bea", "cyd"];
+
+#[test]
+fn clean_path_verdicts_are_identical_across_shard_counts_and_threads() {
+    // 3 shard widths × 2 worker counts: every combination must produce
+    // the same per-tenant verdict stream, byte for byte.
+    let mut streams: Vec<Vec<Labels>> = Vec::new();
+    for shards in [1u32, 2, 4] {
+        for threads in [1usize, 4] {
+            streams.push(with_threads(threads, || {
+                let svc = fleet(shards);
+                TENANTS
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| labels(&run_session(&svc, t, i as u64)))
+                    .collect()
+            }));
+        }
+    }
+    for (i, stream) in streams.iter().enumerate().skip(1) {
+        assert_eq!(
+            stream, &streams[0],
+            "combination {i} (shards x threads grid) changed the verdict stream"
+        );
+    }
+    assert!(
+        streams[0].iter().any(|s| !s.is_empty()),
+        "the invariance check must cover real verdicts"
+    );
+}
+
+#[test]
+fn fencing_the_home_shard_migrates_the_session_and_preserves_verdicts() {
+    let fx = fixture();
+    // Baseline on a healthy 4-shard fleet.
+    let healthy = fleet(4);
+    let baseline = labels(&run_session(&healthy, "ada", 0));
+
+    // Fence ada's home; the next session must land elsewhere and produce
+    // the identical verdict stream.
+    let mut svc = fleet(4);
+    let home = svc.home("ada");
+    assert!(svc.fence_shard(home), "a healthy shard must be fenceable");
+    let placement = svc.admit("ada", 1).unwrap();
+    assert_ne!(placement.shard, home, "session landed on the fenced shard");
+    let service = StreamService::new(
+        Arc::clone(&fx.bundle),
+        fx.scenario.setting.region_detector(),
+        fx.campaign.fs,
+        placement.permit.configure(fast_config()),
+    );
+    let report =
+        service.run(Box::new(ReplaySource::from_campaign(&fx.campaign, 256))).unwrap();
+    assert_eq!(labels(&report), baseline, "failover changed the verdicts");
+}
+
+#[test]
+fn a_spilled_session_bills_its_hosting_shard_not_its_home() {
+    let svc = fleet(2);
+    let home = svc.home("ada");
+    let sibling = svc.ring().shard_ids().into_iter().find(|&s| s != home).unwrap();
+
+    // Saturate the home gate's session bulkhead so ada spills.
+    let cfg = FleetConfig::default();
+    let mut holds = Vec::new();
+    for k in 0..cfg.admission.max_sessions {
+        // Only the home shard's tenants hold slots there.
+        let hog = (0..256)
+            .map(|t| format!("hog-{k}-{t}"))
+            .find(|t| svc.home(t) == home)
+            .unwrap();
+        if let Ok(p) = svc.gate(home).admit(&hog, 0) {
+            holds.push(p);
+        }
+    }
+    let report = {
+        let fx = fixture();
+        let placement = svc.admit("ada", 1).unwrap();
+        assert!(placement.migrated, "a full home bulkhead must spill the session");
+        assert_eq!(placement.shard, sibling);
+        let service = StreamService::new(
+            Arc::clone(&fx.bundle),
+            fx.scenario.setting.region_detector(),
+            fx.campaign.fs,
+            placement.permit.configure(fast_config()),
+        );
+        service.run(Box::new(ReplaySource::from_campaign(&fx.campaign, 256))).unwrap()
+    };
+    assert!(report.stats.regions > 0, "the spilled session did real work");
+    // The hosting shard's gauge saw the bytes; the home shard's did not.
+    let sibling_ctrl = svc.gate(sibling).controller();
+    let sibling_peak = sibling_ctrl.lock().unwrap_or_else(|e| e.into_inner()).memory().peak();
+    assert!(sibling_peak > 0, "the hosting shard never billed the session");
+    let home_ctrl = svc.gate(home).controller();
+    let home_guard = home_ctrl.lock().unwrap_or_else(|e| e.into_inner());
+    assert_eq!(home_guard.memory().charged(), 0, "the fenced-out home holds bytes");
+}

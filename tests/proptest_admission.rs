@@ -4,8 +4,10 @@
 //! costs, session churn, limits, budget, and drain capacity:
 //!
 //! * the conservation identity holds at every tick —
-//!   `offered == served + rejected + shed + queued` — and closes without
-//!   the `queued` term once the queue is fully drained;
+//!   `offered == served + rejected + shed + queued + migrated` — and
+//!   closes without the `queued` term once the queue is fully drained
+//!   (`migrated` is zero for a standalone controller; the term keeps the
+//!   identity aligned with the fleet-wide form);
 //! * per-tenant books sum to the fleet books;
 //! * the per-tenant and fleet session bulkheads are never exceeded, no
 //!   matter how aggressively sessions are requested;
@@ -22,13 +24,13 @@ const TENANTS: [&str; 5] = ["ada", "bea", "cyd", "dot", "eve"];
 fn conserves(ctrl: &AdmissionController) -> Result<(), String> {
     let s = ctrl.stats();
     prop_assert!(
-        s.offered == s.served + s.rejected + s.shed + s.queued,
+        s.offered == s.served + s.rejected + s.shed + s.queued + s.migrated,
         "fleet books out of balance: {s:?}"
     );
-    let mut per_tenant = (0u64, 0u64, 0u64, 0u64);
+    let mut per_tenant = (0u64, 0u64, 0u64, 0u64, 0u64);
     for (name, t) in ctrl.tenant_stats() {
         prop_assert!(
-            t.offered >= t.served + t.rejected + t.shed,
+            t.offered >= t.served + t.rejected + t.shed + t.migrated,
             "tenant {} books out of balance: {:?}",
             name,
             t
@@ -37,11 +39,13 @@ fn conserves(ctrl: &AdmissionController) -> Result<(), String> {
         per_tenant.1 += t.served;
         per_tenant.2 += t.rejected;
         per_tenant.3 += t.shed;
+        per_tenant.4 += t.migrated;
     }
     prop_assert!(per_tenant.0 == s.offered, "tenant offers do not sum to the fleet's");
     prop_assert!(per_tenant.1 == s.served, "tenant serves do not sum to the fleet's");
     prop_assert!(per_tenant.2 == s.rejected, "tenant rejects do not sum to the fleet's");
     prop_assert!(per_tenant.3 == s.shed, "tenant sheds do not sum to the fleet's");
+    prop_assert!(per_tenant.4 == s.migrated, "tenant migrations do not sum to the fleet's");
     Ok(())
 }
 
@@ -117,7 +121,7 @@ proptest! {
 
         let s = ctrl.stats();
         prop_assert_eq!(s.queued, 0);
-        prop_assert_eq!(s.offered, s.served + s.rejected + s.shed);
+        prop_assert_eq!(s.offered, s.served + s.rejected + s.shed + s.migrated);
         prop_assert!(s.mem_charged == 0, "drained fleet still holds bytes");
         prop_assert!(
             s.mem_peak <= cfg.mem_budget,

@@ -1,0 +1,104 @@
+//! Property tests: the consistent-hash ring behind fleet placement.
+//!
+//! For any seed, shard count, and tenant population:
+//!
+//! * placement is **deterministic** — a ring rebuilt from the same seed
+//!   and shard set (in any insertion order) routes every tenant
+//!   identically;
+//! * placement is **balanced** — no shard owns a wildly outsized share
+//!   of a large tenant population;
+//! * movement is **bounded** — removing one shard re-homes exactly that
+//!   shard's tenants; every other tenant keeps its home, and the
+//!   evacuees land on surviving shards;
+//! * the failover chain is coherent — `route_chain` starts at the home
+//!   shard and visits every live shard exactly once.
+
+use emoleak::fleet::HashRing;
+use proptest::prelude::*;
+
+const VNODES: usize = 64;
+
+fn tenants(n: usize) -> Vec<String> {
+    (0..n).map(|t| format!("tenant-{t}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn placement_is_a_pure_function_of_seed_and_shard_set(
+        seed in 0u64..u64::MAX,
+        shards in 1u32..=8,
+    ) {
+        let forward = HashRing::new(seed, shards, VNODES);
+        // Same shard set inserted in reverse order: identical ring.
+        let mut reverse = HashRing::new(seed, 0, VNODES);
+        for id in (0..shards).rev() {
+            reverse.insert_shard(id);
+        }
+        for t in tenants(128) {
+            prop_assert!(forward.route(&t) == reverse.route(&t), "insertion order leaked");
+        }
+    }
+
+    #[test]
+    fn placement_is_balanced_within_a_bound(
+        seed in 0u64..u64::MAX,
+        shards in 2u32..=8,
+    ) {
+        let ring = HashRing::new(seed, shards, VNODES);
+        let population = 1024usize;
+        let mut counts = vec![0usize; shards as usize];
+        for t in tenants(population) {
+            counts[ring.route(&t) as usize] += 1;
+        }
+        let mean = population as f64 / f64::from(shards);
+        for (id, &n) in counts.iter().enumerate() {
+            prop_assert!(n > 0, "shard {id} owns no tenants at all");
+            prop_assert!(
+                (n as f64) < 2.5 * mean,
+                "shard {id} owns {n} of {population} tenants (mean {mean:.0}): \
+                 the ring is badly unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_one_shard_moves_only_its_tenants(
+        seed in 0u64..u64::MAX,
+        shards in 2u32..=8,
+        victim_pick in 0u32..u32::MAX,
+    ) {
+        let mut ring = HashRing::new(seed, shards, VNODES);
+        let victim = victim_pick % shards;
+        let ts = tenants(256);
+        let before: Vec<u32> = ts.iter().map(|t| ring.route(t)).collect();
+        prop_assert!(ring.remove_shard(victim));
+        for (t, home) in ts.iter().zip(&before) {
+            let now = ring.route(t);
+            if *home == victim {
+                prop_assert!(now != victim, "{} still routes to the removed shard", t);
+                prop_assert!(ring.contains(now), "{} routed to a dead shard", t);
+            } else {
+                prop_assert!(now == *home, "{} moved without cause", t);
+            }
+        }
+    }
+
+    #[test]
+    fn the_failover_chain_visits_every_live_shard_once(
+        seed in 0u64..u64::MAX,
+        shards in 1u32..=8,
+    ) {
+        let ring = HashRing::new(seed, shards, VNODES);
+        for t in tenants(32) {
+            let chain = ring.route_chain(&t);
+            prop_assert!(chain.len() == shards as usize, "chain misses shards");
+            prop_assert!(chain[0] == ring.route(&t), "chain must start at home");
+            let mut sorted = chain.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert!(sorted.len() == chain.len(), "chain repeats a shard");
+        }
+    }
+}
