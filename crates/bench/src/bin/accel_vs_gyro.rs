@@ -13,6 +13,9 @@ use emoleak_phone::gyro::GyroChannel;
 use emoleak_phone::SpeakerKind;
 use rand::SeedableRng;
 
+/// One clip's labeled feature rows plus its detected-region count.
+type ClipRows = (Vec<(Vec<f64>, usize)>, usize);
+
 fn main() -> Result<(), EmoleakError> {
     let n = clips_per_cell()?.min(20);
     let corpus = CorpusSpec::tess().with_clips_per_cell(n);
@@ -36,7 +39,7 @@ fn main() -> Result<(), EmoleakError> {
     // Per-clip RNG streams (not one shared sequential RNG) so the clips can
     // simulate in parallel with worker-count-independent output.
     let clip_indices: Vec<usize> = (0..corpus.total_clips()).collect();
-    let per_clip: Vec<(Vec<(Vec<f64>, usize)>, usize)> =
+    let per_clip: Vec<ClipRows> =
         emoleak_exec::par_map_indexed(&clip_indices, |_, &i| {
             let clip = corpus.clip_at(i);
             let label = emotions.iter().position(|e| *e == clip.emotion).unwrap();

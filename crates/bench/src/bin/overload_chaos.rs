@@ -128,7 +128,7 @@ fn offers(scenario: Scenario, severity: f64, seed: u64, now: u64) -> Vec<(usize,
                 out.push((0, 64));
             }
             for t in 1..TENANTS.len() {
-                if (now + 33 * t as u64) % 100 == 0 {
+                if (now + 33 * t as u64).is_multiple_of(100) {
                     out.push((t, 64));
                 }
             }

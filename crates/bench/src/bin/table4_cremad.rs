@@ -9,7 +9,7 @@ use emoleak_core::prelude::*;
 fn main() -> Result<(), EmoleakError> {
     // CREMA-D has 91 speakers; its per-cell count is intrinsically small
     // (13 in the real corpus), so the scale knob is capped accordingly.
-    let corpus = CorpusSpec::crema_d().with_clips_per_cell(clips_per_cell()?.min(13).max(2));
+    let corpus = CorpusSpec::crema_d().with_clips_per_cell(clips_per_cell()?.clamp(2, 13));
     let mut report = Report::new("table4_cremad");
     report.banner("Table IV: CREMA-D / loudspeaker", corpus.random_guess());
     let device = DeviceProfile::galaxy_s10();

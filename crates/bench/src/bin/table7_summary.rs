@@ -73,7 +73,7 @@ fn main() -> Result<(), EmoleakError> {
         ("TESS", CorpusSpec::tess().with_clips_per_cell(n), DeviceProfile::oneplus_7t()),
         (
             "CREMA-D",
-            CorpusSpec::crema_d().with_clips_per_cell(n.min(13).max(2)),
+            CorpusSpec::crema_d().with_clips_per_cell(n.clamp(2, 13)),
             DeviceProfile::galaxy_s10(),
         ),
     ];

@@ -205,7 +205,15 @@ mod tests {
 
     #[test]
     fn level_caps_mirror_the_inference_ladder() {
-        for (state, level) in FleetState::ALL.iter().zip(InferenceLevel::ALL) {
+        // Four fleet states map onto the five-rung ladder; the int8 CNN
+        // rung is reached by per-session latency degradation, not by a
+        // fleet-wide cap (a struggling fleet wants the bigger step down).
+        for (state, level) in [
+            (FleetState::Healthy, InferenceLevel::Cnn),
+            (FleetState::Degraded, InferenceLevel::Classical),
+            (FleetState::Saturated, InferenceLevel::EnergyOnly),
+            (FleetState::BrownOut, InferenceLevel::Shed),
+        ] {
             assert_eq!(state.level_cap(), level);
         }
         // Applying a cap is a max(): the worse of the two rungs wins.

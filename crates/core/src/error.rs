@@ -59,6 +59,10 @@ pub enum EmoleakError {
     /// samples, non-monotonic or duplicate timestamps — before it could
     /// reach DSP (see [`emoleak_phone::replay::InputDefect`]).
     HostileInput(emoleak_phone::replay::InputDefect),
+    /// A model layer rejected its input's shape (see
+    /// [`emoleak_ml::nn::ShapeError`]): typed instead of a panic so the
+    /// online path can degrade to a cheaper rung.
+    Shape(emoleak_ml::nn::ShapeError),
     /// An error localized to one corpus clip, wrapped with the clip's
     /// identity so the failing utterance is diagnosable from the error
     /// alone.
@@ -99,6 +103,7 @@ impl core::fmt::Display for EmoleakError {
             EmoleakError::HostileInput(defect) => {
                 write!(f, "hostile input rejected: {defect}")
             }
+            EmoleakError::Shape(e) => write!(f, "model shape mismatch: {e}"),
             EmoleakError::InClip { context, source } => {
                 write!(f, "{source} ({context})")
             }
@@ -130,6 +135,12 @@ impl From<DspError> for EmoleakError {
 impl From<emoleak_phone::replay::InputDefect> for EmoleakError {
     fn from(d: emoleak_phone::replay::InputDefect) -> Self {
         EmoleakError::HostileInput(d)
+    }
+}
+
+impl From<emoleak_ml::nn::ShapeError> for EmoleakError {
+    fn from(e: emoleak_ml::nn::ShapeError) -> Self {
+        EmoleakError::Shape(e)
     }
 }
 

@@ -24,7 +24,7 @@ use emoleak_features::regions::{Region, RegionDetector};
 use emoleak_features::spectrogram::SpectrogramGenerator;
 use emoleak_features::{all_feature_names, extract_all, LabeledSpectrogram};
 use emoleak_ml::logistic::Logistic;
-use emoleak_ml::nn::{spectrogram_cnn_scaled, Sequential, Tensor};
+use emoleak_ml::nn::{spectrogram_cnn_scaled, QuantizedCnn, Sequential, Tensor};
 use emoleak_ml::Classifier;
 use emoleak_phone::session::RecordingSession;
 use emoleak_phone::FaultLog;
@@ -227,8 +227,12 @@ pub fn extract_window(
 /// The quality rungs of the online degradation ladder, best first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InferenceLevel {
-    /// Full spectrogram-CNN inference (§IV-C).
+    /// Full spectrogram-CNN inference (§IV-C), f64 kernels.
     Cnn,
+    /// Spectrogram-CNN inference through the int8-quantized network —
+    /// cheaper than [`InferenceLevel::Cnn`], still label-producing, but
+    /// deliberately lossy relative to the f64 model.
+    CnnInt8,
     /// Classical 24-feature Logistic classification (§IV-D.1).
     Classical,
     /// Energy-only speech/silence flagging — no emotion label.
@@ -239,8 +243,9 @@ pub enum InferenceLevel {
 
 impl InferenceLevel {
     /// All rungs, best first.
-    pub const ALL: [InferenceLevel; 4] = [
+    pub const ALL: [InferenceLevel; 5] = [
         InferenceLevel::Cnn,
+        InferenceLevel::CnnInt8,
         InferenceLevel::Classical,
         InferenceLevel::EnergyOnly,
         InferenceLevel::Shed,
@@ -250,7 +255,8 @@ impl InferenceLevel {
     #[must_use]
     pub fn degraded(self) -> InferenceLevel {
         match self {
-            InferenceLevel::Cnn => InferenceLevel::Classical,
+            InferenceLevel::Cnn => InferenceLevel::CnnInt8,
+            InferenceLevel::CnnInt8 => InferenceLevel::Classical,
             InferenceLevel::Classical => InferenceLevel::EnergyOnly,
             _ => InferenceLevel::Shed,
         }
@@ -262,6 +268,7 @@ impl InferenceLevel {
         match self {
             InferenceLevel::Shed => InferenceLevel::EnergyOnly,
             InferenceLevel::EnergyOnly => InferenceLevel::Classical,
+            InferenceLevel::Classical => InferenceLevel::CnnInt8,
             _ => InferenceLevel::Cnn,
         }
     }
@@ -271,6 +278,7 @@ impl core::fmt::Display for InferenceLevel {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.write_str(match self {
             InferenceLevel::Cnn => "cnn",
+            InferenceLevel::CnnInt8 => "cnn-int8",
             InferenceLevel::Classical => "classical",
             InferenceLevel::EnergyOnly => "energy-only",
             InferenceLevel::Shed => "shed",
@@ -300,6 +308,10 @@ pub struct ModelBundle {
     /// The spectrogram CNN (mutex because forward passes update layer
     /// caches), absent when trained with [`ModelBundle::train`].
     cnn: Option<parking_lot::Mutex<Sequential>>,
+    /// The int8-quantized lowering of `cnn` (no lock: prediction is
+    /// `&self`), absent when no CNN was trained or the architecture has
+    /// no quantized representation.
+    cnn_int8: Option<QuantizedCnn>,
     /// Speech/silence threshold on the region's std-dev feature.
     energy_threshold: f64,
 }
@@ -309,6 +321,7 @@ impl core::fmt::Debug for ModelBundle {
         f.debug_struct("ModelBundle")
             .field("classes", &self.class_names.len())
             .field("cnn", &self.cnn.is_some())
+            .field("cnn_int8", &self.cnn_int8.is_some())
             .field("energy_threshold", &self.energy_threshold)
             .finish()
     }
@@ -370,6 +383,7 @@ impl ModelBundle {
         let median = stds.get(stds.len() / 2).copied().unwrap_or(0.0);
         let energy_threshold = 0.25 * median;
 
+        let mut cnn_int8 = None;
         let cnn = match cnn_seed {
             None => None,
             Some(seed) => {
@@ -390,6 +404,9 @@ impl ModelBundle {
                 let (vx, tx) = xs.split_at(1);
                 let (vy, ty) = ys.split_at(1);
                 net.fit(tx, ty, vx, vy, &config);
+                // Lower the trained network to int8 once, while we still
+                // hold it outside the mutex.
+                cnn_int8 = QuantizedCnn::from_sequential(&net);
                 Some(parking_lot::Mutex::new(net))
             }
         };
@@ -398,6 +415,7 @@ impl ModelBundle {
             norm,
             classical,
             cnn,
+            cnn_int8,
             energy_threshold,
         })
     }
@@ -407,6 +425,11 @@ impl ModelBundle {
         self.cnn.is_some()
     }
 
+    /// Whether the int8 CNN rung is backed by a quantized network.
+    pub fn has_cnn_int8(&self) -> bool {
+        self.cnn_int8.is_some()
+    }
+
     /// The emotion class names, indexed by predicted label.
     pub fn class_names(&self) -> &[String] {
         &self.class_names
@@ -414,35 +437,70 @@ impl ModelBundle {
 
     /// The rung that would actually run for `want`:
     /// [`InferenceLevel::Cnn`] coerces to [`InferenceLevel::Classical`]
-    /// when no CNN was trained (same for a region without a spectrogram).
+    /// when no CNN was trained (same for a region without a spectrogram),
+    /// and [`InferenceLevel::CnnInt8`] likewise when no quantized lowering
+    /// exists.
     pub fn effective_level(&self, want: InferenceLevel) -> InferenceLevel {
         match want {
             InferenceLevel::Cnn if self.cnn.is_none() => InferenceLevel::Classical,
+            InferenceLevel::CnnInt8 if self.cnn_int8.is_none() => InferenceLevel::Classical,
             other => other,
         }
     }
 
-    /// Classifies one detected region at the requested ladder rung.
-    pub fn classify(&self, want: InferenceLevel, region: &RegionFeatures) -> Verdict {
+    /// Builds the checked `[1, side, side]` CNN input from a region's
+    /// spectrogram, reporting a typed error instead of the panic
+    /// `Tensor::from_shape` would raise on a pixel-count mismatch.
+    fn spectrogram_tensor(region: &RegionFeatures) -> Result<Tensor, EmoleakError> {
+        let side = emoleak_features::spectrogram::IMAGE_SIZE;
+        let pixels = &region
+            .spectrogram
+            .as_ref()
+            .expect("callers coerce away CNN rungs when the spectrogram is absent")
+            .pixels;
+        if pixels.len() != side * side {
+            return Err(EmoleakError::Shape(emoleak_ml::nn::ShapeError {
+                layer: "ModelBundle",
+                expected: format!("{side}×{side} spectrogram ({} pixels)", side * side),
+                got: vec![pixels.len()],
+            }));
+        }
+        Ok(Tensor::from_shape(&[1, side, side], pixels.clone()))
+    }
+
+    /// Classifies one detected region at the requested ladder rung,
+    /// reporting a typed error when the CNN input is malformed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmoleakError::Shape`] when a CNN rung rejects the
+    /// region's spectrogram (wrong pixel count or a layer-level shape
+    /// mismatch). The cheaper rungs never error.
+    pub fn try_classify(
+        &self,
+        want: InferenceLevel,
+        region: &RegionFeatures,
+    ) -> Result<Verdict, EmoleakError> {
         let is_speech = region
             .features
             .get(STD_DEV_FEATURE)
             .is_some_and(|&s| s.is_finite() && s > self.energy_threshold);
         let mut level = self.effective_level(want);
-        if level == InferenceLevel::Cnn && region.spectrogram.is_none() {
+        if matches!(level, InferenceLevel::Cnn | InferenceLevel::CnnInt8)
+            && region.spectrogram.is_none()
+        {
             level = InferenceLevel::Classical;
         }
         let label = match level {
             InferenceLevel::Cnn => {
-                let side = emoleak_features::spectrogram::IMAGE_SIZE;
-                let pixels = &region
-                    .spectrogram
-                    .as_ref()
-                    .expect("coerced above when absent")
-                    .pixels;
-                let input = Tensor::from_shape(&[1, side, side], pixels.clone());
+                let input = Self::spectrogram_tensor(region)?;
                 let net = self.cnn.as_ref().expect("coerced above when absent");
-                Some(net.lock().predict(&input))
+                Some(net.lock().try_predict(&input).map_err(EmoleakError::Shape)?)
+            }
+            InferenceLevel::CnnInt8 => {
+                let input = Self::spectrogram_tensor(region)?;
+                let q = self.cnn_int8.as_ref().expect("coerced above when absent");
+                Some(q.try_predict(&input).map_err(EmoleakError::Shape)?)
             }
             InferenceLevel::Classical => {
                 let row: Vec<f64> = region
@@ -455,7 +513,19 @@ impl ModelBundle {
             }
             InferenceLevel::EnergyOnly | InferenceLevel::Shed => None,
         };
-        Verdict { level, label, is_speech }
+        Ok(Verdict { level, label, is_speech })
+    }
+
+    /// Classifies one detected region at the requested ladder rung. A CNN
+    /// shape error (a malformed spectrogram) falls back to the classical
+    /// rung instead of panicking — the region still gets a verdict.
+    pub fn classify(&self, want: InferenceLevel, region: &RegionFeatures) -> Verdict {
+        match self.try_classify(want, region) {
+            Ok(v) => v,
+            Err(_) => self
+                .try_classify(InferenceLevel::Classical, region)
+                .expect("classical rung cannot fail"),
+        }
     }
 }
 
@@ -513,13 +583,21 @@ mod tests {
     #[test]
     fn ladder_levels_order_and_saturate() {
         use InferenceLevel::*;
-        assert_eq!(Cnn.degraded(), Classical);
+        assert_eq!(Cnn.degraded(), CnnInt8);
+        assert_eq!(CnnInt8.degraded(), Classical);
         assert_eq!(Classical.degraded(), EnergyOnly);
         assert_eq!(EnergyOnly.degraded(), Shed);
         assert_eq!(Shed.degraded(), Shed);
         assert_eq!(Shed.recovered(), EnergyOnly);
+        assert_eq!(Classical.recovered(), CnnInt8);
+        assert_eq!(CnnInt8.recovered(), Cnn);
         assert_eq!(Cnn.recovered(), Cnn);
-        assert!(Cnn < Classical && Classical < EnergyOnly && EnergyOnly < Shed);
+        // degraded/recovered walk ALL in order, one rung at a time.
+        for pair in InferenceLevel::ALL.windows(2) {
+            assert_eq!(pair[0].degraded(), pair[1]);
+            assert_eq!(pair[1].recovered(), pair[0]);
+        }
+        assert!(Cnn < CnnInt8 && CnnInt8 < Classical && Classical < EnergyOnly && EnergyOnly < Shed);
     }
 
     #[test]

@@ -85,8 +85,8 @@ mod tests {
     #[test]
     fn rms_envelope_tracks_burst() {
         let mut x = vec![0.0; 300];
-        for i in 100..200 {
-            x[i] = if i % 2 == 0 { 1.0 } else { -1.0 };
+        for (i, v) in x.iter_mut().enumerate().take(200).skip(100) {
+            *v = if i.is_multiple_of(2) { 1.0 } else { -1.0 };
         }
         let e = rms_envelope(&x, 21);
         assert!(e[150] > 0.9);

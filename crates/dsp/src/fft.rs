@@ -134,6 +134,55 @@ impl Fft {
             .collect()
     }
 
+    /// Allocation-free [`Fft::forward_real`]: transforms in `scratch`
+    /// (grown once, then reused) and writes the `n/2 + 1` non-redundant
+    /// bins into `out`. Arithmetic is identical to `forward_real`, so the
+    /// results are bit-identical; only the buffer ownership differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len() > self.len()`.
+    pub fn forward_real_into(
+        &self,
+        signal: &[f64],
+        scratch: &mut Vec<Complex>,
+        out: &mut Vec<Complex>,
+    ) {
+        self.transform_real_into(signal, scratch);
+        out.clear();
+        out.extend_from_slice(&scratch[..self.n / 2 + 1]);
+    }
+
+    /// Allocation-free [`Fft::power_spectrum`]: bit-identical results,
+    /// caller-owned buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len() > self.len()`.
+    pub fn power_spectrum_into(
+        &self,
+        signal: &[f64],
+        scratch: &mut Vec<Complex>,
+        out: &mut Vec<f64>,
+    ) {
+        self.transform_real_into(signal, scratch);
+        out.clear();
+        out.extend(scratch[..self.n / 2 + 1].iter().map(|z| z.norm_sqr()));
+    }
+
+    fn transform_real_into(&self, signal: &[f64], scratch: &mut Vec<Complex>) {
+        assert!(
+            signal.len() <= self.n,
+            "real input ({}) longer than plan ({})",
+            signal.len(),
+            self.n
+        );
+        scratch.clear();
+        scratch.extend(signal.iter().map(|&x| Complex::from_real(x)));
+        scratch.resize(self.n, Complex::ZERO);
+        self.forward(scratch);
+    }
+
     fn permute(&self, buf: &mut [Complex]) {
         for i in 0..self.n {
             let j = self.rev[i];
@@ -297,5 +346,34 @@ mod tests {
         let fft = Fft::new(8);
         let mut buf = vec![Complex::ZERO; 4];
         fft.forward(&mut buf);
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_to_allocating_ones() {
+        let fft = Fft::new(64);
+        let (mut scratch, mut spec, mut power) = (Vec::new(), Vec::new(), Vec::new());
+        // Reuse the buffers across differently-sized inputs: stale contents
+        // must never leak into a later transform.
+        for len in [64usize, 17, 1, 40] {
+            let x: Vec<f64> = (0..len).map(|i| ((i * 7) as f64 * 0.13).sin()).collect();
+            let want_spec = fft.forward_real(&x);
+            fft.forward_real_into(&x, &mut scratch, &mut spec);
+            assert_eq!(spec.len(), want_spec.len());
+            for (a, b) in spec.iter().zip(&want_spec) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "len={len}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "len={len}");
+            }
+            let want_power = fft.power_spectrum(&x);
+            fft.power_spectrum_into(&x, &mut scratch, &mut power);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&power), bits(&want_power), "len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than plan")]
+    fn into_variant_panics_on_oversized_input() {
+        let fft = Fft::new(8);
+        fft.power_spectrum_into(&[0.0; 9], &mut Vec::new(), &mut Vec::new());
     }
 }

@@ -347,9 +347,9 @@ mod tests {
         let fs = 500.0;
         // Impulse-like bump at sample 2000.
         let mut x = vec![0.0; 4000];
-        for i in 1980..2020 {
+        for (i, v) in x.iter_mut().enumerate().take(2020).skip(1980) {
             let t = (i as f64 - 2000.0) / 10.0;
-            x[i] = (-t * t).exp();
+            *v = (-t * t).exp();
         }
         let lp = ButterworthDesign::new(FilterKind::LowPass, 4, 30.0, fs)
             .unwrap()

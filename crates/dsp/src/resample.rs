@@ -298,4 +298,33 @@ mod tests {
         let y = resample_irregular(&[3.0], &[0.7], 100.0, 0.1).unwrap();
         assert_eq!(y, vec![0.7]);
     }
+
+    #[test]
+    fn linear_single_sample_yields_single_output() {
+        // Zero duration collapses to one grid point regardless of the ratio.
+        let y = resample_linear(&[0.42], 100.0, 250.0).unwrap();
+        assert_eq!(y, vec![0.42]);
+        let y = resample_linear(&[0.42], 100.0, 7.0).unwrap();
+        assert_eq!(y, vec![0.42]);
+    }
+
+    #[test]
+    fn decimate_handles_empty_and_oversized_factors() {
+        assert!(decimate_aliasing(&[], 3).is_empty());
+        assert_eq!(decimate_aliasing(&[1.0], 5), vec![1.0]);
+        // A factor larger than the signal keeps only the first sample.
+        assert_eq!(decimate_aliasing(&[1.0, 2.0, 3.0], 10), vec![1.0]);
+        // Unit factor is the identity.
+        assert_eq!(decimate_aliasing(&[1.0, 2.0], 1), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn upsampling_preserves_endpoints_and_midpoints() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = resample_linear(&x, 100.0, 200.0).unwrap();
+        assert_eq!(y.len(), 7);
+        assert!((y[0]).abs() < 1e-12);
+        assert!((y[6] - 3.0).abs() < 1e-12, "tail sample lands on the last input");
+        assert!((y[1] - 0.5).abs() < 1e-12, "odd grid points interpolate halfway");
+    }
 }

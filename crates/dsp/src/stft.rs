@@ -4,7 +4,8 @@
 //! spectrogram classifier (§IV-C) consumes labeled spectrogram images. This
 //! module produces the time–frequency matrices those tools need.
 
-use crate::{fft::Fft, window::Window, DspError};
+use crate::{fft::Fft, window::Window, Complex, DspError};
+use emoleak_kernels::KernelMode;
 use serde::{Deserialize, Serialize};
 
 /// STFT analysis parameters.
@@ -61,13 +62,37 @@ impl StftConfig {
         }
     }
 
-    /// Computes the power spectrogram of `signal` sampled at `fs` Hz.
+    /// Computes the power spectrogram of `signal` sampled at `fs` Hz,
+    /// dispatching on the `EMOLEAK_KERNELS` knob (see
+    /// [`spectrogram_in_mode`](Self::spectrogram_in_mode)).
     ///
     /// # Errors
     ///
     /// Returns [`DspError::EmptyInput`] if the signal is shorter than one
     /// frame.
     pub fn spectrogram(&self, signal: &[f64], fs: f64) -> Result<Spectrogram, DspError> {
+        self.spectrogram_in_mode(signal, fs, KernelMode::current())
+    }
+
+    /// [`spectrogram`](Self::spectrogram) with an explicit kernel mode —
+    /// the dispatch seam the differential tests and benches drive directly
+    /// (no process-global environment mutation needed).
+    ///
+    /// The fast path reuses one complex transform scratch and one bin
+    /// buffer across all frames instead of allocating two `Vec`s per
+    /// frame; the butterfly arithmetic is untouched, so the two modes are
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if the signal is shorter than one
+    /// frame.
+    pub fn spectrogram_in_mode(
+        &self,
+        signal: &[f64],
+        fs: f64,
+        mode: KernelMode,
+    ) -> Result<Spectrogram, DspError> {
         let frames = self.num_frames(signal.len());
         if frames == 0 {
             return Err(DspError::EmptyInput);
@@ -78,12 +103,22 @@ impl StftConfig {
         let bins = n_fft / 2 + 1;
         let mut power = Vec::with_capacity(frames * bins);
         let mut frame = vec![0.0; self.frame_len];
+        let mut scratch: Vec<Complex> = Vec::new();
+        let mut bin_buf: Vec<f64> = Vec::new();
         for t in 0..frames {
             let start = t * self.hop;
             frame.copy_from_slice(&signal[start..start + self.frame_len]);
             Window::apply_with(&coeffs, &mut frame);
-            let spec = fft.power_spectrum(&frame);
-            power.extend_from_slice(&spec);
+            match mode {
+                KernelMode::Reference => {
+                    let spec = fft.power_spectrum(&frame);
+                    power.extend_from_slice(&spec);
+                }
+                KernelMode::Fast => {
+                    fft.power_spectrum_into(&frame, &mut scratch, &mut bin_buf);
+                    power.extend_from_slice(&bin_buf);
+                }
+            }
         }
         Ok(Spectrogram {
             power,
@@ -340,6 +375,52 @@ mod tests {
         assert!((out[4] - 1.0).abs() < 1e-12); // center = average
         assert_eq!(out[0], 0.0);
         assert_eq!(out[8], 2.0);
+    }
+
+    #[test]
+    fn num_frames_edge_cases() {
+        let cfg = StftConfig::new(64, 16);
+        // Empty signal and anything shorter than one frame: no frames.
+        assert_eq!(cfg.num_frames(0), 0);
+        assert_eq!(cfg.num_frames(63), 0);
+        // Exactly one frame.
+        assert_eq!(cfg.num_frames(64), 1);
+        // One sample short of the next hop boundary still yields only the
+        // frames that fully fit: a single-sample tail is dropped.
+        assert_eq!(cfg.num_frames(64 + 16 - 1), 1);
+        assert_eq!(cfg.num_frames(64 + 16), 2);
+        assert_eq!(cfg.num_frames(64 + 16 + 1), 2);
+
+        // hop larger than frame_len: frames skip samples entirely.
+        let gappy = StftConfig::new(64, 100);
+        assert_eq!(gappy.num_frames(63), 0);
+        assert_eq!(gappy.num_frames(64), 1);
+        assert_eq!(gappy.num_frames(163), 1);
+        assert_eq!(gappy.num_frames(164), 2);
+        let spec = gappy.spectrogram(&vec![0.5; 264], 500.0).unwrap();
+        assert_eq!(spec.num_frames(), 3);
+    }
+
+    #[test]
+    fn empty_signal_errors() {
+        let cfg = StftConfig::new(64, 16);
+        assert_eq!(cfg.spectrogram(&[], 500.0), Err(DspError::EmptyInput));
+    }
+
+    #[test]
+    fn fast_and_reference_spectrograms_are_bit_identical() {
+        use emoleak_kernels::KernelMode;
+        let fs = 500.0;
+        let x = tone(42.0, fs, 1234);
+        for cfg in [StftConfig::new(128, 32), StftConfig::new(100, 150)] {
+            let r = cfg.spectrogram_in_mode(&x, fs, KernelMode::Reference).unwrap();
+            let f = cfg.spectrogram_in_mode(&x, fs, KernelMode::Fast).unwrap();
+            assert_eq!(r.num_frames(), f.num_frames());
+            let bits = |s: &Spectrogram| {
+                s.as_flat().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(bits(&r), bits(&f));
+        }
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! SpecSkewness, SpecKurt — computed on the magnitude spectrum of one
 //! detected speech region (unfiltered, per §IV-B).
 
-use emoleak_dsp::{fft::next_pow2, stats, Fft, Window};
+use emoleak_dsp::{fft::next_pow2, stats, Complex, Fft, Window};
+use emoleak_kernels::KernelMode;
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Feature names in extraction order.
 pub const FEATURE_NAMES: [&str; 12] = [
@@ -23,24 +26,71 @@ pub const FEATURE_NAMES: [&str; 12] = [
     "SpecKurt",
 ];
 
+// Kernel-mode fast path: FFT plans are pure functions of their size (the
+// twiddle/permutation tables are recomputed identically every time), so one
+// plan per size can be cached per thread and reused across regions —
+// `Fft::new` is O(n log n) trig plus two allocations that `extract` used
+// to pay per region. Sizes are powers of two capped at 2^15, so the map
+// holds at most 16 entries and needs no eviction. Thread-local (not
+// shared) so the cache needs no locks and cannot couple worker threads.
+thread_local! {
+    static FFT_PLANS: RefCell<HashMap<usize, Fft>> = RefCell::new(HashMap::new());
+    static FFT_SCRATCH: RefCell<(Vec<Complex>, Vec<Complex>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// Extracts the 12 frequency-domain features from one region at sample rate
-/// `fs`. Regions shorter than 8 samples yield all-NaN vectors (cleaned
-/// later, like the paper's invalid-entry removal).
+/// `fs`, dispatching on the `EMOLEAK_KERNELS` knob. Regions shorter than 8
+/// samples yield all-NaN vectors (cleaned later, like the paper's
+/// invalid-entry removal).
 pub fn extract(region: &[f64], fs: f64) -> [f64; 12] {
+    extract_in_mode(region, fs, KernelMode::current())
+}
+
+/// [`extract`] with an explicit kernel mode — the dispatch seam driven
+/// directly by the differential tests and benches.
+///
+/// The fast path reuses a per-thread FFT plan cache and transform scratch,
+/// and fuses the magnitude/power/energy loops over the spectrum into one
+/// pass; every arithmetic expression and accumulation order matches the
+/// reference, so the two modes are bit-identical.
+pub fn extract_in_mode(region: &[f64], fs: f64, mode: KernelMode) -> [f64; 12] {
     if region.len() < 8 {
         return [f64::NAN; 12];
     }
     let n_fft = next_pow2(region.len()).min(1 << 15);
-    let fft = Fft::new(n_fft);
     let mut frame = region[..region.len().min(n_fft)].to_vec();
     Window::Hamming.apply(&mut frame);
-    let spectrum = fft.forward_real(&frame);
     // Skip the DC bin for shape statistics; keep it for energy.
-    let mags: Vec<f64> = spectrum.iter().map(|z| z.abs()).collect();
-    let power: Vec<f64> = spectrum.iter().map(|z| z.norm_sqr()).collect();
+    let (mags, power, energy) = match mode {
+        KernelMode::Reference => {
+            let fft = Fft::new(n_fft);
+            let spectrum = fft.forward_real(&frame);
+            let mags: Vec<f64> = spectrum.iter().map(|z| z.abs()).collect();
+            let power: Vec<f64> = spectrum.iter().map(|z| z.norm_sqr()).collect();
+            let energy: f64 = power.iter().sum();
+            (mags, power, energy)
+        }
+        KernelMode::Fast => FFT_PLANS.with(|plans| {
+            FFT_SCRATCH.with(|bufs| {
+                let mut plans = plans.borrow_mut();
+                let fft = plans.entry(n_fft).or_insert_with(|| Fft::new(n_fft));
+                let (scratch, spectrum) = &mut *bufs.borrow_mut();
+                fft.forward_real_into(&frame, scratch, spectrum);
+                let mut mags = Vec::with_capacity(spectrum.len());
+                let mut power = Vec::with_capacity(spectrum.len());
+                let mut energy = 0.0;
+                for z in spectrum.iter() {
+                    mags.push(z.abs());
+                    let p = z.norm_sqr();
+                    power.push(p);
+                    energy += p;
+                }
+                (mags, power, energy)
+            })
+        }),
+    };
     let freqs: Vec<f64> = (0..mags.len()).map(|k| k as f64 * fs / n_fft as f64).collect();
-
-    let energy: f64 = power.iter().sum();
     let entropy = stats::shannon_entropy(&power[1..]);
     let frequency_ratio = frequency_ratio(&power, &freqs, fs);
     let irregularity_k = irregularity_k(&mags[1..]);
@@ -272,6 +322,38 @@ mod tests {
             n[smoothness],
             t[smoothness]
         );
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_reference() {
+        let fs = 420.0;
+        // Cover short-circuit lengths, power-of-two and ragged lengths
+        // (exercising the plan cache across several FFT sizes), tones,
+        // noise, silence, and a constant-DC region.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![1.0; 7],
+            vec![0.0; 64],
+            vec![0.25; 100],
+            tone(100.0, fs, 512),
+            tone(37.5, fs, 300),
+            noise(1024),
+            noise(999),
+        ];
+        for x in &cases {
+            let r = extract_in_mode(x, fs, KernelMode::Reference);
+            let f = extract_in_mode(x, fs, KernelMode::Fast);
+            for (i, (a, b)) in r.iter().zip(&f).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "feature {} ({}) differs on len {}: {a} vs {b}",
+                    i,
+                    FEATURE_NAMES[i],
+                    x.len()
+                );
+            }
+        }
     }
 
     #[test]

@@ -169,8 +169,8 @@ mod tests {
             .map(|i| noise * ((i * 2654435761) % 1000) as f64 / 1000.0 - noise / 2.0)
             .collect();
         for &(s, e) in spans {
-            for i in s..e.min(n) {
-                x[i] += burst * if i % 2 == 0 { 1.0 } else { -1.0 };
+            for (i, v) in x.iter_mut().enumerate().take(e.min(n)).skip(s) {
+                *v += burst * if i.is_multiple_of(2) { 1.0 } else { -1.0 };
             }
         }
         x
@@ -231,8 +231,8 @@ mod tests {
         let mut x: Vec<f64> = (0..n)
             .map(|i| 0.5 * (2.0 * std::f64::consts::PI * 0.4 * i as f64 / fs).sin())
             .collect();
-        for i in 4000..4500 {
-            x[i] += 0.06 * if i % 2 == 0 { 1.0 } else { -1.0 };
+        for (i, v) in x.iter_mut().enumerate().take(4500).skip(4000) {
+            *v += 0.06 * if i.is_multiple_of(2) { 1.0 } else { -1.0 };
         }
         let handheld = RegionDetector::handheld().detect(&x, fs);
         let truth = [(4000usize, 4500usize)];

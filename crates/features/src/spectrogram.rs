@@ -138,10 +138,10 @@ mod tests {
 
     #[test]
     fn ascii_render_shape() {
-        let art = ascii_render(&vec![0.0; 64], 8);
+        let art = ascii_render(&[0.0; 64], 8);
         assert_eq!(art.lines().count(), 8);
         assert!(art.lines().all(|l| l.len() == 8));
-        let bright = ascii_render(&vec![1.0; 4], 2);
+        let bright = ascii_render(&[1.0; 4], 2);
         assert!(bright.contains('@'));
     }
 }

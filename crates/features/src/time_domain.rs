@@ -6,6 +6,7 @@
 //! prescribes (the 8 Hz filter is *not* applied here).
 
 use emoleak_dsp::stats;
+use emoleak_kernels::KernelMode;
 
 /// Feature names in extraction order.
 pub const FEATURE_NAMES: [&str; 12] = [
@@ -23,11 +24,27 @@ pub const FEATURE_NAMES: [&str; 12] = [
     "MeanCrossingRate",
 ];
 
-/// Extracts the 12 time-domain features from one speech region.
+/// Extracts the 12 time-domain features from one speech region,
+/// dispatching on the `EMOLEAK_KERNELS` knob.
 ///
 /// Degenerate regions produce NaN entries, which the dataset layer removes
 /// (mirroring the paper's NaN cleaning step).
 pub fn extract(region: &[f64]) -> [f64; 12] {
+    extract_in_mode(region, KernelMode::current())
+}
+
+/// [`extract`] with an explicit kernel mode — the dispatch seam driven
+/// directly by the differential tests and benches.
+pub fn extract_in_mode(region: &[f64], mode: KernelMode) -> [f64; 12] {
+    match mode {
+        KernelMode::Reference => extract_reference(region),
+        KernelMode::Fast => extract_fused(region),
+    }
+}
+
+/// Reference path: one `emoleak_dsp::stats` call per feature — 12 passes
+/// over the region plus two independent sorts.
+fn extract_reference(region: &[f64]) -> [f64; 12] {
     [
         stats::min(region),
         stats::max(region),
@@ -41,6 +58,92 @@ pub fn extract(region: &[f64]) -> [f64; 12] {
         stats::quantile(region, 0.25),
         stats::quantile(region, 0.50),
         stats::mean_crossing_rate(region),
+    ]
+}
+
+/// Fused fast path: three passes plus one shared sort, bit-identical to
+/// [`extract_reference`].
+///
+/// Bit-identity holds because fusing only merges *independent*
+/// accumulators that traverse the region in the same element order with
+/// the same per-element expressions: pass 1 runs the min/max folds and the
+/// mean's sum together; pass 2 accumulates `Σ(v−m)²` alongside the
+/// mean-crossing count; pass 3 shares `z = (v−m)/σ` between the skewness
+/// and kurtosis sums (same inputs, same `powi`); and both quantiles index
+/// one `total_cmp`-sorted copy instead of each sorting their own. No
+/// single accumulation chain is reassociated. Inputs shorter than two
+/// samples delegate to the reference path so degenerate NaN propagation
+/// stays byte-for-byte whatever the platform does with NaN payloads.
+fn extract_fused(x: &[f64]) -> [f64; 12] {
+    if x.len() < 2 {
+        return extract_reference(x);
+    }
+    let n = x.len() as f64;
+
+    // Pass 1: min/max (exact replicas of the stats folds) + the mean's sum.
+    let (mut mn, mut mx, mut sum) = (f64::NAN, f64::NAN, 0.0);
+    for &v in x {
+        if mn.is_nan() || v < mn {
+            mn = v;
+        }
+        if mx.is_nan() || v > mx {
+            mx = v;
+        }
+        sum += v;
+    }
+    let m = sum / n;
+
+    // Pass 2: Σ(v−m)² plus the mean-crossing count over adjacent pairs.
+    let (mut ss, mut crossings) = (0.0, 0usize);
+    let mut prev_d = 0.0;
+    for (i, &v) in x.iter().enumerate() {
+        let d = v - m;
+        ss += d * d;
+        if i > 0 && prev_d * d < 0.0 {
+            crossings += 1;
+        }
+        prev_d = d;
+    }
+    let variance = ss / n;
+    let std = variance.sqrt();
+
+    // Pass 3: skewness and kurtosis share the standardized deviation.
+    let (skew, kurt) = if std == 0.0 {
+        (f64::NAN, f64::NAN)
+    } else {
+        let (mut s3, mut s4) = (0.0, 0.0);
+        for &v in x {
+            let z = (v - m) / std;
+            s3 += z.powi(3);
+            s4 += z.powi(4);
+        }
+        (s3 / n, s4 / n)
+    };
+
+    // One sorted copy serves both quantiles.
+    let mut sorted = x.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let interp = |q: f64| {
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    };
+
+    [
+        mn,
+        mx,
+        m,
+        std,
+        variance,
+        mx - mn,
+        std / m.abs(),
+        skew,
+        kurt,
+        interp(0.25),
+        interp(0.50),
+        crossings as f64 / (x.len() - 1) as f64,
     ]
 }
 
@@ -78,6 +181,41 @@ mod tests {
         let fl = extract(&loud);
         assert!(fl[5] > 10.0 * fq[5]); // range
         assert!(fl[3] > 10.0 * fq[3]); // std-dev
+    }
+
+    #[test]
+    fn fused_path_is_bit_identical_to_reference() {
+        // Deterministic LCG inputs spanning the awkward cases: NaN
+        // elements, constant regions, negatives, tiny and empty inputs.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 30) as f64 - 1.0
+        };
+        let mut cases: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![0.25],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![-0.0, 0.0, -0.0],
+            vec![f64::NAN, 1.0, -2.0, f64::NAN],
+        ];
+        for len in [2usize, 3, 17, 256, 999] {
+            cases.push((0..len).map(|_| next()).collect());
+        }
+        for x in &cases {
+            let r = extract_in_mode(x, KernelMode::Reference);
+            let f = extract_in_mode(x, KernelMode::Fast);
+            for (i, (a, b)) in r.iter().zip(&f).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "feature {} ({}) differs on len {}: {a} vs {b}",
+                    i,
+                    FEATURE_NAMES[i],
+                    x.len()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! f64 matrix multiply: scalar reference and a cache-blocked fast path.
+//!
+//! Both kernels compute `C += A · B` for row-major `A` (`m × k`),
+//! `B` (`k × n`) and `C` (`m × n`). Accumulating *onto* `C` (instead of
+//! overwriting it) lets convolution callers preload the bias for free.
+//!
+//! # Bit-exactness
+//!
+//! For every output element `C[i][j]`, both kernels perform the identical
+//! chain of IEEE-754 operations: starting from the preloaded value, add
+//! `A[i][kk] * B[kk][j]` for `kk = 0, 1, …, k-1`, rounding after every
+//! multiply and every add. The fast kernel only changes *which element's*
+//! next addition runs when (blocking over `kk` and vectorizing over `j`),
+//! never the per-element order — so the two are bit-identical for **all**
+//! inputs, including non-finite values and signed zeros. The differential
+//! proptest harness (`tests/proptest_kernels.rs`) holds that line.
+
+/// k-dimension block size for the fast kernel: one `KC × n` panel of `B`
+/// (at n ≈ 1024: 512 KiB worst case, typically ≤ 32 KiB for the CNN's
+/// 32×32 maps) stays hot in cache while every row of `A` streams over it.
+const KC: usize = 64;
+
+fn check_dims(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &[f64]) {
+    assert_eq!(a.len(), m * k, "gemm: A must be m*k");
+    assert_eq!(b.len(), k * n, "gemm: B must be k*n");
+    assert_eq!(c.len(), m * n, "gemm: C must be m*n");
+}
+
+/// Scalar reference: per-element register accumulation in ascending `kk`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m`/`k`/`n`.
+pub fn gemm_ref(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    check_dims(m, k, n, a, b, c);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for (kk, &aik) in arow.iter().enumerate() {
+                acc += aik * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Cache-blocked fast path: identical per-element operation order to
+/// [`gemm_ref`], reorganized as `kk`-blocked row-panel updates whose inner
+/// `j` loop the compiler can vectorize.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m`/`k`/`n`.
+pub fn gemm_fast(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    check_dims(m, k, n, a, b, c);
+    let mut kk0 = 0;
+    while kk0 < k {
+        let kend = (kk0 + KC).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for kk in kk0..kend {
+                let aik = arow[kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        kk0 = kend;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mat(rng: &mut StdRng, len: usize) -> Vec<f64> {
+        (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    #[test]
+    fn small_known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] + [1 0; 0 1]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [1.0, 0.0, 0.0, 1.0];
+        gemm_ref(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [20.0, 22.0, 43.0, 51.0]);
+        let mut c = [1.0, 0.0, 0.0, 1.0];
+        gemm_fast(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [20.0, 22.0, 43.0, 51.0]);
+    }
+
+    #[test]
+    fn fast_is_bit_identical_across_blocking_boundaries() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // k values straddling the KC block edge exercise the panel loop.
+        for (m, k, n) in [(1, 1, 1), (3, 63, 5), (4, 64, 4), (2, 65, 7), (5, 130, 3)] {
+            let a = mat(&mut rng, m * k);
+            let b = mat(&mut rng, k * n);
+            let init = mat(&mut rng, m * n);
+            let mut c_ref = init.clone();
+            let mut c_fast = init;
+            gemm_ref(m, k, n, &a, &b, &mut c_ref);
+            gemm_fast(m, k, n, &a, &b, &mut c_fast);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&c_ref), bits(&c_fast), "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn signed_zeros_and_nans_round_trip_identically() {
+        let a = [0.0, -0.0, f64::NAN, 1.0];
+        let b = [-0.0, 1.0, 0.5, -0.0];
+        let mut c_ref = [-0.0, 0.0, -0.0, 0.0];
+        let mut c_fast = c_ref;
+        gemm_ref(2, 2, 2, &a, &b, &mut c_ref);
+        gemm_fast(2, 2, 2, &a, &b, &mut c_fast);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&c_ref), bits(&c_fast));
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: A must be m*k")]
+    fn mismatched_dims_panic() {
+        gemm_ref(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut [0.0; 4]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Symmetric int8 quantization and an i32-accumulating int8 GEMM.
+//!
+//! These back the `cnn-int8` rung of the stream degradation ladder: a
+//! post-training quantization of the spectrogram CNN that trades a bounded
+//! accuracy loss for integer arithmetic. Unlike the f64 kernels, the int8
+//! path is **explicitly lossy** — it is a distinct [`InferenceLevel`] the
+//! operator opts into under load, never a silent substitution, so the
+//! bit-exactness contract of the f64 reference/fast pair does not apply
+//! here. Determinism still does: quantization and the integer GEMM are
+//! exact, so the rung's verdicts are byte-identical across thread counts
+//! and kernel modes.
+//!
+//! [`InferenceLevel`]: https://docs.rs/emoleak-core
+
+/// Symmetric per-tensor quantization to int8: `q = round(v / scale)`
+/// clamped to `[-127, 127]`, with `scale = max|v| / 127` (1.0 for an
+/// all-zero tensor). Non-finite values saturate.
+#[must_use]
+pub fn quantize_symmetric(values: &[f64]) -> (Vec<i8>, f64) {
+    let max = values.iter().fold(0.0f64, |a, &v| if v.is_finite() { a.max(v.abs()) } else { a });
+    let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+    let q = values
+        .iter()
+        .map(|&v| {
+            if v.is_nan() {
+                0
+            } else {
+                (v / scale).round().clamp(-127.0, 127.0) as i8
+            }
+        })
+        .collect();
+    (q, scale)
+}
+
+/// Reconstructs the real value a quantized entry represents.
+#[inline]
+#[must_use]
+pub fn dequantize(q: i8, scale: f64) -> f64 {
+    f64::from(q) * scale
+}
+
+/// Integer GEMM: `C += A · B` for row-major int8 `A` (`m × k`), `B`
+/// (`k × n`) with i32 accumulation. With `|q| ≤ 127`, an i32 accumulator
+/// is exact up to k ≈ 133 000 taps — far beyond any layer here — so the
+/// result is order-independent and deterministic by construction.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m`/`k`/`n`.
+pub fn gemm_i8(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "gemm_i8: A must be m*k");
+    assert_eq!(b.len(), k * n, "gemm_i8: B must be k*n");
+    assert_eq!(c.len(), m * n, "gemm_i8: C must be m*n");
+    // Same ikj row-panel shape as the f64 fast kernel; i16 products widen
+    // into the i32 accumulator without overflow.
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0 {
+                continue;
+            }
+            let aik = i32::from(aik);
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * i32::from(bv);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_round_trips_within_half_step() {
+        let v = [0.5, -1.0, 0.25, 0.0, 1.0];
+        let (q, scale) = quantize_symmetric(&v);
+        for (orig, &qi) in v.iter().zip(&q) {
+            let back = dequantize(qi, scale);
+            assert!((orig - back).abs() <= scale / 2.0 + 1e-12, "{orig} -> {back}");
+        }
+        // Extremes hit the full ±127 range.
+        assert_eq!(q[1], -127);
+        assert_eq!(q[4], 127);
+    }
+
+    #[test]
+    fn all_zero_tensor_uses_unit_scale() {
+        let (q, scale) = quantize_symmetric(&[0.0, 0.0]);
+        assert_eq!(q, vec![0, 0]);
+        assert_eq!(scale, 1.0);
+    }
+
+    #[test]
+    fn non_finite_values_saturate_or_zero() {
+        let (q, scale) = quantize_symmetric(&[f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 1.0]);
+        assert_eq!(scale, 1.0 / 127.0);
+        assert_eq!(q, vec![127, -127, 0, 127]);
+    }
+
+    #[test]
+    fn integer_gemm_is_exact() {
+        // [1 2; 3 4] * [5 6; 7 8]
+        let a: [i8; 4] = [1, 2, 3, 4];
+        let b: [i8; 4] = [5, 6, 7, 8];
+        let mut c = [0i32; 4];
+        gemm_i8(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn worst_case_accumulation_does_not_overflow() {
+        let k = 4096;
+        let a = vec![127i8; k];
+        let b = vec![-127i8; k];
+        let mut c = [0i32];
+        gemm_i8(1, k, 1, &a, &b, &mut c);
+        assert_eq!(c[0], -(127 * 127 * k as i32));
+    }
+}

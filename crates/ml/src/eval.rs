@@ -338,7 +338,7 @@ mod tests {
         let contributions: Vec<f64> = (0..64)
             .map(|i| {
                 let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
-                sign * (10f64).powi((i % 9) as i32 - 4) * (1.0 + i as f64 * 0.01)
+                sign * (10f64).powi(i % 9 - 4) * (1.0 + i as f64 * 0.01)
             })
             .collect();
         let forward = emoleak_exec::sum_ordered(contributions.iter().copied());

@@ -9,8 +9,37 @@
 //! Convolutions are stride-1 with "same" zero padding (§IV-D.2: *"zero
 //! padding is applied to all inputs in the convolutional layers"*).
 
+use super::quant::LayerSpec;
 use super::tensor::Tensor;
+use emoleak_kernels::{conv, Activation, Conv1dScratch, Conv2dScratch, KernelMode};
 use rand::{Rng, SeedableRng};
+
+/// A typed input-shape mismatch reported by [`Layer::try_forward`].
+///
+/// Carries the rejecting layer's name, what it expected, and the shape it
+/// was handed, so callers can degrade gracefully (the streaming service
+/// falls back a rung) instead of unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Display name of the layer that rejected the input.
+    pub layer: &'static str,
+    /// Human-readable description of the expected shape.
+    pub expected: String,
+    /// The offending input shape.
+    pub got: Vec<usize>,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} expects {}, got shape {:?}",
+            self.layer, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
 
 /// A differentiable layer.
 ///
@@ -19,6 +48,14 @@ use rand::{Rng, SeedableRng};
 pub trait Layer: Send {
     /// Forward pass. `training` toggles dropout/batch-norm behaviour.
     fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
+
+    /// Shape-checked forward pass. Layers that validate their input
+    /// override this to report a typed [`ShapeError`] (and implement
+    /// [`Layer::forward`] on top of it); the default delegates to
+    /// `forward` for layers with no checked failure mode.
+    fn try_forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, ShapeError> {
+        Ok(self.forward(input, training))
+    }
 
     /// Backward pass: consumes `dL/d(output)`, accumulates parameter
     /// gradients, returns `dL/d(input)`.
@@ -29,6 +66,12 @@ pub trait Layer: Send {
 
     /// Visits `(parameters, gradients)` pairs for the optimizer.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f64], &mut [f64])) {}
+
+    /// Describes this layer for int8 lowering ([`super::quant`]); `None`
+    /// marks a layer the quantized inference path cannot represent.
+    fn quant_spec(&self) -> Option<LayerSpec> {
+        None
+    }
 
     /// Layer display name.
     fn name(&self) -> &'static str;
@@ -116,6 +159,15 @@ impl Layer for Dense {
         f(&mut self.b, &mut self.gb);
     }
 
+    fn quant_spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::Dense {
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
+            w: self.w.clone(),
+            b: self.b.clone(),
+        })
+    }
+
     fn name(&self) -> &'static str {
         "Dense"
     }
@@ -157,6 +209,10 @@ impl Layer for Relu {
                 .map(|(&g, &m)| if m { g } else { 0.0 })
                 .collect(),
         }
+    }
+
+    fn quant_spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::Relu)
     }
 
     fn name(&self) -> &'static str {
@@ -211,6 +267,11 @@ impl Layer for Dropout {
         }
     }
 
+    fn quant_spec(&self) -> Option<LayerSpec> {
+        // Identity at inference time.
+        Some(LayerSpec::Identity)
+    }
+
     fn name(&self) -> &'static str {
         "Dropout"
     }
@@ -243,6 +304,10 @@ impl Layer for Flatten {
         Tensor { shape: self.cached_shape.clone(), data: grad_out.data.clone() }
     }
 
+    fn quant_spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::Flatten)
+    }
+
     fn name(&self) -> &'static str {
         "Flatten"
     }
@@ -254,6 +319,11 @@ impl Layer for Flatten {
 
 /// 2-D convolution, stride 1, "same" zero padding. Input `[C_in, H, W]`,
 /// output `[C_out, H, W]`.
+///
+/// The forward pass dispatches on [`KernelMode`]: `reference` runs the
+/// scalar loops, `fast` the im2col + cache-blocked GEMM kernel. Both are
+/// bit-identical (see `emoleak_kernels::conv`); the backward pass is
+/// mode-independent.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     in_ch: usize,
@@ -265,6 +335,7 @@ pub struct Conv2d {
     gw: Vec<f64>,
     gb: Vec<f64>,
     cached_input: Tensor,
+    scratch: Conv2dScratch,
 }
 
 impl Conv2d {
@@ -287,6 +358,7 @@ impl Conv2d {
             gw: vec![0.0; n],
             gb: vec![0.0; out_ch],
             cached_input: Tensor::default(),
+            scratch: Conv2dScratch::default(),
         }
     }
 
@@ -297,38 +369,51 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
-        assert_eq!(input.shape.len(), 3, "conv2d expects [C, H, W]");
-        assert_eq!(input.shape[0], self.in_ch, "conv2d channel mismatch");
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        self.try_forward(input, training).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, ShapeError> {
+        if input.shape.len() != 3 || input.shape[0] != self.in_ch {
+            return Err(ShapeError {
+                layer: "Conv2d",
+                expected: format!("[{}, H, W]", self.in_ch),
+                got: input.shape.clone(),
+            });
+        }
         let (h, w) = (input.shape[1], input.shape[2]);
-        let (ph, pw) = (self.kh / 2, self.kw / 2);
         self.cached_input = input.clone();
         let mut out = Tensor::zeros(&[self.out_ch, h, w]);
-        for o in 0..self.out_ch {
-            for y in 0..h {
-                for x in 0..w {
-                    let mut acc = self.b[o];
-                    for c in 0..self.in_ch {
-                        for ky in 0..self.kh {
-                            let iy = (y + ky).wrapping_sub(ph);
-                            if iy >= h {
-                                continue;
-                            }
-                            for kx in 0..self.kw {
-                                let ix = (x + kx).wrapping_sub(pw);
-                                if ix >= w {
-                                    continue;
-                                }
-                                acc += self.w[self.widx(o, c, ky, kx)]
-                                    * input.data[(c * h + iy) * w + ix];
-                            }
-                        }
-                    }
-                    out.data[(o * h + y) * w + x] = acc;
-                }
-            }
+        match KernelMode::current() {
+            KernelMode::Reference => conv::conv2d_ref(
+                &input.data,
+                self.in_ch,
+                h,
+                w,
+                self.out_ch,
+                self.kh,
+                self.kw,
+                &self.w,
+                &self.b,
+                Activation::Identity,
+                &mut out.data,
+            ),
+            KernelMode::Fast => conv::conv2d_fast(
+                &input.data,
+                self.in_ch,
+                h,
+                w,
+                self.out_ch,
+                self.kh,
+                self.kw,
+                &self.w,
+                &self.b,
+                Activation::Identity,
+                &mut self.scratch,
+                &mut out.data,
+            ),
         }
-        out
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -378,6 +463,17 @@ impl Layer for Conv2d {
         f(&mut self.b, &mut self.gb);
     }
 
+    fn quant_spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::Conv2d {
+            in_ch: self.in_ch,
+            out_ch: self.out_ch,
+            kh: self.kh,
+            kw: self.kw,
+            w: self.w.clone(),
+            b: self.b.clone(),
+        })
+    }
+
     fn name(&self) -> &'static str {
         "Conv2d"
     }
@@ -389,6 +485,8 @@ impl Layer for Conv2d {
 
 /// 1-D convolution, stride 1, "same" zero padding. Input `[C_in, L]`,
 /// output `[C_out, L]`.
+///
+/// Forward dispatches on [`KernelMode`] like [`Conv2d`].
 #[derive(Debug, Clone)]
 pub struct Conv1d {
     in_ch: usize,
@@ -399,6 +497,7 @@ pub struct Conv1d {
     gw: Vec<f64>,
     gb: Vec<f64>,
     cached_input: Tensor,
+    scratch: Conv1dScratch,
 }
 
 impl Conv1d {
@@ -420,35 +519,53 @@ impl Conv1d {
             gw: vec![0.0; n],
             gb: vec![0.0; out_ch],
             cached_input: Tensor::default(),
+            scratch: Conv1dScratch::default(),
         }
     }
 }
 
 impl Layer for Conv1d {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
-        assert_eq!(input.shape.len(), 2, "conv1d expects [C, L]");
-        assert_eq!(input.shape[0], self.in_ch, "conv1d channel mismatch");
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        self.try_forward(input, training).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_forward(&mut self, input: &Tensor, _training: bool) -> Result<Tensor, ShapeError> {
+        if input.shape.len() != 2 || input.shape[0] != self.in_ch {
+            return Err(ShapeError {
+                layer: "Conv1d",
+                expected: format!("[{}, L]", self.in_ch),
+                got: input.shape.clone(),
+            });
+        }
         let l = input.shape[1];
-        let p = self.k / 2;
         self.cached_input = input.clone();
         let mut out = Tensor::zeros(&[self.out_ch, l]);
-        for o in 0..self.out_ch {
-            for t in 0..l {
-                let mut acc = self.b[o];
-                for c in 0..self.in_ch {
-                    for kk in 0..self.k {
-                        let it = (t + kk).wrapping_sub(p);
-                        if it >= l {
-                            continue;
-                        }
-                        acc += self.w[(o * self.in_ch + c) * self.k + kk]
-                            * input.data[c * l + it];
-                    }
-                }
-                out.data[o * l + t] = acc;
-            }
+        match KernelMode::current() {
+            KernelMode::Reference => conv::conv1d_ref(
+                &input.data,
+                self.in_ch,
+                l,
+                self.out_ch,
+                self.k,
+                &self.w,
+                &self.b,
+                Activation::Identity,
+                &mut out.data,
+            ),
+            KernelMode::Fast => conv::conv1d_fast(
+                &input.data,
+                self.in_ch,
+                l,
+                self.out_ch,
+                self.k,
+                &self.w,
+                &self.b,
+                Activation::Identity,
+                &mut self.scratch,
+                &mut out.data,
+            ),
         }
-        out
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -487,6 +604,16 @@ impl Layer for Conv1d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
         f(&mut self.w, &mut self.gw);
         f(&mut self.b, &mut self.gb);
+    }
+
+    fn quant_spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::Conv1d {
+            in_ch: self.in_ch,
+            out_ch: self.out_ch,
+            k: self.k,
+            w: self.w.clone(),
+            b: self.b.clone(),
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -565,6 +692,10 @@ impl Layer for MaxPool2d {
         grad_in
     }
 
+    fn quant_spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::MaxPool2d { pool: self.pool })
+    }
+
     fn name(&self) -> &'static str {
         "MaxPool2d"
     }
@@ -627,6 +758,10 @@ impl Layer for MaxPool1d {
             grad_in.data[ii] += grad_out.data[oi];
         }
         grad_in
+    }
+
+    fn quant_spec(&self) -> Option<LayerSpec> {
+        Some(LayerSpec::MaxPool1d { pool: self.pool })
     }
 
     fn name(&self) -> &'static str {
@@ -827,7 +962,7 @@ mod tests {
         // Numerical check on each weight (test module can touch private
         // fields directly).
         let eps = 1e-6;
-        for wi in 0..analytic_w.len() {
+        for (wi, &analytic) in analytic_w.iter().enumerate() {
             let probe = |delta: f64| -> f64 {
                 let mut l = layer.clone();
                 l.w[wi] += delta;
@@ -836,7 +971,7 @@ mod tests {
             };
             let numeric = (probe(eps) - probe(-eps)) / (2.0 * eps);
             assert!(
-                (numeric - analytic_w[wi]).abs() < 1e-5 * (1.0 + numeric.abs()),
+                (numeric - analytic).abs() < 1e-5 * (1.0 + numeric.abs()),
                 "weight grad mismatch at {wi}"
             );
         }

@@ -370,7 +370,7 @@ mod tests {
                 label: Some(5),
                 is_speech: true,
             },
-            deadline_missed: region % 2 == 0,
+            deadline_missed: region.is_multiple_of(2),
             latency: Duration::from_micros(123 + region),
         }
     }

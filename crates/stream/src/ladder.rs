@@ -2,8 +2,8 @@
 //!
 //! The online service promises a per-region classification deadline. When
 //! the current rung keeps missing it, a circuit breaker trips the service
-//! one rung down the quality ladder (CNN → classical → energy-only →
-//! shed); sustained headroom climbs back up — but only after a cooldown,
+//! one rung down the quality ladder (CNN → int8 CNN → classical →
+//! energy-only → shed); sustained headroom climbs back up — but only after a cooldown,
 //! and only against a much longer streak of met deadlines than the miss
 //! streak that degrades (hysteresis), so the ladder settles instead of
 //! oscillating every few regions.
@@ -166,11 +166,15 @@ mod tests {
         let mut l = ladder();
         assert_eq!(l.observe(true), None);
         assert_eq!(l.observe(true), None);
-        assert_eq!(l.observe(true), Some(Transition { from: Cnn, to: Classical }));
-        assert_eq!(l.level(), Classical);
+        assert_eq!(l.observe(true), Some(Transition { from: Cnn, to: CnnInt8 }));
+        assert_eq!(l.level(), CnnInt8);
         // The miss streak resets after a transition.
         assert_eq!(l.observe(true), None);
         assert_eq!(l.observe(true), None);
+        assert_eq!(l.observe(true), Some(Transition { from: CnnInt8, to: Classical }));
+        for _ in 0..2 {
+            assert_eq!(l.observe(true), None);
+        }
         assert_eq!(l.observe(true), Some(Transition { from: Classical, to: EnergyOnly }));
         for _ in 0..2 {
             assert_eq!(l.observe(true), None);
@@ -199,7 +203,7 @@ mod tests {
         let cfg = LadderConfig { degrade_after: 2, recover_after: 5, cooldown: 3 };
         let mut l = DegradationLadder::new(cfg, Cnn);
         l.observe(true);
-        assert_eq!(l.observe(true).unwrap().to, Classical);
+        assert_eq!(l.observe(true).unwrap().to, CnnInt8);
         // Cooldown: the first `cooldown` meets cannot recover even once the
         // meet streak is long enough.
         let mut transitions = Vec::new();
@@ -208,7 +212,7 @@ mod tests {
                 transitions.push(t);
             }
         }
-        assert_eq!(transitions, vec![Transition { from: Classical, to: Cnn }]);
+        assert_eq!(transitions, vec![Transition { from: CnnInt8, to: Cnn }]);
         assert_eq!(l.level(), Cnn);
         // And it never climbs above its best rung.
         for _ in 0..50 {
@@ -224,9 +228,9 @@ mod tests {
         let cfg = LadderConfig { degrade_after: 2, recover_after: 4, cooldown: 10 };
         let mut l = DegradationLadder::new(cfg, Cnn);
         l.observe(true);
-        l.observe(true); // -> Classical, cooldown 10
+        l.observe(true); // -> CnnInt8, cooldown 10
         l.observe(true);
-        assert_eq!(l.observe(true).unwrap().to, EnergyOnly);
+        assert_eq!(l.observe(true).unwrap().to, Classical);
     }
 
     #[test]
@@ -264,12 +268,12 @@ mod tests {
                 transitions += 1;
             }
         }
-        // 3 rungs down, then bounded Shed↔EnergyOnly cycling: each full
+        // 4 rungs down, then bounded Shed↔EnergyOnly cycling: each full
         // cycle needs ≥ recover_after + degrade_after observations.
         let cfg = LadderConfig::default();
         let cycle = (cfg.recover_after + cfg.degrade_after) as usize;
         assert!(
-            transitions <= 3 + 2 * (1000 / cycle + 1),
+            transitions <= 4 + 2 * (1000 / cycle + 1),
             "{transitions} transitions in 1000 regions is flapping"
         );
     }

@@ -70,12 +70,12 @@ pub struct StreamConfig {
     pub retry: RetryPolicy,
     /// Worker supervision tuning.
     pub supervisor: SupervisorConfig,
-    /// Synthetic per-rung classification latencies `[cnn, classical,
-    /// energy-only]` (shed is always instant). `Some` makes deadline
-    /// outcomes — and therefore ladder transitions and emission labels — a
-    /// pure function of the input, which tests and chaos runs rely on;
-    /// `None` measures wall-clock latency.
-    pub latency_override: Option<[Duration; 3]>,
+    /// Synthetic per-rung classification latencies `[cnn, cnn-int8,
+    /// classical, energy-only]` (shed is always instant). `Some` makes
+    /// deadline outcomes — and therefore ladder transitions and emission
+    /// labels — a pure function of the input, which tests and chaos runs
+    /// rely on; `None` measures wall-clock latency.
+    pub latency_override: Option<[Duration; 4]>,
     /// Chaos knob: the extract worker panics once after processing this
     /// many chunks, to exercise supervision end to end.
     pub panic_after_chunks: Option<u64>,
@@ -179,7 +179,7 @@ pub struct StreamStats {
     /// Regions that missed their deadline.
     pub deadline_misses: u64,
     /// Regions classified at each rung, `InferenceLevel::ALL` order.
-    pub level_counts: [u64; 4],
+    pub level_counts: [u64; 5],
     /// Worker restarts after panics.
     pub panic_restarts: u32,
     /// Worker replacements after watchdog timeouts.
@@ -263,9 +263,10 @@ impl Assembler {
 fn level_index(level: InferenceLevel) -> usize {
     match level {
         InferenceLevel::Cnn => 0,
-        InferenceLevel::Classical => 1,
-        InferenceLevel::EnergyOnly => 2,
-        InferenceLevel::Shed => 3,
+        InferenceLevel::CnnInt8 => 1,
+        InferenceLevel::Classical => 2,
+        InferenceLevel::EnergyOnly => 3,
+        InferenceLevel::Shed => 4,
     }
 }
 
@@ -277,7 +278,7 @@ struct Counters {
     regions: AtomicU64,
     retries: AtomicU64,
     deadline_misses: AtomicU64,
-    level_counts: [AtomicU64; 4],
+    level_counts: [AtomicU64; 5],
 }
 
 fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -533,8 +534,9 @@ impl StreamService {
                                     let v = bundle.classify(want, &p.rf);
                                     let l = match v.level {
                                         InferenceLevel::Cnn => lat[0],
-                                        InferenceLevel::Classical => lat[1],
-                                        InferenceLevel::EnergyOnly => lat[2],
+                                        InferenceLevel::CnnInt8 => lat[1],
+                                        InferenceLevel::Classical => lat[2],
+                                        InferenceLevel::EnergyOnly => lat[3],
                                         InferenceLevel::Shed => Duration::ZERO,
                                     };
                                     (v, l)
@@ -605,6 +607,7 @@ impl StreamService {
                 counters.level_counts[1].load(Ordering::Relaxed),
                 counters.level_counts[2].load(Ordering::Relaxed),
                 counters.level_counts[3].load(Ordering::Relaxed),
+                counters.level_counts[4].load(Ordering::Relaxed),
             ],
             panic_restarts: sup.panic_restarts,
             watchdog_fires: sup.watchdog_fires,
@@ -663,7 +666,7 @@ mod tests {
     fn fast_config() -> StreamConfig {
         StreamConfig {
             // Everything meets the deadline: no ladder motion.
-            latency_override: Some([Duration::ZERO; 3]),
+            latency_override: Some([Duration::ZERO; 4]),
             ..StreamConfig::default()
         }
     }
@@ -787,6 +790,7 @@ mod tests {
             latency_override: Some([
                 Duration::from_millis(100),
                 Duration::from_millis(100),
+                Duration::from_millis(100),
                 Duration::ZERO,
             ]),
             ladder: LadderConfig { degrade_after: 2, recover_after: 3, cooldown: 1 },
@@ -805,8 +809,8 @@ mod tests {
         );
         // Energy-only meets the deadline, so recovery fires too (given
         // enough regions), and some regions ran on each side.
-        assert!(report.stats.level_counts[1] > 0);
         assert!(report.stats.level_counts[2] > 0);
+        assert!(report.stats.level_counts[3] > 0);
         assert!(
             transitions.iter().any(|t| t.to < t.from),
             "sustained headroom must climb back up: {transitions:?}"
@@ -852,7 +856,8 @@ mod tests {
         // The fleet cap forced every region below the ladder's rung.
         assert_eq!(report.stats.level_counts[0], 0);
         assert_eq!(report.stats.level_counts[1], 0);
-        assert!(report.stats.level_counts[2] > 0);
+        assert_eq!(report.stats.level_counts[2], 0);
+        assert!(report.stats.level_counts[3] > 0);
         assert!(report
             .emissions
             .iter()

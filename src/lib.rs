@@ -52,6 +52,7 @@ pub use emoleak_durable as durable;
 pub use emoleak_exec as exec;
 pub use emoleak_features as features;
 pub use emoleak_fleet as fleet;
+pub use emoleak_kernels as kernels;
 pub use emoleak_ml as ml;
 pub use emoleak_phone as phone;
 pub use emoleak_stream as stream;

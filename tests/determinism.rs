@@ -125,7 +125,7 @@ fn streaming_labels_are_worker_count_invariant() {
             scenario.setting.region_detector(),
             campaign.fs,
             StreamConfig {
-                latency_override: Some([Duration::ZERO; 3]),
+                latency_override: Some([Duration::ZERO; 4]),
                 ..StreamConfig::default()
             },
         );

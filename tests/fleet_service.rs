@@ -42,7 +42,7 @@ fn fixture() -> &'static Fixture {
 }
 
 fn fast_config() -> StreamConfig {
-    StreamConfig { latency_override: Some([Duration::ZERO; 3]), ..StreamConfig::default() }
+    StreamConfig { latency_override: Some([Duration::ZERO; 4]), ..StreamConfig::default() }
 }
 
 fn fleet(shards: u32) -> FleetService {

@@ -58,7 +58,7 @@ proptest! {
 
         // Streaming path over the same faulted recording.
         let config = StreamConfig {
-            latency_override: Some([Duration::ZERO; 3]),
+            latency_override: Some([Duration::ZERO; 4]),
             ..StreamConfig::default()
         };
         let capacity = config.queue_capacity;
