@@ -29,7 +29,7 @@ use crate::codel::{Codel, CodelVerdict};
 use crate::config::AdmissionConfig;
 use crate::tokens::TokenBucket;
 use emoleak_core::admission::{AdmissionError, FleetState};
-use emoleak_stream::durable::DurableSink;
+use emoleak_stream::durable::{ChunkAdmit, ChunkServe, DurableSink};
 use emoleak_stream::ladder::LevelCap;
 use emoleak_stream::log::{ServiceEvent, ServiceLog};
 use emoleak_stream::queue::ByteGauge;
@@ -112,6 +112,7 @@ pub struct AdmissionController {
     queue: VecDeque<QueuedChunk>,
     log: ServiceLog,
     durable: Option<DurableSink>,
+    journal_chunks: bool,
     offered: u64,
     served: u64,
     rejected: u64,
@@ -133,6 +134,7 @@ impl AdmissionController {
             queue: VecDeque::new(),
             log: ServiceLog::new(),
             durable: None,
+            journal_chunks: false,
             offered: 0,
             served: 0,
             rejected: 0,
@@ -145,6 +147,18 @@ impl AdmissionController {
     #[must_use]
     pub fn with_durable(mut self, sink: DurableSink) -> Self {
         self.durable = Some(sink);
+        self
+    }
+
+    /// Additionally journals every chunk admission (write-ahead of the
+    /// enqueue) and every serve, so a crashed shard's exact queue can be
+    /// reconstructed as `admits − serves − sheds` by `(tenant, seq)`.
+    /// Requires a [`DurableSink`]; a replicated fleet enables this so
+    /// crash failover can replay in-flight work instead of booking it as
+    /// loss.
+    #[must_use]
+    pub fn with_chunk_journal(mut self) -> Self {
+        self.journal_chunks = true;
         self
     }
 
@@ -297,6 +311,19 @@ impl AdmissionController {
                 budget: self.cfg.mem_budget,
             });
         }
+        // Write-ahead: journal the admission *before* the enqueue, so a
+        // crash between the two replays a chunk that never entered the
+        // queue — harmless at-least-once, never silent loss.
+        if self.journal_chunks {
+            if let Some(sink) = &self.durable {
+                sink.record_admit(&ChunkAdmit {
+                    tick: now,
+                    tenant: tenant.to_string(),
+                    seq,
+                    cost,
+                });
+            }
+        }
         self.queue.push_back(QueuedChunk { tenant: tenant.to_string(), cost, enqueued: now, seq });
         Ok(())
     }
@@ -333,13 +360,22 @@ impl AdmissionController {
                 CodelVerdict::Serve => {
                     self.served += 1;
                     self.tenant(&chunk.tenant).stats.served += 1;
+                    if self.journal_chunks {
+                        if let Some(sink) = &self.durable {
+                            sink.record_serve(&ChunkServe {
+                                tick: now,
+                                tenant: chunk.tenant.clone(),
+                                seq: chunk.seq,
+                            });
+                        }
+                    }
                     out.push(chunk);
                 }
                 CodelVerdict::Shed => {
                     self.shed += 1;
                     self.tenant(&chunk.tenant).stats.shed += 1;
                     if let Some(sink) = &self.durable {
-                        sink.record_shed(now, &chunk.tenant, sojourn);
+                        sink.record_shed(now, &chunk.tenant, sojourn, chunk.seq);
                     }
                     self.log.push(ServiceEvent::LoadShed {
                         tick: now,

@@ -172,7 +172,7 @@ impl Harness {
     /// it completes, and checks byte-identity. Returns the trial.
     fn kill_trial(&self, name: &str, dir: &Path, at_op: u64, frac: f64) -> Trial {
         let mut defects = Vec::new();
-        let err = match self.run(Some(dir), Some(CrashPlan { at_op, partial_frac: frac })) {
+        let err = match self.run(Some(dir), Some(CrashPlan::kill(at_op, frac))) {
             Err(e) => e,
             Ok(_) => {
                 return Trial {
@@ -332,12 +332,41 @@ fn main() -> Result<(), EmoleakError> {
         harness.trials.push(trial);
     }
 
+    // An fsync failure the process *survives*: the first append's sync
+    // "fails" (EIO from a dying disk), the journal latches and refuses the
+    // run rather than silently continuing on an unknowable tail, and a
+    // reopen re-verifies the tail and completes byte-identically.
+    {
+        let dir = harness.scratch("fsync-fail");
+        let trial = match harness.run(Some(&dir), Some(CrashPlan::fsync_fail(1))) {
+            Ok(_) => Trial {
+                name: "fsync-fail".into(),
+                detail: "fsync failure at op 1 never fired".into(),
+                defects: Vec::new(),
+                ok: false,
+            },
+            Err(err) => {
+                let latched = err.contains("injected crash") && err.contains("latched");
+                let mut defects = vec![format!("run refused: {err}")];
+                let mut trial = harness.resume_and_check(
+                    "fsync-fail",
+                    &dir,
+                    "fsync failed at op 1; journal latched, process survived".into(),
+                    &mut defects,
+                );
+                trial.ok &= latched;
+                trial
+            }
+        };
+        harness.trials.push(trial);
+    }
+
     // Corruption injections: each must surface a typed defect AND converge
     // to the clean bytes.
     {
         // Torn + externally truncated journal.
         let dir = harness.scratch("truncate-journal");
-        let _ = harness.run(Some(&dir), Some(CrashPlan { at_op: 2, partial_frac: 0.6 }));
+        let _ = harness.run(Some(&dir), Some(CrashPlan::kill(2, 0.6)));
         let journal = journal_path(&dir);
         let bytes = std::fs::read(&journal).expect("journal exists");
         std::fs::write(&journal, &bytes[..bytes.len().saturating_sub(3)]).expect("truncate");
@@ -354,7 +383,7 @@ fn main() -> Result<(), EmoleakError> {
     {
         // Bit flip inside a committed journal record.
         let dir = harness.scratch("bitflip-journal");
-        let _ = harness.run(Some(&dir), Some(CrashPlan { at_op: 2, partial_frac: 0.6 }));
+        let _ = harness.run(Some(&dir), Some(CrashPlan::kill(2, 0.6)));
         flip_byte(&journal_path(&dir), 40, 0x20);
         let mut defects = Vec::new();
         let mut trial = harness.resume_and_check(

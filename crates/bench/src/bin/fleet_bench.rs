@@ -8,10 +8,14 @@
 //!
 //! * `sessions_per_sec` — admitted sessions completed per wall-clock
 //!   second (the fleet's session throughput);
-//! * `verdict_latency_us` — p50/p99 of per-region classification
-//!   latency, measured inside the sessions;
+//! * `verdict_latency_us` — p50/p99/p99.9/max of per-region
+//!   classification latency, measured inside the sessions (the tail
+//!   percentiles match what stream_chaos/overload_chaos publish);
 //! * `bytes_per_verdict` — ingested sample bytes per emitted verdict
 //!   (the pipeline's data efficiency);
+//! * `journal_append_us` — mean journal-append latency solo vs with a
+//!   synchronous replica ship, plus the overhead percentage: the price
+//!   of `EMOLEAK_REPLICAS=1` on the hot durable path;
 //! * admission counters — offered/admitted/spilled/refused sessions, so
 //!   a regression in the brown-out path shows up next to the latency it
 //!   causes.
@@ -25,6 +29,7 @@
 use emoleak_bench::write_result;
 use emoleak_core::prelude::*;
 use emoleak_fleet::{FleetConfig, FleetService, LoadProfile};
+use emoleak_stream::durable::{ChunkAdmit, DurableSink};
 use emoleak_stream::{ReplaySource, StreamConfig, StreamReport, StreamService};
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,6 +43,27 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     }
     let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
     sorted[idx]
+}
+
+/// Mean append latency (µs) over `n` journaled chunk admits, solo or with
+/// a synchronous replica ship — the per-record price of replication on
+/// the hot durable path.
+fn journal_append_us(dir: &std::path::Path, n: u64, replicated: bool) -> f64 {
+    let primary = dir.join(if replicated { "bench-repl.log" } else { "bench-solo.log" });
+    let replica = dir.join("bench-repl.replica.log");
+    let sink = if replicated {
+        DurableSink::create_replicated(&primary, &replica)
+    } else {
+        DurableSink::create(&primary)
+    }
+    .expect("bench scratch dir is writable");
+    let t0 = Instant::now();
+    for seq in 0..n {
+        sink.record_admit(&ChunkAdmit { tick: seq, tenant: "bench".to_string(), seq, cost: 64 });
+    }
+    let us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+    assert!(sink.take_error().is_none(), "append bench hit a journal error");
+    us
 }
 
 fn main() -> Result<(), EmoleakError> {
@@ -129,8 +155,23 @@ fn main() -> Result<(), EmoleakError> {
     lat.sort_by(|a, b| a.total_cmp(b));
     let p50 = percentile(&lat, 0.50);
     let p99 = percentile(&lat, 0.99);
+    let p999 = percentile(&lat, 0.999);
+    let max = lat.last().copied().unwrap_or(0.0);
     let sessions_per_sec = if wall_s > 0.0 { admitted as f64 / wall_s } else { 0.0 };
     let bytes_per_verdict = if verdicts > 0 { bytes as f64 / verdicts as f64 } else { 0.0 };
+
+    // The replication overhead column: mean journal-append latency with
+    // and without the synchronous replica ship, same record stream.
+    let scratch = std::env::temp_dir()
+        .join(format!("emoleak-fleet-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch)
+        .map_err(|e| EmoleakError::Durable(format!("bench scratch dir: {e}")))?;
+    let append_solo = journal_append_us(&scratch, 512, false);
+    let append_repl = journal_append_us(&scratch, 512, true);
+    let _ = std::fs::remove_dir_all(&scratch);
+    let repl_overhead_pct =
+        if append_solo > 0.0 { (append_repl / append_solo - 1.0) * 100.0 } else { 0.0 };
 
     println!(
         "{ticks} ticks, {shards} shard(s): {offered} offered, {admitted} admitted \
@@ -138,7 +179,12 @@ fn main() -> Result<(), EmoleakError> {
     );
     println!(
         "{verdicts} verdicts in {wall_s:.2}s wall — {sessions_per_sec:.2} sessions/s, \
-         verdict latency p50 {p50:.0}us p99 {p99:.0}us, {bytes_per_verdict:.0} bytes/verdict"
+         verdict latency p50 {p50:.0}us p99 {p99:.0}us p99.9 {p999:.0}us max {max:.0}us, \
+         {bytes_per_verdict:.0} bytes/verdict"
+    );
+    println!(
+        "journal append: {append_solo:.1}us solo, {append_repl:.1}us replicated \
+         ({repl_overhead_pct:+.0}% replication overhead)"
     );
 
     let json = format!(
@@ -147,7 +193,11 @@ fn main() -> Result<(), EmoleakError> {
          \"sessions_spilled\": {spilled},\n  \"sessions_refused\": {refused},\n  \
          \"verdicts\": {verdicts},\n  \"wall_seconds\": {wall_s:.3},\n  \
          \"sessions_per_sec\": {sessions_per_sec:.3},\n  \
-         \"verdict_latency_us\": {{\"p50\": {p50:.1}, \"p99\": {p99:.1}}},\n  \
+         \"verdict_latency_us\": {{\"p50\": {p50:.1}, \"p99\": {p99:.1}, \
+         \"p999\": {p999:.1}, \"max\": {max:.1}}},\n  \
+         \"journal_append_us\": {{\"solo\": {append_solo:.2}, \
+         \"replicated\": {append_repl:.2}, \
+         \"overhead_pct\": {repl_overhead_pct:.1}}},\n  \
          \"bytes_per_verdict\": {bytes_per_verdict:.1}\n}}\n"
     );
     let path = std::env::var("EMOLEAK_FLEET_BENCH_JSON")

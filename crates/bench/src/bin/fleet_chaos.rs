@@ -21,19 +21,30 @@
 //!   (tenant, seq, cost) digests to the same value for ANY shard count,
 //!   because coordinator-assigned seqs survive routing. The digests land
 //!   in their own artifact so CI can byte-compare it across
-//!   `EMOLEAK_SHARDS` values.
+//!   `EMOLEAK_SHARDS` values (and across `EMOLEAK_REPLICAS` — replication
+//!   must not change what is served);
+//! * replicated failover is exact — with replication on, a kill (disk
+//!   intact) or a disk loss (replica reconciles) replays the queue with
+//!   `crash_loss == 0` and `recovered > 0`; a scrub-repaired replica
+//!   reconciles a later disk loss exactly; only a double failure (disk
+//!   gone *and* replica corrupted) books loss — and it must book it
+//!   honestly, never replay a damaged copy.
 //!
 //! The simulation runs on the fleet's logical clock, and the scenario grid
 //! is parallelized with order-preserving `par_map_indexed`, so
 //! `results/fleet_chaos.json` is **byte-identical under any
-//! `EMOLEAK_THREADS`** (for a fixed shard count). Knobs:
+//! `EMOLEAK_THREADS`** (for a fixed shard count and replica setting) —
+//! except the `failover_wall_us` summary lines, which report wall time and
+//! are stripped before comparison (`grep -v failover_wall_us`). Knobs:
 //! `EMOLEAK_FLEET_SEVERITIES` (comma list, default `0,1,2`),
 //! `EMOLEAK_FLEET_SEEDS` (default 2), `EMOLEAK_SHARDS` (fleet width,
-//! default 4), `EMOLEAK_FLEET_JSON` and `EMOLEAK_FLEET_DIGEST` (artifact
-//! paths). Exits non-zero if any run violates the contract.
+//! default 4), `EMOLEAK_REPLICAS` (0 disables replication),
+//! `EMOLEAK_FLEET_JSON` and `EMOLEAK_FLEET_DIGEST` (artifact paths).
+//! Exits non-zero if any run violates the contract.
 
 use emoleak_bench::write_result;
 use emoleak_core::EmoleakError;
+use emoleak_durable::Defect;
 use emoleak_exec::{derive_seed, par_map_indexed, splitmix64};
 use emoleak_fleet::{FailoverKind, FleetConfig, FleetCoordinator};
 use std::collections::BTreeMap;
@@ -62,16 +73,30 @@ enum Scenario {
     /// Hostile chunks panic one shard's workers while a flood squeezes
     /// another: two containment domains failing differently at once.
     SplitTenantFlood,
+    /// One shard's machine dies mid-run — process *and* disk. With
+    /// replication on, the replica on the follower's node must replay the
+    /// queue with zero loss.
+    DiskLoss,
+    /// The replica suffers bit rot and a torn ship mid-run; the
+    /// anti-entropy scrub must detect and repair it in time for a later
+    /// disk loss to still recover exactly.
+    ReplicaCorrupt,
+    /// Primary disk loss *and* a corrupted replica at once: no clean copy
+    /// survives, and the residual must be booked as honest crash loss.
+    DoubleFailure,
 }
 
 impl Scenario {
-    const ALL: [Scenario; 6] = [
+    const ALL: [Scenario; 9] = [
         Scenario::SteadyState,
         Scenario::ShardKill,
         Scenario::BrownOutFailover,
         Scenario::Cascade,
         Scenario::CoordinatorRestart,
         Scenario::SplitTenantFlood,
+        Scenario::DiskLoss,
+        Scenario::ReplicaCorrupt,
+        Scenario::DoubleFailure,
     ];
 
     fn name(self) -> &'static str {
@@ -82,6 +107,9 @@ impl Scenario {
             Scenario::Cascade => "cascade",
             Scenario::CoordinatorRestart => "coordinator_restart",
             Scenario::SplitTenantFlood => "split_tenant_flood",
+            Scenario::DiskLoss => "disk_loss",
+            Scenario::ReplicaCorrupt => "replica_corrupt",
+            Scenario::DoubleFailure => "double_failure",
         }
     }
 }
@@ -90,10 +118,14 @@ impl Scenario {
 /// shaped by the byte budget and the breaker), a short ledger cadence so
 /// crash reconciliation stays tight, and the shard count from the
 /// environment so CI can sweep it.
-fn fleet_config(shards: u32) -> FleetConfig {
+fn fleet_config(shards: u32, replicas: u32) -> FleetConfig {
     let mut cfg = FleetConfig {
         shards,
+        replicas,
         ledger_every: 10,
+        // A short scrub cadence so every shard's replica is verified a
+        // few times within the run (round-robin over the fleet).
+        scrub_every: 10,
         ..FleetConfig::default()
     };
     cfg.admission.mem_budget = 1 << 16;
@@ -120,7 +152,12 @@ fn offers(
     ];
     if severity > 0.0 {
         match scenario {
-            Scenario::SteadyState | Scenario::ShardKill | Scenario::CoordinatorRestart => {}
+            Scenario::SteadyState
+            | Scenario::ShardKill
+            | Scenario::CoordinatorRestart
+            | Scenario::DiskLoss
+            | Scenario::ReplicaCorrupt
+            | Scenario::DoubleFailure => {}
             Scenario::BrownOutFailover | Scenario::Cascade | Scenario::SplitTenantFlood => {
                 // The flood tenants hammer their home shards hard enough
                 // to overrun the byte budget and trip the breaker.
@@ -140,6 +177,7 @@ struct RunSpec {
     severity: f64,
     seed: u64,
     shards: u32,
+    replicas: u32,
 }
 
 struct RunRecord {
@@ -154,10 +192,21 @@ struct RunRecord {
     shed: u64,
     migrated: u64,
     crash_loss: u64,
+    recovered: u64,
+    /// Logical ticks from a kill until every victim tenant was served
+    /// again (0 when nothing was killed) — the deterministic failover
+    /// latency.
+    recovery_ticks: u64,
+    scrub_found: usize,
+    scrub_repaired: usize,
     failovers_graceful: usize,
     failovers_crash: usize,
     live_shards: usize,
     restart_burn: u32,
+    /// Wall time spent inside the failover/recovery machinery itself
+    /// (kill reconciliation, coordinator recovery). Nondeterministic —
+    /// reported in the JSON summary only, on filterable lines.
+    failover_wall_us: u128,
     /// FNV-1a over the per-tenant served stream `(tenant, seq, cost)`,
     /// tenant-sorted — invariant across shard counts on the clean path.
     served_digest: u64,
@@ -176,10 +225,15 @@ fn fail_record(spec: &RunSpec, why: String) -> RunRecord {
         shed: 0,
         migrated: 0,
         crash_loss: 0,
+        recovered: 0,
+        recovery_ticks: 0,
+        scrub_found: 0,
+        scrub_repaired: 0,
         failovers_graceful: 0,
         failovers_crash: 0,
         live_shards: 0,
         restart_burn: 0,
+        failover_wall_us: 0,
         served_digest: 0,
     }
 }
@@ -224,8 +278,73 @@ fn served_digest(served: &BTreeMap<String, Vec<(u64, u64)>>) -> u64 {
     hash
 }
 
+/// Flips one byte mid-file — bit rot on a replica segment.
+fn corrupt_file(path: &std::path::Path) -> bool {
+    let Ok(mut bytes) = std::fs::read(path) else { return false };
+    if bytes.is_empty() {
+        return false;
+    }
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(path, &bytes).is_ok()
+}
+
+/// Kills the shard homing `TENANTS[0]` — optionally destroying its disk
+/// and/or corrupting its replica first — after a burst of offers that
+/// guarantees a non-empty queue at the moment of death, so replication
+/// must either replay the queue or book its loss honestly. Returns the
+/// victim shard and its homed tenants, or `None` on a one-shard fleet
+/// (nothing to fail over to). `wall` accumulates time spent inside the
+/// kill/reconcile machinery.
+fn kill_with_queue(
+    coord: &mut FleetCoordinator,
+    now: u64,
+    lose_disk: bool,
+    corrupt_replica: bool,
+    violations: &mut Vec<String>,
+    wall: &mut std::time::Duration,
+) -> Option<(u32, Vec<String>)> {
+    if coord.ring().len() < 2 {
+        return None;
+    }
+    let victim = coord.ring().route(TENANTS[0]);
+    let victims: Vec<String> = TENANTS
+        .iter()
+        .filter(|t| coord.ring().route(t) == victim)
+        .map(|t| t.to_string())
+        .collect();
+    // The burst lands right before the kill — no advance() between — so
+    // these chunks are still queued when the shard dies. A sustained
+    // flood would trip the breaker and fence gracefully instead; the
+    // point here is a crash with work in flight.
+    for t in &victims {
+        for _ in 0..8 {
+            let _ = coord.offer(t, 64, now);
+        }
+    }
+    if corrupt_replica {
+        if let Some(replica) = coord.replica_path_of(victim) {
+            if !corrupt_file(&replica) {
+                violations.push("the nemesis could not corrupt the replica".to_string());
+            }
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let event = if lose_disk {
+        coord.kill_shard_with_disk_loss(victim, now)
+    } else {
+        coord.kill_shard(victim, now)
+    };
+    *wall += t0.elapsed();
+    if event.kind != FailoverKind::Crash {
+        violations.push("a kill must reconcile as a crash".to_string());
+    }
+    Some((victim, victims))
+}
+
 fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
-    let cfg = fleet_config(spec.shards);
+    let cfg = fleet_config(spec.shards, spec.replicas);
+    let replicated = cfg.replicated();
     let mut coord = match FleetCoordinator::new(cfg.clone(), dir) {
         Ok(c) => c,
         Err(e) => return fail_record(spec, format!("fleet dir unusable: {e}")),
@@ -266,29 +385,56 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
 
     let kill_tick = TICKS / 2;
     let restart_tick = TICKS / 2;
+    // The replica-corrupt arc: damage early, let the scrub repair on its
+    // cadence, lose the disk late — recovery must still be exact.
+    let corrupt_tick = TICKS / 4;
+    let late_kill_tick = 3 * TICKS / 4;
     let mut killed: Option<u32> = None;
+    let mut kill_at = 0u64;
+    let mut failover_wall = std::time::Duration::ZERO;
     let mut victim_tenants: Vec<String> = Vec::new();
     let mut served: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
     let mut served_after_kill: BTreeMap<String, u64> = BTreeMap::new();
+    let mut first_served_after_kill: BTreeMap<String, u64> = BTreeMap::new();
 
     let mut now = 0;
     while now < TICKS {
-        if matches!(spec.scenario, Scenario::ShardKill)
+        let kill_now = match spec.scenario {
+            Scenario::ShardKill if now == kill_tick => Some((false, false)),
+            Scenario::DiskLoss if now == kill_tick => Some((true, false)),
+            Scenario::DoubleFailure if now == kill_tick => Some((true, replicated)),
+            Scenario::ReplicaCorrupt if now == late_kill_tick => Some((true, false)),
+            _ => None,
+        };
+        if let Some((lose_disk, corrupt_replica)) = kill_now.filter(|_| spec.severity > 0.0) {
+            if let Some((victim, victims)) = kill_with_queue(
+                &mut coord,
+                now,
+                lose_disk,
+                corrupt_replica,
+                &mut violations,
+                &mut failover_wall,
+            ) {
+                victim_tenants = victims;
+                killed = Some(victim);
+                kill_at = now;
+            }
+        }
+        if matches!(spec.scenario, Scenario::ReplicaCorrupt)
             && spec.severity > 0.0
-            && now == kill_tick
+            && now == corrupt_tick
+            && replicated
             && coord.ring().len() > 1
         {
-            let victim = coord.ring().shard_ids()[0];
-            victim_tenants = TENANTS
-                .iter()
-                .filter(|t| home_of(&coord, t) == victim)
-                .map(|t| t.to_string())
-                .collect();
-            let event = coord.kill_shard(victim, now);
-            if event.kind != FailoverKind::Crash {
-                violations.push("a kill must reconcile as a crash".to_string());
+            // Bit rot on the victim's replica plus a torn ship: the scrub
+            // has until `late_kill_tick` to find and repair both.
+            let victim = coord.ring().route(TENANTS[0]);
+            if let Some(replica) = coord.replica_path_of(victim) {
+                if !corrupt_file(&replica) {
+                    violations.push("the nemesis could not corrupt the replica".to_string());
+                }
+                coord.tear_replica_next(victim, 0.5);
             }
-            killed = Some(victim);
         }
         if matches!(spec.scenario, Scenario::CoordinatorRestart)
             && spec.severity > 0.0
@@ -300,6 +446,7 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
                 violations.push(format!("checkpoint failed: {e}"));
             }
             drop(coord);
+            let t0 = std::time::Instant::now();
             coord = match FleetCoordinator::recover(cfg.clone(), dir) {
                 Ok(c) => c,
                 Err(e) => {
@@ -307,6 +454,7 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
                     return fail_record(spec, violations.remove(0));
                 }
             };
+            failover_wall += t0.elapsed();
             if !coord.stats().conserves() {
                 violations.push(format!(
                     "identity broken right after recovery: {:?}",
@@ -328,6 +476,7 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
         for chunk in coord.advance(now, 4, &panics) {
             served.entry(chunk.tenant.clone()).or_default().push((chunk.seq, chunk.cost));
             if killed.is_some() {
+                first_served_after_kill.entry(chunk.tenant.clone()).or_insert(now);
                 *served_after_kill.entry(chunk.tenant).or_insert(0) += 1;
             }
         }
@@ -344,6 +493,7 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
         for chunk in coord.advance(now, usize::MAX, &[]) {
             served.entry(chunk.tenant.clone()).or_default().push((chunk.seq, chunk.cost));
             if killed.is_some() {
+                first_served_after_kill.entry(chunk.tenant.clone()).or_insert(now);
                 *served_after_kill.entry(chunk.tenant).or_insert(0) += 1;
             }
         }
@@ -369,6 +519,24 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
         coord.failovers().iter().filter(|f| f.kind == FailoverKind::Graceful).count();
     let crashes =
         coord.failovers().iter().filter(|f| f.kind == FailoverKind::Crash).count();
+    let scrub_found = view
+        .scrub_events
+        .iter()
+        .filter(|d| matches!(d, Defect::ReplicaLag { .. } | Defect::ReplicaDiverged { .. }))
+        .count();
+    let scrub_repaired = view
+        .scrub_events
+        .iter()
+        .filter(|d| matches!(d, Defect::ScrubRepaired { .. }))
+        .count();
+    // Failover latency on the logical clock: ticks from the kill until the
+    // slowest victim tenant was served again through its new home.
+    let recovery_ticks = victim_tenants
+        .iter()
+        .filter_map(|t| first_served_after_kill.get(t))
+        .map(|&first| first.saturating_sub(kill_at))
+        .max()
+        .unwrap_or(0);
 
     if spec.severity == 0.0 {
         // Clean path: no failure machinery may have moved.
@@ -399,6 +567,105 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
                         violations.push(format!(
                             "tenant {t} was lost with its shard (never served again)"
                         ));
+                    }
+                }
+                // The disk survived the kill, so with replication on (or
+                // off! the primary journal alone suffices here) the
+                // pre-kill burst replays exactly.
+                if spec.shards > 1 && replicated {
+                    if stats.crash_loss != 0 {
+                        violations.push(format!(
+                            "a kill with an intact disk must replay losslessly: {} lost",
+                            stats.crash_loss
+                        ));
+                    }
+                    if stats.recovered == 0 {
+                        violations
+                            .push("the pre-kill burst never replayed".to_string());
+                    }
+                }
+            }
+            Scenario::DiskLoss => {
+                if spec.shards > 1 {
+                    if crashes == 0 {
+                        violations.push("the kill never registered as a crash".to_string());
+                    }
+                    for t in &victim_tenants {
+                        if served_after_kill.get(t).copied().unwrap_or(0) == 0 {
+                            violations.push(format!(
+                                "tenant {t} was lost with its shard (never served again)"
+                            ));
+                        }
+                    }
+                    if replicated {
+                        // The failure replication exists for: primary disk
+                        // gone, the replica replays the queue exactly.
+                        if stats.crash_loss != 0 {
+                            violations.push(format!(
+                                "the replica must reconcile a disk loss exactly: {} lost",
+                                stats.crash_loss
+                            ));
+                        }
+                        if stats.recovered == 0 {
+                            violations.push(
+                                "nothing replayed from the replica".to_string(),
+                            );
+                        }
+                    } else if stats.crash_loss == 0 {
+                        violations.push(
+                            "disk loss without a replica must book honest loss"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            Scenario::ReplicaCorrupt => {
+                if spec.shards > 1 && replicated {
+                    // The scrub must have found the bit rot / torn ship
+                    // and repaired the replica before the late disk loss.
+                    if scrub_found == 0 {
+                        violations
+                            .push("the scrub never detected the corruption".to_string());
+                    }
+                    if scrub_repaired == 0 {
+                        violations
+                            .push("the scrub never repaired the replica".to_string());
+                    }
+                    if stats.crash_loss != 0 {
+                        violations.push(format!(
+                            "a scrub-repaired replica must reconcile exactly: {} lost",
+                            stats.crash_loss
+                        ));
+                    }
+                    if stats.recovered == 0 {
+                        violations.push(
+                            "nothing replayed from the repaired replica".to_string(),
+                        );
+                    }
+                }
+            }
+            Scenario::DoubleFailure => {
+                if spec.shards > 1 {
+                    // No clean copy survives (disk gone; replica corrupt
+                    // or absent): the residual must be booked, not hidden.
+                    if stats.crash_loss == 0 {
+                        violations.push(
+                            "a double failure must book honest residual loss".to_string(),
+                        );
+                    }
+                    if stats.recovered != 0 {
+                        violations.push(format!(
+                            "a damaged copy was trusted for replay: {} recovered",
+                            stats.recovered
+                        ));
+                    }
+                    // The tenants survive even when their queue does not.
+                    for t in &victim_tenants {
+                        if served_after_kill.get(t).copied().unwrap_or(0) == 0 {
+                            violations.push(format!(
+                                "tenant {t} was lost with its shard (never served again)"
+                            ));
+                        }
                     }
                 }
             }
@@ -466,10 +733,15 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
         shed: stats.shed,
         migrated: stats.migrated,
         crash_loss: stats.crash_loss,
+        recovered: stats.recovered,
+        recovery_ticks,
+        scrub_found,
+        scrub_repaired,
         failovers_graceful: graceful,
         failovers_crash: crashes,
         live_shards: view.live,
         restart_burn: view.restart_burn,
+        failover_wall_us: failover_wall.as_micros(),
         served_digest: served_digest(&served),
     }
 }
@@ -482,15 +754,17 @@ fn json_num(v: f64) -> String {
     }
 }
 
-fn to_json(records: &[RunRecord], shards: u32) -> String {
-    let mut out = format!("{{\n  \"shards\": {shards},\n  \"runs\": [\n");
+fn to_json(records: &[RunRecord], shards: u32, replicas: u32) -> String {
+    let mut out =
+        format!("{{\n  \"shards\": {shards},\n  \"replicas\": {replicas},\n  \"runs\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"severity\": {}, \"seed\": {}, \"ok\": {}, \
              \"offered\": {}, \"served\": {}, \"rejected\": {}, \"shed\": {}, \
-             \"migrated\": {}, \"crash_loss\": {}, \"failovers_graceful\": {}, \
-             \"failovers_crash\": {}, \"live_shards\": {}, \"restart_burn\": {}, \
-             \"served_digest\": \"{:016x}\", \"violations\": [{}]}}{}\n",
+             \"migrated\": {}, \"crash_loss\": {}, \"recovered\": {}, \
+             \"recovery_ticks\": {}, \"scrub_found\": {}, \"scrub_repaired\": {}, \
+             \"failovers_graceful\": {}, \"failovers_crash\": {}, \"live_shards\": {}, \
+             \"restart_burn\": {}, \"served_digest\": \"{:016x}\", \"violations\": [{}]}}{}\n",
             r.scenario,
             json_num(r.severity),
             r.seed,
@@ -501,6 +775,10 @@ fn to_json(records: &[RunRecord], shards: u32) -> String {
             r.shed,
             r.migrated,
             r.crash_loss,
+            r.recovered,
+            r.recovery_ticks,
+            r.scrub_found,
+            r.scrub_repaired,
             r.failovers_graceful,
             r.failovers_crash,
             r.live_shards,
@@ -515,8 +793,23 @@ fn to_json(records: &[RunRecord], shards: u32) -> String {
         ));
     }
     let failed = records.iter().filter(|r| !r.ok).count();
+    // The summary keeps nondeterministic wall-clock aggregates on their own
+    // `failover_wall_us`-prefixed lines, so CI can strip them
+    // (`grep -v failover_wall_us`) and byte-compare the rest across
+    // EMOLEAK_THREADS. Everything else in the file is deterministic.
+    let wall_total: u128 = records.iter().map(|r| r.failover_wall_us).sum();
+    let wall_max = records.iter().map(|r| r.failover_wall_us).max().unwrap_or(0);
     out.push_str(&format!(
-        "  ],\n  \"total_runs\": {},\n  \"failed_runs\": {failed}\n}}\n",
+        "  ],\n  \"summary\": {{\n    \"crash_loss_total\": {},\n    \
+         \"recovered_total\": {},\n    \"recovery_ticks_max\": {},\n    \
+         \"failover_wall_us_total\": {wall_total},\n    \
+         \"failover_wall_us_max\": {wall_max}\n  }},\n",
+        records.iter().map(|r| r.crash_loss).sum::<u64>(),
+        records.iter().map(|r| r.recovered).sum::<u64>(),
+        records.iter().map(|r| r.recovery_ticks).max().unwrap_or(0),
+    ));
+    out.push_str(&format!(
+        "  \"total_runs\": {},\n  \"failed_runs\": {failed}\n}}\n",
         records.len()
     ));
     out
@@ -538,7 +831,9 @@ fn digest_artifact(records: &[RunRecord]) -> String {
 }
 
 fn main() -> Result<(), EmoleakError> {
-    println!("Fleet chaos: shard kills, brown-out failover, cascades, coordinator restarts");
+    println!(
+        "Fleet chaos: kills, disk losses, replica corruption, brown-outs, coordinator restarts"
+    );
 
     let severities: Vec<f64> = emoleak_exec::parse_list_checked(
         "EMOLEAK_FLEET_SEVERITIES",
@@ -552,7 +847,8 @@ fn main() -> Result<(), EmoleakError> {
         |&n: &u64| n > 0,
     )?
     .unwrap_or(2);
-    let shards = FleetConfig::from_env()?.shards;
+    let env_cfg = FleetConfig::from_env()?;
+    let (shards, replicas) = (env_cfg.shards, env_cfg.replicas);
 
     let mut grid = Vec::new();
     for scenario in Scenario::ALL {
@@ -563,6 +859,7 @@ fn main() -> Result<(), EmoleakError> {
                     severity,
                     seed: 0xF1EE ^ (seed.wrapping_mul(0x9E37_79B9)) ^ (severity.to_bits() >> 17),
                     shards,
+                    replicas,
                 });
             }
         }
@@ -572,14 +869,14 @@ fn main() -> Result<(), EmoleakError> {
     let records = par_map_indexed(&grid, run_one);
 
     println!(
-        "{:<20} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>8} {:>5} {:>6} {:>5} {:>5}",
+        "{:<20} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>8} {:>5} {:>6} {:>6} {:>5} {:>5}",
         "scenario", "sev", "ok", "offered", "served", "rejected", "shed", "migrated", "loss",
-        "fails", "live", "burn"
+        "recov", "fails", "live", "burn"
     );
-    println!("{}", "-".repeat(100));
+    println!("{}", "-".repeat(108));
     for r in &records {
         println!(
-            "{:<20} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>8} {:>5} {:>4}g{:>1}c {:>4} {:>5}",
+            "{:<20} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>8} {:>5} {:>6} {:>4}g{:>1}c {:>4} {:>5}",
             r.scenario,
             r.severity,
             if r.ok { "ok" } else { "FAIL" },
@@ -589,6 +886,7 @@ fn main() -> Result<(), EmoleakError> {
             r.shed,
             r.migrated,
             r.crash_loss,
+            r.recovered,
             r.failovers_graceful,
             r.failovers_crash,
             r.live_shards,
@@ -600,15 +898,17 @@ fn main() -> Result<(), EmoleakError> {
     }
     let failed = records.iter().filter(|r| !r.ok).count();
     println!(
-        "\n{} runs ({} shards), {} violations; migrated: {}, crash loss: {}",
+        "\n{} runs ({} shards, {} replica(s)), {} violations; migrated: {}, recovered: {}, crash loss: {}",
         records.len(),
         shards,
+        replicas,
         failed,
         records.iter().map(|r| r.migrated).sum::<u64>(),
+        records.iter().map(|r| r.recovered).sum::<u64>(),
         records.iter().map(|r| r.crash_loss).sum::<u64>(),
     );
 
-    let json = to_json(&records, shards);
+    let json = to_json(&records, shards, replicas);
     let path = std::env::var("EMOLEAK_FLEET_JSON")
         .unwrap_or_else(|_| "results/fleet_chaos.json".to_string());
     match write_result(std::path::Path::new(&path), json.as_bytes()) {

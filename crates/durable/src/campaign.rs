@@ -369,7 +369,7 @@ mod tests {
             let opts = RunOptions {
                 chunk: 2,
                 snapshot_every: 2,
-                crash: Some(CrashPlan { at_op: kill, partial_frac: 0.3 }),
+                crash: Some(CrashPlan::kill(kill, 0.3)),
             };
             let mut ran = Vec::new();
             let err = run_resumable(Some(&dir), &spec(6), &opts, &mut counting_compute(&mut ran))

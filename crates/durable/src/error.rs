@@ -60,6 +60,17 @@ pub enum DurableError {
         /// Which operation was cut short.
         detail: String,
     },
+    /// The journal refused an append because an earlier fsync failed. Once
+    /// an fsync errors, the kernel may have dropped the dirty pages — the
+    /// journal's on-disk tail is unknowable — so the handle latches and
+    /// every later append is refused until the file is reopened (which
+    /// re-verifies the tail from disk).
+    Poisoned {
+        /// The journal file whose fsync failed.
+        path: String,
+        /// The fsync failure that latched the handle.
+        cause: String,
+    },
 }
 
 impl core::fmt::Display for DurableError {
@@ -81,6 +92,9 @@ impl core::fmt::Display for DurableError {
             }
             DurableError::Injected { op, detail } => {
                 write!(f, "injected crash at durable op #{op}: {detail}")
+            }
+            DurableError::Poisoned { path, cause } => {
+                write!(f, "journal poisoned: {path}: append refused after failed fsync ({cause})")
             }
         }
     }
@@ -166,6 +180,34 @@ pub enum Defect {
         /// What differed.
         detail: String,
     },
+    /// The scrubber found the replica a strict prefix of the primary (a
+    /// crash between primary commit and replica ship, or a fresh follower
+    /// still catching up); the missing suffix was re-shipped.
+    ReplicaLag {
+        /// The replica file.
+        path: String,
+        /// Records the replica was behind by.
+        missing: u64,
+    },
+    /// The scrubber found a replica record that differs from the primary's
+    /// record at the same position (bit rot, external damage, or a torn
+    /// ship); the replica was rebuilt from the primary.
+    ReplicaDiverged {
+        /// The replica file.
+        path: String,
+        /// Record index (0-based) of the first divergence.
+        at: u64,
+    },
+    /// A scrub pass repaired a replica (re-ship or rebuild). Always
+    /// accompanied by the [`Defect::ReplicaLag`] / [`Defect::ReplicaDiverged`]
+    /// that triggered it; counted separately so health views can report
+    /// repairs distinct from detections.
+    ScrubRepaired {
+        /// The replica file that was repaired.
+        path: String,
+        /// Records in the replica after repair.
+        records: u64,
+    },
 }
 
 impl core::fmt::Display for Defect {
@@ -193,6 +235,15 @@ impl core::fmt::Display for Defect {
             ),
             Defect::StateDiscarded { detail } => {
                 write!(f, "checkpoint discarded: {detail}")
+            }
+            Defect::ReplicaLag { path, missing } => {
+                write!(f, "replica lag: {path} is {missing} record(s) behind its primary")
+            }
+            Defect::ReplicaDiverged { path, at } => {
+                write!(f, "replica diverged: {path} differs from its primary at record {at}")
+            }
+            Defect::ScrubRepaired { path, records } => {
+                write!(f, "scrub repaired: {path} rebuilt to {records} record(s)")
             }
         }
     }

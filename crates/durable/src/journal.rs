@@ -50,9 +50,16 @@ pub struct Record {
 pub struct Journal {
     path: PathBuf,
     file: File,
+    /// Set to the fsync failure message once a sync fails. A failed fsync
+    /// means the kernel may have dropped the dirty pages — the on-disk tail
+    /// is unknowable — so the handle refuses every later append
+    /// ([`DurableError::Poisoned`]) until the file is reopened.
+    poisoned: Option<String>,
+    /// One-shot injected fsync failure (armed by crash plans).
+    fail_fsync: bool,
 }
 
-fn encode_record(kind: u8, seq: u64, data: &[u8]) -> Vec<u8> {
+pub(crate) fn encode_record(kind: u8, seq: u64, data: &[u8]) -> Vec<u8> {
     let mut payload = Enc::new();
     payload.u8(kind).u64(seq);
     let mut payload = payload.into_bytes();
@@ -62,6 +69,87 @@ fn encode_record(kind: u8, seq: u64, data: &[u8]) -> Vec<u8> {
     let mut frame = frame.into_bytes();
     frame.extend_from_slice(&payload);
     frame
+}
+
+/// Forward-scans `bytes[start..]` as record frames, stopping at the first
+/// damage site. Returns the committed records, the defects found (at most
+/// one — framing is untrustworthy past the first bad frame), and the byte
+/// offset of the end of the last whole record. Shared by [`Journal::open`]
+/// (which truncates to that offset), [`Journal::verify`] (read-only), and
+/// the ship codec in [`crate::ship`].
+pub(crate) fn scan_frames(bytes: &[u8], start: usize, origin: &str) -> (Vec<Record>, Vec<Defect>, usize) {
+    let mut records = Vec::new();
+    let mut defects = Vec::new();
+    let mut committed = start; // end of last whole record
+    let mut pos = committed;
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            break;
+        }
+        if remaining < 8 {
+            defects.push(Defect::TornTail {
+                path: origin.to_string(),
+                offset: committed as u64,
+                lost: remaining as u64,
+            });
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if !(9..=MAX_RECORD_LEN).contains(&len) {
+            defects.push(Defect::CorruptRecord {
+                path: origin.to_string(),
+                offset: pos as u64,
+                detail: format!("implausible record length {len}"),
+            });
+            break;
+        }
+        let len = len as usize;
+        if remaining - 8 < len {
+            defects.push(Defect::TornTail {
+                path: origin.to_string(),
+                offset: committed as u64,
+                lost: remaining as u64,
+            });
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            defects.push(Defect::CorruptRecord {
+                path: origin.to_string(),
+                offset: pos as u64,
+                detail: "payload CRC mismatch".into(),
+            });
+            break;
+        }
+        let mut dec = Dec::new(payload);
+        let kind = dec.u8().expect("length checked above");
+        let seq = dec.u64().expect("length checked above");
+        records.push(Record { kind, seq, data: payload[9..].to_vec() });
+        pos += 8 + len;
+        committed = pos;
+    }
+    (records, defects, committed)
+}
+
+/// Checks a journal header, returning the byte offset of the first record.
+fn check_header(bytes: &[u8], path: &Path) -> Result<(), DurableError> {
+    if bytes.len() < HEADER_LEN as usize || &bytes[..4] != JOURNAL_MAGIC {
+        return Err(DurableError::Format {
+            path: path.display().to_string(),
+            detail: "journal header magic mismatch (expected \"EMOJ\")".into(),
+        });
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version > JOURNAL_VERSION {
+        return Err(DurableError::Version {
+            path: path.display().to_string(),
+            found: version,
+            supported: JOURNAL_VERSION,
+        });
+    }
+    Ok(())
 }
 
 impl Journal {
@@ -81,7 +169,7 @@ impl Journal {
         bytes.extend_from_slice(&header.into_bytes());
         file.write_all(&bytes).map_err(|e| DurableError::io(path, "write", &e))?;
         file.sync_all().map_err(|e| DurableError::io(path, "fsync", &e))?;
-        Ok(Journal { path: path.to_path_buf(), file })
+        Ok(Journal { path: path.to_path_buf(), file, poisoned: None, fail_fsync: false })
     }
 
     /// Opens (or creates) the journal at `path`, replays every committed
@@ -109,74 +197,9 @@ impl Journal {
             .map_err(|e| DurableError::io(path, "open", &e))?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes).map_err(|e| DurableError::io(path, "read", &e))?;
-
-        if bytes.len() < HEADER_LEN as usize || &bytes[..4] != JOURNAL_MAGIC {
-            return Err(DurableError::Format {
-                path: path.display().to_string(),
-                detail: "journal header magic mismatch (expected \"EMOJ\")".into(),
-            });
-        }
-        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version > JOURNAL_VERSION {
-            return Err(DurableError::Version {
-                path: path.display().to_string(),
-                found: version,
-                supported: JOURNAL_VERSION,
-            });
-        }
-
-        let mut records = Vec::new();
-        let mut defects = Vec::new();
-        let mut committed = HEADER_LEN as usize; // end of last whole record
-        let mut pos = committed;
-        loop {
-            let remaining = bytes.len() - pos;
-            if remaining == 0 {
-                break;
-            }
-            if remaining < 8 {
-                defects.push(Defect::TornTail {
-                    path: path.display().to_string(),
-                    offset: committed as u64,
-                    lost: remaining as u64,
-                });
-                break;
-            }
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
-            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            if !(9..=MAX_RECORD_LEN).contains(&len) {
-                defects.push(Defect::CorruptRecord {
-                    path: path.display().to_string(),
-                    offset: pos as u64,
-                    detail: format!("implausible record length {len}"),
-                });
-                break;
-            }
-            let len = len as usize;
-            if remaining - 8 < len {
-                defects.push(Defect::TornTail {
-                    path: path.display().to_string(),
-                    offset: committed as u64,
-                    lost: remaining as u64,
-                });
-                break;
-            }
-            let payload = &bytes[pos + 8..pos + 8 + len];
-            if crc32(payload) != crc {
-                defects.push(Defect::CorruptRecord {
-                    path: path.display().to_string(),
-                    offset: pos as u64,
-                    detail: "payload CRC mismatch".into(),
-                });
-                break;
-            }
-            let mut dec = Dec::new(payload);
-            let kind = dec.u8().expect("length checked above");
-            let seq = dec.u64().expect("length checked above");
-            records.push(Record { kind, seq, data: payload[9..].to_vec() });
-            pos += 8 + len;
-            committed = pos;
-        }
+        check_header(&bytes, path)?;
+        let (records, defects, committed) =
+            scan_frames(&bytes, HEADER_LEN as usize, &path.display().to_string());
 
         if committed < bytes.len() {
             // Damage found: drop everything after the last committed record
@@ -187,7 +210,31 @@ impl Journal {
             file.sync_all().map_err(|e| DurableError::io(path, "fsync", &e))?;
         }
         file.seek(SeekFrom::End(0)).map_err(|e| DurableError::io(path, "seek", &e))?;
-        Ok((Journal { path: path.to_path_buf(), file }, records, defects))
+        Ok((
+            Journal { path: path.to_path_buf(), file, poisoned: None, fail_fsync: false },
+            records,
+            defects,
+        ))
+    }
+
+    /// Read-only verification scan: replays every committed record and
+    /// reports damage *without* repairing the file or taking a write
+    /// handle. This is the scrubber's primitive — safe to run against a
+    /// journal another handle is appending to (the scan sees a committed
+    /// prefix; a concurrent half-written tail shows up as a harmless
+    /// [`Defect::TornTail`]).
+    ///
+    /// # Errors
+    ///
+    /// Same header errors as [`Journal::open`], plus [`DurableError::Io`]
+    /// if the file cannot be read (a missing file is an `Io` error here,
+    /// not an empty journal — verification targets files that must exist).
+    pub fn verify(path: &Path) -> Result<(Vec<Record>, Vec<Defect>), DurableError> {
+        let bytes = std::fs::read(path).map_err(|e| DurableError::io(path, "read", &e))?;
+        check_header(&bytes, path)?;
+        let (records, defects, _committed) =
+            scan_frames(&bytes, HEADER_LEN as usize, &path.display().to_string());
+        Ok((records, defects))
     }
 
     /// The journal file path.
@@ -195,12 +242,56 @@ impl Journal {
         &self.path
     }
 
+    /// Whether a failed fsync has latched this handle (see
+    /// [`DurableError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Arms a one-shot injected fsync failure: the next [`Journal::append`]
+    /// writes its frame bytes but the sync "fails", latching the handle
+    /// exactly as a real fsync error would. Models an `EIO` from a dying
+    /// disk while the process survives.
+    pub fn inject_fsync_failure(&mut self) {
+        self.fail_fsync = true;
+    }
+
+    fn check_poison(&self) -> Result<(), DurableError> {
+        match &self.poisoned {
+            Some(cause) => Err(DurableError::Poisoned {
+                path: self.path.display().to_string(),
+                cause: cause.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
     /// Appends a record and syncs it to disk. On return the record is
     /// committed: a crash immediately after cannot lose it.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Poisoned`] if an earlier fsync failed — after a
+    /// failed sync the on-disk tail is unknowable, so the handle refuses
+    /// all further appends; reopen the file to re-verify the tail. A fsync
+    /// failure on *this* call latches the handle and returns the error.
     pub fn append(&mut self, kind: u8, seq: u64, data: &[u8]) -> Result<(), DurableError> {
+        self.check_poison()?;
         let frame = encode_record(kind, seq, data);
         self.file.write_all(&frame).map_err(|e| DurableError::io(&self.path, "write", &e))?;
-        self.file.sync_all().map_err(|e| DurableError::io(&self.path, "fsync", &e))?;
+        if self.fail_fsync {
+            self.fail_fsync = false;
+            let cause = "injected fsync failure".to_string();
+            self.poisoned = Some(cause.clone());
+            return Err(DurableError::Poisoned {
+                path: self.path.display().to_string(),
+                cause,
+            });
+        }
+        if let Err(e) = self.file.sync_all() {
+            self.poisoned = Some(e.to_string());
+            return Err(DurableError::io(&self.path, "fsync", &e));
+        }
         Ok(())
     }
 
@@ -215,6 +306,7 @@ impl Journal {
         data: &[u8],
         frac: f64,
     ) -> Result<(), DurableError> {
+        self.check_poison()?;
         let frame = encode_record(kind, seq, data);
         let keep = ((frame.len() as f64) * frac.clamp(0.0, 1.0)) as usize;
         let keep = keep.min(frame.len().saturating_sub(1)); // always torn, never whole
@@ -331,6 +423,54 @@ mod tests {
             }
             other => panic!("expected Version error, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_is_read_only_and_reports_damage() {
+        let dir = scratch("verify");
+        let path = dir.join("journal.log");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(1, 0, b"kept").unwrap();
+        j.append_torn(1, 1, b"half", 0.5).unwrap();
+        drop(j);
+        let before = std::fs::metadata(&path).unwrap().len();
+        let (records, defects) = Journal::verify(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(defects.as_slice(), [Defect::TornTail { .. }]), "{defects:?}");
+        // Verify must not repair: the torn tail stays on disk.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+        // A missing file is an I/O error, not an empty journal.
+        assert!(matches!(
+            Journal::verify(&dir.join("absent.log")),
+            Err(DurableError::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_latches_the_handle() {
+        let dir = scratch("poison");
+        let path = dir.join("journal.log");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(1, 0, b"committed").unwrap();
+        assert!(!j.is_poisoned());
+        j.inject_fsync_failure();
+        let err = j.append(1, 1, b"unsynced").unwrap_err();
+        assert!(matches!(err, DurableError::Poisoned { .. }), "{err}");
+        assert!(j.is_poisoned());
+        // Latched: every later append is refused without touching the file.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let err = j.append(1, 2, b"refused").unwrap_err();
+        assert!(matches!(err, DurableError::Poisoned { .. }), "{err}");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len);
+        drop(j);
+        // Reopen re-verifies the tail from disk: the unsynced record's bytes
+        // did reach the file (only the sync failed in this injection), so
+        // recovery keeps what verifies and the journal accepts appends again.
+        let (mut j, records, _defects) = Journal::open(&path).unwrap();
+        assert!(!records.is_empty());
+        j.append(1, 9, b"after reopen").unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

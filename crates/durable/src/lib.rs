@@ -29,6 +29,7 @@ pub mod atomic;
 pub mod campaign;
 pub mod error;
 pub mod journal;
+pub mod ship;
 pub mod snapshot;
 pub mod store;
 pub mod wire;
@@ -39,6 +40,8 @@ pub const JOURNAL_VERSION: u16 = 1;
 pub const SNAPSHOT_VERSION: u16 = 1;
 /// Current manifest container version (`manifest.bin`).
 pub const MANIFEST_VERSION: u16 = 1;
+/// Current ship segment version (replication transfer container).
+pub const SHIP_VERSION: u16 = 1;
 
 pub use atomic::{temp_path, write_atomic};
 pub use campaign::{
@@ -46,9 +49,12 @@ pub use campaign::{
 };
 pub use error::{Defect, DurableError};
 pub use journal::{Journal, Record, JOURNAL_MAGIC};
+pub use ship::{
+    compare_streams, decode_segment, encode_segment, rebuild_journal, StreamDiff, SHIP_MAGIC,
+};
 pub use snapshot::{decode_container, encode_container, read_container, write_container};
 pub use store::{
-    journal_path, manifest_path, snapshot_path, CheckpointStore, CrashPlan, Opened,
+    journal_path, manifest_path, snapshot_path, CheckpointStore, CrashKind, CrashPlan, Opened,
     MANIFEST_MAGIC, SNAPSHOT_MAGIC,
 };
 pub use wire::{crc32, Dec, Enc, WireError};

@@ -58,8 +58,23 @@ pub fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("snap-{seq}.bin"))
 }
 
-/// A seeded kill point: the `at_op`-th durable write is cut short exactly
-/// as a `SIGKILL` at that syscall would cut it.
+/// What an armed crash point does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashKind {
+    /// A `SIGKILL` landing at the write syscall: partial bytes reach disk
+    /// and the process "dies" (the caller must drop and reopen the store).
+    #[default]
+    Kill,
+    /// `fsync` returns an error but the process survives. The journal
+    /// handle latches ([`DurableError::Poisoned`]) and refuses every later
+    /// append — the store stays alive but write-dead, exactly like a
+    /// process on a dying disk. Only journal appends have an fsync to
+    /// fail; at snapshot kill points this kind behaves as [`CrashKind::Kill`].
+    FsyncFail,
+}
+
+/// A seeded crash point: the `at_op`-th durable write fails exactly as the
+/// armed [`CrashKind`] dictates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrashPlan {
     /// 1-based index of the durable operation to kill (see
@@ -69,6 +84,22 @@ pub struct CrashPlan {
     /// only torn journal appends use it, other kill sites are all-or-nothing
     /// at the rename boundary.
     pub partial_frac: f64,
+    /// The failure mode injected when the op fires.
+    pub kind: CrashKind,
+}
+
+impl CrashPlan {
+    /// A `SIGKILL` plan: the `at_op`-th durable write is torn after
+    /// `partial_frac` of its bytes.
+    pub fn kill(at_op: u64, partial_frac: f64) -> CrashPlan {
+        CrashPlan { at_op, partial_frac, kind: CrashKind::Kill }
+    }
+
+    /// An fsync-failure plan: the `at_op`-th durable write's bytes land but
+    /// the sync errors; the process survives with a latched journal.
+    pub fn fsync_fail(at_op: u64) -> CrashPlan {
+        CrashPlan { at_op, partial_frac: 1.0, kind: CrashKind::FsyncFail }
+    }
 }
 
 /// A recovered checkpoint store, ready for appends.
@@ -227,9 +258,9 @@ impl CheckpointStore {
         self.snapshot_seq
     }
 
-    fn fire(&mut self, op: u64) -> Option<f64> {
+    fn fire(&mut self, op: u64) -> Option<CrashPlan> {
         match self.crash {
-            Some(plan) if plan.at_op == op => Some(plan.partial_frac),
+            Some(plan) if plan.at_op == op => Some(plan),
             _ => None,
         }
     }
@@ -240,17 +271,36 @@ impl CheckpointStore {
     /// # Errors
     ///
     /// [`DurableError::Injected`] when an armed [`CrashPlan`] targets this
-    /// op — the torn partial write is left on disk and the store must be
-    /// dropped and reopened. [`DurableError::Io`] on real I/O failure.
+    /// op — a [`CrashKind::Kill`] leaves a torn partial write and the store
+    /// must be dropped and reopened; a [`CrashKind::FsyncFail`] latches the
+    /// journal, so this and every later append fail while the store stays
+    /// open ([`DurableError::Poisoned`] after the first).
+    /// [`DurableError::Io`] on real I/O failure.
     pub fn append(&mut self, kind: u8, seq: u64, data: &[u8]) -> Result<(), DurableError> {
         self.ops += 1;
         let op = self.ops;
-        if let Some(frac) = self.fire(op) {
-            self.journal.append_torn(kind, seq, data, frac)?;
-            return Err(DurableError::Injected {
-                op,
-                detail: format!("journal append of record seq {seq} torn mid-write"),
-            });
+        if let Some(plan) = self.fire(op) {
+            match plan.kind {
+                CrashKind::Kill => {
+                    self.journal.append_torn(kind, seq, data, plan.partial_frac)?;
+                    return Err(DurableError::Injected {
+                        op,
+                        detail: format!("journal append of record seq {seq} torn mid-write"),
+                    });
+                }
+                CrashKind::FsyncFail => {
+                    self.journal.inject_fsync_failure();
+                    return match self.journal.append(kind, seq, data) {
+                        Err(DurableError::Poisoned { .. }) => Err(DurableError::Injected {
+                            op,
+                            detail: format!(
+                                "fsync of record seq {seq} failed; journal latched"
+                            ),
+                        }),
+                        other => other,
+                    };
+                }
+            }
         }
         self.journal.append(kind, seq, data)
     }
@@ -357,7 +407,7 @@ mod tests {
         let dir = scratch("crash-append");
         let mut store = CheckpointStore::open(&dir).unwrap().store;
         store.append(1, 0, b"committed").unwrap();
-        store.arm_crash(Some(CrashPlan { at_op: 2, partial_frac: 0.4 }));
+        store.arm_crash(Some(CrashPlan::kill(2, 0.4)));
         let err = store.append(1, 1, b"torn away").unwrap_err();
         assert!(err.is_injected(), "{err}");
         drop(store);
@@ -389,7 +439,7 @@ mod tests {
             let mut store = CheckpointStore::open(&dir).unwrap().store;
             store.append(1, 0, b"u0").unwrap();
             store.append(1, 1, b"u1").unwrap();
-            store.arm_crash(Some(CrashPlan { at_op: kill_op, partial_frac: 0.5 }));
+            store.arm_crash(Some(CrashPlan::kill(kill_op, 0.5)));
             let err = store.snapshot(b"state@1").unwrap_err();
             assert!(err.is_injected(), "op {kill_op}: {err}");
             drop(store);

@@ -6,6 +6,8 @@
 //! |---|---|---|
 //! | `EMOLEAK_SHARDS` | number of independent shards | 4 |
 //! | `EMOLEAK_FLEET_SEED` | consistent-hash ring seed | `0xE40F_1EE7` |
+//! | `EMOLEAK_REPLICAS` | journal replicas per shard (0 disables replication) | 1 |
+//! | `EMOLEAK_SCRUB_EVERY` | ticks between anti-entropy scrub passes (0 disables) | 25 |
 
 use emoleak_admission::AdmissionConfig;
 use emoleak_core::EmoleakError;
@@ -32,6 +34,16 @@ pub struct FleetConfig {
     /// Ticks between journaled shard-ledger snapshots (the crash-recovery
     /// reconciliation floor: a kill loses at most this much accounting).
     pub ledger_every: u64,
+    /// Journal replicas per shard. `1` ships every committed record to the
+    /// shard's deterministic ring successor, so a crashed primary's queue
+    /// replays with zero loss; `0` disables replication (and chunk-level
+    /// journaling with it), restoring the PR 6 bounded-loss behaviour.
+    /// Values above 1 are capped at 1 — the chain has a single follower.
+    pub replicas: u32,
+    /// Ticks between anti-entropy scrub passes. Each pass CRC-verifies one
+    /// live shard's replica against its primary (round-robin over the
+    /// fleet) and read-repairs lag or divergence. `0` disables scrubbing.
+    pub scrub_every: u64,
     /// Per-shard admission tuning.
     pub admission: AdmissionConfig,
 }
@@ -45,6 +57,8 @@ impl Default for FleetConfig {
             failover_after: 3,
             restart_budget: 3,
             ledger_every: 50,
+            replicas: 1,
+            scrub_every: 25,
             admission: AdmissionConfig::default(),
         }
     }
@@ -69,7 +83,21 @@ impl FleetConfig {
         if let Some(s) = parse_checked::<u64>("EMOLEAK_FLEET_SEED", "a u64 seed", |_| true)? {
             cfg.seed = s;
         }
+        if let Some(r) = parse_checked::<u32>("EMOLEAK_REPLICAS", "0 or 1 replicas", |&r| r <= 1)? {
+            cfg.replicas = r;
+        }
+        if let Some(n) =
+            parse_checked::<u64>("EMOLEAK_SCRUB_EVERY", "a tick interval (0 disables)", |_| true)?
+        {
+            cfg.scrub_every = n;
+        }
         Ok(cfg)
+    }
+
+    /// Whether shards replicate their journals (and journal per-chunk
+    /// admit/serve records to make replay exact).
+    pub fn replicated(&self) -> bool {
+        self.replicas > 0
     }
 }
 
@@ -77,25 +105,39 @@ impl FleetConfig {
 mod tests {
     use super::*;
 
-    // Env mutation is process-global; this test owns these two names.
+    // Env mutation is process-global; this test owns these four names.
     #[test]
     fn env_overrides_are_strict() {
-        for name in ["EMOLEAK_SHARDS", "EMOLEAK_FLEET_SEED"] {
+        const NAMES: [&str; 4] =
+            ["EMOLEAK_SHARDS", "EMOLEAK_FLEET_SEED", "EMOLEAK_REPLICAS", "EMOLEAK_SCRUB_EVERY"];
+        for name in NAMES {
             std::env::remove_var(name);
         }
         assert_eq!(FleetConfig::from_env().unwrap(), FleetConfig::default());
+        assert!(FleetConfig::default().replicated(), "replication is on by default");
 
         std::env::set_var("EMOLEAK_SHARDS", "2");
         std::env::set_var("EMOLEAK_FLEET_SEED", "12345");
+        std::env::set_var("EMOLEAK_REPLICAS", "0");
+        std::env::set_var("EMOLEAK_SCRUB_EVERY", "10");
         let cfg = FleetConfig::from_env().unwrap();
         assert_eq!(cfg.shards, 2);
         assert_eq!(cfg.seed, 12345);
+        assert_eq!(cfg.replicas, 0);
+        assert!(!cfg.replicated());
+        assert_eq!(cfg.scrub_every, 10);
+
+        std::env::set_var("EMOLEAK_REPLICAS", "3");
+        let err = FleetConfig::from_env().unwrap_err();
+        assert!(matches!(err, EmoleakError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("EMOLEAK_REPLICAS"));
+        std::env::remove_var("EMOLEAK_REPLICAS");
 
         std::env::set_var("EMOLEAK_SHARDS", "0");
         let err = FleetConfig::from_env().unwrap_err();
         assert!(matches!(err, EmoleakError::Config(_)), "{err:?}");
         assert!(err.to_string().contains("EMOLEAK_SHARDS"));
-        for name in ["EMOLEAK_SHARDS", "EMOLEAK_FLEET_SEED"] {
+        for name in NAMES {
             std::env::remove_var(name);
         }
     }

@@ -31,22 +31,43 @@
 //!   leave the ring (only *its* tenants move), and the evacuees are
 //!   re-offered along each tenant's new route.
 //! - **crash** (panic budget exhausted, or a hard kill): in-memory state
-//!   is gone. The coordinator replays the shard's journal segment: the
-//!   last ledger gives a consistent counter snapshot, the journaled shed
-//!   events give the *exact* shed count, and the coordinator's own routed
-//!   count bounds the offers. Whatever the journal cannot account for is
-//!   booked as `crash_loss` (and counted as shed), keeping the identity
-//!   exact instead of silently leaking chunks.
+//!   is gone. With replication on (the default), the shard journaled an
+//!   admit record before every enqueue and a serve/shed record after
+//!   every dequeue, and shipped each committed record synchronously to a
+//!   deterministic follower ([`HashRing::successor_shard`]). The
+//!   coordinator replays the first *clean* surviving segment — primary
+//!   (process death, disk intact) or replica (disk loss) — reconstructs
+//!   the exact queue at death (`admits − serves − sheds`), and re-offers
+//!   it along each tenant's new route: `crash_loss == 0`, with the
+//!   replayed chunks surfaced as [`FleetStats::recovered`] (they count as
+//!   `migrated` in the identity, like a graceful evacuation). Only when
+//!   *every* copy is damaged (a double failure: primary disk lost *and*
+//!   replica corrupted) does the coordinator fall back to bounded-loss
+//!   reconciliation — last ledger snapshot plus exact journaled sheds,
+//!   bounded by the routed count — and book the honest residual as
+//!   `crash_loss` (counted as shed), keeping the identity exact instead
+//!   of silently leaking chunks.
+//!
+//! # Anti-entropy scrubbing
+//!
+//! Replicas are only worth what they can replay. On a logical-tick
+//! cadence (`EMOLEAK_SCRUB_EVERY`), the coordinator CRC-verifies one live
+//! shard's replica against its primary (round-robin over the fleet),
+//! classifies any difference ([`Defect::ReplicaLag`] /
+//! [`Defect::ReplicaDiverged`]), and read-repairs it by deterministic
+//! rebuild ([`Defect::ScrubRepaired`]). Findings accumulate on the
+//! [`FleetView`]. Scrubbing runs on ticks, not wall clock, so fleet
+//! output stays byte-identical across thread counts.
 
 use crate::config::FleetConfig;
 use crate::ring::HashRing;
-use crate::shard::{Shard, ShardHealth, ShardState};
+use crate::shard::{shard_journal_path, shard_replica_path, Shard, ShardHealth, ShardState};
 use emoleak_admission::QueuedChunk;
 use emoleak_core::admission::{AdmissionError, FleetState};
-use emoleak_durable::{Dec, DurableError, Enc, Journal};
+use emoleak_durable::{Dec, Defect, DurableError, Enc, Journal};
 use emoleak_exec::par_map_vec_indexed;
-use emoleak_stream::durable::{recover_run, LedgerRecord};
-use std::collections::BTreeMap;
+use emoleak_stream::durable::{recover_run, ChunkAdmit, LedgerRecord};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Coordinator-journal record kind: one checkpoint.
@@ -71,6 +92,12 @@ pub struct FleetStats {
     /// The subset of `shed` that a crashed shard's journal could not
     /// account for (in-memory queue lost to the crash).
     pub crash_loss: u64,
+    /// The subset of `migrated` that was *replayed* out of a crashed
+    /// shard's surviving journal (primary or replica) and re-offered —
+    /// work that replication rescued from the crash. Not a new identity
+    /// term: recovered chunks count as `migrated` at the dead shard and
+    /// `offered` at their new home, exactly like a graceful evacuation.
+    pub recovered: u64,
 }
 
 impl FleetStats {
@@ -98,12 +125,16 @@ pub struct FailoverEvent {
     pub shard: u32,
     /// Graceful or crash.
     pub kind: FailoverKind,
-    /// Chunks evacuated and re-offered (graceful only).
+    /// Chunks moved off the shard and re-offered: a graceful evacuation,
+    /// or a crash replay out of a surviving journal.
     pub moved_chunks: u64,
-    /// Evacuated chunks the target shards refused.
+    /// Moved chunks the target shards refused.
     pub reoffer_rejected: u64,
-    /// Chunks booked as crash loss (crash only).
+    /// Chunks booked as crash loss (crash only; zero when a clean journal
+    /// copy survived).
     pub crash_loss: u64,
+    /// Chunks replayed from a surviving journal copy (crash only).
+    pub recovered: u64,
 }
 
 /// The aggregated health picture one `view()` call returns.
@@ -120,6 +151,12 @@ pub struct FleetView {
     pub queue_depth_total: usize,
     /// Total contained panics across all shards.
     pub restart_burn: u32,
+    /// Live shards whose replica is currently latched (a ship failed and
+    /// no scrub has repaired it yet).
+    pub replicas_latched: usize,
+    /// Every defect the anti-entropy scrubber has found (and repaired) so
+    /// far, in detection order.
+    pub scrub_events: Vec<Defect>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -141,10 +178,12 @@ pub struct FleetCoordinator {
     tenant_seq: BTreeMap<String, u64>,
     retired: RetiredTotals,
     crash_loss: u64,
+    recovered: u64,
     brownout_streak: BTreeMap<u32, u32>,
     checkpoint: Journal,
     ckpt_seq: u64,
     failovers: Vec<FailoverEvent>,
+    scrub_events: Vec<Defect>,
 }
 
 /// The coordinator's own checkpoint journal path under `dir`.
@@ -162,19 +201,25 @@ impl FleetCoordinator {
     pub fn new(cfg: FleetConfig, dir: &Path) -> Result<FleetCoordinator, DurableError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| DurableError::io(dir, "create fleet dir", &e))?;
+        // The ring first: replication pairs (primary → follower) are read
+        // off it before any shard exists.
+        let ring = HashRing::new(cfg.seed, cfg.shards, cfg.vnodes);
         let mut shards = Vec::with_capacity(cfg.shards as usize);
         for id in 0..cfg.shards {
+            let follower = if cfg.replicated() { ring.successor_shard(id) } else { None };
             shards.push(Shard::new(
                 id,
                 dir,
                 cfg.admission.clone(),
                 cfg.restart_budget,
                 cfg.ledger_every,
+                cfg.replicated(),
+                follower,
             )?);
         }
         let checkpoint = Journal::create(&coordinator_journal_path(dir))?;
         Ok(FleetCoordinator {
-            ring: HashRing::new(cfg.seed, cfg.shards, cfg.vnodes),
+            ring,
             routed: (0..cfg.shards).map(|id| (id, 0)).collect(),
             cfg,
             dir: dir.to_path_buf(),
@@ -182,10 +227,12 @@ impl FleetCoordinator {
             tenant_seq: BTreeMap::new(),
             retired: RetiredTotals::default(),
             crash_loss: 0,
+            recovered: 0,
             brownout_streak: BTreeMap::new(),
             checkpoint,
             ckpt_seq: 0,
             failovers: Vec::new(),
+            scrub_events: Vec::new(),
         })
     }
 
@@ -261,7 +308,32 @@ impl FleetCoordinator {
         for id in deaths {
             self.crash_failover(id, now);
         }
+        self.scrub_tick(now);
         served
+    }
+
+    /// One anti-entropy pass on cadence: every `scrub_every` ticks, one
+    /// live shard (round-robin over the fleet in id order, so every
+    /// replica gets verified within `live × scrub_every` ticks) has its
+    /// replica CRC-verified against its primary and read-repaired.
+    /// Logical ticks only — deterministic for any thread count.
+    fn scrub_tick(&mut self, now: u64) {
+        let every = self.cfg.scrub_every;
+        if !self.cfg.replicated() || every == 0 || !now.is_multiple_of(every) {
+            return;
+        }
+        let live: Vec<u32> = self
+            .shards
+            .iter()
+            .filter(|s| s.state() == ShardState::Active && self.ring.contains(s.id()))
+            .map(Shard::id)
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        let victim = live[((now / every) as usize) % live.len()];
+        let found = self.shard_mut(victim).scrub();
+        self.scrub_events.extend(found);
     }
 
     /// Scans health, advances per-shard BrownOut streaks, and fences any
@@ -295,10 +367,31 @@ impl FleetCoordinator {
     }
 
     /// Hard-kills shard `id` (chaos: a `SIGKILL` mid-campaign) and
-    /// immediately crash-fails it over.
+    /// immediately crash-fails it over. The process dies but the disk
+    /// survives: reconciliation replays the primary journal.
     pub fn kill_shard(&mut self, id: u32, now: u64) -> FailoverEvent {
         self.shard_mut(id).kill();
         self.crash_failover(id, now)
+    }
+
+    /// Kills shard `id` *and destroys its disk* (chaos: a machine loss) —
+    /// the primary journal is gone; only the replica on the follower's
+    /// node can reconcile. This is the failure replication exists for.
+    pub fn kill_shard_with_disk_loss(&mut self, id: u32, now: u64) -> FailoverEvent {
+        self.shard_mut(id).kill_with_disk_loss();
+        self.crash_failover(id, now)
+    }
+
+    /// Arms the nemesis on shard `id`: its next replica ship tears
+    /// mid-frame and the replica latches (the primary record still
+    /// commits). See [`Shard::tear_replica_next`].
+    pub fn tear_replica_next(&mut self, id: u32, frac: f64) {
+        self.shard_mut(id).tear_replica_next(frac);
+    }
+
+    /// Shard `id`'s replica segment path, when it has a follower.
+    pub fn replica_path_of(&self, id: u32) -> Option<PathBuf> {
+        self.shards.iter().find(|s| s.id() == id).and_then(Shard::replica_path)
     }
 
     /// Fences shard `id`, retires its final counters, removes it from the
@@ -314,6 +407,7 @@ impl FleetCoordinator {
         self.retired.migrated += stats.migrated;
         self.routed.remove(&id);
         self.ring.remove_shard(id);
+        self.rehome_replicas();
         let moved = evacuated.len() as u64;
         let mut reoffer_rejected = 0;
         for chunk in evacuated {
@@ -334,33 +428,141 @@ impl FleetCoordinator {
             moved_chunks: moved,
             reoffer_rejected,
             crash_loss: 0,
+            recovered: 0,
         };
         self.failovers.push(event);
         event
     }
 
-    /// Reconciles a crashed shard from its journal segment and the
-    /// coordinator's routed count, then removes it from the ring. See the
-    /// module docs for the algebra.
+    /// Re-pairs every live shard with its current ring successor after a
+    /// membership change. Shards whose follower moved get a fresh replica
+    /// rebuilt from their primary (the old copy is deleted); unchanged
+    /// pairings are untouched.
+    fn rehome_replicas(&mut self) {
+        if !self.cfg.replicated() {
+            return;
+        }
+        let ring = self.ring.clone();
+        for shard in &mut self.shards {
+            if shard.state() == ShardState::Active && ring.contains(shard.id()) {
+                shard.rehome_replica(ring.successor_shard(shard.id()));
+            }
+        }
+    }
+
+    /// Reconciles a crashed shard, removes it from the ring, re-pairs the
+    /// survivors' replicas, and re-offers whatever queue a surviving
+    /// journal copy replays. See the module docs for the algebra.
     fn crash_failover(&mut self, id: u32, now: u64) -> FailoverEvent {
         let routed = self.routed.remove(&id).unwrap_or(0);
-        let path = crate::shard::shard_journal_path(&self.dir, id);
-        let (ledger, exact_shed) = match recover_run(&path) {
-            Ok((run, _defects)) => {
-                let ledger = run.ledgers.last().copied().unwrap_or_default();
-                (ledger, run.sheds.len() as u64)
-            }
-            // An unreadable segment accounts for nothing: everything
-            // routed becomes crash loss. Never happens with a healthy
-            // disk; never panics without one.
-            Err(_) => (LedgerRecord::default(), 0),
+        // The dead shard's replica lives where its *last rehome* put it —
+        // the Shard object remembers; the ring is the fallback for a
+        // shard the coordinator no longer holds (post-restart reconcile
+        // goes through `reconcile_books` directly instead).
+        let follower = self
+            .shards
+            .iter()
+            .find(|s| s.id() == id)
+            .map_or_else(|| self.ring.successor_shard(id), Shard::follower);
+        let (queue, booked_loss) = self.reconcile_books(id, follower, routed);
+        self.ring.remove_shard(id);
+        self.rehome_replicas();
+        let (recovered, reoffer_rejected, residual_loss) = self.reoffer_recovered(queue, now);
+        let event = FailoverEvent {
+            tick: now,
+            shard: id,
+            kind: FailoverKind::Crash,
+            moved_chunks: recovered,
+            reoffer_rejected,
+            crash_loss: booked_loss + residual_loss,
+            recovered,
         };
+        self.failovers.push(event);
+        event
+    }
+
+    /// Reconciles a dead shard's counters from the best surviving journal
+    /// copy. Returns the exact queue at the moment of death when a clean
+    /// copy replays it (loss `0`), or an empty queue plus the honest
+    /// bounded loss (already booked as shed) when every copy is damaged
+    /// or replication is off. Touches books only — never the ring.
+    fn reconcile_books(
+        &mut self,
+        id: u32,
+        follower: Option<u32>,
+        routed: u64,
+    ) -> (Vec<ChunkAdmit>, u64) {
+        let primary = shard_journal_path(&self.dir, id);
+        let replica = follower.map(|f| shard_replica_path(&self.dir, id, f));
+        // Only copies that *exist* testify: `recover_run` materialises a
+        // fresh empty journal for a missing path, and an empty journal
+        // must never pass for a clean account of a destroyed disk.
+        let candidates: Vec<PathBuf> = std::iter::once(primary)
+            .chain(replica.clone())
+            .filter(|p| p.exists())
+            .collect();
+        if self.cfg.replicated() {
+            for path in &candidates {
+                let Ok((run, defects)) = recover_run(path) else { continue };
+                if !defects.is_empty() {
+                    // A damaged copy is a *detected* liar: fsync ordering
+                    // and CRCs guarantee a clean scan covers every commit,
+                    // so only clean copies are trusted for exact replay.
+                    continue;
+                }
+                // Exact replay: every admit was journaled before its
+                // enqueue, every serve/shed after its dequeue, so the
+                // queue at death is the admit multiset minus both.
+                let mut done: BTreeSet<(String, u64)> = run
+                    .serves
+                    .iter()
+                    .map(|s| (s.tenant.clone(), s.seq))
+                    .chain(run.sheds.iter().map(|(_, t, _, seq)| (t.clone(), *seq)))
+                    .collect();
+                let queue: Vec<ChunkAdmit> = run
+                    .admits
+                    .iter()
+                    .filter(|a| !done.remove(&(a.tenant.clone(), a.seq)))
+                    .cloned()
+                    .collect();
+                let admits = run.admits.len() as u64;
+                // `routed` is exact in-process; after a coordinator
+                // restart it comes from a checkpoint and may lag the
+                // journal — the max is the tightest honest offer count
+                // (post-checkpoint refusals are then under-counted on
+                // both sides of the identity, which stays exact).
+                let offered = routed.max(admits);
+                self.retired.offered += offered;
+                self.retired.served += run.serves.len() as u64;
+                self.retired.rejected += offered - admits;
+                self.retired.shed += run.sheds.len() as u64;
+                if let Some(r) = &replica {
+                    let _ = std::fs::remove_file(r); // consumed
+                }
+                return (queue, 0);
+            }
+        }
+        // Bounded-loss reconciliation (replication off, or a double
+        // failure damaged every copy): the best surviving prefix's last
+        // ledger plus its exact journaled sheds.
+        let mut ledger = LedgerRecord::default();
+        let mut exact_shed = 0;
+        for path in &candidates {
+            let Ok((run, _defects)) = recover_run(path) else { continue };
+            let l = run.ledgers.last().copied().unwrap_or_default();
+            let s = run.sheds.len() as u64;
+            let known = l.served + l.rejected + s + l.migrated;
+            let best = ledger.served + ledger.rejected + exact_shed + ledger.migrated;
+            if known > best || (known == best && l.offered > ledger.offered) {
+                ledger = l;
+                exact_shed = s;
+            }
+        }
         let known = ledger.served + ledger.rejected + exact_shed + ledger.migrated;
         // `routed` counts every chunk the coordinator sent; the journal
         // can only under-report (post-ledger serves/rejects, the queue at
-        // the moment of death). After a coordinator restart `routed` comes
-        // from a checkpoint and may itself lag the journal — the max of
-        // the two lower bounds is the tightest honest estimate.
+        // the moment of death). The max of the lower bounds is the
+        // tightest honest estimate; the shortfall is booked, not leaked.
         let offered = routed.max(ledger.offered).max(known);
         let loss = offered - known;
         self.retired.offered += offered;
@@ -369,17 +571,43 @@ impl FleetCoordinator {
         self.retired.shed += exact_shed + loss;
         self.retired.migrated += ledger.migrated;
         self.crash_loss += loss;
-        self.ring.remove_shard(id);
-        let event = FailoverEvent {
-            tick: now,
-            shard: id,
-            kind: FailoverKind::Crash,
-            moved_chunks: 0,
-            reoffer_rejected: 0,
-            crash_loss: loss,
-        };
-        self.failovers.push(event);
-        event
+        if let Some(r) = &replica {
+            let _ = std::fs::remove_file(r);
+        }
+        (Vec::new(), loss)
+    }
+
+    /// Re-offers a replayed queue along each tenant's new route, booking
+    /// the moves as `migrated` at the dead shard (and `recovered`
+    /// fleet-wide). With no live shard left to take them, the chunks are
+    /// booked as honest residual loss instead. Returns
+    /// `(recovered, reoffer_rejected, residual_loss)`.
+    fn reoffer_recovered(&mut self, queue: Vec<ChunkAdmit>, now: u64) -> (u64, u64, u64) {
+        if queue.is_empty() {
+            return (0, 0, 0);
+        }
+        if self.ring.is_empty() {
+            let residual = queue.len() as u64;
+            self.retired.shed += residual;
+            self.crash_loss += residual;
+            return (0, 0, residual);
+        }
+        let moved = queue.len() as u64;
+        self.retired.migrated += moved;
+        self.recovered += moved;
+        let mut reoffer_rejected = 0;
+        for chunk in queue {
+            let target = self.ring.route(&chunk.tenant);
+            *self.routed.entry(target).or_insert(0) += 1;
+            if self
+                .shard_mut(target)
+                .offer_tagged(&chunk.tenant, chunk.cost, now, chunk.seq)
+                .is_err()
+            {
+                reoffer_rejected += 1;
+            }
+        }
+        (moved, reoffer_rejected, 0)
     }
 
     /// The aggregated health picture.
@@ -392,6 +620,8 @@ impl FleetCoordinator {
             worst: live.iter().map(|h| h.fleet).max().unwrap_or(FleetState::Healthy),
             queue_depth_total: live.iter().map(|h| h.queue_depth).sum(),
             restart_burn: shards.iter().map(|h| h.restarts_used).sum(),
+            replicas_latched: live.iter().filter(|h| h.replica_latched).count(),
+            scrub_events: self.scrub_events.clone(),
             shards,
         }
     }
@@ -407,6 +637,7 @@ impl FleetCoordinator {
             queued: 0,
             migrated: self.retired.migrated,
             crash_loss: self.crash_loss,
+            recovered: self.recovered,
         };
         for shard in &self.shards {
             if let Some(a) = shard.stats() {
@@ -442,7 +673,8 @@ impl FleetCoordinator {
             .u64(self.retired.rejected)
             .u64(self.retired.shed)
             .u64(self.retired.migrated)
-            .u64(self.crash_loss);
+            .u64(self.crash_loss)
+            .u64(self.recovered);
         enc.u64(self.tenant_seq.len() as u64);
         for (tenant, seq) in &self.tenant_seq {
             enc.str(tenant).u64(*seq);
@@ -498,6 +730,7 @@ impl FleetCoordinator {
             migrated: dec.u64().map_err(corrupt)?,
         };
         let crash_loss = dec.u64().map_err(corrupt)?;
+        let recovered = dec.u64().map_err(corrupt)?;
         let tenants_n = dec.u64().map_err(corrupt)? as usize;
         let mut tenant_seq = BTreeMap::new();
         for _ in 0..tenants_n {
@@ -518,31 +751,70 @@ impl FleetCoordinator {
             tenant_seq,
             retired,
             crash_loss,
+            recovered,
             brownout_streak: BTreeMap::new(),
             checkpoint: Journal::create(&ckpt_path)?,
             ckpt_seq: 0,
             failovers: Vec::new(),
+            scrub_events: Vec::new(),
         };
         for (id, routed) in &live {
             coord.ring.insert_shard(*id);
             coord.routed.insert(*id, *routed);
         }
-        for (id, _) in &live {
-            coord.crash_failover(*id, tick);
+        // Every shard restarts under the same id, so the ring — and with
+        // it each shard's follower — never changes across the restart.
+        // Reconcile against the *full* ring (the replicas were shipped
+        // under it), collect the replayed queues, and only re-offer once
+        // fresh shards exist to take them.
+        let followers: Vec<(u32, Option<u32>, u64)> = live
+            .iter()
+            .map(|(id, routed)| {
+                let f = if coord.cfg.replicated() {
+                    coord.ring.successor_shard(*id)
+                } else {
+                    None
+                };
+                (*id, f, *routed)
+            })
+            .collect();
+        let mut queues = Vec::with_capacity(followers.len());
+        for (id, follower, routed) in followers {
+            let (queue, loss) = coord.reconcile_books(id, follower, routed);
+            queues.push((id, queue, loss));
         }
         // Fresh shards under the same ids (truncating the reconciled
         // segments), same seed: every tenant keeps its home.
         coord.routed.clear();
         for (id, _) in &live {
+            let follower = if coord.cfg.replicated() {
+                coord.ring.successor_shard(*id)
+            } else {
+                None
+            };
             coord.shards.push(Shard::new(
                 *id,
                 dir,
                 coord.cfg.admission.clone(),
                 coord.cfg.restart_budget,
                 coord.cfg.ledger_every,
+                coord.cfg.replicated(),
+                follower,
             )?);
-            coord.ring.insert_shard(*id);
             coord.routed.insert(*id, 0);
+        }
+        for (id, queue, booked_loss) in queues {
+            let (recovered, reoffer_rejected, residual_loss) =
+                coord.reoffer_recovered(queue, tick);
+            coord.failovers.push(FailoverEvent {
+                tick,
+                shard: id,
+                kind: FailoverKind::Crash,
+                moved_chunks: recovered,
+                reoffer_rejected,
+                crash_loss: booked_loss + residual_loss,
+                recovered,
+            });
         }
         Ok(coord)
     }
@@ -601,7 +873,7 @@ mod tests {
     }
 
     #[test]
-    fn killing_a_shard_keeps_the_identity_and_only_moves_its_tenants() {
+    fn killing_a_shard_replays_its_queue_with_zero_loss() {
         let dir = scratch("kill");
         let mut c = FleetCoordinator::new(small(4), &dir).unwrap();
         let ts = tenants(24);
@@ -618,6 +890,8 @@ mod tests {
         let victim = 1;
         let event = c.kill_shard(victim, 100);
         assert_eq!(event.kind, FailoverKind::Crash);
+        assert_eq!(event.crash_loss, 0, "a clean journal replays the queue: {event:?}");
+        assert!(event.recovered > 0, "the starved queue must replay: {event:?}");
         assert!(c.stats().conserves(), "{:?}", c.stats());
         // Bounded movement: only the victim's tenants re-home.
         for t in &ts {
@@ -637,7 +911,116 @@ mod tests {
         }
         let s = c.stats();
         assert!(s.conserves(), "{s:?}");
-        assert!(s.crash_loss > 0, "a kill with queued work must book loss: {s:?}");
+        assert_eq!(s.crash_loss, 0, "replicated failover is lossless: {s:?}");
+        assert!(s.recovered > 0, "{s:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn without_replication_a_kill_books_honest_loss() {
+        let dir = scratch("kill-bare");
+        let mut cfg = small(4);
+        cfg.replicas = 0;
+        let mut c = FleetCoordinator::new(cfg, &dir).unwrap();
+        let ts = tenants(24);
+        for now in 0..100 {
+            for t in &ts {
+                let _ = c.offer(t, 64, now);
+            }
+            c.advance(now, 2, &[]);
+        }
+        let event = c.kill_shard(1, 100);
+        assert_eq!(event.recovered, 0, "{event:?}");
+        assert!(event.crash_loss > 0, "a kill with queued work must book loss: {event:?}");
+        let s = c.stats();
+        assert!(s.conserves(), "{s:?}");
+        assert_eq!(s.recovered, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_loss_recovers_from_the_replica_and_double_failure_is_honest() {
+        let dir = scratch("diskloss");
+        let mut c = FleetCoordinator::new(small(4), &dir).unwrap();
+        let ts = tenants(24);
+        for now in 0..100 {
+            for t in &ts {
+                let _ = c.offer(t, 64, now);
+            }
+            c.advance(now, 2, &[]);
+        }
+        // Machine loss: primary journal destroyed; only the replica on
+        // the follower's node reconciles — still zero loss.
+        let event = c.kill_shard_with_disk_loss(1, 100);
+        assert_eq!(event.crash_loss, 0, "the replica replays the queue: {event:?}");
+        assert!(event.recovered > 0, "{event:?}");
+        assert!(c.stats().conserves(), "{:?}", c.stats());
+
+        // Double failure: shard 2's disk dies *and* its replica is
+        // corrupted mid-file. No clean copy survives — the residual is
+        // booked honestly, never silently leaked.
+        let replica = c.replica_path_of(2).expect("replication is on");
+        let mut bytes = std::fs::read(&replica).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&replica, &bytes).unwrap();
+        let event = c.kill_shard_with_disk_loss(2, 101);
+        assert!(event.crash_loss > 0, "a double failure must book loss: {event:?}");
+        assert_eq!(event.recovered, 0, "{event:?}");
+        let s = c.stats();
+        assert!(s.conserves(), "{s:?}");
+        assert!(s.crash_loss > 0 && s.recovered > 0, "{s:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_detects_and_repairs_a_corrupted_replica_on_cadence() {
+        let dir = scratch("scrub");
+        let mut cfg = small(2);
+        cfg.scrub_every = 10;
+        let mut c = FleetCoordinator::new(cfg, &dir).unwrap();
+        let ts = tenants(8);
+        for now in 0..10 {
+            for t in &ts {
+                c.offer(t, 64, now).unwrap();
+            }
+            c.advance(now, 8, &[]);
+        }
+        // Bit-rot on shard 0's replica; the cadence scrub must find it,
+        // classify it, and rebuild the copy from the primary.
+        let replica = c.replica_path_of(0).expect("replication is on");
+        let mut bytes = std::fs::read(&replica).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&replica, &bytes).unwrap();
+        let mut now = 10;
+        while c.view().scrub_events.is_empty() && now < 60 {
+            for t in &ts {
+                c.offer(t, 64, now).unwrap();
+            }
+            c.advance(now, 8, &[]);
+            now += 1;
+        }
+        let view = c.view();
+        assert!(
+            view.scrub_events
+                .iter()
+                .any(|d| matches!(d, Defect::ReplicaDiverged { .. })),
+            "{:?}",
+            view.scrub_events
+        );
+        assert!(
+            view.scrub_events
+                .iter()
+                .any(|d| matches!(d, Defect::ScrubRepaired { .. })),
+            "{:?}",
+            view.scrub_events
+        );
+        assert_eq!(view.replicas_latched, 0, "repair clears the latch");
+        // The repaired replica reconciles a subsequent disk loss exactly.
+        let event = c.kill_shard_with_disk_loss(0, now);
+        assert_eq!(event.crash_loss, 0, "{event:?}");
+        assert!(c.stats().conserves(), "{:?}", c.stats());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -730,8 +1113,13 @@ mod tests {
         assert!(s.conserves(), "{s:?}");
         // Everything checkpoint-known or journal-known is retired;
         // nothing silently vanishes: recovered offered covers at least
-        // the last checkpoint's routing and at most what really ran.
-        assert!(s.offered <= pre_stats.offered, "recovered more than ran: {s:?}");
+        // the last checkpoint's routing and at most what really ran —
+        // plus the replayed queues, which (like any migration) count a
+        // second time at their new home's front door.
+        assert!(
+            s.offered <= pre_stats.offered + s.recovered,
+            "recovered more than ran: {s:?}"
+        );
         assert!(
             s.offered >= 12 * 40,
             "recovery lost checkpointed routing: {} < {}",

@@ -123,6 +123,31 @@ impl HashRing {
         self.points[self.successor(self.point(tenant))].1
     }
 
+    /// The shard's deterministic follower: the first *other* live shard
+    /// encountered walking the circle from the shard's first virtual node.
+    ///
+    /// This is the replication chain: shard `id`'s journal is shipped to
+    /// `successor_shard(id)`. The choice is a pure function of
+    /// `(seed, live shard set)` — rebalance-aware (removing an unrelated
+    /// shard usually keeps the pairing; removing the follower itself
+    /// deterministically promotes the next shard on the walk) and
+    /// agreed-on by any two coordinators without coordination. `None` when
+    /// the shard is not live or has no peer to replicate to.
+    pub fn successor_shard(&self, id: u32) -> Option<u32> {
+        if !self.shards.contains(&id) || self.shards.len() < 2 {
+            return None;
+        }
+        let shard_seed = derive_seed(self.seed, u64::from(id));
+        let start = self.successor(derive_seed(shard_seed, 0));
+        for k in 0..self.points.len() {
+            let shard = self.points[(start + k) % self.points.len()].1;
+            if shard != id {
+                return Some(shard);
+            }
+        }
+        None
+    }
+
     /// Every live shard in the tenant's preference order: the home shard
     /// first, then each remaining shard in ring-walk order. Failover uses
     /// this as the migration chain — the chain's prefix is stable under
@@ -190,6 +215,28 @@ mod tests {
             }
         }
         assert!(moved > 0, "shard 2 owned no tenants — vnode count too low");
+    }
+
+    #[test]
+    fn successor_shard_is_deterministic_and_rebalance_aware() {
+        let ring = HashRing::new(0xE40, 4, 64);
+        for id in 0..4 {
+            let follower = ring.successor_shard(id).expect("4-shard ring has followers");
+            assert_ne!(follower, id, "a shard cannot follow itself");
+            assert_eq!(ring.successor_shard(id), Some(follower), "must be stable");
+        }
+        // Removing the follower promotes a new one deterministically; the
+        // primary never pairs with a dead shard.
+        let mut cut = ring.clone();
+        let follower = ring.successor_shard(0).unwrap();
+        cut.remove_shard(follower);
+        let promoted = cut.successor_shard(0).expect("two live peers remain");
+        assert_ne!(promoted, follower);
+        assert_ne!(promoted, 0);
+        // A lone shard (or a dead one) has no follower.
+        let solo = HashRing::new(0xE40, 1, 64);
+        assert_eq!(solo.successor_shard(0), None);
+        assert_eq!(ring.successor_shard(99), None);
     }
 
     #[test]

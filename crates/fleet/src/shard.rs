@@ -17,6 +17,7 @@
 
 use emoleak_admission::{AdmissionConfig, AdmissionController, AdmissionStats, QueuedChunk};
 use emoleak_core::admission::{AdmissionError, FleetState};
+use emoleak_durable::Defect;
 use emoleak_stream::durable::{DurableSink, LedgerRecord};
 use emoleak_stream::log::ServiceLog;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,6 +56,9 @@ pub struct ShardHealth {
     pub restarts_used: u32,
     /// Contained panics the shard survives before dying.
     pub restart_budget: u32,
+    /// Whether the shard's replica is latched (a ship failed and no scrub
+    /// has repaired it yet). Always `false` with replication off.
+    pub replica_latched: bool,
 }
 
 /// What one [`Shard::advance`] tick produced.
@@ -74,7 +78,9 @@ pub struct Shard {
     state: ShardState,
     ctrl: Option<AdmissionController>,
     sink: DurableSink,
+    dir: PathBuf,
     journal_path: PathBuf,
+    follower: Option<u32>,
     restarts_used: u32,
     restart_budget: u32,
     ledger_every: u64,
@@ -96,31 +102,56 @@ pub fn shard_journal_path(dir: &Path, id: u32) -> PathBuf {
     dir.join(format!("shard-{id}.log"))
 }
 
+/// The replica segment path for `primary`'s journal hosted on `follower`.
+/// The follower id is part of the name so a rebalance re-homes to a fresh
+/// file and a crashed primary's replica is findable from ring state alone.
+pub fn shard_replica_path(dir: &Path, primary: u32, follower: u32) -> PathBuf {
+    dir.join(format!("shard-{primary}.replica-on-{follower}.log"))
+}
+
 impl Shard {
     /// A fresh shard with its journal segment at `dir/shard-<id>.log`
     /// (truncating any previous segment — each fleet run owns its
     /// segments).
     ///
+    /// `journal_chunks` turns on per-chunk admit/serve records (the exact
+    /// replay that makes crash failover lossless); `follower` names the
+    /// shard whose node hosts this shard's synchronous replica, or `None`
+    /// for an unreplicated shard. The two are independent: a replicated
+    /// fleet journals chunks even on a momentarily follower-less shard, so
+    /// a process kill with the disk intact still replays exactly.
+    ///
     /// # Errors
     ///
-    /// [`emoleak_durable::DurableError`] when the segment cannot be
-    /// created.
+    /// [`emoleak_durable::DurableError`] when a segment cannot be created.
     pub fn new(
         id: u32,
         dir: &Path,
         admission: AdmissionConfig,
         restart_budget: u32,
         ledger_every: u64,
+        journal_chunks: bool,
+        follower: Option<u32>,
     ) -> Result<Shard, emoleak_durable::DurableError> {
         let journal_path = shard_journal_path(dir, id);
-        let sink = DurableSink::create(&journal_path)?;
-        let ctrl = AdmissionController::new(admission).with_durable(sink.clone());
+        let sink = match follower {
+            Some(f) => {
+                DurableSink::create_replicated(&journal_path, &shard_replica_path(dir, id, f))?
+            }
+            None => DurableSink::create(&journal_path)?,
+        };
+        let mut ctrl = AdmissionController::new(admission).with_durable(sink.clone());
+        if journal_chunks {
+            ctrl = ctrl.with_chunk_journal();
+        }
         Ok(Shard {
             id,
             state: ShardState::Active,
             ctrl: Some(ctrl),
             sink,
+            dir: dir.to_path_buf(),
             journal_path,
+            follower,
             restarts_used: 0,
             restart_budget,
             ledger_every,
@@ -141,6 +172,44 @@ impl Shard {
     /// The shard's journal segment path.
     pub fn journal_path(&self) -> &Path {
         &self.journal_path
+    }
+
+    /// The shard hosting this shard's replica, when replication is on.
+    pub fn follower(&self) -> Option<u32> {
+        self.follower
+    }
+
+    /// The replica segment's path, when replication is on.
+    pub fn replica_path(&self) -> Option<PathBuf> {
+        self.sink.replica_path()
+    }
+
+    /// Re-homes the replica to `follower` (the ring's current successor
+    /// after a rebalance): the old copy is deleted and a byte-identical
+    /// copy of the primary is rebuilt on the new follower. A no-op when
+    /// the follower is unchanged or the shard is retired.
+    pub fn rehome_replica(&mut self, follower: Option<u32>) {
+        if self.state != ShardState::Active || self.follower == follower {
+            return;
+        }
+        let path = follower.map(|f| shard_replica_path(&self.dir, self.id, f));
+        self.sink.rehome_replica(path.as_deref());
+        self.follower = follower;
+    }
+
+    /// One anti-entropy scrub pass: CRC-verify the replica against the
+    /// primary and read-repair any lag or divergence. Returns the defects
+    /// found (detection plus repair); empty for a healthy or unreplicated
+    /// shard. See [`DurableSink::scrub_replica`].
+    pub fn scrub(&self) -> Vec<Defect> {
+        self.sink.scrub_replica()
+    }
+
+    /// Arms the nemesis: the next replica ship tears mid-frame and the
+    /// replica latches (a kill landing mid-ship; the primary record still
+    /// commits). See [`DurableSink::tear_replica_next`].
+    pub fn tear_replica_next(&self, frac: f64) {
+        self.sink.tear_replica_next(frac);
     }
 
     /// The live controller, or `None` for a fenced/dead shard.
@@ -229,6 +298,7 @@ impl Shard {
             mem_budget,
             restarts_used: self.restarts_used,
             restart_budget: self.restart_budget,
+            replica_latched: self.sink.replica_latched(),
         }
     }
 
@@ -269,6 +339,16 @@ impl Shard {
         self.ctrl = None;
         self.state = ShardState::Dead;
     }
+
+    /// Kills the shard *and destroys its local disk*: the primary journal
+    /// segment is deleted along with the in-memory state. Only the replica
+    /// on the follower's node survives — this is the failure replication
+    /// exists for. (The open handle keeps writing into an unlinked inode,
+    /// exactly like a real machine loss severing the disk.)
+    pub fn kill_with_disk_loss(&mut self) {
+        self.kill();
+        let _ = std::fs::remove_file(&self.journal_path);
+    }
 }
 
 /// A ledger snapshot of `stats` at tick `now`.
@@ -298,7 +378,7 @@ mod tests {
     }
 
     fn shard(dir: &Path) -> Shard {
-        Shard::new(0, dir, AdmissionConfig::default(), 2, 10).unwrap()
+        Shard::new(0, dir, AdmissionConfig::default(), 2, 10, false, None).unwrap()
     }
 
     #[test]
@@ -346,6 +426,41 @@ mod tests {
         let last = run.ledgers.last().unwrap();
         assert_eq!(last.offered, stats.offered);
         assert_eq!(last.served, stats.served);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_loss_leaves_only_the_replica_and_rehome_moves_it() {
+        let dir = scratch("diskloss");
+        let mut s =
+            Shard::new(0, &dir, AdmissionConfig::default(), 2, 10, true, Some(1)).unwrap();
+        for now in 0..12 {
+            s.offer_tagged("a", 64, now, now).unwrap();
+            s.advance(now, 1, false);
+        }
+        assert_eq!(s.follower(), Some(1));
+        let old_replica = s.replica_path().unwrap();
+        assert_eq!(old_replica, shard_replica_path(&dir, 0, 1));
+
+        // Rebalance: the follower moves to shard 2; the old copy is gone,
+        // the new copy replays the full primary stream.
+        s.rehome_replica(Some(2));
+        assert!(!old_replica.exists(), "rehome must delete the old copy");
+        let replica = s.replica_path().unwrap();
+        assert_eq!(replica, shard_replica_path(&dir, 0, 2));
+        let (primary_run, _) = recover_run(s.journal_path()).unwrap();
+        let (replica_run, defects) = recover_run(&replica).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert_eq!(primary_run, replica_run, "rehome rebuilds the exact stream");
+        assert_eq!(primary_run.admits.len(), 12, "chunk journaling records every admit");
+
+        // Disk loss: the primary file is gone; the replica still replays.
+        s.kill_with_disk_loss();
+        assert_eq!(s.state(), ShardState::Dead);
+        assert!(!s.journal_path().exists(), "the primary disk is gone");
+        let (survivor, defects) = recover_run(&replica).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert_eq!(survivor, replica_run);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,147 @@
+//! Replication contract tests at the fleet boundary: zero-loss crash
+//! failover must be byte-identical for any worker count, a double failure
+//! must book honest loss, and replication must be invisible on the clean
+//! path (same served stream with `replicas = 1` and `replicas = 0`).
+//!
+//! The thread-identity check uses `emoleak_exec::with_threads`, the same
+//! mechanism the determinism suites use elsewhere: the identical campaign
+//! runs under 1 and 4 workers and every observable — the served
+//! `(tenant, seq, cost)` stream, the conservation counters, the failover
+//! ledger — is compared exactly.
+
+use emoleak_admission::AdmissionConfig;
+use emoleak_exec::with_threads;
+use emoleak_fleet::{FailoverKind, FleetConfig, FleetCoordinator, FleetStats};
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("emoleak-fleet-repl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(replicas: u32) -> FleetConfig {
+    FleetConfig {
+        shards: 4,
+        replicas,
+        ledger_every: 10,
+        scrub_every: 10,
+        admission: AdmissionConfig {
+            mem_budget: u64::MAX / 2,
+            tenant_rps: 1_000_000,
+            tenant_burst: 1_000_000,
+            ..AdmissionConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+fn tenants(n: usize) -> Vec<String> {
+    (0..n).map(|t| format!("tenant-{t}")).collect()
+}
+
+/// One deterministic campaign: 120 capacity-starved ticks, a mid-run hard
+/// kill (when `kill` is set), then a full drain. Returns the served
+/// stream in served order plus the final counters.
+fn campaign(
+    dir: &std::path::Path,
+    replicas: u32,
+    kill: bool,
+) -> (Vec<(String, u64, u64)>, FleetStats, Vec<FailoverKind>) {
+    let mut c = FleetCoordinator::new(config(replicas), dir).unwrap();
+    let ts = tenants(16);
+    let mut served = Vec::new();
+    for now in 0..120 {
+        if kill && now == 60 {
+            // Starved queues guarantee work in flight at the kill.
+            let event = c.kill_shard(1, now);
+            assert_eq!(event.kind, FailoverKind::Crash);
+        }
+        for t in &ts {
+            let _ = c.offer(t, 64, now);
+        }
+        for chunk in c.advance(now, 2, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+        // No react(): the sustained starvation would brown-out-fence the
+        // fleet, and this suite tests the *crash* path in isolation.
+        assert!(c.stats().conserves(), "tick {now}: {:?}", c.stats());
+    }
+    let mut now = 120;
+    while c.stats().queued > 0 {
+        for chunk in c.advance(now, usize::MAX, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+        now += 1;
+    }
+    let kinds = c.failovers().iter().map(|f| f.kind).collect();
+    (served, c.stats(), kinds)
+}
+
+#[test]
+fn replicated_crash_failover_is_lossless_and_thread_identical() {
+    let dir1 = scratch("t1");
+    let dir4 = scratch("t4");
+    let (served1, stats1, kinds1) = with_threads(1, || campaign(&dir1, 1, true));
+    let (served4, stats4, kinds4) = with_threads(4, || campaign(&dir4, 1, true));
+
+    // The replication contract: a crash with a clean journal copy loses
+    // nothing, and the replay is visible in the books.
+    assert_eq!(stats1.crash_loss, 0, "replicated failover must be lossless: {stats1:?}");
+    assert!(stats1.recovered > 0, "the starved queue must replay: {stats1:?}");
+    assert!(stats1.conserves(), "{stats1:?}");
+    assert_eq!(kinds1, vec![FailoverKind::Crash]);
+
+    // The determinism contract: every observable is worker-count-blind.
+    assert_eq!(served1, served4, "served stream diverged across thread counts");
+    assert_eq!(stats1, stats4, "counters diverged across thread counts");
+    assert_eq!(kinds1, kinds4);
+
+    std::fs::remove_dir_all(&dir1).unwrap();
+    std::fs::remove_dir_all(&dir4).unwrap();
+}
+
+#[test]
+fn double_failure_books_honest_loss_not_a_silent_leak() {
+    let dir = scratch("double");
+    let mut c = FleetCoordinator::new(config(1), &dir).unwrap();
+    let ts = tenants(16);
+    for now in 0..60 {
+        for t in &ts {
+            let _ = c.offer(t, 64, now);
+        }
+        c.advance(now, 2, &[]);
+    }
+    // Disk loss + corrupted replica: no clean copy testifies.
+    let replica = c.replica_path_of(1).expect("replication is on");
+    let mut bytes = std::fs::read(&replica).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&replica, &bytes).unwrap();
+    let event = c.kill_shard_with_disk_loss(1, 60);
+    assert!(event.crash_loss > 0, "a double failure must book loss: {event:?}");
+    assert_eq!(event.recovered, 0, "a damaged copy must never replay: {event:?}");
+    assert!(c.stats().conserves(), "{:?}", c.stats());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn replication_is_invisible_on_the_clean_path() {
+    let dir_on = scratch("clean-on");
+    let dir_off = scratch("clean-off");
+    let (served_on, stats_on, kinds_on) = campaign(&dir_on, 1, false);
+    let (served_off, stats_off, kinds_off) = campaign(&dir_off, 0, false);
+
+    assert!(kinds_on.is_empty() && kinds_off.is_empty(), "clean runs fail nothing over");
+    assert_eq!(
+        served_on, served_off,
+        "replication changed what was served on the clean path"
+    );
+    assert_eq!(stats_on, stats_off, "replication changed the clean-path books");
+    assert_eq!(stats_on.crash_loss, 0);
+    assert_eq!(stats_on.recovered, 0);
+
+    std::fs::remove_dir_all(&dir_on).unwrap();
+    std::fs::remove_dir_all(&dir_off).unwrap();
+}

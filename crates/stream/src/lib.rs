@@ -35,9 +35,9 @@ pub mod source;
 pub mod supervisor;
 
 pub use durable::{
-    recover_run, DurableSink, LedgerRecord, RecoveredRun, REC_EMISSION,
-    REC_FLEET_TRANSITION, REC_LOAD_SHED, REC_RUN_SUMMARY, REC_SHARD_LEDGER,
-    REC_TRANSITION,
+    recover_run, ChunkAdmit, ChunkServe, DurableSink, LedgerRecord, RecoveredRun,
+    REC_CHUNK_ADMIT, REC_CHUNK_SERVE, REC_EMISSION, REC_FLEET_TRANSITION, REC_LOAD_SHED,
+    REC_RUN_SUMMARY, REC_SHARD_LEDGER, REC_TRANSITION,
 };
 pub use ladder::{DegradationLadder, LadderConfig, LevelCap, Transition};
 pub use log::{ServiceEvent, ServiceLog};

@@ -92,7 +92,7 @@ fn killed_campaign_resumes_byte_identical_across_thread_counts() {
     // Kill mid-journal-append on 1 worker; drop everything; resume on 4.
     // Op 2 is the second unit's append — the crash leaves a torn record.
     let dir = scratch("torn-append");
-    let err = with_threads(1, || run(Some(&dir), Some(CrashPlan { at_op: 2, partial_frac: 0.5 })))
+    let err = with_threads(1, || run(Some(&dir), Some(CrashPlan::kill(2, 0.5))))
         .expect_err("kill must fire");
     assert!(err.contains("injected crash"), "{err}");
     let resumed = with_threads(4, || run(Some(&dir), None)).expect("resume");
@@ -108,7 +108,7 @@ fn killed_campaign_resumes_byte_identical_across_thread_counts() {
     // Kill mid-snapshot-replacement on 4 workers (op 4: the manifest is
     // staged but not renamed); drop everything; resume on 1.
     let dir = scratch("staged-manifest");
-    let err = with_threads(4, || run(Some(&dir), Some(CrashPlan { at_op: 4, partial_frac: 0.5 })))
+    let err = with_threads(4, || run(Some(&dir), Some(CrashPlan::kill(4, 0.5))))
         .expect_err("kill must fire");
     assert!(err.contains("injected crash"), "{err}");
     let resumed = with_threads(1, || run(Some(&dir), None)).expect("resume");
