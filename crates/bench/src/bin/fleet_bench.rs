@@ -16,6 +16,12 @@
 //! * `journal_append_us` — mean journal-append latency solo vs with a
 //!   synchronous replica ship, plus the overhead percentage: the price
 //!   of `EMOLEAK_REPLICAS=1` on the hot durable path;
+//! * `coordinator_tick_us` — mean cost of the chunk coordinator's
+//!   offer+advance hot loop on the direct in-process path vs through the
+//!   ideal simulated message plane, plus the overhead percentage: the
+//!   price of `EMOLEAK_NET=ideal` on the clean path (the served stream
+//!   itself is asserted identical — the plane may only cost time, never
+//!   bytes);
 //! * admission counters — offered/admitted/spilled/refused sessions, so
 //!   a regression in the brown-out path shows up next to the latency it
 //!   causes.
@@ -64,6 +70,39 @@ fn journal_append_us(dir: &std::path::Path, n: u64, replicated: bool) -> f64 {
     let us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
     assert!(sink.take_error().is_none(), "append bench hit a journal error");
     us
+}
+
+/// Mean per-tick cost (µs) of the chunk coordinator's offer+advance hot
+/// loop, and the chunks it served: on the direct in-process path, or
+/// routed through the ideal simulated message plane. The serve counts of
+/// the two runs must match exactly — the transport is byte-invisible on
+/// the clean path, so the only thing it may add is time.
+fn coordinator_tick_us(dir: &std::path::Path, ticks: u64, net: bool) -> (f64, u64) {
+    use emoleak_fleet::{FleetCoordinator, NetProfileKind};
+    let sub = dir.join(if net { "coord-net" } else { "coord-direct" });
+    let mut cfg = FleetConfig {
+        shards: 4,
+        ledger_every: 10,
+        scrub_every: 10,
+        ..FleetConfig::default()
+    };
+    cfg.admission.mem_budget = u64::MAX / 2;
+    cfg.admission.tenant_rps = 1_000_000;
+    cfg.admission.tenant_burst = 1_000_000;
+    if net {
+        cfg.net.profile = NetProfileKind::Ideal;
+    }
+    let mut coord = FleetCoordinator::new(cfg, &sub).expect("bench scratch dir is writable");
+    let mut served = 0u64;
+    let t0 = Instant::now();
+    for now in 0..ticks {
+        for t in TENANTS {
+            let _ = coord.offer(t, 64, now);
+        }
+        served += coord.advance(now, usize::MAX, &[]).len() as u64;
+    }
+    let us = t0.elapsed().as_secs_f64() * 1e6 / ticks as f64;
+    (us, served)
 }
 
 fn main() -> Result<(), EmoleakError> {
@@ -169,9 +208,20 @@ fn main() -> Result<(), EmoleakError> {
         .map_err(|e| EmoleakError::Durable(format!("bench scratch dir: {e}")))?;
     let append_solo = journal_append_us(&scratch, 512, false);
     let append_repl = journal_append_us(&scratch, 512, true);
+    // The transport overhead column: the same coordinator hot loop on the
+    // direct path and through the ideal plane, with the serve counts
+    // pinned equal (time is the only acceptable cost).
+    let (tick_direct, served_direct) = coordinator_tick_us(&scratch, 256, false);
+    let (tick_net, served_net) = coordinator_tick_us(&scratch, 256, true);
+    assert!(
+        served_direct == served_net,
+        "the ideal plane changed what was served: {served_direct} direct vs {served_net} net"
+    );
     let _ = std::fs::remove_dir_all(&scratch);
     let repl_overhead_pct =
         if append_solo > 0.0 { (append_repl / append_solo - 1.0) * 100.0 } else { 0.0 };
+    let net_overhead_pct =
+        if tick_direct > 0.0 { (tick_net / tick_direct - 1.0) * 100.0 } else { 0.0 };
 
     println!(
         "{ticks} ticks, {shards} shard(s): {offered} offered, {admitted} admitted \
@@ -186,6 +236,10 @@ fn main() -> Result<(), EmoleakError> {
         "journal append: {append_solo:.1}us solo, {append_repl:.1}us replicated \
          ({repl_overhead_pct:+.0}% replication overhead)"
     );
+    println!(
+        "coordinator tick: {tick_direct:.1}us direct, {tick_net:.1}us through the ideal \
+         plane ({net_overhead_pct:+.0}% transport overhead)"
+    );
 
     let json = format!(
         "{{\n  \"ticks\": {ticks},\n  \"shards\": {shards},\n  \"mean_rate\": {rate},\n  \
@@ -198,6 +252,9 @@ fn main() -> Result<(), EmoleakError> {
          \"journal_append_us\": {{\"solo\": {append_solo:.2}, \
          \"replicated\": {append_repl:.2}, \
          \"overhead_pct\": {repl_overhead_pct:.1}}},\n  \
+         \"coordinator_tick_us\": {{\"direct\": {tick_direct:.2}, \
+         \"ideal_net\": {tick_net:.2}, \
+         \"overhead_pct\": {net_overhead_pct:.1}}},\n  \
          \"bytes_per_verdict\": {bytes_per_verdict:.1}\n}}\n"
     );
     let path = std::env::var("EMOLEAK_FLEET_BENCH_JSON")

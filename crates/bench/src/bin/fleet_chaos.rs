@@ -28,7 +28,16 @@
 //!   `crash_loss == 0` and `recovered > 0`; a scrub-repaired replica
 //!   reconciles a later disk loss exactly; only a double failure (disk
 //!   gone *and* replica corrupted) books loss — and it must book it
-//!   honestly, never replay a damaged copy.
+//!   honestly, never replay a damaged copy;
+//! * partitions cannot split the brain — a shard cut off the message
+//!   plane (fully or one-way) self-fences when its lease runs out
+//!   *before* the coordinator fails it over, its journal replays the
+//!   queue exactly, and a resurrected stale incarnation's appends are
+//!   refused with a typed fencing error, bytes untouched. These three
+//!   scenarios force the simulated transport on (`NetProfile::ideal`)
+//!   even when `EMOLEAK_NET` leaves the rest of the grid on the direct
+//!   path; setting `EMOLEAK_NET=lossy|chaotic` runs the whole grid —
+//!   and the partition arc — through a faulty plane.
 //!
 //! The simulation runs on the fleet's logical clock, and the scenario grid
 //! is parallelized with order-preserving `par_map_indexed`, so
@@ -46,7 +55,10 @@ use emoleak_bench::write_result;
 use emoleak_core::EmoleakError;
 use emoleak_durable::Defect;
 use emoleak_exec::{derive_seed, par_map_indexed, splitmix64};
-use emoleak_fleet::{FailoverKind, FleetConfig, FleetCoordinator};
+use emoleak_fleet::config::NetConfig;
+use emoleak_fleet::{
+    shard_journal_path, FailoverKind, FleetConfig, FleetCoordinator, NetProfileKind,
+};
 use std::collections::BTreeMap;
 
 const TICKS: u64 = 400;
@@ -84,10 +96,24 @@ enum Scenario {
     /// Primary disk loss *and* a corrupted replica at once: no clean copy
     /// survives, and the residual must be booked as honest crash loss.
     DoubleFailure,
+    /// One shard is fully partitioned off the message plane mid-run: its
+    /// lease must run out, the shard must self-fence *before* the
+    /// coordinator fails it over, and its journal must replay exactly.
+    /// Forces the simulated transport on (`NetProfile::ideal` unless
+    /// `EMOLEAK_NET` already enables a faultier plane).
+    Partition,
+    /// One-way partition: the shard still hears the coordinator (offers
+    /// and probes land) but its acks vanish. The lease is the only thing
+    /// that can save the fleet, and self-fence must still come first.
+    AsymmetricPartition,
+    /// After a partition-driven failover, the deposed shard "wakes up"
+    /// and tries to append to its journal. The fencing token must refuse
+    /// it with a typed error and leave the journal bytes untouched.
+    StaleWriter,
 }
 
 impl Scenario {
-    const ALL: [Scenario; 9] = [
+    const ALL: [Scenario; 12] = [
         Scenario::SteadyState,
         Scenario::ShardKill,
         Scenario::BrownOutFailover,
@@ -97,6 +123,9 @@ impl Scenario {
         Scenario::DiskLoss,
         Scenario::ReplicaCorrupt,
         Scenario::DoubleFailure,
+        Scenario::Partition,
+        Scenario::AsymmetricPartition,
+        Scenario::StaleWriter,
     ];
 
     fn name(self) -> &'static str {
@@ -110,7 +139,19 @@ impl Scenario {
             Scenario::DiskLoss => "disk_loss",
             Scenario::ReplicaCorrupt => "replica_corrupt",
             Scenario::DoubleFailure => "double_failure",
+            Scenario::Partition => "partition",
+            Scenario::AsymmetricPartition => "asymmetric_partition",
+            Scenario::StaleWriter => "stale_writer",
         }
+    }
+
+    /// The partition arc runs on the simulated message plane even when
+    /// `EMOLEAK_NET` leaves it off for the rest of the grid.
+    fn needs_transport(self) -> bool {
+        matches!(
+            self,
+            Scenario::Partition | Scenario::AsymmetricPartition | Scenario::StaleWriter
+        )
     }
 }
 
@@ -118,10 +159,11 @@ impl Scenario {
 /// shaped by the byte budget and the breaker), a short ledger cadence so
 /// crash reconciliation stays tight, and the shard count from the
 /// environment so CI can sweep it.
-fn fleet_config(shards: u32, replicas: u32) -> FleetConfig {
+fn fleet_config(shards: u32, replicas: u32, net: NetConfig) -> FleetConfig {
     let mut cfg = FleetConfig {
         shards,
         replicas,
+        net,
         ledger_every: 10,
         // A short scrub cadence so every shard's replica is verified a
         // few times within the run (round-robin over the fleet).
@@ -157,7 +199,10 @@ fn offers(
             | Scenario::CoordinatorRestart
             | Scenario::DiskLoss
             | Scenario::ReplicaCorrupt
-            | Scenario::DoubleFailure => {}
+            | Scenario::DoubleFailure
+            | Scenario::Partition
+            | Scenario::AsymmetricPartition
+            | Scenario::StaleWriter => {}
             Scenario::BrownOutFailover | Scenario::Cascade | Scenario::SplitTenantFlood => {
                 // The flood tenants hammer their home shards hard enough
                 // to overrun the byte budget and trip the breaker.
@@ -178,6 +223,7 @@ struct RunSpec {
     seed: u64,
     shards: u32,
     replicas: u32,
+    net: NetConfig,
 }
 
 struct RunRecord {
@@ -289,12 +335,32 @@ fn corrupt_file(path: &std::path::Path) -> bool {
     std::fs::write(path, &bytes).is_ok()
 }
 
+/// The burst issued one tick before a kill: deep enough that the victim
+/// still holds queue at the moment of death even after one drain tick.
+/// It goes out a tick early so that — transport on or off — the chunks
+/// are *admitted and journaled* when the shard dies, not in flight on
+/// the plane (in-flight frames are rerouted at failover, which is
+/// lossless but is not the journal-replay path these scenarios pin).
+fn burst_victim_queue(coord: &mut FleetCoordinator, now: u64) {
+    if coord.ring().len() < 2 {
+        return;
+    }
+    let victim = coord.ring().route(TENANTS[0]);
+    let victims: Vec<&str> =
+        TENANTS.iter().copied().filter(|t| coord.ring().route(t) == victim).collect();
+    for t in victims {
+        for _ in 0..8 {
+            let _ = coord.offer(t, 64, now);
+        }
+    }
+}
+
 /// Kills the shard homing `TENANTS[0]` — optionally destroying its disk
-/// and/or corrupting its replica first — after a burst of offers that
-/// guarantees a non-empty queue at the moment of death, so replication
-/// must either replay the queue or book its loss honestly. Returns the
-/// victim shard and its homed tenants, or `None` on a one-shard fleet
-/// (nothing to fail over to). `wall` accumulates time spent inside the
+/// and/or corrupting its replica first. The queue was loaded by
+/// [`burst_victim_queue`] on the previous tick, so replication must
+/// either replay it or book its loss honestly. Returns the victim shard
+/// and its homed tenants, or `None` on a one-shard fleet (nothing to
+/// fail over to). `wall` accumulates time spent inside the
 /// kill/reconcile machinery.
 fn kill_with_queue(
     coord: &mut FleetCoordinator,
@@ -313,15 +379,6 @@ fn kill_with_queue(
         .filter(|t| coord.ring().route(t) == victim)
         .map(|t| t.to_string())
         .collect();
-    // The burst lands right before the kill — no advance() between — so
-    // these chunks are still queued when the shard dies. A sustained
-    // flood would trip the breaker and fence gracefully instead; the
-    // point here is a crash with work in flight.
-    for t in &victims {
-        for _ in 0..8 {
-            let _ = coord.offer(t, 64, now);
-        }
-    }
     if corrupt_replica {
         if let Some(replica) = coord.replica_path_of(victim) {
             if !corrupt_file(&replica) {
@@ -343,8 +400,18 @@ fn kill_with_queue(
 }
 
 fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
-    let cfg = fleet_config(spec.shards, spec.replicas);
+    let mut cfg = fleet_config(spec.shards, spec.replicas, spec.net);
+    if spec.scenario.needs_transport() && !cfg.net.enabled() {
+        cfg.net.profile = NetProfileKind::Ideal;
+    }
     let replicated = cfg.replicated();
+    // A deliberately faulty plane (`EMOLEAK_NET=lossy|chaotic`) weakens
+    // the exact-replay expectations: part of a pre-kill burst can still
+    // be in flight when the shard dies, and in-flight chunks are
+    // *rerouted* at failover rather than replayed from the journal.
+    // Conservation and zero-loss still hold and are still checked.
+    let faulty_plane =
+        matches!(cfg.net.profile, NetProfileKind::Lossy | NetProfileKind::Chaotic);
     let mut coord = match FleetCoordinator::new(cfg.clone(), dir) {
         Ok(c) => c,
         Err(e) => return fail_record(spec, format!("fleet dir unusable: {e}")),
@@ -391,6 +458,8 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
     let late_kill_tick = 3 * TICKS / 4;
     let mut killed: Option<u32> = None;
     let mut kill_at = 0u64;
+    let mut partitioned: Option<u32> = None;
+    let mut self_fenced_before_failover = false;
     let mut failover_wall = std::time::Duration::ZERO;
     let mut victim_tenants: Vec<String> = Vec::new();
     let mut served: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
@@ -406,6 +475,16 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
             Scenario::ReplicaCorrupt if now == late_kill_tick => Some((true, false)),
             _ => None,
         };
+        let burst_now = match spec.scenario {
+            Scenario::ShardKill | Scenario::DiskLoss | Scenario::DoubleFailure => {
+                now + 1 == kill_tick
+            }
+            Scenario::ReplicaCorrupt => now + 1 == late_kill_tick,
+            _ => false,
+        };
+        if burst_now && spec.severity > 0.0 {
+            burst_victim_queue(&mut coord, now);
+        }
         if let Some((lose_disk, corrupt_replica)) = kill_now.filter(|_| spec.severity > 0.0) {
             if let Some((victim, victims)) = kill_with_queue(
                 &mut coord,
@@ -418,6 +497,67 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
                 victim_tenants = victims;
                 killed = Some(victim);
                 kill_at = now;
+            }
+        }
+        // The partition arc: cut one shard off the plane with a queue in
+        // flight. No kill — the lease machinery must notice on its own.
+        let partition_now = match spec.scenario {
+            Scenario::Partition | Scenario::StaleWriter if now == kill_tick => Some(false),
+            Scenario::AsymmetricPartition if now == kill_tick => Some(true),
+            _ => None,
+        };
+        if let Some(one_way) = partition_now.filter(|_| spec.severity > 0.0) {
+            if coord.ring().len() > 1 {
+                let victim = coord.ring().route(TENANTS[0]);
+                let victims: Vec<String> = TENANTS
+                    .iter()
+                    .filter(|t| coord.ring().route(t) == victim)
+                    .map(|t| t.to_string())
+                    .collect();
+                // A deep burst so the victim still holds queue when its
+                // lease finally runs out, forcing a real journal replay.
+                for t in &victims {
+                    for _ in 0..80 {
+                        let _ = coord.offer(t, 64, now);
+                    }
+                }
+                if one_way {
+                    // Shard → coordinator blocked: offers and probes
+                    // still land, acks vanish.
+                    coord.partition_shard_one_way(victim, true);
+                } else {
+                    coord.partition_shard(victim);
+                }
+                partitioned = Some(victim);
+                victim_tenants = victims;
+                killed = Some(victim);
+                kill_at = now;
+            }
+        }
+        // The resurrection attempt: well after the failover, the deposed
+        // incarnation tries to append. Typed refusal, bytes untouched.
+        if matches!(spec.scenario, Scenario::StaleWriter)
+            && spec.severity > 0.0
+            && now == late_kill_tick
+        {
+            if let Some(victim) = partitioned {
+                let journal = shard_journal_path(dir, victim);
+                let before = std::fs::read(&journal).unwrap_or_default();
+                match coord.stale_writer_probe(victim, now) {
+                    Some(e) if e.is_fenced() => {}
+                    other => violations
+                        .push(format!("stale writer was not refused typed: {other:?}")),
+                }
+                let after = std::fs::read(&journal).unwrap_or_default();
+                if before != after {
+                    violations.push("a fenced append moved journal bytes".to_string());
+                }
+                if coord.fence_token_of(victim) != Some(1) {
+                    violations.push(format!(
+                        "the deposed incarnation should still hold token 1, not {:?}",
+                        coord.fence_token_of(victim)
+                    ));
+                }
             }
         }
         if matches!(spec.scenario, Scenario::ReplicaCorrupt)
@@ -481,6 +621,17 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
             }
         }
         coord.react(now);
+        if let Some(victim) = partitioned {
+            // Split-brain ordering: the victim must be observably
+            // self-fenced (alive, lease expired, serving nothing) while
+            // the coordinator has not yet failed anything over.
+            if !self_fenced_before_failover
+                && coord.shard_self_fenced(victim, now)
+                && coord.failovers().is_empty()
+            {
+                self_fenced_before_failover = true;
+            }
+        }
         if !coord.stats().conserves() {
             violations.push(format!("identity broken at tick {now}: {:?}", coord.stats()));
             break;
@@ -579,7 +730,7 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
                             stats.crash_loss
                         ));
                     }
-                    if stats.recovered == 0 {
+                    if stats.recovered == 0 && !faulty_plane {
                         violations
                             .push("the pre-kill burst never replayed".to_string());
                     }
@@ -606,7 +757,7 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
                                 stats.crash_loss
                             ));
                         }
-                        if stats.recovered == 0 {
+                        if stats.recovered == 0 && !faulty_plane {
                             violations.push(
                                 "nothing replayed from the replica".to_string(),
                             );
@@ -637,7 +788,7 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
                             stats.crash_loss
                         ));
                     }
-                    if stats.recovered == 0 {
+                    if stats.recovered == 0 && !faulty_plane {
                         violations.push(
                             "nothing replayed from the repaired replica".to_string(),
                         );
@@ -702,6 +853,49 @@ fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
                         "restart lost shards: {} live of {}",
                         view.live, spec.shards
                     ));
+                }
+            }
+            Scenario::Partition | Scenario::AsymmetricPartition | Scenario::StaleWriter => {
+                if spec.shards > 1 {
+                    if crashes == 0 {
+                        violations
+                            .push("the lease never expired into a failover".to_string());
+                    }
+                    if !self_fenced_before_failover {
+                        violations.push(
+                            "the victim never self-fenced ahead of the failover"
+                                .to_string(),
+                        );
+                    }
+                    // The partition killed the process, not the disk: the
+                    // journal replays the queue exactly.
+                    if replicated {
+                        if stats.crash_loss != 0 {
+                            violations.push(format!(
+                                "a partition must lose nothing (the journal survives): \
+                                 {} lost",
+                                stats.crash_loss
+                            ));
+                        }
+                        if stats.recovered == 0 && !faulty_plane {
+                            violations
+                                .push("the partitioned queue never replayed".to_string());
+                        }
+                    }
+                    for t in &victim_tenants {
+                        if served_after_kill.get(t).copied().unwrap_or(0) == 0 {
+                            violations.push(format!(
+                                "tenant {t} was lost with its shard (never served again)"
+                            ));
+                        }
+                    }
+                    match coord.net_stats() {
+                        Some(ns) if ns.partitioned == 0 => violations
+                            .push("the partition never blocked a frame".to_string()),
+                        Some(_) => {}
+                        None => violations
+                            .push("the partition arc ran without a transport".to_string()),
+                    }
                 }
             }
             Scenario::SplitTenantFlood => {
@@ -860,6 +1054,7 @@ fn main() -> Result<(), EmoleakError> {
                     seed: 0xF1EE ^ (seed.wrapping_mul(0x9E37_79B9)) ^ (severity.to_bits() >> 17),
                     shards,
                     replicas,
+                    net: env_cfg.net,
                 });
             }
         }

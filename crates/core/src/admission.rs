@@ -126,12 +126,19 @@ pub enum AdmissionError {
     /// The fleet is in [`FleetState::BrownOut`]: no new work is admitted
     /// until the breaker recovers.
     BrownedOut,
+    /// The routed shard was fenced (or removed) between routing and
+    /// admission — a rebalance race, not a fault. Callers retry; the ring
+    /// has already moved the tenant's home.
+    ShardFenced {
+        /// The shard that is no longer accepting work.
+        shard: u32,
+    },
 }
 
 impl AdmissionError {
     /// A short stable tag for logs and JSON (`rate-limited`,
     /// `tenant-saturated`, `fleet-saturated`, `memory-exhausted`,
-    /// `browned-out`).
+    /// `browned-out`, `shard-fenced`).
     pub fn tag(&self) -> &'static str {
         match self {
             AdmissionError::RateLimited { .. } => "rate-limited",
@@ -139,6 +146,7 @@ impl AdmissionError {
             AdmissionError::FleetSaturated { .. } => "fleet-saturated",
             AdmissionError::MemoryExhausted { .. } => "memory-exhausted",
             AdmissionError::BrownedOut => "browned-out",
+            AdmissionError::ShardFenced { .. } => "shard-fenced",
         }
     }
 }
@@ -161,6 +169,9 @@ impl core::fmt::Display for AdmissionError {
             ),
             AdmissionError::BrownedOut => {
                 write!(f, "fleet is browned out; admission is closed")
+            }
+            AdmissionError::ShardFenced { shard } => {
+                write!(f, "shard {shard} was fenced mid-route; retry for a new placement")
             }
         }
     }
@@ -249,8 +260,9 @@ mod tests {
             AdmissionError::FleetSaturated { limit: 0 }.tag(),
             AdmissionError::MemoryExhausted { requested: 0, charged: 0, budget: 0 }.tag(),
             AdmissionError::BrownedOut.tag(),
+            AdmissionError::ShardFenced { shard: 0 }.tag(),
         ]
         .into();
-        assert_eq!(tags.len(), 5, "tags are distinct");
+        assert_eq!(tags.len(), 6, "tags are distinct");
     }
 }

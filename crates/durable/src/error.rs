@@ -71,6 +71,18 @@ pub enum DurableError {
         /// The fsync failure that latched the handle.
         cause: String,
     },
+    /// The append was refused because the writer's fencing token is stale:
+    /// a coordinator has since fenced this writer's incarnation and handed
+    /// the journal to a successor. A resurrected stale shard hits this
+    /// instead of corrupting the replay — the bytes on disk are untouched.
+    Fenced {
+        /// The journal file the stale writer tried to append to.
+        path: String,
+        /// The fencing token the writer holds.
+        held: u64,
+        /// The minimum token the storage authority currently accepts.
+        current: u64,
+    },
 }
 
 impl core::fmt::Display for DurableError {
@@ -96,6 +108,11 @@ impl core::fmt::Display for DurableError {
             DurableError::Poisoned { path, cause } => {
                 write!(f, "journal poisoned: {path}: append refused after failed fsync ({cause})")
             }
+            DurableError::Fenced { path, held, current } => write!(
+                f,
+                "fenced writer: {path}: append refused, token {held} is below the \
+                 authority's minimum {current}"
+            ),
         }
     }
 }
@@ -112,6 +129,12 @@ impl DurableError {
     /// after these; anything else is a real failure).
     pub fn is_injected(&self) -> bool {
         matches!(self, DurableError::Injected { .. })
+    }
+
+    /// Whether this error is a fencing-token rejection (a stale writer was
+    /// refused; the journal bytes are untouched).
+    pub fn is_fenced(&self) -> bool {
+        matches!(self, DurableError::Fenced { .. })
     }
 }
 
@@ -266,6 +289,10 @@ mod tests {
         assert!(e.to_string().contains("byte 42"), "{e}");
         assert!(!e.is_injected());
         assert!(DurableError::Injected { op: 3, detail: "append".into() }.is_injected());
+        let e = DurableError::Fenced { path: "shard-0.log".into(), held: 2, current: 3 };
+        assert!(e.is_fenced() && !e.is_injected());
+        let msg = e.to_string();
+        assert!(msg.contains("token 2") && msg.contains("minimum 3"), "{msg}");
     }
 
     #[test]

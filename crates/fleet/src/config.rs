@@ -8,10 +8,55 @@
 //! | `EMOLEAK_FLEET_SEED` | consistent-hash ring seed | `0xE40F_1EE7` |
 //! | `EMOLEAK_REPLICAS` | journal replicas per shard (0 disables replication) | 1 |
 //! | `EMOLEAK_SCRUB_EVERY` | ticks between anti-entropy scrub passes (0 disables) | 25 |
+//! | `EMOLEAK_NET` | transport profile: `off`, `ideal`, `lossy`, `chaotic` | `off` |
+//! | `EMOLEAK_NET_SEED` | transport fault seed (0 derives from the fleet seed) | 0 |
+//! | `EMOLEAK_NET_LEASE_TICKS` | shard serving-lease length, ticks | 8 |
+//! | `EMOLEAK_NET_DEDUP_WINDOW` | receiver dedup window, seqs per link | 1024 |
 
+use crate::transport::NetProfileKind;
 use emoleak_admission::AdmissionConfig;
 use emoleak_core::EmoleakError;
 use emoleak_exec::parse_checked;
+
+/// Tuning for the simulated message plane
+/// ([`SimNet`](crate::transport::SimNet)) the coordinator routes
+/// shard traffic through when the profile is not
+/// [`NetProfileKind::Off`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Which fault profile the plane runs under. `Off` keeps the PR 6
+    /// direct in-process path, byte for byte.
+    pub profile: NetProfileKind,
+    /// Seed for the plane's fault draws. `0` derives a stream from the
+    /// fleet seed so one knob reseeds everything together.
+    pub seed: u64,
+    /// The serving-lease length, in ticks. Each coordinator heartbeat
+    /// grants `now + lease_ticks`; a shard whose lease expires unrenewed
+    /// self-fences, and the coordinator fails it over only after the
+    /// grant provably expired — the two deadlines are the same number,
+    /// so no tick exists where both sides believe they may act.
+    pub lease_ticks: u64,
+    /// Receiver-side dedup window per directed link, in sequence numbers.
+    pub dedup_window: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            profile: NetProfileKind::Off,
+            seed: 0,
+            lease_ticks: 8,
+            dedup_window: 1024,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Whether traffic flows through the simulated plane at all.
+    pub fn enabled(&self) -> bool {
+        self.profile != NetProfileKind::Off
+    }
+}
 
 /// Tuning for a sharded fleet ([`FleetCoordinator`](crate::FleetCoordinator)
 /// / [`FleetService`](crate::FleetService)).
@@ -44,6 +89,10 @@ pub struct FleetConfig {
     /// live shard's replica against its primary (round-robin over the
     /// fleet) and read-repairs lag or divergence. `0` disables scrubbing.
     pub scrub_every: u64,
+    /// Simulated-transport tuning (`EMOLEAK_NET*`). Off by default: the
+    /// coordinator talks to shards by direct calls unless a profile is
+    /// selected.
+    pub net: NetConfig,
     /// Per-shard admission tuning.
     pub admission: AdmissionConfig,
 }
@@ -59,6 +108,7 @@ impl Default for FleetConfig {
             ledger_every: 50,
             replicas: 1,
             scrub_every: 25,
+            net: NetConfig::default(),
             admission: AdmissionConfig::default(),
         }
     }
@@ -91,6 +141,30 @@ impl FleetConfig {
         {
             cfg.scrub_every = n;
         }
+        if let Some(kind) = parse_checked::<NetProfileKind>(
+            "EMOLEAK_NET",
+            "one of off, ideal, lossy, chaotic",
+            |_| true,
+        )? {
+            cfg.net.profile = kind;
+        }
+        if let Some(s) =
+            parse_checked::<u64>("EMOLEAK_NET_SEED", "a u64 seed (0 derives)", |_| true)?
+        {
+            cfg.net.seed = s;
+        }
+        if let Some(t) =
+            parse_checked::<u64>("EMOLEAK_NET_LEASE_TICKS", "a positive tick count", |&t| t > 0)?
+        {
+            cfg.net.lease_ticks = t;
+        }
+        if let Some(w) = parse_checked::<usize>(
+            "EMOLEAK_NET_DEDUP_WINDOW",
+            "a positive window size",
+            |&w| w > 0,
+        )? {
+            cfg.net.dedup_window = w;
+        }
         Ok(cfg)
     }
 
@@ -105,27 +179,57 @@ impl FleetConfig {
 mod tests {
     use super::*;
 
-    // Env mutation is process-global; this test owns these four names.
+    // Env mutation is process-global; this test owns these eight names.
     #[test]
     fn env_overrides_are_strict() {
-        const NAMES: [&str; 4] =
-            ["EMOLEAK_SHARDS", "EMOLEAK_FLEET_SEED", "EMOLEAK_REPLICAS", "EMOLEAK_SCRUB_EVERY"];
+        const NAMES: [&str; 8] = [
+            "EMOLEAK_SHARDS",
+            "EMOLEAK_FLEET_SEED",
+            "EMOLEAK_REPLICAS",
+            "EMOLEAK_SCRUB_EVERY",
+            "EMOLEAK_NET",
+            "EMOLEAK_NET_SEED",
+            "EMOLEAK_NET_LEASE_TICKS",
+            "EMOLEAK_NET_DEDUP_WINDOW",
+        ];
         for name in NAMES {
             std::env::remove_var(name);
         }
         assert_eq!(FleetConfig::from_env().unwrap(), FleetConfig::default());
         assert!(FleetConfig::default().replicated(), "replication is on by default");
+        assert!(!FleetConfig::default().net.enabled(), "transport is off by default");
 
         std::env::set_var("EMOLEAK_SHARDS", "2");
         std::env::set_var("EMOLEAK_FLEET_SEED", "12345");
         std::env::set_var("EMOLEAK_REPLICAS", "0");
         std::env::set_var("EMOLEAK_SCRUB_EVERY", "10");
+        std::env::set_var("EMOLEAK_NET", "lossy");
+        std::env::set_var("EMOLEAK_NET_SEED", "99");
+        std::env::set_var("EMOLEAK_NET_LEASE_TICKS", "12");
+        std::env::set_var("EMOLEAK_NET_DEDUP_WINDOW", "256");
         let cfg = FleetConfig::from_env().unwrap();
         assert_eq!(cfg.shards, 2);
         assert_eq!(cfg.seed, 12345);
         assert_eq!(cfg.replicas, 0);
         assert!(!cfg.replicated());
         assert_eq!(cfg.scrub_every, 10);
+        assert_eq!(cfg.net.profile, NetProfileKind::Lossy);
+        assert!(cfg.net.enabled());
+        assert_eq!(cfg.net.seed, 99);
+        assert_eq!(cfg.net.lease_ticks, 12);
+        assert_eq!(cfg.net.dedup_window, 256);
+
+        std::env::set_var("EMOLEAK_NET", "flaky-wifi");
+        let err = FleetConfig::from_env().unwrap_err();
+        assert!(matches!(err, EmoleakError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("EMOLEAK_NET"));
+        std::env::remove_var("EMOLEAK_NET");
+
+        std::env::set_var("EMOLEAK_NET_LEASE_TICKS", "0");
+        let err = FleetConfig::from_env().unwrap_err();
+        assert!(matches!(err, EmoleakError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("EMOLEAK_NET_LEASE_TICKS"));
+        std::env::remove_var("EMOLEAK_NET_LEASE_TICKS");
 
         std::env::set_var("EMOLEAK_REPLICAS", "3");
         let err = FleetConfig::from_env().unwrap_err();

@@ -62,13 +62,16 @@
 use crate::config::FleetConfig;
 use crate::ring::HashRing;
 use crate::shard::{shard_journal_path, shard_replica_path, Shard, ShardHealth, ShardState};
-use emoleak_admission::QueuedChunk;
+use crate::transport::{Msg, NetStats, NodeId, SimNet};
+use emoleak_admission::{AdmissionStats, QueuedChunk};
 use emoleak_core::admission::{AdmissionError, FleetState};
 use emoleak_durable::{Dec, Defect, DurableError, Enc, Journal};
-use emoleak_exec::par_map_vec_indexed;
+use emoleak_exec::{derive_seed, par_map_vec_indexed};
 use emoleak_stream::durable::{recover_run, ChunkAdmit, LedgerRecord};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Coordinator-journal record kind: one checkpoint.
 pub const REC_CHECKPOINT: u8 = 1;
@@ -157,6 +160,40 @@ pub struct FleetView {
     /// Every defect the anti-entropy scrubber has found (and repaired) so
     /// far, in detection order.
     pub scrub_events: Vec<Defect>,
+    /// Every internal invariant violation the coordinator detected and
+    /// survived, in detection order. Empty in a correct build.
+    pub internal_errors: Vec<FleetInternalError>,
+}
+
+/// A violated internal invariant the coordinator detected — and survived —
+/// at runtime. These are coordinator *bugs made visible*: instead of a
+/// `debug_assert` that vanishes in release builds (or an abort that takes
+/// the fleet down), the violation is booked honestly (conservation stays
+/// exact) and reported here for harnesses and operators to flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetInternalError {
+    /// A fence returned a non-empty queue snapshot: `Shard::fence` is
+    /// specified to evacuate before snapshotting, so the final counters
+    /// should always show `queued == 0`. The residual was booked as shed
+    /// (and counted into `crash_loss`) so the identity still holds.
+    FenceLeftQueue {
+        /// The fenced shard.
+        shard: u32,
+        /// Chunks the final snapshot still showed queued.
+        queued: u64,
+    },
+}
+
+impl core::fmt::Display for FleetInternalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetInternalError::FenceLeftQueue { shard, queued } => write!(
+                f,
+                "invariant violated: fencing shard {shard} left {queued} chunk(s) queued \
+                 (booked as shed)"
+            ),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -166,6 +203,30 @@ struct RetiredTotals {
     rejected: u64,
     shed: u64,
     migrated: u64,
+}
+
+/// One shard's serving lease, as the coordinator tracks it.
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    /// The furthest `lease_until` the coordinator has granted. The shard
+    /// may serve through this tick, so failover before `now >
+    /// granted_until` could split-brain; the coordinator never does.
+    granted_until: u64,
+    /// The tick the last probe ack arrived. Grants stop when this goes
+    /// stale, which freezes `granted_until` and starts the failover clock.
+    last_ack: u64,
+}
+
+/// The transport-mode state: the simulated plane plus the lease table and
+/// the probe-derived health cache.
+struct NetRuntime {
+    net: SimNet<Msg>,
+    lease_ticks: u64,
+    leases: BTreeMap<u32, Lease>,
+    /// Latest `ProbeAck` health per shard, with its arrival tick. `react`
+    /// keys off this in transport mode: the coordinator can only act on
+    /// what the (unreliable) plane actually told it.
+    health_cache: BTreeMap<u32, (u64, ShardHealth)>,
 }
 
 /// The fleet coordinator. See the module docs for the failover model.
@@ -184,6 +245,15 @@ pub struct FleetCoordinator {
     ckpt_seq: u64,
     failovers: Vec<FailoverEvent>,
     scrub_events: Vec<Defect>,
+    internal_errors: Vec<FleetInternalError>,
+    /// `Some` when `cfg.net` selects a profile: all shard traffic flows
+    /// through the simulated plane. `None` is the direct-call path,
+    /// byte-for-byte the PR 6 behaviour.
+    net: Option<NetRuntime>,
+    /// Per-shard fencing-token authority: the minimum token the shard's
+    /// journal currently accepts. Shared (`Arc`) with the shard's sink so
+    /// a resurrected stale incarnation checks the *live* value.
+    fence_authorities: BTreeMap<u32, Arc<AtomicU64>>,
 }
 
 /// The coordinator's own checkpoint journal path under `dir`.
@@ -218,7 +288,7 @@ impl FleetCoordinator {
             )?);
         }
         let checkpoint = Journal::create(&coordinator_journal_path(dir))?;
-        Ok(FleetCoordinator {
+        let mut coord = FleetCoordinator {
             ring,
             routed: (0..cfg.shards).map(|id| (id, 0)).collect(),
             cfg,
@@ -233,7 +303,50 @@ impl FleetCoordinator {
             ckpt_seq: 0,
             failovers: Vec::new(),
             scrub_events: Vec::new(),
-        })
+            internal_errors: Vec::new(),
+            net: None,
+            fence_authorities: BTreeMap::new(),
+        };
+        coord.arm_transport(0);
+        Ok(coord)
+    }
+
+    /// The fencing token every first shard incarnation holds. Authorities
+    /// start below it (0 = accept anything), and a failover raises the
+    /// shard's authority past it, fencing the incarnation out.
+    const FIRST_INCARNATION_TOKEN: u64 = 1;
+
+    /// Brings up the simulated message plane when the config selects a
+    /// profile: every shard gets a fencing token on its journal writer, a
+    /// lease gate on its drain loop, and a lease entry at the coordinator.
+    /// `start` anchors the first lease grants: tick 0 for a fresh fleet,
+    /// the checkpoint tick for a recovered one — a recovered coordinator
+    /// resumes mid-clock, and leases dated from 0 would all look expired
+    /// on the first advance, failing over the entire (healthy) fleet.
+    fn arm_transport(&mut self, start: u64) {
+        let Some(profile) = self.cfg.net.profile.profile() else { return };
+        let seed = match self.cfg.net.seed {
+            0 => derive_seed(self.cfg.seed, 0x005E_70FF_A111),
+            s => s,
+        };
+        let lease_ticks = self.cfg.net.lease_ticks;
+        let mut leases = BTreeMap::new();
+        for shard in &mut self.shards {
+            let authority = Arc::new(AtomicU64::new(0));
+            shard.arm_fence(Self::FIRST_INCARNATION_TOKEN, authority.clone());
+            shard.enable_lease(start + lease_ticks);
+            self.fence_authorities.insert(shard.id(), authority);
+            leases.insert(
+                shard.id(),
+                Lease { granted_until: start + lease_ticks, last_ack: start },
+            );
+        }
+        self.net = Some(NetRuntime {
+            net: SimNet::new(profile, seed, self.cfg.net.dedup_window, 2),
+            lease_ticks,
+            leases,
+            health_cache: BTreeMap::new(),
+        });
     }
 
     /// The live routing ring.
@@ -263,9 +376,15 @@ impl FleetCoordinator {
     /// advances even on a refusal, so numbering is a pure function of the
     /// offer stream — not of per-shard admission outcomes.
     ///
+    /// In transport mode the offer is *sent*, not applied: it rides the
+    /// plane as a `Msg::Offer` and is admitted when it arrives (same tick
+    /// under [`crate::transport::NetProfile::ideal`]). The call then
+    /// always returns `Ok` — admission refusals happen at the shard's
+    /// front door on delivery and are counted there.
+    ///
     /// # Errors
     ///
-    /// Whatever the home shard's front door refuses with.
+    /// Whatever the home shard's front door refuses with (direct mode).
     ///
     /// # Panics
     ///
@@ -278,6 +397,11 @@ impl FleetCoordinator {
             seq
         };
         let id = self.ring.route(tenant);
+        if let Some(rt) = self.net.as_mut() {
+            let msg = Msg::Offer { tenant: tenant.to_string(), chunk_seq: seq, cost };
+            rt.net.send(NodeId::Coordinator, NodeId::Shard(id), msg, now);
+            return Ok(());
+        }
         *self.routed.entry(id).or_insert(0) += 1;
         self.shard_mut(id).offer_tagged(tenant, cost, now, seq)
     }
@@ -290,6 +414,10 @@ impl FleetCoordinator {
     /// count. A shard whose restart budget dies this tick is crash-failed
     /// over before this returns.
     pub fn advance(&mut self, now: u64, capacity: usize, panics: &[u32]) -> Vec<QueuedChunk> {
+        if self.net.is_some() {
+            self.net_deliver(now);
+            self.lease_expiry_failover(now);
+        }
         let shards = std::mem::take(&mut self.shards);
         let mut results = par_map_vec_indexed(shards, |_, mut shard| {
             let inject = panics.contains(&shard.id());
@@ -309,7 +437,250 @@ impl FleetCoordinator {
             self.crash_failover(id, now);
         }
         self.scrub_tick(now);
+        if self.net.is_some() {
+            self.net_probe(now);
+        }
         served
+    }
+
+    /// Pumps the plane at `now` and applies every fresh delivery: offers
+    /// land at shard front doors, probes extend shard leases (and are
+    /// acked with a health sample), drains fence shards, and evacuations
+    /// book the retired counters and re-offer the evacuated queue.
+    fn net_deliver(&mut self, now: u64) {
+        let mut rt = self.net.take().expect("net_deliver requires transport mode");
+        for d in rt.net.pump(now) {
+            match d.dst {
+                NodeId::Shard(id) => self.net_deliver_to_shard(&mut rt, id, d, now),
+                NodeId::Coordinator => self.net_deliver_to_coordinator(&mut rt, d, now),
+            }
+        }
+        self.net = Some(rt);
+    }
+
+    /// Applies one delivery addressed to shard `id` (the coordinator owns
+    /// every shard object, so it runs the shard's receive logic in place —
+    /// deterministically, in delivery order).
+    fn net_deliver_to_shard(
+        &mut self,
+        rt: &mut NetRuntime,
+        id: u32,
+        d: crate::transport::Delivery<Msg>,
+        now: u64,
+    ) {
+        let alive = self
+            .shards
+            .iter()
+            .any(|s| s.id() == id && s.state() == ShardState::Active);
+        match d.payload {
+            Msg::Offer { tenant, chunk_seq, cost } => {
+                if !alive || !self.ring.contains(id) {
+                    // Dead, fenced, or already off the ring: refuse. The
+                    // frame stays pending and the failover path re-routes
+                    // it (`take_pending_to`) — at-least-once, never lost.
+                    rt.net.refuse();
+                    return;
+                }
+                *self.routed.entry(id).or_insert(0) += 1;
+                // A refusal here is the shard's front door rejecting
+                // (counted in its `rejected`) — delivery still succeeded.
+                let _ = self.shard_mut(id).offer_tagged(&tenant, cost, now, chunk_seq);
+                rt.net.accept(d.src, d.dst, d.seq, now);
+            }
+            Msg::Probe { lease_until } => {
+                if !alive {
+                    rt.net.refuse();
+                    return;
+                }
+                let shard = self.shard_mut(id);
+                shard.grant_lease(lease_until);
+                let health = shard.health();
+                rt.net.accept(d.src, d.dst, d.seq, now);
+                rt.net.send(NodeId::Shard(id), NodeId::Coordinator, Msg::ProbeAck { health }, now);
+            }
+            Msg::Drain => {
+                if !alive {
+                    rt.net.refuse();
+                    return;
+                }
+                let (chunks, stats) = self.shard_mut(id).fence(now);
+                rt.net.accept(d.src, d.dst, d.seq, now);
+                rt.net.send(
+                    NodeId::Shard(id),
+                    NodeId::Coordinator,
+                    Msg::Evacuated { chunks, stats },
+                    now,
+                );
+            }
+            // Shards never receive acks or evacuations; a misrouted frame
+            // is refused (and eventually discarded by failover cleanup).
+            Msg::ProbeAck { .. } | Msg::Evacuated { .. } => rt.net.refuse(),
+        }
+    }
+
+    /// Applies one delivery addressed to the coordinator.
+    fn net_deliver_to_coordinator(
+        &mut self,
+        rt: &mut NetRuntime,
+        d: crate::transport::Delivery<Msg>,
+        now: u64,
+    ) {
+        let NodeId::Shard(from) = d.src else {
+            rt.net.refuse();
+            return;
+        };
+        match d.payload {
+            Msg::ProbeAck { health } => {
+                rt.net.accept(d.src, d.dst, d.seq, now);
+                if let Some(lease) = rt.leases.get_mut(&from) {
+                    lease.last_ack = lease.last_ack.max(now);
+                }
+                rt.health_cache.insert(from, (now, health));
+            }
+            Msg::Evacuated { chunks, stats } => {
+                rt.net.accept(d.src, d.dst, d.seq, now);
+                // Gate on the shard's unbooked final snapshot: if a lease
+                // expiry crash-failed this shard while the evacuation was
+                // in flight, the journal already reconciled it and this
+                // message is a stale duplicate of that accounting.
+                if self.shard_mut(from).take_final_stats().is_none() {
+                    return;
+                }
+                self.book_fenced_stats(from, &stats);
+                self.bump_fence_authority(from);
+                rt.leases.remove(&from);
+                rt.health_cache.remove(&from);
+                let moved = chunks.len() as u64;
+                let mut lost = Vec::new();
+                for chunk in chunks {
+                    if self.ring.is_empty() {
+                        lost.push(chunk);
+                        continue;
+                    }
+                    let target = self.ring.route(&chunk.tenant);
+                    let msg = Msg::Offer {
+                        tenant: chunk.tenant,
+                        chunk_seq: chunk.seq,
+                        cost: chunk.cost,
+                    };
+                    rt.net.send(NodeId::Coordinator, NodeId::Shard(target), msg, now);
+                }
+                if !lost.is_empty() {
+                    // No live shard left to take the evacuees: booked
+                    // honestly, never silently leaked.
+                    self.retired.shed += lost.len() as u64;
+                    self.crash_loss += lost.len() as u64;
+                }
+                self.net_reroute_pending(rt, from, now);
+                self.failovers.push(FailoverEvent {
+                    tick: now,
+                    shard: from,
+                    kind: FailoverKind::Graceful,
+                    moved_chunks: moved,
+                    reoffer_rejected: 0,
+                    crash_loss: lost.len() as u64,
+                    recovered: 0,
+                });
+            }
+            // The coordinator never receives offers, probes, or drains.
+            Msg::Offer { .. } | Msg::Probe { .. } | Msg::Drain => rt.net.refuse(),
+        }
+    }
+
+    /// Takes every frame still pending to retired shard `id` off the
+    /// plane. Offers that were never applied at the receiver re-route to
+    /// the tenant's current home (at-least-once across failover); applied
+    /// frames are already accounted by the receiver's journal, and
+    /// control frames (probes, drains) die with the endpoint.
+    fn net_reroute_pending(&mut self, rt: &mut NetRuntime, id: u32, now: u64) {
+        let pending = rt.net.take_pending_to(NodeId::Shard(id));
+        for (_src, _seq, msg, applied) in pending {
+            if applied {
+                continue;
+            }
+            if let Msg::Offer { tenant, chunk_seq, cost } = msg {
+                if self.ring.is_empty() {
+                    self.retired.offered += 1;
+                    self.retired.shed += 1;
+                    self.crash_loss += 1;
+                    continue;
+                }
+                let target = self.ring.route(&tenant);
+                let msg = Msg::Offer { tenant, chunk_seq, cost };
+                rt.net.send(NodeId::Coordinator, NodeId::Shard(target), msg, now);
+            }
+        }
+    }
+
+    /// Fails over every shard whose lease *provably* expired: the
+    /// coordinator granted `lease_until` values only up to
+    /// `granted_until`, so once `now > granted_until` the shard — which
+    /// can hold no fresher grant — has already self-fenced. Failing over
+    /// before that tick could split-brain; at it, it cannot.
+    fn lease_expiry_failover(&mut self, now: u64) {
+        let expired: Vec<u32> = self
+            .net
+            .as_ref()
+            .map(|rt| {
+                // One extra tick beyond the recorded grant: the grant
+                // value a shard holds was delivered a tick after it was
+                // recorded here, so the epsilon guarantees the shard's
+                // own lease check fires strictly first — even when every
+                // grant up to the horizon was delivered (one-way
+                // partitions). No split-brain without relying on
+                // intra-tick ordering.
+                rt.leases
+                    .iter()
+                    .filter(|(_, l)| now > l.granted_until + 1)
+                    .map(|(id, _)| *id)
+                    .collect()
+            })
+            .unwrap_or_default();
+        for id in expired {
+            // The shard is unreachable or wedged; treat it as dead. Its
+            // journal segment (and replica) reconcile the exact queue.
+            self.shard_mut(id).kill();
+            self.crash_failover(id, now);
+        }
+    }
+
+    /// Sends this tick's heartbeat probes. A probe extends the shard's
+    /// lease to `now + lease_ticks` — but only while acks are fresh: once
+    /// `last_ack` goes stale the coordinator stops granting, the shard's
+    /// lease runs down, and both sides converge on a fence/failover with
+    /// no overlap.
+    fn net_probe(&mut self, now: u64) {
+        let mut rt = self.net.take().expect("net_probe requires transport mode");
+        let live: Vec<u32> = self
+            .shards
+            .iter()
+            .filter(|s| s.state() == ShardState::Active && self.ring.contains(s.id()))
+            .map(Shard::id)
+            .collect();
+        for id in live {
+            let Some(lease) = rt.leases.get_mut(&id) else { continue };
+            let until = if now.saturating_sub(lease.last_ack) <= rt.lease_ticks {
+                // Acks are fresh: extend the grant.
+                let until = now + rt.lease_ticks;
+                lease.granted_until = lease.granted_until.max(until);
+                until
+            } else {
+                // Acks went stale: extending now could grant a lease the
+                // coordinator is about to expire, so the probe re-states
+                // the frozen grant instead (`grant_lease` is monotonic, so
+                // this never extends anything). Probing continues so a
+                // healed partition resumes the handshake — the first ack
+                // through refreshes `last_ack` and grants resume.
+                lease.granted_until
+            };
+            rt.net.send(
+                NodeId::Coordinator,
+                NodeId::Shard(id),
+                Msg::Probe { lease_until: until },
+                now,
+            );
+        }
+        self.net = Some(rt);
     }
 
     /// One anti-entropy pass on cadence: every `scrub_every` ticks, one
@@ -343,7 +714,7 @@ impl FleetCoordinator {
     /// sheds load). Returns the failovers performed.
     pub fn react(&mut self, now: u64) -> Vec<FailoverEvent> {
         let mut fenced = Vec::new();
-        for h in self.view().shards {
+        for h in self.health_samples() {
             if h.state != ShardState::Active || !self.ring.contains(h.id) {
                 continue;
             }
@@ -360,10 +731,56 @@ impl FleetCoordinator {
         let mut events = Vec::new();
         for id in fenced {
             if self.ring.len() > 1 {
-                events.push(self.graceful_failover(id, now));
+                if self.net.is_some() {
+                    self.net_drain(id, now);
+                } else {
+                    events.push(self.graceful_failover(id, now));
+                }
             }
         }
         events
+    }
+
+    /// The health samples `react` keys off. Direct mode reads each shard
+    /// in place; transport mode reads the probe-derived cache — the
+    /// coordinator can only act on what the plane actually delivered, so
+    /// a partitioned shard's health freezes at its last ack (its *lease*
+    /// is what expires, not its health picture).
+    fn health_samples(&self) -> Vec<ShardHealth> {
+        match &self.net {
+            None => self.shards.iter().map(Shard::health).collect(),
+            Some(rt) => self
+                .shards
+                .iter()
+                .map(|s| rt.health_cache.get(&s.id()).map_or_else(|| s.health(), |(_, h)| *h))
+                .collect(),
+        }
+    }
+
+    /// Starts a graceful failover over the plane: the shard leaves the
+    /// ring immediately (no new offers route to it) and a `Msg::Drain`
+    /// is sent; the shard fences on receipt and ships its queue back as
+    /// `Msg::Evacuated`, which books the retirement and re-offers the
+    /// evacuees. At-least-once delivery carries both legs through loss.
+    fn net_drain(&mut self, id: u32, now: u64) {
+        self.routed.remove(&id);
+        self.ring.remove_shard(id);
+        self.rehome_replicas();
+        // The fencing authority is NOT bumped yet: the shard still has to
+        // write its final ledger when the drain lands. The bump happens
+        // when the evacuation is booked (or a lease expiry crash-fails
+        // the shard first).
+        let rt = self.net.as_mut().expect("net_drain requires transport mode");
+        rt.net.send(NodeId::Coordinator, NodeId::Shard(id), Msg::Drain, now);
+    }
+
+    /// Raises shard `id`'s fencing authority past its incarnation's
+    /// token: any append the stale writer attempts from here on is
+    /// refused with [`DurableError::Fenced`], before touching the bytes.
+    fn bump_fence_authority(&mut self, id: u32) {
+        if let Some(auth) = self.fence_authorities.get(&id) {
+            auth.store(Self::FIRST_INCARNATION_TOKEN + 1, Ordering::SeqCst);
+        }
     }
 
     /// Hard-kills shard `id` (chaos: a `SIGKILL` mid-campaign) and
@@ -399,12 +816,10 @@ impl FleetCoordinator {
     /// route (seq tags intact).
     fn graceful_failover(&mut self, id: u32, now: u64) -> FailoverEvent {
         let (evacuated, stats) = self.shard_mut(id).fence(now);
-        debug_assert_eq!(stats.queued, 0, "fence evacuates before snapshotting");
-        self.retired.offered += stats.offered;
-        self.retired.served += stats.served;
-        self.retired.rejected += stats.rejected;
-        self.retired.shed += stats.shed;
-        self.retired.migrated += stats.migrated;
+        // Consume the shard's retained snapshot (it is being booked right
+        // here) so the live roll-up does not count it a second time.
+        let _ = self.shard_mut(id).take_final_stats();
+        self.book_fenced_stats(id, &stats);
         self.routed.remove(&id);
         self.ring.remove_shard(id);
         self.rehome_replicas();
@@ -432,6 +847,26 @@ impl FleetCoordinator {
         };
         self.failovers.push(event);
         event
+    }
+
+    /// Books a fenced shard's final counters into the retired ledger,
+    /// enforcing the fence invariant *in release builds*: `Shard::fence`
+    /// evacuates before snapshotting, so `queued` must be zero. A
+    /// violation (a coordinator bug) is reported as a typed
+    /// [`FleetInternalError`] and the residual is booked as shed, keeping
+    /// the conservation identity exact instead of aborting the fleet.
+    fn book_fenced_stats(&mut self, id: u32, stats: &AdmissionStats) {
+        if stats.queued != 0 {
+            self.internal_errors
+                .push(FleetInternalError::FenceLeftQueue { shard: id, queued: stats.queued });
+            self.retired.shed += stats.queued;
+            self.crash_loss += stats.queued;
+        }
+        self.retired.offered += stats.offered;
+        self.retired.served += stats.served;
+        self.retired.rejected += stats.rejected;
+        self.retired.shed += stats.shed;
+        self.retired.migrated += stats.migrated;
     }
 
     /// Re-pairs every live shard with its current ring successor after a
@@ -467,6 +902,17 @@ impl FleetCoordinator {
         let (queue, booked_loss) = self.reconcile_books(id, follower, routed);
         self.ring.remove_shard(id);
         self.rehome_replicas();
+        if self.net.is_some() {
+            // Fence the dead incarnation out of its journal (a resurrected
+            // stale writer gets a typed refusal, not a corrupted replay),
+            // then clear its lease and re-route its undelivered offers.
+            self.bump_fence_authority(id);
+            let mut rt = self.net.take().expect("checked above");
+            rt.leases.remove(&id);
+            rt.health_cache.remove(&id);
+            self.net_reroute_pending(&mut rt, id, now);
+            self.net = Some(rt);
+        }
         let (recovered, reoffer_rejected, residual_loss) = self.reoffer_recovered(queue, now);
         let event = FailoverEvent {
             tick: now,
@@ -622,8 +1068,78 @@ impl FleetCoordinator {
             restart_burn: shards.iter().map(|h| h.restarts_used).sum(),
             replicas_latched: live.iter().filter(|h| h.replica_latched).count(),
             scrub_events: self.scrub_events.clone(),
+            internal_errors: self.internal_errors.clone(),
             shards,
         }
+    }
+
+    /// Whether shard traffic flows through the simulated message plane.
+    pub fn net_enabled(&self) -> bool {
+        self.net.is_some()
+    }
+
+    /// The message plane's counters, when transport mode is on.
+    pub fn net_stats(&self) -> Option<NetStats> {
+        self.net.as_ref().map(|rt| rt.net.stats())
+    }
+
+    /// Every internal invariant violation detected (and survived) so far.
+    pub fn internal_errors(&self) -> &[FleetInternalError] {
+        &self.internal_errors
+    }
+
+    /// Scripts a full partition between the coordinator and shard `id`:
+    /// both directions of the pair are blocked until healed. Transport
+    /// mode only (a no-op on the direct path, which has no network to
+    /// partition).
+    pub fn partition_shard(&mut self, id: u32) {
+        if let Some(rt) = self.net.as_mut() {
+            rt.net.partition_pair(NodeId::Coordinator, NodeId::Shard(id));
+        }
+    }
+
+    /// Scripts a one-way partition: when `inbound` is true the shard can
+    /// no longer reach the coordinator (acks and evacuations are lost —
+    /// the asymmetric case that forces self-fencing); otherwise the
+    /// coordinator can no longer reach the shard.
+    pub fn partition_shard_one_way(&mut self, id: u32, inbound: bool) {
+        if let Some(rt) = self.net.as_mut() {
+            if inbound {
+                rt.net.block(NodeId::Shard(id), NodeId::Coordinator);
+            } else {
+                rt.net.block(NodeId::Coordinator, NodeId::Shard(id));
+            }
+        }
+    }
+
+    /// Heals every scripted partition.
+    pub fn heal_partitions(&mut self) {
+        if let Some(rt) = self.net.as_mut() {
+            rt.net.heal_all();
+        }
+    }
+
+    /// Whether shard `id` is currently self-fenced: lease-gated with an
+    /// expired lease, frozen until a fresher grant arrives.
+    pub fn shard_self_fenced(&self, id: u32, now: u64) -> bool {
+        self.shards
+            .iter()
+            .find(|s| s.id() == id)
+            .is_some_and(|s| s.state() == ShardState::Active && s.lease_expired(now))
+    }
+
+    /// The fencing token shard `id`'s journal writer holds, when armed.
+    pub fn fence_token_of(&self, id: u32) -> Option<u64> {
+        self.shards.iter().find(|s| s.id() == id).and_then(Shard::fence_token)
+    }
+
+    /// Resurrects retired shard `id` as a *stale writer*: attempts one
+    /// journal append under its old incarnation's token and returns the
+    /// typed refusal. `Some(DurableError::Fenced { .. })` proves the
+    /// fencing token rejected the write with the bytes untouched; `None`
+    /// means the append went through (the shard was never fenced out).
+    pub fn stale_writer_probe(&self, id: u32, now: u64) -> Option<DurableError> {
+        self.shards.iter().find(|s| s.id() == id).and_then(|s| s.stale_append_probe(now))
     }
 
     /// The fleet-wide roll-up: retired ledgers plus live counters.
@@ -757,6 +1273,9 @@ impl FleetCoordinator {
             ckpt_seq: 0,
             failovers: Vec::new(),
             scrub_events: Vec::new(),
+            internal_errors: Vec::new(),
+            net: None,
+            fence_authorities: BTreeMap::new(),
         };
         for (id, routed) in &live {
             coord.ring.insert_shard(*id);
@@ -803,6 +1322,10 @@ impl FleetCoordinator {
             )?);
             coord.routed.insert(*id, 0);
         }
+        // Fresh incarnations get fresh fencing tokens, leases, and a
+        // fresh plane (new seed stream; in-flight frames died with the
+        // old process, exactly like a real restart).
+        coord.arm_transport(tick);
         for (id, queue, booked_loss) in queues {
             let (recovered, reoffer_rejected, residual_loss) =
                 coord.reoffer_recovered(queue, tick);

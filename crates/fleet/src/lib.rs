@@ -17,6 +17,7 @@
 //! | [`FleetService`] | real sessions per shard, brown-out spill-over | [`service`] |
 //! | [`LoadProfile`] | deterministic diurnal/bursty load for the perf baseline | [`loadgen`] |
 //! | [`FleetConfig`] | `EMOLEAK_SHARDS` / `EMOLEAK_FLEET_SEED` tuning | [`config`] |
+//! | [`SimNet`] | simulated message plane: faults, at-least-once, dedup | [`transport`] |
 //!
 //! Two invariants carry the whole design:
 //!
@@ -41,16 +42,18 @@ pub mod loadgen;
 pub mod ring;
 pub mod service;
 pub mod shard;
+pub mod transport;
 
-pub use config::FleetConfig;
+pub use config::{FleetConfig, NetConfig};
 pub use coordinator::{
-    coordinator_journal_path, FailoverEvent, FailoverKind, FleetCoordinator, FleetStats,
-    FleetView, REC_CHECKPOINT,
+    coordinator_journal_path, FailoverEvent, FailoverKind, FleetCoordinator, FleetInternalError,
+    FleetStats, FleetView, REC_CHECKPOINT,
 };
 pub use loadgen::LoadProfile;
 pub use ring::HashRing;
 pub use service::{FleetService, Placement};
 pub use shard::{shard_journal_path, Shard, ShardHealth, ShardState, ShardTick};
+pub use transport::{Delivery, Msg, NetProfile, NetProfileKind, NetStats, NodeId, SimNet};
 
 /// Commonly used types for fleet consumers.
 pub mod prelude {
@@ -60,4 +63,5 @@ pub mod prelude {
     pub use crate::ring::HashRing;
     pub use crate::service::FleetService;
     pub use crate::shard::{ShardHealth, ShardState};
+    pub use crate::transport::{NetProfile, NetProfileKind, SimNet};
 }

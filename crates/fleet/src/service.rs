@@ -60,11 +60,14 @@ impl FleetService {
     /// The gate of shard `id` (e.g. to trip its breaker in a test, or to
     /// read its stats).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown or fenced shard id.
-    pub fn gate(&self, id: u32) -> &FleetGate {
-        self.gates.get(&id).expect("unknown or fenced shard id")
+    /// [`AdmissionError::ShardFenced`] for an unknown or fenced shard id:
+    /// a routing decision can race a concurrent fence, and the race is a
+    /// retryable refusal (the ring has already re-homed the tenant), not
+    /// a fleet-aborting bug.
+    pub fn gate(&self, id: u32) -> Result<&FleetGate, AdmissionError> {
+        self.gates.get(&id).ok_or(AdmissionError::ShardFenced { shard: id })
     }
 
     /// The tenant's home shard.
@@ -99,7 +102,10 @@ impl FleetService {
         let chain = self.ring.route_chain(tenant);
         let mut home_err = None;
         for (hop, id) in chain.iter().enumerate() {
-            match self.gate(*id).admit(tenant, now) {
+            // A chain hop can name a shard fenced between routing and
+            // admission; the typed refusal degrades to the next hop
+            // instead of aborting the walk.
+            match self.gate(*id).and_then(|g| g.admit(tenant, now)) {
                 Ok(permit) => {
                     let migrated = hop > 0;
                     if migrated {
@@ -159,7 +165,7 @@ mod tests {
         let home = svc.home(tenant);
         // Trip the home shard's breaker to BrownOut.
         {
-            let ctrl = svc.gate(home).controller();
+            let ctrl = svc.gate(home).unwrap().controller();
             let mut c = ctrl.lock().unwrap();
             let _ = c.offer(tenant, 1, 0);
             for now in 0..100 {
@@ -199,5 +205,23 @@ mod tests {
         assert!(svc.fence_shard(0));
         assert!(svc.fence_shard(1));
         assert!(!svc.fence_shard(3), "fencing the last shard would black out the fleet");
+    }
+
+    #[test]
+    fn routing_to_a_fenced_shard_refuses_typed_instead_of_panicking() {
+        let mut svc = service(4);
+        assert!(svc.fence_shard(2));
+        // Direct gate access to the fenced id is a typed, retryable
+        // refusal — not a panic.
+        let err = svc.gate(2).err().expect("fenced gate must refuse");
+        assert_eq!(err, AdmissionError::ShardFenced { shard: 2 });
+        assert_eq!(err.tag(), "shard-fenced");
+        // Admission still works for every tenant: the chain walk degrades
+        // past the fenced hop.
+        for t in 0..32 {
+            let tenant = format!("tenant-{t}");
+            let placement = svc.admit(&tenant, 0).unwrap();
+            assert_ne!(placement.shard, 2, "placed on a fenced shard");
+        }
     }
 }

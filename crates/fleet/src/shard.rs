@@ -17,11 +17,13 @@
 
 use emoleak_admission::{AdmissionConfig, AdmissionController, AdmissionStats, QueuedChunk};
 use emoleak_core::admission::{AdmissionError, FleetState};
-use emoleak_durable::Defect;
+use emoleak_durable::{Defect, DurableError};
 use emoleak_stream::durable::{DurableSink, LedgerRecord};
 use emoleak_stream::log::ServiceLog;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
 /// A shard's position in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +87,16 @@ pub struct Shard {
     restart_budget: u32,
     ledger_every: u64,
     next_ledger: u64,
+    /// Final counters snapshotted at [`Shard::fence`], held until the
+    /// coordinator books them into its retired ledger (in transport mode
+    /// the booking rides an `Evacuated` message and may arrive ticks
+    /// later; until then the roll-up still sees these numbers).
+    final_stats: Option<AdmissionStats>,
+    /// Whether the shard's liveness is lease-gated (transport mode). An
+    /// ungated shard serves unconditionally (the direct-call path).
+    lease_gated: bool,
+    /// The tick up to which the shard holds the serving lease.
+    lease_until: u64,
 }
 
 impl core::fmt::Debug for Shard {
@@ -156,6 +168,9 @@ impl Shard {
             restart_budget,
             ledger_every,
             next_ledger: ledger_every,
+            final_stats: None,
+            lease_gated: false,
+            lease_until: 0,
         })
     }
 
@@ -212,6 +227,59 @@ impl Shard {
         self.sink.tear_replica_next(frac);
     }
 
+    /// Arms the fencing token: the shard's incarnation holds `token`, and
+    /// every journal append is checked against the shared `authority`
+    /// (the coordinator's monotonic minimum). A stale incarnation's
+    /// appends are refused with [`DurableError::Fenced`] before touching
+    /// the file. The token is also stamped into the journal so recovery
+    /// can attribute each epoch.
+    pub fn arm_fence(&self, token: u64, authority: Arc<AtomicU64>) {
+        self.sink.set_fence(token, authority);
+    }
+
+    /// The fencing token this shard's journal writer holds, if armed.
+    pub fn fence_token(&self) -> Option<u64> {
+        self.sink.fence_token()
+    }
+
+    /// Turns on lease gating with an initial grant through `until`.
+    /// From here on the shard only drains and emits while `now` is within
+    /// the granted lease; past it, [`Shard::advance`] freezes until a
+    /// fresher grant arrives (self-fencing: the split-brain half).
+    pub fn enable_lease(&mut self, until: u64) {
+        self.lease_gated = true;
+        self.lease_until = until;
+    }
+
+    /// Extends the lease to `until` (monotonic: a late-arriving older
+    /// grant never shortens it).
+    pub fn grant_lease(&mut self, until: u64) {
+        self.lease_until = self.lease_until.max(until);
+    }
+
+    /// Whether the shard is lease-gated and its lease has expired at
+    /// `now` — i.e. it is currently self-fenced and will not serve.
+    pub fn lease_expired(&self, now: u64) -> bool {
+        self.lease_gated && now > self.lease_until
+    }
+
+    /// Attempts one journal append as this shard's (possibly stale)
+    /// incarnation and returns the typed refusal, if any. The chaos
+    /// harness resurrects a fenced shard and calls this to prove the
+    /// fencing token rejects the write without touching the bytes.
+    pub fn stale_append_probe(&self, now: u64) -> Option<DurableError> {
+        self.sink.record_ledger(&LedgerRecord {
+            tick: now,
+            offered: 0,
+            served: 0,
+            rejected: 0,
+            shed: 0,
+            queued: 0,
+            migrated: 0,
+        });
+        self.sink.take_error()
+    }
+
     /// The live controller, or `None` for a fenced/dead shard.
     fn ctrl_mut(&mut self) -> &mut AdmissionController {
         self.ctrl.as_mut().expect("offer/advance on a retired shard is a coordinator bug")
@@ -246,6 +314,13 @@ impl Shard {
     /// caught here and never crosses the shard boundary.
     pub fn advance(&mut self, now: u64, capacity: usize, inject_panic: bool) -> ShardTick {
         if self.state != ShardState::Active {
+            return ShardTick::default();
+        }
+        if self.lease_expired(now) {
+            // Self-fenced: the lease ran out unrenewed, so for all this
+            // shard knows the coordinator has already failed it over.
+            // Serving now would be the split-brain half — freeze instead
+            // (queue intact) until a fresher grant arrives.
             return ShardTick::default();
         }
         let ctrl = self.ctrl.as_mut().expect("active shard has a controller");
@@ -302,9 +377,19 @@ impl Shard {
         }
     }
 
-    /// Current admission counters, or `None` for a retired shard.
+    /// Current admission counters: the live controller's, or — for a
+    /// fenced shard whose final snapshot has not yet been booked into the
+    /// coordinator's retired ledger — the frozen final counters, so the
+    /// fleet-wide roll-up conserves across the in-flight window. `None`
+    /// once retired *and* booked (or dead).
     pub fn stats(&self) -> Option<AdmissionStats> {
-        self.ctrl.as_ref().map(AdmissionController::stats)
+        self.ctrl.as_ref().map(AdmissionController::stats).or(self.final_stats)
+    }
+
+    /// Consumes the fenced shard's final counters (the coordinator calls
+    /// this exactly once, when it books them into its retired ledger).
+    pub fn take_final_stats(&mut self) -> Option<AdmissionStats> {
+        self.final_stats.take()
     }
 
     /// The shard's event log, or `None` for a retired shard.
@@ -329,6 +414,7 @@ impl Shard {
         self.sink.record_ledger(&ledger_at(now, &stats));
         self.ctrl = None;
         self.state = ShardState::Fenced;
+        self.final_stats = Some(stats);
         (evacuated, stats)
     }
 
@@ -338,6 +424,10 @@ impl Shard {
     pub fn kill(&mut self) {
         self.ctrl = None;
         self.state = ShardState::Dead;
+        // A crash loses memory — any unbooked final snapshot included.
+        // The journal segment is the sole authority from here, so the
+        // coordinator's reconciliation cannot double-count.
+        self.final_stats = None;
     }
 
     /// Kills the shard *and destroys its local disk*: the primary journal

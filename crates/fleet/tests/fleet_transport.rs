@@ -1,0 +1,388 @@
+//! Partition-tolerance contract tests at the fleet boundary.
+//!
+//! The simulated message plane must be **byte-invisible** when faultless
+//! (`NetProfile::ideal` produces the exact served stream of the direct
+//! in-process path), and **split-brain-free** when hostile: a partitioned
+//! shard self-fences when its lease runs out, the coordinator fails over
+//! only after the grant provably expired, the dead shard's queue replays
+//! with zero loss, and a resurrected stale incarnation's journal appends
+//! are refused with a typed [`DurableError::Fenced`] — bytes untouched.
+//!
+//! The global no-double-serve check is the split-brain proof: if a
+//! deposed shard ever served while its queue was replayed elsewhere, a
+//! `(tenant, seq)` pair would appear twice in the served stream.
+
+use emoleak_admission::AdmissionConfig;
+use emoleak_durable::DurableError;
+use emoleak_fleet::config::NetConfig;
+use emoleak_fleet::{FailoverKind, FleetConfig, FleetCoordinator, NetProfileKind};
+use emoleak_stream::durable::recover_run;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("emoleak-fleet-net-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(profile: NetProfileKind) -> FleetConfig {
+    FleetConfig {
+        shards: 4,
+        replicas: 1,
+        ledger_every: 10,
+        scrub_every: 10,
+        net: NetConfig { profile, seed: 7, lease_ticks: 6, dedup_window: 1024 },
+        admission: AdmissionConfig {
+            mem_budget: u64::MAX / 2,
+            tenant_rps: 1_000_000,
+            tenant_burst: 1_000_000,
+            ..AdmissionConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+fn tenants(n: usize) -> Vec<String> {
+    (0..n).map(|t| format!("tenant-{t}")).collect()
+}
+
+fn assert_no_double_serve(served: &[(String, u64, u64)]) {
+    let mut seen = BTreeSet::new();
+    for (tenant, seq, _) in served {
+        assert!(
+            seen.insert((tenant.clone(), *seq)),
+            "chunk ({tenant}, {seq}) served twice — split-brain or dedup failure"
+        );
+    }
+}
+
+/// Drives a simple campaign: `ticks` offer rounds at `capacity`, then a
+/// generous drain window with offers stopped. Returns the served stream.
+fn run_campaign(
+    c: &mut FleetCoordinator,
+    ts: &[String],
+    ticks: u64,
+    capacity: usize,
+) -> Vec<(String, u64, u64)> {
+    let mut served = Vec::new();
+    for now in 0..ticks {
+        for t in ts {
+            let _ = c.offer(t, 64, now);
+        }
+        for chunk in c.advance(now, capacity, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+    }
+    for now in ticks..ticks + 50 {
+        for chunk in c.advance(now, usize::MAX, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+    }
+    served
+}
+
+#[test]
+fn ideal_transport_is_byte_invisible_on_the_clean_path() {
+    let ts = tenants(16);
+    let dir_off = scratch("ideal-off");
+    let mut off = FleetCoordinator::new(config(NetProfileKind::Off), &dir_off).unwrap();
+    assert!(!off.net_enabled());
+    let served_off = run_campaign(&mut off, &ts, 100, 8);
+
+    let dir_net = scratch("ideal-on");
+    let mut net = FleetCoordinator::new(config(NetProfileKind::Ideal), &dir_net).unwrap();
+    assert!(net.net_enabled());
+    let served_net = run_campaign(&mut net, &ts, 100, 8);
+
+    assert_eq!(
+        served_off, served_net,
+        "the ideal plane must not change a single served byte"
+    );
+    let (a, b) = (off.stats(), net.stats());
+    assert_eq!(a, b, "clean-path counters must match exactly");
+    assert!(a.conserves() && b.conserves());
+    assert_eq!(b.queued, 0, "the drain window must empty every queue");
+    let ns = net.net_stats().expect("transport mode reports plane counters");
+    assert!(ns.sent > 0 && ns.delivered > 0);
+    assert_eq!(
+        (ns.dropped, ns.duplicated, ns.deduped, ns.retransmits, ns.partitioned),
+        (0, 0, 0, 0, 0),
+        "an ideal plane has no faults: {ns:?}"
+    );
+    std::fs::remove_dir_all(&dir_off).unwrap();
+    std::fs::remove_dir_all(&dir_net).unwrap();
+}
+
+/// The full-partition drill, shared by two tests: partition shard 1 at
+/// tick 40, keep the load coming, and let the lease machinery converge.
+/// Returns the coordinator (post-drain), the served stream, the tick the
+/// shard was first observed self-fenced, and the failover tick.
+fn partition_drill(dir: &Path, one_way: bool) -> (FleetCoordinator, Vec<(String, u64, u64)>, u64, u64) {
+    let mut c = FleetCoordinator::new(config(NetProfileKind::Ideal), dir).unwrap();
+    let ts = tenants(16);
+    let victim = 1;
+    let mut served = Vec::new();
+    let mut self_fenced_at = None;
+    let mut failover_at = None;
+    for now in 0..120 {
+        if now == 40 {
+            if one_way {
+                // The shard can hear the coordinator but not answer: the
+                // asymmetric case where only the lease can save us.
+                c.partition_shard_one_way(victim, true);
+            } else {
+                c.partition_shard(victim);
+            }
+        }
+        for t in &ts {
+            let _ = c.offer(t, 64, now);
+        }
+        for chunk in c.advance(now, 2, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+        if self_fenced_at.is_none() && c.shard_self_fenced(victim, now) {
+            self_fenced_at = Some(now);
+        }
+        if failover_at.is_none() && !c.failovers().is_empty() {
+            failover_at = Some(now);
+        }
+    }
+    for now in 120..180 {
+        for chunk in c.advance(now, usize::MAX, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+    }
+    let self_fenced_at = self_fenced_at.expect("the victim must self-fence");
+    let failover_at = failover_at.expect("the coordinator must fail the victim over");
+    (c, served, self_fenced_at, failover_at)
+}
+
+#[test]
+fn full_partition_self_fences_then_fails_over_with_zero_loss() {
+    let dir = scratch("partition");
+    let (c, served, self_fenced_at, failover_at) = partition_drill(&dir, false);
+    // No split-brain: the shard stopped serving (lease ran out) strictly
+    // before the coordinator acted on the provably-expired grant.
+    assert!(
+        self_fenced_at < failover_at,
+        "self-fence at {self_fenced_at} must precede failover at {failover_at}"
+    );
+    let event = c.failovers()[0];
+    assert_eq!(event.shard, 1);
+    assert_eq!(event.kind, FailoverKind::Crash);
+    assert_eq!(event.crash_loss, 0, "the journal replays the queue exactly: {event:?}");
+    assert!(event.recovered > 0, "the starved queue must replay: {event:?}");
+    let s = c.stats();
+    assert!(s.conserves(), "{s:?}");
+    assert_eq!(s.crash_loss, 0, "a partition must lose nothing: {s:?}");
+    assert_eq!(s.queued, 0);
+    assert_no_double_serve(&served);
+    let ns = c.net_stats().unwrap();
+    assert!(ns.partitioned > 0, "the partition must actually bite: {ns:?}");
+    assert!(ns.retransmits > 0, "blocked frames must retry: {ns:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn asymmetric_partition_forces_self_fence_before_failover() {
+    let dir = scratch("asymmetric");
+    let (c, served, self_fenced_at, failover_at) = partition_drill(&dir, true);
+    // One-way loss (shard → coordinator blocked): offers still land and
+    // are admitted, but acks vanish, so the coordinator stops extending
+    // and the shard's lease runs down. Self-fence must still strictly
+    // precede the failover.
+    assert!(self_fenced_at < failover_at, "{self_fenced_at} vs {failover_at}");
+    let event = c.failovers()[0];
+    assert_eq!(event.kind, FailoverKind::Crash);
+    assert_eq!(
+        event.crash_loss, 0,
+        "offers admitted during the half-open window replay from the journal: {event:?}"
+    );
+    let s = c.stats();
+    assert!(s.conserves(), "{s:?}");
+    assert_eq!(s.crash_loss, 0, "{s:?}");
+    assert_no_double_serve(&served);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn healing_before_lease_expiry_resumes_without_failover() {
+    let dir = scratch("heal");
+    let mut c = FleetCoordinator::new(config(NetProfileKind::Ideal), &dir).unwrap();
+    let ts = tenants(16);
+    let mut served = Vec::new();
+    for now in 0..120 {
+        if now == 40 {
+            c.partition_shard(1);
+        }
+        if now == 44 {
+            // Healed while the last grant is still live: the next probe
+            // through extends the lease and nothing ever fences.
+            c.heal_partitions();
+        }
+        for t in &ts {
+            let _ = c.offer(t, 64, now);
+        }
+        for chunk in c.advance(now, 8, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+    }
+    for now in 120..170 {
+        for chunk in c.advance(now, usize::MAX, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+    }
+    assert!(c.failovers().is_empty(), "a healed blip must not fail anything over");
+    assert_eq!(c.view().live, 4, "all four shards still serve");
+    let s = c.stats();
+    assert!(s.conserves(), "{s:?}");
+    assert_eq!(s.crash_loss, 0, "{s:?}");
+    assert_eq!(s.queued, 0);
+    assert_no_double_serve(&served);
+    // At-least-once across the blip: the frames blocked by the partition
+    // were retransmitted through after the heal, not lost.
+    let ns = c.net_stats().unwrap();
+    assert!(ns.partitioned > 0 && ns.retransmits > 0, "{ns:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resurrected_stale_writer_is_refused_typed_and_bytes_stay_identical() {
+    let dir = scratch("stale");
+    let (c, _served, _sf, _fo) = partition_drill(&dir, false);
+    let victim = 1;
+    assert_eq!(c.fence_token_of(victim), Some(1), "first incarnation holds token 1");
+    // Snapshot the fenced journal before the resurrection attempt.
+    let journal = emoleak_fleet::shard_journal_path(&dir, victim);
+    let before_bytes = std::fs::read(&journal).unwrap();
+    let (before_run, defects) = recover_run(&journal).unwrap();
+    assert!(defects.is_empty(), "{defects:?}");
+    assert_eq!(before_run.fence_token, Some(1), "the journal carries its epoch stamp");
+
+    // The stale incarnation wakes up and tries to write. Twice, for luck.
+    for probe in 0..2 {
+        let err = c
+            .stale_writer_probe(victim, 500 + probe)
+            .expect("the stale writer must be refused");
+        assert!(err.is_fenced(), "{err}");
+        match &err {
+            DurableError::Fenced { held, current, .. } => {
+                assert_eq!((*held, *current), (1, 2), "{err}");
+            }
+            other => panic!("expected Fenced, got {other:?}"),
+        }
+    }
+
+    // Byte-identical: the refusal happened before the file was touched.
+    let after_bytes = std::fs::read(&journal).unwrap();
+    assert_eq!(before_bytes, after_bytes, "a fenced append must not move a single byte");
+    let (after_run, defects) = recover_run(&journal).unwrap();
+    assert!(defects.is_empty(), "{defects:?}");
+    assert_eq!(before_run, after_run, "recovery is identical before and after the attempt");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lossy_and_chaotic_profiles_conserve_and_never_double_serve() {
+    for (name, profile) in
+        [("lossy", NetProfileKind::Lossy), ("chaotic", NetProfileKind::Chaotic)]
+    {
+        let dir = scratch(name);
+        let mut c = FleetCoordinator::new(config(profile), &dir).unwrap();
+        let ts = tenants(12);
+        let mut served = Vec::new();
+        for now in 0..150 {
+            for t in &ts {
+                let _ = c.offer(t, 64, now);
+            }
+            for chunk in c.advance(now, 4, &[]) {
+                served.push((chunk.tenant, chunk.seq, chunk.cost));
+            }
+            assert!(c.stats().conserves(), "tick {now} ({name}): {:?}", c.stats());
+        }
+        for now in 150..260 {
+            for chunk in c.advance(now, usize::MAX, &[]) {
+                served.push((chunk.tenant, chunk.seq, chunk.cost));
+            }
+        }
+        let s = c.stats();
+        assert!(s.conserves(), "{name}: {s:?}");
+        assert_eq!(s.queued, 0, "{name}: the drain window must finish: {s:?}");
+        assert_no_double_serve(&served);
+        let ns = c.net_stats().unwrap();
+        assert!(ns.dropped > 0 && ns.retransmits > 0, "{name}: faults must fire: {ns:?}");
+        assert!(ns.deduped > 0, "{name}: the dedup window must catch duplicates: {ns:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn coordinator_restart_rebuilds_the_plane_and_keeps_serving() {
+    let dir = scratch("restart");
+    let ts = tenants(16);
+    let mut c = FleetCoordinator::new(config(NetProfileKind::Ideal), &dir).unwrap();
+    let mut served = Vec::new();
+    for now in 0..60 {
+        for t in &ts {
+            let _ = c.offer(t, 64, now);
+        }
+        for chunk in c.advance(now, 8, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+    }
+    c.checkpoint(60).unwrap();
+    drop(c);
+    // A fresh incarnation: new plane, new leases, fresh fence epochs. The
+    // queues replay out of the journals and service continues.
+    let mut c = FleetCoordinator::recover(config(NetProfileKind::Ideal), &dir).unwrap();
+    assert!(c.net_enabled(), "the recovered coordinator must re-arm its transport");
+    for now in 60..120 {
+        for t in &ts {
+            let _ = c.offer(t, 64, now);
+        }
+        for chunk in c.advance(now, 8, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+    }
+    for now in 120..170 {
+        for chunk in c.advance(now, usize::MAX, &[]) {
+            served.push((chunk.tenant, chunk.seq, chunk.cost));
+        }
+    }
+    // recover() books one reconciliation crash per then-live shard; a
+    // clean restart reconciles all four losslessly and loses none later
+    // (in particular, the fresh leases must not mass-expire at tick 60).
+    assert_eq!(c.failovers().len(), 4, "{:?}", c.failovers());
+    assert!(
+        c.failovers().iter().all(|f| f.tick == 60 && f.crash_loss == 0),
+        "{:?}",
+        c.failovers()
+    );
+    assert_eq!(c.view().live, 4);
+    let s = c.stats();
+    assert!(s.conserves(), "{s:?}");
+    assert_eq!(s.queued, 0);
+    assert_no_double_serve(&served);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn determinism_same_seed_same_bytes_under_chaos() {
+    let run = |tag: &str| {
+        let dir = scratch(&format!("det-{tag}"));
+        let mut c = FleetCoordinator::new(config(NetProfileKind::Chaotic), &dir).unwrap();
+        let ts = tenants(8);
+        let served = run_campaign(&mut c, &ts, 80, 3);
+        let stats = c.stats();
+        let net = c.net_stats().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        (served, stats, net)
+    };
+    let a = run("a");
+    let b = run("b");
+    assert_eq!(a.0, b.0, "same seed must replay the same served stream");
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "even the fault counters must replay");
+}

@@ -22,6 +22,7 @@ use emoleak_durable::{
     WireError,
 };
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -44,6 +45,11 @@ pub const REC_SHARD_LEDGER: u8 = 6;
 pub const REC_CHUNK_ADMIT: u8 = 7;
 /// Journal record kind: one queued chunk served.
 pub const REC_CHUNK_SERVE: u8 = 8;
+/// Journal record kind: the writer's fencing-token stamp. Written when a
+/// coordinator hands a journal to a shard incarnation; recovery surfaces
+/// the last stamp so a successor can prove which incarnation wrote the
+/// tail.
+pub const REC_FENCE_EPOCH: u8 = 9;
 
 /// One snapshot of a shard's admission counters, journaled periodically so
 /// a fleet coordinator can reconcile a crash-killed shard: the last ledger
@@ -167,6 +173,17 @@ fn encode_transition(region: u64, t: Transition) -> Vec<u8> {
     enc.into_bytes()
 }
 
+/// The sink's fencing guard: the writer's incarnation token checked
+/// against a shared storage-side authority on every append. The authority
+/// holds the minimum token it still accepts; a coordinator bumps it past a
+/// fenced incarnation's token at failover, so a resurrected stale writer's
+/// appends are refused before they touch the file.
+#[derive(Debug, Clone)]
+struct FenceGuard {
+    token: u64,
+    authority: Arc<AtomicU64>,
+}
+
 struct SinkInner {
     journal: Journal,
     /// Synchronous replica journal (the follower shard's copy). `None`
@@ -180,6 +197,9 @@ struct SinkInner {
     /// Armed nemesis: tear the next replica append after this fraction of
     /// its frame bytes (a kill landing mid-ship).
     tear_replica: Option<f64>,
+    /// Fencing guard; `None` when the sink's writer is not fenced (solo
+    /// deployments, direct-mode fleets).
+    fence: Option<FenceGuard>,
 }
 
 /// A thread-safe handle journaling service events as they commit. Cloning
@@ -217,6 +237,7 @@ impl DurableSink {
                 error: None,
                 replica_error: None,
                 tear_replica: None,
+                fence: None,
             })),
         })
     }
@@ -241,14 +262,50 @@ impl DurableSink {
                 error: None,
                 replica_error: None,
                 tear_replica: None,
+                fence: None,
             })),
         })
+    }
+
+    /// Arms the fencing guard: every later append checks `token` against
+    /// the shared `authority` (the storage-side minimum-valid token) and
+    /// refuses with [`DurableError::Fenced`] once the authority moves past
+    /// it. The stamp itself is journaled (`REC_FENCE_EPOCH`) so recovery
+    /// can prove which incarnation wrote the tail.
+    pub fn set_fence(&self, token: u64, authority: Arc<AtomicU64>) {
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.fence = Some(FenceGuard { token, authority });
+        }
+        let mut enc = Enc::new();
+        enc.u64(token);
+        self.append(REC_FENCE_EPOCH, &enc.into_bytes());
+    }
+
+    /// The fencing token this sink writes under, when fenced.
+    pub fn fence_token(&self) -> Option<u64> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.fence.as_ref().map(|f| f.token)
     }
 
     fn append(&self, kind: u8, data: &[u8]) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.error.is_some() {
             return; // latched: first failure wins, journaling stops
+        }
+        if let Some(fence) = inner.fence.as_ref() {
+            let current = fence.authority.load(Ordering::SeqCst);
+            if current > fence.token {
+                // A stale incarnation: refuse before touching the file so
+                // the successor's replay sees exactly the bytes this
+                // writer committed while it was still the valid holder.
+                inner.error = Some(DurableError::Fenced {
+                    path: inner.journal.path().display().to_string(),
+                    held: fence.token,
+                    current,
+                });
+                return;
+            }
         }
         let seq = inner.seq;
         if let Err(e) = inner.journal.append(kind, seq, data) {
@@ -499,6 +556,9 @@ pub struct RecoveredRun {
     pub admits: Vec<ChunkAdmit>,
     /// Committed chunk serves, in serve order.
     pub serves: Vec<ChunkServe>,
+    /// The last fencing-token stamp in the journal, when the writer was
+    /// fenced (`None` for unfenced writers).
+    pub fence_token: Option<u64>,
     /// Whether the run wrote its end-of-run summary (`false` = killed).
     pub complete: bool,
 }
@@ -527,6 +587,7 @@ pub fn recover_run(path: &Path) -> Result<(RecoveredRun, Vec<Defect>), DurableEr
         ledgers: Vec::new(),
         admits: Vec::new(),
         serves: Vec::new(),
+        fence_token: None,
         complete: false,
     };
     for record in records {
@@ -604,6 +665,12 @@ pub fn recover_run(path: &Path) -> Result<(RecoveredRun, Vec<Defect>), DurableEr
                 };
                 dec.finish().map_err(corrupt)?;
                 run.ledgers.push(ledger);
+            }
+            REC_FENCE_EPOCH => {
+                let mut dec = Dec::new(&record.data);
+                let token = dec.u64().map_err(corrupt)?;
+                dec.finish().map_err(corrupt)?;
+                run.fence_token = Some(token);
             }
             REC_RUN_SUMMARY => run.complete = true,
             other => {
@@ -882,6 +949,56 @@ mod tests {
             "{defects:?}"
         );
         assert_eq!(std::fs::read(&path).unwrap(), std::fs::read(&replica).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fence_stamp_round_trips_and_stale_writer_is_refused_bytes_untouched() {
+        let dir = scratch("fence");
+        let path = dir.join("shard-0.log");
+        let authority = Arc::new(AtomicU64::new(1));
+        let sink = DurableSink::create(&path).unwrap();
+        sink.set_fence(1, Arc::clone(&authority));
+        let admit = ChunkAdmit { tick: 2, tenant: "amber".into(), seq: 0, cost: 4 };
+        sink.record_admit(&admit);
+        assert!(sink.take_error().is_none());
+        assert_eq!(sink.fence_token(), Some(1));
+        let committed = std::fs::read(&path).unwrap();
+
+        // The coordinator fences incarnation 1 and hands the journal to a
+        // successor; the resurrected stale writer's append is refused with
+        // a typed error and the bytes on disk do not move.
+        authority.store(2, Ordering::SeqCst);
+        sink.record_admit(&ChunkAdmit { tick: 9, tenant: "amber".into(), seq: 1, cost: 4 });
+        let err = sink.take_error().expect("stale append must latch");
+        assert!(
+            matches!(err, DurableError::Fenced { held: 1, current: 2, .. }),
+            "{err:?}"
+        );
+        assert_eq!(std::fs::read(&path).unwrap(), committed, "journal bytes moved");
+
+        // Recovery replays exactly the valid incarnation's records and
+        // surfaces the stamp.
+        let (run, defects) = recover_run(&path).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert_eq!(run.fence_token, Some(1));
+        assert_eq!(run.admits, vec![admit]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fence_stamp_ships_to_the_replica() {
+        let dir = scratch("fence-repl");
+        let path = dir.join("run.log");
+        let replica = dir.join("run.replica.log");
+        let sink = DurableSink::create_replicated(&path, &replica).unwrap();
+        sink.set_fence(3, Arc::new(AtomicU64::new(3)));
+        sink.record_emission(&emission(1));
+        assert!(sink.take_error().is_none());
+        assert!(sink.take_replica_error().is_none());
+        assert_eq!(std::fs::read(&path).unwrap(), std::fs::read(&replica).unwrap());
+        let (run, _) = recover_run(&replica).unwrap();
+        assert_eq!(run.fence_token, Some(3));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -139,7 +139,7 @@ fn a_spilled_session_bills_its_hosting_shard_not_its_home() {
             .map(|t| format!("hog-{k}-{t}"))
             .find(|t| svc.home(t) == home)
             .unwrap();
-        if let Ok(p) = svc.gate(home).admit(&hog, 0) {
+        if let Ok(p) = svc.gate(home).unwrap().admit(&hog, 0) {
             holds.push(p);
         }
     }
@@ -158,10 +158,10 @@ fn a_spilled_session_bills_its_hosting_shard_not_its_home() {
     };
     assert!(report.stats.regions > 0, "the spilled session did real work");
     // The hosting shard's gauge saw the bytes; the home shard's did not.
-    let sibling_ctrl = svc.gate(sibling).controller();
+    let sibling_ctrl = svc.gate(sibling).unwrap().controller();
     let sibling_peak = sibling_ctrl.lock().unwrap_or_else(|e| e.into_inner()).memory().peak();
     assert!(sibling_peak > 0, "the hosting shard never billed the session");
-    let home_ctrl = svc.gate(home).controller();
+    let home_ctrl = svc.gate(home).unwrap().controller();
     let home_guard = home_ctrl.lock().unwrap_or_else(|e| e.into_inner());
     assert_eq!(home_guard.memory().charged(), 0, "the fenced-out home holds bytes");
 }
