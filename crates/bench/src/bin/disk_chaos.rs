@@ -1,0 +1,679 @@
+//! Disk-chaos harness for the storage fault domain.
+//!
+//! Drives `emoleak_fleet::FleetCoordinator` with every shard's durable
+//! bytes routed through the seeded [`FaultVfs`](emoleak_durable::FaultVfs)
+//! nemesis, over a grid of disk-failure scenarios × severities × seeds,
+//! and asserts the *storage contract* on every run:
+//!
+//! * conservation — at every tick and after a full drain,
+//!   `offered == served + rejected + shed + queued + migrated`, with
+//!   `queued == 0` at the end. A dying disk may refuse or lose work; it
+//!   may never make the books lie;
+//! * zero escaped panics — ENOSPC, EIO storms, and dead-disk stalls are
+//!   absorbed by the durability ladder, never thrown at this harness;
+//! * ladder coherence — each shard's durability transitions form an
+//!   unbroken chain from `Durable` (every `from` equals the previous
+//!   `to`); under a monotone nemesis (a disk that only fills) the chain
+//!   is also monotone: the ladder only descends;
+//! * clean-path byte-identity — at severity 0 the nemesis is *armed but
+//!   quiet*, and the run must be indistinguishable from the unarmed
+//!   `OsVfs` path: identical fleet stats, identical served stream, and
+//!   byte-identical shard journals. This is what makes the nemesis
+//!   trustworthy: severity-0 faults cost nothing, so any nonzero-severity
+//!   difference is the fault's doing alone;
+//! * honest loss — when the mixed scenario kills a shard whose gauge had
+//!   already degraded past journaling, the unaccounted residual is booked
+//!   as `crash_loss` (a subset of `shed`), and anything replayed counts
+//!   in `recovered ⊆ migrated` — never both for the same chunk.
+//!
+//! The simulation runs on the fleet's logical clock and the grid is
+//! parallelized with order-preserving `par_map_indexed`, so
+//! `results/disk_chaos.json` is **byte-identical under any
+//! `EMOLEAK_THREADS`** (for a fixed shard count and replica setting) —
+//! there are no wall-clock fields at all. Knobs:
+//! `EMOLEAK_DISK_CHAOS_SEVERITIES` (comma list, default `0,1,2`),
+//! `EMOLEAK_DISK_CHAOS_SEEDS` (default 2), `EMOLEAK_SHARDS`,
+//! `EMOLEAK_REPLICAS`, `EMOLEAK_DISK_CHAOS_JSON` (artifact path). Exits
+//! non-zero if any run violates the contract.
+
+use emoleak_bench::write_result;
+use emoleak_core::admission::DurabilityLevel;
+use emoleak_core::EmoleakError;
+use emoleak_durable::FaultPlan;
+use emoleak_exec::par_map_indexed;
+use emoleak_fleet::{
+    shard_journal_path, DiskConfig, FleetConfig, FleetCoordinator, FleetStats,
+};
+use emoleak_stream::DiskGaugeConfig;
+use std::collections::BTreeMap;
+
+const TICKS: u64 = 300;
+const TENANTS: [&str; 8] =
+    ["amber", "brook", "coral", "dune", "ember", "fjord", "grove", "heath"];
+
+/// Faultable ops that pass clean before the storm starts: enough for
+/// every shard's journals (and their headers) to boot, so construction
+/// never dies before the scenario begins.
+const WARMUP_OPS: u64 = 64;
+
+#[derive(Clone, Copy)]
+enum Scenario {
+    /// The disk fills as the run writes: free space ramps down through
+    /// the gauge watermarks. At severity 2 the disk is born below the
+    /// refuse watermark. The ladder must descend monotonically — a disk
+    /// that only fills never earns a climb.
+    EnospcRamp,
+    /// Random EIO on writes, fsyncs, and renames. Error streaks walk the
+    /// ladder down; clean streaks (plus the cooldown) earn it back.
+    EioStorm,
+    /// Stalling fsyncs. At severity 1 only every 4th fsync stalls —
+    /// misses never streak, and the hysteresis must hold the ladder
+    /// steady. At severity 2 every fsync stalls and the stall budget
+    /// exhausts into EIO: the hung disk dies for real.
+    FsyncStall,
+    /// Everything at once — EIO, stalls, a finite disk — plus a mid-run
+    /// shard kill, so degraded-mode exposure turns into real crash loss
+    /// that must be booked honestly.
+    Mixed,
+}
+
+impl Scenario {
+    const ALL: [Scenario; 4] = [
+        Scenario::EnospcRamp,
+        Scenario::EioStorm,
+        Scenario::FsyncStall,
+        Scenario::Mixed,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::EnospcRamp => "enospc_ramp",
+            Scenario::EioStorm => "eio_storm",
+            Scenario::FsyncStall => "fsync_stall",
+            Scenario::Mixed => "mixed",
+        }
+    }
+
+    /// The per-fleet fault plan (reseeded per shard by
+    /// [`DiskConfig::shard_plan`]) and gauge for one grid cell. Severity
+    /// 0 is the armed-but-quiet control.
+    fn disk(self, severity: f64, seed: u64) -> DiskConfig {
+        let quiet = FaultPlan::quiet(seed);
+        if severity <= 0.0 {
+            return DiskConfig { plan: Some(quiet), gauge: DiskGaugeConfig::default() };
+        }
+        let mut gauge = DiskGaugeConfig::default();
+        let plan = match self {
+            Scenario::EnospcRamp => {
+                if severity >= 2.0 {
+                    // Born beyond the refuse watermark: the first probe
+                    // floors the gauge straight to RefuseWrites.
+                    gauge.refuse_water = 2048;
+                    FaultPlan { byte_budget: 1024, warmup_ops: WARMUP_OPS, ..quiet }
+                } else {
+                    FaultPlan { byte_budget: 8192, warmup_ops: WARMUP_OPS, ..quiet }
+                }
+            }
+            Scenario::EioStorm => FaultPlan {
+                eio_ppm: (severity * 150_000.0) as u32,
+                warmup_ops: WARMUP_OPS,
+                ..quiet
+            },
+            Scenario::FsyncStall => FaultPlan {
+                stall_every: if severity >= 2.0 { 1 } else { 4 },
+                stall_ticks: 8,
+                stall_budget: if severity >= 2.0 { 4_000 } else { u64::MAX },
+                warmup_ops: WARMUP_OPS,
+                ..quiet
+            },
+            Scenario::Mixed => FaultPlan {
+                byte_budget: if severity >= 2.0 { 6 * 1024 } else { 16 * 1024 },
+                eio_ppm: (severity * 80_000.0) as u32,
+                stall_every: 6,
+                stall_ticks: 8,
+                stall_budget: 3_000,
+                warmup_ops: WARMUP_OPS,
+                ..quiet
+            },
+        };
+        DiskConfig { plan: Some(plan), gauge }
+    }
+}
+
+struct RunSpec {
+    scenario: Scenario,
+    severity: f64,
+    seed: u64,
+    shards: u32,
+    replicas: u32,
+}
+
+struct RunRecord {
+    scenario: &'static str,
+    severity: f64,
+    seed: u64,
+    ok: bool,
+    violations: Vec<String>,
+    offered: u64,
+    served: u64,
+    rejected: u64,
+    shed: u64,
+    migrated: u64,
+    crash_loss: u64,
+    recovered: u64,
+    /// Durability transitions the fleet's service log recorded.
+    transitions: usize,
+    /// The worst level any live shard held at the end.
+    worst: DurabilityLevel,
+    /// Shard-ticks at each ladder rung, best first.
+    level_ticks: [u64; 4],
+    /// Records committed in memory but journaled nowhere, fleet-wide.
+    unjournaled: u64,
+    served_digest: u64,
+}
+
+fn fail_record(spec: &RunSpec, why: String) -> RunRecord {
+    RunRecord {
+        scenario: spec.scenario.name(),
+        severity: spec.severity,
+        seed: spec.seed,
+        ok: false,
+        violations: vec![why],
+        offered: 0,
+        served: 0,
+        rejected: 0,
+        shed: 0,
+        migrated: 0,
+        crash_loss: 0,
+        recovered: 0,
+        transitions: 0,
+        worst: DurabilityLevel::Durable,
+        level_ticks: [0; 4],
+        unjournaled: 0,
+        served_digest: 0,
+    }
+}
+
+/// FNV-1a over the per-tenant served stream `(tenant, seq, cost)` —
+/// the identity the severity-0 control compares against the unarmed path.
+fn served_digest(served: &BTreeMap<String, Vec<(u64, u64)>>) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for (tenant, chunks) in served {
+        for b in tenant.bytes() {
+            eat(b);
+        }
+        eat(0xFF);
+        for (seq, cost) in chunks {
+            for b in seq.to_le_bytes().into_iter().chain(cost.to_le_bytes()) {
+                eat(b);
+            }
+        }
+    }
+    hash
+}
+
+/// One full fleet run under `disk`, with the per-tick conservation check
+/// and (for the mixed scenario) the mid-run kill.
+struct DriveOutcome {
+    stats: FleetStats,
+    digest: u64,
+    transitions: Vec<(u64, u32, DurabilityLevel, DurabilityLevel)>,
+    worst: DurabilityLevel,
+    level_ticks: [u64; 4],
+    unjournaled: u64,
+    live: usize,
+    violations: Vec<String>,
+}
+
+fn drive(spec: &RunSpec, disk: DiskConfig, dir: &std::path::Path) -> DriveOutcome {
+    let mut cfg = FleetConfig {
+        shards: spec.shards,
+        replicas: spec.replicas,
+        ledger_every: 10,
+        scrub_every: 10,
+        disk,
+        ..FleetConfig::default()
+    };
+    cfg.admission.mem_budget = 1 << 16;
+    cfg.admission.tenant_rps = 1_000_000;
+    cfg.admission.tenant_burst = 1_000_000;
+    let mut violations = Vec::new();
+    let mut coord = match FleetCoordinator::new(cfg, dir) {
+        Ok(c) => c,
+        Err(e) => {
+            return DriveOutcome {
+                stats: FleetStats::default(),
+                digest: 0,
+                transitions: Vec::new(),
+                worst: DurabilityLevel::Durable,
+                level_ticks: [0; 4],
+                unjournaled: 0,
+                live: 0,
+                violations: vec![format!("fleet dir unusable: {e}")],
+            }
+        }
+    };
+    let kill_tick = TICKS / 2;
+    let mut served: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut now = 0;
+    while now < TICKS {
+        if matches!(spec.scenario, Scenario::Mixed)
+            && spec.severity > 0.0
+            && now == kill_tick
+            && coord.ring().len() > 1
+        {
+            let victim = coord.ring().route(TENANTS[0]);
+            coord.kill_shard(victim, now);
+        }
+        for k in 0..2u64 {
+            let t = TENANTS[((now * 2 + k) as usize) % TENANTS.len()];
+            // Refusals (rate, memory, RefuseWrites) are legitimate under
+            // a dying disk; they are counted and conserved, not hidden.
+            let _ = coord.offer(t, 64 + (now + k) % 64, now);
+        }
+        for chunk in coord.advance(now, 4, &[]) {
+            served.entry(chunk.tenant).or_default().push((chunk.seq, chunk.cost));
+        }
+        coord.react(now);
+        if !coord.stats().conserves() {
+            violations.push(format!("identity broken at tick {now}: {:?}", coord.stats()));
+            break;
+        }
+        now += 1;
+    }
+    // Full drain: the identity must close with queued == 0.
+    let mut drained = 0;
+    while coord.stats().queued > 0 && drained < 10_000 {
+        for chunk in coord.advance(now, usize::MAX, &[]) {
+            served.entry(chunk.tenant).or_default().push((chunk.seq, chunk.cost));
+        }
+        now += 1;
+        drained += 1;
+    }
+    for chunks in served.values_mut() {
+        chunks.sort_unstable();
+    }
+    let stats = coord.stats();
+    let view = coord.view();
+    if !stats.conserves() {
+        violations.push(format!("final identity broken: {stats:?}"));
+    }
+    if stats.queued != 0 {
+        violations.push(format!("drained fleet still queues {} chunk(s)", stats.queued));
+    }
+    if view.live == 0 {
+        violations.push("the fleet went dark: zero live shards".to_string());
+    }
+    DriveOutcome {
+        stats,
+        digest: served_digest(&served),
+        transitions: coord.log().durability_transitions(),
+        worst: view.durability_worst,
+        level_ticks: view.durability_level_ticks,
+        unjournaled: view.unjournaled_total,
+        live: view.live,
+        violations,
+    }
+}
+
+/// Every shard's durability transitions must chain without gaps: the
+/// first `from` is `Durable`, and each later `from` is the previous `to`.
+fn check_chain(
+    transitions: &[(u64, u32, DurabilityLevel, DurabilityLevel)],
+    violations: &mut Vec<String>,
+) {
+    let mut last: BTreeMap<u32, DurabilityLevel> = BTreeMap::new();
+    for &(tick, shard, from, to) in transitions {
+        let expect = last.get(&shard).copied().unwrap_or(DurabilityLevel::Durable);
+        if from != expect {
+            violations.push(format!(
+                "shard {shard} teleported at tick {tick}: {expect:?} on the gauge \
+                 but the transition claims {from:?} -> {to:?}"
+            ));
+        }
+        if from == to {
+            violations.push(format!("shard {shard} logged a no-op transition at tick {tick}"));
+        }
+        last.insert(shard, to);
+    }
+}
+
+fn simulate(spec: &RunSpec, dir: &std::path::Path) -> RunRecord {
+    let disk = spec.scenario.disk(spec.severity, spec.seed);
+    let out = drive(spec, disk, dir.join("armed").as_path());
+    let mut violations = out.violations;
+    check_chain(&out.transitions, &mut violations);
+
+    if spec.severity == 0.0 {
+        // The armed-but-quiet control: re-run the identical schedule on
+        // the unarmed OsVfs path and demand indistinguishability, down
+        // to the journal bytes.
+        let bare = drive(spec, DiskConfig::default(), dir.join("bare").as_path());
+        violations.extend(bare.violations.iter().map(|v| format!("unarmed control: {v}")));
+        if out.stats != bare.stats {
+            violations.push(format!(
+                "a quiet nemesis changed the books: {:?} armed vs {:?} unarmed",
+                out.stats, bare.stats
+            ));
+        }
+        if out.digest != bare.digest {
+            violations.push("a quiet nemesis changed what was served".to_string());
+        }
+        for id in 0..spec.shards {
+            let armed = std::fs::read(shard_journal_path(&dir.join("armed"), id));
+            let plain = std::fs::read(shard_journal_path(&dir.join("bare"), id));
+            match (armed, plain) {
+                (Ok(a), Ok(b)) if a == b => {}
+                (Ok(_), Ok(_)) => violations
+                    .push(format!("a quiet nemesis moved shard {id}'s journal bytes")),
+                (a, b) => violations.push(format!(
+                    "shard {id} journal unreadable for the byte compare: {a:?} vs {b:?}"
+                )),
+            }
+        }
+        if !out.transitions.is_empty() {
+            violations.push(format!(
+                "a quiet nemesis moved the ladder: {:?}",
+                out.transitions
+            ));
+        }
+        if out.worst != DurabilityLevel::Durable || out.level_ticks[1..] != [0, 0, 0] {
+            violations.push(format!(
+                "severity 0 must spend every tick at Durable, not {:?} / {:?}",
+                out.worst, out.level_ticks
+            ));
+        }
+        if out.unjournaled != 0 {
+            violations.push(format!(
+                "a quiet nemesis left {} record(s) unjournaled",
+                out.unjournaled
+            ));
+        }
+    } else {
+        let degraded: u64 = out.level_ticks[1..].iter().sum();
+        match spec.scenario {
+            Scenario::EnospcRamp => {
+                // A disk that only fills never earns a climb.
+                for &(tick, shard, from, to) in &out.transitions {
+                    if to < from {
+                        violations.push(format!(
+                            "shard {shard} climbed {from:?} -> {to:?} at tick {tick} \
+                             while its disk only filled"
+                        ));
+                    }
+                }
+                if degraded == 0 {
+                    violations.push("the filling disk never degraded anything".to_string());
+                }
+                if spec.severity >= 2.0 {
+                    if out.level_ticks[3] == 0 {
+                        violations.push(
+                            "a disk born beyond the refuse watermark never refused".to_string(),
+                        );
+                    }
+                    if out.stats.rejected == 0 {
+                        violations.push(
+                            "RefuseWrites never surfaced as front-door rejections".to_string(),
+                        );
+                    }
+                }
+            }
+            Scenario::EioStorm => {
+                if out.stats.crash_loss != 0 {
+                    violations.push(format!(
+                        "an EIO storm without a crash booked {} crash loss",
+                        out.stats.crash_loss
+                    ));
+                }
+                if spec.severity >= 2.0 && out.transitions.is_empty() {
+                    violations
+                        .push("a dense EIO storm never moved the ladder".to_string());
+                }
+            }
+            Scenario::FsyncStall => {
+                if spec.severity >= 2.0 {
+                    if degraded == 0 {
+                        violations.push(
+                            "every fsync stalling never degraded the ladder".to_string(),
+                        );
+                    }
+                } else if !out.transitions.is_empty() {
+                    // Sporadic stalls (no two consecutive misses) must be
+                    // absorbed by the hysteresis, not flap the ladder.
+                    violations.push(format!(
+                        "sporadic stalls flapped the ladder: {:?}",
+                        out.transitions
+                    ));
+                }
+            }
+            Scenario::Mixed => {
+                if out.stats.crash_loss > out.stats.shed {
+                    violations.push(format!(
+                        "crash_loss {} exceeds shed {} — loss booked twice",
+                        out.stats.crash_loss, out.stats.shed
+                    ));
+                }
+                if out.stats.recovered > out.stats.migrated {
+                    violations.push(format!(
+                        "recovered {} exceeds migrated {} — replay booked twice",
+                        out.stats.recovered, out.stats.migrated
+                    ));
+                }
+            }
+        }
+        let _ = out.live;
+    }
+
+    RunRecord {
+        scenario: spec.scenario.name(),
+        severity: spec.severity,
+        seed: spec.seed,
+        ok: violations.is_empty(),
+        violations,
+        offered: out.stats.offered,
+        served: out.stats.served,
+        rejected: out.stats.rejected,
+        shed: out.stats.shed,
+        migrated: out.stats.migrated,
+        crash_loss: out.stats.crash_loss,
+        recovered: out.stats.recovered,
+        transitions: out.transitions.len(),
+        worst: out.worst,
+        level_ticks: out.level_ticks,
+        unjournaled: out.unjournaled,
+        served_digest: out.digest,
+    }
+}
+
+fn run_one(index: usize, spec: &RunSpec) -> RunRecord {
+    let dir = std::env::temp_dir().join(format!(
+        "emoleak-disk-chaos-{}-{index}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        simulate(spec, &dir)
+    }));
+    let _ = std::fs::remove_dir_all(&dir);
+    match outcome {
+        Ok(record) => record,
+        Err(_) => fail_record(spec, "escaped panic in the storage layer".to_string()),
+    }
+}
+
+fn level_name(level: DurabilityLevel) -> &'static str {
+    match level {
+        DurabilityLevel::Durable => "durable",
+        DurabilityLevel::ReplicaOnly => "replica_only",
+        DurabilityLevel::MemoryOnly => "memory_only",
+        DurabilityLevel::RefuseWrites => "refuse_writes",
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn to_json(records: &[RunRecord], shards: u32, replicas: u32) -> String {
+    let mut out =
+        format!("{{\n  \"shards\": {shards},\n  \"replicas\": {replicas},\n  \"runs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"severity\": {}, \"seed\": {}, \"ok\": {}, \
+             \"offered\": {}, \"served\": {}, \"rejected\": {}, \"shed\": {}, \
+             \"migrated\": {}, \"crash_loss\": {}, \"recovered\": {}, \
+             \"transitions\": {}, \"worst_durability\": \"{}\", \
+             \"durability_level_ticks\": [{}, {}, {}, {}], \"unjournaled\": {}, \
+             \"served_digest\": \"{:016x}\", \"violations\": [{}]}}{}\n",
+            r.scenario,
+            json_num(r.severity),
+            r.seed,
+            r.ok,
+            r.offered,
+            r.served,
+            r.rejected,
+            r.shed,
+            r.migrated,
+            r.crash_loss,
+            r.recovered,
+            r.transitions,
+            level_name(r.worst),
+            r.level_ticks[0],
+            r.level_ticks[1],
+            r.level_ticks[2],
+            r.level_ticks[3],
+            r.unjournaled,
+            r.served_digest,
+            r.violations
+                .iter()
+                .map(|v| format!("\"{}\"", v.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    let failed = records.iter().filter(|r| !r.ok).count();
+    let mut ticks_total = [0u64; 4];
+    for r in records {
+        for (t, add) in ticks_total.iter_mut().zip(r.level_ticks) {
+            *t += add;
+        }
+    }
+    out.push_str(&format!(
+        "  ],\n  \"summary\": {{\n    \"durability_level_ticks\": [{}, {}, {}, {}],\n    \
+         \"transitions_total\": {},\n    \"crash_loss_total\": {},\n    \
+         \"unjournaled_total\": {}\n  }},\n",
+        ticks_total[0],
+        ticks_total[1],
+        ticks_total[2],
+        ticks_total[3],
+        records.iter().map(|r| r.transitions).sum::<usize>(),
+        records.iter().map(|r| r.crash_loss).sum::<u64>(),
+        records.iter().map(|r| r.unjournaled).sum::<u64>(),
+    ));
+    out.push_str(&format!(
+        "  \"total_runs\": {},\n  \"failed_runs\": {failed}\n}}\n",
+        records.len()
+    ));
+    out
+}
+
+fn main() -> Result<(), EmoleakError> {
+    println!("Disk chaos: ENOSPC ramps, EIO storms, fsync stalls, and the durability ladder");
+
+    let severities: Vec<f64> = emoleak_exec::parse_list_checked(
+        "EMOLEAK_DISK_CHAOS_SEVERITIES",
+        "comma-separated non-negative numbers",
+        |&s: &f64| s.is_finite() && s >= 0.0,
+    )?
+    .unwrap_or_else(|| vec![0.0, 1.0, 2.0]);
+    let seeds: u64 = emoleak_exec::parse_checked(
+        "EMOLEAK_DISK_CHAOS_SEEDS",
+        "a positive count",
+        |&n: &u64| n > 0,
+    )?
+    .unwrap_or(2);
+    // EMOLEAK_SHARDS / EMOLEAK_REPLICAS come through the fleet config;
+    // the grid overrides `disk` per cell, so the env's own EMOLEAK_DISK_*
+    // arming (if any) does not leak into the runs.
+    let env_cfg = FleetConfig::from_env()?;
+    let (shards, replicas) = (env_cfg.shards, env_cfg.replicas);
+
+    let mut grid = Vec::new();
+    for scenario in Scenario::ALL {
+        for &severity in &severities {
+            for seed in 0..seeds {
+                grid.push(RunSpec {
+                    scenario,
+                    severity,
+                    seed: 0xD15C ^ (seed.wrapping_mul(0x9E37_79B9)) ^ (severity.to_bits() >> 17),
+                    shards,
+                    replicas,
+                });
+            }
+        }
+    }
+    // Order-preserving parallel map: the record order — and therefore the
+    // JSON bytes — is the grid order under any EMOLEAK_THREADS.
+    let records = par_map_indexed(&grid, run_one);
+
+    println!(
+        "{:<14} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>5} {:>6} {:>14} {:>20} {:>6}",
+        "scenario", "sev", "ok", "offered", "served", "rejected", "shed", "loss", "moves",
+        "worst", "level_ticks", "unjrnl"
+    );
+    println!("{}", "-".repeat(118));
+    for r in &records {
+        println!(
+            "{:<14} {:>4} {:>6} {:>8} {:>8} {:>8} {:>6} {:>5} {:>6} {:>14} {:>20} {:>6}",
+            r.scenario,
+            r.severity,
+            if r.ok { "ok" } else { "FAIL" },
+            r.offered,
+            r.served,
+            r.rejected,
+            r.shed,
+            r.crash_loss,
+            r.transitions,
+            level_name(r.worst),
+            format!(
+                "{}/{}/{}/{}",
+                r.level_ticks[0], r.level_ticks[1], r.level_ticks[2], r.level_ticks[3]
+            ),
+            r.unjournaled,
+        );
+        for v in &r.violations {
+            println!("    violation: {v}");
+        }
+    }
+    let failed = records.iter().filter(|r| !r.ok).count();
+    println!(
+        "\n{} runs ({} shards, {} replica(s)), {} violations; transitions: {}, \
+         crash loss: {}, unjournaled: {}",
+        records.len(),
+        shards,
+        replicas,
+        failed,
+        records.iter().map(|r| r.transitions).sum::<usize>(),
+        records.iter().map(|r| r.crash_loss).sum::<u64>(),
+        records.iter().map(|r| r.unjournaled).sum::<u64>(),
+    );
+
+    let json = to_json(&records, shards, replicas);
+    let path = std::env::var("EMOLEAK_DISK_CHAOS_JSON")
+        .unwrap_or_else(|_| "results/disk_chaos.json".to_string());
+    match write_result(std::path::Path::new(&path), json.as_bytes()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path} ({e}); JSON follows:\n{json}"),
+    }
+    assert!(failed == 0, "{failed} disk run(s) violated the contract");
+    Ok(())
+}

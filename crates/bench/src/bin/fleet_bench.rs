@@ -22,6 +22,10 @@
 //!   price of `EMOLEAK_NET=ideal` on the clean path (the served stream
 //!   itself is asserted identical — the plane may only cost time, never
 //!   bytes);
+//! * `durability_level_ticks` — shard-ticks the direct-path coordinator
+//!   run spent at each durability-ladder rung, best rung first. The disk
+//!   gauge is unarmed here, so a healthy build reports `[all, 0, 0, 0]`
+//!   — any nonzero tail is a storage regression;
 //! * admission counters — offered/admitted/spilled/refused sessions, so
 //!   a regression in the brown-out path shows up next to the latency it
 //!   causes.
@@ -73,11 +77,13 @@ fn journal_append_us(dir: &std::path::Path, n: u64, replicated: bool) -> f64 {
 }
 
 /// Mean per-tick cost (µs) of the chunk coordinator's offer+advance hot
-/// loop, and the chunks it served: on the direct in-process path, or
-/// routed through the ideal simulated message plane. The serve counts of
-/// the two runs must match exactly — the transport is byte-invisible on
-/// the clean path, so the only thing it may add is time.
-fn coordinator_tick_us(dir: &std::path::Path, ticks: u64, net: bool) -> (f64, u64) {
+/// loop, the chunks it served, and the shard-ticks spent at each
+/// durability-ladder rung (best first — `[all, 0, 0, 0]` on a healthy
+/// disk): on the direct in-process path, or routed through the ideal
+/// simulated message plane. The serve counts of the two runs must match
+/// exactly — the transport is byte-invisible on the clean path, so the
+/// only thing it may add is time.
+fn coordinator_tick_us(dir: &std::path::Path, ticks: u64, net: bool) -> (f64, u64, [u64; 4]) {
     use emoleak_fleet::{FleetCoordinator, NetProfileKind};
     let sub = dir.join(if net { "coord-net" } else { "coord-direct" });
     let mut cfg = FleetConfig {
@@ -102,7 +108,7 @@ fn coordinator_tick_us(dir: &std::path::Path, ticks: u64, net: bool) -> (f64, u6
         served += coord.advance(now, usize::MAX, &[]).len() as u64;
     }
     let us = t0.elapsed().as_secs_f64() * 1e6 / ticks as f64;
-    (us, served)
+    (us, served, coord.durability_level_ticks())
 }
 
 fn main() -> Result<(), EmoleakError> {
@@ -211,8 +217,8 @@ fn main() -> Result<(), EmoleakError> {
     // The transport overhead column: the same coordinator hot loop on the
     // direct path and through the ideal plane, with the serve counts
     // pinned equal (time is the only acceptable cost).
-    let (tick_direct, served_direct) = coordinator_tick_us(&scratch, 256, false);
-    let (tick_net, served_net) = coordinator_tick_us(&scratch, 256, true);
+    let (tick_direct, served_direct, level_ticks) = coordinator_tick_us(&scratch, 256, false);
+    let (tick_net, served_net, _) = coordinator_tick_us(&scratch, 256, true);
     assert!(
         served_direct == served_net,
         "the ideal plane changed what was served: {served_direct} direct vs {served_net} net"
@@ -255,7 +261,9 @@ fn main() -> Result<(), EmoleakError> {
          \"coordinator_tick_us\": {{\"direct\": {tick_direct:.2}, \
          \"ideal_net\": {tick_net:.2}, \
          \"overhead_pct\": {net_overhead_pct:.1}}},\n  \
-         \"bytes_per_verdict\": {bytes_per_verdict:.1}\n}}\n"
+         \"durability_level_ticks\": [{}, {}, {}, {}],\n  \
+         \"bytes_per_verdict\": {bytes_per_verdict:.1}\n}}\n",
+        level_ticks[0], level_ticks[1], level_ticks[2], level_ticks[3]
     );
     let path = std::env::var("EMOLEAK_FLEET_BENCH_JSON")
         .unwrap_or_else(|_| "BENCH_fleet.json".to_string());

@@ -91,6 +91,87 @@ impl core::fmt::Display for FleetState {
     }
 }
 
+/// Per-shard *storage* health ladder, best first — the durability analogue
+/// of [`FleetState`]. Where [`FleetState`] cheapens compute when the CPU
+/// is saturated, this ladder cheapens the durability guarantee when the
+/// disk under a shard's journal goes bad: each rung trades a little more
+/// crash safety for staying up, and the bottom rung closes the write door
+/// rather than ever leaking loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DurabilityLevel {
+    /// Full guarantee: primary journal + replica, every append fsynced.
+    Durable,
+    /// The primary disk is refusing or stalling writes; appends land only
+    /// on the replica. A crash now loses nothing (the replica has the
+    /// stream), but the shard is one disk away from `MemoryOnly`.
+    ReplicaOnly,
+    /// No journal accepts writes; emissions survive only in memory. A
+    /// crash in this state loses the unjournaled suffix — which the
+    /// conservation books must then report as `crash_loss`, never leak.
+    MemoryOnly,
+    /// Even the memory guarantee is not worth offering (disk gone, no
+    /// recovery in sight): new writes are refused with a typed
+    /// [`AdmissionError::WritesRefused`] so callers can fail over.
+    RefuseWrites,
+}
+
+impl DurabilityLevel {
+    /// All levels, best first. Index order is the wire coding used by the
+    /// journal's durability-transition records.
+    pub const ALL: [DurabilityLevel; 4] = [
+        DurabilityLevel::Durable,
+        DurabilityLevel::ReplicaOnly,
+        DurabilityLevel::MemoryOnly,
+        DurabilityLevel::RefuseWrites,
+    ];
+
+    /// One level worse (saturates at [`DurabilityLevel::RefuseWrites`]).
+    #[must_use]
+    pub fn worse(self) -> DurabilityLevel {
+        match self {
+            DurabilityLevel::Durable => DurabilityLevel::ReplicaOnly,
+            DurabilityLevel::ReplicaOnly => DurabilityLevel::MemoryOnly,
+            _ => DurabilityLevel::RefuseWrites,
+        }
+    }
+
+    /// One level better (saturates at [`DurabilityLevel::Durable`]).
+    #[must_use]
+    pub fn better(self) -> DurabilityLevel {
+        match self {
+            DurabilityLevel::RefuseWrites => DurabilityLevel::MemoryOnly,
+            DurabilityLevel::MemoryOnly => DurabilityLevel::ReplicaOnly,
+            _ => DurabilityLevel::Durable,
+        }
+    }
+
+    /// Whether this level still accepts new emissions at all.
+    pub fn accepts_writes(self) -> bool {
+        self != DurabilityLevel::RefuseWrites
+    }
+
+    /// Whether appends still reach the primary journal.
+    pub fn journals_primary(self) -> bool {
+        self == DurabilityLevel::Durable
+    }
+
+    /// Whether appends still reach the replica journal (when one exists).
+    pub fn journals_replica(self) -> bool {
+        self <= DurabilityLevel::ReplicaOnly
+    }
+}
+
+impl core::fmt::Display for DurabilityLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            DurabilityLevel::Durable => "durable",
+            DurabilityLevel::ReplicaOnly => "replica-only",
+            DurabilityLevel::MemoryOnly => "memory-only",
+            DurabilityLevel::RefuseWrites => "refuse-writes",
+        })
+    }
+}
+
 /// Why the admission layer refused work. Every variant is a *deliberate*
 /// refusal under an explicit budget — callers can retry later, no refusal
 /// corrupts state.
@@ -133,12 +214,21 @@ pub enum AdmissionError {
         /// The shard that is no longer accepting work.
         shard: u32,
     },
+    /// The shard's storage ladder sits at
+    /// [`DurabilityLevel::RefuseWrites`]: its disk can no longer honor any
+    /// durability guarantee, so new writes are refused instead of being
+    /// accepted and silently lost. Callers retry once the coordinator has
+    /// drained the shard or the disk recovered.
+    WritesRefused {
+        /// The shard whose storage refused the write.
+        shard: u32,
+    },
 }
 
 impl AdmissionError {
     /// A short stable tag for logs and JSON (`rate-limited`,
     /// `tenant-saturated`, `fleet-saturated`, `memory-exhausted`,
-    /// `browned-out`, `shard-fenced`).
+    /// `browned-out`, `shard-fenced`, `writes-refused`).
     pub fn tag(&self) -> &'static str {
         match self {
             AdmissionError::RateLimited { .. } => "rate-limited",
@@ -147,6 +237,7 @@ impl AdmissionError {
             AdmissionError::MemoryExhausted { .. } => "memory-exhausted",
             AdmissionError::BrownedOut => "browned-out",
             AdmissionError::ShardFenced { .. } => "shard-fenced",
+            AdmissionError::WritesRefused { .. } => "writes-refused",
         }
     }
 }
@@ -172,6 +263,9 @@ impl core::fmt::Display for AdmissionError {
             }
             AdmissionError::ShardFenced { shard } => {
                 write!(f, "shard {shard} was fenced mid-route; retry for a new placement")
+            }
+            AdmissionError::WritesRefused { shard } => {
+                write!(f, "shard {shard}'s storage refuses writes; retry after failover")
             }
         }
     }
@@ -261,8 +355,44 @@ mod tests {
             AdmissionError::MemoryExhausted { requested: 0, charged: 0, budget: 0 }.tag(),
             AdmissionError::BrownedOut.tag(),
             AdmissionError::ShardFenced { shard: 0 }.tag(),
+            AdmissionError::WritesRefused { shard: 0 }.tag(),
         ]
         .into();
-        assert_eq!(tags.len(), 6, "tags are distinct");
+        assert_eq!(tags.len(), 7, "tags are distinct");
+    }
+
+    #[test]
+    fn durability_ladder_walks_both_ways_and_gates_writes() {
+        let mut l = DurabilityLevel::Durable;
+        for expect in [
+            DurabilityLevel::ReplicaOnly,
+            DurabilityLevel::MemoryOnly,
+            DurabilityLevel::RefuseWrites,
+        ] {
+            l = l.worse();
+            assert_eq!(l, expect);
+        }
+        assert_eq!(l.worse(), DurabilityLevel::RefuseWrites, "saturates at the bottom");
+        for expect in [
+            DurabilityLevel::MemoryOnly,
+            DurabilityLevel::ReplicaOnly,
+            DurabilityLevel::Durable,
+        ] {
+            l = l.better();
+            assert_eq!(l, expect);
+        }
+        assert_eq!(l.better(), DurabilityLevel::Durable, "saturates at the top");
+        // Each rung strictly gives up one write target.
+        assert!(DurabilityLevel::Durable.journals_primary());
+        assert!(DurabilityLevel::Durable.journals_replica());
+        assert!(!DurabilityLevel::ReplicaOnly.journals_primary());
+        assert!(DurabilityLevel::ReplicaOnly.journals_replica());
+        assert!(!DurabilityLevel::MemoryOnly.journals_replica());
+        assert!(DurabilityLevel::MemoryOnly.accepts_writes());
+        assert!(!DurabilityLevel::RefuseWrites.accepts_writes());
+        // Display tags are distinct (they key JSON counters).
+        let tags: std::collections::BTreeSet<String> =
+            DurabilityLevel::ALL.iter().map(|l| l.to_string()).collect();
+        assert_eq!(tags.len(), 4);
     }
 }

@@ -45,7 +45,7 @@ pub mod pipeline;
 pub mod report;
 pub mod scenario;
 
-pub use admission::{AdmissionError, FleetState, VerdictMeta};
+pub use admission::{AdmissionError, DurabilityLevel, FleetState, VerdictMeta};
 pub use error::{ClipContext, EmoleakError};
 pub use online::{
     extract_window, InferenceLevel, ModelBundle, RecordedCampaign, RegionFeatures, Verdict,
@@ -66,7 +66,7 @@ pub(crate) mod test_support {
 
 /// Convenient re-exports for examples and benches.
 pub mod prelude {
-    pub use crate::admission::{AdmissionError, FleetState, VerdictMeta};
+    pub use crate::admission::{AdmissionError, DurabilityLevel, FleetState, VerdictMeta};
     pub use crate::error::{ClipContext, EmoleakError};
     pub use crate::online::{InferenceLevel, ModelBundle, RecordedCampaign, Verdict};
     pub use crate::pipeline::{

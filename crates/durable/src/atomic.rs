@@ -14,8 +14,7 @@
 //! exposes a half-written file under the destination name.
 
 use crate::error::DurableError;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
+use crate::vfs::{OsVfs, Vfs};
 use std::path::{Path, PathBuf};
 
 /// The sibling temp path `write_atomic` stages through (`<name>.tmp` in the
@@ -26,32 +25,29 @@ pub fn temp_path(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-/// Flushes the directory entry for `path` so a completed rename survives a
-/// power cut. Best-effort: directory handles are not openable on every
-/// platform, and a failure here narrows durability without breaking
-/// atomicity, so it is not an error.
-fn sync_dir(path: &Path) {
-    if let Some(parent) = path.parent() {
-        if let Ok(dir) = File::open(parent) {
-            let _ = dir.sync_all();
-        }
-    }
-}
-
 /// Writes `contents` to the staged temp file and syncs it, *without*
-/// renaming. This is the prefix of [`write_atomic`] that a process killed
-/// between write and rename would have executed; the crash injector uses it
-/// to leave exactly that state behind.
-pub(crate) fn stage_only(path: &Path, contents: &[u8]) -> Result<(), DurableError> {
+/// renaming — the prefix of [`write_atomic`] that a process killed between
+/// write and rename would have executed; the crash injector uses it to
+/// leave exactly that state behind. A short write or ENOSPC mid-stage
+/// tears only the `.tmp` file — the destination stays untouched, which is
+/// precisely the atomicity guarantee the proptest suite pins under fault
+/// injection.
+pub(crate) fn stage_only_with(
+    path: &Path,
+    contents: &[u8],
+    vfs: &dyn Vfs,
+) -> Result<(), DurableError> {
     let tmp = temp_path(path);
-    let mut file = OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(&tmp)
-        .map_err(|e| DurableError::io(&tmp, "open", &e))?;
-    file.write_all(contents).map_err(|e| DurableError::io(&tmp, "write", &e))?;
-    file.sync_all().map_err(|e| DurableError::io(&tmp, "fsync", &e))?;
+    let mut file = vfs.open(&tmp, true).map_err(|e| DurableError::io(&tmp, "open", &e))?;
+    let n = file.write(contents).map_err(|e| DurableError::io(&tmp, "write", &e))?;
+    if n < contents.len() {
+        return Err(DurableError::Io {
+            path: tmp.display().to_string(),
+            op: "write",
+            message: format!("short write: {n} of {} byte(s) reached disk", contents.len()),
+        });
+    }
+    file.fsync().map_err(|e| DurableError::io(&tmp, "fsync", &e))?;
     Ok(())
 }
 
@@ -65,10 +61,18 @@ pub(crate) fn stage_only(path: &Path, contents: &[u8]) -> Result<(), DurableErro
 /// untouched in that case (the stale `.tmp`, if any, is ignorable and will
 /// be overwritten by the next attempt).
 pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), DurableError> {
-    stage_only(path, contents)?;
+    write_atomic_with(path, contents, &OsVfs)
+}
+
+/// [`write_atomic`] with every durable byte routed through `vfs`. The
+/// directory fsync stays best-effort: directory handles are not openable
+/// on every platform, and a failure there narrows durability without
+/// breaking atomicity.
+pub fn write_atomic_with(path: &Path, contents: &[u8], vfs: &dyn Vfs) -> Result<(), DurableError> {
+    stage_only_with(path, contents, vfs)?;
     let tmp = temp_path(path);
-    std::fs::rename(&tmp, path).map_err(|e| DurableError::io(path, "rename", &e))?;
-    sync_dir(path);
+    vfs.rename(&tmp, path).map_err(|e| DurableError::io(path, "rename", &e))?;
+    let _ = vfs.sync_dir(path);
     Ok(())
 }
 
@@ -103,7 +107,7 @@ mod tests {
         let dir = scratch("stage");
         let path = dir.join("out.json");
         write_atomic(&path, b"committed").unwrap();
-        stage_only(&path, b"in flight").unwrap();
+        stage_only_with(&path, b"in flight", &OsVfs).unwrap();
         // The kill-between-write-and-rename state: old contents intact,
         // temp file present.
         assert_eq!(std::fs::read(&path).unwrap(), b"committed");

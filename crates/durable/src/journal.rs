@@ -17,10 +17,9 @@
 //! earlier one, and never silently.
 
 use crate::error::{Defect, DurableError};
+use crate::vfs::{OsVfs, Vfs, VfsFile};
 use crate::wire::{crc32, Dec, Enc};
 use crate::JOURNAL_VERSION;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Journal file magic.
@@ -49,7 +48,7 @@ pub struct Record {
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    file: File,
+    file: Box<dyn VfsFile>,
     /// Set to the fsync failure message once a sync fails. A failed fsync
     /// means the kernel may have dropped the dirty pages — the on-disk tail
     /// is unknowable — so the handle refuses every later append
@@ -57,6 +56,25 @@ pub struct Journal {
     poisoned: Option<String>,
     /// One-shot injected fsync failure (armed by crash plans).
     fail_fsync: bool,
+    /// Fsync stall ticks accumulated since the last
+    /// [`Journal::take_stalled_ticks`] — the disk-latency signal the
+    /// durability gauge consumes.
+    stalled: u64,
+}
+
+/// Writes a whole frame through the seam, surfacing an injected short
+/// write as a typed error: the prefix that landed is a torn frame the
+/// next open repairs, so the caller must *not* retry the remainder.
+fn write_frame(file: &mut dyn VfsFile, path: &Path, bytes: &[u8]) -> Result<(), DurableError> {
+    let n = file.write(bytes).map_err(|e| DurableError::io(path, "write", &e))?;
+    if n < bytes.len() {
+        return Err(DurableError::Io {
+            path: path.display().to_string(),
+            op: "write",
+            message: format!("short write: {n} of {} byte(s) reached disk", bytes.len()),
+        });
+    }
+    Ok(())
 }
 
 pub(crate) fn encode_record(kind: u8, seq: u64, data: &[u8]) -> Vec<u8> {
@@ -154,22 +172,22 @@ fn check_header(bytes: &[u8], path: &Path) -> Result<(), DurableError> {
 
 impl Journal {
     /// Creates a fresh journal at `path`, truncating any existing file, and
-    /// syncs the header.
+    /// syncs the header. Writes go straight to the OS filesystem; use
+    /// [`Journal::create_with`] to route them through an injectable [`Vfs`].
     pub fn create(path: &Path) -> Result<Journal, DurableError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)
-            .map_err(|e| DurableError::io(path, "open", &e))?;
+        Journal::create_with(path, &OsVfs)
+    }
+
+    /// [`Journal::create`] with every durable byte routed through `vfs`.
+    pub fn create_with(path: &Path, vfs: &dyn Vfs) -> Result<Journal, DurableError> {
+        let mut file = vfs.open(path, true).map_err(|e| DurableError::io(path, "open", &e))?;
         let mut header = Enc::new();
         header.u16(JOURNAL_VERSION);
         let mut bytes = JOURNAL_MAGIC.to_vec();
         bytes.extend_from_slice(&header.into_bytes());
-        file.write_all(&bytes).map_err(|e| DurableError::io(path, "write", &e))?;
-        file.sync_all().map_err(|e| DurableError::io(path, "fsync", &e))?;
-        Ok(Journal { path: path.to_path_buf(), file, poisoned: None, fail_fsync: false })
+        write_frame(file.as_mut(), path, &bytes)?;
+        let stalled = file.fsync().map_err(|e| DurableError::io(path, "fsync", &e))?;
+        Ok(Journal { path: path.to_path_buf(), file, poisoned: None, fail_fsync: false, stalled })
     }
 
     /// Opens (or creates) the journal at `path`, replays every committed
@@ -187,31 +205,34 @@ impl Journal {
     /// newer format, [`DurableError::Io`] on OS failures. Damage *after* a
     /// valid header is repaired, not fatal.
     pub fn open(path: &Path) -> Result<(Journal, Vec<Record>, Vec<Defect>), DurableError> {
+        Journal::open_with(path, &OsVfs)
+    }
+
+    /// [`Journal::open`] with every durable byte routed through `vfs`.
+    pub fn open_with(
+        path: &Path,
+        vfs: &dyn Vfs,
+    ) -> Result<(Journal, Vec<Record>, Vec<Defect>), DurableError> {
         if !path.exists() {
-            return Ok((Journal::create(path)?, Vec::new(), Vec::new()));
+            return Ok((Journal::create_with(path, vfs)?, Vec::new(), Vec::new()));
         }
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(path)
-            .map_err(|e| DurableError::io(path, "open", &e))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes).map_err(|e| DurableError::io(path, "read", &e))?;
+        let bytes = vfs.read(path).map_err(|e| DurableError::io(path, "read", &e))?;
         check_header(&bytes, path)?;
         let (records, defects, committed) =
             scan_frames(&bytes, HEADER_LEN as usize, &path.display().to_string());
 
+        let mut file = vfs.open(path, false).map_err(|e| DurableError::io(path, "open", &e))?;
+        let mut stalled = 0;
         if committed < bytes.len() {
             // Damage found: drop everything after the last committed record
             // so the next append starts from a verified tail. Records after
             // a corrupt one are unreachable by the forward scan — framing is
             // untrustworthy past the first bad CRC — and are discarded with it.
-            file.set_len(committed as u64).map_err(|e| DurableError::io(path, "truncate", &e))?;
-            file.sync_all().map_err(|e| DurableError::io(path, "fsync", &e))?;
+            file.truncate(committed as u64).map_err(|e| DurableError::io(path, "truncate", &e))?;
+            stalled = file.fsync().map_err(|e| DurableError::io(path, "fsync", &e))?;
         }
-        file.seek(SeekFrom::End(0)).map_err(|e| DurableError::io(path, "seek", &e))?;
         Ok((
-            Journal { path: path.to_path_buf(), file, poisoned: None, fail_fsync: false },
+            Journal { path: path.to_path_buf(), file, poisoned: None, fail_fsync: false, stalled },
             records,
             defects,
         ))
@@ -230,7 +251,15 @@ impl Journal {
     /// if the file cannot be read (a missing file is an `Io` error here,
     /// not an empty journal — verification targets files that must exist).
     pub fn verify(path: &Path) -> Result<(Vec<Record>, Vec<Defect>), DurableError> {
-        let bytes = std::fs::read(path).map_err(|e| DurableError::io(path, "read", &e))?;
+        Journal::verify_with(path, &OsVfs)
+    }
+
+    /// [`Journal::verify`] reading through `vfs`.
+    pub fn verify_with(
+        path: &Path,
+        vfs: &dyn Vfs,
+    ) -> Result<(Vec<Record>, Vec<Defect>), DurableError> {
+        let bytes = vfs.read(path).map_err(|e| DurableError::io(path, "read", &e))?;
         check_header(&bytes, path)?;
         let (records, defects, _committed) =
             scan_frames(&bytes, HEADER_LEN as usize, &path.display().to_string());
@@ -246,6 +275,13 @@ impl Journal {
     /// [`DurableError::Poisoned`]).
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.is_some()
+    }
+
+    /// Drains the fsync stall ticks accumulated since the last call. A
+    /// healthy disk always reports 0; an injected [`crate::FaultVfs`] stall
+    /// surfaces here, where the durability gauge samples it per append.
+    pub fn take_stalled_ticks(&mut self) -> u64 {
+        std::mem::take(&mut self.stalled)
     }
 
     /// Arms a one-shot injected fsync failure: the next [`Journal::append`]
@@ -278,7 +314,7 @@ impl Journal {
     pub fn append(&mut self, kind: u8, seq: u64, data: &[u8]) -> Result<(), DurableError> {
         self.check_poison()?;
         let frame = encode_record(kind, seq, data);
-        self.file.write_all(&frame).map_err(|e| DurableError::io(&self.path, "write", &e))?;
+        write_frame(self.file.as_mut(), &self.path, &frame)?;
         if self.fail_fsync {
             self.fail_fsync = false;
             let cause = "injected fsync failure".to_string();
@@ -288,9 +324,12 @@ impl Journal {
                 cause,
             });
         }
-        if let Err(e) = self.file.sync_all() {
-            self.poisoned = Some(e.to_string());
-            return Err(DurableError::io(&self.path, "fsync", &e));
+        match self.file.fsync() {
+            Ok(ticks) => self.stalled += ticks,
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                return Err(DurableError::io(&self.path, "fsync", &e));
+            }
         }
         Ok(())
     }
@@ -311,9 +350,11 @@ impl Journal {
         let keep = ((frame.len() as f64) * frac.clamp(0.0, 1.0)) as usize;
         let keep = keep.min(frame.len().saturating_sub(1)); // always torn, never whole
         self.file
-            .write_all(&frame[..keep])
+            .write(&frame[..keep])
             .map_err(|e| DurableError::io(&self.path, "write", &e))?;
-        self.file.sync_all().map_err(|e| DurableError::io(&self.path, "fsync", &e))?;
+        let ticks =
+            self.file.fsync().map_err(|e| DurableError::io(&self.path, "fsync", &e))?;
+        self.stalled += ticks;
         Ok(())
     }
 }

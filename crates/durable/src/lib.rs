@@ -32,6 +32,7 @@ pub mod journal;
 pub mod ship;
 pub mod snapshot;
 pub mod store;
+pub mod vfs;
 pub mod wire;
 
 /// Current journal format version (header field in `journal.log`).
@@ -43,18 +44,23 @@ pub const MANIFEST_VERSION: u16 = 1;
 /// Current ship segment version (replication transfer container).
 pub const SHIP_VERSION: u16 = 1;
 
-pub use atomic::{temp_path, write_atomic};
+pub use atomic::{temp_path, write_atomic, write_atomic_with};
 pub use campaign::{
     run_resumable, CampaignError, CampaignSpec, CampaignState, Outcome, RunOptions, REC_UNIT,
 };
 pub use error::{Defect, DurableError};
 pub use journal::{Journal, Record, JOURNAL_MAGIC};
 pub use ship::{
-    compare_streams, decode_segment, encode_segment, rebuild_journal, StreamDiff, SHIP_MAGIC,
+    compare_streams, decode_segment, encode_segment, rebuild_journal, rebuild_journal_with,
+    StreamDiff, SHIP_MAGIC,
 };
-pub use snapshot::{decode_container, encode_container, read_container, write_container};
+pub use snapshot::{
+    decode_container, encode_container, read_container, read_container_with, write_container,
+    write_container_with,
+};
 pub use store::{
     journal_path, manifest_path, snapshot_path, CheckpointStore, CrashKind, CrashPlan, Opened,
     MANIFEST_MAGIC, SNAPSHOT_MAGIC,
 };
+pub use vfs::{FaultPlan, FaultVfs, OsVfs, Vfs, VfsFile};
 pub use wire::{crc32, Dec, Enc, WireError};

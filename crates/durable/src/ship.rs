@@ -141,7 +141,18 @@ pub fn compare_streams(primary: &[Record], replica: &[Record]) -> StreamDiff {
 /// semantics, so a crash mid-rebuild leaves a valid prefix that the next
 /// scrub pass finishes.
 pub fn rebuild_journal(path: &Path, records: &[Record]) -> Result<Journal, DurableError> {
-    let mut journal = Journal::create(path)?;
+    rebuild_journal_with(path, records, &crate::vfs::OsVfs)
+}
+
+/// [`rebuild_journal`] with every durable byte routed through `vfs` — so a
+/// scrub repair running on a sick disk hits the same ENOSPC/EIO faults as
+/// the appends it is repairing.
+pub fn rebuild_journal_with(
+    path: &Path,
+    records: &[Record],
+    vfs: &dyn crate::vfs::Vfs,
+) -> Result<Journal, DurableError> {
+    let mut journal = Journal::create_with(path, vfs)?;
     for r in records {
         journal.append(r.kind, r.seq, &r.data)?;
     }

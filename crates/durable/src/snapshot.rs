@@ -18,8 +18,9 @@
 //! either the previous complete container or the new one — but external
 //! damage (bit rot, manual truncation) is still caught by the CRC.
 
-use crate::atomic::write_atomic;
+use crate::atomic::write_atomic_with;
 use crate::error::DurableError;
+use crate::vfs::{OsVfs, Vfs};
 use crate::wire::crc32;
 use std::path::Path;
 
@@ -111,7 +112,17 @@ pub fn read_container(
     supported: u16,
     path: &Path,
 ) -> Result<Vec<u8>, DurableError> {
-    let bytes = std::fs::read(path).map_err(|e| DurableError::io(path, "read", &e))?;
+    read_container_with(magic, supported, path, &OsVfs)
+}
+
+/// [`read_container`] reading through `vfs`.
+pub fn read_container_with(
+    magic: &[u8; 4],
+    supported: u16,
+    path: &Path,
+    vfs: &dyn Vfs,
+) -> Result<Vec<u8>, DurableError> {
+    let bytes = vfs.read(path).map_err(|e| DurableError::io(path, "read", &e))?;
     decode_container(magic, supported, &bytes, &path.display().to_string())
 }
 
@@ -122,7 +133,18 @@ pub fn write_container(
     path: &Path,
     payload: &[u8],
 ) -> Result<(), DurableError> {
-    write_atomic(path, &encode_container(magic, version, payload))
+    write_container_with(magic, version, path, payload, &OsVfs)
+}
+
+/// [`write_container`] with every durable byte routed through `vfs`.
+pub fn write_container_with(
+    magic: &[u8; 4],
+    version: u16,
+    path: &Path,
+    payload: &[u8],
+    vfs: &dyn Vfs,
+) -> Result<(), DurableError> {
+    write_atomic_with(path, &encode_container(magic, version, payload), vfs)
 }
 
 #[cfg(test)]

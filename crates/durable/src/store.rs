@@ -33,10 +33,12 @@
 
 use crate::error::{Defect, DurableError};
 use crate::journal::{Journal, Record};
-use crate::snapshot::{encode_container, read_container, write_container};
+use crate::snapshot::{encode_container, read_container_with, write_container_with};
+use crate::vfs::{OsVfs, Vfs};
 use crate::wire::{Dec, Enc};
 use crate::{MANIFEST_VERSION, SNAPSHOT_VERSION};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Snapshot container magic.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"EMOS";
@@ -110,6 +112,7 @@ pub struct CheckpointStore {
     snapshot_seq: u64,
     ops: u64,
     crash: Option<CrashPlan>,
+    vfs: Arc<dyn Vfs>,
 }
 
 /// The result of [`CheckpointStore::open`]: the store plus everything
@@ -158,15 +161,23 @@ impl CheckpointStore {
     /// failure, a journal that is not ours, future format versions endorsed
     /// by the manifest) are `Err`.
     pub fn open(dir: &Path) -> Result<Opened, DurableError> {
+        CheckpointStore::open_with(dir, Arc::new(OsVfs))
+    }
+
+    /// [`CheckpointStore::open`] with every durable byte — journal appends,
+    /// snapshot stages, manifest replacements — routed through `vfs`.
+    /// Directory creation and snapshot pruning stay on `std::fs`: they are
+    /// metadata housekeeping, not committed bytes.
+    pub fn open_with(dir: &Path, vfs: Arc<dyn Vfs>) -> Result<Opened, DurableError> {
         std::fs::create_dir_all(dir).map_err(|e| DurableError::io(dir, "mkdir", &e))?;
-        let (journal, tail, mut defects) = Journal::open(&journal_path(dir))?;
+        let (journal, tail, mut defects) = Journal::open_with(&journal_path(dir), vfs.as_ref())?;
 
         let manifest = manifest_path(dir);
         let mut state = None;
         let mut snapshot_seq = 0;
         let mut scan = false;
         if manifest.exists() {
-            match read_container(MANIFEST_MAGIC, MANIFEST_VERSION, &manifest)
+            match read_container_with(MANIFEST_MAGIC, MANIFEST_VERSION, &manifest, vfs.as_ref())
                 .and_then(|payload| {
                     let mut dec = Dec::new(&payload);
                     let seq = dec.u64().and_then(|s| dec.finish().map(|()| s)).map_err(
@@ -178,7 +189,12 @@ impl CheckpointStore {
                     )?;
                     Ok(seq)
                 }) {
-                Ok(seq) => match read_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &snapshot_path(dir, seq)) {
+                Ok(seq) => match read_container_with(
+                    SNAPSHOT_MAGIC,
+                    SNAPSHOT_VERSION,
+                    &snapshot_path(dir, seq),
+                    vfs.as_ref(),
+                ) {
                     Ok(payload) => {
                         state = Some(payload);
                         snapshot_seq = seq;
@@ -217,7 +233,7 @@ impl CheckpointStore {
         if scan {
             for seq in snapshot_seqs(dir) {
                 let path = snapshot_path(dir, seq);
-                match read_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &path) {
+                match read_container_with(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &path, vfs.as_ref()) {
                     Ok(payload) => {
                         state = Some(payload);
                         snapshot_seq = seq;
@@ -232,7 +248,14 @@ impl CheckpointStore {
         }
 
         Ok(Opened {
-            store: CheckpointStore { dir: dir.to_path_buf(), journal, snapshot_seq, ops: 0, crash: None },
+            store: CheckpointStore {
+                dir: dir.to_path_buf(),
+                journal,
+                snapshot_seq,
+                ops: 0,
+                crash: None,
+                vfs,
+            },
             state,
             tail,
             defects,
@@ -323,27 +346,38 @@ impl CheckpointStore {
         if self.fire(self.ops).is_some() {
             // Killed between the temp-file fsync and the rename: the staged
             // file exists, the destination does not change.
-            crate::atomic::stage_only(&snap, &encode_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, state))?;
+            crate::atomic::stage_only_with(
+                &snap,
+                &encode_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, state),
+                self.vfs.as_ref(),
+            )?;
             return Err(DurableError::Injected {
                 op: self.ops,
                 detail: format!("snapshot #{seq} staged but not renamed"),
             });
         }
-        write_container(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &snap, state)?;
+        write_container_with(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &snap, state, self.vfs.as_ref())?;
 
         let manifest = manifest_path(&self.dir);
         self.ops += 1;
         if self.fire(self.ops).is_some() {
-            crate::atomic::stage_only(
+            crate::atomic::stage_only_with(
                 &manifest,
                 &encode_container(MANIFEST_MAGIC, MANIFEST_VERSION, &manifest_payload(seq)),
+                self.vfs.as_ref(),
             )?;
             return Err(DurableError::Injected {
                 op: self.ops,
                 detail: format!("manifest update to snapshot #{seq} staged but not renamed"),
             });
         }
-        write_container(MANIFEST_MAGIC, MANIFEST_VERSION, &manifest, &manifest_payload(seq))?;
+        write_container_with(
+            MANIFEST_MAGIC,
+            MANIFEST_VERSION,
+            &manifest,
+            &manifest_payload(seq),
+            self.vfs.as_ref(),
+        )?;
 
         self.ops += 1;
         if self.fire(self.ops).is_some() {
@@ -355,7 +389,7 @@ impl CheckpointStore {
                 detail: format!("journal reset after snapshot #{seq} skipped"),
             });
         }
-        self.journal = Journal::create(&journal_path(&self.dir))?;
+        self.journal = Journal::create_with(&journal_path(&self.dir), self.vfs.as_ref())?;
         self.snapshot_seq = seq;
 
         // Keep the latest two snapshots so one bad snapshot always has a
@@ -372,6 +406,7 @@ impl CheckpointStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::write_container;
 
     fn scratch(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(

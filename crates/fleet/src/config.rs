@@ -12,11 +12,18 @@
 //! | `EMOLEAK_NET_SEED` | transport fault seed (0 derives from the fleet seed) | 0 |
 //! | `EMOLEAK_NET_LEASE_TICKS` | shard serving-lease length, ticks | 8 |
 //! | `EMOLEAK_NET_DEDUP_WINDOW` | receiver dedup window, seqs per link | 1024 |
+//! | `EMOLEAK_DISK_BYTE_BUDGET` | bytes each shard's disk accepts before ENOSPC (arms the nemesis) | off |
+//! | `EMOLEAK_DISK_EIO_PPM` | per-op EIO probability, parts-per-million (arms) | off |
+//! | `EMOLEAK_DISK_STALL_EVERY` | every Nth fsync stalls (0 never; arms) | off |
+//! | `EMOLEAK_DISK_STALL_TICKS` | ticks each stalling fsync charges (arms) | off |
+//! | `EMOLEAK_DISK_SEED` | disk-fault seed (arms, even alone: a quiet armed VFS) | derived |
 
 use crate::transport::NetProfileKind;
 use emoleak_admission::AdmissionConfig;
 use emoleak_core::EmoleakError;
-use emoleak_exec::parse_checked;
+use emoleak_durable::FaultPlan;
+use emoleak_exec::{derive_seed, parse_checked};
+use emoleak_stream::disk::DiskGaugeConfig;
 
 /// Tuning for the simulated message plane
 /// ([`SimNet`](crate::transport::SimNet)) the coordinator routes
@@ -58,6 +65,44 @@ impl NetConfig {
     }
 }
 
+/// Tuning for the storage fault domain: an optional disk nemesis
+/// ([`FaultVfs`](emoleak_durable::FaultVfs) plan) plus the per-shard
+/// [`DiskGauge`](emoleak_stream::DiskGauge) that drives the durability
+/// degradation ladder.
+///
+/// `plan: None` keeps shards on the real filesystem through
+/// [`OsVfs`](emoleak_durable::OsVfs) with no gauge — the pre-nemesis
+/// byte-identical path. Arming any `EMOLEAK_DISK_*` knob installs a
+/// seeded `FaultVfs` per shard (seed derived from the plan seed and the
+/// shard id) and the gauge with it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskConfig {
+    /// The fault plan, or `None` for the real filesystem. A *quiet* plan
+    /// (all severities zero) is a valid armed state: it must be
+    /// byte-identical to `None` — that invariant is what makes the
+    /// nemesis trustworthy.
+    pub plan: Option<FaultPlan>,
+    /// Hysteresis and watermark tuning for the durability ladder. Only
+    /// consulted when `plan` is armed.
+    pub gauge: DiskGaugeConfig,
+}
+
+impl DiskConfig {
+    /// Whether shards run on the injectable fault VFS.
+    pub fn armed(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// The plan for one shard: the fleet-level plan reseeded so each
+    /// shard draws an independent fault stream.
+    pub fn shard_plan(&self, fleet_seed: u64, shard: u32) -> Option<FaultPlan> {
+        self.plan.map(|plan| FaultPlan {
+            seed: derive_seed(derive_seed(plan.seed, fleet_seed), u64::from(shard)),
+            ..plan
+        })
+    }
+}
+
 /// Tuning for a sharded fleet ([`FleetCoordinator`](crate::FleetCoordinator)
 /// / [`FleetService`](crate::FleetService)).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +140,9 @@ pub struct FleetConfig {
     pub net: NetConfig,
     /// Per-shard admission tuning.
     pub admission: AdmissionConfig,
+    /// Storage fault-domain tuning (`EMOLEAK_DISK_*`). Unarmed by
+    /// default: shards write through the real filesystem with no gauge.
+    pub disk: DiskConfig,
 }
 
 impl Default for FleetConfig {
@@ -110,6 +158,7 @@ impl Default for FleetConfig {
             scrub_every: 25,
             net: NetConfig::default(),
             admission: AdmissionConfig::default(),
+            disk: DiskConfig::default(),
         }
     }
 }
@@ -165,6 +214,46 @@ impl FleetConfig {
         )? {
             cfg.net.dedup_window = w;
         }
+        // Any EMOLEAK_DISK_* knob arms the nemesis; the plan starts quiet
+        // (all severities off) so setting only the seed yields an armed
+        // but fault-free VFS — the byte-identity control case.
+        let mut plan = FaultPlan::quiet(derive_seed(cfg.seed, 0xD15C));
+        let mut armed = false;
+        if let Some(b) =
+            parse_checked::<u64>("EMOLEAK_DISK_BYTE_BUDGET", "a positive byte budget", |&b| b > 0)?
+        {
+            plan.byte_budget = b;
+            armed = true;
+        }
+        if let Some(p) = parse_checked::<u32>(
+            "EMOLEAK_DISK_EIO_PPM",
+            "a probability in parts-per-million (0..=1000000)",
+            |&p| p <= 1_000_000,
+        )? {
+            plan.eio_ppm = p;
+            armed = true;
+        }
+        if let Some(n) = parse_checked::<u64>(
+            "EMOLEAK_DISK_STALL_EVERY",
+            "an fsync interval (0 never stalls)",
+            |_| true,
+        )? {
+            plan.stall_every = n;
+            armed = true;
+        }
+        if let Some(t) =
+            parse_checked::<u64>("EMOLEAK_DISK_STALL_TICKS", "a stall cost in ticks", |_| true)?
+        {
+            plan.stall_ticks = t;
+            armed = true;
+        }
+        if let Some(s) = parse_checked::<u64>("EMOLEAK_DISK_SEED", "a u64 seed", |_| true)? {
+            plan.seed = s;
+            armed = true;
+        }
+        if armed {
+            cfg.disk.plan = Some(plan);
+        }
         Ok(cfg)
     }
 
@@ -179,10 +268,10 @@ impl FleetConfig {
 mod tests {
     use super::*;
 
-    // Env mutation is process-global; this test owns these eight names.
+    // Env mutation is process-global; this test owns these thirteen names.
     #[test]
     fn env_overrides_are_strict() {
-        const NAMES: [&str; 8] = [
+        const NAMES: [&str; 13] = [
             "EMOLEAK_SHARDS",
             "EMOLEAK_FLEET_SEED",
             "EMOLEAK_REPLICAS",
@@ -191,6 +280,11 @@ mod tests {
             "EMOLEAK_NET_SEED",
             "EMOLEAK_NET_LEASE_TICKS",
             "EMOLEAK_NET_DEDUP_WINDOW",
+            "EMOLEAK_DISK_BYTE_BUDGET",
+            "EMOLEAK_DISK_EIO_PPM",
+            "EMOLEAK_DISK_STALL_EVERY",
+            "EMOLEAK_DISK_STALL_TICKS",
+            "EMOLEAK_DISK_SEED",
         ];
         for name in NAMES {
             std::env::remove_var(name);
@@ -198,6 +292,7 @@ mod tests {
         assert_eq!(FleetConfig::from_env().unwrap(), FleetConfig::default());
         assert!(FleetConfig::default().replicated(), "replication is on by default");
         assert!(!FleetConfig::default().net.enabled(), "transport is off by default");
+        assert!(!FleetConfig::default().disk.armed(), "disk nemesis is off by default");
 
         std::env::set_var("EMOLEAK_SHARDS", "2");
         std::env::set_var("EMOLEAK_FLEET_SEED", "12345");
@@ -218,6 +313,37 @@ mod tests {
         assert_eq!(cfg.net.seed, 99);
         assert_eq!(cfg.net.lease_ticks, 12);
         assert_eq!(cfg.net.dedup_window, 256);
+
+        // Any disk knob arms the nemesis; unset knobs stay at their quiet
+        // values and the seed derives from the fleet seed.
+        std::env::set_var("EMOLEAK_DISK_EIO_PPM", "2500");
+        std::env::set_var("EMOLEAK_DISK_STALL_EVERY", "4");
+        let cfg = FleetConfig::from_env().unwrap();
+        let plan = cfg.disk.plan.expect("a set disk knob arms the plan");
+        assert!(cfg.disk.armed());
+        assert_eq!(plan.eio_ppm, 2500);
+        assert_eq!(plan.stall_every, 4);
+        assert_eq!(plan.byte_budget, u64::MAX, "unset knobs stay quiet");
+        assert_eq!(plan.seed, derive_seed(cfg.seed, 0xD15C));
+        let (a, b) = (cfg.disk.shard_plan(cfg.seed, 0), cfg.disk.shard_plan(cfg.seed, 1));
+        assert_ne!(a.unwrap().seed, b.unwrap().seed, "shards draw independent fault streams");
+
+        std::env::set_var("EMOLEAK_DISK_SEED", "777");
+        let cfg = FleetConfig::from_env().unwrap();
+        assert_eq!(cfg.disk.plan.unwrap().seed, 777);
+        std::env::remove_var("EMOLEAK_DISK_EIO_PPM");
+        std::env::remove_var("EMOLEAK_DISK_STALL_EVERY");
+
+        // A seed alone arms a *quiet* plan: the byte-identity control case.
+        let cfg = FleetConfig::from_env().unwrap();
+        assert_eq!(cfg.disk.plan.unwrap(), FaultPlan::quiet(777));
+        std::env::remove_var("EMOLEAK_DISK_SEED");
+
+        std::env::set_var("EMOLEAK_DISK_EIO_PPM", "1000001");
+        let err = FleetConfig::from_env().unwrap_err();
+        assert!(matches!(err, EmoleakError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("EMOLEAK_DISK_EIO_PPM"));
+        std::env::remove_var("EMOLEAK_DISK_EIO_PPM");
 
         std::env::set_var("EMOLEAK_NET", "flaky-wifi");
         let err = FleetConfig::from_env().unwrap_err();

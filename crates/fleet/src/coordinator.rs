@@ -59,15 +59,16 @@
 //! [`FleetView`]. Scrubbing runs on ticks, not wall clock, so fleet
 //! output stays byte-identical across thread counts.
 
-use crate::config::FleetConfig;
+use crate::config::{DiskConfig, FleetConfig};
 use crate::ring::HashRing;
 use crate::shard::{shard_journal_path, shard_replica_path, Shard, ShardHealth, ShardState};
 use crate::transport::{Msg, NetStats, NodeId, SimNet};
 use emoleak_admission::{AdmissionStats, QueuedChunk};
-use emoleak_core::admission::{AdmissionError, FleetState};
+use emoleak_core::admission::{AdmissionError, DurabilityLevel, FleetState};
 use emoleak_durable::{Dec, Defect, DurableError, Enc, Journal};
 use emoleak_exec::{derive_seed, par_map_vec_indexed};
 use emoleak_stream::durable::{recover_run, ChunkAdmit, LedgerRecord};
+use emoleak_stream::log::{ServiceEvent, ServiceLog};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -163,6 +164,18 @@ pub struct FleetView {
     /// Every internal invariant violation the coordinator detected and
     /// survived, in detection order. Empty in a correct build.
     pub internal_errors: Vec<FleetInternalError>,
+    /// The worst storage durability level among live shards
+    /// ([`DurabilityLevel::Durable`] when nothing is live, or the disk
+    /// gauge is unarmed).
+    pub durability_worst: DurabilityLevel,
+    /// Shard-ticks spent at each durability level (indexed like
+    /// [`DurabilityLevel::ALL`], best rung first), accumulated over every
+    /// `advance` for live shards. The fleet's storage-health budget:
+    /// `[all, 0, 0, 0]` on a healthy disk.
+    pub durability_level_ticks: [u64; 4],
+    /// Records committed in memory but journaled nowhere across all
+    /// shards — the honest would-be-lost-on-crash exposure right now.
+    pub unjournaled_total: u64,
 }
 
 /// A violated internal invariant the coordinator detected — and survived —
@@ -254,6 +267,12 @@ pub struct FleetCoordinator {
     /// journal currently accepts. Shared (`Arc`) with the shard's sink so
     /// a resurrected stale incarnation checks the *live* value.
     fence_authorities: BTreeMap<u32, Arc<AtomicU64>>,
+    /// The coordinator's own event log: durability transitions drained
+    /// from shard gauges, re-stamped onto the tick clock.
+    log: ServiceLog,
+    /// Shard-ticks spent at each durability level (see
+    /// [`FleetView::durability_level_ticks`]).
+    durability_level_ticks: [u64; 4],
 }
 
 /// The coordinator's own checkpoint journal path under `dir`.
@@ -285,6 +304,7 @@ impl FleetCoordinator {
                 cfg.ledger_every,
                 cfg.replicated(),
                 follower,
+                DiskConfig { plan: cfg.disk.shard_plan(cfg.seed, id), gauge: cfg.disk.gauge },
             )?);
         }
         let checkpoint = Journal::create(&coordinator_journal_path(dir))?;
@@ -306,6 +326,8 @@ impl FleetCoordinator {
             internal_errors: Vec::new(),
             net: None,
             fence_authorities: BTreeMap::new(),
+            log: ServiceLog::new(),
+            durability_level_ticks: [0; 4],
         };
         coord.arm_transport(0);
         Ok(coord)
@@ -402,8 +424,32 @@ impl FleetCoordinator {
             rt.net.send(NodeId::Coordinator, NodeId::Shard(id), msg, now);
             return Ok(());
         }
-        *self.routed.entry(id).or_insert(0) += 1;
-        self.shard_mut(id).offer_tagged(tenant, cost, now, seq)
+        self.offer_to_shard(id, tenant, cost, now, seq)
+    }
+
+    /// Routes one tagged chunk into shard `id`'s front door, keeping the
+    /// books exact. A [`AdmissionError::WritesRefused`] refusal fires
+    /// *before* the shard's controller can count the offer, so it is
+    /// booked at the coordinator's retired ledger instead — and not
+    /// against the shard's routed count, which must keep matching what
+    /// its journal can prove at reconciliation.
+    fn offer_to_shard(
+        &mut self,
+        id: u32,
+        tenant: &str,
+        cost: u64,
+        now: u64,
+        seq: u64,
+    ) -> Result<(), AdmissionError> {
+        let res = self.shard_mut(id).offer_tagged(tenant, cost, now, seq);
+        match &res {
+            Err(AdmissionError::WritesRefused { .. }) => {
+                self.retired.offered += 1;
+                self.retired.rejected += 1;
+            }
+            _ => *self.routed.entry(id).or_insert(0) += 1,
+        }
+        res
     }
 
     /// Advances every live shard one tick in parallel (drain up to
@@ -433,6 +479,7 @@ impl FleetCoordinator {
             }
         }
         self.shards = results.into_iter().map(|(s, _)| s).collect();
+        self.track_durability(now);
         for id in deaths {
             self.crash_failover(id, now);
         }
@@ -481,10 +528,10 @@ impl FleetCoordinator {
                     rt.net.refuse();
                     return;
                 }
-                *self.routed.entry(id).or_insert(0) += 1;
                 // A refusal here is the shard's front door rejecting
-                // (counted in its `rejected`) — delivery still succeeded.
-                let _ = self.shard_mut(id).offer_tagged(&tenant, cost, now, chunk_seq);
+                // (counted in its `rejected`, or at the coordinator for a
+                // storage refusal) — delivery still succeeded.
+                let _ = self.offer_to_shard(id, &tenant, cost, now, chunk_seq);
                 rt.net.accept(d.src, d.dst, d.seq, now);
             }
             Msg::Probe { lease_until } => {
@@ -683,6 +730,31 @@ impl FleetCoordinator {
         self.net = Some(rt);
     }
 
+    /// Books this tick's storage picture: per-level occupancy across live
+    /// shards (the `durability_level_ticks` budget) and every gauge
+    /// transition drained from the shards, re-stamped onto the tick clock
+    /// and surfaced as typed [`ServiceEvent::DurabilityTransition`]s on
+    /// the coordinator's log. Runs once per `advance`, *before* death
+    /// processing, so a shard that dies this tick still reports its last
+    /// transitions.
+    fn track_durability(&mut self, now: u64) {
+        let mut moves: Vec<(u32, DurabilityLevel, DurabilityLevel)> = Vec::new();
+        for shard in &self.shards {
+            if shard.state() == ShardState::Active && self.ring.contains(shard.id()) {
+                let level = shard.durability_level();
+                if let Some(idx) = DurabilityLevel::ALL.iter().position(|l| *l == level) {
+                    self.durability_level_ticks[idx] += 1;
+                }
+            }
+            for (_, from, to) in shard.take_durability_transitions() {
+                moves.push((shard.id(), from, to));
+            }
+        }
+        for (shard, from, to) in moves {
+            self.log.push(ServiceEvent::DurabilityTransition { tick: now, shard, from, to });
+        }
+    }
+
     /// One anti-entropy pass on cadence: every `scrub_every` ticks, one
     /// live shard (round-robin over the fleet in id order, so every
     /// replica gets verified within `live × scrub_every` ticks) has its
@@ -711,7 +783,11 @@ impl FleetCoordinator {
     /// shard browned out for `failover_after` consecutive scans — unless
     /// it is the last one standing (fencing the whole fleet would turn a
     /// brown-out into a blackout; the single shard's own breaker already
-    /// sheds load). Returns the failovers performed.
+    /// sheds load). A shard whose disk gauge sits at the bottom rung
+    /// ([`DurabilityLevel::RefuseWrites`]) counts as browned out too: its
+    /// storage cannot hold work honestly, so the same streak drains it to
+    /// healthier disks through the existing fencing machinery. Returns
+    /// the failovers performed.
     pub fn react(&mut self, now: u64) -> Vec<FailoverEvent> {
         let mut fenced = Vec::new();
         for h in self.health_samples() {
@@ -719,7 +795,7 @@ impl FleetCoordinator {
                 continue;
             }
             let streak = self.brownout_streak.entry(h.id).or_insert(0);
-            if h.fleet == FleetState::BrownOut {
+            if h.fleet == FleetState::BrownOut || h.durability == DurabilityLevel::RefuseWrites {
                 *streak += 1;
             } else {
                 *streak = 0;
@@ -827,12 +903,7 @@ impl FleetCoordinator {
         let mut reoffer_rejected = 0;
         for chunk in evacuated {
             let target = self.ring.route(&chunk.tenant);
-            *self.routed.entry(target).or_insert(0) += 1;
-            if self
-                .shard_mut(target)
-                .offer_tagged(&chunk.tenant, chunk.cost, now, chunk.seq)
-                .is_err()
-            {
+            if self.offer_to_shard(target, &chunk.tenant, chunk.cost, now, chunk.seq).is_err() {
                 reoffer_rejected += 1;
             }
         }
@@ -899,7 +970,12 @@ impl FleetCoordinator {
             .iter()
             .find(|s| s.id() == id)
             .map_or_else(|| self.ring.successor_shard(id), Shard::follower);
-        let (queue, booked_loss) = self.reconcile_books(id, follower, routed);
+        // The sink's unjournaled counter survives an in-process kill (the
+        // Shard object outlives its controller), so a degraded shard's
+        // admitted-but-never-journaled records can be booked honestly.
+        let unjournaled =
+            self.shards.iter().find(|s| s.id() == id).map_or(0, Shard::unjournaled);
+        let (queue, booked_loss) = self.reconcile_books(id, follower, routed, unjournaled);
         self.ring.remove_shard(id);
         self.rehome_replicas();
         if self.net.is_some() {
@@ -929,14 +1005,17 @@ impl FleetCoordinator {
 
     /// Reconciles a dead shard's counters from the best surviving journal
     /// copy. Returns the exact queue at the moment of death when a clean
-    /// copy replays it (loss `0`), or an empty queue plus the honest
-    /// bounded loss (already booked as shed) when every copy is damaged
-    /// or replication is off. Touches books only — never the ring.
+    /// copy replays it (loss limited to records the shard's degraded
+    /// gauge never journaled — `unjournaled`, booked as shed), or an
+    /// empty queue plus the honest bounded loss (already booked as shed)
+    /// when every copy is damaged or replication is off. Touches books
+    /// only — never the ring.
     fn reconcile_books(
         &mut self,
         id: u32,
         follower: Option<u32>,
         routed: u64,
+        unjournaled: u64,
     ) -> (Vec<ChunkAdmit>, u64) {
         let primary = shard_journal_path(&self.dir, id);
         let replica = follower.map(|f| shard_replica_path(&self.dir, id, f));
@@ -948,6 +1027,10 @@ impl FleetCoordinator {
             .filter(|p| p.exists())
             .collect();
         if self.cfg.replicated() {
+            // Among clean copies, the one with the most records wins: a
+            // shard that spent time at ReplicaOnly has a primary that
+            // scans clean but legitimately trails its replica.
+            let mut best = None;
             for path in &candidates {
                 let Ok((run, defects)) = recover_run(path) else { continue };
                 if !defects.is_empty() {
@@ -956,6 +1039,12 @@ impl FleetCoordinator {
                     // so only clean copies are trusted for exact replay.
                     continue;
                 }
+                let score = run.admits.len() + run.serves.len() + run.sheds.len();
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best = Some((score, run));
+                }
+            }
+            if let Some((_, run)) = best {
                 // Exact replay: every admit was journaled before its
                 // enqueue, every serve/shed after its dequeue, so the
                 // queue at death is the admit multiset minus both.
@@ -971,21 +1060,36 @@ impl FleetCoordinator {
                     .filter(|a| !done.remove(&(a.tenant.clone(), a.seq)))
                     .cloned()
                     .collect();
+                // What survives in `done` is the *orphans*: serves/sheds
+                // journaled with no matching admit record, because the
+                // admit landed while the gauge was degraded past
+                // journaling and the serve after a climb. Each orphan is
+                // a chunk inside the routed-minus-admits gap that is
+                // already evidenced as served or shed — booking it as a
+                // rejection too would double-count it.
+                let orphans = done.len() as u64;
                 let admits = run.admits.len() as u64;
                 // `routed` is exact in-process; after a coordinator
                 // restart it comes from a checkpoint and may lag the
                 // journal — the max is the tightest honest offer count
                 // (post-checkpoint refusals are then under-counted on
                 // both sides of the identity, which stays exact).
-                let offered = routed.max(admits);
+                let offered = routed.max(admits + orphans);
+                // The rest of the gap is front-door refusals plus records
+                // a degraded gauge admitted but never journaled. The
+                // latter died with the shard's memory: book them as shed
+                // crash loss, not as rejections.
+                let gap = offered - admits - orphans;
+                let lost = unjournaled.min(gap);
                 self.retired.offered += offered;
                 self.retired.served += run.serves.len() as u64;
-                self.retired.rejected += offered - admits;
-                self.retired.shed += run.sheds.len() as u64;
+                self.retired.rejected += gap - lost;
+                self.retired.shed += run.sheds.len() as u64 + lost;
+                self.crash_loss += lost;
                 if let Some(r) = &replica {
                     let _ = std::fs::remove_file(r); // consumed
                 }
-                return (queue, 0);
+                return (queue, lost);
             }
         }
         // Bounded-loss reconciliation (replication off, or a double
@@ -1044,12 +1148,7 @@ impl FleetCoordinator {
         let mut reoffer_rejected = 0;
         for chunk in queue {
             let target = self.ring.route(&chunk.tenant);
-            *self.routed.entry(target).or_insert(0) += 1;
-            if self
-                .shard_mut(target)
-                .offer_tagged(&chunk.tenant, chunk.cost, now, chunk.seq)
-                .is_err()
-            {
+            if self.offer_to_shard(target, &chunk.tenant, chunk.cost, now, chunk.seq).is_err() {
                 reoffer_rejected += 1;
             }
         }
@@ -1069,8 +1168,28 @@ impl FleetCoordinator {
             replicas_latched: live.iter().filter(|h| h.replica_latched).count(),
             scrub_events: self.scrub_events.clone(),
             internal_errors: self.internal_errors.clone(),
+            durability_worst: live
+                .iter()
+                .map(|h| h.durability)
+                .max()
+                .unwrap_or(DurabilityLevel::Durable),
+            durability_level_ticks: self.durability_level_ticks,
+            unjournaled_total: shards.iter().map(|h| h.unjournaled).sum(),
             shards,
         }
+    }
+
+    /// The coordinator's event log: every durability transition any
+    /// shard's disk gauge took, as typed
+    /// [`ServiceEvent::DurabilityTransition`]s on the tick clock.
+    pub fn log(&self) -> &ServiceLog {
+        &self.log
+    }
+
+    /// Shard-ticks spent at each durability level, best rung first (the
+    /// same accumulation [`FleetView::durability_level_ticks`] reports).
+    pub fn durability_level_ticks(&self) -> [u64; 4] {
+        self.durability_level_ticks
     }
 
     /// Whether shard traffic flows through the simulated message plane.
@@ -1276,6 +1395,8 @@ impl FleetCoordinator {
             internal_errors: Vec::new(),
             net: None,
             fence_authorities: BTreeMap::new(),
+            log: ServiceLog::new(),
+            durability_level_ticks: [0; 4],
         };
         for (id, routed) in &live {
             coord.ring.insert_shard(*id);
@@ -1299,7 +1420,9 @@ impl FleetCoordinator {
             .collect();
         let mut queues = Vec::with_capacity(followers.len());
         for (id, follower, routed) in followers {
-            let (queue, loss) = coord.reconcile_books(id, follower, routed);
+            // A restart lost every in-memory counter, the unjournaled
+            // count included; the journal's account is the floor.
+            let (queue, loss) = coord.reconcile_books(id, follower, routed, 0);
             queues.push((id, queue, loss));
         }
         // Fresh shards under the same ids (truncating the reconciled
@@ -1319,6 +1442,10 @@ impl FleetCoordinator {
                 coord.cfg.ledger_every,
                 coord.cfg.replicated(),
                 follower,
+                DiskConfig {
+                    plan: coord.cfg.disk.shard_plan(coord.cfg.seed, *id),
+                    gauge: coord.cfg.disk.gauge,
+                },
             )?);
             coord.routed.insert(*id, 0);
         }
@@ -1657,6 +1784,81 @@ mod tests {
         }
         assert_eq!(c.view().live, 3, "all shards restart fresh");
         assert!(c.stats().conserves());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quiet_armed_disk_is_byte_identical_to_the_real_path() {
+        use emoleak_durable::FaultPlan;
+        let dir_a = scratch("quiet-a");
+        let dir_b = scratch("quiet-b");
+        let mut cfg_b = small(2);
+        cfg_b.disk.plan = Some(FaultPlan::quiet(123));
+        let mut a = FleetCoordinator::new(small(2), &dir_a).unwrap();
+        let mut b = FleetCoordinator::new(cfg_b, &dir_b).unwrap();
+        let ts = tenants(8);
+        for now in 0..40 {
+            for t in &ts {
+                a.offer(t, 64, now).unwrap();
+                b.offer(t, 64, now).unwrap();
+            }
+            a.advance(now, 8, &[]);
+            b.advance(now, 8, &[]);
+        }
+        assert_eq!(a.stats(), b.stats());
+        let view = b.view();
+        assert_eq!(view.durability_worst, DurabilityLevel::Durable);
+        assert_eq!(view.durability_level_ticks[1..], [0, 0, 0]);
+        assert!(view.durability_level_ticks[0] > 0);
+        assert_eq!(view.unjournaled_total, 0);
+        assert!(b.log().events().is_empty(), "a quiet disk never transitions");
+        for id in 0..2 {
+            let pa = std::fs::read(shard_journal_path(&dir_a, id)).unwrap();
+            let pb = std::fs::read(shard_journal_path(&dir_b, id)).unwrap();
+            assert_eq!(pa, pb, "shard {id}: quiet FaultVfs must be byte-identical to OsVfs");
+        }
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn storage_brownout_drains_through_the_fencing_machinery() {
+        use emoleak_durable::FaultPlan;
+        use emoleak_stream::DiskGaugeConfig;
+        let dir = scratch("disk-drain");
+        let mut cfg = small(2);
+        // Tiny disks with the refuse watermark far above them: the first
+        // journaled append pins every shard's gauge at the bottom rung.
+        cfg.disk.plan = Some(FaultPlan { byte_budget: 4096, ..FaultPlan::quiet(5) });
+        cfg.disk.gauge = DiskGaugeConfig {
+            low_water: 1 << 20,
+            refuse_water: 1 << 20,
+            ..DiskGaugeConfig::default()
+        };
+        let mut c = FleetCoordinator::new(cfg, &dir).unwrap();
+        let ts = tenants(8);
+        let mut fenced = false;
+        for now in 0..50 {
+            for t in &ts {
+                let _ = c.offer(t, 64, now);
+            }
+            c.advance(now, 2, &[]);
+            if !c.react(now).is_empty() {
+                fenced = true;
+            }
+            assert!(c.stats().conserves(), "tick {now}: {:?}", c.stats());
+        }
+        assert!(fenced, "sustained storage refusal must fence a shard");
+        let view = c.view();
+        assert_eq!(view.live, 1, "the last shard is never fenced");
+        assert_eq!(view.durability_worst, DurabilityLevel::RefuseWrites);
+        assert!(view.durability_level_ticks[3] > 0, "{:?}", view.durability_level_ticks);
+        let moves = c.log().durability_transitions();
+        assert!(!moves.is_empty());
+        assert!(
+            moves.iter().all(|(_, _, from, to)| to > from),
+            "pressure-only runs degrade monotonically: {moves:?}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -44,7 +44,7 @@ pub mod service;
 pub mod shard;
 pub mod transport;
 
-pub use config::{FleetConfig, NetConfig};
+pub use config::{DiskConfig, FleetConfig, NetConfig};
 pub use coordinator::{
     coordinator_journal_path, FailoverEvent, FailoverKind, FleetCoordinator, FleetInternalError,
     FleetStats, FleetView, REC_CHECKPOINT,

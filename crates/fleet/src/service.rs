@@ -100,6 +100,12 @@ impl FleetService {
     /// congestion it caused).
     pub fn admit(&self, tenant: &str, now: u64) -> Result<Placement, AdmissionError> {
         let chain = self.ring.route_chain(tenant);
+        let Some(home) = chain.first().copied() else {
+            // An empty chain means an empty ring. `fence_shard` refuses
+            // to fence the last shard, so no caller reaches this today —
+            // but a typed refusal beats a panic if that invariant bends.
+            return Err(AdmissionError::BrownedOut);
+        };
         let mut home_err = None;
         for (hop, id) in chain.iter().enumerate() {
             // A chain hop can name a shard fenced between routing and
@@ -120,7 +126,7 @@ impl FleetService {
                 }
             }
         }
-        Err(home_err.expect("route chain of a live ring is never empty"))
+        Err(home_err.unwrap_or(AdmissionError::ShardFenced { shard: home }))
     }
 
     /// Sessions admitted away from their home shard so far.

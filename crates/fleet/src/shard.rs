@@ -15,9 +15,10 @@
 //! memory). The coordinator then reconciles the shard from its journal —
 //! see [`crate::FleetCoordinator`].
 
+use crate::config::DiskConfig;
 use emoleak_admission::{AdmissionConfig, AdmissionController, AdmissionStats, QueuedChunk};
-use emoleak_core::admission::{AdmissionError, FleetState};
-use emoleak_durable::{Defect, DurableError};
+use emoleak_core::admission::{AdmissionError, DurabilityLevel, FleetState};
+use emoleak_durable::{Defect, DurableError, FaultVfs, OsVfs, Vfs};
 use emoleak_stream::durable::{DurableSink, LedgerRecord};
 use emoleak_stream::log::ServiceLog;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,6 +62,12 @@ pub struct ShardHealth {
     /// Whether the shard's replica is latched (a ship failed and no scrub
     /// has repaired it yet). Always `false` with replication off.
     pub replica_latched: bool,
+    /// The shard's storage durability level. [`DurabilityLevel::Durable`]
+    /// whenever the disk gauge is unarmed (or the shard is retired).
+    pub durability: DurabilityLevel,
+    /// Records committed in memory but journaled nowhere because the
+    /// gauge had degraded — honest would-be-lost-on-crash accounting.
+    pub unjournaled: u64,
 }
 
 /// What one [`Shard::advance`] tick produced.
@@ -133,9 +140,14 @@ impl Shard {
     /// fleet journals chunks even on a momentarily follower-less shard, so
     /// a process kill with the disk intact still replays exactly.
     ///
+    /// `disk` carries this shard's (already reseeded) fault plan and the
+    /// durability-gauge tuning. An unarmed plan puts the shard on the real
+    /// filesystem with no gauge — byte-identical to the pre-nemesis path.
+    ///
     /// # Errors
     ///
     /// [`emoleak_durable::DurableError`] when a segment cannot be created.
+    #[allow(clippy::too_many_arguments)] // construction facts, each orthogonal
     pub fn new(
         id: u32,
         dir: &Path,
@@ -144,13 +156,21 @@ impl Shard {
         ledger_every: u64,
         journal_chunks: bool,
         follower: Option<u32>,
+        disk: DiskConfig,
     ) -> Result<Shard, emoleak_durable::DurableError> {
         let journal_path = shard_journal_path(dir, id);
+        let (vfs, gauge): (Arc<dyn Vfs>, _) = match disk.plan {
+            Some(plan) => (Arc::new(FaultVfs::new(plan)), Some(disk.gauge)),
+            None => (Arc::new(OsVfs), None),
+        };
         let sink = match follower {
-            Some(f) => {
-                DurableSink::create_replicated(&journal_path, &shard_replica_path(dir, id, f))?
-            }
-            None => DurableSink::create(&journal_path)?,
+            Some(f) => DurableSink::create_replicated_with(
+                &journal_path,
+                &shard_replica_path(dir, id, f),
+                vfs,
+                gauge,
+            )?,
+            None => DurableSink::create_with(&journal_path, vfs, gauge)?,
         };
         let mut ctrl = AdmissionController::new(admission).with_durable(sink.clone());
         if journal_chunks {
@@ -289,7 +309,11 @@ impl Shard {
     ///
     /// # Errors
     ///
-    /// Whatever the shard's [`AdmissionController`] refuses with.
+    /// [`AdmissionError::WritesRefused`] when the disk gauge sits at the
+    /// bottom rung (the shard cannot journal *or* buffer honestly, so it
+    /// refuses rather than silently accepting doomed work — the caller
+    /// retries after failover); otherwise whatever the shard's
+    /// [`AdmissionController`] refuses with.
     ///
     /// # Panics
     ///
@@ -303,6 +327,9 @@ impl Shard {
         seq: u64,
     ) -> Result<(), AdmissionError> {
         assert_eq!(self.state, ShardState::Active, "offer to a retired shard");
+        if !self.durability_level().accepts_writes() {
+            return Err(AdmissionError::WritesRefused { shard: self.id });
+        }
         self.ctrl_mut().offer_tagged(tenant, cost, now, seq)
     }
 
@@ -335,7 +362,8 @@ impl Shard {
         match outcome {
             Ok(served) => {
                 if now >= self.next_ledger {
-                    let ledger = ledger_at(now, &self.ctrl.as_ref().unwrap().stats());
+                    let ctrl = self.ctrl.as_ref().expect("active shard has a controller");
+                    let ledger = ledger_at(now, &ctrl.stats());
                     self.sink.record_ledger(&ledger);
                     self.next_ledger = now + self.ledger_every;
                 }
@@ -374,7 +402,31 @@ impl Shard {
             restarts_used: self.restarts_used,
             restart_budget: self.restart_budget,
             replica_latched: self.sink.replica_latched(),
+            durability: self.durability_level(),
+            unjournaled: self.sink.unjournaled(),
         }
+    }
+
+    /// The shard's storage durability level: what the disk gauge reports,
+    /// or [`DurabilityLevel::Durable`] when the gauge is unarmed.
+    pub fn durability_level(&self) -> DurabilityLevel {
+        self.sink.durability_level().unwrap_or(DurabilityLevel::Durable)
+    }
+
+    /// Records that committed in memory but reached no journal because
+    /// the gauge had degraded. See [`DurableSink::unjournaled`].
+    pub fn unjournaled(&self) -> u64 {
+        self.sink.unjournaled()
+    }
+
+    /// Drains the shard's durability transitions observed so far, as
+    /// `(seq, from, to)` in the sink's record clock. The coordinator
+    /// re-stamps them onto its tick clock when it surfaces them as
+    /// [`ServiceEvent::DurabilityTransition`](emoleak_stream::ServiceEvent).
+    pub fn take_durability_transitions(
+        &self,
+    ) -> Vec<(u64, DurabilityLevel, DurabilityLevel)> {
+        self.sink.take_durability_transitions()
     }
 
     /// Current admission counters: the live controller's, or — for a
@@ -468,7 +520,8 @@ mod tests {
     }
 
     fn shard(dir: &Path) -> Shard {
-        Shard::new(0, dir, AdmissionConfig::default(), 2, 10, false, None).unwrap()
+        Shard::new(0, dir, AdmissionConfig::default(), 2, 10, false, None, DiskConfig::default())
+            .unwrap()
     }
 
     #[test]
@@ -522,8 +575,17 @@ mod tests {
     #[test]
     fn disk_loss_leaves_only_the_replica_and_rehome_moves_it() {
         let dir = scratch("diskloss");
-        let mut s =
-            Shard::new(0, &dir, AdmissionConfig::default(), 2, 10, true, Some(1)).unwrap();
+        let mut s = Shard::new(
+            0,
+            &dir,
+            AdmissionConfig::default(),
+            2,
+            10,
+            true,
+            Some(1),
+            DiskConfig::default(),
+        )
+        .unwrap();
         for now in 0..12 {
             s.offer_tagged("a", 64, now, now).unwrap();
             s.advance(now, 1, false);
@@ -551,6 +613,43 @@ mod tests {
         let (survivor, defects) = recover_run(&replica).unwrap();
         assert!(defects.is_empty(), "{defects:?}");
         assert_eq!(survivor, replica_run);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_pins_durability_and_refuses_at_the_front_door() {
+        use emoleak_durable::FaultPlan;
+        use emoleak_stream::DiskGaugeConfig;
+        let dir = scratch("enospc");
+        // A 64-byte disk with the refuse watermark far above it: the first
+        // journal append that probes free space pins the gauge straight to
+        // the bottom rung.
+        let disk = DiskConfig {
+            plan: Some(FaultPlan { byte_budget: 64, ..FaultPlan::quiet(9) }),
+            gauge: DiskGaugeConfig {
+                low_water: 1 << 20,
+                refuse_water: 1 << 20,
+                ..DiskGaugeConfig::default()
+            },
+        };
+        let mut s =
+            Shard::new(0, &dir, AdmissionConfig::default(), 2, 10, false, None, disk).unwrap();
+        assert_eq!(s.durability_level(), DurabilityLevel::Durable);
+        for now in 0..=10 {
+            let _ = s.offer_tagged("a", 64, now, now);
+            s.advance(now, 1, false);
+        }
+        assert_eq!(s.durability_level(), DurabilityLevel::RefuseWrites);
+        let err = s.offer_tagged("a", 64, 11, 11).unwrap_err();
+        assert!(matches!(err, AdmissionError::WritesRefused { shard: 0 }), "{err:?}");
+        let h = s.health();
+        assert_eq!(h.durability, DurabilityLevel::RefuseWrites);
+        let moves = s.take_durability_transitions();
+        assert!(
+            moves.iter().all(|(_, from, to)| to > from),
+            "pressure-only runs degrade monotonically: {moves:?}"
+        );
+        assert!(!moves.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -13,13 +13,14 @@
 //! stops journaling, and [`DurableSink::take_error`] surfaces the failure
 //! after the run. Classification itself never blocks on a broken disk.
 
+use crate::disk::{DiskGauge, DiskGaugeConfig, DiskOutcome, DurabilityTransition};
 use crate::ladder::Transition;
 use crate::service::RegionEmission;
-use emoleak_core::admission::FleetState;
+use emoleak_core::admission::{DurabilityLevel, FleetState};
 use emoleak_core::online::{InferenceLevel, Verdict};
 use emoleak_durable::{
-    compare_streams, rebuild_journal, Dec, Defect, DurableError, Enc, Journal, StreamDiff,
-    WireError,
+    compare_streams, rebuild_journal_with, Dec, Defect, DurableError, Enc, Journal, OsVfs,
+    StreamDiff, Vfs, WireError,
 };
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +51,12 @@ pub const REC_CHUNK_SERVE: u8 = 8;
 /// the last stamp so a successor can prove which incarnation wrote the
 /// tail.
 pub const REC_FENCE_EPOCH: u8 = 9;
+/// Journal record kind: one disk-gauge durability transition. Journaled
+/// best-effort at the *new* level (a transition into `MemoryOnly` or
+/// `RefuseWrites` has nowhere durable to land and is carried only in
+/// memory), so recovery can see when and how far the writer's storage had
+/// degraded.
+pub const REC_DURABILITY: u8 = 10;
 
 /// One snapshot of a shard's admission counters, journaled periodically so
 /// a fleet coordinator can reconcile a crash-killed shard: the last ledger
@@ -108,6 +115,17 @@ fn fleet_from(code: u8, offset: u64) -> Result<FleetState, WireError> {
     FleetState::ALL.get(usize::from(code)).copied().ok_or_else(|| WireError {
         offset,
         detail: format!("unknown fleet state code {code}"),
+    })
+}
+
+fn durability_code(level: DurabilityLevel) -> u8 {
+    DurabilityLevel::ALL.iter().position(|l| *l == level).map(|i| i as u8).unwrap_or(u8::MAX)
+}
+
+fn durability_from(code: u8, offset: u64) -> Result<DurabilityLevel, WireError> {
+    DurabilityLevel::ALL.get(usize::from(code)).copied().ok_or_else(|| WireError {
+        offset,
+        detail: format!("unknown durability level code {code}"),
     })
 }
 
@@ -200,6 +218,19 @@ struct SinkInner {
     /// Fencing guard; `None` when the sink's writer is not fenced (solo
     /// deployments, direct-mode fleets).
     fence: Option<FenceGuard>,
+    /// The VFS every durable byte of this sink crosses — `OsVfs` in
+    /// production, a `FaultVfs` under the disk nemesis.
+    vfs: Arc<dyn Vfs>,
+    /// The disk-health gauge driving the durability ladder. `None` keeps
+    /// the classic latch-on-first-error semantics.
+    gauge: Option<DiskGauge>,
+    /// Records that committed in memory but reached no journal because the
+    /// gauge had degraded (or the degraded-mode write failed) — the honest
+    /// would-be-lost-on-crash count.
+    unjournaled: u64,
+    /// Gauge transitions as `(seq, from, to)`, drained by the shard for
+    /// service-log events and tick accounting.
+    durability_log: Vec<(u64, DurabilityLevel, DurabilityLevel)>,
 }
 
 /// A thread-safe handle journaling service events as they commit. Cloning
@@ -220,6 +251,141 @@ impl core::fmt::Debug for DurableSink {
     }
 }
 
+/// The classic append path: first failure latches and journaling stops.
+fn append_direct(inner: &mut SinkInner, kind: u8, data: &[u8]) {
+    let seq = inner.seq;
+    if let Err(e) = inner.journal.append(kind, seq, data) {
+        inner.error = Some(e);
+        return; // the record never committed: do not ship it
+    }
+    inner.seq += 1;
+    // Synchronous ship to the follower. The replica trails the primary
+    // by at most the record currently in flight.
+    let tear = inner.tear_replica.take();
+    if inner.replica_error.is_some() {
+        return; // replica latched: the scrubber will re-ship
+    }
+    if let Some(replica) = inner.replica.as_mut() {
+        let result = match tear {
+            Some(frac) => replica.append_torn(kind, seq, data, frac).and(Err(
+                DurableError::Injected {
+                    op: seq,
+                    detail: "replica ship torn mid-write".into(),
+                },
+            )),
+            None => replica.append(kind, seq, data),
+        };
+        if let Err(e) = result {
+            inner.replica_error = Some(e);
+        }
+    }
+}
+
+/// The gauge-armed append path: journaling follows the current durability
+/// level, failures feed the gauge instead of latching, and records that
+/// reach no journal are counted as unjournaled.
+fn append_gauged(inner: &mut SinkInner, kind: u8, data: &[u8]) {
+    let level = inner.gauge.as_ref().map(|g| g.level()).unwrap_or(DurabilityLevel::Durable);
+    let free = inner.vfs.free_space(inner.journal.path());
+    let seq = inner.seq;
+    inner.seq += 1;
+    let mut outcome = DiskOutcome { errored: false, stall_ticks: 0, free_space: free };
+    let mut journaled = false;
+    if level.journals_primary() {
+        let result = inner.journal.append(kind, seq, data);
+        outcome.stall_ticks += inner.journal.take_stalled_ticks();
+        match result {
+            Ok(()) => journaled = true,
+            Err(_) => outcome.errored = true,
+        }
+    }
+    if level.journals_replica() && inner.replica_error.is_none() {
+        let tear = inner.tear_replica.take();
+        if let Some(replica) = inner.replica.as_mut() {
+            let result = match tear {
+                Some(frac) => replica.append_torn(kind, seq, data, frac).and(Err(
+                    DurableError::Injected {
+                        op: seq,
+                        detail: "replica ship torn mid-write".into(),
+                    },
+                )),
+                None => replica.append(kind, seq, data),
+            };
+            outcome.stall_ticks += replica.take_stalled_ticks();
+            match result {
+                Ok(()) => journaled = true,
+                Err(e) => {
+                    // At ReplicaOnly the replica *is* the shard's
+                    // durability, so its failure drives the gauge; at
+                    // Durable a dead follower stays the follower's problem.
+                    if level > DurabilityLevel::Durable {
+                        outcome.errored = true;
+                    }
+                    inner.replica_error = Some(e);
+                }
+            }
+        }
+    }
+    if !journaled {
+        inner.unjournaled += 1;
+    }
+    let transition = inner.gauge.as_mut().and_then(|g| g.observe(outcome));
+    if let Some(t) = transition {
+        apply_transition(inner, seq, t);
+    }
+}
+
+/// Bookkeeping for one gauge transition: log it, reopen any journal the
+/// climb re-enables (its handle may be poisoned by the very faults that
+/// degraded it, and reopen truncates a torn tail), and journal the
+/// transition record best-effort at the *new* level.
+fn apply_transition(inner: &mut SinkInner, tick: u64, t: DurabilityTransition) {
+    inner.durability_log.push((tick, t.from, t.to));
+    if t.to < t.from {
+        if t.to.journals_primary() {
+            let path = inner.journal.path().to_path_buf();
+            if let Ok((journal, _, _)) = Journal::open_with(&path, inner.vfs.as_ref()) {
+                inner.journal = journal;
+            }
+            // A failed reopen leaves the old handle; the next append's
+            // error feeds the gauge and degrades again.
+        }
+        if t.to.journals_replica() {
+            if let Some(path) = inner.replica.as_ref().map(|r| r.path().to_path_buf()) {
+                if let Ok((journal, _, _)) = Journal::open_with(&path, inner.vfs.as_ref()) {
+                    inner.replica = Some(journal);
+                    inner.replica_error = None;
+                }
+            }
+        }
+    }
+    let mut enc = Enc::new();
+    enc.u64(tick).u8(durability_code(t.from)).u8(durability_code(t.to));
+    let data = enc.into_bytes();
+    let seq = inner.seq;
+    if t.to.journals_primary() {
+        if inner.journal.append(REC_DURABILITY, seq, &data).is_ok() {
+            inner.seq += 1;
+            let _ = inner.journal.take_stalled_ticks();
+            if inner.replica_error.is_none() {
+                if let Some(replica) = inner.replica.as_mut() {
+                    if let Err(e) = replica.append(REC_DURABILITY, seq, &data) {
+                        inner.replica_error = Some(e);
+                    }
+                    let _ = replica.take_stalled_ticks();
+                }
+            }
+        }
+    } else if t.to.journals_replica() && inner.replica_error.is_none() {
+        if let Some(replica) = inner.replica.as_mut() {
+            if replica.append(REC_DURABILITY, seq, &data).is_ok() {
+                inner.seq += 1;
+            }
+            let _ = replica.take_stalled_ticks();
+        }
+    }
+}
+
 impl DurableSink {
     /// Creates a fresh journal at `path` (truncating an existing one — each
     /// service run is its own journal).
@@ -228,7 +394,23 @@ impl DurableSink {
     ///
     /// [`DurableError::Io`] when the journal cannot be created.
     pub fn create(path: &Path) -> Result<DurableSink, DurableError> {
-        let journal = Journal::create(path)?;
+        DurableSink::create_with(path, Arc::new(OsVfs), None)
+    }
+
+    /// [`DurableSink::create`] with every durable byte routed through `vfs`
+    /// and, when `gauge` is set, the disk-health gauge armed: journaling
+    /// failures feed the gauge and walk the sink down the durability
+    /// ladder instead of latching on the first error.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Io`] when the journal cannot be created.
+    pub fn create_with(
+        path: &Path,
+        vfs: Arc<dyn Vfs>,
+        gauge: Option<DiskGaugeConfig>,
+    ) -> Result<DurableSink, DurableError> {
+        let journal = Journal::create_with(path, vfs.as_ref())?;
         Ok(DurableSink {
             inner: Arc::new(Mutex::new(SinkInner {
                 journal,
@@ -238,6 +420,10 @@ impl DurableSink {
                 replica_error: None,
                 tear_replica: None,
                 fence: None,
+                vfs,
+                gauge: gauge.map(DiskGauge::new),
+                unjournaled: 0,
+                durability_log: Vec::new(),
             })),
         })
     }
@@ -252,8 +438,24 @@ impl DurableSink {
     ///
     /// [`DurableError::Io`] when either journal cannot be created.
     pub fn create_replicated(path: &Path, replica_path: &Path) -> Result<DurableSink, DurableError> {
-        let journal = Journal::create(path)?;
-        let replica = Journal::create(replica_path)?;
+        DurableSink::create_replicated_with(path, replica_path, Arc::new(OsVfs), None)
+    }
+
+    /// [`DurableSink::create_replicated`] with every durable byte routed
+    /// through `vfs` and an optionally armed disk-health gauge (see
+    /// [`DurableSink::create_with`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::Io`] when either journal cannot be created.
+    pub fn create_replicated_with(
+        path: &Path,
+        replica_path: &Path,
+        vfs: Arc<dyn Vfs>,
+        gauge: Option<DiskGaugeConfig>,
+    ) -> Result<DurableSink, DurableError> {
+        let journal = Journal::create_with(path, vfs.as_ref())?;
+        let replica = Journal::create_with(replica_path, vfs.as_ref())?;
         Ok(DurableSink {
             inner: Arc::new(Mutex::new(SinkInner {
                 journal,
@@ -263,6 +465,10 @@ impl DurableSink {
                 replica_error: None,
                 tear_replica: None,
                 fence: None,
+                vfs,
+                gauge: gauge.map(DiskGauge::new),
+                unjournaled: 0,
+                durability_log: Vec::new(),
             })),
         })
     }
@@ -307,31 +513,10 @@ impl DurableSink {
                 return;
             }
         }
-        let seq = inner.seq;
-        if let Err(e) = inner.journal.append(kind, seq, data) {
-            inner.error = Some(e);
-            return; // the record never committed: do not ship it
-        }
-        inner.seq += 1;
-        // Synchronous ship to the follower. The replica trails the primary
-        // by at most the record currently in flight.
-        let tear = inner.tear_replica.take();
-        if inner.replica_error.is_some() {
-            return; // replica latched: the scrubber will re-ship
-        }
-        if let Some(replica) = inner.replica.as_mut() {
-            let result = match tear {
-                Some(frac) => replica.append_torn(kind, seq, data, frac).and(Err(
-                    DurableError::Injected {
-                        op: seq,
-                        detail: "replica ship torn mid-write".into(),
-                    },
-                )),
-                None => replica.append(kind, seq, data),
-            };
-            if let Err(e) = result {
-                inner.replica_error = Some(e);
-            }
+        if inner.gauge.is_some() {
+            append_gauged(&mut inner, kind, data);
+        } else {
+            append_direct(&mut inner, kind, data);
         }
     }
 
@@ -396,6 +581,28 @@ impl DurableSink {
         self.append(REC_RUN_SUMMARY, &enc.into_bytes());
     }
 
+    /// The gauge's current durability level; `None` when no gauge is armed
+    /// (classic latch semantics).
+    pub fn durability_level(&self) -> Option<DurabilityLevel> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.gauge.as_ref().map(|g| g.level())
+    }
+
+    /// Records that committed in memory but reached no journal because the
+    /// gauge had degraded — the honest would-be-lost-on-crash count.
+    pub fn unjournaled(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).unjournaled
+    }
+
+    /// Drains the gauge transitions observed so far, as `(seq, from, to)`
+    /// (the sink's record sequence is its logical clock).
+    pub fn take_durability_transitions(
+        &self,
+    ) -> Vec<(u64, DurabilityLevel, DurabilityLevel)> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut inner.durability_log)
+    }
+
     /// The first journaling failure, if any (taking it resets the latch but
     /// journaling does not resume for this run).
     pub fn take_error(&self) -> Option<DurableError> {
@@ -440,8 +647,9 @@ impl DurableSink {
         }
         inner.replica_error = None;
         let Some(new_path) = new_path else { return };
-        let rebuilt = Journal::verify(inner.journal.path())
-            .and_then(|(records, _defects)| rebuild_journal(new_path, &records));
+        let vfs = Arc::clone(&inner.vfs);
+        let rebuilt = Journal::verify_with(inner.journal.path(), vfs.as_ref())
+            .and_then(|(records, _defects)| rebuild_journal_with(new_path, &records, vfs.as_ref()));
         match rebuilt {
             Ok(fresh) => inner.replica = Some(fresh),
             Err(e) => inner.replica_error = Some(e),
@@ -467,6 +675,14 @@ impl DurableSink {
     /// is off.
     pub fn scrub_replica(&self) -> Vec<Defect> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // While the gauge holds the sink below full durability the primary
+        // is *behind the replica by policy* — "repairing" the replica back
+        // to the primary's stream would destroy the very records degraded
+        // mode preserved. Scrubbing resumes once the gauge climbs back.
+        if inner.gauge.as_ref().is_some_and(|g| g.level() != DurabilityLevel::Durable) {
+            return Vec::new();
+        }
+        let vfs = Arc::clone(&inner.vfs);
         let Some(replica) = inner.replica.as_ref() else {
             return Vec::new();
         };
@@ -474,7 +690,7 @@ impl DurableSink {
         let primary_path = inner.journal.path().to_path_buf();
         // The primary handle has fsynced every committed record, so the
         // file content *is* the committed stream.
-        let primary = match Journal::verify(&primary_path) {
+        let primary = match Journal::verify_with(&primary_path, vfs.as_ref()) {
             Ok((records, _defects)) => records,
             // An unreadable primary is the crash-failover path's problem,
             // not the scrubber's; leave the replica alone.
@@ -482,7 +698,8 @@ impl DurableSink {
         };
         let mut defects = Vec::new();
         let replica_display = replica_path.display().to_string();
-        let (replica_records, scan_clean) = match Journal::verify(&replica_path) {
+        let (replica_records, scan_clean) = match Journal::verify_with(&replica_path, vfs.as_ref())
+        {
             Ok((records, scan_defects)) => {
                 let clean = scan_defects.is_empty();
                 defects.extend(scan_defects);
@@ -521,7 +738,7 @@ impl DurableSink {
         // append just the suffix, but a single rebuild path keeps repair
         // byte-reproducible in every case (the journal format is
         // append-deterministic, so rebuild == re-ship).
-        match rebuild_journal(&replica_path, &primary) {
+        match rebuild_journal_with(&replica_path, &primary, vfs.as_ref()) {
             Ok(fresh) => {
                 inner.replica = Some(fresh);
                 inner.replica_error = None; // repaired: shipping resumes
@@ -556,6 +773,10 @@ pub struct RecoveredRun {
     pub admits: Vec<ChunkAdmit>,
     /// Committed chunk serves, in serve order.
     pub serves: Vec<ChunkServe>,
+    /// Committed disk-gauge durability transitions as `(seq, from, to)`
+    /// triples. Only transitions that had somewhere durable to land appear
+    /// here (see [`REC_DURABILITY`]).
+    pub durability_transitions: Vec<(u64, DurabilityLevel, DurabilityLevel)>,
     /// The last fencing-token stamp in the journal, when the writer was
     /// fenced (`None` for unfenced writers).
     pub fence_token: Option<u64>,
@@ -587,6 +808,7 @@ pub fn recover_run(path: &Path) -> Result<(RecoveredRun, Vec<Defect>), DurableEr
         ledgers: Vec::new(),
         admits: Vec::new(),
         serves: Vec::new(),
+        durability_transitions: Vec::new(),
         fence_token: None,
         complete: false,
     };
@@ -665,6 +887,22 @@ pub fn recover_run(path: &Path) -> Result<(RecoveredRun, Vec<Defect>), DurableEr
                 };
                 dec.finish().map_err(corrupt)?;
                 run.ledgers.push(ledger);
+            }
+            REC_DURABILITY => {
+                let mut dec = Dec::new(&record.data);
+                let tick = dec.u64().map_err(corrupt)?;
+                let from_at = dec.offset();
+                let from = dec
+                    .u8()
+                    .map_err(corrupt)
+                    .and_then(|c| durability_from(c, from_at).map_err(corrupt))?;
+                let to_at = dec.offset();
+                let to = dec
+                    .u8()
+                    .map_err(corrupt)
+                    .and_then(|c| durability_from(c, to_at).map_err(corrupt))?;
+                dec.finish().map_err(corrupt)?;
+                run.durability_transitions.push((tick, from, to));
             }
             REC_FENCE_EPOCH => {
                 let mut dec = Dec::new(&record.data);
@@ -925,7 +1163,7 @@ mod tests {
         // A record frame is identical for both appends of the same payload;
         // trim the replica back to half its records by byte length of the
         // primary's first append.
-        let first_len = std::fs::metadata(&dir.join("probe.log")).unwrap().len();
+        let first_len = std::fs::metadata(dir.join("probe.log")).unwrap().len();
         std::fs::write(&replica, &bytes[..first_len as usize]).unwrap();
         let defects = sink.scrub_replica();
         assert!(
@@ -999,6 +1237,140 @@ mod tests {
         assert_eq!(std::fs::read(&path).unwrap(), std::fs::read(&replica).unwrap());
         let (run, _) = recover_run(&replica).unwrap();
         assert_eq!(run.fence_token, Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durability_transitions_round_trip() {
+        let dir = scratch("durability-codec");
+        let path = dir.join("run.log");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            let mut enc = Enc::new();
+            enc.u64(7)
+                .u8(durability_code(DurabilityLevel::ReplicaOnly))
+                .u8(durability_code(DurabilityLevel::Durable));
+            j.append(REC_DURABILITY, 0, &enc.into_bytes()).unwrap();
+        }
+        let (run, defects) = recover_run(&path).unwrap();
+        assert!(defects.is_empty(), "{defects:?}");
+        assert_eq!(
+            run.durability_transitions,
+            vec![(7, DurabilityLevel::ReplicaOnly, DurabilityLevel::Durable)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quiet_gauged_sink_is_byte_identical_to_the_default_sink() {
+        use emoleak_durable::{FaultPlan, FaultVfs};
+        let dir = scratch("quiet-gauge");
+        let plain = dir.join("plain.log");
+        let gauged = dir.join("gauged.log");
+        let a = DurableSink::create(&plain).unwrap();
+        let b = DurableSink::create_with(
+            &gauged,
+            Arc::new(FaultVfs::new(FaultPlan::quiet(42))),
+            Some(DiskGaugeConfig::default()),
+        )
+        .unwrap();
+        for sink in [&a, &b] {
+            sink.record_emission(&emission(1));
+            sink.record_shed(3, "amber", 2, 0);
+            sink.finish(1, InferenceLevel::Classical);
+            assert!(sink.take_error().is_none());
+        }
+        assert_eq!(std::fs::read(&plain).unwrap(), std::fs::read(&gauged).unwrap());
+        assert_eq!(b.durability_level(), Some(DurabilityLevel::Durable));
+        assert_eq!(b.unjournaled(), 0);
+        assert!(b.take_durability_transitions().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gauged_sink_degrades_under_stalls_and_climbs_back_without_latching() {
+        use emoleak_durable::{FaultPlan, FaultVfs};
+        let dir = scratch("gauge-walk");
+        let path = dir.join("run.log");
+        // Every fsync stalls 9 ticks (≥ stall_miss), so appends at the
+        // Durable rung are misses; at ReplicaOnly (no replica configured)
+        // no I/O happens, the probes run clean, and the gauge climbs back —
+        // a deterministic degrade/recover oscillation.
+        let plan = FaultPlan {
+            stall_every: 1,
+            stall_ticks: 9,
+            stall_budget: u64::MAX,
+            ..FaultPlan::quiet(7)
+        };
+        let gauge = DiskGaugeConfig {
+            degrade_after: 2,
+            recover_after: 2,
+            cooldown: 0,
+            low_water: 0,
+            refuse_water: 0,
+            stall_miss: 5,
+        };
+        let sink =
+            DurableSink::create_with(&path, Arc::new(FaultVfs::new(plan)), Some(gauge)).unwrap();
+        for region in 1..=10 {
+            sink.record_emission(&emission(region));
+        }
+        assert!(sink.take_error().is_none(), "the gauge must absorb faults, not latch");
+        assert!(sink.unjournaled() > 0, "ReplicaOnly appends without a replica are unjournaled");
+        let transitions = sink.take_durability_transitions();
+        assert!(
+            transitions
+                .iter()
+                .any(|(_, from, to)| *from == DurabilityLevel::Durable
+                    && *to == DurabilityLevel::ReplicaOnly),
+            "{transitions:?}"
+        );
+        assert!(
+            transitions
+                .iter()
+                .any(|(_, from, to)| *from == DurabilityLevel::ReplicaOnly
+                    && *to == DurabilityLevel::Durable),
+            "{transitions:?}"
+        );
+        // The climb transitions had a working primary to land in, so
+        // recovery sees them.
+        let (run, _) = recover_run(&path).unwrap();
+        assert!(
+            run.durability_transitions
+                .iter()
+                .any(|(_, _, to)| *to == DurabilityLevel::Durable),
+            "{:?}",
+            run.durability_transitions
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_pins_the_gauge_at_refuse_writes() {
+        use emoleak_durable::{FaultPlan, FaultVfs};
+        let dir = scratch("gauge-enospc");
+        let path = dir.join("run.log");
+        let plan = FaultPlan { byte_budget: 256, ..FaultPlan::quiet(11) };
+        let gauge = DiskGaugeConfig {
+            low_water: 70,
+            refuse_water: 64,
+            ..DiskGaugeConfig::default()
+        };
+        let sink =
+            DurableSink::create_with(&path, Arc::new(FaultVfs::new(plan)), Some(gauge)).unwrap();
+        for region in 1..=20 {
+            sink.record_emission(&emission(region));
+        }
+        assert_eq!(sink.durability_level(), Some(DurabilityLevel::RefuseWrites));
+        assert!(sink.take_error().is_none());
+        assert!(sink.unjournaled() > 0);
+        // Monotone under sustained pressure: the transition history only
+        // ever worsens.
+        let transitions = sink.take_durability_transitions();
+        assert!(!transitions.is_empty());
+        for (_, from, to) in &transitions {
+            assert!(to > from, "improved under a full disk: {from} -> {to}");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

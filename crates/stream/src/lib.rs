@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod disk;
 pub mod durable;
 pub mod ladder;
 pub mod log;
@@ -34,10 +35,11 @@ pub mod service;
 pub mod source;
 pub mod supervisor;
 
+pub use disk::{DiskGauge, DiskGaugeConfig, DiskOutcome, DurabilityTransition};
 pub use durable::{
     recover_run, ChunkAdmit, ChunkServe, DurableSink, LedgerRecord, RecoveredRun,
-    REC_CHUNK_ADMIT, REC_CHUNK_SERVE, REC_EMISSION, REC_FLEET_TRANSITION, REC_LOAD_SHED,
-    REC_RUN_SUMMARY, REC_SHARD_LEDGER, REC_TRANSITION,
+    REC_CHUNK_ADMIT, REC_CHUNK_SERVE, REC_DURABILITY, REC_EMISSION, REC_FLEET_TRANSITION,
+    REC_LOAD_SHED, REC_RUN_SUMMARY, REC_SHARD_LEDGER, REC_TRANSITION,
 };
 pub use ladder::{DegradationLadder, LadderConfig, LevelCap, Transition};
 pub use log::{ServiceEvent, ServiceLog};

@@ -9,7 +9,7 @@
 //! a byte-identical log every time.
 
 use crate::ladder::Transition;
-use emoleak_core::admission::FleetState;
+use emoleak_core::admission::{DurabilityLevel, FleetState};
 use emoleak_core::online::InferenceLevel;
 
 /// One resilience event.
@@ -75,6 +75,17 @@ pub enum ServiceEvent {
         /// The stable refusal tag (see
         /// [`AdmissionError::tag`](emoleak_core::admission::AdmissionError::tag)).
         reason: String,
+    },
+    /// A shard's disk gauge moved the shard to a new durability level.
+    DurabilityTransition {
+        /// Logical tick (admission-layer clock) of the transition.
+        tick: u64,
+        /// The shard whose storage moved.
+        shard: u32,
+        /// The durability level before.
+        from: DurabilityLevel,
+        /// The durability level after.
+        to: DurabilityLevel,
     },
     /// CoDel shed an already-admitted item whose queue sojourn exceeded
     /// the target for a sustained interval.
@@ -167,6 +178,24 @@ impl ServiceLog {
         self.fleet_transitions().iter().map(|(_, _, to)| *to).max()
     }
 
+    /// The durability transitions, in order, as `(tick, shard, from, to)`.
+    pub fn durability_transitions(&self) -> Vec<(u64, u32, DurabilityLevel, DurabilityLevel)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ServiceEvent::DurabilityTransition { tick, shard, from, to } => {
+                    Some((*tick, *shard, *from, *to))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The worst durability level any shard ever reached, if one moved.
+    pub fn worst_durability(&self) -> Option<DurabilityLevel> {
+        self.durability_transitions().iter().map(|(_, _, _, to)| *to).max()
+    }
+
     /// Count of admission refusals.
     pub fn rejections(&self) -> usize {
         self.events
@@ -222,6 +251,7 @@ mod tests {
         assert_eq!(log.worst_level(), None);
         assert_eq!(log.transitions(), Vec::new());
         assert_eq!(log.worst_fleet_state(), None);
+        assert_eq!(log.worst_durability(), None);
         assert_eq!(log.rejections(), 0);
         assert_eq!(log.sheds(), 0);
     }
@@ -240,6 +270,12 @@ mod tests {
             reason: "rate-limited".into(),
         });
         log.push(ServiceEvent::LoadShed { tick: 12, tenant: "t2".into(), sojourn: 9 });
+        log.push(ServiceEvent::DurabilityTransition {
+            tick: 20,
+            shard: 1,
+            from: DurabilityLevel::Durable,
+            to: DurabilityLevel::ReplicaOnly,
+        });
         log.push(ServiceEvent::FleetTransition {
             tick: 30,
             from: FleetState::Degraded,
@@ -259,6 +295,11 @@ mod tests {
             ]
         );
         assert_eq!(log.worst_fleet_state(), Some(FleetState::Saturated));
+        assert_eq!(
+            log.durability_transitions(),
+            vec![(20, 1, DurabilityLevel::Durable, DurabilityLevel::ReplicaOnly)]
+        );
+        assert_eq!(log.worst_durability(), Some(DurabilityLevel::ReplicaOnly));
         assert_eq!(log.rejections(), 1);
         assert_eq!(log.sheds(), 1);
         // Fleet events do not leak into the per-session ladder summaries.

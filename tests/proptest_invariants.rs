@@ -251,8 +251,8 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 use emoleak::durable::{
-    decode_container, encode_container, CampaignState, DurableError, SNAPSHOT_MAGIC,
-    SNAPSHOT_VERSION,
+    decode_container, encode_container, write_atomic_with, CampaignState, DurableError,
+    FaultPlan, FaultVfs, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 
 /// Builds an arbitrary campaign state from generated ingredients: an id of
@@ -336,5 +336,53 @@ proptest! {
             Err(DurableError::Corrupt { .. }) => {}
             Err(e) => prop_assert!(false, "unexpected error class: {e}"),
         }
+    }
+
+    /// Atomic replace under the disk nemesis: whatever combination of
+    /// injected EIO, short writes, and a filling disk hits the staging
+    /// path, the destination file is *never* torn or partially visible —
+    /// after every attempt it reads as exactly the last successfully
+    /// committed contents, byte for byte.
+    #[test]
+    fn atomic_replace_is_never_torn_under_disk_faults(
+        seed in 0u64..1000,
+        eio_ppm in 0u32..400_000,
+        short_write_ppm in 0u32..400_000,
+        byte_budget in 64u64..4096,
+        writes in prop::collection::vec(prop::collection::vec(0u32..256, 1..200), 1..8),
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "emoleak-atomic-prop-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        let path = dir.join("state.bin");
+        let vfs = FaultVfs::new(FaultPlan {
+            byte_budget,
+            eio_ppm,
+            short_write_ppm,
+            ..FaultPlan::quiet(seed)
+        });
+        // The committed baseline is written outside the nemesis: it
+        // models state that was already durable before the disk turned.
+        let mut committed: Vec<u8> = b"the previously committed state".to_vec();
+        std::fs::write(&path, &committed).expect("seed the destination");
+        for w in &writes {
+            let next: Vec<u8> = w.iter().map(|&b| b as u8).collect();
+            match write_atomic_with(&path, &next, &vfs) {
+                Ok(()) => committed = next,
+                Err(DurableError::Io { .. }) => {} // typed refusal; nothing replaced
+                Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+            }
+            let on_disk = std::fs::read(&path).expect("destination must stay readable");
+            prop_assert!(
+                on_disk == committed,
+                "destination torn or partially visible after a faulted replace"
+            );
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }
